@@ -1,0 +1,66 @@
+//! Benchmarks for Section 4.3: the c-chase end to end, plus the two design
+//! ablations called out in `DESIGN.md` (egd-round re-normalization and
+//! naïve source normalization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tdx_core::{c_chase_with, ChaseOptions};
+use tdx_workload::{nested_mapping, EmploymentConfig, EmploymentWorkload};
+
+fn bench_employment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c_chase/employment");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for persons in [10usize, 25, 50] {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons,
+            horizon: 30,
+            seed: 42,
+            ..EmploymentConfig::default()
+        });
+        group.bench_with_input(BenchmarkId::new("default", persons), &persons, |b, _| {
+            b.iter(|| c_chase_with(&w.source, &w.mapping, &ChaseOptions::default()).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("paper_faithful", persons),
+            &persons,
+            |b, _| {
+                b.iter(|| {
+                    c_chase_with(&w.source, &w.mapping, &ChaseOptions::paper_faithful()).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_normalization", persons),
+            &persons,
+            |b, _| {
+                b.iter(|| {
+                    c_chase_with(
+                        &w.source,
+                        &w.mapping,
+                        &ChaseOptions {
+                            naive_normalization: true,
+                            ..ChaseOptions::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c_chase/nested");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [8usize, 16, 24] {
+        let (mapping, src) = nested_mapping(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| c_chase_with(&src, &mapping, &ChaseOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_employment, bench_nested);
+criterion_main!(benches);

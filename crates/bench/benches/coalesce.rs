@@ -1,0 +1,35 @@
+//! Benchmarks for coalescing — the inverse of normalization, applied when a
+//! fragmented chase result is materialized for storage (paper Section 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tdx_core::normalize::naive_normalize;
+use tdx_core::semantics;
+use tdx_workload::{EmploymentConfig, EmploymentWorkload};
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coalesce");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for persons in [10usize, 50, 200] {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons,
+            horizon: 30,
+            seed: 3,
+            ..EmploymentConfig::default()
+        });
+        // A heavily fragmented instance: the worst realistic input.
+        let fragmented = naive_normalize(&w.source);
+        group.bench_with_input(
+            BenchmarkId::new("temporal_instance", persons),
+            &persons,
+            |b, _| b.iter(|| fragmented.coalesced()),
+        );
+        group.bench_with_input(BenchmarkId::new("semantics", persons), &persons, |b, _| {
+            b.iter(|| semantics(&w.source))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coalesce);
+criterion_main!(benches);

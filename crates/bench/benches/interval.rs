@@ -1,0 +1,51 @@
+//! Benchmarks for the interval algebra substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tdx_temporal::{fragment_interval, Breakpoints, Interval, IntervalSet};
+
+fn bench_interval_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_set");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [100usize, 1000, 10000] {
+        let a: Vec<Interval> = (0..n as u64).map(|i| Interval::new(3 * i, 3 * i + 2)).collect();
+        let b: Vec<Interval> = (0..n as u64)
+            .map(|i| Interval::new(3 * i + 1, 3 * i + 3))
+            .collect();
+        let sa = IntervalSet::from_intervals(a.iter().copied());
+        let sb = IntervalSet::from_intervals(b.iter().copied());
+        group.bench_with_input(BenchmarkId::new("from_intervals", n), &n, |bch, _| {
+            bch.iter(|| IntervalSet::from_intervals(a.iter().copied()))
+        });
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bch, _| {
+            bch.iter(|| sa.union(&sb))
+        });
+        group.bench_with_input(BenchmarkId::new("intersect", n), &n, |bch, _| {
+            bch.iter(|| sa.intersect(&sb))
+        });
+        group.bench_with_input(BenchmarkId::new("difference", n), &n, |bch, _| {
+            bch.iter(|| sa.difference(&sb))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fragmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fragment");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [100usize, 1000, 10000] {
+        let cuts: Vec<Interval> = (0..n as u64).map(|i| Interval::new(2 * i, 2 * i + 1)).collect();
+        let bps = Breakpoints::from_intervals(cuts.iter());
+        let target = Interval::new(0, 2 * n as u64);
+        group.bench_with_input(BenchmarkId::new("breakpoints", n), &n, |bch, _| {
+            bch.iter(|| Breakpoints::from_intervals(cuts.iter()))
+        });
+        group.bench_with_input(BenchmarkId::new("fragment_interval", n), &n, |bch, _| {
+            bch.iter(|| fragment_interval(&target, &bps))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_set, bench_fragmentation);
+criterion_main!(benches);

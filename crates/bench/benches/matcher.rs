@@ -1,0 +1,70 @@
+//! Benchmarks for the homomorphism engine, including the index ablation
+//! (hash-index candidate selection vs full scans).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tdx_logic::parse_tgd;
+use tdx_storage::{SearchOptions, TemporalMode};
+use tdx_workload::{EmploymentConfig, EmploymentWorkload};
+
+fn bench_matcher(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matcher");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let body = parse_tgd("E(n,c) & S(n,s) -> Sink()").unwrap().body;
+    for persons in [25usize, 100, 400] {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons,
+            horizon: 30,
+            seed: 7,
+            ..EmploymentConfig::default()
+        });
+        for (label, opts) in [
+            ("indexed", SearchOptions { use_indexes: true }),
+            ("full_scan", SearchOptions { use_indexes: false }),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("free_overlapping/{label}"), persons),
+                &persons,
+                |b, _| {
+                    b.iter(|| {
+                        let mut count = 0usize;
+                        w.source
+                            .find_matches_with(
+                                &body,
+                                TemporalMode::FreeOverlapping,
+                                &[],
+                                None,
+                                opts,
+                                |_| {
+                                    count += 1;
+                                    true
+                                },
+                            )
+                            .unwrap();
+                        count
+                    })
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("shared_time", persons),
+            &persons,
+            |b, _| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    w.source
+                        .find_matches(&body, TemporalMode::Shared, &[], None, |_| {
+                            count += 1;
+                            true
+                        })
+                        .unwrap();
+                    count
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Benchmarks for Section 4.2: naïve normalization vs Algorithm 1.
+//!
+//! Regenerates the measured side of experiments `T13` (quadratic worst case)
+//! and `TRADE` (time vs output-size trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tdx_core::normalize::{naive_normalize, normalize};
+use tdx_workload::{clustered_instance, nested_intervals, ClusteredConfig};
+
+fn bench_nested(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize/nested");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [16usize, 32, 64, 128] {
+        let (ic, conj) = nested_intervals(n);
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
+            b.iter(|| normalize(&ic, &[&conj]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| naive_normalize(&ic))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalize/sparse");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for clusters in [16usize, 64, 256] {
+        let (ic, conj) = clustered_instance(&ClusteredConfig {
+            clusters,
+            pairs_per_cluster: 2,
+            overlapping: true,
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1", clusters), &clusters, |b, _| {
+            b.iter(|| normalize(&ic, &[&conj]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", clusters), &clusters, |b, _| {
+            b.iter(|| naive_normalize(&ic))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nested, bench_sparse);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmarks for Section 5: naïve evaluation of `q⁺` on concrete solutions
+//! and the two certain-answer routes (experiment `QA`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tdx_core::{
+    c_chase, certain_answers_abstract, certain_answers_concrete, naive_eval_concrete,
+    ChaseOptions,
+};
+use tdx_logic::{parse_query, UnionQuery};
+use tdx_workload::{EmploymentConfig, EmploymentWorkload};
+
+fn bench_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for persons in [10usize, 25, 50] {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons,
+            horizon: 30,
+            seed: 42,
+            ..EmploymentConfig::default()
+        });
+        let solution = c_chase(&w.source, &w.mapping).unwrap().target;
+        let q_simple: UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
+        let q_join: UnionQuery = parse_query("Q(n, m) :- Emp(n, c, s) & Emp(m, c, s2)")
+            .unwrap()
+            .into();
+        group.bench_with_input(
+            BenchmarkId::new("naive_eval/simple", persons),
+            &persons,
+            |b, _| b.iter(|| naive_eval_concrete(&solution, &q_simple).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive_eval/self_join", persons),
+            &persons,
+            |b, _| b.iter(|| naive_eval_concrete(&solution, &q_join).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("certain/concrete_route", persons),
+            &persons,
+            |b, _| {
+                b.iter(|| {
+                    certain_answers_concrete(
+                        &w.source,
+                        &w.mapping,
+                        &q_simple,
+                        &ChaseOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("certain/abstract_route", persons),
+            &persons,
+            |b, _| {
+                b.iter(|| certain_answers_abstract(&w.source, &w.mapping, &q_simple).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! Harness utilities shared by the `experiments` binary and the Criterion
+//! benches: timing helpers, aligned tables, and simple growth-law fitting.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` once and returns its result together with the wall time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Formats a duration with sensible units.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// An aligned text table (same layout as the paper-figure rendering in
+/// `tdx_storage::display`).
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        tdx_storage::display::render_table("", &self.headers, &self.rows)
+            .trim_start_matches('\n')
+            .to_string()
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Least-squares exponent fit of `y ≈ c·n^k` over `(n, y)` samples:
+/// regression of `log y` on `log n`. Returns the exponent `k`.
+pub fn growth_exponent(samples: &[(f64, f64)]) -> f64 {
+    let pts: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|(n, y)| *n > 0.0 && *y > 0.0)
+        .map(|(n, y)| (n.ln(), y.ln()))
+        .collect();
+    let m = pts.len() as f64;
+    if pts.len() < 2 {
+        return f64::NAN;
+    }
+    let sx: f64 = pts.iter().map(|(x, _)| x).sum();
+    let sy: f64 = pts.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = pts.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pts.iter().map(|(x, y)| x * y).sum();
+    (m * sxy - sx * sy) / (m * sxx - sx * sx)
+}
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    let line = "=".repeat(72);
+    println!("\n{line}\n {id} — {title}\n{line}");
+}
+
+/// Prints a check line and returns the flag for summary accounting.
+pub fn check(label: &str, ok: bool) -> bool {
+    println!("  [{}] {label}", if ok { "PASS" } else { "FAIL" });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_exponent_recovers_quadratic() {
+        let samples: Vec<(f64, f64)> = (3..10)
+            .map(|n| {
+                let n = n as f64;
+                (n, 4.0 * n * n)
+            })
+            .collect();
+        let k = growth_exponent(&samples);
+        assert!((k - 2.0).abs() < 1e-9, "k = {k}");
+    }
+
+    #[test]
+    fn growth_exponent_recovers_linearithmic_roughly() {
+        let samples: Vec<(f64, f64)> = [16.0f64, 64.0, 256.0, 1024.0]
+            .iter()
+            .map(|&n| (n, n * n.ln()))
+            .collect();
+        let k = growth_exponent(&samples);
+        assert!(k > 1.0 && k < 1.6, "k = {k}");
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["n", "size"]);
+        t.row(&["8".into(), "64".into()]);
+        let s = t.render();
+        assert!(s.contains("n"), "{s}");
+        assert!(s.contains("64"), "{s}");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12µs");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.50s");
+    }
+}

@@ -1,0 +1,665 @@
+//! The abstract view: temporal databases as sequences of snapshots.
+//!
+//! An abstract instance is an infinite sequence `⟨db₀, db₁, …⟩` satisfying
+//! the finite change condition (paper Section 2). We represent it finitely as
+//! a list of **epochs**: intervals partitioning `[0, ∞)`, each carrying the
+//! snapshot that holds at every time point inside it.
+//!
+//! Labeled nulls need care: the abstract chase produces *distinct* fresh
+//! nulls in every snapshot, while the paper's Example 2 instance `J₁` has the
+//! *same* null in consecutive snapshots. An [`AValue`] null therefore carries
+//! a scope:
+//!
+//! * [`AValue::PerPoint`]`(b)` — the family `⟨(b, ℓ)⟩` of pairwise-distinct
+//!   labeled nulls, one per time point `ℓ` of the epoch. This is exactly what
+//!   an interval-annotated null `N^[s,e)` denotes under `⟦·⟧`
+//!   (`Π_ℓ(N^[s,e)) = N_ℓ`, Section 4.1).
+//! * [`AValue::Rigid`]`(b)` — one labeled null shared by every snapshot it
+//!   occurs in (Example 2's `J₁`).
+
+use crate::error::TdxError;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+use tdx_temporal::{partition::epochs_over_timeline, Breakpoints, Endpoint, Interval, TimePoint};
+use tdx_logic::{Constant, RelId, Schema, Symbol};
+use tdx_storage::NullId;
+
+/// A value in an abstract snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AValue {
+    /// A constant.
+    Const(Constant),
+    /// A per-time-point null family: at time `ℓ` this is the labeled null
+    /// `(base, ℓ)`, distinct from every other time point's.
+    PerPoint(NullId),
+    /// A single labeled null shared across all time points it occurs at.
+    Rigid(NullId),
+}
+
+impl AValue {
+    /// Shorthand for a string constant.
+    pub fn str(s: &str) -> AValue {
+        AValue::Const(Constant::str(s))
+    }
+
+    /// Shorthand for an integer constant.
+    pub fn int(i: i64) -> AValue {
+        AValue::Const(Constant::Int(i))
+    }
+
+    /// Whether this is a null of either scope.
+    pub fn is_null(&self) -> bool {
+        !matches!(self, AValue::Const(_))
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<Constant> {
+        match self {
+            AValue::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AValue::Const(c) => write!(f, "{c}"),
+            AValue::PerPoint(b) => write!(f, "N{}@ℓ", b.0),
+            AValue::Rigid(b) => write!(f, "N{}", b.0),
+        }
+    }
+}
+
+impl fmt::Debug for AValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A row of an abstract snapshot.
+pub type ARow = Arc<[AValue]>;
+
+/// Builds an [`ARow`].
+pub fn arow<I: IntoIterator<Item = AValue>>(vals: I) -> ARow {
+    vals.into_iter().collect()
+}
+
+/// One relational snapshot of the abstract view (the `db_ℓ` shared by all
+/// time points of an epoch). Facts are kept sorted for determinism.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ASnapshot {
+    schema: Arc<Schema>,
+    rels: Vec<BTreeSet<ARow>>,
+}
+
+impl ASnapshot {
+    /// An empty snapshot.
+    pub fn new(schema: Arc<Schema>) -> ASnapshot {
+        let rels = (0..schema.len()).map(|_| BTreeSet::new()).collect();
+        ASnapshot { schema, rels }
+    }
+
+    /// The snapshot's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Inserts a fact; returns `false` if already present.
+    pub fn insert(&mut self, rel: RelId, row: ARow) -> bool {
+        assert_eq!(
+            row.len(),
+            self.schema.relation(rel).arity(),
+            "arity mismatch inserting into {}",
+            self.schema.relation(rel).name()
+        );
+        self.rels[rel.0 as usize].insert(row)
+    }
+
+    /// Inserts by relation name. Panics on unknown relation.
+    pub fn insert_values<I: IntoIterator<Item = AValue>>(&mut self, rel: &str, vals: I) -> bool {
+        let id = self
+            .schema
+            .rel_id(Symbol::intern(rel))
+            .unwrap_or_else(|| panic!("unknown relation {rel}"));
+        self.insert(id, vals.into_iter().collect())
+    }
+
+    /// The facts of one relation.
+    pub fn rows(&self, rel: RelId) -> &BTreeSet<ARow> {
+        &self.rels[rel.0 as usize]
+    }
+
+    /// Whether the exact fact is present.
+    pub fn contains(&self, rel: RelId, row: &ARow) -> bool {
+        self.rels[rel.0 as usize].contains(row)
+    }
+
+    /// Total number of facts.
+    pub fn total_len(&self) -> usize {
+        self.rels.iter().map(|r| r.len()).sum()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+
+    /// Iterates `(rel, row)` pairs.
+    pub fn iter_all(&self) -> impl Iterator<Item = (RelId, &ARow)> {
+        self.rels
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.iter().map(move |row| (RelId(i as u32), row)))
+    }
+
+    /// The null bases used in this snapshot, per scope: `(per_point, rigid)`.
+    pub fn null_bases(&self) -> (BTreeSet<NullId>, BTreeSet<NullId>) {
+        let mut pp = BTreeSet::new();
+        let mut rg = BTreeSet::new();
+        for (_, row) in self.iter_all() {
+            for v in row.iter() {
+                match v {
+                    AValue::PerPoint(b) => {
+                        pp.insert(*b);
+                    }
+                    AValue::Rigid(b) => {
+                        rg.insert(*b);
+                    }
+                    AValue::Const(_) => {}
+                }
+            }
+        }
+        (pp, rg)
+    }
+
+    /// Whether the snapshot contains no nulls.
+    pub fn is_complete(&self) -> bool {
+        self.iter_all().all(|(_, row)| row.iter().all(|v| !v.is_null()))
+    }
+
+    /// Renders the snapshot as the paper writes them:
+    /// `{Emp(Ada, IBM, N0@ℓ), …}`.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (rel, row) in self.iter_all() {
+            let name = self.schema.relation(rel).name();
+            let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            parts.push(format!("{}({})", name, vals.join(", ")));
+        }
+        parts.sort();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+impl fmt::Display for ASnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl fmt::Debug for ASnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// One epoch: an interval and the snapshot holding throughout it.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Epoch {
+    /// The time points this epoch covers.
+    pub interval: Interval,
+    /// The snapshot at every point of `interval`.
+    pub snapshot: ASnapshot,
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ↦ {}", self.interval, self.snapshot)
+    }
+}
+
+/// A finitely represented abstract temporal instance: epochs partitioning
+/// `[0, ∞)` in ascending order.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AbstractInstance {
+    schema: Arc<Schema>,
+    epochs: Vec<Epoch>,
+}
+
+impl AbstractInstance {
+    /// The everywhere-empty instance.
+    pub fn empty(schema: Arc<Schema>) -> AbstractInstance {
+        AbstractInstance {
+            schema: Arc::clone(&schema),
+            epochs: vec![Epoch {
+                interval: Interval::all(),
+                snapshot: ASnapshot::new(schema),
+            }],
+        }
+    }
+
+    /// Builds from epochs, validating that they partition `[0, ∞)`.
+    pub fn from_epochs(
+        schema: Arc<Schema>,
+        epochs: Vec<Epoch>,
+    ) -> Result<AbstractInstance, TdxError> {
+        if epochs.is_empty() {
+            return Err(TdxError::Invalid("no epochs given".into()));
+        }
+        if epochs[0].interval.start() != 0 {
+            return Err(TdxError::Invalid("first epoch must start at 0".into()));
+        }
+        for w in epochs.windows(2) {
+            if w[0].interval.end() != Endpoint::Fin(w[1].interval.start()) {
+                return Err(TdxError::Invalid(format!(
+                    "epochs {} and {} do not tile the timeline",
+                    w[0].interval, w[1].interval
+                )));
+            }
+        }
+        if !epochs.last().expect("non-empty").interval.is_unbounded() {
+            return Err(TdxError::Invalid(
+                "last epoch must extend to ∞ (finite change condition)".into(),
+            ));
+        }
+        Ok(AbstractInstance { schema, epochs })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// The epochs, ascending, tiling `[0, ∞)`.
+    pub fn epochs(&self) -> &[Epoch] {
+        &self.epochs
+    }
+
+    /// The epoch covering time point `t`.
+    pub fn epoch_at(&self, t: TimePoint) -> &Epoch {
+        let idx = self.epochs.partition_point(|e| e.interval.start() <= t);
+        &self.epochs[idx - 1]
+    }
+
+    /// The snapshot `db_t`.
+    pub fn snapshot_at(&self, t: TimePoint) -> &ASnapshot {
+        &self.epoch_at(t).snapshot
+    }
+
+    /// All epoch boundaries as breakpoints.
+    pub fn breakpoints(&self) -> Breakpoints {
+        Breakpoints::from_intervals(self.epochs.iter().map(|e| &e.interval))
+    }
+
+    /// Refines the epochs so that every breakpoint in `bps` is an epoch
+    /// boundary. Snapshots are shared (cheap clones).
+    pub fn refine(&self, bps: &Breakpoints) -> AbstractInstance {
+        let mut epochs = Vec::new();
+        for e in &self.epochs {
+            for iv in tdx_temporal::fragment_interval(&e.interval, bps) {
+                epochs.push(Epoch {
+                    interval: iv,
+                    snapshot: e.snapshot.clone(),
+                });
+            }
+        }
+        AbstractInstance {
+            schema: self.schema_arc(),
+            epochs,
+        }
+    }
+
+    /// Merges adjacent epochs with equal snapshots. Sound for both null
+    /// scopes: `PerPoint` families are per-point regardless of epoch
+    /// boundaries, and merging equal `Rigid` snapshots does not change which
+    /// null occurs where.
+    pub fn coalesce(&self) -> AbstractInstance {
+        let mut epochs: Vec<Epoch> = Vec::new();
+        for e in &self.epochs {
+            match epochs.last_mut() {
+                Some(last) if last.snapshot == e.snapshot => {
+                    last.interval = last
+                        .interval
+                        .join(&e.interval)
+                        .expect("adjacent epochs join");
+                }
+                _ => epochs.push(e.clone()),
+            }
+        }
+        AbstractInstance {
+            schema: self.schema_arc(),
+            epochs,
+        }
+    }
+
+    /// Aligns two instances on a common epoch refinement. Returns pairs of
+    /// `(interval, snapshot_self, snapshot_other)`.
+    pub fn zip_refined<'a>(
+        &'a self,
+        other: &'a AbstractInstance,
+    ) -> Vec<(Interval, &'a ASnapshot, &'a ASnapshot)> {
+        let mut bps = self.breakpoints();
+        for e in other.epochs() {
+            bps.add_interval(&e.interval);
+        }
+        epochs_over_timeline(&bps)
+            .into_iter()
+            .map(|iv| {
+                let t = iv.start();
+                (iv, self.snapshot_at(t), other.snapshot_at(t))
+            })
+            .collect()
+    }
+
+    /// Whether any snapshot contains a null.
+    pub fn is_complete(&self) -> bool {
+        self.epochs.iter().all(|e| e.snapshot.is_complete())
+    }
+
+    /// Semantic equality: equal coalesced epoch structure. `PerPoint` and
+    /// `Rigid` bases must match exactly; use
+    /// [`crate::hom::hom_equivalent`] for equality up to null renaming.
+    pub fn eq_semantic(&self, other: &AbstractInstance) -> bool {
+        self.coalesce().epochs == other.coalesce().epochs
+    }
+
+    /// Renders the snapshots at the given time points, one per line, in the
+    /// style of the paper's Figure 1/3.
+    pub fn render_window(&self, points: impl IntoIterator<Item = TimePoint>) -> String {
+        let mut out = String::new();
+        for t in points {
+            out.push_str(&format!("{t:>6}  {}\n", self.snapshot_at(t).render()));
+        }
+        out
+    }
+}
+
+/// Incremental builder: add facts valid over arbitrary intervals, get the
+/// epoch-partitioned instance.
+pub struct AbstractInstanceBuilder {
+    schema: Arc<Schema>,
+    facts: Vec<(RelId, ARow, Interval)>,
+}
+
+impl AbstractInstanceBuilder {
+    /// A builder over `schema`.
+    pub fn new(schema: Arc<Schema>) -> AbstractInstanceBuilder {
+        AbstractInstanceBuilder {
+            schema,
+            facts: Vec::new(),
+        }
+    }
+
+    /// Adds a fact holding over every point of `interval`.
+    pub fn add(&mut self, rel: &str, vals: Vec<AValue>, interval: Interval) -> &mut Self {
+        let id = self
+            .schema
+            .rel_id(Symbol::intern(rel))
+            .unwrap_or_else(|| panic!("unknown relation {rel}"));
+        self.facts.push((id, vals.into_iter().collect(), interval));
+        self
+    }
+
+    /// Builds the instance (epochs are the refinement of all fact
+    /// intervals, coalesced).
+    pub fn build(&self) -> AbstractInstance {
+        let bps = Breakpoints::from_intervals(self.facts.iter().map(|(_, _, iv)| iv));
+        let epochs = epochs_over_timeline(&bps)
+            .into_iter()
+            .map(|iv| {
+                let mut snap = ASnapshot::new(Arc::clone(&self.schema));
+                for (rel, row, fiv) in &self.facts {
+                    if fiv.covers(&iv) {
+                        snap.insert(*rel, Arc::clone(row));
+                    }
+                }
+                Epoch {
+                    interval: iv,
+                    snapshot: snap,
+                }
+            })
+            .collect();
+        AbstractInstance {
+            schema: Arc::clone(&self.schema),
+            epochs,
+        }
+        .coalesce()
+    }
+}
+
+impl fmt::Display for AbstractInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.epochs {
+            writeln!(f, "{:>16}  {}", e.interval.to_string(), e.snapshot.render())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AbstractInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdx_logic::RelationSchema;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![RelationSchema::new("Emp", &["name", "company", "salary"])]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn builder_partitions_and_coalesces() {
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("Ada"), AValue::str("IBM"), AValue::str("18k")],
+            iv(2013, 2014),
+        );
+        b.add(
+            "Emp",
+            vec![AValue::str("Ada"), AValue::str("Google"), AValue::str("18k")],
+            Interval::from(2014),
+        );
+        let ia = b.build();
+        assert_eq!(ia.epochs().len(), 3); // [0,2013), [2013,2014), [2014,∞)
+        assert!(ia.snapshot_at(0).is_empty());
+        assert_eq!(
+            ia.snapshot_at(2013).render(),
+            "{Emp(Ada, IBM, 18k)}"
+        );
+        assert_eq!(
+            ia.snapshot_at(3000).render(),
+            "{Emp(Ada, Google, 18k)}"
+        );
+    }
+
+    #[test]
+    fn epoch_lookup_at_boundaries() {
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::str("C")],
+            iv(5, 10),
+        );
+        let ia = b.build();
+        assert!(ia.snapshot_at(4).is_empty());
+        assert!(!ia.snapshot_at(5).is_empty());
+        assert!(!ia.snapshot_at(9).is_empty());
+        assert!(ia.snapshot_at(10).is_empty());
+    }
+
+    #[test]
+    fn from_epochs_validates_partition() {
+        let s = schema();
+        let snap = ASnapshot::new(Arc::clone(&s));
+        // Gap between epochs.
+        let bad = AbstractInstance::from_epochs(
+            Arc::clone(&s),
+            vec![
+                Epoch {
+                    interval: iv(0, 5),
+                    snapshot: snap.clone(),
+                },
+                Epoch {
+                    interval: Interval::from(6),
+                    snapshot: snap.clone(),
+                },
+            ],
+        );
+        assert!(bad.is_err());
+        // Not starting at 0.
+        let bad = AbstractInstance::from_epochs(
+            Arc::clone(&s),
+            vec![Epoch {
+                interval: Interval::from(1),
+                snapshot: snap.clone(),
+            }],
+        );
+        assert!(bad.is_err());
+        // Bounded last epoch.
+        let bad = AbstractInstance::from_epochs(
+            Arc::clone(&s),
+            vec![Epoch {
+                interval: iv(0, 5),
+                snapshot: snap.clone(),
+            }],
+        );
+        assert!(bad.is_err());
+        let ok = AbstractInstance::from_epochs(
+            Arc::clone(&s),
+            vec![Epoch {
+                interval: Interval::all(),
+                snapshot: snap,
+            }],
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn refine_then_coalesce_is_identity() {
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::str("C")],
+            iv(2, 9),
+        );
+        let ia = b.build();
+        let mut bps = Breakpoints::new();
+        bps.add_interval(&iv(4, 6));
+        let refined = ia.refine(&bps);
+        assert!(refined.epochs().len() > ia.epochs().len());
+        assert!(refined.eq_semantic(&ia));
+        assert_eq!(refined.coalesce().epochs().len(), ia.epochs().len());
+    }
+
+    #[test]
+    fn zip_refined_aligns() {
+        let mut b1 = AbstractInstanceBuilder::new(schema());
+        b1.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::str("C")],
+            iv(0, 10),
+        );
+        let a = b1.build();
+        let mut b2 = AbstractInstanceBuilder::new(schema());
+        b2.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::str("C")],
+            iv(5, 15),
+        );
+        let b = b2.build();
+        let zipped = a.zip_refined(&b);
+        let ivs: Vec<Interval> = zipped.iter().map(|(iv, _, _)| *iv).collect();
+        assert_eq!(
+            ivs,
+            vec![iv(0, 5), iv(5, 10), iv(10, 15), Interval::from(15)]
+        );
+        // In [5,10) both snapshots hold the fact.
+        assert_eq!(zipped[1].1, zipped[1].2);
+        // In [0,5) only `a` does.
+        assert!(!zipped[0].1.is_empty());
+        assert!(zipped[0].2.is_empty());
+    }
+
+    #[test]
+    fn per_point_and_rigid_display() {
+        let mut snap = ASnapshot::new(schema());
+        snap.insert_values(
+            "Emp",
+            [
+                AValue::str("Ada"),
+                AValue::str("IBM"),
+                AValue::PerPoint(NullId(0)),
+            ],
+        );
+        assert_eq!(snap.render(), "{Emp(Ada, IBM, N0@ℓ)}");
+        let mut snap = ASnapshot::new(schema());
+        snap.insert_values(
+            "Emp",
+            [
+                AValue::str("Ada"),
+                AValue::str("IBM"),
+                AValue::Rigid(NullId(1)),
+            ],
+        );
+        assert_eq!(snap.render(), "{Emp(Ada, IBM, N1)}");
+        let (pp, rg) = snap.null_bases();
+        assert!(pp.is_empty());
+        assert_eq!(rg.into_iter().collect::<Vec<_>>(), vec![NullId(1)]);
+    }
+
+    #[test]
+    fn completeness() {
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::PerPoint(NullId(0))],
+            iv(0, 2),
+        );
+        let ia = b.build();
+        assert!(!ia.is_complete());
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::str("C")],
+            iv(0, 2),
+        );
+        assert!(b.build().is_complete());
+    }
+
+    #[test]
+    fn render_window_matches_paper_style() {
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("Ada"), AValue::str("IBM"), AValue::str("18k")],
+            iv(2013, 2014),
+        );
+        let ia = b.build();
+        let w = ia.render_window([2012, 2013]);
+        assert!(w.contains("2012  {}"));
+        assert!(w.contains("2013  {Emp(Ada, IBM, 18k)}"));
+    }
+}

@@ -1,0 +1,17 @@
+//! The three chase procedures of the paper.
+//!
+//! * [`snapshot`] — the classical relational chase of Fagin et al. on one
+//!   snapshot: s-t tgd steps followed by egd steps;
+//! * [`abstract_chase`] — Section 3: the chase applied to every snapshot of
+//!   an abstract instance independently, with fresh nulls per snapshot
+//!   (per-point null families per epoch);
+//! * [`concrete`] — Section 4.3: the **c-chase** on concrete instances,
+//!   with normalization and interval-annotated nulls.
+
+pub mod abstract_chase;
+pub mod concrete;
+pub mod snapshot;
+
+pub use abstract_chase::{abstract_chase, abstract_chase_parallel};
+pub use concrete::{c_chase, CChaseResult, ChaseOptions, ChaseStats};
+pub use snapshot::snapshot_chase;

@@ -1,0 +1,653 @@
+//! A chase for temporal (modal) s-t tgds — the paper's Section 7 sketch,
+//! made concrete.
+//!
+//! The paper ends by asking how data exchange changes when schema mappings
+//! can express temporal phenomena, giving the example
+//! `PhDgrad(n) → ◇⁻ ∃adv,top PhDCan(n, adv, top)` and asking: *"if ◇ is used
+//! in the rhs of a dependency, is it enough to choose an arbitrary snapshot
+//! and generate facts according to the rhs in that snapshot? What will be a
+//! universal solution in this case?"*
+//!
+//! This module implements one principled answer for **source-to-target**
+//! modal tgds over the abstract view:
+//!
+//! * the two-sorted FOL semantics is implemented exactly
+//!   ([`satisfies_temporal_tgd`]), with existential witnesses chosen per
+//!   snapshot;
+//! * the chase ([`temporal_chase`]) fires a modal obligation only when it is
+//!   not already satisfied (restricted chase), and places witnesses by a
+//!   deterministic, minimal-commitment policy:
+//!
+//!   | modality | obligation for support `[s, e)` | witness placed at |
+//!   |----------|--------------------------------|-------------------|
+//!   | `now`    | every `ℓ ∈ [s, e)`             | `[s, e)`          |
+//!   | `◇⁻`     | some `ℓ′ < ℓ`, hardest `ℓ = s` | `[s−1, s)`        |
+//!   | `□⁻`     | all `ℓ′ < ℓ`, hardest `ℓ = e−1`| `[0, e−1)` (or `[0, ∞)`) |
+//!   | `◇⁺`     | some `ℓ′ > ℓ`, hardest `ℓ = e−1`| `[e, e+1)` (or `[s+1, ∞)`) |
+//!   | `□⁺`     | all `ℓ′ > ℓ`                   | `[s+1, ∞)`        |
+//!
+//! * a `◇⁻` obligation whose support includes time point 0 is
+//!   **unsatisfiable** (time has a beginning) and reported as
+//!   [`TdxError::TemporalUnsatisfiable`] — no solution exists;
+//! * the result is verified to be a *solution*; whether it is universal is
+//!   exactly the open question the paper poses, and is deliberately not
+//!   claimed. (For `◇` obligations the witness position is a genuine
+//!   choice, so distinct incomparable solutions exist.)
+
+use crate::abstract_view::{ASnapshot, AValue, AbstractInstance, Epoch};
+use crate::chase::abstract_chase::abstract_chase;
+use crate::chase::snapshot::egd_phase;
+use crate::error::{Result, TdxError};
+use std::sync::Arc;
+use tdx_logic::{Atom, Modality, RelId, Schema, SchemaMapping, TemporalTgd, Term, Var};
+use tdx_storage::{Instance, NullGen, Value};
+use tdx_temporal::{partition::epochs_over_timeline, Breakpoints, Endpoint, Interval, TimePoint};
+
+/// A data exchange setting extended with temporal s-t tgds.
+pub struct TemporalSetting {
+    /// The non-temporal part `M = (R_S, R_T, Σ_st, Σ_eg)`.
+    pub base: SchemaMapping,
+    /// The modal s-t tgds.
+    pub temporal_tgds: Vec<TemporalTgd>,
+}
+
+impl TemporalSetting {
+    /// Validates the modal tgds against the base mapping's schemas.
+    pub fn new(
+        base: SchemaMapping,
+        temporal_tgds: Vec<TemporalTgd>,
+    ) -> std::result::Result<TemporalSetting, String> {
+        for t in &temporal_tgds {
+            t.validate(base.source(), base.target())?;
+        }
+        Ok(TemporalSetting {
+            base,
+            temporal_tgds,
+        })
+    }
+}
+
+/// What one (tgd, homomorphism, support-epoch) triple obliges of the target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Obligation {
+    /// Head must hold at every point of the interval.
+    ForAll(Interval),
+    /// Head must hold at some point strictly before `t`.
+    ExistsBefore(TimePoint),
+    /// Head must hold at some point `≥ t`.
+    ExistsAtOrAfter(TimePoint),
+    /// Head must hold at arbitrarily large points.
+    ExistsUnbounded,
+    /// Nothing required (e.g. `□⁻` supported only at time 0).
+    Trivial,
+}
+
+fn obligation(
+    tgd: &TemporalTgd,
+    support: Interval,
+) -> Result<(Obligation, Option<Interval>)> {
+    let s = support.start();
+    Ok(match tgd.modality {
+        Modality::Now => (Obligation::ForAll(support), Some(support)),
+        Modality::SometimePast => {
+            if s == 0 {
+                return Err(TdxError::TemporalUnsatisfiable {
+                    dependency: tgd.name.clone().unwrap_or_else(|| tgd.to_string()),
+                    detail: "a ◇⁻ obligation is supported at time point 0, which has no past"
+                        .into(),
+                });
+            }
+            (
+                Obligation::ExistsBefore(s),
+                Some(Interval::new(s - 1, s)),
+            )
+        }
+        Modality::AlwaysPast => match support.end() {
+            Endpoint::Fin(e) => {
+                if e - 1 == 0 {
+                    (Obligation::Trivial, None)
+                } else {
+                    let iv = Interval::new(0, e - 1);
+                    (Obligation::ForAll(iv), Some(iv))
+                }
+            }
+            Endpoint::Inf => {
+                let iv = Interval::all();
+                (Obligation::ForAll(iv), Some(iv))
+            }
+        },
+        Modality::SometimeFuture => match support.end() {
+            Endpoint::Fin(e) => (
+                Obligation::ExistsAtOrAfter(e),
+                Some(Interval::new(e, e + 1)),
+            ),
+            Endpoint::Inf => (Obligation::ExistsUnbounded, Some(Interval::from(s + 1))),
+        },
+        Modality::AlwaysFuture => {
+            let iv = Interval::from(s + 1);
+            (Obligation::ForAll(iv), Some(iv))
+        }
+    })
+}
+
+/// Encodes an abstract snapshot for matching: per-point and rigid bases map
+/// to labeled nulls injectively (rigid bases are odd, per-point even — the
+/// same scheme as the query evaluator).
+fn encode(snap: &ASnapshot, schema: Arc<Schema>) -> Instance {
+    let mut db = Instance::new(schema);
+    for (rel, row) in snap.iter_all() {
+        db.insert(
+            rel,
+            row.iter()
+                .map(|v| match v {
+                    AValue::Const(c) => Value::Const(*c),
+                    AValue::PerPoint(b) => Value::Null(tdx_storage::NullId(2 * b.0)),
+                    AValue::Rigid(b) => Value::Null(tdx_storage::NullId(2 * b.0 + 1)),
+                })
+                .collect(),
+        );
+    }
+    db
+}
+
+/// Checks whether an obligation is met in the target, for the given bound
+/// head variables.
+fn obligation_met(
+    target: &AbstractInstance,
+    head: &[Atom],
+    prebound: &[(Var, Value)],
+    ob: &Obligation,
+) -> Result<bool> {
+    let schema = target.schema_arc();
+    let hom_at = |epoch: &Epoch| -> Result<bool> {
+        Ok(encode(&epoch.snapshot, Arc::clone(&schema)).exists_match(head, prebound)?)
+    };
+    match ob {
+        Obligation::Trivial => Ok(true),
+        Obligation::ForAll(iv) => {
+            for epoch in target.epochs() {
+                if epoch.interval.overlaps(iv) && !hom_at(epoch)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Obligation::ExistsBefore(t) => {
+            for epoch in target.epochs() {
+                if epoch.interval.start() < *t && hom_at(epoch)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Obligation::ExistsAtOrAfter(t) => {
+            for epoch in target.epochs() {
+                if epoch.interval.overlaps(&Interval::from(*t)) && hom_at(epoch)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Obligation::ExistsUnbounded => {
+            let last = target.epochs().last().expect("epochs tile the timeline");
+            hom_at(last)
+        }
+    }
+}
+
+/// One target fact extent used during the temporal chase.
+type Extent = (RelId, crate::abstract_view::ARow, Interval);
+
+fn rebuild(schema: Arc<Schema>, extents: &[Extent]) -> AbstractInstance {
+    let bps = Breakpoints::from_intervals(extents.iter().map(|(_, _, iv)| iv));
+    let epochs = epochs_over_timeline(&bps)
+        .into_iter()
+        .map(|iv| {
+            let mut snap = ASnapshot::new(Arc::clone(&schema));
+            for (rel, row, fiv) in extents {
+                if fiv.covers(&iv) {
+                    snap.insert(*rel, Arc::clone(row));
+                }
+            }
+            Epoch {
+                interval: iv,
+                snapshot: snap,
+            }
+        })
+        .collect();
+    AbstractInstance::from_epochs(schema, epochs)
+        .expect("epochs_over_timeline tiles the timeline")
+        .coalesce()
+}
+
+fn max_null_base(ja: &AbstractInstance) -> u64 {
+    let mut max = 0;
+    for epoch in ja.epochs() {
+        let (pp, rg) = epoch.snapshot.null_bases();
+        for b in pp.iter().chain(rg.iter()) {
+            max = max.max(b.0 + 1);
+        }
+    }
+    max
+}
+
+/// Runs the temporal chase: the ordinary abstract chase for the base
+/// mapping, then modal obligations to a fixpoint, then the egds once more
+/// (witness insertion can create new egd violations).
+pub fn temporal_chase(
+    ia: &AbstractInstance,
+    setting: &TemporalSetting,
+) -> Result<AbstractInstance> {
+    // Phase 1: the non-temporal part.
+    let ja = abstract_chase(ia, &setting.base)?;
+    let schema = ja.schema_arc();
+    let mut nulls = NullGen::starting_at(max_null_base(&ja));
+    let mut extents: Vec<Extent> = Vec::new();
+    for epoch in ja.epochs() {
+        for (rel, row) in epoch.snapshot.iter_all() {
+            extents.push((rel, Arc::clone(row), epoch.interval));
+        }
+    }
+
+    // Phase 2: modal obligations to fixpoint. Insertions only add facts and
+    // obligations are monotone, so each (tgd, hom, epoch) fires at most
+    // once.
+    let src_schema = Arc::new(setting.base.source().clone());
+    loop {
+        let target = rebuild(Arc::clone(&schema), &extents);
+        let mut inserted = false;
+        for tgd in &setting.temporal_tgds {
+            for src_epoch in ia.epochs() {
+                let src_db = encode(&src_epoch.snapshot, Arc::clone(&src_schema));
+                let mut homs: Vec<Vec<(Var, Value)>> = Vec::new();
+                src_db.find_matches(&tgd.body, &[], |m| {
+                    homs.push(m.bindings());
+                    true
+                })?;
+                for h in homs {
+                    let (ob, placement) = obligation(tgd, src_epoch.interval)?;
+                    if obligation_met(&target, &tgd.head, &h, &ob)? {
+                        continue;
+                    }
+                    let Some(witness_iv) = placement else { continue };
+                    // Instantiate the head with fresh per-point families for
+                    // the existentials.
+                    let mut env = h.clone();
+                    for v in tgd.existential_vars() {
+                        env.push((v, Value::Null(nulls.fresh())));
+                    }
+                    for atom in &tgd.head {
+                        let rel = schema.rel_id(atom.relation).expect("validated head");
+                        let row: crate::abstract_view::ARow = atom
+                            .terms
+                            .iter()
+                            .map(|t| match t {
+                                Term::Const(c) => AValue::Const(*c),
+                                Term::Var(v) => {
+                                    let val = env
+                                        .iter()
+                                        .find(|(w, _)| w == v)
+                                        .expect("head var bound")
+                                        .1;
+                                    match val {
+                                        Value::Const(c) => AValue::Const(c),
+                                        Value::Null(b) => AValue::PerPoint(b),
+                                    }
+                                }
+                            })
+                            .collect();
+                        extents.push((rel, row, witness_iv));
+                    }
+                    inserted = true;
+                }
+            }
+        }
+        if !inserted {
+            break;
+        }
+    }
+
+    // Phase 3: egds over the enlarged target, epoch by epoch.
+    let with_witnesses = rebuild(Arc::clone(&schema), &extents);
+    if setting.base.egds().is_empty() {
+        return Ok(with_witnesses);
+    }
+    let mut epochs = Vec::with_capacity(with_witnesses.epochs().len());
+    for epoch in with_witnesses.epochs() {
+        let db = encode(&epoch.snapshot, Arc::clone(&schema));
+        let (after, _) = egd_phase(&db, setting.base.egds()).map_err(|e| match e {
+            TdxError::ChaseFailure {
+                dependency,
+                left,
+                right,
+                ..
+            } => TdxError::ChaseFailure {
+                dependency,
+                left,
+                right,
+                interval: Some(epoch.interval),
+            },
+            other => other,
+        })?;
+        let mut snap = ASnapshot::new(Arc::clone(&schema));
+        for (rel, row) in after.iter_all() {
+            snap.insert(
+                rel,
+                row.iter()
+                    .map(|v| match v {
+                        Value::Const(c) => AValue::Const(*c),
+                        // Decode the injective encoding from `encode`.
+                        Value::Null(b) if b.0 % 2 == 0 => {
+                            AValue::PerPoint(tdx_storage::NullId(b.0 / 2))
+                        }
+                        Value::Null(b) => AValue::Rigid(tdx_storage::NullId((b.0 - 1) / 2)),
+                    })
+                    .collect(),
+            );
+        }
+        epochs.push(Epoch {
+            interval: epoch.interval,
+            snapshot: snap,
+        });
+    }
+    Ok(AbstractInstance::from_epochs(schema, epochs)?.coalesce())
+}
+
+/// Checks the two-sorted FOL semantics of one temporal tgd against a
+/// source/target pair of abstract instances.
+pub fn satisfies_temporal_tgd(
+    src: &AbstractInstance,
+    tgt: &AbstractInstance,
+    tgd: &TemporalTgd,
+) -> Result<bool> {
+    let src_schema = src.schema_arc();
+    for src_epoch in src.epochs() {
+        let src_db = encode(&src_epoch.snapshot, Arc::clone(&src_schema));
+        let mut homs: Vec<Vec<(Var, Value)>> = Vec::new();
+        src_db.find_matches(&tgd.body, &[], |m| {
+            homs.push(m.bindings());
+            true
+        })?;
+        for h in homs {
+            let ob = match obligation(tgd, src_epoch.interval) {
+                Ok((ob, _)) => ob,
+                // Unsatisfiable obligation ⇒ no target satisfies the tgd.
+                Err(TdxError::TemporalUnsatisfiable { .. }) => return Ok(false),
+                Err(other) => return Err(other),
+            };
+            if !obligation_met(tgt, &tgd.head, &h, &ob)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_view::AbstractInstanceBuilder;
+    use tdx_logic::{parse_egd, parse_schema, parse_temporal_tgd, parse_tgd};
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn phd_setting() -> TemporalSetting {
+        let base = SchemaMapping::new(
+            parse_schema("PhDgrad(name). Works(name, dept).").unwrap(),
+            parse_schema("PhDCan(name, adviser, topic). Staff(name, dept).").unwrap(),
+            vec![parse_tgd("Works(n, d) -> Staff(n, d)").unwrap()],
+            vec![],
+        )
+        .unwrap();
+        TemporalSetting::new(
+            base,
+            vec![parse_temporal_tgd(
+                "PhDgrad(n) -> sometime_past exists adv, top . PhDCan(n, adv, top)",
+            )
+            .unwrap()
+            .named("grad")],
+        )
+        .unwrap()
+    }
+
+    fn source_with_grad(over: Interval) -> AbstractInstance {
+        let schema = Arc::new(parse_schema("PhDgrad(name). Works(name, dept).").unwrap());
+        let mut b = AbstractInstanceBuilder::new(schema);
+        b.add("PhDgrad", vec![AValue::str("Ada")], over);
+        b.build()
+    }
+
+    #[test]
+    fn phd_example_places_past_witness() {
+        let setting = phd_setting();
+        let src = source_with_grad(iv(5, 8));
+        let tgt = temporal_chase(&src, &setting).unwrap();
+        // A PhDCan fact with fresh per-point nulls sits at [4, 5).
+        let snap4 = tgt.snapshot_at(4);
+        assert_eq!(snap4.total_len(), 1);
+        let (pp, _) = snap4.null_bases();
+        assert_eq!(pp.len(), 2); // adv and top
+        assert!(tgt.snapshot_at(3).is_empty());
+        assert!(tgt.snapshot_at(5).is_empty());
+        // The result satisfies the modal semantics.
+        assert!(satisfies_temporal_tgd(&src, &tgt, &setting.temporal_tgds[0]).unwrap());
+    }
+
+    #[test]
+    fn graduation_at_time_zero_is_unsatisfiable() {
+        let setting = phd_setting();
+        let src = source_with_grad(iv(0, 3));
+        match temporal_chase(&src, &setting) {
+            Err(TdxError::TemporalUnsatisfiable { dependency, .. }) => {
+                assert_eq!(dependency, "grad");
+            }
+            other => panic!("expected unsatisfiable, got {other:?}"),
+        }
+        // And indeed no target satisfies it.
+        let empty_target = AbstractInstance::empty(Arc::new(
+            parse_schema("PhDCan(name, adviser, topic). Staff(name, dept).").unwrap(),
+        ));
+        assert!(!satisfies_temporal_tgd(&src, &empty_target, &setting.temporal_tgds[0]).unwrap());
+    }
+
+    #[test]
+    fn existing_witness_suppresses_firing() {
+        // If the candidate record is already implied by the base mapping,
+        // the modal tgd must not fire (restricted chase).
+        let base = SchemaMapping::new(
+            parse_schema("PhDgrad(name). Cand(name, adviser, topic).").unwrap(),
+            parse_schema("PhDCan(name, adviser, topic).").unwrap(),
+            vec![parse_tgd("Cand(n, a, t) -> PhDCan(n, a, t)").unwrap()],
+            vec![],
+        )
+        .unwrap();
+        let setting = TemporalSetting::new(
+            base,
+            vec![parse_temporal_tgd(
+                "PhDgrad(n) -> sometime_past exists adv, top . PhDCan(n, adv, top)",
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        let schema =
+            Arc::new(parse_schema("PhDgrad(name). Cand(name, adviser, topic).").unwrap());
+        let mut b = AbstractInstanceBuilder::new(schema);
+        b.add("PhDgrad", vec![AValue::str("Ada")], iv(5, 8));
+        b.add(
+            "Cand",
+            vec![AValue::str("Ada"), AValue::str("Prof"), AValue::str("DBs")],
+            iv(1, 4),
+        );
+        let src = b.build();
+        let tgt = temporal_chase(&src, &setting).unwrap();
+        // No fresh witness: the copied Cand fact at [1,4) already does it.
+        for t in [0u64, 4] {
+            assert!(tgt.snapshot_at(t).is_complete(), "t = {t}");
+        }
+        let total_nulls: usize = tgt
+            .epochs()
+            .iter()
+            .map(|e| {
+                let (pp, rg) = e.snapshot.null_bases();
+                pp.len() + rg.len()
+            })
+            .sum();
+        assert_eq!(total_nulls, 0);
+    }
+
+    #[test]
+    fn always_past_fills_prefix() {
+        let base = SchemaMapping::new(
+            parse_schema("Grad(name).").unwrap(),
+            parse_schema("Enrolled(name).").unwrap(),
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let setting = TemporalSetting::new(
+            base,
+            vec![parse_temporal_tgd("Grad(n) -> always_past Enrolled(n)").unwrap()],
+        )
+        .unwrap();
+        let schema = Arc::new(parse_schema("Grad(name).").unwrap());
+        let mut b = AbstractInstanceBuilder::new(schema);
+        b.add("Grad", vec![AValue::str("Ada")], iv(4, 7));
+        let src = b.build();
+        let tgt = temporal_chase(&src, &setting).unwrap();
+        // Enrolled(Ada) must hold at every ℓ' < 6, i.e. on [0, 6).
+        for t in 0..6u64 {
+            assert_eq!(tgt.snapshot_at(t).render(), "{Enrolled(Ada)}", "t = {t}");
+        }
+        assert!(tgt.snapshot_at(6).is_empty());
+        assert!(satisfies_temporal_tgd(&src, &tgt, &setting.temporal_tgds[0]).unwrap());
+    }
+
+    #[test]
+    fn sometime_future_bounded_and_unbounded() {
+        let base = SchemaMapping::new(
+            parse_schema("Hired(name).").unwrap(),
+            parse_schema("Review(name).").unwrap(),
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let setting = TemporalSetting::new(
+            base,
+            vec![parse_temporal_tgd("Hired(n) -> sometime_future Review(n)").unwrap()],
+        )
+        .unwrap();
+        let schema = Arc::new(parse_schema("Hired(name).").unwrap());
+        // Bounded support [2,5): witness at [5,6).
+        let mut b = AbstractInstanceBuilder::new(Arc::clone(&schema));
+        b.add("Hired", vec![AValue::str("Ada")], iv(2, 5));
+        let src = b.build();
+        let tgt = temporal_chase(&src, &setting).unwrap();
+        assert_eq!(tgt.snapshot_at(5).render(), "{Review(Ada)}");
+        assert!(tgt.snapshot_at(6).is_empty());
+        assert!(satisfies_temporal_tgd(&src, &tgt, &setting.temporal_tgds[0]).unwrap());
+        // Unbounded support [2,∞): the witness must recur forever.
+        let mut b = AbstractInstanceBuilder::new(schema);
+        b.add("Hired", vec![AValue::str("Ada")], Interval::from(2));
+        let src = b.build();
+        let tgt = temporal_chase(&src, &setting).unwrap();
+        assert_eq!(tgt.snapshot_at(1_000).render(), "{Review(Ada)}");
+        assert!(satisfies_temporal_tgd(&src, &tgt, &setting.temporal_tgds[0]).unwrap());
+    }
+
+    #[test]
+    fn always_future_fills_suffix() {
+        let base = SchemaMapping::new(
+            parse_schema("Tenured(name).").unwrap(),
+            parse_schema("OnPayroll(name).").unwrap(),
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let setting = TemporalSetting::new(
+            base,
+            vec![parse_temporal_tgd("Tenured(n) -> always_future OnPayroll(n)").unwrap()],
+        )
+        .unwrap();
+        let schema = Arc::new(parse_schema("Tenured(name).").unwrap());
+        let mut b = AbstractInstanceBuilder::new(schema);
+        b.add("Tenured", vec![AValue::str("Ada")], iv(3, 5));
+        let src = b.build();
+        let tgt = temporal_chase(&src, &setting).unwrap();
+        assert!(tgt.snapshot_at(3).is_empty());
+        assert_eq!(tgt.snapshot_at(4).render(), "{OnPayroll(Ada)}");
+        assert_eq!(tgt.snapshot_at(10_000).render(), "{OnPayroll(Ada)}");
+        assert!(satisfies_temporal_tgd(&src, &tgt, &setting.temporal_tgds[0]).unwrap());
+    }
+
+    #[test]
+    fn egds_apply_to_witnesses() {
+        // The modal witness's existential null is merged with a constant by
+        // an egd when a copied fact pins it down at the same snapshot.
+        let base = SchemaMapping::new(
+            parse_schema("Grad(name). Hist(name, adviser).").unwrap(),
+            parse_schema("PhDCan(name, adviser).").unwrap(),
+            vec![parse_tgd("Hist(n, a) -> PhDCan(n, a)").unwrap()],
+            vec![parse_egd("PhDCan(n, a) & PhDCan(n, a2) -> a = a2").unwrap()],
+        )
+        .unwrap();
+        let setting = TemporalSetting::new(
+            base,
+            vec![parse_temporal_tgd(
+                "Grad(n) -> sometime_past exists adv . PhDCan(n, adv)",
+            )
+            .unwrap()],
+        )
+        .unwrap();
+        let schema = Arc::new(parse_schema("Grad(name). Hist(name, adviser).").unwrap());
+        let mut b = AbstractInstanceBuilder::new(schema);
+        b.add("Grad", vec![AValue::str("Ada")], iv(6, 8));
+        // Known adviser exactly at the witness point 5.
+        b.add(
+            "Hist",
+            vec![AValue::str("Ada"), AValue::str("Prof")],
+            iv(5, 6),
+        );
+        let src = b.build();
+        let tgt = temporal_chase(&src, &setting).unwrap();
+        // The ◇⁻ obligation is already satisfied by the copied Hist fact at
+        // 5 < 6, so no fresh null is even created.
+        assert_eq!(tgt.snapshot_at(5).render(), "{PhDCan(Ada, Prof)}");
+        assert!(tgt.snapshot_at(5).is_complete());
+    }
+
+    #[test]
+    fn now_modality_equals_plain_abstract_chase() {
+        let base = SchemaMapping::new(
+            parse_schema("E(name, company).").unwrap(),
+            parse_schema("Emp(name, company, salary).").unwrap(),
+            vec![],
+            vec![],
+        )
+        .unwrap();
+        let setting = TemporalSetting::new(
+            base.clone(),
+            vec![parse_temporal_tgd("E(n,c) -> now exists s . Emp(n,c,s)").unwrap()],
+        )
+        .unwrap();
+        let schema = Arc::new(parse_schema("E(name, company).").unwrap());
+        let mut b = AbstractInstanceBuilder::new(schema);
+        b.add(
+            "E",
+            vec![AValue::str("Ada"), AValue::str("IBM")],
+            iv(2, 6),
+        );
+        let src = b.build();
+        let via_temporal = temporal_chase(&src, &setting).unwrap();
+        let plain_mapping = SchemaMapping::new(
+            base.source().clone(),
+            base.target().clone(),
+            vec![parse_tgd("E(n,c) -> exists s . Emp(n,c,s)").unwrap()],
+            vec![],
+        )
+        .unwrap();
+        let via_plain = abstract_chase(&src, &plain_mapping).unwrap();
+        assert!(crate::hom::hom_equivalent(&via_temporal, &via_plain));
+    }
+}

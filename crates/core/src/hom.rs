@@ -1,0 +1,472 @@
+//! Homomorphisms between instances.
+//!
+//! Two levels, mirroring the paper:
+//!
+//! * [`snapshot_hom`] — classical homomorphisms between relational
+//!   snapshots (identity on constants, nulls map anywhere);
+//! * [`abstract_hom`] — homomorphisms between abstract instances per the
+//!   paper's two-condition definition (Section 3): a *single global* mapping
+//!   of labeled nulls whose restriction to every snapshot is a snapshot
+//!   homomorphism. The null-scope rules make Example 2 come out right:
+//!   a [`AValue::Rigid`] null spanning several time points can never map to
+//!   a [`AValue::PerPoint`] family (`J₁ ↛ J₂`), while per-point families map
+//!   onto rigid nulls pointwise (`J₂ → J₁`).
+
+use crate::abstract_view::{ASnapshot, AValue, AbstractInstance};
+use std::collections::HashMap;
+use tdx_logic::RelId;
+use tdx_storage::{Instance, NullId, Row, Value};
+
+// ---------------------------------------------------------------------
+// Snapshot-level homomorphisms
+// ---------------------------------------------------------------------
+
+/// Searches for a homomorphism `from → to` between snapshots: a mapping of
+/// labeled nulls to values that is the identity on constants and sends every
+/// fact of `from` to a fact of `to`. Returns the null mapping if one exists.
+pub fn snapshot_hom(from: &Instance, to: &Instance) -> Option<HashMap<NullId, Value>> {
+    let mut facts: Vec<(RelId, &Row)> = from.iter_all().collect();
+    // Most-constrained first: facts with fewer nulls prune faster.
+    facts.sort_by_key(|(_, row)| row.iter().filter(|v| v.is_null()).count());
+    let mut assign: HashMap<NullId, Value> = HashMap::new();
+    if search_snapshot(&facts, 0, to, &mut assign) {
+        Some(assign)
+    } else {
+        None
+    }
+}
+
+/// Whether the two snapshots are homomorphically equivalent.
+pub fn hom_equivalent_snapshots(a: &Instance, b: &Instance) -> bool {
+    snapshot_hom(a, b).is_some() && snapshot_hom(b, a).is_some()
+}
+
+fn search_snapshot(
+    facts: &[(RelId, &Row)],
+    depth: usize,
+    to: &Instance,
+    assign: &mut HashMap<NullId, Value>,
+) -> bool {
+    let Some((rel, row)) = facts.get(depth) else {
+        return true;
+    };
+    'candidates: for cand in to.rows(*rel) {
+        let mut newly: Vec<NullId> = Vec::new();
+        for (a, b) in row.iter().zip(cand.iter()) {
+            let ok = match a {
+                Value::Const(_) => a == b,
+                Value::Null(n) => match assign.get(n) {
+                    Some(mapped) => mapped == b,
+                    None => {
+                        assign.insert(*n, *b);
+                        newly.push(*n);
+                        true
+                    }
+                },
+            };
+            if !ok {
+                for n in newly {
+                    assign.remove(&n);
+                }
+                continue 'candidates;
+            }
+        }
+        if search_snapshot(facts, depth + 1, to, assign) {
+            return true;
+        }
+        for n in newly {
+            assign.remove(&n);
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Abstract-level homomorphisms
+// ---------------------------------------------------------------------
+
+/// A source null key: per-point families are scoped to a refined epoch
+/// (their members `(b, ℓ)` are distinct per point, so each epoch's slice can
+/// map independently); rigid nulls are global.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum SrcKey {
+    PerPoint(NullId, usize),
+    Rigid(NullId),
+}
+
+/// The image of a source null inside one epoch. `PerPoint(b')` means the
+/// pointwise-aligned mapping `(b, ℓ) ↦ (b', ℓ)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TgtVal {
+    Const(tdx_logic::Constant),
+    Rigid(NullId),
+    PerPoint(NullId),
+}
+
+fn tgt_val(v: &AValue) -> TgtVal {
+    match v {
+        AValue::Const(c) => TgtVal::Const(*c),
+        AValue::Rigid(b) => TgtVal::Rigid(*b),
+        AValue::PerPoint(b) => TgtVal::PerPoint(*b),
+    }
+}
+
+/// Searches for an abstract homomorphism `from → to`.
+///
+/// Implements Section 3's definition on the finite epoch representation: one
+/// global null mapping whose restriction to every snapshot is a snapshot
+/// homomorphism. Scope rules:
+///
+/// * `PerPoint(b)` in epoch `E` may map pointwise to a constant, to a rigid
+///   target null, or aligned onto a per-point target family of the same
+///   epoch;
+/// * `Rigid(b)` may map to a constant or a rigid target null; it may map to
+///   a per-point target family only when `b` occurs at exactly **one** time
+///   point (otherwise two snapshots would need `h(b)` to be two different
+///   labeled nulls, violating globality — the paper's Example 2).
+pub fn abstract_hom(from: &AbstractInstance, to: &AbstractInstance) -> bool {
+    let zipped = from.zip_refined(to);
+    // Occurrence analysis for rigid source nulls.
+    let mut rigid_occurrences: HashMap<NullId, Vec<usize>> = HashMap::new();
+    for (ei, (_, s_from, _)) in zipped.iter().enumerate() {
+        let (_, rigids) = s_from.null_bases();
+        for b in rigids {
+            rigid_occurrences.entry(b).or_default().push(ei);
+        }
+    }
+    let rigid_single_point: HashMap<NullId, bool> = rigid_occurrences
+        .iter()
+        .map(|(b, eps)| {
+            let single = eps.len() == 1 && zipped[eps[0]].0.len() == Some(1);
+            (*b, single)
+        })
+        .collect();
+
+    // Work list: (epoch index, relation, source row), most-constrained first
+    // inside each epoch.
+    let mut work: Vec<(usize, RelId, &std::sync::Arc<[AValue]>)> = Vec::new();
+    for (ei, (_, s_from, _)) in zipped.iter().enumerate() {
+        let mut facts: Vec<(RelId, &std::sync::Arc<[AValue]>)> = s_from.iter_all().collect();
+        facts.sort_by_key(|(_, row)| row.iter().filter(|v| v.is_null()).count());
+        for (rel, row) in facts {
+            work.push((ei, rel, row));
+        }
+    }
+    let targets: Vec<&ASnapshot> = zipped.iter().map(|(_, _, s_to)| *s_to).collect();
+    let mut assign: HashMap<SrcKey, TgtVal> = HashMap::new();
+    search_abstract(&work, 0, &targets, &rigid_single_point, &mut assign)
+}
+
+fn search_abstract(
+    work: &[(usize, RelId, &std::sync::Arc<[AValue]>)],
+    depth: usize,
+    targets: &[&ASnapshot],
+    rigid_single_point: &HashMap<NullId, bool>,
+    assign: &mut HashMap<SrcKey, TgtVal>,
+) -> bool {
+    let Some((ei, rel, row)) = work.get(depth) else {
+        return true;
+    };
+    let target = targets[*ei];
+    'candidates: for cand in target.rows(*rel) {
+        let mut newly: Vec<SrcKey> = Vec::new();
+        for (a, b) in row.iter().zip(cand.iter()) {
+            let w = tgt_val(b);
+            let ok = match a {
+                AValue::Const(c) => w == TgtVal::Const(*c),
+                AValue::PerPoint(n) => {
+                    let key = SrcKey::PerPoint(*n, *ei);
+                    match assign.get(&key) {
+                        Some(mapped) => *mapped == w,
+                        None => {
+                            assign.insert(key, w);
+                            newly.push(key);
+                            true
+                        }
+                    }
+                }
+                AValue::Rigid(n) => {
+                    let key = SrcKey::Rigid(*n);
+                    let scope_ok = match w {
+                        TgtVal::PerPoint(_) => {
+                            rigid_single_point.get(n).copied().unwrap_or(false)
+                        }
+                        _ => true,
+                    };
+                    scope_ok
+                        && match assign.get(&key) {
+                            Some(mapped) => *mapped == w,
+                            None => {
+                                assign.insert(key, w);
+                                newly.push(key);
+                                true
+                            }
+                        }
+                }
+            };
+            if !ok {
+                for k in newly {
+                    assign.remove(&k);
+                }
+                continue 'candidates;
+            }
+        }
+        if search_abstract(work, depth + 1, targets, rigid_single_point, assign) {
+            return true;
+        }
+        for k in newly {
+            assign.remove(&k);
+        }
+    }
+    false
+}
+
+/// Homomorphic equivalence `a ∼ b` — the relation of Corollary 20.
+pub fn hom_equivalent(a: &AbstractInstance, b: &AbstractInstance) -> bool {
+    abstract_hom(a, b) && abstract_hom(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_view::AbstractInstanceBuilder;
+    use std::sync::Arc;
+    use tdx_logic::{RelationSchema, Schema};
+    use tdx_storage::row;
+    use tdx_temporal::Interval;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![RelationSchema::new("Emp", &["name", "company", "salary"])]).unwrap(),
+        )
+    }
+
+    // ----- snapshot level -----
+
+    #[test]
+    fn snapshot_hom_basic() {
+        let s = schema();
+        let mut a = Instance::new(Arc::clone(&s));
+        a.insert_values(
+            "Emp",
+            [Value::str("Ada"), Value::str("IBM"), Value::Null(NullId(0))],
+        );
+        let mut b = Instance::new(Arc::clone(&s));
+        b.insert_values(
+            "Emp",
+            [Value::str("Ada"), Value::str("IBM"), Value::str("18k")],
+        );
+        // Null can map to the constant.
+        let h = snapshot_hom(&a, &b).unwrap();
+        assert_eq!(h[&NullId(0)], Value::str("18k"));
+        // But not the other way: constants are rigid.
+        assert!(snapshot_hom(&b, &a).is_none());
+    }
+
+    #[test]
+    fn snapshot_hom_needs_consistent_nulls() {
+        let s = schema();
+        // a: Emp(Ada, IBM, N0), Emp(Bob, IBM, N0) — same unknown salary.
+        let mut a = Instance::new(Arc::clone(&s));
+        a.insert_values(
+            "Emp",
+            [Value::str("Ada"), Value::str("IBM"), Value::Null(NullId(0))],
+        );
+        a.insert_values(
+            "Emp",
+            [Value::str("Bob"), Value::str("IBM"), Value::Null(NullId(0))],
+        );
+        // b: different salaries.
+        let mut b = Instance::new(Arc::clone(&s));
+        b.insert_values(
+            "Emp",
+            [Value::str("Ada"), Value::str("IBM"), Value::str("18k")],
+        );
+        b.insert_values(
+            "Emp",
+            [Value::str("Bob"), Value::str("IBM"), Value::str("13k")],
+        );
+        assert!(snapshot_hom(&a, &b).is_none());
+        // With independent nulls it works.
+        let mut a2 = Instance::new(Arc::clone(&s));
+        a2.insert_values(
+            "Emp",
+            [Value::str("Ada"), Value::str("IBM"), Value::Null(NullId(0))],
+        );
+        a2.insert_values(
+            "Emp",
+            [Value::str("Bob"), Value::str("IBM"), Value::Null(NullId(1))],
+        );
+        assert!(snapshot_hom(&a2, &b).is_some());
+    }
+
+    #[test]
+    fn snapshot_hom_empty_source() {
+        let s = schema();
+        let a = Instance::new(Arc::clone(&s));
+        let mut b = Instance::new(Arc::clone(&s));
+        b.insert(
+            tdx_logic::RelId(0),
+            row([Value::str("x"), Value::str("y"), Value::str("z")]),
+        );
+        assert!(snapshot_hom(&a, &b).is_some());
+        assert!(snapshot_hom(&b, &a).is_none());
+    }
+
+    // ----- abstract level: the paper's Example 2 -----
+
+    /// J₁: Emp(Ada, IBM, N) in db₀ and db₁ with the *same* null N.
+    fn j1() -> AbstractInstance {
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![
+                AValue::str("Ada"),
+                AValue::str("IBM"),
+                AValue::Rigid(NullId(100)),
+            ],
+            iv(0, 2),
+        );
+        b.build()
+    }
+
+    /// J₂: Emp(Ada, IBM, M₁) in db₀, Emp(Ada, IBM, M₂) in db₁ — fresh per
+    /// point.
+    fn j2() -> AbstractInstance {
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![
+                AValue::str("Ada"),
+                AValue::str("IBM"),
+                AValue::PerPoint(NullId(200)),
+            ],
+            iv(0, 2),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn example2_no_hom_j1_to_j2() {
+        // The rigid N would have to equal M₀ at time 0 and M₁ at time 1 —
+        // impossible for a single global mapping.
+        assert!(!abstract_hom(&j1(), &j2()));
+    }
+
+    #[test]
+    fn example2_hom_j2_to_j1() {
+        // Each Mᵢ maps to N pointwise.
+        assert!(abstract_hom(&j2(), &j1()));
+        assert!(!hom_equivalent(&j1(), &j2()));
+    }
+
+    #[test]
+    fn rigid_to_per_point_allowed_on_single_point() {
+        // If the rigid null occurs at exactly one time point, it is just one
+        // labeled null and may map onto one member of a per-point family.
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![
+                AValue::str("Ada"),
+                AValue::str("IBM"),
+                AValue::Rigid(NullId(5)),
+            ],
+            iv(3, 4),
+        );
+        let single = b.build();
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![
+                AValue::str("Ada"),
+                AValue::str("IBM"),
+                AValue::PerPoint(NullId(9)),
+            ],
+            iv(3, 4),
+        );
+        let target = b.build();
+        assert!(abstract_hom(&single, &target));
+    }
+
+    #[test]
+    fn per_point_aligns_only_within_epoch() {
+        // Source: family over [0,4). Target: families over [0,2) and [2,4)
+        // with different bases — pointwise alignment still works because the
+        // source epoch refines against the target's.
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::PerPoint(NullId(1))],
+            iv(0, 4),
+        );
+        let src = b.build();
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::PerPoint(NullId(2))],
+            iv(0, 2),
+        );
+        b.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::PerPoint(NullId(3))],
+            iv(2, 4),
+        );
+        let tgt = b.build();
+        assert!(abstract_hom(&src, &tgt));
+        assert!(abstract_hom(&tgt, &src));
+    }
+
+    #[test]
+    fn constants_block_homs() {
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("Ada"), AValue::str("IBM"), AValue::str("18k")],
+            iv(0, 2),
+        );
+        let a = b.build();
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("Ada"), AValue::str("IBM"), AValue::str("20k")],
+            iv(0, 2),
+        );
+        let c = b.build();
+        assert!(!abstract_hom(&a, &c));
+        assert!(!abstract_hom(&c, &a));
+    }
+
+    #[test]
+    fn hom_fails_when_target_missing_epoch() {
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::str("C")],
+            iv(0, 4),
+        );
+        let wide = b.build();
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "Emp",
+            vec![AValue::str("A"), AValue::str("B"), AValue::str("C")],
+            iv(0, 2),
+        );
+        let narrow = b.build();
+        assert!(!abstract_hom(&wide, &narrow));
+        assert!(abstract_hom(&narrow, &wide));
+    }
+
+    #[test]
+    fn empty_instance_maps_anywhere() {
+        let s = schema();
+        let empty = AbstractInstance::empty(Arc::clone(&s));
+        assert!(abstract_hom(&empty, &j1()));
+        assert!(abstract_hom(&empty, &j2()));
+        assert!(!abstract_hom(&j1(), &empty));
+    }
+}

@@ -1,0 +1,83 @@
+//! # tdx-core — Temporal Data Exchange
+//!
+//! A from-scratch implementation of *Temporal Data Exchange* (Golshanara &
+//! Chomicki): the chase for temporal databases under non-temporal schema
+//! mappings, with both the **abstract view** (sequences of snapshots, the
+//! semantics) and the **concrete view** (interval-timestamped facts, the
+//! implementation).
+//!
+//! The pieces, by paper section:
+//!
+//! | Paper | Module |
+//! |-------|--------|
+//! | §2 abstract/concrete views, `⟦·⟧` | [`abstract_view`], [`semantics`] |
+//! | §3 abstract chase, homomorphisms, universal solutions | [`chase::abstract_chase`], [`hom`] |
+//! | §4.1 interval-annotated nulls | `tdx_storage::NullId` + fact intervals |
+//! | §4.2 normalization (naïve + Algorithm 1) | [`normalize`] |
+//! | §4.3 the c-chase | [`chase::concrete`] |
+//! | §5 naïve evaluation, certain answers | [`query`] |
+//! | Prop. 4, Thm. 19, Cor. 20, Thm. 21, Cor. 22 | [`verify`], [`query::certain`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use tdx_core::exchange::DataExchange;
+//! use tdx_logic::{parse_mapping, parse_query};
+//! use tdx_temporal::Interval;
+//!
+//! let engine = DataExchange::new(parse_mapping(
+//!     "source { E(name, company)  S(name, salary) }
+//!      target { Emp(name, company, salary) }
+//!      tgd st1: E(n,c) -> exists s . Emp(n,c,s)
+//!      tgd st2: E(n,c) & S(n,s) -> Emp(n,c,s)
+//!      egd fd: Emp(n,c,s) & Emp(n,c,s2) -> s = s2",
+//! ).unwrap());
+//!
+//! let mut source = engine.new_source();
+//! source.insert_strs("E", &["Ada", "IBM"], Interval::new(2012, 2014));
+//! source.insert_strs("S", &["Ada", "18k"], Interval::from(2013));
+//!
+//! let solution = engine.exchange(&source).unwrap();
+//! let q = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
+//! let answers = engine.certain_answers(&source, &q).unwrap();
+//! assert_eq!(answers.at(2013).len(), 1);
+//! assert!(answers.at(2012).is_empty()); // salary unknown in 2012
+//! # let _ = solution;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod abstract_view;
+pub mod chase;
+pub mod error;
+pub mod exchange;
+pub mod extension;
+pub mod hom;
+pub mod normalize;
+pub mod query;
+pub mod semantics;
+pub mod verify;
+
+pub use abstract_view::{arow, ARow, ASnapshot, AValue, AbstractInstance, AbstractInstanceBuilder, Epoch};
+pub use chase::abstract_chase::{abstract_chase, abstract_chase_parallel};
+pub use chase::concrete::{c_chase, c_chase_with, CChaseResult, ChaseOptions, ChaseStats};
+pub use chase::snapshot::snapshot_chase;
+pub use error::{Result, TdxError};
+pub use exchange::DataExchange;
+pub use extension::cores::{concrete_core, snapshot_core};
+pub use extension::temporal_chase::{satisfies_temporal_tgd, temporal_chase, TemporalSetting};
+pub use hom::{abstract_hom, hom_equivalent, hom_equivalent_snapshots, snapshot_hom};
+pub use normalize::{
+    candidate_groups, has_empty_intersection_property, naive_normalize, normalize, FactRef,
+};
+pub use query::certain::{
+    certain_answers_abstract, certain_answers_concrete, naive_eval_abstract, theorem21_holds,
+    EpochAnswers,
+};
+pub use query::concrete::{naive_eval_concrete, TemporalAnswers};
+pub use query::naive::{eval_cq_raw, naive_eval_snapshot};
+pub use semantics::{concretize, semantics};
+pub use verify::{
+    alignment_holds, is_solution_abstract, is_solution_concrete, is_universal_among,
+    satisfies_egd, satisfies_tgd,
+};

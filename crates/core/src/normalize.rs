@@ -1,0 +1,396 @@
+//! Normalization of concrete instances (paper Section 4.2).
+//!
+//! To check a dependency whose atoms share the temporal variable `t` against
+//! a concrete instance, time intervals must "behave as constants": the
+//! instance must have the **normalization property** w.r.t. the dependency's
+//! left-hand side, which Theorem 11 proves equivalent to the **empty
+//! intersection property** (Definition 10). Both normalization algorithms of
+//! the paper fragment facts until that property holds:
+//!
+//! * [`naive_normalize`] — fragment every fact at every distinct endpoint of
+//!   the instance; `O(n log n)` but oblivious to the schema mapping, so it
+//!   can produce many unnecessary fragments (Figure 6);
+//! * [`normalize`] — Algorithm 1 `norm(I_c, Φ⁺)`: only facts that jointly
+//!   satisfy some conjunction `φ∗ ∈ N(Φ⁺)` with overlapping intervals are
+//!   grouped (merging overlapping groups), and each group is fragmented at
+//!   its own endpoints only (Figures 5, 7→8).
+
+use crate::error::Result;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use tdx_storage::{TemporalInstance, TemporalMode};
+use tdx_temporal::{fragment_interval, Breakpoints, Interval};
+use tdx_logic::{Atom, RelId};
+
+/// A fact identity inside one instance: `(relation, row index)`.
+pub type FactRef = (RelId, u32);
+
+/// Fragments **every** fact at **every** distinct start/end point of the
+/// instance — the paper's naïve normalization (`Φ⁺ = ∅` grouping).
+pub fn naive_normalize(ic: &TemporalInstance) -> TemporalInstance {
+    let bps = ic.endpoints();
+    let mut out = TemporalInstance::new(ic.schema_arc());
+    for (rel, fact) in ic.iter_all() {
+        for iv in fragment_interval(&fact.interval, &bps) {
+            out.insert(rel, Arc::clone(&fact.data), iv);
+        }
+    }
+    out
+}
+
+/// The groups computed by Algorithm 1 before fragmentation: maximal merged
+/// sets of facts that co-occur in the image of some `φ∗ ∈ N(Φ⁺)` with
+/// non-empty interval intersection. Exposed for tests and the experiment
+/// harness (Example 14 inspects `S` and `S∩`).
+pub fn candidate_groups(
+    ic: &TemporalInstance,
+    conjunctions: &[&[Atom]],
+) -> Result<Vec<BTreeSet<FactRef>>> {
+    // Step 1 (line 3): S = all images of some φ∗ with ⋂ f[T] ≠ ∅.
+    // `TemporalMode::FreeOverlapping` enforces the intersection condition
+    // during the search.
+    let mut sets: Vec<BTreeSet<FactRef>> = Vec::new();
+    let mut seen: BTreeSet<BTreeSet<FactRef>> = BTreeSet::new();
+    for atoms in conjunctions {
+        ic.find_matches(atoms, TemporalMode::FreeOverlapping, &[], None, |m| {
+            let image: BTreeSet<FactRef> = m.atom_rows().iter().copied().collect();
+            if seen.insert(image.clone()) {
+                sets.push(image);
+            }
+            true
+        })?;
+    }
+    // Steps 2–3 (lines 4–10): merge sets sharing a fact until disjoint.
+    // Union-find keyed by set index, driven by fact membership.
+    let mut parent: Vec<usize> = (0..sets.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    let mut owner: HashMap<FactRef, usize> = HashMap::new();
+    for i in 0..sets.len() {
+        let members: Vec<FactRef> = sets[i].iter().copied().collect();
+        for f in members {
+            match owner.get(&f) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    owner.insert(f, i);
+                }
+            }
+        }
+    }
+    let mut merged: HashMap<usize, BTreeSet<FactRef>> = HashMap::new();
+    for i in 0..sets.len() {
+        let r = find(&mut parent, i);
+        merged.entry(r).or_default().extend(sets[i].iter().copied());
+    }
+    let mut groups: Vec<BTreeSet<FactRef>> = merged.into_values().collect();
+    groups.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
+    Ok(groups)
+}
+
+/// Algorithm 1 `norm(I_c, Φ⁺)`: fragments exactly the facts in the merged
+/// candidate groups, each at the distinct endpoints of its own group
+/// (`TP_Δ`). Facts outside every group are copied unchanged.
+///
+/// The output has the empty intersection property w.r.t. `conjunctions`
+/// (Theorem 15) and represents the same abstract instance (fragmentation
+/// preserves `⟦·⟧`; null bases are kept, so the fragments of an annotated
+/// null `N^[s,e)` still denote the family `⟨N_s, …, N_{e−1}⟩`).
+pub fn normalize(
+    ic: &TemporalInstance,
+    conjunctions: &[&[Atom]],
+) -> Result<TemporalInstance> {
+    let groups = candidate_groups(ic, conjunctions)?;
+    normalize_with_groups(ic, &groups)
+}
+
+/// The fragmentation phase of Algorithm 1 (lines 11–18), given the merged
+/// groups.
+pub fn normalize_with_groups(
+    ic: &TemporalInstance,
+    groups: &[BTreeSet<FactRef>],
+) -> Result<TemporalInstance> {
+    // Per-fact breakpoints: TP_Δ of the group the fact belongs to.
+    let mut fact_group: HashMap<FactRef, usize> = HashMap::new();
+    let mut group_bps: Vec<Breakpoints> = Vec::with_capacity(groups.len());
+    for (gi, group) in groups.iter().enumerate() {
+        let ivs: Vec<Interval> = group
+            .iter()
+            .map(|&(rel, row)| ic.facts(rel)[row as usize].interval)
+            .collect();
+        group_bps.push(Breakpoints::from_intervals(ivs.iter()));
+        for &f in group {
+            fact_group.insert(f, gi);
+        }
+    }
+    let mut out = TemporalInstance::new(ic.schema_arc());
+    for r in 0..ic.schema().len() {
+        let rel = RelId(r as u32);
+        for (row, fact) in ic.facts(rel).iter().enumerate() {
+            match fact_group.get(&(rel, row as u32)) {
+                Some(&gi) => {
+                    for iv in fragment_interval(&fact.interval, &group_bps[gi]) {
+                        out.insert(rel, Arc::clone(&fact.data), iv);
+                    }
+                }
+                None => {
+                    out.insert(rel, Arc::clone(&fact.data), fact.interval);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Checks the **empty intersection property** (Definition 10): for every
+/// homomorphism from some `φ∗ ∈ N(Φ⁺)` to the instance, the matched facts'
+/// intervals are either pairwise identical or have an empty common
+/// intersection. By Theorem 11 this is equivalent to the normalization
+/// property.
+pub fn has_empty_intersection_property(
+    ic: &TemporalInstance,
+    conjunctions: &[&[Atom]],
+) -> Result<bool> {
+    for atoms in conjunctions {
+        let mut ok = true;
+        ic.find_matches(atoms, TemporalMode::Free, &[], None, |m| {
+            let mut distinct: BTreeSet<Interval> = BTreeSet::new();
+            for i in 0..m.atom_rows().len() {
+                if let Some(iv) = m.atom_interval(i) {
+                    distinct.insert(iv);
+                }
+            }
+            if distinct.len() <= 1 {
+                return true; // all equal — condition 2 of Definition 10
+            }
+            // Otherwise the common intersection must be empty.
+            let mut acc: Option<Interval> = None;
+            let mut empty = false;
+            for iv in &distinct {
+                acc = match acc {
+                    None => Some(*iv),
+                    Some(a) => match a.intersect(iv) {
+                        Some(x) => Some(x),
+                        None => {
+                            empty = true;
+                            break;
+                        }
+                    },
+                };
+            }
+            if empty {
+                true
+            } else {
+                ok = false;
+                false // stop early: property violated
+            }
+        })?;
+        if !ok {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::semantics;
+    use std::sync::Arc;
+    use tdx_logic::{parse_tgd, RelationSchema, Schema};
+    use tdx_temporal::Interval;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn body(src: &str) -> Vec<Atom> {
+        parse_tgd(&format!("{src} -> Sink()")).unwrap().body
+    }
+
+    fn paper_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                RelationSchema::new("E", &["name", "company"]),
+                RelationSchema::new("S", &["name", "salary"]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Figure 4.
+    fn figure4() -> TemporalInstance {
+        let mut i = TemporalInstance::new(paper_schema());
+        i.insert_strs("E", &["Ada", "IBM"], iv(2012, 2014));
+        i.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
+        i.insert_strs("E", &["Bob", "IBM"], iv(2013, 2018));
+        i.insert_strs("S", &["Ada", "18k"], Interval::from(2013));
+        i.insert_strs("S", &["Bob", "13k"], Interval::from(2015));
+        i
+    }
+
+    #[test]
+    fn figure5_normalization() {
+        // norm(Figure 4, {E+(n,c,t) ∧ S+(n,s,t)}) = Figure 5 exactly.
+        let ic = figure4();
+        let phi = body("E(n,c) & S(n,s)");
+        let out = normalize(&ic, &[&phi]).unwrap();
+        let mut expected = TemporalInstance::new(paper_schema());
+        expected.insert_strs("E", &["Ada", "IBM"], iv(2012, 2013));
+        expected.insert_strs("E", &["Ada", "IBM"], iv(2013, 2014));
+        expected.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
+        expected.insert_strs("E", &["Bob", "IBM"], iv(2013, 2015));
+        expected.insert_strs("E", &["Bob", "IBM"], iv(2015, 2018));
+        expected.insert_strs("S", &["Ada", "18k"], iv(2013, 2014));
+        expected.insert_strs("S", &["Ada", "18k"], Interval::from(2014));
+        expected.insert_strs("S", &["Bob", "13k"], iv(2015, 2018));
+        expected.insert_strs("S", &["Bob", "13k"], Interval::from(2018));
+        assert_eq!(out, expected);
+        assert_eq!(out.total_len(), 9);
+    }
+
+    #[test]
+    fn figure6_naive_normalization() {
+        // Naïve normalization of Figure 4 = Figure 6: 14 facts.
+        let out = naive_normalize(&figure4());
+        let mut expected = TemporalInstance::new(paper_schema());
+        expected.insert_strs("E", &["Ada", "IBM"], iv(2012, 2013));
+        expected.insert_strs("E", &["Ada", "IBM"], iv(2013, 2014));
+        expected.insert_strs("E", &["Ada", "Google"], iv(2014, 2015));
+        expected.insert_strs("E", &["Ada", "Google"], iv(2015, 2018));
+        expected.insert_strs("E", &["Ada", "Google"], Interval::from(2018));
+        expected.insert_strs("E", &["Bob", "IBM"], iv(2013, 2014));
+        expected.insert_strs("E", &["Bob", "IBM"], iv(2014, 2015));
+        expected.insert_strs("E", &["Bob", "IBM"], iv(2015, 2018));
+        expected.insert_strs("S", &["Ada", "18k"], iv(2013, 2014));
+        expected.insert_strs("S", &["Ada", "18k"], iv(2014, 2015));
+        expected.insert_strs("S", &["Ada", "18k"], iv(2015, 2018));
+        expected.insert_strs("S", &["Ada", "18k"], Interval::from(2018));
+        expected.insert_strs("S", &["Bob", "13k"], iv(2015, 2018));
+        expected.insert_strs("S", &["Bob", "13k"], Interval::from(2018));
+        assert_eq!(out, expected);
+        assert_eq!(out.total_len(), 14);
+    }
+
+    fn example14_schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                RelationSchema::new("R", &["a"]),
+                RelationSchema::new("P", &["a"]),
+                RelationSchema::new("S", &["a"]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Figure 7: f1..f5.
+    fn figure7() -> TemporalInstance {
+        let mut i = TemporalInstance::new(example14_schema());
+        i.insert_strs("R", &["a"], iv(5, 11)); // f1
+        i.insert_strs("P", &["a"], iv(8, 15)); // f2
+        i.insert_strs("P", &["b"], iv(20, 25)); // f4
+        i.insert_strs("S", &["a"], iv(7, 10)); // f3
+        i.insert_strs("S", &["b"], Interval::from(18)); // f5
+        i
+    }
+
+    #[test]
+    fn example14_groups() {
+        // φ1: R+(x,t1) ∧ P+(y,t2), φ2: P+(x,t1) ∧ S+(y,t2).
+        let ic = figure7();
+        let phi1 = body("R(x) & P(y)");
+        let phi2 = body("P(x) & S(y)");
+        let groups = candidate_groups(&ic, &[&phi1, &phi2]).unwrap();
+        // After merging: {f1,f2,f3} and {f4,f5}.
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        assert_eq!(sizes, vec![3, 2]);
+    }
+
+    #[test]
+    fn example14_output_is_figure8() {
+        let ic = figure7();
+        let phi1 = body("R(x) & P(y)");
+        let phi2 = body("P(x) & S(y)");
+        let out = normalize(&ic, &[&phi1, &phi2]).unwrap();
+        let mut expected = TemporalInstance::new(example14_schema());
+        // f1 → [5,7),[7,8),[8,10),[10,11)
+        expected.insert_strs("R", &["a"], iv(5, 7));
+        expected.insert_strs("R", &["a"], iv(7, 8));
+        expected.insert_strs("R", &["a"], iv(8, 10));
+        expected.insert_strs("R", &["a"], iv(10, 11));
+        // f2 → [8,10),[10,11),[11,15)
+        expected.insert_strs("P", &["a"], iv(8, 10));
+        expected.insert_strs("P", &["a"], iv(10, 11));
+        expected.insert_strs("P", &["a"], iv(11, 15));
+        // f4 → [20,25)
+        expected.insert_strs("P", &["b"], iv(20, 25));
+        // f3 → [7,8),[8,10)   (paper's f31/f32 — Figure 8 has a typo
+        // listing f31 twice)
+        expected.insert_strs("S", &["a"], iv(7, 8));
+        expected.insert_strs("S", &["a"], iv(8, 10));
+        // f5 → [18,20),[20,25),[25,∞)
+        expected.insert_strs("S", &["b"], iv(18, 20));
+        expected.insert_strs("S", &["b"], iv(20, 25));
+        expected.insert_strs("S", &["b"], Interval::from(25));
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn normalized_output_has_empty_intersection_property() {
+        let ic = figure4();
+        let phi = body("E(n,c) & S(n,s)");
+        assert!(!has_empty_intersection_property(&ic, &[&phi]).unwrap());
+        let out = normalize(&ic, &[&phi]).unwrap();
+        assert!(has_empty_intersection_property(&out, &[&phi]).unwrap());
+        // Naïve normalization also satisfies it.
+        let naive = naive_normalize(&ic);
+        assert!(has_empty_intersection_property(&naive, &[&phi]).unwrap());
+    }
+
+    #[test]
+    fn normalization_preserves_semantics() {
+        let ic = figure4();
+        let phi = body("E(n,c) & S(n,s)");
+        let out = normalize(&ic, &[&phi]).unwrap();
+        assert!(semantics(&ic).eq_semantic(&semantics(&out)));
+        let naive = naive_normalize(&ic);
+        assert!(semantics(&ic).eq_semantic(&semantics(&naive)));
+    }
+
+    #[test]
+    fn normalize_with_no_conjunctions_is_identity() {
+        let ic = figure4();
+        let out = normalize(&ic, &[]).unwrap();
+        assert_eq!(out, ic);
+    }
+
+    #[test]
+    fn already_normalized_is_fixpoint() {
+        let ic = figure4();
+        let phi = body("E(n,c) & S(n,s)");
+        let once = normalize(&ic, &[&phi]).unwrap();
+        let twice = normalize(&once, &[&phi]).unwrap();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn single_atom_conjunction_never_fragments() {
+        // A single-atom body always maps t to one fact's interval; every
+        // instance is already normalized for it.
+        let ic = figure4();
+        let phi = body("E(n,c)");
+        assert!(has_empty_intersection_property(&ic, &[&phi]).unwrap());
+        let out = normalize(&ic, &[&phi]).unwrap();
+        assert_eq!(out, ic);
+    }
+}

@@ -1,0 +1,294 @@
+//! Naïve evaluation of `q⁺` on concrete instances (paper Section 5).
+//!
+//! Given a union of conjunctive queries `q⁺` and a concrete solution `J_c`,
+//! `q⁺(J_c)↓` is computed per disjunct `q′`:
+//!
+//! 1. normalize `J_c` w.r.t. `q′`'s body, so a shared interval variable `t`
+//!    can be matched;
+//! 2. treat interval-annotated nulls as fresh constants (our values already
+//!    behave like that);
+//! 3. evaluate, mapping `t` to an interval;
+//! 4. drop tuples containing nulls.
+//!
+//! Theorem 21: `⟦q⁺(J_c)↓⟧ = q(⟦J_c⟧)↓` — the result, read as a temporal
+//! relation, equals snapshot-wise naïve evaluation of `q` on the abstract
+//! view.
+
+use crate::error::Result;
+use crate::normalize::normalize;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use tdx_logic::{Constant, Term, UnionQuery};
+use tdx_storage::{TemporalInstance, TemporalMode};
+use tdx_temporal::{partition::epochs_over_timeline, Breakpoints, Interval, IntervalSet, TimePoint};
+
+/// The answers of a temporal query: a set of constant tuples, each holding
+/// over a coalesced set of intervals.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct TemporalAnswers {
+    rows: BTreeMap<Vec<Constant>, IntervalSet>,
+}
+
+impl TemporalAnswers {
+    /// Empty answer set.
+    pub fn new() -> TemporalAnswers {
+        TemporalAnswers::default()
+    }
+
+    /// Adds one answer tuple over one interval.
+    pub fn add(&mut self, tuple: Vec<Constant>, iv: Interval) {
+        self.rows.entry(tuple).or_default().insert(iv);
+    }
+
+    /// The distinct answer tuples with their coalesced validity sets.
+    pub fn rows(&self) -> impl Iterator<Item = (&Vec<Constant>, &IntervalSet)> {
+        self.rows.iter()
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no tuple is in the answer.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The snapshot answer set at time `t` — `⟦q⁺(J_c)↓⟧` read at one point.
+    pub fn at(&self, t: TimePoint) -> BTreeSet<Vec<Constant>> {
+        self.rows
+            .iter()
+            .filter(|(_, set)| set.contains(t))
+            .map(|(tuple, _)| tuple.clone())
+            .collect()
+    }
+
+    /// Renders the answers as an aligned table with one row per tuple and a
+    /// coalesced validity column (used by the `tdx query` CLI).
+    pub fn render_table(&self, headers: &[&str]) -> String {
+        let mut hs: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+        hs.push("When".to_owned());
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(tuple, set)| {
+                let mut cells: Vec<String> = tuple.iter().map(|c| c.to_string()).collect();
+                cells.push(set.to_string());
+                cells
+            })
+            .collect();
+        tdx_storage::display::render_table("", &hs, &rows)
+            .trim_start_matches('\n')
+            .to_string()
+    }
+
+    /// The answers as a sequence of `(epoch, snapshot answer set)` pairs
+    /// covering `[0, ∞)`, coalesced — the canonical form used to compare
+    /// against the abstract route (Theorem 21).
+    pub fn epochs(&self) -> Vec<(Interval, BTreeSet<Vec<Constant>>)> {
+        let mut bps = Breakpoints::new();
+        for set in self.rows.values() {
+            for iv in set.intervals() {
+                bps.add_interval(iv);
+            }
+        }
+        let mut out: Vec<(Interval, BTreeSet<Vec<Constant>>)> = Vec::new();
+        for epoch in epochs_over_timeline(&bps) {
+            let answers = self.at(epoch.start());
+            match out.last_mut() {
+                Some((last_iv, last_ans)) if *last_ans == answers => {
+                    *last_iv = last_iv.join(&epoch).expect("adjacent epochs");
+                }
+                _ => out.push((epoch, answers)),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TemporalAnswers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (tuple, set) in &self.rows {
+            let vals: Vec<String> = tuple.iter().map(|c| c.to_string()).collect();
+            writeln!(f, "({}) @ {}", vals.join(", "), set)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for TemporalAnswers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Computes `q⁺(J_c)↓` — naïve evaluation of the temporal counterpart of a
+/// union of conjunctive queries on a concrete instance.
+pub fn naive_eval_concrete(jc: &TemporalInstance, q: &UnionQuery) -> Result<TemporalAnswers> {
+    let mut out = TemporalAnswers::new();
+    for disjunct in q.disjuncts() {
+        // Step 1: normalize w.r.t. this disjunct's body.
+        let normalized = normalize(jc, &[disjunct.body.as_slice()])?;
+        // Steps 2–4: evaluate with shared t; nulls are naïve constants; drop
+        // tuples that still contain one.
+        normalized.find_matches(&disjunct.body, TemporalMode::Shared, &[], None, |m| {
+            let iv = m.shared_interval().expect("temporal store binds t");
+            let tuple: Option<Vec<Constant>> = disjunct
+                .head
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Some(*c),
+                    Term::Var(v) => m.value(*v).expect("safe head var").as_const(),
+                })
+                .collect();
+            if let Some(tuple) = tuple {
+                out.add(tuple, iv);
+            }
+            true
+        })?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdx_logic::{parse_query, parse_union_query, RelationSchema, Schema};
+    use tdx_storage::{NullId, Value};
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn target() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![RelationSchema::new("Emp", &["name", "company", "salary"])]).unwrap(),
+        )
+    }
+
+    /// Figure 9 — the paper's concrete solution.
+    fn figure9() -> TemporalInstance {
+        let mut jc = TemporalInstance::new(target());
+        jc.insert_values(
+            "Emp",
+            [Value::str("Ada"), Value::str("IBM"), Value::Null(NullId(0))],
+            iv(2012, 2013),
+        );
+        jc.insert_strs("Emp", &["Ada", "IBM", "18k"], iv(2013, 2014));
+        jc.insert_strs("Emp", &["Ada", "Google", "18k"], Interval::from(2014));
+        jc.insert_values(
+            "Emp",
+            [Value::str("Bob"), Value::str("IBM"), Value::Null(NullId(1))],
+            iv(2013, 2015),
+        );
+        jc.insert_strs("Emp", &["Bob", "IBM", "13k"], iv(2015, 2018));
+        jc
+    }
+
+    #[test]
+    fn salaries_query_drops_nulls() {
+        let q: UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
+        let ans = naive_eval_concrete(&figure9(), &q).unwrap();
+        // Ada's unknown 2012 salary and Bob's unknown 2013–2015 salary are
+        // dropped; the certain rows remain.
+        let ada = ans
+            .rows()
+            .find(|(t, _)| t[0] == Constant::str("Ada") && t[1] == Constant::str("18k"))
+            .expect("Ada 18k");
+        assert_eq!(ada.1.intervals(), &[Interval::from(2013)]);
+        let bob = ans
+            .rows()
+            .find(|(t, _)| t[0] == Constant::str("Bob"))
+            .expect("Bob 13k");
+        assert_eq!(bob.1.intervals(), &[iv(2015, 2018)]);
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn join_query_needs_normalization() {
+        // Who worked at the same company as Ada (at the same time)?
+        // The bodies join Emp with itself; Figure 9's intervals are not
+        // aligned for that join — normalization inside the evaluator fixes
+        // it.
+        let q: UnionQuery =
+            parse_query("Q(m) :- Emp(Ada, c, s) & Emp(m, c, s2)").unwrap().into();
+        let ans = naive_eval_concrete(&figure9(), &q).unwrap();
+        let bob = ans
+            .rows()
+            .find(|(t, _)| t[0] == Constant::str("Bob"))
+            .expect("Bob shares IBM with Ada");
+        // Ada was at IBM 2012–2014, Bob 2013–2018 ⇒ overlap 2013–2014.
+        assert_eq!(bob.1.intervals(), &[iv(2013, 2014)]);
+        // Ada trivially matches herself whenever employed.
+        let ada = ans
+            .rows()
+            .find(|(t, _)| t[0] == Constant::str("Ada"))
+            .expect("Ada matches herself");
+        assert_eq!(ada.1.intervals(), &[Interval::from(2012)]);
+    }
+
+    #[test]
+    fn answers_at_time_points() {
+        let q: UnionQuery = parse_query("Q(n) :- Emp(n, c, s)").unwrap().into();
+        let ans = naive_eval_concrete(&figure9(), &q).unwrap();
+        // Names are known even when salaries are null? No — the query only
+        // outputs n, and matching n,c are constants, so nulls never block.
+        assert_eq!(ans.at(2012).len(), 1);
+        assert_eq!(ans.at(2013).len(), 2);
+        assert_eq!(ans.at(2020).len(), 1);
+        assert!(ans.at(2000).is_empty());
+    }
+
+    #[test]
+    fn epochs_coalesce() {
+        let q: UnionQuery = parse_query("Q(n) :- Emp(n, c, s)").unwrap().into();
+        let ans = naive_eval_concrete(&figure9(), &q).unwrap();
+        let epochs = ans.epochs();
+        // [0,2012) {}, [2012,2013) {Ada}, [2013,2018) {Ada,Bob}, [2018,∞) {Ada}
+        assert_eq!(epochs.len(), 4);
+        assert!(epochs[0].1.is_empty());
+        assert_eq!(epochs[1].0, iv(2012, 2013));
+        assert_eq!(epochs[1].1.len(), 1);
+        assert_eq!(epochs[2].0, iv(2013, 2018));
+        assert_eq!(epochs[2].1.len(), 2);
+        assert_eq!(epochs[3].0, Interval::from(2018));
+        assert_eq!(epochs[3].1.len(), 1);
+    }
+
+    #[test]
+    fn union_of_queries() {
+        let q = parse_union_query(
+            "Q(n) :- Emp(n, IBM, s); Q(n) :- Emp(n, Google, s)",
+        )
+        .unwrap();
+        let ans = naive_eval_concrete(&figure9(), &q).unwrap();
+        let ada = ans
+            .rows()
+            .find(|(t, _)| t[0] == Constant::str("Ada"))
+            .unwrap();
+        // IBM 2012–2014 union Google 2014–∞ coalesces to [2012, ∞).
+        assert_eq!(ada.1.intervals(), &[Interval::from(2012)]);
+    }
+
+    #[test]
+    fn render_table_aligns_and_labels() {
+        let q: UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
+        let ans = naive_eval_concrete(&figure9(), &q).unwrap();
+        let t = ans.render_table(&["Name", "Salary"]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].contains("Name") && lines[0].contains("When"), "{t}");
+        assert!(t.contains("Ada"), "{t}");
+        assert!(t.contains("{[2013, ∞)}"), "{t}");
+    }
+
+    #[test]
+    fn empty_instance_gives_empty_answers() {
+        let jc = TemporalInstance::new(target());
+        let q: UnionQuery = parse_query("Q(n) :- Emp(n, c, s)").unwrap().into();
+        let ans = naive_eval_concrete(&jc, &q).unwrap();
+        assert!(ans.is_empty());
+        assert_eq!(ans.epochs().len(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! Query answering over temporal data exchange solutions (paper Section 5).
+//!
+//! * [`naive`] — naïve evaluation of (unions of) conjunctive queries on one
+//!   snapshot: labeled nulls behave as fresh constants, output tuples
+//!   containing nulls are dropped;
+//! * [`concrete`] — naïve evaluation of `q⁺` on a concrete solution
+//!   (normalize w.r.t. the query body, evaluate with a shared interval
+//!   variable, drop null rows), producing [`concrete::TemporalAnswers`];
+//! * [`certain`] — certain answers via universal solutions (Corollary 22)
+//!   and the Theorem 21 cross-check between the concrete and abstract
+//!   routes.
+
+pub mod certain;
+pub mod concrete;
+pub mod naive;
+
+pub use certain::{certain_answers_abstract, certain_answers_concrete, theorem21_holds};
+pub use concrete::{naive_eval_concrete, TemporalAnswers};
+pub use naive::{eval_cq_raw, naive_eval_snapshot};

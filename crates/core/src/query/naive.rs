@@ -1,0 +1,126 @@
+//! Naïve evaluation on relational snapshots.
+//!
+//! Naïve tables evaluate unions of conjunctive queries by treating labeled
+//! nulls as fresh constants and dropping result tuples that still contain
+//! one (Imieliński & Lipski; paper Section 5). On a universal solution this
+//! computes exactly the certain answers.
+
+use crate::error::Result;
+use std::collections::BTreeSet;
+use tdx_logic::{Constant, ConjunctiveQuery, Term, UnionQuery};
+use tdx_storage::{Instance, Value};
+
+/// Evaluates one conjunctive query, keeping tuples that contain nulls
+/// (`q(db)` on the naïve table, before the `↓` step).
+pub fn eval_cq_raw(db: &Instance, q: &ConjunctiveQuery) -> Result<BTreeSet<Vec<Value>>> {
+    let mut out = BTreeSet::new();
+    db.find_matches(&q.body, &[], |m| {
+        let tuple: Vec<Value> = q
+            .head
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Value::Const(*c),
+                Term::Var(v) => m.value(*v).expect("safe query: head var bound"),
+            })
+            .collect();
+        out.insert(tuple);
+        true
+    })?;
+    Ok(out)
+}
+
+/// Naïve evaluation `q(db)↓` of a union of conjunctive queries: evaluate
+/// every disjunct, drop tuples containing nulls.
+pub fn naive_eval_snapshot(db: &Instance, q: &UnionQuery) -> Result<BTreeSet<Vec<Constant>>> {
+    let mut out = BTreeSet::new();
+    for disjunct in q.disjuncts() {
+        for tuple in eval_cq_raw(db, disjunct)? {
+            let constants: Option<Vec<Constant>> =
+                tuple.iter().map(|v| v.as_const()).collect();
+            if let Some(t) = constants {
+                out.insert(t);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdx_logic::{parse_query, parse_union_query, RelationSchema, Schema};
+    use tdx_storage::NullId;
+
+    fn target() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                RelationSchema::new("Emp", &["name", "company", "salary"]),
+                RelationSchema::new("Former", &["name"]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn db() -> Instance {
+        let mut db = Instance::new(target());
+        db.insert_values(
+            "Emp",
+            [Value::str("Ada"), Value::str("IBM"), Value::str("18k")],
+        );
+        db.insert_values(
+            "Emp",
+            [Value::str("Bob"), Value::str("IBM"), Value::Null(NullId(0))],
+        );
+        db.insert_values("Former", [Value::str("Cyd")]);
+        db
+    }
+
+    #[test]
+    fn raw_keeps_nulls() {
+        let q = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap();
+        let rows = eval_cq_raw(&db(), &q).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![Value::str("Ada"), Value::str("18k")]));
+        assert!(rows.contains(&vec![Value::str("Bob"), Value::Null(NullId(0))]));
+    }
+
+    #[test]
+    fn naive_drops_null_tuples() {
+        let q: UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
+        let rows = naive_eval_snapshot(&db(), &q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows.contains(&vec![Constant::str("Ada"), Constant::str("18k")]));
+    }
+
+    #[test]
+    fn null_join_succeeds_within_naive_semantics() {
+        // Nulls are constants: Emp(Bob, …, N0) joins with itself on salary.
+        let q: UnionQuery = parse_query("Q(n) :- Emp(n, c, s) & Emp(n, c2, s)")
+            .unwrap()
+            .into();
+        let rows = naive_eval_snapshot(&db(), &q).unwrap();
+        // Bob's tuple joins with itself but N0 never reaches the output;
+        // only the name is output, so both Ada and Bob qualify.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn union_query_merges_disjuncts() {
+        let q = parse_union_query("Q(n) :- Emp(n, c, s); Q(n) :- Former(n)").unwrap();
+        let rows = naive_eval_snapshot(&db(), &q).unwrap();
+        let names: Vec<String> = rows.iter().map(|t| t[0].to_string()).collect();
+        assert_eq!(names, vec!["Ada", "Bob", "Cyd"]);
+    }
+
+    #[test]
+    fn constant_head_terms() {
+        // `works` is lowercase, hence a variable — unsafe head, rejected.
+        assert!(parse_query("Q(n, works) :- Emp(n, c, s)").is_err());
+        // A quoted constant in the head is fine and copied to every tuple.
+        let q: UnionQuery = parse_query("Q(n, 'works') :- Emp(n, c, s)").unwrap().into();
+        let rows = naive_eval_snapshot(&db(), &q).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|t| t[1] == Constant::str("works")));
+    }
+}

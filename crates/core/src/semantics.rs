@@ -1,0 +1,260 @@
+//! The semantic mapping `⟦·⟧` from concrete to abstract instances.
+//!
+//! `⟦I_c⟧ = ⟨db₀, db₁, …⟩` where `db_ℓ` holds `R(ā, Π_ℓ(N̄))` for every
+//! concrete fact `R⁺(ā, N̄, [s,e))` with `s ≤ ℓ < e` (paper Sections 2 and
+//! 4.1). Interval-annotated nulls project to per-point labeled nulls, which
+//! is exactly [`AValue::PerPoint`](crate::abstract_view::AValue::PerPoint).
+
+use crate::abstract_view::{ASnapshot, AbstractInstance, Epoch};
+use tdx_storage::{TemporalInstance, Value};
+use tdx_temporal::partition::epochs_over_timeline;
+
+/// Computes the abstract instance represented by a concrete one.
+///
+/// The resulting epochs are the coalesced refinement of the instance's fact
+/// intervals; every fact's interval is a union of epochs, so the snapshot
+/// inside each epoch is uniform. A null base `N` in a fact with interval
+/// `[s, e)` is the annotated null `N^[s,e)` and contributes the per-point
+/// family `⟨N_s, …, N_{e−1}⟩`.
+pub fn semantics(ic: &TemporalInstance) -> AbstractInstance {
+    let bps = ic.endpoints();
+    let epochs: Vec<Epoch> = epochs_over_timeline(&bps)
+        .into_iter()
+        .map(|iv| {
+            let t = iv.start();
+            let mut snap = ASnapshot::new(ic.schema_arc());
+            for (rel, fact) in ic.iter_all() {
+                if fact.interval.contains(t) {
+                    snap.insert(
+                        rel,
+                        fact.data
+                            .iter()
+                            .map(|v| match v {
+                                Value::Const(c) => crate::abstract_view::AValue::Const(*c),
+                                Value::Null(b) => crate::abstract_view::AValue::PerPoint(*b),
+                            })
+                            .collect(),
+                    );
+                }
+            }
+            Epoch {
+                interval: iv,
+                snapshot: snap,
+            }
+        })
+        .collect();
+    AbstractInstance::from_epochs(ic.schema_arc(), epochs)
+        .expect("epochs_over_timeline yields a valid partition")
+        .coalesce()
+}
+
+/// The inverse of [`semantics`]: represents an abstract instance as a
+/// concrete one, provided that is possible.
+///
+/// Per-point null families become interval-annotated nulls (their defining
+/// property, Section 4.1); constants become time-stamped facts; adjacent
+/// epochs coalesce. A [`AValue::Rigid`](crate::abstract_view::AValue::Rigid)
+/// null spanning more than one time point has **no** concrete
+/// representation — an annotated null denotes *distinct* per-snapshot
+/// values — so it is rejected. (A rigid null at a single time point is
+/// indistinguishable from a one-point family and is accepted.)
+pub fn concretize(
+    ia: &AbstractInstance,
+) -> crate::error::Result<tdx_storage::TemporalInstance> {
+    use crate::abstract_view::AValue;
+    let mut out = tdx_storage::TemporalInstance::new(ia.schema_arc());
+    for epoch in ia.epochs() {
+        for (rel, row) in epoch.snapshot.iter_all() {
+            let data: crate::error::Result<Vec<Value>> = row
+                .iter()
+                .map(|v| match v {
+                    AValue::Const(c) => Ok(Value::Const(*c)),
+                    AValue::PerPoint(b) => Ok(Value::Null(*b)),
+                    AValue::Rigid(b) => {
+                        if epoch.interval.is_point() {
+                            Ok(Value::Null(*b))
+                        } else {
+                            Err(crate::error::TdxError::Invalid(format!(
+                                "rigid null N{} spans {} and cannot be represented by an \
+                                 interval-annotated null",
+                                b.0, epoch.interval
+                            )))
+                        }
+                    }
+                })
+                .collect();
+            out.insert(rel, data?.into(), epoch.interval);
+        }
+    }
+    // Rigid nulls spanning multiple single-point epochs would also be lost;
+    // detect them across epochs.
+    let mut seen_rigid: std::collections::HashMap<tdx_storage::NullId, Interval> =
+        std::collections::HashMap::new();
+    for epoch in ia.epochs() {
+        let (_, rigids) = epoch.snapshot.null_bases();
+        for b in rigids {
+            if let Some(prev) = seen_rigid.insert(b, epoch.interval) {
+                return Err(crate::error::TdxError::Invalid(format!(
+                    "rigid null N{} occurs in both {prev} and {} — not concretizable",
+                    b.0, epoch.interval
+                )));
+            }
+        }
+    }
+    Ok(out.coalesced())
+}
+
+use tdx_temporal::Interval;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdx_logic::{RelationSchema, Schema};
+    use tdx_storage::NullId;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                RelationSchema::new("E", &["name", "company"]),
+                RelationSchema::new("S", &["name", "salary"]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Figure 4 → Figure 1: the semantics of the concrete source instance is
+    /// the snapshot sequence of Figure 1.
+    #[test]
+    fn figure4_semantics_is_figure1() {
+        let mut ic = TemporalInstance::new(schema());
+        ic.insert_strs("E", &["Ada", "IBM"], iv(2012, 2014));
+        ic.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
+        ic.insert_strs("E", &["Bob", "IBM"], iv(2013, 2018));
+        ic.insert_strs("S", &["Ada", "18k"], Interval::from(2013));
+        ic.insert_strs("S", &["Bob", "13k"], Interval::from(2015));
+        let ia = semantics(&ic);
+        assert_eq!(ia.snapshot_at(2012).render(), "{E(Ada, IBM)}");
+        assert_eq!(
+            ia.snapshot_at(2013).render(),
+            "{E(Ada, IBM), E(Bob, IBM), S(Ada, 18k)}"
+        );
+        assert_eq!(
+            ia.snapshot_at(2014).render(),
+            "{E(Ada, Google), E(Bob, IBM), S(Ada, 18k)}"
+        );
+        assert_eq!(
+            ia.snapshot_at(2015).render(),
+            "{E(Ada, Google), E(Bob, IBM), S(Ada, 18k), S(Bob, 13k)}"
+        );
+        assert_eq!(
+            ia.snapshot_at(2018).render(),
+            "{E(Ada, Google), S(Ada, 18k), S(Bob, 13k)}"
+        );
+        // Finite change: snapshot at 2018 persists forever.
+        assert_eq!(
+            ia.snapshot_at(5000).render(),
+            ia.snapshot_at(2018).render()
+        );
+        // Epochs: [0,2012) [2012,2013) [2013,2014) [2014,2015) [2015,2018) [2018,∞)
+        assert_eq!(ia.epochs().len(), 6);
+    }
+
+    #[test]
+    fn nulls_become_per_point_families() {
+        let mut ic = TemporalInstance::new(schema());
+        ic.insert_values(
+            "E",
+            [Value::str("Ada"), Value::Null(NullId(7))],
+            iv(0, 2),
+        );
+        let ia = semantics(&ic);
+        assert_eq!(ia.snapshot_at(0).render(), "{E(Ada, N7@ℓ)}");
+        assert_eq!(ia.snapshot_at(1).render(), "{E(Ada, N7@ℓ)}");
+        assert!(ia.snapshot_at(2).is_empty());
+    }
+
+    #[test]
+    fn semantics_is_invariant_under_fragmentation() {
+        // The core soundness fact behind normalization (Section 4.2): a
+        // fragmented fact represents the same snapshots.
+        let mut whole = TemporalInstance::new(schema());
+        whole.insert_values("E", [Value::str("Ada"), Value::Null(NullId(0))], iv(0, 10));
+        let mut frag = TemporalInstance::new(schema());
+        frag.insert_values("E", [Value::str("Ada"), Value::Null(NullId(0))], iv(0, 4));
+        frag.insert_values("E", [Value::str("Ada"), Value::Null(NullId(0))], iv(4, 10));
+        assert!(semantics(&whole).eq_semantic(&semantics(&frag)));
+    }
+
+    #[test]
+    fn semantics_of_empty_is_empty() {
+        let ic = TemporalInstance::new(schema());
+        let ia = semantics(&ic);
+        assert_eq!(ia.epochs().len(), 1);
+        assert!(ia.snapshot_at(0).is_empty());
+    }
+
+    #[test]
+    fn concretize_round_trips() {
+        let mut ic = TemporalInstance::new(schema());
+        ic.insert_strs("E", &["Ada", "IBM"], iv(2012, 2014));
+        ic.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
+        ic.insert_values("S", [Value::str("Ada"), Value::Null(NullId(3))], iv(2013, 2015));
+        let ia = semantics(&ic);
+        let back = concretize(&ia).unwrap();
+        // The round trip restores the coalesced instance exactly (bases are
+        // preserved by both directions).
+        assert!(back.eq_coalesced(&ic));
+        assert!(semantics(&back).eq_semantic(&ia));
+    }
+
+    #[test]
+    fn concretize_rejects_multi_point_rigid_nulls() {
+        use crate::abstract_view::{AValue, AbstractInstanceBuilder};
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "E",
+            vec![AValue::str("Ada"), AValue::Rigid(NullId(0))],
+            iv(0, 3),
+        );
+        let ia = b.build();
+        assert!(concretize(&ia).is_err());
+        // A single-point rigid null is fine.
+        let mut b = AbstractInstanceBuilder::new(schema());
+        b.add(
+            "E",
+            vec![AValue::str("Ada"), AValue::Rigid(NullId(0))],
+            iv(2, 3),
+        );
+        let ia = b.build();
+        let back = concretize(&ia).unwrap();
+        assert_eq!(back.total_len(), 1);
+    }
+
+    #[test]
+    fn concretize_of_abstract_chase_is_chase_like() {
+        // Materializing the abstract chase result concretely yields an
+        // instance semantically equivalent to it.
+        use tdx_logic::{parse_egd, parse_schema, parse_tgd, SchemaMapping};
+        let mapping = SchemaMapping::new(
+            parse_schema("E(name, company). S(name, salary).").unwrap(),
+            parse_schema("Emp(name, company, salary).").unwrap(),
+            vec![
+                parse_tgd("E(n,c) -> Emp(n,c,s)").unwrap(),
+                parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)").unwrap(),
+            ],
+            vec![parse_egd("Emp(n,c,s) & Emp(n,c,s2) -> s = s2").unwrap()],
+        )
+        .unwrap();
+        let mut ic = TemporalInstance::new(schema());
+        ic.insert_strs("E", &["Ada", "IBM"], iv(2012, 2014));
+        ic.insert_strs("S", &["Ada", "18k"], Interval::from(2013));
+        let ja = crate::chase::abstract_chase::abstract_chase(&semantics(&ic), &mapping).unwrap();
+        let jc = concretize(&ja).unwrap();
+        assert!(semantics(&jc).eq_semantic(&ja));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the abstract view: epoch structure, refinement,
+//! coalescing, `⟦·⟧`/`concretize` round trips and homomorphism sanity.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tdx_core::{abstract_hom, concretize, semantics, AValue, AbstractInstanceBuilder};
+use tdx_logic::{parse_schema, Schema};
+use tdx_storage::{NullId, TemporalInstance, Value};
+use tdx_temporal::{Endpoint, Interval};
+
+fn schema() -> Arc<Schema> {
+    Arc::new(parse_schema("R(a, b). S(a, b).").unwrap())
+}
+
+#[derive(Debug, Clone)]
+struct GenFact {
+    rel: usize,
+    a: u8,
+    b: Option<u8>, // None = fresh per-point null
+    start: u64,
+    len: u64,
+    unbounded: bool,
+}
+
+fn arb_fact() -> impl Strategy<Value = GenFact> {
+    (
+        0usize..2,
+        0u8..4,
+        prop::option::weighted(0.8, 0u8..4),
+        0u64..16,
+        1u64..6,
+        prop::bool::weighted(0.2),
+    )
+        .prop_map(|(rel, a, b, start, len, unbounded)| GenFact {
+            rel,
+            a,
+            b,
+            start,
+            len,
+            unbounded,
+        })
+}
+
+fn build_concrete(facts: &[GenFact]) -> TemporalInstance {
+    let mut i = TemporalInstance::new(schema());
+    for (fi, f) in facts.iter().enumerate() {
+        let rel = ["R", "S"][f.rel];
+        let iv = if f.unbounded {
+            Interval::from(f.start)
+        } else {
+            Interval::new(f.start, f.start + f.len)
+        };
+        let b = match f.b {
+            Some(v) => Value::str(&format!("b{v}")),
+            None => Value::Null(NullId(fi as u64)),
+        };
+        i.insert_values(rel, [Value::str(&format!("a{}", f.a)), b], iv);
+    }
+    i
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Epochs of `⟦·⟧` tile `[0, ∞)` and are coalesced (no two adjacent
+    /// epochs share a snapshot).
+    #[test]
+    fn semantics_epochs_are_canonical(facts in prop::collection::vec(arb_fact(), 0..10)) {
+        let ia = semantics(&build_concrete(&facts));
+        let epochs = ia.epochs();
+        prop_assert_eq!(epochs[0].interval.start(), 0);
+        prop_assert!(epochs.last().unwrap().interval.is_unbounded());
+        for w in epochs.windows(2) {
+            prop_assert_eq!(
+                Endpoint::Fin(w[1].interval.start()),
+                w[0].interval.end()
+            );
+            prop_assert!(w[0].snapshot != w[1].snapshot, "uncoalesced epochs");
+        }
+    }
+
+    /// `⟦·⟧` agrees with `project_at` at every probed time point.
+    #[test]
+    fn semantics_agrees_with_projection(
+        facts in prop::collection::vec(arb_fact(), 0..10),
+        probes in prop::collection::vec(0u64..30, 1..6),
+    ) {
+        let ic = build_concrete(&facts);
+        let ia = semantics(&ic);
+        for t in probes {
+            let direct = ic.project_at(t);
+            let via_epochs = ia.snapshot_at(t);
+            // Compare fact counts and rendered forms (nulls render by base
+            // in both, modulo the @ℓ suffix).
+            prop_assert_eq!(direct.total_len(), via_epochs.total_len(), "t = {}", t);
+        }
+    }
+
+    /// `concretize ∘ semantics` is the identity up to coalescing, and
+    /// `semantics ∘ concretize` is the identity on `⟦·⟧` images.
+    #[test]
+    fn round_trips(facts in prop::collection::vec(arb_fact(), 0..10)) {
+        let ic = build_concrete(&facts);
+        let ia = semantics(&ic);
+        let back = concretize(&ia).unwrap();
+        prop_assert!(back.eq_coalesced(&ic));
+        prop_assert!(semantics(&back).eq_semantic(&ia));
+    }
+
+    /// Adding facts never destroys an abstract homomorphism: the original
+    /// instance maps into any superset of itself.
+    #[test]
+    fn hom_into_superset(
+        facts in prop::collection::vec(arb_fact(), 0..8),
+        extra in prop::collection::vec(arb_fact(), 0..4),
+    ) {
+        let ia = semantics(&build_concrete(&facts));
+        let mut all = facts.clone();
+        // Shift extra facts' null ids clear of the originals.
+        all.extend(extra);
+        let superset = semantics(&build_concrete(&all));
+        prop_assert!(abstract_hom(&ia, &superset));
+    }
+
+    /// Refinement then coalescing is the identity on semantics.
+    #[test]
+    fn refine_coalesce_identity(
+        facts in prop::collection::vec(arb_fact(), 0..8),
+        cuts in prop::collection::vec((0u64..30, 1u64..5), 0..4),
+    ) {
+        let ia = semantics(&build_concrete(&facts));
+        let mut bps = tdx_temporal::Breakpoints::new();
+        for (s, len) in cuts {
+            bps.add_interval(&Interval::new(s, s + len));
+        }
+        let refined = ia.refine(&bps);
+        prop_assert!(refined.eq_semantic(&ia));
+        prop_assert_eq!(refined.coalesce().epochs().len(), ia.epochs().len());
+    }
+}
+
+/// Rigid nulls distinguish the builder from `⟦·⟧` images — a sanity check
+/// that the two scopes stay distinct through refinement.
+#[test]
+fn rigid_nulls_survive_refinement() {
+    let mut b = AbstractInstanceBuilder::new(schema());
+    b.add(
+        "R",
+        vec![AValue::str("a"), AValue::Rigid(NullId(9))],
+        Interval::new(0, 6),
+    );
+    let ia = b.build();
+    let mut bps = tdx_temporal::Breakpoints::new();
+    bps.add_interval(&Interval::new(3, 4));
+    let refined = ia.refine(&bps);
+    for t in [0u64, 3, 5] {
+        let (_, rigids) = refined.snapshot_at(t).null_bases();
+        assert_eq!(rigids.into_iter().collect::<Vec<_>>(), vec![NullId(9)]);
+    }
+    // Still not concretizable after refinement.
+    assert!(concretize(&refined).is_err());
+}

@@ -1,0 +1,158 @@
+//! Property tests for normalization (paper Section 4.2) on random
+//! instances and conjunction sets.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tdx_core::normalize::{
+    candidate_groups, has_empty_intersection_property, naive_normalize, normalize,
+};
+use tdx_core::semantics;
+use tdx_logic::{parse_schema, parse_tgd, Atom, Schema};
+use tdx_storage::TemporalInstance;
+use tdx_temporal::Interval;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(parse_schema("R(a, b). P(a, b). S(a, b).").unwrap())
+}
+
+#[derive(Debug, Clone)]
+struct GenFact {
+    rel: usize,
+    a: u8,
+    b: u8,
+    start: u64,
+    len: u64,
+    unbounded: bool,
+}
+
+fn arb_fact() -> impl Strategy<Value = GenFact> {
+    (0usize..3, 0u8..4, 0u8..4, 0u64..20, 1u64..8, prop::bool::weighted(0.15)).prop_map(
+        |(rel, a, b, start, len, unbounded)| GenFact {
+            rel,
+            a,
+            b,
+            start,
+            len,
+            unbounded,
+        },
+    )
+}
+
+fn build(facts: &[GenFact]) -> TemporalInstance {
+    let mut i = TemporalInstance::new(schema());
+    for f in facts {
+        let rel = ["R", "P", "S"][f.rel];
+        let iv = if f.unbounded {
+            Interval::from(f.start)
+        } else {
+            Interval::new(f.start, f.start + f.len)
+        };
+        i.insert_strs(rel, &[&format!("a{}", f.a), &format!("b{}", f.b)], iv);
+    }
+    i
+}
+
+fn conjunctions(which: u8) -> Vec<Vec<Atom>> {
+    let parse = |s: &str| parse_tgd(&format!("{s} -> Sink()")).unwrap().body;
+    match which % 4 {
+        0 => vec![parse("R(x, y) & P(x, z)")],
+        1 => vec![parse("R(x, y) & P(x, z)"), parse("P(u, v) & S(u, w)")],
+        2 => vec![parse("R(x, y) & S(z, y)")],
+        _ => vec![parse("R(x, y) & R(x, z)")], // self-join
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 15: the output of Algorithm 1 has the empty intersection
+    /// property (hence, by Theorem 11, the normalization property).
+    #[test]
+    fn algorithm1_output_is_normalized(
+        facts in prop::collection::vec(arb_fact(), 0..14),
+        which in 0u8..4,
+    ) {
+        let ic = build(&facts);
+        let conjs = conjunctions(which);
+        let refs: Vec<&[Atom]> = conjs.iter().map(|c| c.as_slice()).collect();
+        let out = normalize(&ic, &refs).unwrap();
+        prop_assert!(has_empty_intersection_property(&out, &refs).unwrap());
+    }
+
+    /// Normalization (both algorithms) preserves `⟦·⟧`.
+    #[test]
+    fn normalization_preserves_semantics(
+        facts in prop::collection::vec(arb_fact(), 0..14),
+        which in 0u8..4,
+    ) {
+        let ic = build(&facts);
+        let conjs = conjunctions(which);
+        let refs: Vec<&[Atom]> = conjs.iter().map(|c| c.as_slice()).collect();
+        let sem = semantics(&ic);
+        prop_assert!(sem.eq_semantic(&semantics(&normalize(&ic, &refs).unwrap())));
+        prop_assert!(sem.eq_semantic(&semantics(&naive_normalize(&ic))));
+    }
+
+    /// Algorithm 1 is a fixpoint: normalizing twice changes nothing.
+    #[test]
+    fn algorithm1_is_idempotent(
+        facts in prop::collection::vec(arb_fact(), 0..12),
+        which in 0u8..4,
+    ) {
+        let ic = build(&facts);
+        let conjs = conjunctions(which);
+        let refs: Vec<&[Atom]> = conjs.iter().map(|c| c.as_slice()).collect();
+        let once = normalize(&ic, &refs).unwrap();
+        let twice = normalize(&once, &refs).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Algorithm 1 never produces more facts than the naïve algorithm, and
+    /// both refine the input (fact counts never shrink).
+    #[test]
+    fn algorithm1_is_no_coarser_than_naive(
+        facts in prop::collection::vec(arb_fact(), 0..14),
+        which in 0u8..4,
+    ) {
+        let ic = build(&facts);
+        let conjs = conjunctions(which);
+        let refs: Vec<&[Atom]> = conjs.iter().map(|c| c.as_slice()).collect();
+        let smart = normalize(&ic, &refs).unwrap();
+        let naive = naive_normalize(&ic);
+        prop_assert!(smart.total_len() <= naive.total_len());
+        prop_assert!(smart.total_len() >= ic.total_len());
+        prop_assert!(naive.total_len() >= ic.total_len());
+    }
+
+    /// The merged groups of Algorithm 1 are pairwise disjoint, and every
+    /// group has at least two members or stems from a self-pairing.
+    #[test]
+    fn candidate_groups_are_disjoint(
+        facts in prop::collection::vec(arb_fact(), 0..14),
+        which in 0u8..4,
+    ) {
+        let ic = build(&facts);
+        let conjs = conjunctions(which);
+        let refs: Vec<&[Atom]> = conjs.iter().map(|c| c.as_slice()).collect();
+        let groups = candidate_groups(&ic, &refs).unwrap();
+        for (i, g1) in groups.iter().enumerate() {
+            for g2 in &groups[i + 1..] {
+                prop_assert!(g1.is_disjoint(g2));
+            }
+        }
+    }
+
+    /// Naïve normalization satisfies the empty intersection property for
+    /// *any* conjunction set (it fragments against every endpoint).
+    #[test]
+    fn naive_output_is_normalized_for_anything(
+        facts in prop::collection::vec(arb_fact(), 0..12),
+        which in 0u8..4,
+    ) {
+        let ic = build(&facts);
+        let conjs = conjunctions(which);
+        let refs: Vec<&[Atom]> = conjs.iter().map(|c| c.as_slice()).collect();
+        let out = naive_normalize(&ic);
+        prop_assert!(has_empty_intersection_property(&out, &refs).unwrap());
+    }
+}

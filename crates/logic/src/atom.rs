@@ -1,0 +1,132 @@
+//! Relational atoms `R(t₁, …, tₙ)`.
+
+use crate::schema::Schema;
+use crate::symbol::Symbol;
+use crate::term::{Term, Var};
+use std::fmt;
+
+/// An atom over a relational schema: a relation name applied to terms.
+///
+/// Atoms are non-temporal; the temporal variable `t` of the paper's `φ⁺`
+/// forms is implicit and handled by the evaluation layers.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation name.
+    pub relation: Symbol,
+    /// The argument terms, one per data attribute.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(relation: impl Into<Symbol>, terms: Vec<Term>) -> Atom {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// The atom's arity (number of data attributes).
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates the variables occurring in the atom (with repetitions).
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Checks the atom against a schema: the relation must exist with
+    /// matching arity. Returns a description of the violation, if any.
+    pub fn check_against(&self, schema: &Schema) -> Result<(), String> {
+        match schema.relation_by_name(self.relation) {
+            None => Err(format!(
+                "relation {} is not in schema {{{}}}",
+                self.relation,
+                schema.relation_names().collect::<Vec<_>>().join(", ")
+            )),
+            Some(rs) if rs.arity() != self.arity() => Err(format!(
+                "relation {} has arity {}, atom has {} arguments",
+                self.relation,
+                rs.arity(),
+                self.arity()
+            )),
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+/// Collects the distinct variables of a conjunction of atoms, in order of
+/// first occurrence.
+pub fn conjunction_vars(atoms: &[Atom]) -> Vec<Var> {
+    let mut seen = Vec::new();
+    for atom in atoms {
+        for v in atom.vars() {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+    }
+    seen
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{RelationSchema, Schema};
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    #[test]
+    fn vars_iteration() {
+        let a = Atom::new(
+            "Emp",
+            vec![Term::var("n"), Term::constant("IBM"), Term::var("s")],
+        );
+        let vars: Vec<_> = a.vars().collect();
+        assert_eq!(vars, vec![Var::new("n"), Var::new("s")]);
+        assert_eq!(a.arity(), 3);
+    }
+
+    #[test]
+    fn conjunction_vars_in_first_occurrence_order() {
+        let atoms = vec![atom("E", &["n", "c"]), atom("S", &["n", "s"])];
+        let vars = conjunction_vars(&atoms);
+        assert_eq!(vars, vec![Var::new("n"), Var::new("c"), Var::new("s")]);
+    }
+
+    #[test]
+    fn schema_check() {
+        let schema = Schema::new(vec![RelationSchema::new("E", &["name", "company"])]).unwrap();
+        assert!(atom("E", &["n", "c"]).check_against(&schema).is_ok());
+        assert!(atom("E", &["n"]).check_against(&schema).is_err());
+        assert!(atom("Missing", &["n"]).check_against(&schema).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let a = Atom::new("E", vec![Term::var("n"), Term::constant("IBM")]);
+        assert_eq!(a.to_string(), "E(n, 'IBM')");
+    }
+}

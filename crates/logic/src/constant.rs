@@ -1,0 +1,106 @@
+//! Constants of the data domain.
+
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A constant value from the data domain `Const`.
+///
+/// The paper's domain is uninterpreted; we support interned strings (names
+/// like `Ada`, `IBM`, `18k`) and 64-bit integers (convenient for generated
+/// workloads). Constants of different kinds are never equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// An integer constant.
+    Int(i64),
+    /// An interned string constant.
+    Str(Symbol),
+}
+
+impl Constant {
+    /// Builds a string constant.
+    pub fn str(s: &str) -> Constant {
+        Constant::Str(Symbol::intern(s))
+    }
+
+    /// Builds an integer constant.
+    pub fn int(i: i64) -> Constant {
+        Constant::Int(i)
+    }
+
+    /// Lexicographic/numeric order for human-readable output (integers
+    /// before strings, strings by text).
+    pub fn cmp_display(&self, other: &Constant) -> std::cmp::Ordering {
+        match (self, other) {
+            (Constant::Int(a), Constant::Int(b)) => a.cmp(b),
+            (Constant::Int(_), Constant::Str(_)) => std::cmp::Ordering::Less,
+            (Constant::Str(_), Constant::Int(_)) => std::cmp::Ordering::Greater,
+            (Constant::Str(a), Constant::Str(b)) => a.cmp_lexical(b),
+        }
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(i: i64) -> Self {
+        Constant::Int(i)
+    }
+}
+
+impl From<&str> for Constant {
+    fn from(s: &str) -> Self {
+        Constant::str(s)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(i) => write!(f, "{i}"),
+            Constant::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        assert_ne!(Constant::int(18), Constant::str("18"));
+        assert_eq!(Constant::str("IBM"), Constant::str("IBM"));
+        assert_eq!(Constant::int(5), Constant::from(5i64));
+        assert_eq!(Constant::str("x"), Constant::from("x"));
+    }
+
+    #[test]
+    fn display_order_is_stable_and_readable() {
+        let mut v = vec![
+            Constant::str("bbb-const"),
+            Constant::int(10),
+            Constant::str("aaa-const"),
+            Constant::int(2),
+        ];
+        v.sort_by(|a, b| a.cmp_display(b));
+        assert_eq!(
+            v,
+            vec![
+                Constant::int(2),
+                Constant::int(10),
+                Constant::str("aaa-const"),
+                Constant::str("bbb-const"),
+            ]
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Constant::int(-3).to_string(), "-3");
+        assert_eq!(Constant::str("Ada").to_string(), "Ada");
+    }
+}

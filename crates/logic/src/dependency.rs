@@ -1,0 +1,416 @@
+//! Dependencies and schema mappings.
+//!
+//! A data exchange setting is `M = (R_S, R_T, Σ_st, Σ_eg)` (Section 2): a
+//! source schema, a disjoint target schema, a set of source-to-target tgds
+//! and a set of egds on the target. The paper deliberately excludes target
+//! tgds (to sidestep chase non-termination, Section 1), and
+//! [`SchemaMapping::new`] enforces that: tgd bodies must be over the source
+//! schema, tgd heads and egd bodies over the target schema.
+
+use crate::atom::{conjunction_vars, Atom};
+use crate::schema::Schema;
+use crate::term::Var;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A source-to-target tuple generating dependency
+/// `∀x̄ φ(x̄) → ∃ȳ ψ(x̄, ȳ)`.
+///
+/// The existential variables `ȳ` are not stored: they are exactly the head
+/// variables that do not occur in the body.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Tgd {
+    /// Optional human-readable name (for diagnostics and chase traces).
+    pub name: Option<String>,
+    /// The body `φ(x̄)` — a non-empty conjunction of atoms.
+    pub body: Vec<Atom>,
+    /// The head `ψ(x̄, ȳ)` — a non-empty conjunction of atoms.
+    pub head: Vec<Atom>,
+}
+
+impl Tgd {
+    /// Builds a tgd, checking non-emptiness of both sides.
+    pub fn new(body: Vec<Atom>, head: Vec<Atom>) -> Result<Tgd, String> {
+        if body.is_empty() {
+            return Err("tgd body must not be empty".into());
+        }
+        if head.is_empty() {
+            return Err("tgd head must not be empty".into());
+        }
+        Ok(Tgd {
+            name: None,
+            body,
+            head,
+        })
+    }
+
+    /// Attaches a diagnostic name.
+    pub fn named(mut self, name: &str) -> Tgd {
+        self.name = Some(name.to_owned());
+        self
+    }
+
+    /// The distinct universally quantified variables (body variables).
+    pub fn universal_vars(&self) -> Vec<Var> {
+        conjunction_vars(&self.body)
+    }
+
+    /// The distinct existential variables: head variables not in the body.
+    pub fn existential_vars(&self) -> Vec<Var> {
+        let universal: HashSet<Var> = self.universal_vars().into_iter().collect();
+        conjunction_vars(&self.head)
+            .into_iter()
+            .filter(|v| !universal.contains(v))
+            .collect()
+    }
+
+    /// Validates the tgd against source and target schemas.
+    pub fn validate(&self, source: &Schema, target: &Schema) -> Result<(), String> {
+        for atom in &self.body {
+            atom.check_against(source)
+                .map_err(|e| format!("{self}: body: {e}"))?;
+        }
+        for atom in &self.head {
+            atom.check_against(target)
+                .map_err(|e| format!("{self}: head: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " → ")?;
+        let ex = self.existential_vars();
+        if !ex.is_empty() {
+            write!(f, "∃")?;
+            for (i, v) in ex.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, " . ")?;
+        }
+        for (i, a) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An equality generating dependency `∀x̄ φ(x̄) → x₁ = x₂`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Egd {
+    /// Optional human-readable name.
+    pub name: Option<String>,
+    /// The body `φ(x̄)` — a non-empty conjunction of atoms.
+    pub body: Vec<Atom>,
+    /// Left side of the equality.
+    pub lhs: Var,
+    /// Right side of the equality.
+    pub rhs: Var,
+}
+
+impl Egd {
+    /// Builds an egd, checking safety: both equated variables must occur in
+    /// the body.
+    pub fn new(body: Vec<Atom>, lhs: Var, rhs: Var) -> Result<Egd, String> {
+        if body.is_empty() {
+            return Err("egd body must not be empty".into());
+        }
+        let vars: HashSet<Var> = conjunction_vars(&body).into_iter().collect();
+        for v in [lhs, rhs] {
+            if !vars.contains(&v) {
+                return Err(format!("egd equates variable {v} not present in its body"));
+            }
+        }
+        Ok(Egd {
+            name: None,
+            body,
+            lhs,
+            rhs,
+        })
+    }
+
+    /// Attaches a diagnostic name.
+    pub fn named(mut self, name: &str) -> Egd {
+        self.name = Some(name.to_owned());
+        self
+    }
+
+    /// Validates the egd against the target schema.
+    pub fn validate(&self, target: &Schema) -> Result<(), String> {
+        for atom in &self.body {
+            atom.check_against(target)
+                .map_err(|e| format!("{self}: body: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " → {} = {}", self.lhs, self.rhs)
+    }
+}
+
+impl fmt::Debug for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Either kind of dependency.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Dependency {
+    /// A source-to-target tgd.
+    Tgd(Tgd),
+    /// A target egd.
+    Egd(Egd),
+}
+
+impl Dependency {
+    /// The dependency's body conjunction (the side homomorphisms map from).
+    pub fn body(&self) -> &[Atom] {
+        match self {
+            Dependency::Tgd(t) => &t.body,
+            Dependency::Egd(e) => &e.body,
+        }
+    }
+}
+
+/// A validated data exchange setting `M = (R_S, R_T, Σ_st, Σ_eg)`.
+#[derive(Clone)]
+pub struct SchemaMapping {
+    source: Schema,
+    target: Schema,
+    st_tgds: Vec<Tgd>,
+    egds: Vec<Egd>,
+}
+
+impl SchemaMapping {
+    /// Builds and validates a data exchange setting:
+    ///
+    /// * source and target schemas must be disjoint;
+    /// * every tgd body is over the source, every tgd head over the target;
+    /// * every egd body is over the target;
+    /// * egds equate variables occurring in their bodies.
+    pub fn new(
+        source: Schema,
+        target: Schema,
+        st_tgds: Vec<Tgd>,
+        egds: Vec<Egd>,
+    ) -> Result<SchemaMapping, String> {
+        if source.overlaps(&target) {
+            return Err("source and target schemas must be disjoint".into());
+        }
+        for tgd in &st_tgds {
+            tgd.validate(&source, &target)?;
+        }
+        for egd in &egds {
+            egd.validate(&target)?;
+        }
+        Ok(SchemaMapping {
+            source,
+            target,
+            st_tgds,
+            egds,
+        })
+    }
+
+    /// The source schema `R_S`.
+    pub fn source(&self) -> &Schema {
+        &self.source
+    }
+
+    /// The target schema `R_T`.
+    pub fn target(&self) -> &Schema {
+        &self.target
+    }
+
+    /// The s-t tgds `Σ_st`.
+    pub fn st_tgds(&self) -> &[Tgd] {
+        &self.st_tgds
+    }
+
+    /// The egds `Σ_eg`.
+    pub fn egds(&self) -> &[Egd] {
+        &self.egds
+    }
+
+    /// The bodies of all s-t tgds — the conjunction set `Φ⁺` the source
+    /// instance must be normalized against (Section 4.3).
+    pub fn tgd_bodies(&self) -> Vec<&[Atom]> {
+        self.st_tgds.iter().map(|t| t.body.as_slice()).collect()
+    }
+
+    /// The bodies of all egds — the conjunction set the target instance must
+    /// be normalized against (Section 4.3).
+    pub fn egd_bodies(&self) -> Vec<&[Atom]> {
+        self.egds.iter().map(|e| e.body.as_slice()).collect()
+    }
+}
+
+impl fmt::Display for SchemaMapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "source:")?;
+        for r in self.source.relations() {
+            writeln!(f, "  {r}")?;
+        }
+        writeln!(f, "target:")?;
+        for r in self.target.relations() {
+            writeln!(f, "  {r}")?;
+        }
+        writeln!(f, "Σ_st:")?;
+        for t in &self.st_tgds {
+            writeln!(f, "  {t}")?;
+        }
+        writeln!(f, "Σ_eg:")?;
+        for e in &self.egds {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::term::Term;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    fn paper_schemas() -> (Schema, Schema) {
+        let source = Schema::new(vec![
+            RelationSchema::new("E", &["name", "company"]),
+            RelationSchema::new("S", &["name", "salary"]),
+        ])
+        .unwrap();
+        let target =
+            Schema::new(vec![RelationSchema::new("Emp", &["name", "company", "salary"])]).unwrap();
+        (source, target)
+    }
+
+    #[test]
+    fn existential_vars_are_head_minus_body() {
+        let tgd = Tgd::new(vec![atom("E", &["n", "c"])], vec![atom("Emp", &["n", "c", "s"])])
+            .unwrap();
+        assert_eq!(tgd.universal_vars(), vec![Var::new("n"), Var::new("c")]);
+        assert_eq!(tgd.existential_vars(), vec![Var::new("s")]);
+    }
+
+    #[test]
+    fn egd_safety() {
+        let ok = Egd::new(
+            vec![atom("Emp", &["n", "c", "s"]), atom("Emp", &["n", "c", "s2"])],
+            Var::new("s"),
+            Var::new("s2"),
+        );
+        assert!(ok.is_ok());
+        let bad = Egd::new(vec![atom("Emp", &["n", "c", "s"])], Var::new("s"), Var::new("zz"));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn mapping_validation_accepts_paper_setting() {
+        let (source, target) = paper_schemas();
+        let t1 = Tgd::new(vec![atom("E", &["n", "c"])], vec![atom("Emp", &["n", "c", "s"])])
+            .unwrap();
+        let t2 = Tgd::new(
+            vec![atom("E", &["n", "c"]), atom("S", &["n", "s"])],
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
+        let egd = Egd::new(
+            vec![atom("Emp", &["n", "c", "s"]), atom("Emp", &["n", "c", "s2"])],
+            Var::new("s"),
+            Var::new("s2"),
+        )
+        .unwrap();
+        let m = SchemaMapping::new(source, target, vec![t1, t2], vec![egd]);
+        assert!(m.is_ok());
+        let m = m.unwrap();
+        assert_eq!(m.st_tgds().len(), 2);
+        assert_eq!(m.egds().len(), 1);
+        assert_eq!(m.tgd_bodies().len(), 2);
+        assert_eq!(m.egd_bodies().len(), 1);
+    }
+
+    #[test]
+    fn mapping_rejects_target_atoms_in_tgd_body() {
+        let (source, target) = paper_schemas();
+        let bad = Tgd::new(
+            vec![atom("Emp", &["n", "c", "s"])],
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
+        assert!(SchemaMapping::new(source, target, vec![bad], vec![]).is_err());
+    }
+
+    #[test]
+    fn mapping_rejects_overlapping_schemas() {
+        let s = Schema::new(vec![RelationSchema::new("R", &["a"])]).unwrap();
+        let t = Schema::new(vec![RelationSchema::new("R", &["a"])]).unwrap();
+        assert!(SchemaMapping::new(s, t, vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn mapping_rejects_egd_over_source() {
+        let (source, target) = paper_schemas();
+        let bad = Egd::new(
+            vec![atom("E", &["n", "c"]), atom("E", &["n", "c2"])],
+            Var::new("c"),
+            Var::new("c2"),
+        )
+        .unwrap();
+        assert!(SchemaMapping::new(source, target, vec![], vec![bad]).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        let tgd = Tgd::new(
+            vec![atom("E", &["n", "c"]), atom("S", &["n", "s"])],
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
+        assert_eq!(tgd.to_string(), "E(n, c) ∧ S(n, s) → Emp(n, c, s)");
+        let tgd = Tgd::new(vec![atom("E", &["n", "c"])], vec![atom("Emp", &["n", "c", "s"])])
+            .unwrap();
+        assert_eq!(tgd.to_string(), "E(n, c) → ∃s . Emp(n, c, s)");
+        let egd = Egd::new(
+            vec![atom("Emp", &["n", "c", "s"]), atom("Emp", &["n", "c", "s2"])],
+            Var::new("s"),
+            Var::new("s2"),
+        )
+        .unwrap();
+        assert_eq!(
+            egd.to_string(),
+            "Emp(n, c, s) ∧ Emp(n, c, s2) → s = s2"
+        );
+    }
+}

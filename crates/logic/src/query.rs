@@ -1,0 +1,225 @@
+//! Conjunctive queries and unions of conjunctive queries.
+//!
+//! Queries are posed over the target schema (paper Section 5). A
+//! non-temporal `k`-ary query `q` has a corresponding temporal query `q⁺`
+//! obtained by augmenting every atom with the shared free variable `t`; as
+//! with dependencies, that augmentation is implicit and performed by the
+//! evaluation layer.
+
+use crate::atom::{conjunction_vars, Atom};
+use crate::schema::Schema;
+use crate::term::{Term, Var};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A conjunctive query `q(x̄) :- φ(x̄, ȳ)`.
+///
+/// Head terms may be variables (which must occur in the body — the safety
+/// condition) or constants.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Optional query name (defaults to `Q` for display).
+    pub name: Option<String>,
+    /// The head (output) terms.
+    pub head: Vec<Term>,
+    /// The body — a non-empty conjunction of atoms.
+    pub body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query, checking safety.
+    pub fn new(head: Vec<Term>, body: Vec<Atom>) -> Result<ConjunctiveQuery, String> {
+        if body.is_empty() {
+            return Err("query body must not be empty".into());
+        }
+        let body_vars: HashSet<Var> = conjunction_vars(&body).into_iter().collect();
+        for term in &head {
+            if let Some(v) = term.as_var() {
+                if !body_vars.contains(&v) {
+                    return Err(format!("head variable {v} does not occur in the body"));
+                }
+            }
+        }
+        Ok(ConjunctiveQuery {
+            name: None,
+            head,
+            body,
+        })
+    }
+
+    /// Attaches a name.
+    pub fn named(mut self, name: &str) -> ConjunctiveQuery {
+        self.name = Some(name.to_owned());
+        self
+    }
+
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// The distinct existential (non-output) variables of the body.
+    pub fn existential_vars(&self) -> Vec<Var> {
+        let head_vars: HashSet<Var> = self.head.iter().filter_map(|t| t.as_var()).collect();
+        conjunction_vars(&self.body)
+            .into_iter()
+            .filter(|v| !head_vars.contains(v))
+            .collect()
+    }
+
+    /// Validates all body atoms against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), String> {
+        for atom in &self.body {
+            atom.check_against(schema)
+                .map_err(|e| format!("{self}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name.as_deref().unwrap_or("Q"))?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A union of conjunctive queries, all with the same output arity.
+#[derive(Clone, PartialEq, Eq)]
+pub struct UnionQuery {
+    disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Builds a union query; all disjuncts must share one arity.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> Result<UnionQuery, String> {
+        if disjuncts.is_empty() {
+            return Err("union query needs at least one disjunct".into());
+        }
+        let arity = disjuncts[0].arity();
+        if disjuncts.iter().any(|q| q.arity() != arity) {
+            return Err("all disjuncts of a union query must have the same arity".into());
+        }
+        Ok(UnionQuery { disjuncts })
+    }
+
+    /// The disjuncts.
+    pub fn disjuncts(&self) -> &[ConjunctiveQuery] {
+        &self.disjuncts
+    }
+
+    /// Output arity.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].arity()
+    }
+
+    /// Validates every disjunct against a schema.
+    pub fn validate(&self, schema: &Schema) -> Result<(), String> {
+        for q in &self.disjuncts {
+            q.validate(schema)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<ConjunctiveQuery> for UnionQuery {
+    fn from(q: ConjunctiveQuery) -> Self {
+        UnionQuery { disjuncts: vec![q] }
+    }
+}
+
+impl fmt::Display for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                writeln!(f, " ∪")?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for UnionQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    #[test]
+    fn safety_enforced() {
+        let ok = ConjunctiveQuery::new(vec![Term::var("n")], vec![atom("Emp", &["n", "c", "s"])]);
+        assert!(ok.is_ok());
+        let bad = ConjunctiveQuery::new(vec![Term::var("z")], vec![atom("Emp", &["n", "c", "s"])]);
+        assert!(bad.is_err());
+        // Constants in the head are always safe.
+        let c = ConjunctiveQuery::new(
+            vec![Term::constant("tag")],
+            vec![atom("Emp", &["n", "c", "s"])],
+        );
+        assert!(c.is_ok());
+    }
+
+    #[test]
+    fn existential_vars() {
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("n"), Term::var("s")],
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
+        assert_eq!(q.existential_vars(), vec![Var::new("c")]);
+        assert_eq!(q.arity(), 2);
+    }
+
+    #[test]
+    fn union_arity_check() {
+        let q1 = ConjunctiveQuery::new(vec![Term::var("n")], vec![atom("Emp", &["n", "c", "s"])])
+            .unwrap();
+        let q2 = ConjunctiveQuery::new(
+            vec![Term::var("n"), Term::var("c")],
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
+        assert!(UnionQuery::new(vec![q1.clone()]).is_ok());
+        assert!(UnionQuery::new(vec![q1, q2]).is_err());
+        assert!(UnionQuery::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("n")],
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap()
+        .named("People");
+        assert_eq!(q.to_string(), "People(n) :- Emp(n, c, s)");
+    }
+}

@@ -1,0 +1,210 @@
+//! Relational schemas.
+
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a relation inside a [`Schema`], used as a compact handle by the
+/// storage layer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+/// The schema of one relation `R(A₁, …, Aₙ)` — the name and its (data)
+/// attributes. The temporal attribute `T` of the concrete schema `R⁺` is
+/// implicit: it is added by the temporal storage layer, never listed here.
+#[derive(Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: Symbol,
+    attrs: Vec<Symbol>,
+}
+
+impl RelationSchema {
+    /// Builds a relation schema from a name and attribute names.
+    pub fn new(name: &str, attrs: &[&str]) -> RelationSchema {
+        RelationSchema {
+            name: Symbol::intern(name),
+            attrs: attrs.iter().map(|a| Symbol::intern(a)).collect(),
+        }
+    }
+
+    /// Builds a relation schema from interned symbols.
+    pub fn from_symbols(name: Symbol, attrs: Vec<Symbol>) -> RelationSchema {
+        RelationSchema { name, attrs }
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> Symbol {
+        self.name
+    }
+
+    /// The data attribute names.
+    pub fn attrs(&self) -> &[Symbol] {
+        &self.attrs
+    }
+
+    /// Number of data attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of an attribute by name.
+    pub fn attr_index(&self, name: Symbol) -> Option<usize> {
+        self.attrs.iter().position(|&a| a == name)
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A relational database schema: an ordered collection of relation schemas
+/// with unique names.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    rels: Vec<RelationSchema>,
+    by_name: HashMap<Symbol, RelId>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate relation names.
+    pub fn new(rels: Vec<RelationSchema>) -> Result<Schema, String> {
+        let mut by_name = HashMap::with_capacity(rels.len());
+        for (i, r) in rels.iter().enumerate() {
+            let id = RelId(u32::try_from(i).expect("schema too large"));
+            if by_name.insert(r.name(), id).is_some() {
+                return Err(format!("duplicate relation name {}", r.name()));
+            }
+        }
+        Ok(Schema { rels, by_name })
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Schema {
+        Schema::default()
+    }
+
+    /// The relation schemas, in declaration order.
+    pub fn relations(&self) -> &[RelationSchema] {
+        &self.rels
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether the schema has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// Looks up a relation id by name.
+    pub fn rel_id(&self, name: Symbol) -> Option<RelId> {
+        self.by_name.get(&name).copied()
+    }
+
+    /// Looks up a relation schema by id.
+    pub fn relation(&self, id: RelId) -> &RelationSchema {
+        &self.rels[id.0 as usize]
+    }
+
+    /// Looks up a relation schema by name.
+    pub fn relation_by_name(&self, name: Symbol) -> Option<&RelationSchema> {
+        self.rel_id(name).map(|id| self.relation(id))
+    }
+
+    /// Whether `name` is a relation of this schema.
+    pub fn contains(&self, name: Symbol) -> bool {
+        self.by_name.contains_key(&name)
+    }
+
+    /// Iterates relation names as strings (for error messages).
+    pub fn relation_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.rels.iter().map(|r| r.name().as_str())
+    }
+
+    /// Whether the two schemas share any relation name. Data exchange
+    /// requires source and target schemas to be disjoint (Section 2).
+    pub fn overlaps(&self, other: &Schema) -> bool {
+        self.rels.iter().any(|r| other.contains(r.name()))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rels.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_lookup() {
+        let schema = Schema::new(vec![
+            RelationSchema::new("E", &["name", "company"]),
+            RelationSchema::new("S", &["name", "salary"]),
+        ])
+        .unwrap();
+        assert_eq!(schema.len(), 2);
+        let e = schema.rel_id(Symbol::intern("E")).unwrap();
+        assert_eq!(schema.relation(e).arity(), 2);
+        assert_eq!(
+            schema.relation(e).attr_index(Symbol::intern("company")),
+            Some(1)
+        );
+        assert!(schema.relation_by_name(Symbol::intern("Nope")).is_none());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            RelationSchema::new("E", &["a"]),
+            RelationSchema::new("E", &["b"]),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn disjointness() {
+        let s = Schema::new(vec![RelationSchema::new("E", &["a"])]).unwrap();
+        let t = Schema::new(vec![RelationSchema::new("Emp", &["a"])]).unwrap();
+        let t2 = Schema::new(vec![RelationSchema::new("E", &["x"])]).unwrap();
+        assert!(!s.overlaps(&t));
+        assert!(s.overlaps(&t2));
+    }
+
+    #[test]
+    fn display() {
+        let schema = Schema::new(vec![RelationSchema::new("E", &["name", "company"])]).unwrap();
+        assert_eq!(schema.to_string(), "E(name, company)");
+    }
+}

@@ -1,0 +1,124 @@
+//! A global string interner.
+//!
+//! Relation names, attribute names, variables and string constants all flow
+//! through hash joins and homomorphism searches; interning turns their
+//! comparisons into `u32` comparisons. Interned strings are leaked — the set
+//! of distinct names in a data exchange run is small and bounded.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Equality, hashing and ordering are by intern id;
+/// use [`Symbol::as_str`] for the text and [`Symbol::cmp_lexical`] when a
+/// human-readable order is needed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns a string, returning its symbol.
+    pub fn intern(s: &str) -> Symbol {
+        let mut guard = interner().lock().expect("interner lock");
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = u32::try_from(guard.strings.len()).expect("interner overflow");
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(&self) -> &'static str {
+        interner().lock().expect("interner lock").strings[self.0 as usize]
+    }
+
+    /// Lexicographic comparison of the underlying text (for stable,
+    /// human-readable output ordering).
+    pub fn cmp_lexical(&self, other: &Symbol) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+
+    /// The raw intern id (for compact serialization in tests).
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("Emp");
+        let b = Symbol::intern("Emp");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "Emp");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("alpha-string");
+        let b = Symbol::intern("beta-string");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "alpha-string");
+        assert_eq!(b.as_str(), "beta-string");
+    }
+
+    #[test]
+    fn lexical_comparison_uses_text() {
+        // Intern in reverse lexicographic order so id order disagrees.
+        let z = Symbol::intern("zzz-lex-test");
+        let a = Symbol::intern("aaa-lex-test");
+        assert_eq!(z.cmp_lexical(&a), std::cmp::Ordering::Greater);
+        assert_eq!(a.cmp_lexical(&z), std::cmp::Ordering::Less);
+        assert_eq!(a.cmp_lexical(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn display_shows_text() {
+        assert_eq!(Symbol::intern("IBM").to_string(), "IBM");
+        assert_eq!(format!("{:?}", Symbol::intern("IBM")), "\"IBM\"");
+    }
+
+    #[test]
+    fn from_str_interns() {
+        let s: Symbol = "converted".into();
+        assert_eq!(s.as_str(), "converted");
+    }
+}

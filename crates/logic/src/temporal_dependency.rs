@@ -1,0 +1,273 @@
+//! Temporal (modal) source-to-target dependencies — the paper's Section 7
+//! extension.
+//!
+//! The paper's conclusion sketches schema mappings that *can* express
+//! temporal phenomena, e.g.
+//!
+//! ```text
+//! □(∀n PhDgrad(n) → ◇⁻ ∃adv,top PhDCan(n, adv, top))
+//! ```
+//!
+//! — "every PhD graduate was, at some earlier time, a candidate with an
+//! adviser and a topic". A [`TemporalTgd`] is an s-t tgd whose head is
+//! wrapped in one of five modalities relative to the snapshot where the body
+//! holds. In two-sorted FOL, `φ(x̄, t) → M ψ(x̄, ȳ, t′)` where `M` constrains
+//! `t′` against `t`:
+//!
+//! | [`Modality`]        | meaning                              |
+//! |---------------------|--------------------------------------|
+//! | `Now`               | `t′ = t` (an ordinary s-t tgd)       |
+//! | `SometimePast` ◇⁻   | `∃t′ < t`                            |
+//! | `AlwaysPast` □⁻     | `∀t′ < t`                            |
+//! | `SometimeFuture` ◇⁺ | `∃t′ > t`                            |
+//! | `AlwaysFuture` □⁺   | `∀t′ > t`                            |
+//!
+//! Existential data variables are quantified *inside* the modality: each
+//! required snapshot may use its own witnesses.
+
+use crate::atom::{conjunction_vars, Atom};
+use crate::dependency::Tgd;
+use crate::schema::Schema;
+use crate::term::Var;
+use std::collections::HashSet;
+use std::fmt;
+
+/// The temporal relation between the body's snapshot and the head's.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Modality {
+    /// Head holds at the same snapshot (ordinary s-t tgd).
+    Now,
+    /// Head held at some strictly earlier snapshot (`◇⁻`).
+    SometimePast,
+    /// Head held at every strictly earlier snapshot (`□⁻`).
+    AlwaysPast,
+    /// Head will hold at some strictly later snapshot (`◇⁺`).
+    SometimeFuture,
+    /// Head will hold at every strictly later snapshot (`□⁺`).
+    AlwaysFuture,
+}
+
+impl Modality {
+    /// The conventional symbol.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Modality::Now => "",
+            Modality::SometimePast => "◇⁻",
+            Modality::AlwaysPast => "□⁻",
+            Modality::SometimeFuture => "◇⁺",
+            Modality::AlwaysFuture => "□⁺",
+        }
+    }
+
+    /// The keyword accepted by the parser.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Modality::Now => "now",
+            Modality::SometimePast => "sometime_past",
+            Modality::AlwaysPast => "always_past",
+            Modality::SometimeFuture => "sometime_future",
+            Modality::AlwaysFuture => "always_future",
+        }
+    }
+
+    /// Parses a modality keyword.
+    pub fn from_keyword(kw: &str) -> Option<Modality> {
+        Some(match kw {
+            "now" => Modality::Now,
+            "sometime_past" => Modality::SometimePast,
+            "always_past" => Modality::AlwaysPast,
+            "sometime_future" => Modality::SometimeFuture,
+            "always_future" => Modality::AlwaysFuture,
+            _ => None?,
+        })
+    }
+}
+
+/// A source-to-target tgd with a modal head:
+/// `∀x̄ φ(x̄) → M ∃ȳ ψ(x̄, ȳ)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TemporalTgd {
+    /// Optional diagnostic name.
+    pub name: Option<String>,
+    /// The body `φ(x̄)` over the source schema.
+    pub body: Vec<Atom>,
+    /// The modality wrapping the head.
+    pub modality: Modality,
+    /// The head `ψ(x̄, ȳ)` over the target schema.
+    pub head: Vec<Atom>,
+}
+
+impl TemporalTgd {
+    /// Builds and checks non-emptiness.
+    pub fn new(
+        body: Vec<Atom>,
+        modality: Modality,
+        head: Vec<Atom>,
+    ) -> Result<TemporalTgd, String> {
+        if body.is_empty() {
+            return Err("temporal tgd body must not be empty".into());
+        }
+        if head.is_empty() {
+            return Err("temporal tgd head must not be empty".into());
+        }
+        Ok(TemporalTgd {
+            name: None,
+            body,
+            modality,
+            head,
+        })
+    }
+
+    /// Attaches a diagnostic name.
+    pub fn named(mut self, name: &str) -> TemporalTgd {
+        self.name = Some(name.to_owned());
+        self
+    }
+
+    /// The distinct universally quantified (body) variables.
+    pub fn universal_vars(&self) -> Vec<Var> {
+        conjunction_vars(&self.body)
+    }
+
+    /// The distinct existential head variables.
+    pub fn existential_vars(&self) -> Vec<Var> {
+        let universal: HashSet<Var> = self.universal_vars().into_iter().collect();
+        conjunction_vars(&self.head)
+            .into_iter()
+            .filter(|v| !universal.contains(v))
+            .collect()
+    }
+
+    /// Validates against the source and target schemas.
+    pub fn validate(&self, source: &Schema, target: &Schema) -> Result<(), String> {
+        for atom in &self.body {
+            atom.check_against(source)
+                .map_err(|e| format!("{self}: body: {e}"))?;
+        }
+        for atom in &self.head {
+            atom.check_against(target)
+                .map_err(|e| format!("{self}: head: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// A `Now` temporal tgd is just an ordinary s-t tgd.
+    pub fn as_plain(&self) -> Option<Tgd> {
+        if self.modality == Modality::Now {
+            let mut t = Tgd::new(self.body.clone(), self.head.clone()).ok()?;
+            t.name = self.name.clone();
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for TemporalTgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, " → ")?;
+        if self.modality != Modality::Now {
+            write!(f, "{} ", self.modality.symbol())?;
+        }
+        let ex = self.existential_vars();
+        if !ex.is_empty() {
+            write!(f, "∃")?;
+            for (i, v) in ex.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, " . ")?;
+        }
+        for (i, a) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for TemporalTgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn atom(rel: &str, vars: &[&str]) -> Atom {
+        Atom::new(rel, vars.iter().map(|v| Term::var(v)).collect())
+    }
+
+    #[test]
+    fn phd_example_builds() {
+        let t = TemporalTgd::new(
+            vec![atom("PhDgrad", &["n"])],
+            Modality::SometimePast,
+            vec![atom("PhDCan", &["n", "adv", "top"])],
+        )
+        .unwrap()
+        .named("grad");
+        assert_eq!(t.universal_vars(), vec![Var::new("n")]);
+        assert_eq!(
+            t.existential_vars(),
+            vec![Var::new("adv"), Var::new("top")]
+        );
+        assert_eq!(
+            t.to_string(),
+            "PhDgrad(n) → ◇⁻ ∃adv,top . PhDCan(n, adv, top)"
+        );
+    }
+
+    #[test]
+    fn now_degrades_to_plain_tgd() {
+        let t = TemporalTgd::new(
+            vec![atom("E", &["n", "c"])],
+            Modality::Now,
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
+        let plain = t.as_plain().unwrap();
+        assert_eq!(plain.body, t.body);
+        assert_eq!(plain.head, t.head);
+        let past = TemporalTgd::new(
+            vec![atom("E", &["n", "c"])],
+            Modality::SometimePast,
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
+        assert!(past.as_plain().is_none());
+    }
+
+    #[test]
+    fn modality_keywords_roundtrip() {
+        for m in [
+            Modality::Now,
+            Modality::SometimePast,
+            Modality::AlwaysPast,
+            Modality::SometimeFuture,
+            Modality::AlwaysFuture,
+        ] {
+            assert_eq!(Modality::from_keyword(m.keyword()), Some(m));
+        }
+        assert_eq!(Modality::from_keyword("nope"), None);
+    }
+
+    #[test]
+    fn emptiness_checked() {
+        assert!(TemporalTgd::new(vec![], Modality::Now, vec![atom("A", &["x"])]).is_err());
+        assert!(TemporalTgd::new(vec![atom("A", &["x"])], Modality::Now, vec![]).is_err());
+    }
+}

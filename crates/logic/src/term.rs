@@ -1,0 +1,143 @@
+//! Variables and terms.
+
+use crate::constant::Constant;
+use crate::symbol::Symbol;
+use std::fmt;
+
+/// A (data) variable, identified by name within the scope of one dependency
+/// or query.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// Builds a variable from its name.
+    pub fn new(name: &str) -> Var {
+        Var(Symbol::intern(name))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+/// A term in an atom: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant.
+    Const(Constant),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shorthand for a constant term.
+    pub fn constant(c: impl Into<Constant>) -> Term {
+        Term::Const(c.into())
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<Constant> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(*c),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Constant> for Term {
+    fn from(c: Constant) -> Self {
+        Term::Const(c)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            // Integers parse back as integers; strings are quoted so the
+            // rendered form round-trips through the parser.
+            Term::Const(Constant::Int(i)) => write!(f, "{i}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_identity_is_by_name() {
+        assert_eq!(Var::new("n"), Var::new("n"));
+        assert_ne!(Var::new("n"), Var::new("c"));
+        assert_eq!(Var::new("salary").name(), "salary");
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::var("x");
+        assert_eq!(t.as_var(), Some(Var::new("x")));
+        assert_eq!(t.as_const(), None);
+        let c = Term::constant("IBM");
+        assert_eq!(c.as_const(), Some(Constant::str("IBM")));
+        assert_eq!(c.as_var(), None);
+    }
+
+    #[test]
+    fn conversions() {
+        let t: Term = Var::new("x").into();
+        assert_eq!(t, Term::var("x"));
+        let t: Term = Constant::int(3).into();
+        assert_eq!(t, Term::constant(3i64));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::var("n").to_string(), "n");
+        assert_eq!(Term::constant("IBM").to_string(), "'IBM'");
+    }
+}

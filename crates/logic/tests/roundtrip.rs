@@ -1,0 +1,69 @@
+//! Property: the rendered form of any dependency or query parses back to an
+//! equal AST (Display and the parser agree on one syntax).
+
+use proptest::prelude::*;
+use tdx_logic::{
+    parse_egd, parse_query, parse_tgd, Atom, ConjunctiveQuery, Egd, Term, Tgd, Var,
+};
+
+const RELS: &[&str] = &["R", "S", "T", "Emp", "Reg"];
+const VARS: &[&str] = &["x", "y", "z", "n", "c", "s"];
+const CONSTS: &[&str] = &["Ada", "IBM", "a b", "k9"];
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        prop::sample::select(VARS).prop_map(|v| Term::Var(Var::new(v))),
+        prop::sample::select(CONSTS).prop_map(Term::constant),
+        any::<i32>().prop_map(|i| Term::constant(i as i64)),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        prop::sample::select(RELS),
+        prop::collection::vec(arb_term(), 1..4),
+    )
+        .prop_map(|(r, terms)| Atom::new(r, terms))
+}
+
+fn arb_conj() -> impl Strategy<Value = Vec<Atom>> {
+    prop::collection::vec(arb_atom(), 1..4)
+}
+
+proptest! {
+    #[test]
+    fn tgd_roundtrip(body in arb_conj(), head in arb_conj()) {
+        let Ok(tgd) = Tgd::new(body, head) else { return Ok(()) };
+        let rendered = tgd.to_string();
+        let parsed = parse_tgd(&rendered)
+            .unwrap_or_else(|e| panic!("failed to reparse `{rendered}`: {e}"));
+        prop_assert_eq!(parsed, tgd);
+    }
+
+    #[test]
+    fn egd_roundtrip(body in arb_conj()) {
+        // Pick two variables occurring in the body, if any.
+        let vars: Vec<Var> = tdx_logic::atom::conjunction_vars(&body);
+        if vars.len() < 2 {
+            return Ok(());
+        }
+        let egd = Egd::new(body, vars[0], vars[1]).expect("vars are in body");
+        let rendered = egd.to_string();
+        let parsed = parse_egd(&rendered)
+            .unwrap_or_else(|e| panic!("failed to reparse `{rendered}`: {e}"));
+        prop_assert_eq!(parsed, egd);
+    }
+
+    #[test]
+    fn query_roundtrip(body in arb_conj(), n_head in 0usize..3) {
+        let vars: Vec<Var> = tdx_logic::atom::conjunction_vars(&body);
+        let head: Vec<Term> = vars.iter().take(n_head).map(|v| Term::Var(*v)).collect();
+        let q = ConjunctiveQuery::new(head, body)
+            .expect("head vars from body")
+            .named("Q");
+        let rendered = q.to_string();
+        let parsed = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("failed to reparse `{rendered}`: {e}"));
+        prop_assert_eq!(parsed, q);
+    }
+}

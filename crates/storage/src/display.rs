@@ -1,0 +1,140 @@
+//! Paper-style table rendering for instances.
+//!
+//! The experiment harness reproduces the paper's figures as text tables; the
+//! formatting lives here so `Display` for [`TemporalInstance`] and the bench
+//! crate agree on the layout.
+
+use crate::temporal_instance::TemporalInstance;
+use std::fmt;
+use tdx_logic::RelId;
+
+/// Renders an aligned text table.
+///
+/// ```text
+/// E+
+///  Name | Company | Time
+///  Ada  | IBM     | [2012, 2014)
+/// ```
+pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let push_row = |cells: &[String], out: &mut String| {
+        out.push(' ');
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" | ");
+            }
+            out.push_str(cell);
+            if i + 1 < cols {
+                for _ in cell.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+            }
+        }
+        out.push('\n');
+    };
+    push_row(headers, &mut out);
+    for row in rows {
+        push_row(row, &mut out);
+    }
+    out
+}
+
+/// Renders one relation of a temporal instance as a paper-style table, rows
+/// sorted for reproducibility (by interval start, then textual data).
+pub fn render_temporal_relation(instance: &TemporalInstance, rel: RelId) -> String {
+    let rs = instance.schema().relation(rel);
+    let title = format!("{}+", rs.name());
+    let mut headers: Vec<String> = rs.attrs().iter().map(|a| cap(a.as_str())).collect();
+    headers.push("Time".to_owned());
+    let mut rows: Vec<(tdx_temporal::Interval, Vec<String>)> = instance
+        .facts(rel)
+        .iter()
+        .map(|f| {
+            let mut cells: Vec<String> = f.data.iter().map(|v| v.to_string()).collect();
+            cells.push(f.interval.to_string());
+            (f.interval, cells)
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        let ka = (&a.1[..a.1.len() - 1], a.0);
+        let kb = (&b.1[..b.1.len() - 1], b.0);
+        ka.cmp(&kb)
+    });
+    let cells: Vec<Vec<String>> = rows.into_iter().map(|(_, r)| r).collect();
+    render_table(&title, &headers, &cells)
+}
+
+fn cap(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+pub(crate) fn fmt_temporal_instance(
+    instance: &TemporalInstance,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    for i in 0..instance.schema().len() {
+        let rel = RelId(i as u32);
+        if instance.len(rel) == 0 {
+            continue;
+        }
+        if i > 0 {
+            writeln!(f)?;
+        }
+        write!(f, "{}", render_temporal_relation(instance, rel))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdx_logic::{RelationSchema, Schema};
+    use tdx_temporal::Interval;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render_table(
+            "E+",
+            &["Name".into(), "Company".into(), "Time".into()],
+            &[
+                vec!["Ada".into(), "IBM".into(), "[2012, 2014)".into()],
+                vec!["Ada".into(), "Google".into(), "[2014, ∞)".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "E+");
+        assert_eq!(lines[1], " Name | Company | Time");
+        assert_eq!(lines[2], " Ada  | IBM     | [2012, 2014)");
+        assert_eq!(lines[3], " Ada  | Google  | [2014, ∞)");
+    }
+
+    #[test]
+    fn renders_temporal_relation_sorted() {
+        let schema = Arc::new(
+            Schema::new(vec![RelationSchema::new("E", &["name", "company"])]).unwrap(),
+        );
+        let mut i = TemporalInstance::new(schema);
+        i.insert_strs("E", &["Bob", "IBM"], Interval::new(2013, 2018));
+        i.insert_strs("E", &["Ada", "IBM"], Interval::new(2012, 2014));
+        let out = render_temporal_relation(&i, RelId(0));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "E+");
+        assert!(lines[1].starts_with(" Name | Company"));
+        assert!(lines[2].contains("Ada"));
+        assert!(lines[3].contains("Bob"));
+    }
+}

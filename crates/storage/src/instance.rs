@@ -1,0 +1,374 @@
+//! Relational snapshot instances.
+//!
+//! An [`Instance`] is one state `db_ℓ` of the abstract view: finite sets of
+//! tuples over a fixed schema, possibly containing labeled nulls (a naïve
+//! table). Rows are deduplicated; insertion order is preserved so runs are
+//! reproducible.
+
+use crate::value::{NullId, Row, Value};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use tdx_logic::{RelId, Schema, Symbol};
+
+pub(crate) struct ColIndex {
+    pub(crate) map: HashMap<Value, Vec<u32>>,
+    /// Number of rows already reflected in `map`.
+    pub(crate) synced: usize,
+}
+
+impl ColIndex {
+    fn new() -> ColIndex {
+        ColIndex {
+            map: HashMap::new(),
+            synced: 0,
+        }
+    }
+}
+
+struct RelData {
+    rows: Vec<Row>,
+    set: HashSet<Row>,
+    cols: RefCell<HashMap<usize, ColIndex>>,
+}
+
+impl RelData {
+    fn new() -> RelData {
+        RelData {
+            rows: Vec::new(),
+            set: HashSet::new(),
+            cols: RefCell::new(HashMap::new()),
+        }
+    }
+}
+
+/// A relational database instance (one snapshot), with lazily built
+/// per-column hash indexes used by the conjunctive matcher.
+pub struct Instance {
+    schema: Arc<Schema>,
+    rels: Vec<RelData>,
+}
+
+impl Instance {
+    /// An empty instance over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Instance {
+        let rels = (0..schema.len()).map(|_| RelData::new()).collect();
+        Instance { schema, rels }
+    }
+
+    /// An empty instance over an owned schema.
+    pub fn with_schema(schema: Schema) -> Instance {
+        Instance::new(Arc::new(schema))
+    }
+
+    /// The instance's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<Schema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// Inserts a row; returns `false` if it was already present.
+    ///
+    /// Panics if the relation id is out of range or the arity mismatches —
+    /// those are programming errors, not data errors.
+    pub fn insert(&mut self, rel: RelId, row: Row) -> bool {
+        assert_eq!(
+            row.len(),
+            self.schema.relation(rel).arity(),
+            "arity mismatch inserting into {}",
+            self.schema.relation(rel).name()
+        );
+        let data = &mut self.rels[rel.0 as usize];
+        if data.set.contains(&row) {
+            return false;
+        }
+        data.set.insert(Arc::clone(&row));
+        data.rows.push(row);
+        true
+    }
+
+    /// Inserts by relation name. Panics on an unknown relation.
+    pub fn insert_values<I: IntoIterator<Item = Value>>(&mut self, rel: &str, vals: I) -> bool {
+        let id = self
+            .schema
+            .rel_id(Symbol::intern(rel))
+            .unwrap_or_else(|| panic!("unknown relation {rel}"));
+        self.insert(id, vals.into_iter().collect())
+    }
+
+    /// Whether the exact row is present.
+    pub fn contains(&self, rel: RelId, row: &Row) -> bool {
+        self.rels[rel.0 as usize].set.contains(row)
+    }
+
+    /// Number of rows in one relation.
+    pub fn len(&self, rel: RelId) -> usize {
+        self.rels[rel.0 as usize].rows.len()
+    }
+
+    /// Total number of rows.
+    pub fn total_len(&self) -> usize {
+        self.rels.iter().map(|r| r.rows.len()).sum()
+    }
+
+    /// Whether the whole instance is empty.
+    pub fn is_empty(&self) -> bool {
+        self.total_len() == 0
+    }
+
+    /// The rows of one relation, in insertion order.
+    pub fn rows(&self, rel: RelId) -> &[Row] {
+        &self.rels[rel.0 as usize].rows
+    }
+
+    /// Iterates `(rel, row)` over the whole instance.
+    pub fn iter_all(&self) -> impl Iterator<Item = (RelId, &Row)> {
+        self.rels.iter().enumerate().flat_map(|(i, r)| {
+            r.rows
+                .iter()
+                .map(move |row| (RelId(i as u32), row))
+        })
+    }
+
+    /// The set of null bases occurring anywhere in the instance
+    /// (`Null(db)` in the paper).
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        let mut out = BTreeSet::new();
+        for (_, row) in self.iter_all() {
+            for v in row.iter() {
+                if let Value::Null(n) = v {
+                    out.insert(*n);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the instance contains no nulls (is *complete*).
+    pub fn is_complete(&self) -> bool {
+        self.iter_all()
+            .all(|(_, row)| row.iter().all(|v| !v.is_null()))
+    }
+
+    /// A new instance with every value mapped through `f` (used for null
+    /// renaming and egd rewriting). Rows that become equal are merged.
+    pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Instance {
+        let mut out = Instance::new(self.schema_arc());
+        for (rel, row) in self.iter_all() {
+            let new_row: Row = row.iter().map(|v| f(v)).collect();
+            out.insert(rel, new_row);
+        }
+        out
+    }
+
+    // ---- index support for the matcher -------------------------------
+
+    pub(crate) fn ensure_col_index(&self, rel: RelId, col: usize) {
+        let data = &self.rels[rel.0 as usize];
+        let mut cols = data.cols.borrow_mut();
+        let idx = cols.entry(col).or_insert_with(ColIndex::new);
+        while idx.synced < data.rows.len() {
+            let row_id = idx.synced as u32;
+            let v = data.rows[idx.synced][col];
+            idx.map.entry(v).or_default().push(row_id);
+            idx.synced += 1;
+        }
+    }
+
+    /// Number of rows with value `v` in column `col`. The index must have
+    /// been prepared with [`Instance::ensure_col_index`].
+    pub(crate) fn col_count(&self, rel: RelId, col: usize, v: &Value) -> usize {
+        let cols = self.rels[rel.0 as usize].cols.borrow();
+        cols.get(&col)
+            .and_then(|i| i.map.get(v))
+            .map_or(0, |ids| ids.len())
+    }
+
+    /// Visits candidate row ids for `col = v`; `f` returns `false` to stop.
+    /// Returns `false` if stopped early.
+    pub(crate) fn for_col(
+        &self,
+        rel: RelId,
+        col: usize,
+        v: &Value,
+        f: &mut dyn FnMut(u32) -> bool,
+    ) -> bool {
+        let cols = self.rels[rel.0 as usize].cols.borrow();
+        if let Some(ids) = cols.get(&col).and_then(|i| i.map.get(v)) {
+            for &id in ids {
+                if !f(id) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Clone for Instance {
+    fn clone(&self) -> Self {
+        let mut out = Instance::new(self.schema_arc());
+        for (rel, row) in self.iter_all() {
+            out.insert(rel, Arc::clone(row));
+        }
+        out
+    }
+}
+
+impl PartialEq for Instance {
+    /// Set-based equality: same schema (by name/arity) and the same set of
+    /// facts in every relation, regardless of insertion order.
+    fn eq(&self, other: &Self) -> bool {
+        if self.schema.as_ref() != other.schema.as_ref() {
+            return false;
+        }
+        self.rels
+            .iter()
+            .zip(&other.rels)
+            .all(|(a, b)| a.set == b.set)
+    }
+}
+
+impl Eq for Instance {}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut lines: Vec<String> = Vec::new();
+        for (i, r) in self.rels.iter().enumerate() {
+            let name = self.schema.relation(RelId(i as u32)).name();
+            for row in &r.rows {
+                let vals: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                lines.push(format!("{}({})", name, vals.join(", ")));
+            }
+        }
+        lines.sort();
+        write!(f, "{{{}}}", lines.join(", "))
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::row;
+    use tdx_logic::RelationSchema;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![
+                RelationSchema::new("E", &["name", "company"]),
+                RelationSchema::new("S", &["name", "salary"]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_dedupes() {
+        let mut i = Instance::new(schema());
+        assert!(i.insert_values("E", [Value::str("Ada"), Value::str("IBM")]));
+        assert!(!i.insert_values("E", [Value::str("Ada"), Value::str("IBM")]));
+        assert!(i.insert_values("S", [Value::str("Ada"), Value::str("18k")]));
+        assert_eq!(i.total_len(), 2);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut i = Instance::new(schema());
+        i.insert(RelId(0), row([Value::str("Ada")]));
+    }
+
+    #[test]
+    fn nulls_and_completeness() {
+        let mut i = Instance::new(schema());
+        i.insert_values("E", [Value::str("Ada"), Value::Null(NullId(3))]);
+        assert_eq!(i.nulls().into_iter().collect::<Vec<_>>(), vec![NullId(3)]);
+        assert!(!i.is_complete());
+        let complete = i.map_values(|v| match v {
+            Value::Null(_) => Value::str("IBM"),
+            other => *other,
+        });
+        assert!(complete.is_complete());
+        assert!(complete.contains(
+            RelId(0),
+            &row([Value::str("Ada"), Value::str("IBM")])
+        ));
+    }
+
+    #[test]
+    fn map_values_merges_rows() {
+        let mut i = Instance::new(schema());
+        i.insert_values("E", [Value::str("Ada"), Value::Null(NullId(0))]);
+        i.insert_values("E", [Value::str("Ada"), Value::Null(NullId(1))]);
+        assert_eq!(i.total_len(), 2);
+        let merged = i.map_values(|v| match v {
+            Value::Null(_) => Value::str("IBM"),
+            other => *other,
+        });
+        assert_eq!(merged.total_len(), 1);
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let mut a = Instance::new(schema());
+        a.insert_values("E", [Value::str("Ada"), Value::str("IBM")]);
+        a.insert_values("E", [Value::str("Bob"), Value::str("IBM")]);
+        let mut b = Instance::new(schema());
+        b.insert_values("E", [Value::str("Bob"), Value::str("IBM")]);
+        b.insert_values("E", [Value::str("Ada"), Value::str("IBM")]);
+        assert_eq!(a, b);
+        b.insert_values("S", [Value::str("Ada"), Value::str("18k")]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn index_lookup() {
+        let mut i = Instance::new(schema());
+        i.insert_values("E", [Value::str("Ada"), Value::str("IBM")]);
+        i.insert_values("E", [Value::str("Bob"), Value::str("IBM")]);
+        i.insert_values("E", [Value::str("Ada"), Value::str("Google")]);
+        let e = RelId(0);
+        i.ensure_col_index(e, 1);
+        assert_eq!(i.col_count(e, 1, &Value::str("IBM")), 2);
+        assert_eq!(i.col_count(e, 1, &Value::str("Google")), 1);
+        assert_eq!(i.col_count(e, 1, &Value::str("Intel")), 0);
+        // Incremental sync after more inserts.
+        i.insert_values("E", [Value::str("Cyd"), Value::str("IBM")]);
+        i.ensure_col_index(e, 1);
+        assert_eq!(i.col_count(e, 1, &Value::str("IBM")), 3);
+        let mut seen = Vec::new();
+        i.for_col(e, 1, &Value::str("IBM"), &mut |id| {
+            seen.push(id);
+            true
+        });
+        assert_eq!(seen, vec![0, 1, 3]);
+        // Early stop.
+        let mut seen = 0;
+        let completed = i.for_col(e, 1, &Value::str("IBM"), &mut |_| {
+            seen += 1;
+            false
+        });
+        assert!(!completed);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        let mut i = Instance::new(schema());
+        i.insert_values("S", [Value::str("Bob"), Value::str("13k")]);
+        i.insert_values("E", [Value::str("Ada"), Value::str("IBM")]);
+        assert_eq!(i.to_string(), "{E(Ada, IBM), S(Bob, 13k)}");
+    }
+}

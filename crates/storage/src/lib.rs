@@ -1,0 +1,33 @@
+//! In-memory relational storage and the conjunctive-match engine.
+//!
+//! The chase and the normalization algorithms of *Temporal Data Exchange*
+//! are defined in terms of **homomorphisms from conjunctions of atoms to
+//! instances**. This crate supplies the machinery:
+//!
+//! * [`Value`] — constants and labeled nulls (naïve-table values); nulls in
+//!   temporal facts are *interval-annotated* implicitly: the paper's
+//!   invariant that a null's annotation equals its fact's time interval is
+//!   baked in, so only the base [`NullId`] is stored;
+//! * [`Instance`] — a relational snapshot (sets of tuples per relation);
+//! * [`TemporalInstance`] — a concrete temporal instance (tuples time-stamped
+//!   with [`Interval`](tdx_temporal::Interval)s over the implicit `R⁺`
+//!   schema);
+//! * lazy per-column (and per-interval) hash indexes;
+//! * [`matcher`] — a backtracking conjunctive matcher with the three
+//!   temporal modes the paper needs: ignore time, one shared interval
+//!   variable `t` (the `φ⁺(x̄, t)` forms of Definition 16), or one interval
+//!   variable per atom with a non-empty common intersection (the `N(Φ⁺)`
+//!   forms of Algorithm 1).
+
+#![warn(missing_docs)]
+
+pub mod display;
+pub mod instance;
+pub mod matcher;
+pub mod temporal_instance;
+pub mod value;
+
+pub use instance::Instance;
+pub use matcher::{Match, MatchError, SearchOptions, TemporalMode};
+pub use temporal_instance::{TemporalFact, TemporalInstance};
+pub use value::{row, NullGen, NullId, Row, Value};

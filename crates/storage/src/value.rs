@@ -1,0 +1,182 @@
+//! Stored values: constants and labeled nulls.
+
+use std::fmt;
+use std::sync::Arc;
+use tdx_logic::Constant;
+
+/// The base identifier of a labeled null.
+///
+/// In a snapshot instance a `NullId` *is* the labeled null. In a temporal
+/// instance a null is interval-annotated (`N^[s,e)`, Section 4.1 of the
+/// paper); the annotation always equals the containing fact's interval, so
+/// the pair *(base, fact interval)* identifies the annotated null and only
+/// the base is stored.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NullId(pub u64);
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+impl fmt::Debug for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A generator of fresh null bases. Each chase run owns one, so null ids are
+/// deterministic for a given input and step order.
+#[derive(Debug, Default, Clone)]
+pub struct NullGen {
+    next: u64,
+}
+
+impl NullGen {
+    /// A generator starting at `N0`.
+    pub fn new() -> NullGen {
+        NullGen::default()
+    }
+
+    /// A generator starting above every null in use (for resuming).
+    pub fn starting_at(next: u64) -> NullGen {
+        NullGen { next }
+    }
+
+    /// Allocates a fresh null base.
+    pub fn fresh(&mut self) -> NullId {
+        let id = NullId(self.next);
+        self.next += 1;
+        id
+    }
+
+    /// The next id that would be allocated.
+    pub fn peek(&self) -> u64 {
+        self.next
+    }
+}
+
+/// A stored value: a constant or a labeled null (naïve-table semantics —
+/// two nulls are equal iff they have the same id).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A constant from the data domain.
+    Const(Constant),
+    /// A labeled null.
+    Null(NullId),
+}
+
+impl Value {
+    /// Shorthand for a string constant value.
+    pub fn str(s: &str) -> Value {
+        Value::Const(Constant::str(s))
+    }
+
+    /// Shorthand for an integer constant value.
+    pub fn int(i: i64) -> Value {
+        Value::Const(Constant::Int(i))
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<Constant> {
+        match self {
+            Value::Const(c) => Some(*c),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// The null base inside, if any.
+    pub fn as_null(&self) -> Option<NullId> {
+        match self {
+            Value::Const(_) => None,
+            Value::Null(n) => Some(*n),
+        }
+    }
+
+    /// Whether this is a null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+}
+
+impl From<Constant> for Value {
+    fn from(c: Constant) -> Self {
+        Value::Const(c)
+    }
+}
+
+impl From<NullId> for Value {
+    fn from(n: NullId) -> Self {
+        Value::Null(n)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(c) => write!(f, "{c}"),
+            Value::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A stored tuple of data-attribute values. `Arc` so rows can be shared
+/// between the row vector and the dedup set, and so fragmentation (which
+/// copies only intervals) is cheap.
+pub type Row = Arc<[Value]>;
+
+/// Builds a [`Row`] from values.
+pub fn row<I: IntoIterator<Item = Value>>(vals: I) -> Row {
+    vals.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_gen_is_sequential() {
+        let mut g = NullGen::new();
+        assert_eq!(g.fresh(), NullId(0));
+        assert_eq!(g.fresh(), NullId(1));
+        assert_eq!(g.peek(), 2);
+        let mut g = NullGen::starting_at(10);
+        assert_eq!(g.fresh(), NullId(10));
+    }
+
+    #[test]
+    fn value_equality_is_naive() {
+        assert_eq!(Value::str("Ada"), Value::str("Ada"));
+        assert_ne!(Value::str("Ada"), Value::Null(NullId(0)));
+        assert_ne!(Value::Null(NullId(0)), Value::Null(NullId(1)));
+        assert_eq!(Value::Null(NullId(3)), Value::Null(NullId(3)));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::int(5).as_const(), Some(Constant::Int(5)));
+        assert_eq!(Value::int(5).as_null(), None);
+        assert!(Value::Null(NullId(1)).is_null());
+        assert_eq!(Value::Null(NullId(1)).as_null(), Some(NullId(1)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::str("IBM").to_string(), "IBM");
+        assert_eq!(Value::Null(NullId(7)).to_string(), "N7");
+    }
+
+    #[test]
+    fn row_builder() {
+        let r = row([Value::str("Ada"), Value::int(1)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], Value::str("Ada"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Property: the index-assisted backtracking matcher agrees with a
+//! brute-force reference implementation on random instances and patterns,
+//! in every temporal mode.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use tdx_logic::{Atom, RelationSchema, Schema, Term, Var};
+use tdx_storage::{SearchOptions, TemporalInstance, TemporalMode, Value};
+use tdx_temporal::Interval;
+
+fn schema() -> Arc<Schema> {
+    Arc::new(
+        Schema::new(vec![
+            RelationSchema::new("A", &["x", "y"]),
+            RelationSchema::new("B", &["x", "y"]),
+        ])
+        .unwrap(),
+    )
+}
+
+#[derive(Debug, Clone)]
+struct Fact {
+    rel: usize,
+    a: u8,
+    b: u8,
+    start: u64,
+    len: u64,
+}
+
+fn arb_fact() -> impl Strategy<Value = Fact> {
+    (0usize..2, 0u8..4, 0u8..4, 0u64..12, 1u64..6).prop_map(|(rel, a, b, start, len)| Fact {
+        rel,
+        a,
+        b,
+        start,
+        len,
+    })
+}
+
+/// Pattern atoms over a tiny variable/constant pool.
+#[derive(Debug, Clone)]
+struct PatAtom {
+    rel: usize,
+    t0: u8, // 0..4 = const value; 4..7 = var id
+    t1: u8,
+}
+
+fn arb_pattern() -> impl Strategy<Value = Vec<PatAtom>> {
+    prop::collection::vec(
+        (0usize..2, 0u8..7, 0u8..7).prop_map(|(rel, t0, t1)| PatAtom { rel, t0, t1 }),
+        1..3,
+    )
+}
+
+fn build_instance(facts: &[Fact]) -> TemporalInstance {
+    let mut i = TemporalInstance::new(schema());
+    for f in facts {
+        let rel = if f.rel == 0 { "A" } else { "B" };
+        i.insert_strs(
+            rel,
+            &[&format!("v{}", f.a), &format!("v{}", f.b)],
+            Interval::new(f.start, f.start + f.len),
+        );
+    }
+    i
+}
+
+fn build_atoms(pattern: &[PatAtom]) -> Vec<Atom> {
+    pattern
+        .iter()
+        .map(|p| {
+            let term = |t: u8| {
+                if t < 4 {
+                    Term::constant(format!("v{t}").as_str())
+                } else {
+                    Term::Var(Var::new(&format!("w{}", t - 4)))
+                }
+            };
+            Atom::new(if p.rel == 0 { "A" } else { "B" }, vec![term(p.t0), term(p.t1)])
+        })
+        .collect()
+}
+
+/// Brute force: enumerate every tuple of fact indices (one per atom), check
+/// consistency by hand, and collect the canonical match signature.
+fn reference_matches(
+    facts: &[Fact],
+    pattern: &[PatAtom],
+    mode: TemporalMode,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let k = pattern.len();
+    let n = facts.len();
+    if n == 0 {
+        return out;
+    }
+    let mut idx = vec![0usize; k];
+    'outer: loop {
+        // Evaluate this combination.
+        let mut env: [Option<u8>; 3] = [None; 3];
+        let mut ok = true;
+        let mut shared: Option<(u64, u64)> = None;
+        let mut inter: Option<(u64, u64)> = None;
+        for (ai, p) in pattern.iter().enumerate() {
+            let f = &facts[idx[ai]];
+            if f.rel != p.rel {
+                ok = false;
+                break;
+            }
+            for (t, val) in [(p.t0, f.a), (p.t1, f.b)] {
+                if t < 4 {
+                    if t != val {
+                        ok = false;
+                        break;
+                    }
+                } else {
+                    let slot = (t - 4) as usize;
+                    match env[slot] {
+                        None => env[slot] = Some(val),
+                        Some(v) if v == val => {}
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                break;
+            }
+            let iv = (f.start, f.start + f.len);
+            match mode {
+                TemporalMode::Free => {}
+                TemporalMode::Shared => match shared {
+                    None => shared = Some(iv),
+                    Some(s) if s == iv => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                },
+                TemporalMode::FreeOverlapping => {
+                    inter = match inter {
+                        None => Some(iv),
+                        Some((s, e)) => {
+                            let ns = s.max(iv.0);
+                            let ne = e.min(iv.1);
+                            if ns >= ne {
+                                ok = false;
+                                break;
+                            }
+                            Some((ns, ne))
+                        }
+                    };
+                }
+            }
+        }
+        if ok {
+            // Signature: variable bindings + matched fact ids.
+            let sig = format!("{env:?}|{idx:?}");
+            out.insert(sig);
+        }
+        // Next combination.
+        for pos in 0..k {
+            idx[pos] += 1;
+            if idx[pos] < n {
+                continue 'outer;
+            }
+            idx[pos] = 0;
+        }
+        break;
+    }
+    if n == 0 {
+        out.clear();
+    }
+    out
+}
+
+fn engine_matches(
+    instance: &TemporalInstance,
+    facts: &[Fact],
+    atoms: &[Atom],
+    mode: TemporalMode,
+    use_indexes: bool,
+) -> BTreeSet<String> {
+    // Map engine row ids back to input fact indices: rows were inserted in
+    // order per relation, but duplicates collapse — recompute the mapping.
+    let mut per_rel: Vec<Vec<usize>> = vec![Vec::new(), Vec::new()];
+    let mut seen: BTreeSet<(usize, String, u64, u64)> = BTreeSet::new();
+    for (fi, f) in facts.iter().enumerate() {
+        let key = (
+            f.rel,
+            format!("v{} v{}", f.a, f.b),
+            f.start,
+            f.start + f.len,
+        );
+        if seen.insert(key) {
+            per_rel[f.rel].push(fi);
+        }
+    }
+    let mut out = BTreeSet::new();
+    instance
+        .find_matches_with(
+            atoms,
+            mode,
+            &[],
+            None,
+            SearchOptions { use_indexes },
+            |m| {
+                let mut env: [Option<u8>; 3] = [None; 3];
+                for slot in 0..3u8 {
+                    if let Some(Value::Const(c)) = m.value(Var::new(&format!("w{slot}"))) {
+                        let s = c.to_string();
+                        env[slot as usize] = s.strip_prefix('v').and_then(|d| d.parse().ok());
+                    }
+                }
+                let ids: Vec<usize> = m
+                    .atom_rows()
+                    .iter()
+                    .map(|(rel, row)| per_rel[rel.0 as usize][*row as usize])
+                    .collect();
+                out.insert(format!("{env:?}|{ids:?}"));
+                true
+            },
+        )
+        .unwrap();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matcher_agrees_with_reference(
+        facts in prop::collection::vec(arb_fact(), 0..10),
+        pattern in arb_pattern(),
+        mode_sel in 0u8..3,
+    ) {
+        // Deduplicate facts the same way the instance does, so fact indices
+        // align between reference and engine.
+        let mut facts = facts;
+        let mut seen = BTreeSet::new();
+        facts.retain(|f| seen.insert((f.rel, f.a, f.b, f.start, f.len)));
+        let mode = match mode_sel {
+            0 => TemporalMode::Free,
+            1 => TemporalMode::Shared,
+            _ => TemporalMode::FreeOverlapping,
+        };
+        let instance = build_instance(&facts);
+        let atoms = build_atoms(&pattern);
+        let expected = reference_matches(&facts, &pattern, mode);
+        let with_idx = engine_matches(&instance, &facts, &atoms, mode, true);
+        let without_idx = engine_matches(&instance, &facts, &atoms, mode, false);
+        prop_assert_eq!(&with_idx, &expected, "indexed vs reference");
+        prop_assert_eq!(&without_idx, &expected, "full-scan vs reference");
+    }
+}

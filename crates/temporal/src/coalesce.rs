@@ -1,0 +1,116 @@
+//! Generic coalescing of keyed interval streams.
+//!
+//! A concrete instance is *coalesced* when facts with identical data
+//! attribute values have disjoint, non-adjacent time intervals (paper
+//! Section 2, citing Böhlen, Snodgrass & Soo). [`coalesce_intervals`] is the
+//! reusable kernel: group intervals by an arbitrary key and merge each
+//! group's intervals into their canonical [`IntervalSet`] form.
+
+use crate::interval::Interval;
+use crate::set::IntervalSet;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Coalesces a stream of `(key, interval)` pairs.
+///
+/// Returns, for each distinct key, the canonical coalesced set of time points
+/// covered by that key's intervals. Output order follows the first
+/// appearance of each key in the input, making the operation deterministic.
+pub fn coalesce_intervals<K, I>(items: I) -> Vec<(K, IntervalSet)>
+where
+    K: Eq + Hash + Clone,
+    I: IntoIterator<Item = (K, Interval)>,
+{
+    let mut order: Vec<K> = Vec::new();
+    let mut buckets: HashMap<K, Vec<Interval>> = HashMap::new();
+    for (k, iv) in items {
+        buckets
+            .entry(k.clone())
+            .or_insert_with(|| {
+                order.push(k);
+                Vec::new()
+            })
+            .push(iv);
+    }
+    order
+        .into_iter()
+        .map(|k| {
+            let ivs = buckets.remove(&k).expect("bucket exists for ordered key");
+            (k, IntervalSet::from_intervals(ivs))
+        })
+        .collect()
+}
+
+/// Checks whether a stream of `(key, interval)` pairs is already coalesced:
+/// no two intervals of the same key overlap or are adjacent.
+pub fn is_coalesced<K, I>(items: I) -> bool
+where
+    K: Eq + Hash + Clone,
+    I: IntoIterator<Item = (K, Interval)>,
+{
+    let mut buckets: HashMap<K, Vec<Interval>> = HashMap::new();
+    for (k, iv) in items {
+        buckets.entry(k).or_default().push(iv);
+    }
+    for ivs in buckets.values() {
+        for (i, a) in ivs.iter().enumerate() {
+            for b in &ivs[i + 1..] {
+                if a.overlaps(b) || a.adjacent(b) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    #[test]
+    fn merges_per_key() {
+        let out = coalesce_intervals(vec![
+            ("ada", iv(2012, 2013)),
+            ("ada", iv(2013, 2014)),
+            ("bob", iv(2013, 2015)),
+            ("ada", iv(2016, 2018)),
+        ]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].0, "ada");
+        assert_eq!(out[0].1.intervals(), &[iv(2012, 2014), iv(2016, 2018)]);
+        assert_eq!(out[1].0, "bob");
+        assert_eq!(out[1].1.intervals(), &[iv(2013, 2015)]);
+    }
+
+    #[test]
+    fn output_order_is_first_appearance() {
+        let out = coalesce_intervals(vec![("b", iv(0, 1)), ("a", iv(0, 1)), ("b", iv(5, 6))]);
+        let keys: Vec<_> = out.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn is_coalesced_detects_adjacency_and_overlap() {
+        assert!(is_coalesced(vec![("x", iv(0, 2)), ("x", iv(3, 4))]));
+        assert!(!is_coalesced(vec![("x", iv(0, 2)), ("x", iv(2, 4))]));
+        assert!(!is_coalesced(vec![("x", iv(0, 3)), ("x", iv(2, 4))]));
+        // Different keys never interact.
+        assert!(is_coalesced(vec![("x", iv(0, 2)), ("y", iv(2, 4))]));
+    }
+
+    #[test]
+    fn coalesce_of_fragments_restores_original() {
+        // Fragmenting then coalescing is the identity on the covered set —
+        // the round-trip at the heart of normalization soundness.
+        let original = iv(5, 11);
+        let bps = crate::partition::Breakpoints::from_intervals([&iv(7, 9), &iv(8, 15)]);
+        let frags = crate::partition::fragment_interval(&original, &bps);
+        let out = coalesce_intervals(frags.into_iter().map(|f| ("f", f)));
+        assert_eq!(out[0].1.intervals(), &[original]);
+    }
+}

@@ -1,0 +1,407 @@
+//! Half-open time intervals `[s, e)` — the values of the temporal attribute
+//! in the concrete view (paper Section 2).
+
+use crate::point::{Endpoint, TimePoint};
+use std::fmt;
+
+/// A non-empty half-open interval `[start, end)` over the discrete time
+/// domain. `end` may be `∞`. Emptiness is ruled out at construction:
+/// [`Interval::new`] panics on `end <= start` and [`Interval::try_new`]
+/// returns `None` instead.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Interval {
+    start: TimePoint,
+    end: Endpoint,
+}
+
+/// The thirteen Allen relations between two intervals, restricted to the
+/// discrete half-open encoding. The paper only needs overlap/adjacency and
+/// equality, but downstream diagnostics use the full classification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AllenRelation {
+    /// `self` ends strictly before `other` starts (a gap in between).
+    Before,
+    /// `self` ends exactly where `other` starts.
+    Meets,
+    /// `self` starts first and they overlap without containment.
+    Overlaps,
+    /// Same start, `self` ends first.
+    Starts,
+    /// `self` lies strictly inside `other`.
+    During,
+    /// Same end, `self` starts later.
+    Finishes,
+    /// The two intervals are identical.
+    Equals,
+    /// Same end, `self` starts first.
+    FinishedBy,
+    /// `other` lies strictly inside `self`.
+    Contains,
+    /// Same start, `self` ends later.
+    StartedBy,
+    /// `other` starts first and they overlap without containment.
+    OverlappedBy,
+    /// `other` ends exactly where `self` starts.
+    MetBy,
+    /// `self` starts strictly after `other` ends (a gap in between).
+    After,
+}
+
+impl Interval {
+    /// Builds `[start, end)`. Panics if the interval would be empty.
+    #[inline]
+    pub fn new(start: TimePoint, end: impl Into<Endpoint>) -> Self {
+        Self::try_new(start, end).expect("empty interval: end must be strictly above start")
+    }
+
+    /// Builds `[start, end)`, returning `None` if it would be empty.
+    #[inline]
+    pub fn try_new(start: TimePoint, end: impl Into<Endpoint>) -> Option<Self> {
+        let end = end.into();
+        match end {
+            Endpoint::Fin(e) if e <= start => None,
+            _ => Some(Interval { start, end }),
+        }
+    }
+
+    /// Builds the unbounded interval `[start, ∞)`.
+    #[inline]
+    pub fn from(start: TimePoint) -> Self {
+        Interval {
+            start,
+            end: Endpoint::Inf,
+        }
+    }
+
+    /// Builds the singleton interval `[t, t+1)` holding exactly time point `t`.
+    #[inline]
+    pub fn point(t: TimePoint) -> Self {
+        Interval {
+            start: t,
+            end: Endpoint::Fin(t + 1),
+        }
+    }
+
+    /// The whole timeline `[0, ∞)`.
+    #[inline]
+    pub fn all() -> Self {
+        Interval {
+            start: 0,
+            end: Endpoint::Inf,
+        }
+    }
+
+    /// Inclusive lower bound.
+    #[inline]
+    pub fn start(&self) -> TimePoint {
+        self.start
+    }
+
+    /// Exclusive upper bound (possibly `∞`).
+    #[inline]
+    pub fn end(&self) -> Endpoint {
+        self.end
+    }
+
+    /// Number of time points covered, or `None` when infinite.
+    #[inline]
+    pub fn len(&self) -> Option<u64> {
+        self.end.finite().map(|e| e - self.start)
+    }
+
+    /// Whether the interval covers exactly one time point.
+    #[inline]
+    pub fn is_point(&self) -> bool {
+        self.len() == Some(1)
+    }
+
+    /// Whether the interval extends to `∞`.
+    #[inline]
+    pub fn is_unbounded(&self) -> bool {
+        self.end.is_infinite()
+    }
+
+    /// Membership test: `t ∈ [start, end)`.
+    #[inline]
+    pub fn contains(&self, t: TimePoint) -> bool {
+        t >= self.start && crate::point::below(t, self.end)
+    }
+
+    /// Whether `other` is fully inside `self`.
+    #[inline]
+    pub fn covers(&self, other: &Interval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Whether the two intervals share at least one time point.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        Endpoint::Fin(self.start) < other.end && Endpoint::Fin(other.start) < self.end
+    }
+
+    /// Adjacency in the paper's sense (Section 2): `[s,e)` and `[s',e')` are
+    /// adjacent iff `s' = e` or `s = e'`. Two adjacent intervals with equal
+    /// data can be coalesced.
+    #[inline]
+    pub fn adjacent(&self, other: &Interval) -> bool {
+        Endpoint::Fin(other.start) == self.end || Endpoint::Fin(self.start) == other.end
+    }
+
+    /// Intersection, or `None` when disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        match end {
+            Endpoint::Fin(e) if e <= start => None,
+            _ => Some(Interval { start, end }),
+        }
+    }
+
+    /// Union of two intervals that overlap or are adjacent (their hull);
+    /// `None` if they are separated (the union would not be an interval).
+    pub fn join(&self, other: &Interval) -> Option<Interval> {
+        if self.overlaps(other) || self.adjacent(other) {
+            Some(Interval {
+                start: self.start.min(other.start),
+                end: self.end.max(other.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Set difference `self \ other` as zero, one or two intervals.
+    pub fn subtract(&self, other: &Interval) -> Vec<Interval> {
+        let mut out = Vec::new();
+        let Some(cut) = self.intersect(other) else {
+            return vec![*self];
+        };
+        if self.start < cut.start {
+            out.push(Interval {
+                start: self.start,
+                end: Endpoint::Fin(cut.start),
+            });
+        }
+        if let Endpoint::Fin(ce) = cut.end {
+            if Endpoint::Fin(ce) < self.end {
+                out.push(Interval {
+                    start: ce,
+                    end: self.end,
+                });
+            }
+        }
+        out
+    }
+
+    /// Splits `[s, e)` at an interior point `p` (with `s < p < e`) into
+    /// `[s, p)` and `[p, e)`. Returns `None` when `p` is not interior.
+    pub fn split_at(&self, p: TimePoint) -> Option<(Interval, Interval)> {
+        if p > self.start && crate::point::below(p, self.end) {
+            Some((
+                Interval {
+                    start: self.start,
+                    end: Endpoint::Fin(p),
+                },
+                Interval {
+                    start: p,
+                    end: self.end,
+                },
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// The Allen relation from `self` to `other`.
+    pub fn allen(&self, other: &Interval) -> AllenRelation {
+        use std::cmp::Ordering::*;
+        let s = self.start.cmp(&other.start);
+        let e = self.end.cmp(&other.end);
+        if self.end <= Endpoint::Fin(other.start) {
+            return if self.end == Endpoint::Fin(other.start) {
+                AllenRelation::Meets
+            } else {
+                AllenRelation::Before
+            };
+        }
+        if other.end <= Endpoint::Fin(self.start) {
+            return if other.end == Endpoint::Fin(self.start) {
+                AllenRelation::MetBy
+            } else {
+                AllenRelation::After
+            };
+        }
+        match (s, e) {
+            (Equal, Equal) => AllenRelation::Equals,
+            (Equal, Less) => AllenRelation::Starts,
+            (Equal, Greater) => AllenRelation::StartedBy,
+            (Less, Equal) => AllenRelation::FinishedBy,
+            (Greater, Equal) => AllenRelation::Finishes,
+            (Less, Less) => AllenRelation::Overlaps,
+            (Greater, Greater) => AllenRelation::OverlappedBy,
+            (Less, Greater) => AllenRelation::Contains,
+            (Greater, Less) => AllenRelation::During,
+        }
+    }
+
+    /// Iterates the time points of the interval clipped to `[0, limit)`.
+    /// Useful for materializing snapshots of abstract instances in tests.
+    pub fn points_until(&self, limit: TimePoint) -> impl Iterator<Item = TimePoint> {
+        let lo = self.start.min(limit);
+        let hi = match self.end {
+            Endpoint::Fin(e) => e.min(limit),
+            Endpoint::Inf => limit,
+        };
+        lo..hi
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    #[test]
+    fn construction_rejects_empty() {
+        assert!(Interval::try_new(5, 5).is_none());
+        assert!(Interval::try_new(5, 4).is_none());
+        assert!(Interval::try_new(5, 6).is_some());
+        assert!(Interval::try_new(5, Endpoint::Inf).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_panics_on_empty() {
+        let _ = Interval::new(3, 3);
+    }
+
+    #[test]
+    fn accessors() {
+        let i = iv(2012, 2014);
+        assert_eq!(i.start(), 2012);
+        assert_eq!(i.end(), Endpoint::Fin(2014));
+        assert_eq!(i.len(), Some(2));
+        assert!(!i.is_unbounded());
+        assert!(Interval::from(8).is_unbounded());
+        assert_eq!(Interval::from(8).len(), None);
+        assert!(Interval::point(3).is_point());
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let i = iv(2012, 2014);
+        assert!(i.contains(2012));
+        assert!(i.contains(2013));
+        assert!(!i.contains(2014));
+        assert!(!i.contains(2011));
+        assert!(Interval::from(8).contains(u64::MAX));
+    }
+
+    #[test]
+    fn overlap_and_adjacency_match_paper() {
+        // [2012,2014) and [2014,∞) are adjacent, not overlapping.
+        let a = iv(2012, 2014);
+        let b = Interval::from(2014);
+        assert!(!a.overlaps(&b));
+        assert!(a.adjacent(&b));
+        assert!(b.adjacent(&a));
+        // [5,11) and [8,15) overlap.
+        assert!(iv(5, 11).overlaps(&iv(8, 15)));
+        // Disjoint non-adjacent.
+        assert!(!iv(1, 2).overlaps(&iv(3, 4)));
+        assert!(!iv(1, 2).adjacent(&iv(3, 4)));
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(iv(5, 11).intersect(&iv(8, 15)), Some(iv(8, 11)));
+        assert_eq!(iv(5, 11).intersect(&iv(11, 15)), None);
+        assert_eq!(
+            Interval::from(2014).intersect(&Interval::from(2016)),
+            Some(Interval::from(2016))
+        );
+        assert_eq!(iv(0, 4).intersect(&Interval::from(2)), Some(iv(2, 4)));
+    }
+
+    #[test]
+    fn join_hull() {
+        assert_eq!(iv(0, 3).join(&iv(3, 5)), Some(iv(0, 5)));
+        assert_eq!(iv(0, 4).join(&iv(2, 5)), Some(iv(0, 5)));
+        assert_eq!(iv(0, 2).join(&iv(3, 5)), None);
+        assert_eq!(iv(0, 2).join(&Interval::from(2)), Some(Interval::all()));
+    }
+
+    #[test]
+    fn subtraction() {
+        assert_eq!(iv(0, 10).subtract(&iv(3, 5)), vec![iv(0, 3), iv(5, 10)]);
+        assert_eq!(iv(0, 10).subtract(&iv(0, 5)), vec![iv(5, 10)]);
+        assert_eq!(iv(0, 10).subtract(&iv(5, 10)), vec![iv(0, 5)]);
+        assert_eq!(iv(0, 10).subtract(&iv(0, 10)), Vec::<Interval>::new());
+        assert_eq!(iv(0, 10).subtract(&iv(20, 30)), vec![iv(0, 10)]);
+        assert_eq!(Interval::from(0).subtract(&iv(2, 4)), vec![iv(0, 2), Interval::from(4)]);
+    }
+
+    #[test]
+    fn split() {
+        assert_eq!(iv(5, 11).split_at(8), Some((iv(5, 8), iv(8, 11))));
+        assert_eq!(iv(5, 11).split_at(5), None);
+        assert_eq!(iv(5, 11).split_at(11), None);
+        assert_eq!(
+            Interval::from(5).split_at(8),
+            Some((iv(5, 8), Interval::from(8)))
+        );
+    }
+
+    #[test]
+    fn allen_relations() {
+        use AllenRelation::*;
+        assert_eq!(iv(0, 2).allen(&iv(3, 5)), Before);
+        assert_eq!(iv(0, 3).allen(&iv(3, 5)), Meets);
+        assert_eq!(iv(0, 4).allen(&iv(2, 6)), Overlaps);
+        assert_eq!(iv(2, 4).allen(&iv(2, 6)), Starts);
+        assert_eq!(iv(3, 4).allen(&iv(2, 6)), During);
+        assert_eq!(iv(4, 6).allen(&iv(2, 6)), Finishes);
+        assert_eq!(iv(2, 6).allen(&iv(2, 6)), Equals);
+        assert_eq!(iv(2, 6).allen(&iv(3, 6)), FinishedBy);
+        assert_eq!(iv(2, 6).allen(&iv(3, 5)), Contains);
+        assert_eq!(iv(2, 6).allen(&iv(2, 4)), StartedBy);
+        assert_eq!(iv(2, 6).allen(&iv(0, 4)), OverlappedBy);
+        assert_eq!(iv(3, 5).allen(&iv(0, 3)), MetBy);
+        assert_eq!(iv(3, 5).allen(&iv(0, 2)), After);
+        // Infinite ends behave like a common +∞ endpoint.
+        assert_eq!(Interval::from(2).allen(&Interval::from(2)), Equals);
+        assert_eq!(Interval::from(2).allen(&Interval::from(4)), FinishedBy);
+        assert_eq!(Interval::from(4).allen(&Interval::from(2)), Finishes);
+    }
+
+    #[test]
+    fn points_until_clips() {
+        let pts: Vec<_> = Interval::from(3).points_until(6).collect();
+        assert_eq!(pts, vec![3, 4, 5]);
+        let pts: Vec<_> = iv(1, 3).points_until(10).collect();
+        assert_eq!(pts, vec![1, 2]);
+        let pts: Vec<_> = iv(5, 8).points_until(5).collect();
+        assert!(pts.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(iv(2012, 2014).to_string(), "[2012, 2014)");
+        assert_eq!(Interval::from(2014).to_string(), "[2014, ∞)");
+    }
+}

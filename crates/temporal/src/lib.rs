@@ -1,0 +1,36 @@
+//! Interval algebra and timeline partitioning for temporal data exchange.
+//!
+//! This crate is the temporal substrate of the reproduction of
+//! *Temporal Data Exchange* (Golshanara & Chomicki). The paper models time as
+//! the non-negative integers `N0` and time-stamps concrete facts with
+//! half-open intervals `[s, e)` where `e` may be `∞` (Section 2).
+//!
+//! Provided here:
+//!
+//! * [`TimePoint`] / [`Endpoint`] — the discrete time domain and its
+//!   right-open upper bounds (finite or infinite);
+//! * [`Interval`] — non-empty half-open intervals with the predicates the
+//!   paper uses (overlap, adjacency, containment) and the operations the
+//!   chase needs (intersection, fragmentation);
+//! * [`IntervalSet`] — a coalesced set of disjoint, non-adjacent intervals,
+//!   the canonical representation of "when a fact holds";
+//! * [`partition`] — endpoint collection and elementary-interval
+//!   partitioning, the engine behind both normalization algorithms
+//!   (paper Section 4.2);
+//! * [`coalesce`] — generic coalescing of `(key, interval)` streams
+//!   (Böhlen, Snodgrass & Soo; used by the paper's Section 2 definition of
+//!   coalesced concrete instances).
+
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod interval;
+pub mod partition;
+pub mod point;
+pub mod set;
+
+pub use coalesce::coalesce_intervals;
+pub use interval::{AllenRelation, Interval};
+pub use partition::{fragment_interval, Breakpoints};
+pub use point::{Endpoint, TimePoint};
+pub use set::IntervalSet;

@@ -1,0 +1,227 @@
+//! Endpoint collection and interval fragmentation.
+//!
+//! Both normalization algorithms of the paper (Section 4.2) fragment concrete
+//! facts at *distinct start and end points*: the naïve algorithm at every
+//! endpoint of the instance, Algorithm 1 only at the endpoints of the facts
+//! in the same merged group `Δ`. [`Breakpoints`] is that sorted endpoint
+//! sequence (the paper's `TP_Δ`), and [`fragment_interval`] cuts one interval
+//! at the breakpoints falling strictly inside it (the paper's `TP_f`).
+
+use crate::interval::Interval;
+use crate::point::{Endpoint, TimePoint};
+
+/// A sorted, deduplicated sequence of time points used as cutting positions.
+///
+/// Corresponds to `TP_Δ = ⟨tp₁, …, tp_m⟩` in Algorithm 1: the distinct start
+/// points and (finite) end points of a set of facts. `∞` never appears — an
+/// unbounded fact simply keeps an unbounded last fragment.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Breakpoints {
+    points: Vec<TimePoint>,
+}
+
+impl Breakpoints {
+    /// An empty cutting set.
+    pub fn new() -> Self {
+        Breakpoints { points: Vec::new() }
+    }
+
+    /// Collects the endpoints of the given intervals.
+    pub fn from_intervals<'a, I: IntoIterator<Item = &'a Interval>>(iter: I) -> Self {
+        let mut points = Vec::new();
+        for iv in iter {
+            points.push(iv.start());
+            if let Endpoint::Fin(e) = iv.end() {
+                points.push(e);
+            }
+        }
+        points.sort_unstable();
+        points.dedup();
+        Breakpoints { points }
+    }
+
+    /// Adds the endpoints of one more interval.
+    pub fn add_interval(&mut self, iv: &Interval) {
+        self.points.push(iv.start());
+        if let Endpoint::Fin(e) = iv.end() {
+            self.points.push(e);
+        }
+        self.points.sort_unstable();
+        self.points.dedup();
+    }
+
+    /// The sorted cutting positions.
+    pub fn points(&self) -> &[TimePoint] {
+        &self.points
+    }
+
+    /// Number of distinct positions.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no position has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The cutting positions strictly inside `iv` (excluding its own start;
+    /// an endpoint equal to `iv.start()` or `≥ iv.end()` does not cut).
+    pub fn interior_of<'a>(&'a self, iv: &Interval) -> impl Iterator<Item = TimePoint> + 'a {
+        let lo = self.points.partition_point(|&p| p <= iv.start());
+        let end = iv.end();
+        self.points[lo..]
+            .iter()
+            .copied()
+            .take_while(move |&p| Endpoint::Fin(p) < end)
+    }
+}
+
+/// Fragments `iv` at every breakpoint strictly inside it.
+///
+/// This is the `frg` step of Algorithm 1: the fact's interval `[s, e)` is cut
+/// into `k` consecutive sub-intervals whose endpoints are the sub-sequence of
+/// `TP_Δ` between `s` and `e`. The fragments are returned in ascending order,
+/// are pairwise adjacent, and their union is exactly `iv`. When no breakpoint
+/// falls inside, the single original interval is returned.
+pub fn fragment_interval(iv: &Interval, bps: &Breakpoints) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut cur = iv.start();
+    for p in bps.interior_of(iv) {
+        // `interior_of` guarantees cur < p < iv.end().
+        out.push(Interval::new(cur, p));
+        cur = p;
+    }
+    match iv.end() {
+        Endpoint::Fin(e) => out.push(Interval::new(cur, e)),
+        Endpoint::Inf => out.push(Interval::from(cur)),
+    }
+    out
+}
+
+/// Partitions the whole timeline `[0, ∞)` into *elementary epochs* induced by
+/// the breakpoints: `[0, p₁), [p₁, p₂), …, [p_k, ∞)`.
+///
+/// Every interval whose endpoints are all drawn from `bps ∪ {0, ∞}` is a
+/// union of consecutive epochs; instances whose facts share those endpoints
+/// are snapshot-uniform inside each epoch. This is how the crate above
+/// finitely represents the paper's infinite abstract instances.
+pub fn epochs_over_timeline(bps: &Breakpoints) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let mut cur = 0u64;
+    for &p in bps.points() {
+        if p > cur {
+            out.push(Interval::new(cur, p));
+            cur = p;
+        }
+    }
+    out.push(Interval::from(cur));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    #[test]
+    fn collects_sorted_distinct_endpoints() {
+        // Facts of the paper's Example 14, group Δ1 = {f1, f2, f3}.
+        let f1 = iv(5, 11);
+        let f2 = iv(8, 15);
+        let f3 = iv(7, 10);
+        let bps = Breakpoints::from_intervals([&f1, &f2, &f3]);
+        assert_eq!(bps.points(), &[5, 7, 8, 10, 11, 15]);
+    }
+
+    #[test]
+    fn infinite_ends_are_not_breakpoints() {
+        let f4 = iv(20, 25);
+        let f5 = Interval::from(18);
+        let bps = Breakpoints::from_intervals([&f4, &f5]);
+        assert_eq!(bps.points(), &[18, 20, 25]);
+    }
+
+    #[test]
+    fn fragment_matches_example_14() {
+        // f1 : R+(a, [5,11)) fragments to [5,7), [7,8), [8,10), [10,11).
+        let bps = Breakpoints::from_intervals([&iv(5, 11), &iv(8, 15), &iv(7, 10)]);
+        let frags = fragment_interval(&iv(5, 11), &bps);
+        assert_eq!(frags, vec![iv(5, 7), iv(7, 8), iv(8, 10), iv(10, 11)]);
+        // f5 : S+(b, [18,∞)) fragments to [18,20), [20,25), [25,∞).
+        let bps = Breakpoints::from_intervals([&iv(20, 25), &Interval::from(18)]);
+        let frags = fragment_interval(&Interval::from(18), &bps);
+        assert_eq!(frags, vec![iv(18, 20), iv(20, 25), Interval::from(25)]);
+    }
+
+    #[test]
+    fn fragment_without_interior_breakpoints_is_identity() {
+        let bps = Breakpoints::from_intervals([&iv(0, 2), &iv(20, 30)]);
+        assert_eq!(fragment_interval(&iv(5, 10), &bps), vec![iv(5, 10)]);
+        // Breakpoints equal to the interval's own endpoints do not cut.
+        let bps = Breakpoints::from_intervals([&iv(5, 10)]);
+        assert_eq!(fragment_interval(&iv(5, 10), &bps), vec![iv(5, 10)]);
+    }
+
+    #[test]
+    fn fragments_tile_the_original() {
+        let bps = Breakpoints::from_intervals([&iv(1, 4), &iv(3, 9), &iv(6, 7)]);
+        for target in [iv(0, 12), iv(2, 8), iv(3, 4)] {
+            let frags = fragment_interval(&target, &bps);
+            assert_eq!(frags.first().unwrap().start(), target.start());
+            assert_eq!(frags.last().unwrap().end(), target.end());
+            for w in frags.windows(2) {
+                assert_eq!(Endpoint::Fin(w[1].start()), w[0].end());
+            }
+        }
+    }
+
+    #[test]
+    fn interior_of_respects_bounds() {
+        let bps = Breakpoints::from_intervals([&iv(0, 5), &iv(5, 10), &iv(10, 15)]);
+        // points: 0,5,10,15
+        let inside: Vec<_> = bps.interior_of(&iv(5, 15)).collect();
+        assert_eq!(inside, vec![10]);
+        let inside: Vec<_> = bps.interior_of(&Interval::from(0)).collect();
+        assert_eq!(inside, vec![5, 10, 15]);
+    }
+
+    #[test]
+    fn epochs_partition_timeline() {
+        let bps = Breakpoints::from_intervals([&iv(2012, 2014), &Interval::from(2013)]);
+        // points: 2012, 2013, 2014
+        let epochs = epochs_over_timeline(&bps);
+        assert_eq!(
+            epochs,
+            vec![
+                iv(0, 2012),
+                iv(2012, 2013),
+                iv(2013, 2014),
+                Interval::from(2014)
+            ]
+        );
+        // Breakpoint at 0 does not create an empty leading epoch.
+        let bps = Breakpoints::from_intervals([&iv(0, 3)]);
+        assert_eq!(
+            epochs_over_timeline(&bps),
+            vec![iv(0, 3), Interval::from(3)]
+        );
+        assert_eq!(
+            epochs_over_timeline(&Breakpoints::new()),
+            vec![Interval::all()]
+        );
+    }
+
+    #[test]
+    fn add_interval_incremental() {
+        let mut bps = Breakpoints::new();
+        bps.add_interval(&iv(3, 7));
+        bps.add_interval(&Interval::from(5));
+        assert_eq!(bps.points(), &[3, 5, 7]);
+        assert_eq!(bps.len(), 3);
+        assert!(!bps.is_empty());
+    }
+}

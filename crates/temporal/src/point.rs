@@ -1,0 +1,156 @@
+//! The discrete time domain `N0` and right-open upper bounds.
+
+use std::fmt;
+
+/// A time point. The paper's time domain is a totally ordered set isomorphic
+/// to the non-negative integers `N0` (Section 2); we use `u64` directly.
+pub type TimePoint = u64;
+
+/// The right endpoint of a half-open interval `[s, e)`: either a finite time
+/// point or `∞`. `[2014, ∞)` is the paper's abstraction for "until further
+/// notice" facts (Section 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A finite, exclusive upper bound.
+    Fin(TimePoint),
+    /// The interval extends forever.
+    Inf,
+}
+
+impl Endpoint {
+    /// Returns the finite bound, or `None` for `∞`.
+    #[inline]
+    pub fn finite(self) -> Option<TimePoint> {
+        match self {
+            Endpoint::Fin(t) => Some(t),
+            Endpoint::Inf => None,
+        }
+    }
+
+    /// Whether this endpoint is `∞`.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        matches!(self, Endpoint::Inf)
+    }
+
+    /// The minimum of two endpoints.
+    #[inline]
+    pub fn min(self, other: Endpoint) -> Endpoint {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The maximum of two endpoints.
+    #[inline]
+    pub fn max(self, other: Endpoint) -> Endpoint {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl PartialOrd for Endpoint {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Endpoint {
+    /// Total order with `Fin(a) < Fin(b)` iff `a < b` and `Fin(_) < Inf`.
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        match (self, other) {
+            (Endpoint::Fin(a), Endpoint::Fin(b)) => a.cmp(b),
+            (Endpoint::Fin(_), Endpoint::Inf) => std::cmp::Ordering::Less,
+            (Endpoint::Inf, Endpoint::Fin(_)) => std::cmp::Ordering::Greater,
+            (Endpoint::Inf, Endpoint::Inf) => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+impl From<TimePoint> for Endpoint {
+    #[inline]
+    fn from(t: TimePoint) -> Self {
+        Endpoint::Fin(t)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Fin(t) => write!(f, "{t}"),
+            Endpoint::Inf => write!(f, "∞"),
+        }
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Compares a time point against an endpoint: is `t` strictly below `e`?
+///
+/// This is the membership test on the right side of `[s, e)`.
+#[inline]
+pub fn below(t: TimePoint, e: Endpoint) -> bool {
+    match e {
+        Endpoint::Fin(b) => t < b,
+        Endpoint::Inf => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_order_is_total_with_inf_on_top() {
+        assert!(Endpoint::Fin(3) < Endpoint::Fin(4));
+        assert!(Endpoint::Fin(u64::MAX) < Endpoint::Inf);
+        assert_eq!(Endpoint::Inf, Endpoint::Inf);
+        assert!(Endpoint::Inf > Endpoint::Fin(0));
+    }
+
+    #[test]
+    fn endpoint_min_max() {
+        assert_eq!(Endpoint::Fin(3).min(Endpoint::Inf), Endpoint::Fin(3));
+        assert_eq!(Endpoint::Fin(3).max(Endpoint::Inf), Endpoint::Inf);
+        assert_eq!(Endpoint::Fin(3).min(Endpoint::Fin(2)), Endpoint::Fin(2));
+        assert_eq!(Endpoint::Inf.min(Endpoint::Inf), Endpoint::Inf);
+    }
+
+    #[test]
+    fn endpoint_finite_accessor() {
+        assert_eq!(Endpoint::Fin(7).finite(), Some(7));
+        assert_eq!(Endpoint::Inf.finite(), None);
+        assert!(Endpoint::Inf.is_infinite());
+        assert!(!Endpoint::Fin(0).is_infinite());
+    }
+
+    #[test]
+    fn below_respects_half_open_bound() {
+        assert!(below(3, Endpoint::Fin(4)));
+        assert!(!below(4, Endpoint::Fin(4)));
+        assert!(below(u64::MAX, Endpoint::Inf));
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(Endpoint::Fin(2014).to_string(), "2014");
+        assert_eq!(Endpoint::Inf.to_string(), "∞");
+    }
+
+    #[test]
+    fn endpoint_from_timepoint() {
+        let e: Endpoint = 9u64.into();
+        assert_eq!(e, Endpoint::Fin(9));
+    }
+}

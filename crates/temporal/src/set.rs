@@ -1,0 +1,328 @@
+//! Coalesced sets of intervals.
+//!
+//! An [`IntervalSet`] is the canonical representation of an arbitrary set of
+//! time points as a sorted sequence of pairwise disjoint, non-adjacent
+//! intervals. It is the value-level counterpart of the paper's *coalesced*
+//! concrete instances (Section 2): any abstract temporal extent has exactly
+//! one such representation, so equality of interval sets is equality of the
+//! sets of time points they denote.
+
+use crate::interval::Interval;
+use crate::point::{Endpoint, TimePoint};
+use std::fmt;
+
+/// A set of time points stored as sorted, disjoint, non-adjacent intervals.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct IntervalSet {
+    /// Invariant: sorted by start; for consecutive `a`, `b`:
+    /// `a.end < Fin(b.start)` (strictly separated — disjoint and non-adjacent).
+    ivs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    #[inline]
+    pub fn empty() -> Self {
+        IntervalSet { ivs: Vec::new() }
+    }
+
+    /// The set holding a single interval.
+    #[inline]
+    pub fn singleton(iv: Interval) -> Self {
+        IntervalSet { ivs: vec![iv] }
+    }
+
+    /// Builds a set from arbitrary (unsorted, possibly overlapping) intervals.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        let mut ivs: Vec<Interval> = iter.into_iter().collect();
+        ivs.sort();
+        let mut out: Vec<Interval> = Vec::with_capacity(ivs.len());
+        for iv in ivs {
+            match out.last_mut() {
+                Some(last) if last.overlaps(&iv) || last.adjacent(&iv) => {
+                    *last = last.join(&iv).expect("overlapping/adjacent intervals join");
+                }
+                _ => out.push(iv),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// The coalesced intervals, in ascending order.
+    #[inline]
+    pub fn intervals(&self) -> &[Interval] {
+        &self.ivs
+    }
+
+    /// Number of maximal intervals (not time points).
+    #[inline]
+    pub fn span_count(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Total number of time points, or `None` if infinite.
+    pub fn cardinality(&self) -> Option<u64> {
+        let mut total = 0u64;
+        for iv in &self.ivs {
+            total += iv.len()?;
+        }
+        Some(total)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: TimePoint) -> bool {
+        // Binary search on start.
+        let idx = self.ivs.partition_point(|iv| iv.start() <= t);
+        idx > 0 && self.ivs[idx - 1].contains(t)
+    }
+
+    /// Whether `iv` is entirely inside the set.
+    pub fn covers(&self, iv: &Interval) -> bool {
+        let idx = self.ivs.partition_point(|x| x.start() <= iv.start());
+        idx > 0 && self.ivs[idx - 1].covers(iv)
+    }
+
+    /// Inserts one interval, merging as needed.
+    pub fn insert(&mut self, iv: Interval) {
+        // Fast path: append after the last interval.
+        if let Some(last) = self.ivs.last() {
+            if Endpoint::Fin(iv.start()) > last.end() {
+                self.ivs.push(iv);
+                return;
+            }
+        } else {
+            self.ivs.push(iv);
+            return;
+        }
+        let mut merged = iv;
+        let mut out = Vec::with_capacity(self.ivs.len() + 1);
+        let mut placed = false;
+        for &cur in &self.ivs {
+            if placed {
+                out.push(cur);
+            } else if let Some(j) = merged.join(&cur) {
+                merged = j;
+            } else if cur.start() > merged.start() {
+                out.push(merged);
+                out.push(cur);
+                placed = true;
+            } else {
+                out.push(cur);
+            }
+        }
+        if !placed {
+            out.push(merged);
+        }
+        self.ivs = out;
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        IntervalSet::from_intervals(self.ivs.iter().chain(other.ivs.iter()).copied())
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() && j < other.ivs.len() {
+            if let Some(iv) = self.ivs[i].intersect(&other.ivs[j]) {
+                out.push(iv);
+            }
+            if self.ivs[i].end() <= other.ivs[j].end() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Set difference `self \ other` — a linear two-pointer sweep over the
+    /// two sorted interval lists.
+    pub fn difference(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out: Vec<Interval> = Vec::new();
+        let mut j = 0usize;
+        for iv in &self.ivs {
+            let mut start = iv.start();
+            let end = iv.end();
+            // Skip subtrahend intervals entirely before this one. `j` never
+            // retreats: both lists are ascending and strictly separated.
+            while j < other.ivs.len() && other.ivs[j].end() <= Endpoint::Fin(start) {
+                j += 1;
+            }
+            let mut k = j;
+            let mut fully_consumed = false;
+            while k < other.ivs.len() {
+                let o = &other.ivs[k];
+                if end <= Endpoint::Fin(o.start()) {
+                    break; // o lies beyond the current interval
+                }
+                if o.start() > start {
+                    out.push(Interval::new(start, o.start()));
+                }
+                match o.end() {
+                    Endpoint::Inf => {
+                        fully_consumed = true;
+                        break;
+                    }
+                    Endpoint::Fin(oe) => {
+                        if Endpoint::Fin(oe) >= end {
+                            fully_consumed = true;
+                            break;
+                        }
+                        start = start.max(oe);
+                        k += 1;
+                    }
+                }
+            }
+            if !fully_consumed && Endpoint::Fin(start) < end {
+                out.push(match end {
+                    Endpoint::Fin(e) => Interval::new(start, e),
+                    Endpoint::Inf => Interval::from(start),
+                });
+            }
+        }
+        // Output pieces are ascending and at least as separated as their
+        // source intervals, so the invariant holds without re-coalescing.
+        IntervalSet { ivs: out }
+    }
+
+    /// Complement within `[0, ∞)`.
+    pub fn complement(&self) -> IntervalSet {
+        IntervalSet::singleton(Interval::all()).difference(self)
+    }
+
+    /// Iterate intervals.
+    pub fn iter(&self) -> impl Iterator<Item = &Interval> {
+        self.ivs.iter()
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = Interval>>(iter: T) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+impl From<Interval> for IntervalSet {
+    fn from(iv: Interval) -> Self {
+        IntervalSet::singleton(iv)
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, iv) in self.ivs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    #[test]
+    fn from_intervals_coalesces() {
+        let s = IntervalSet::from_intervals([iv(3, 5), iv(0, 2), iv(2, 3)]);
+        assert_eq!(s.intervals(), &[iv(0, 5)]);
+        let s = IntervalSet::from_intervals([iv(0, 2), iv(3, 5)]);
+        assert_eq!(s.intervals(), &[iv(0, 2), iv(3, 5)]);
+        let s = IntervalSet::from_intervals([iv(0, 4), iv(2, 6), Interval::from(6)]);
+        assert_eq!(s.intervals(), &[Interval::from(0)]);
+    }
+
+    #[test]
+    fn insert_keeps_invariant() {
+        let mut s = IntervalSet::empty();
+        s.insert(iv(10, 12));
+        s.insert(iv(0, 2));
+        s.insert(iv(2, 4)); // adjacent to [0,2)
+        s.insert(iv(5, 9));
+        s.insert(iv(8, 10)); // bridges [5,9) and [10,12)
+        assert_eq!(s.intervals(), &[iv(0, 4), iv(5, 12)]);
+        s.insert(iv(4, 5)); // bridges everything
+        assert_eq!(s.intervals(), &[iv(0, 12)]);
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let s = IntervalSet::from_intervals([iv(0, 3), iv(5, 8)]);
+        assert!(s.contains(0));
+        assert!(s.contains(2));
+        assert!(!s.contains(3));
+        assert!(!s.contains(4));
+        assert!(s.contains(7));
+        assert!(!s.contains(8));
+        assert!(s.covers(&iv(5, 8)));
+        assert!(s.covers(&iv(6, 7)));
+        assert!(!s.covers(&iv(2, 6)));
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = IntervalSet::from_intervals([iv(0, 5), iv(10, 15)]);
+        let b = IntervalSet::from_intervals([iv(3, 12)]);
+        assert_eq!(a.union(&b).intervals(), &[iv(0, 15)]);
+        assert_eq!(a.intersect(&b).intervals(), &[iv(3, 5), iv(10, 12)]);
+        assert_eq!(a.difference(&b).intervals(), &[iv(0, 3), iv(12, 15)]);
+        assert_eq!(b.difference(&a).intervals(), &[iv(5, 10)]);
+    }
+
+    #[test]
+    fn complement() {
+        let s = IntervalSet::from_intervals([iv(2, 4), Interval::from(8)]);
+        assert_eq!(s.complement().intervals(), &[iv(0, 2), iv(4, 8)]);
+        assert_eq!(
+            IntervalSet::empty().complement().intervals(),
+            &[Interval::all()]
+        );
+        assert!(IntervalSet::singleton(Interval::all())
+            .complement()
+            .is_empty());
+    }
+
+    #[test]
+    fn cardinality() {
+        let s = IntervalSet::from_intervals([iv(0, 3), iv(5, 8)]);
+        assert_eq!(s.cardinality(), Some(6));
+        let s = IntervalSet::from_intervals([iv(0, 3), Interval::from(9)]);
+        assert_eq!(s.cardinality(), None);
+        assert_eq!(IntervalSet::empty().cardinality(), Some(0));
+    }
+
+    #[test]
+    fn intersection_with_infinite_tails() {
+        let a = IntervalSet::singleton(Interval::from(2014));
+        let b = IntervalSet::singleton(Interval::from(2016));
+        assert_eq!(a.intersect(&b).intervals(), &[Interval::from(2016)]);
+    }
+
+    #[test]
+    fn display() {
+        let s = IntervalSet::from_intervals([iv(0, 3), Interval::from(9)]);
+        assert_eq!(s.to_string(), "{[0, 3), [9, ∞)}");
+    }
+}

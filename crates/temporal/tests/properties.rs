@@ -1,0 +1,166 @@
+//! Property-based tests for the interval algebra substrate.
+
+use proptest::prelude::*;
+use tdx_temporal::{
+    coalesce_intervals, fragment_interval, partition::epochs_over_timeline, Breakpoints, Endpoint,
+    Interval, IntervalSet,
+};
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0u64..200, 1u64..60, prop::bool::weighted(0.15)).prop_map(|(s, len, inf)| {
+        if inf {
+            Interval::from(s)
+        } else {
+            Interval::new(s, s + len)
+        }
+    })
+}
+
+fn arb_intervals(max: usize) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec(arb_interval(), 0..max)
+}
+
+/// Reference model: an interval set as an explicit bit set over a clipped
+/// horizon plus an "infinite tail start" marker.
+fn model(ivs: &[Interval], horizon: u64) -> Vec<bool> {
+    let mut bits = vec![false; horizon as usize];
+    for iv in ivs {
+        for t in iv.points_until(horizon) {
+            bits[t as usize] = true;
+        }
+    }
+    bits
+}
+
+const HORIZON: u64 = 300;
+
+proptest! {
+    #[test]
+    fn interval_set_union_matches_model(a in arb_intervals(8), b in arb_intervals(8)) {
+        let sa = IntervalSet::from_intervals(a.iter().copied());
+        let sb = IntervalSet::from_intervals(b.iter().copied());
+        let su = sa.union(&sb);
+        let mut expect = model(&a, HORIZON);
+        for (i, bit) in model(&b, HORIZON).into_iter().enumerate() {
+            expect[i] |= bit;
+        }
+        let got = model(su.intervals(), HORIZON);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interval_set_intersection_matches_model(a in arb_intervals(8), b in arb_intervals(8)) {
+        let sa = IntervalSet::from_intervals(a.iter().copied());
+        let sb = IntervalSet::from_intervals(b.iter().copied());
+        let si = sa.intersect(&sb);
+        let ma = model(&a, HORIZON);
+        let mb = model(&b, HORIZON);
+        let expect: Vec<bool> = ma.iter().zip(&mb).map(|(x, y)| *x && *y).collect();
+        let got = model(si.intervals(), HORIZON);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interval_set_difference_matches_model(a in arb_intervals(8), b in arb_intervals(8)) {
+        let sa = IntervalSet::from_intervals(a.iter().copied());
+        let sb = IntervalSet::from_intervals(b.iter().copied());
+        let sd = sa.difference(&sb);
+        let ma = model(&a, HORIZON);
+        let mb = model(&b, HORIZON);
+        let expect: Vec<bool> = ma.iter().zip(&mb).map(|(x, y)| *x && !*y).collect();
+        let got = model(sd.intervals(), HORIZON);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interval_set_invariant_holds(a in arb_intervals(12)) {
+        let s = IntervalSet::from_intervals(a.iter().copied());
+        let ivs = s.intervals();
+        for w in ivs.windows(2) {
+            // Strictly separated: end < next start (disjoint AND non-adjacent).
+            prop_assert!(w[0].end() < Endpoint::Fin(w[1].start()));
+        }
+    }
+
+    #[test]
+    fn complement_is_involutive(a in arb_intervals(8)) {
+        let s = IntervalSet::from_intervals(a.iter().copied());
+        prop_assert_eq!(s.complement().complement(), s);
+    }
+
+    #[test]
+    fn insert_equals_union_of_singleton(a in arb_intervals(8), extra in arb_interval()) {
+        let mut s = IntervalSet::from_intervals(a.iter().copied());
+        let expected = s.union(&IntervalSet::singleton(extra));
+        s.insert(extra);
+        prop_assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn intersect_intervals_agrees_with_overlap(x in arb_interval(), y in arb_interval()) {
+        prop_assert_eq!(x.intersect(&y).is_some(), x.overlaps(&y));
+        if let Some(i) = x.intersect(&y) {
+            prop_assert!(x.covers(&i) && y.covers(&i));
+        }
+    }
+
+    #[test]
+    fn fragments_tile_and_coalesce_back(target in arb_interval(), cuts in arb_intervals(8)) {
+        let bps = Breakpoints::from_intervals(cuts.iter());
+        let frags = fragment_interval(&target, &bps);
+        // Tiling: consecutive fragments are adjacent, hull equals target.
+        prop_assert_eq!(frags.first().unwrap().start(), target.start());
+        prop_assert_eq!(frags.last().unwrap().end(), target.end());
+        for w in frags.windows(2) {
+            prop_assert_eq!(Endpoint::Fin(w[1].start()), w[0].end());
+        }
+        // Coalescing restores the original interval exactly.
+        let out = coalesce_intervals(frags.into_iter().map(|f| ((), f)));
+        prop_assert_eq!(out[0].1.intervals(), &[target]);
+    }
+
+    #[test]
+    fn epochs_partition_and_align(cuts in arb_intervals(8)) {
+        let bps = Breakpoints::from_intervals(cuts.iter());
+        let epochs = epochs_over_timeline(&bps);
+        // Partition of [0, ∞): starts at 0, consecutive-adjacent, ends at ∞.
+        prop_assert_eq!(epochs.first().unwrap().start(), 0);
+        prop_assert!(epochs.last().unwrap().is_unbounded());
+        for w in epochs.windows(2) {
+            prop_assert_eq!(Endpoint::Fin(w[1].start()), w[0].end());
+        }
+        // Every input interval is a union of consecutive epochs: each epoch
+        // is either fully inside or fully outside it.
+        for iv in &cuts {
+            for e in &epochs {
+                prop_assert!(iv.covers(e) || iv.intersect(e).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allen_relation_is_consistent_with_overlap(x in arb_interval(), y in arb_interval()) {
+        use tdx_temporal::AllenRelation::*;
+        let rel = x.allen(&y);
+        let disjoint = matches!(rel, Before | Meets | MetBy | After);
+        prop_assert_eq!(!x.overlaps(&y), disjoint);
+        // Symmetry through the inverse relation.
+        let inv = y.allen(&x);
+        let expected_inv = match rel {
+            Before => After,
+            Meets => MetBy,
+            Overlaps => OverlappedBy,
+            Starts => StartedBy,
+            During => Contains,
+            Finishes => FinishedBy,
+            Equals => Equals,
+            FinishedBy => Finishes,
+            Contains => During,
+            StartedBy => Starts,
+            OverlappedBy => Overlaps,
+            MetBy => Meets,
+            After => Before,
+        };
+        prop_assert_eq!(inv, expected_inv);
+    }
+}

@@ -1,0 +1,246 @@
+//! Career-history workloads over the paper's running example mapping.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tdx_logic::{parse_egd, parse_schema, parse_tgd, SchemaMapping};
+use tdx_storage::TemporalInstance;
+use tdx_temporal::Interval;
+
+/// Knobs for the employment generator.
+#[derive(Clone, Debug)]
+pub struct EmploymentConfig {
+    /// Number of persons with a career history.
+    pub persons: usize,
+    /// Number of distinct companies.
+    pub companies: usize,
+    /// Length of the generated timeline (time points `0..horizon`).
+    pub horizon: u64,
+    /// Average job length in time points (≥ 1).
+    pub avg_tenure: u64,
+    /// A new salary segment starts roughly every this many points (≥ 1).
+    pub salary_every: u64,
+    /// Probability that a person's last job is open-ended (`[s, ∞)`).
+    pub p_unbounded: f64,
+    /// Probability that a salary segment is actually recorded (1.0 = full
+    /// coverage). Lower values leave salary gaps, so the chase produces
+    /// interval-annotated nulls and certain answers have real holes.
+    pub salary_coverage: f64,
+    /// Number of contradictory overlapping salary facts to inject (these
+    /// make the chase fail — used by the `FAIL` experiment).
+    pub conflicts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EmploymentConfig {
+    fn default() -> Self {
+        EmploymentConfig {
+            persons: 50,
+            companies: 10,
+            horizon: 40,
+            avg_tenure: 6,
+            salary_every: 3,
+            p_unbounded: 0.3,
+            salary_coverage: 1.0,
+            conflicts: 0,
+            seed: 0xda7a,
+        }
+    }
+}
+
+/// A generated employment workload: the paper's mapping plus a synthetic
+/// concrete source instance.
+pub struct EmploymentWorkload {
+    /// The `E`/`S` → `Emp` mapping of Example 1/6.
+    pub mapping: SchemaMapping,
+    /// The concrete source instance.
+    pub source: TemporalInstance,
+}
+
+/// The paper's schema mapping (Examples 1 and 6).
+pub fn paper_mapping() -> SchemaMapping {
+    SchemaMapping::new(
+        parse_schema("E(name, company). S(name, salary).").unwrap(),
+        parse_schema("Emp(name, company, salary).").unwrap(),
+        vec![
+            parse_tgd("E(n,c) -> exists s . Emp(n,c,s)").unwrap().named("st1"),
+            parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)").unwrap().named("st2"),
+        ],
+        vec![parse_egd("Emp(n,c,s) & Emp(n,c,s2) -> s = s2")
+            .unwrap()
+            .named("fd")],
+    )
+    .expect("paper mapping is valid")
+}
+
+/// The exact Figure 4 source instance.
+pub fn figure4_source(mapping: &SchemaMapping) -> TemporalInstance {
+    let mut i = TemporalInstance::new(Arc::new(mapping.source().clone()));
+    i.insert_strs("E", &["Ada", "IBM"], Interval::new(2012, 2014));
+    i.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
+    i.insert_strs("E", &["Bob", "IBM"], Interval::new(2013, 2018));
+    i.insert_strs("S", &["Ada", "18k"], Interval::from(2013));
+    i.insert_strs("S", &["Bob", "13k"], Interval::from(2015));
+    i
+}
+
+impl EmploymentWorkload {
+    /// Generates a workload from the configuration.
+    pub fn generate(cfg: &EmploymentConfig) -> EmploymentWorkload {
+        assert!(cfg.avg_tenure >= 1 && cfg.salary_every >= 1 && cfg.horizon >= 4);
+        let mapping = paper_mapping();
+        let mut source = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut salary_spans: Vec<(String, Interval)> = Vec::new();
+
+        for p in 0..cfg.persons {
+            let person = format!("p{p}");
+            let mut t: u64 = rng.gen_range(0..cfg.horizon / 4 + 1);
+            while t < cfg.horizon {
+                let tenure = 1 + rng.gen_range(0..cfg.avg_tenure * 2);
+                let end = t + tenure;
+                let company = format!("c{}", rng.gen_range(0..cfg.companies));
+                let open_ended = end >= cfg.horizon && rng.gen_bool(cfg.p_unbounded);
+                let job_iv = if open_ended {
+                    Interval::from(t)
+                } else {
+                    Interval::new(t, end.min(cfg.horizon))
+                };
+                source.insert_strs("E", &[&person, &company], job_iv);
+                // Salary segments partition the employment interval, so the
+                // egd never sees two salaries at once (unless conflicts are
+                // injected below).
+                let mut s = t;
+                let seg_end = job_iv.end().finite().unwrap_or(cfg.horizon + 8);
+                let mut step = 0u64;
+                while s < seg_end {
+                    let seg_len = 1 + rng.gen_range(0..cfg.salary_every * 2);
+                    let e = (s + seg_len).min(seg_end);
+                    let salary = format!("{}k", 10 + rng.gen_range(0..90));
+                    let iv = if job_iv.is_unbounded() && e >= seg_end {
+                        Interval::from(s)
+                    } else {
+                        Interval::new(s, e)
+                    };
+                    // Sampling before the coverage check keeps generation
+                    // with coverage = 1.0 byte-identical across versions.
+                    if cfg.salary_coverage >= 1.0 || rng.gen_bool(cfg.salary_coverage) {
+                        source.insert_strs("S", &[&person, &salary], iv);
+                        salary_spans.push((person.clone(), iv));
+                    }
+                    s = e;
+                    step += 1;
+                    if step > 64 {
+                        break;
+                    }
+                }
+                // Occasional gap between jobs.
+                t = end + rng.gen_range(0..3);
+            }
+        }
+
+        // Inject contradictory salaries: a second, different value
+        // overlapping an existing span of the same person.
+        for k in 0..cfg.conflicts {
+            if salary_spans.is_empty() {
+                break;
+            }
+            let (person, iv) = salary_spans[rng.gen_range(0..salary_spans.len())].clone();
+            let bad = format!("conflict{k}k");
+            source.insert_strs("S", &[&person, &bad], iv);
+        }
+
+        EmploymentWorkload { mapping, source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdx_core::{c_chase, semantics, verify::is_solution_concrete};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = EmploymentConfig {
+            persons: 10,
+            ..EmploymentConfig::default()
+        };
+        let a = EmploymentWorkload::generate(&cfg);
+        let b = EmploymentWorkload::generate(&cfg);
+        assert_eq!(a.source, b.source);
+        assert!(a.source.total_len() > 10);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 10,
+            seed: 1,
+            ..EmploymentConfig::default()
+        });
+        let b = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 10,
+            seed: 2,
+            ..EmploymentConfig::default()
+        });
+        assert_ne!(a.source, b.source);
+    }
+
+    #[test]
+    fn conflict_free_workload_chases_successfully() {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 8,
+            horizon: 20,
+            ..EmploymentConfig::default()
+        });
+        let result = c_chase(&w.source, &w.mapping).expect("no conflicts injected");
+        assert!(is_solution_concrete(&w.source, &result.target, &w.mapping).unwrap());
+    }
+
+    #[test]
+    fn injected_conflicts_fail_the_chase() {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 5,
+            horizon: 20,
+            conflicts: 3,
+            ..EmploymentConfig::default()
+        });
+        assert!(c_chase(&w.source, &w.mapping).is_err());
+    }
+
+    #[test]
+    fn partial_salary_coverage_leaves_nulls() {
+        let full = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 8,
+            horizon: 20,
+            seed: 5,
+            ..EmploymentConfig::default()
+        });
+        let sparse = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 8,
+            horizon: 20,
+            seed: 5,
+            salary_coverage: 0.4,
+            ..EmploymentConfig::default()
+        });
+        assert!(sparse.source.total_len() < full.source.total_len());
+        let solved = c_chase(&sparse.source, &sparse.mapping).unwrap();
+        assert!(
+            !solved.target.nulls().is_empty(),
+            "salary gaps must surface as interval-annotated nulls"
+        );
+        // Full coverage on this seed resolves every salary.
+        let solved_full = c_chase(&full.source, &full.mapping).unwrap();
+        assert!(solved_full.target.nulls().is_empty());
+    }
+
+    #[test]
+    fn figure4_is_figure4() {
+        let mapping = paper_mapping();
+        let src = figure4_source(&mapping);
+        assert_eq!(src.total_len(), 5);
+        let sem = semantics(&src);
+        assert_eq!(sem.snapshot_at(2012).render(), "{E(Ada, IBM)}");
+    }
+}

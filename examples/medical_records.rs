@@ -1,0 +1,93 @@
+//! Temporal exchange of medical records — with a data conflict.
+//!
+//! The paper lists medical systems among the applications needing temporal
+//! data exchange (Section 1). Two clinic feeds are exchanged into a patient
+//! registry; an egd enforces that a patient has one attending physician at
+//! any time. A double-booking in the sources makes the chase fail — which,
+//! by Theorem 19(2), *proves* no consistent registry exists — and the
+//! example shows how the failure pinpoints the conflict so it can be
+//! repaired.
+//!
+//! ```text
+//! cargo run --example medical_records
+//! ```
+
+use tdx::{parse_mapping, parse_query, DataExchange, Interval, TdxError, UnionQuery};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = DataExchange::new(parse_mapping(
+        "source {
+            Admitted(patient, ward)
+            Attending(patient, doctor)
+            Diagnosis(patient, code)
+         }
+         target {
+            Registry(patient, ward, doctor)
+            Condition(patient, code)
+         }
+         tgd adm: Admitted(p, w) -> exists d . Registry(p, w, d)
+         tgd att: Admitted(p, w) & Attending(p, d) -> Registry(p, w, d)
+         tgd dia: Diagnosis(p, c) -> Condition(p, c)
+         egd one_doctor: Registry(p, w, d) & Registry(p, w2, d2) -> d = d2",
+    )?);
+
+    let mut source = engine.new_source();
+    // Days 1–14: Rivera in ward A under Dr. House; moved to B on day 8.
+    source.insert_strs("Admitted", &["Rivera", "WardA"], Interval::new(1, 8));
+    source.insert_strs("Admitted", &["Rivera", "WardB"], Interval::new(8, 15));
+    source.insert_strs("Attending", &["Rivera", "DrHouse"], Interval::new(1, 10));
+    // Days 3–9: Chen admitted, attending doctor unknown at first.
+    source.insert_strs("Admitted", &["Chen", "WardA"], Interval::new(3, 9));
+    source.insert_strs("Attending", &["Chen", "DrGrey"], Interval::new(5, 9));
+    source.insert_strs("Diagnosis", &["Rivera", "J18.9"], Interval::new(1, 15));
+    source.insert_strs("Diagnosis", &["Chen", "I10"], Interval::from(3));
+
+    // The double-booking: a second attending for Rivera on days 6–9.
+    source.insert_strs("Attending", &["Rivera", "DrWho"], Interval::new(6, 9));
+
+    match engine.exchange(&source) {
+        Err(TdxError::ChaseFailure {
+            dependency,
+            left,
+            right,
+            interval,
+        }) => {
+            println!("no consistent registry exists!");
+            println!(
+                "  egd `{dependency}` clashes: {left} vs {right} during {}",
+                interval.expect("concrete failure carries its interval")
+            );
+            println!("  (Theorem 19(2): a failing c-chase means *no* solution at all)\n");
+        }
+        other => {
+            other?;
+            unreachable!("the double-booking must fail the chase");
+        }
+    }
+
+    // Repair: the second booking was a data-entry error — drop it.
+    let mut repaired = engine.new_source();
+    for (rel, fact) in source.iter_all() {
+        let is_bad = source.schema().relation(rel).name().as_str() == "Attending"
+            && fact.data[1] == tdx::Value::str("DrWho");
+        if !is_bad {
+            repaired.insert(rel, fact.data.clone(), fact.interval);
+        }
+    }
+    let solution = engine.exchange(&repaired)?;
+    println!("repaired feed exchanges cleanly:\n{}", solution.target);
+
+    // When was Rivera *certainly* under Dr. House?
+    let q: UnionQuery = parse_query("Q(w) :- Registry(Rivera, w, DrHouse)")?.into();
+    let answers = engine.certain_answers(&repaired, &q)?;
+    println!("Rivera under DrHouse, by ward:\n{answers}");
+
+    // Chen's doctor before day 5 is an interval-annotated null: present in
+    // the registry, absent from certain answers.
+    let q: UnionQuery = parse_query("Q(d) :- Registry(Chen, w, d)")?.into();
+    let answers = engine.certain_answers(&repaired, &q)?;
+    assert!(answers.at(4).is_empty());
+    assert!(!answers.at(6).is_empty());
+    println!("Chen's doctor is unknown before day 5 — exactly as the data says.");
+    Ok(())
+}

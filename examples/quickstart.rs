@@ -1,0 +1,68 @@
+//! Quickstart: the paper's running example, end to end.
+//!
+//! Reproduces Sections 1–5 of *Temporal Data Exchange* on the employment
+//! database of Figures 1–9: build the concrete source, run the c-chase,
+//! inspect the solution and its abstract semantics, and answer a query with
+//! certain-answer guarantees.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use tdx::core::verify::is_solution_concrete;
+use tdx::{parse_mapping, parse_query, semantics, ChaseOptions, DataExchange, Interval};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The schema mapping of Examples 1 and 6: two source relations feed one
+    // target relation; a functional dependency says a person has one salary
+    // per company at any time point.
+    let engine = DataExchange::new(parse_mapping(
+        "source { E(name, company)  S(name, salary) }
+         target { Emp(name, company, salary) }
+         tgd st1: E(n,c) -> exists s . Emp(n,c,s)
+         tgd st2: E(n,c) & S(n,s) -> Emp(n,c,s)
+         egd fd:  Emp(n,c,s) & Emp(n,c,s2) -> s = s2",
+    )?)
+    .with_options(ChaseOptions {
+        record_trace: true,
+        ..ChaseOptions::default()
+    });
+
+    // Figure 4: the concrete source instance.
+    let mut source = engine.new_source();
+    source.insert_strs("E", &["Ada", "IBM"], Interval::new(2012, 2014));
+    source.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
+    source.insert_strs("E", &["Bob", "IBM"], Interval::new(2013, 2018));
+    source.insert_strs("S", &["Ada", "18k"], Interval::from(2013));
+    source.insert_strs("S", &["Bob", "13k"], Interval::from(2015));
+    println!("== concrete source (Figure 4) ==\n{source}");
+
+    // Its abstract semantics — the snapshot sequence of Figure 1.
+    println!("== abstract view (Figure 1) ==");
+    print!("{}", semantics(&source).render_window(2012..=2018));
+
+    // The c-chase (Section 4.3) materializes a concrete solution.
+    let result = engine.exchange(&source)?;
+    println!("\n== chase trace ==");
+    for line in &result.trace {
+        println!("  {line}");
+    }
+    println!("\n== concrete solution (Figure 9) ==\n{}", result.target);
+    println!(
+        "interval-annotated nulls: {} (e.g. Ada's pre-2013 salary is unknown *per snapshot*)",
+        result.target.nulls().len()
+    );
+
+    // It really is a solution, with the right semantics.
+    assert!(is_solution_concrete(&source, &result.target, engine.mapping())?);
+
+    // Certain answers (Section 5): true in *every* possible solution.
+    let q = parse_query("Q(n, s) :- Emp(n, c, s)")?.into();
+    let answers = engine.certain_answers(&source, &q)?;
+    println!("== certain salaries over time ==\n{answers}");
+    assert!(answers.at(2012).is_empty(), "Ada's 2012 salary is not certain");
+    assert_eq!(answers.at(2016).len(), 2, "both salaries certain in 2016");
+
+    println!("done — every assertion from the paper checks out.");
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # temporal-data-exchange
+//!
+//! A complete Rust implementation of **Temporal Data Exchange**
+//! (Golshanara & Chomicki): the chase for temporal databases under
+//! non-temporal schema mappings — abstract and concrete views, interval
+//! annotated nulls, instance normalization, the c-chase, and certain-answer
+//! query evaluation.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`temporal`] — intervals `[s, e)`, interval sets, coalescing,
+//!   timeline partitioning;
+//! * [`logic`] — schemas, s-t tgds, egds, conjunctive queries, parser;
+//! * [`storage`] — snapshot & temporal instances, indexes, the
+//!   homomorphism engine;
+//! * [`core`] — the paper's algorithms: semantics `⟦·⟧`, abstract chase,
+//!   normalization, c-chase, naïve evaluation, certain answers,
+//!   verification;
+//! * [`workload`] — synthetic workload generators.
+//!
+//! The most common entry points are re-exported at the top level; see
+//! [`DataExchange`] for the five-minute tour, or run
+//! `cargo run --example quickstart`.
+
+#![warn(missing_docs)]
+
+pub use tdx_core as core;
+pub use tdx_logic as logic;
+pub use tdx_storage as storage;
+pub use tdx_temporal as temporal;
+pub use tdx_workload as workload;
+
+pub use tdx_core::{
+    c_chase, c_chase_with, naive_eval_concrete, semantics, CChaseResult, ChaseOptions,
+    DataExchange, TdxError, TemporalAnswers,
+};
+pub use tdx_logic::{parse_mapping, parse_query, parse_union_query, SchemaMapping, UnionQuery};
+pub use tdx_storage::{TemporalInstance, Value};
+pub use tdx_temporal::{Endpoint, Interval, IntervalSet};

@@ -1,0 +1,108 @@
+//! Corollary 20 as a property: `⟦c-chase(I_c)⟧ ∼ chase(⟦I_c⟧)` on inputs
+//! nobody hand-picked — random mappings, random temporal data, all chase
+//! option combinations.
+
+use proptest::prelude::*;
+use tdx::core::{abstract_chase, c_chase_with, hom_equivalent, semantics, ChaseOptions, TdxError};
+use tdx::workload::{EmploymentConfig, EmploymentWorkload, RandomConfig, RandomWorkload};
+
+/// Checks the alignment (or consistent failure) for one workload and one
+/// option set.
+fn aligned(
+    source: &tdx::TemporalInstance,
+    mapping: &tdx::SchemaMapping,
+    opts: &ChaseOptions,
+) -> bool {
+    let concrete = c_chase_with(source, mapping, opts);
+    let abstract_side = abstract_chase(&semantics(source), mapping);
+    match (concrete, abstract_side) {
+        (Ok(jc), Ok(ja)) => hom_equivalent(&semantics(&jc.target), &ja),
+        (Err(TdxError::ChaseFailure { .. }), Err(TdxError::ChaseFailure { .. })) => true,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn corollary20_random_workloads(seed in 0u64..5000, facts in 6usize..24) {
+        let w = RandomWorkload::generate(&RandomConfig {
+            seed,
+            facts,
+            horizon: 14,
+            domain: 5,
+            ..RandomConfig::default()
+        });
+        prop_assert!(aligned(&w.source, &w.mapping, &ChaseOptions::default()));
+    }
+
+    #[test]
+    fn corollary20_is_option_independent(seed in 0u64..2000) {
+        let w = RandomWorkload::generate(&RandomConfig {
+            seed,
+            facts: 14,
+            horizon: 12,
+            domain: 4,
+            ..RandomConfig::default()
+        });
+        for opts in [
+            ChaseOptions::default(),
+            ChaseOptions::paper_faithful(),
+            ChaseOptions { naive_normalization: true, ..ChaseOptions::default() },
+            ChaseOptions { coalesce_result: true, ..ChaseOptions::default() },
+        ] {
+            prop_assert!(aligned(&w.source, &w.mapping, &opts));
+        }
+    }
+
+    #[test]
+    fn corollary20_employment(seed in 0u64..1000, persons in 3usize..10) {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons,
+            horizon: 18,
+            seed,
+            ..EmploymentConfig::default()
+        });
+        prop_assert!(aligned(&w.source, &w.mapping, &ChaseOptions::default()));
+    }
+}
+
+/// The chase result itself is always a solution (when it succeeds).
+#[test]
+fn chase_results_are_solutions_across_seeds() {
+    for seed in 0..30u64 {
+        let w = RandomWorkload::generate(&RandomConfig {
+            seed,
+            facts: 16,
+            horizon: 12,
+            ..RandomConfig::default()
+        });
+        if let Ok(result) = tdx::c_chase(&w.source, &w.mapping) {
+            assert!(
+                tdx::core::verify::is_solution_concrete(&w.source, &result.target, &w.mapping)
+                    .unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+/// Coalescing the chase output never changes its semantics.
+#[test]
+fn coalescing_preserves_solution_semantics() {
+    for seed in 0..10u64 {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 6,
+            horizon: 16,
+            seed,
+            ..EmploymentConfig::default()
+        });
+        let result = tdx::c_chase(&w.source, &w.mapping).unwrap();
+        let coalesced = result.target.coalesced();
+        assert!(semantics(&result.target).eq_semantic(&semantics(&coalesced)));
+        assert!(
+            tdx::core::verify::is_solution_concrete(&w.source, &coalesced, &w.mapping).unwrap()
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! Integration tests for the `tdx` command-line front end, run against the
+//! shipped paper files.
+
+use std::process::Command;
+
+fn tdx() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tdx"))
+}
+
+fn paper_args(cmd: &str) -> Vec<String> {
+    vec![
+        cmd.into(),
+        "--mapping".into(),
+        "examples/data/paper.map".into(),
+        "--data".into(),
+        "examples/data/figure4.facts".into(),
+    ]
+}
+
+#[test]
+fn exchange_reproduces_figure9() {
+    let out = tdx().args(paper_args("exchange")).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("Ada  | IBM     | 18k    | [2013, 2014)"), "{stdout}");
+    assert!(stdout.contains("Bob  | IBM     | 13k    | [2015, 2018)"), "{stdout}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("5 target facts"), "{stderr}");
+}
+
+#[test]
+fn exchange_trace_and_coalesce_flags() {
+    let mut args = paper_args("exchange");
+    args.push("--trace".into());
+    args.push("--coalesce".into());
+    let out = tdx().args(&args).output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("tgd step"), "{stderr}");
+}
+
+#[test]
+fn normalize_prints_figure5_sizes() {
+    let out = tdx().args(paper_args("normalize")).output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("5 facts → 9 facts"), "{stderr}");
+    // Naïve variant gives Figure 6's 14 facts.
+    let mut args = paper_args("normalize");
+    args.push("--naive".into());
+    let out = tdx().args(&args).output().unwrap();
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("5 facts → 14 facts"), "{stderr}");
+}
+
+#[test]
+fn query_prints_certain_answers() {
+    let mut args = paper_args("query");
+    args.push("--query".into());
+    args.push("Q(n, s) :- Emp(n, c, s)".into());
+    let out = tdx().args(&args).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("(Ada, 18k) @ {[2013, ∞)}"), "{stdout}");
+    assert!(stdout.contains("(Bob, 13k) @ {[2015, 2018)}"), "{stdout}");
+}
+
+#[test]
+fn snapshots_render_abstract_views() {
+    let mut args = paper_args("snapshots");
+    args.extend(["--from".into(), "2013".into(), "--to".into(), "2013".into()]);
+    let out = tdx().args(&args).output().unwrap();
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("{E(Ada, IBM), E(Bob, IBM), S(Ada, 18k)}"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn check_accepts_figure9_and_rejects_truncations() {
+    let mut args = paper_args("check");
+    args.push("--solution".into());
+    args.push("examples/data/figure9.facts".into());
+    let out = tdx().args(&args).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("OK"), "{stdout}");
+    // A truncated candidate is rejected.
+    let dir = std::env::temp_dir().join("tdx-cli-check");
+    std::fs::create_dir_all(&dir).unwrap();
+    let partial = dir.join("partial.facts");
+    std::fs::write(&partial, "Emp(Ada, IBM, 18k) @ [2013, 2014)").unwrap();
+    let mut args = paper_args("check");
+    args.push("--solution".into());
+    args.push(partial.to_str().unwrap().into());
+    let out = tdx().args(&args).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("NOT A SOLUTION"), "{stdout}");
+}
+
+#[test]
+fn missing_args_exit_with_usage() {
+    let out = tdx().arg("exchange").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = tdx().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = tdx().args(paper_args("bogus-subcommand")).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_data_reports_error() {
+    let dir = std::env::temp_dir().join("tdx-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.facts");
+    std::fs::write(&bad, "Nope(x) @ [0, 5)").unwrap();
+    let out = tdx()
+        .args([
+            "exchange",
+            "--mapping",
+            "examples/data/paper.map",
+            "--data",
+            bad.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("not in the source schema"), "{stderr}");
+}

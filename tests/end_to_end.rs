@@ -1,0 +1,145 @@
+//! End-to-end scenarios through the public facade: multi-relation mappings,
+//! unbounded intervals, normalization invariants at the API boundary.
+
+use tdx::core::normalize::{has_empty_intersection_property, normalize};
+use tdx::core::verify::is_solution_concrete;
+use tdx::{parse_mapping, parse_query, semantics, DataExchange, Interval, UnionQuery};
+
+fn iv(s: u64, e: u64) -> Interval {
+    Interval::new(s, e)
+}
+
+/// A three-relation logistics mapping: shipments join carriers and routes.
+fn logistics() -> DataExchange {
+    DataExchange::new(
+        parse_mapping(
+            "source {
+                Shipment(id, route)
+                Carrier(route, company)
+                Delay(id, hours)
+             }
+             target {
+                Tracked(id, company)
+                Late(id, hours)
+             }
+             tgd t1: Shipment(i, r) & Carrier(r, c) -> Tracked(i, c)
+             tgd t2: Shipment(i, r) -> exists c . Tracked(i, c)
+             tgd t3: Delay(i, h) -> Late(i, h)
+             egd e1: Tracked(i, c) & Tracked(i, c2) -> c = c2",
+        )
+        .unwrap(),
+    )
+}
+
+#[test]
+fn logistics_exchange_end_to_end() {
+    let ex = logistics();
+    let mut src = ex.new_source();
+    // Shipment s1 moves along route r1 for days 0–9; r1's carrier changes
+    // from Acme to Swift on day 5.
+    src.insert_strs("Shipment", &["s1", "r1"], iv(0, 10));
+    src.insert_strs("Carrier", &["r1", "Acme"], iv(0, 5));
+    src.insert_strs("Carrier", &["r1", "Swift"], iv(5, 12));
+    // Shipment s2 has a route with no carrier information.
+    src.insert_strs("Shipment", &["s2", "r9"], iv(3, 8));
+    src.insert_strs("Delay", &["s2", "6h"], iv(6, 8));
+
+    let result = ex.exchange(&src).unwrap();
+    assert!(is_solution_concrete(&src, &result.target, ex.mapping()).unwrap());
+
+    // Certain carrier per time: Acme before day 5, Swift after.
+    let q: UnionQuery = parse_query("Q(c) :- Tracked('s1', c)").unwrap().into();
+    let ans = ex.certain_answers(&src, &q).unwrap();
+    assert_eq!(
+        ans.at(3).iter().next().unwrap()[0],
+        tdx::logic::Constant::str("Acme")
+    );
+    assert_eq!(
+        ans.at(7).iter().next().unwrap()[0],
+        tdx::logic::Constant::str("Swift")
+    );
+    // s2's carrier is a null — never certain.
+    let q: UnionQuery = parse_query("Q(c) :- Tracked('s2', c)").unwrap().into();
+    assert!(ex.certain_answers(&src, &q).unwrap().is_empty());
+    // But its delay is certain.
+    let q: UnionQuery = parse_query("Q(h) :- Late('s2', h)").unwrap().into();
+    let ans = ex.certain_answers(&src, &q).unwrap();
+    assert_eq!(ans.at(6).len(), 1);
+    assert!(ans.at(5).is_empty());
+}
+
+#[test]
+fn carrier_handover_with_overlap_fails() {
+    let ex = logistics();
+    let mut src = ex.new_source();
+    src.insert_strs("Shipment", &["s1", "r1"], iv(0, 10));
+    src.insert_strs("Carrier", &["r1", "Acme"], iv(0, 6));
+    src.insert_strs("Carrier", &["r1", "Swift"], iv(4, 12));
+    let err = ex.exchange(&src).unwrap_err();
+    match err {
+        tdx::TdxError::ChaseFailure { interval, .. } => {
+            assert_eq!(interval, Some(iv(4, 6)));
+        }
+        other => panic!("expected failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn unbounded_intervals_flow_through_everything() {
+    let ex = logistics();
+    let mut src = ex.new_source();
+    src.insert_strs("Shipment", &["s1", "r1"], Interval::from(2));
+    src.insert_strs("Carrier", &["r1", "Acme"], Interval::from(0));
+    let result = ex.exchange(&src).unwrap();
+    let sem = semantics(&result.target);
+    assert_eq!(sem.snapshot_at(1_000_000).render(), "{Tracked(s1, Acme)}");
+    let q: UnionQuery = parse_query("Q(c) :- Tracked('s1', c)").unwrap().into();
+    let ans = ex.certain_answers(&src, &q).unwrap();
+    let (_, set) = ans.rows().next().unwrap();
+    assert_eq!(set.intervals(), &[Interval::from(2)]);
+}
+
+#[test]
+fn normalization_invariants_at_api_level() {
+    let ex = logistics();
+    let mut src = ex.new_source();
+    for i in 0..12u64 {
+        src.insert_strs("Shipment", &[&format!("s{i}"), "r1"], iv(i, i + 6));
+        src.insert_strs("Carrier", &["r1", &format!("co{}", i % 3)], iv(i + 1, i + 5));
+    }
+    let bodies = ex.mapping().tgd_bodies();
+    let normalized = normalize(&src, &bodies).unwrap();
+    // Idempotent.
+    assert_eq!(normalize(&normalized, &bodies).unwrap(), normalized);
+    // Empty-intersection property w.r.t. every tgd body.
+    assert!(has_empty_intersection_property(&normalized, &bodies).unwrap());
+    // Semantics preserved.
+    assert!(semantics(&src).eq_semantic(&semantics(&normalized)));
+    // Coalescing inverts fragmentation (source was coalesced).
+    assert!(normalized.coalesced().eq_coalesced(&src));
+}
+
+#[test]
+fn multi_tgd_heads_share_existentials() {
+    // One tgd head with two atoms sharing an existential: the same
+    // annotated null must appear in both target facts.
+    let ex = DataExchange::new(
+        parse_mapping(
+            "source { A(x) }
+             target { B(x, k)  C(k) }
+             tgd t: A(x) -> exists k . B(x, k) & C(k)",
+        )
+        .unwrap(),
+    );
+    let mut src = ex.new_source();
+    src.insert_strs("A", &["a1"], iv(0, 4));
+    let result = ex.exchange(&src).unwrap();
+    let b = ex.target_schema().rel_id(tdx::logic::Symbol::intern("B")).unwrap();
+    let c = ex.target_schema().rel_id(tdx::logic::Symbol::intern("C")).unwrap();
+    let b_null = result.target.facts(b)[0].data[1];
+    let c_null = result.target.facts(c)[0].data[0];
+    assert!(b_null.is_null());
+    assert_eq!(b_null, c_null, "shared existential ⇒ same annotated null");
+    assert_eq!(result.target.facts(b)[0].interval, iv(0, 4));
+    assert_eq!(result.target.facts(c)[0].interval, iv(0, 4));
+}

@@ -1,0 +1,132 @@
+//! Chase failure semantics: Proposition 4(2) and Theorem 19(2) — a failing
+//! chase means **no solution exists**, and the two views agree on when that
+//! happens.
+
+use std::sync::Arc;
+use tdx::core::{abstract_chase, semantics, TdxError};
+use tdx::workload::{paper_mapping, EmploymentConfig, EmploymentWorkload};
+use tdx::{Interval, TemporalInstance};
+
+fn iv(s: u64, e: u64) -> Interval {
+    Interval::new(s, e)
+}
+
+#[test]
+fn overlapping_conflicts_fail_with_interval() {
+    let mapping = paper_mapping();
+    let mut ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+    ic.insert_strs("E", &["Ada", "IBM"], iv(0, 10));
+    ic.insert_strs("S", &["Ada", "18k"], iv(0, 6));
+    ic.insert_strs("S", &["Ada", "20k"], iv(4, 10));
+    match tdx::c_chase(&ic, &mapping) {
+        Err(TdxError::ChaseFailure {
+            dependency,
+            left,
+            right,
+            interval,
+        }) => {
+            assert_eq!(dependency, "fd");
+            assert_eq!(interval, Some(iv(4, 6)), "the clash is exactly the overlap");
+            let mut pair = [left, right];
+            pair.sort();
+            assert_eq!(pair, ["18k".to_string(), "20k".to_string()]);
+        }
+        other => panic!("expected chase failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn abstract_chase_fails_on_the_same_inputs() {
+    let mapping = paper_mapping();
+    let mut ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+    ic.insert_strs("E", &["Ada", "IBM"], iv(0, 10));
+    ic.insert_strs("S", &["Ada", "18k"], iv(0, 6));
+    ic.insert_strs("S", &["Ada", "20k"], iv(4, 10));
+    let err = abstract_chase(&semantics(&ic), &mapping).unwrap_err();
+    match err {
+        TdxError::ChaseFailure { interval, .. } => {
+            // The abstract route reports the epoch where the failure shows.
+            assert_eq!(interval, Some(iv(4, 6)));
+        }
+        other => panic!("expected chase failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn adjacent_conflicts_are_fine() {
+    // [0,5) and [5,10) never share a snapshot: this is an update, not a
+    // contradiction. The temporal dimension is what makes this work — a
+    // non-temporal chase on the same data would fail.
+    let mapping = paper_mapping();
+    let mut ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+    ic.insert_strs("E", &["Ada", "IBM"], iv(0, 10));
+    ic.insert_strs("S", &["Ada", "18k"], iv(0, 5));
+    ic.insert_strs("S", &["Ada", "20k"], iv(5, 10));
+    let result = tdx::c_chase(&ic, &mapping).unwrap();
+    let sem = semantics(&result.target);
+    assert_eq!(sem.snapshot_at(4).render(), "{Emp(Ada, IBM, 18k)}");
+    assert_eq!(sem.snapshot_at(5).render(), "{Emp(Ada, IBM, 20k)}");
+}
+
+#[test]
+fn point_overlap_is_enough_to_fail() {
+    let mapping = paper_mapping();
+    let mut ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+    ic.insert_strs("E", &["Ada", "IBM"], iv(0, 10));
+    ic.insert_strs("S", &["Ada", "18k"], iv(0, 6));
+    ic.insert_strs("S", &["Ada", "20k"], iv(5, 10)); // overlap = [5,6) only
+    let err = tdx::c_chase(&ic, &mapping).unwrap_err();
+    match err {
+        TdxError::ChaseFailure { interval, .. } => assert_eq!(interval, Some(iv(5, 6))),
+        other => panic!("expected chase failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn failure_error_message_names_everything() {
+    let mapping = paper_mapping();
+    let mut ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+    ic.insert_strs("E", &["Ada", "IBM"], iv(0, 4));
+    ic.insert_strs("S", &["Ada", "18k"], iv(0, 4));
+    ic.insert_strs("S", &["Ada", "20k"], iv(0, 4));
+    let msg = tdx::c_chase(&ic, &mapping).unwrap_err().to_string();
+    assert!(msg.contains("fd"), "{msg}");
+    assert!(msg.contains("18k") && msg.contains("20k"), "{msg}");
+    assert!(msg.contains("[0, 4)"), "{msg}");
+}
+
+#[test]
+fn injected_conflicts_fail_consistently_across_routes() {
+    for seed in 0..6u64 {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 5,
+            horizon: 16,
+            conflicts: 2,
+            seed,
+            ..EmploymentConfig::default()
+        });
+        let concrete_fails = tdx::c_chase(&w.source, &w.mapping).is_err();
+        let abstract_fails = abstract_chase(&semantics(&w.source), &w.mapping).is_err();
+        assert_eq!(concrete_fails, abstract_fails, "seed {seed}");
+        assert!(concrete_fails, "seed {seed}: conflicts were injected");
+    }
+}
+
+#[test]
+fn failure_is_independent_of_options() {
+    let mapping = paper_mapping();
+    let mut ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+    ic.insert_strs("E", &["Ada", "IBM"], iv(0, 8));
+    ic.insert_strs("S", &["Ada", "18k"], iv(0, 8));
+    ic.insert_strs("S", &["Ada", "20k"], iv(2, 6));
+    for opts in [
+        tdx::ChaseOptions::default(),
+        tdx::ChaseOptions::paper_faithful(),
+        tdx::ChaseOptions {
+            naive_normalization: true,
+            ..tdx::ChaseOptions::default()
+        },
+    ] {
+        assert!(tdx::c_chase_with(&ic, &mapping, &opts).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! Section 5 as properties: Theorem 21 and Corollary 22 on generated
+//! workloads, plus the semantic soundness of certain answers (contained in
+//! the answers over any perturbed solution).
+
+use proptest::prelude::*;
+use tdx::core::{
+    certain_answers_abstract, certain_answers_concrete, naive_eval_concrete, theorem21_holds,
+    ChaseOptions,
+};
+use tdx::workload::{EmploymentConfig, EmploymentWorkload};
+use tdx::{parse_query, parse_union_query, UnionQuery};
+
+fn queries() -> Vec<UnionQuery> {
+    vec![
+        parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into(),
+        parse_query("Q(n, c) :- Emp(n, c, s)").unwrap().into(),
+        parse_query("Q(n) :- Emp(n, c, s)").unwrap().into(),
+        parse_query("Q(a, b) :- Emp(a, c, s1) & Emp(b, c, s2)").unwrap().into(),
+        parse_union_query("Q(n) :- Emp(n, c0, s); Q(n) :- Emp(n, c1, s)").unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Corollary 22: both certain-answer routes coincide.
+    #[test]
+    fn corollary22_routes_agree(seed in 0u64..1000, persons in 3usize..8) {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons,
+            horizon: 16,
+            seed,
+            ..EmploymentConfig::default()
+        });
+        for q in queries() {
+            let concrete = certain_answers_concrete(
+                &w.source, &w.mapping, &q, &ChaseOptions::default(),
+            ).unwrap();
+            let abstract_side =
+                certain_answers_abstract(&w.source, &w.mapping, &q).unwrap();
+            prop_assert_eq!(concrete.epochs(), abstract_side);
+        }
+    }
+
+    /// Theorem 21: `⟦q⁺(J_c)↓⟧ = q(⟦J_c⟧)↓` on chase results.
+    #[test]
+    fn theorem21_on_chase_results(seed in 0u64..1000) {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 5,
+            horizon: 14,
+            seed,
+            ..EmploymentConfig::default()
+        });
+        let jc = tdx::c_chase(&w.source, &w.mapping).unwrap().target;
+        for q in queries() {
+            prop_assert!(theorem21_holds(&jc, &q).unwrap());
+        }
+    }
+
+    /// Theorem 21 holds for arbitrary concrete instances with nulls, not
+    /// just chase outputs (the theorem is stated for any concrete solution;
+    /// the evaluator itself is semantics-preserving for any instance).
+    #[test]
+    fn theorem21_on_fragmented_and_coalesced_instances(seed in 0u64..1000) {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 4,
+            horizon: 12,
+            seed,
+            ..EmploymentConfig::default()
+        });
+        let jc = tdx::c_chase(&w.source, &w.mapping).unwrap().target;
+        let variants = [jc.coalesced(), tdx::core::normalize::naive_normalize(&jc)];
+        for variant in &variants {
+            for q in queries() {
+                prop_assert!(theorem21_holds(variant, &q).unwrap());
+            }
+        }
+    }
+}
+
+/// Certain answers are sound: contained in the naïve answers over any
+/// solution obtained by resolving nulls and adding facts.
+#[test]
+fn certain_answers_sound_under_perturbation() {
+    use tdx::Value;
+    for seed in 0..8u64 {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 5,
+            horizon: 14,
+            seed,
+            ..EmploymentConfig::default()
+        });
+        let q: UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
+        let certain =
+            certain_answers_concrete(&w.source, &w.mapping, &q, &ChaseOptions::default())
+                .unwrap();
+        // Perturb: resolve each null to a distinct constant, add noise facts.
+        let jc = tdx::c_chase(&w.source, &w.mapping).unwrap().target;
+        let mut solution = jc.map_values(|v, iv| match v {
+            Value::Null(n) => Value::str(&format!("resolved{}_{}", n.0, iv.start())),
+            other => *other,
+        });
+        solution.insert_strs("Emp", &["noise", "corp", "0k"], tdx::Interval::new(0, 3));
+        let sol_answers = naive_eval_concrete(&solution, &q).unwrap();
+        for (tuple, set) in certain.rows() {
+            let in_solution = sol_answers.rows().find(|(t, _)| t == &tuple);
+            let covering = in_solution.expect("certain tuple must appear in any solution");
+            for ivl in set.intervals() {
+                assert!(
+                    covering.1.covers(ivl),
+                    "seed {seed}: certain tuple {tuple:?} not covered on {ivl}"
+                );
+            }
+        }
+    }
+}
+
+/// Query evaluation distributes over unions.
+#[test]
+fn union_query_is_union_of_disjuncts() {
+    let w = EmploymentWorkload::generate(&EmploymentConfig {
+        persons: 6,
+        horizon: 14,
+        seed: 99,
+        ..EmploymentConfig::default()
+    });
+    let jc = tdx::c_chase(&w.source, &w.mapping).unwrap().target;
+    let q1: UnionQuery = parse_query("Q(n) :- Emp(n, c0, s)").unwrap().into();
+    let q2: UnionQuery = parse_query("Q(n) :- Emp(n, c1, s)").unwrap().into();
+    let q12 = parse_union_query("Q(n) :- Emp(n, c0, s); Q(n) :- Emp(n, c1, s)").unwrap();
+    let a1 = naive_eval_concrete(&jc, &q1).unwrap();
+    let a2 = naive_eval_concrete(&jc, &q2).unwrap();
+    let a12 = naive_eval_concrete(&jc, &q12).unwrap();
+    for t in 0..20u64 {
+        let mut union = a1.at(t);
+        union.extend(a2.at(t));
+        assert_eq!(a12.at(t), union, "t = {t}");
+    }
+}
