@@ -5,11 +5,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use tdx_core::{c_chase_with, ChaseOptions};
-use tdx_workload::{nested_mapping, EmploymentConfig, EmploymentWorkload};
+use tdx_workload::{
+    clustered_instance, nested_mapping, ClusteredConfig, EmploymentConfig, EmploymentWorkload,
+};
 
 fn bench_employment(c: &mut Criterion) {
     let mut group = c.benchmark_group("c_chase/employment");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for persons in [10usize, 25, 50] {
         let w = EmploymentWorkload::generate(&EmploymentConfig {
             persons,
@@ -52,7 +56,9 @@ fn bench_employment(c: &mut Criterion) {
 
 fn bench_nested(c: &mut Criterion) {
     let mut group = c.benchmark_group("c_chase/nested");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [8usize, 16, 24] {
         let (mapping, src) = nested_mapping(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
@@ -62,5 +68,67 @@ fn bench_nested(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_employment, bench_nested);
+/// The headline ablation for the FactStore refactor: the indexed semi-naive
+/// engine against the legacy full-scan engine, across all three workload
+/// families. The acceptance bar is ≥ 1.5× on the largest scenario.
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c_chase/engine");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    let engines = [
+        ("indexed_semi_naive", ChaseOptions::default()),
+        ("legacy_scan", ChaseOptions::legacy_scan()),
+    ];
+    for persons in [50usize, 100] {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons,
+            horizon: 30,
+            seed: 42,
+            ..EmploymentConfig::default()
+        });
+        for (label, opts) in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(format!("employment/{label}"), persons),
+                &persons,
+                |b, _| b.iter(|| c_chase_with(&w.source, &w.mapping, opts).unwrap()),
+            );
+        }
+    }
+    for n in [16usize, 24] {
+        let (mapping, src) = nested_mapping(n);
+        for (label, opts) in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(format!("nested/{label}"), n),
+                &n,
+                |b, _| b.iter(|| c_chase_with(&src, &mapping, opts).unwrap()),
+            );
+        }
+    }
+    // Normalization-dominated: Algorithm 1 group discovery over clustered
+    // intervals, which the interval-endpoint index accelerates.
+    use tdx_core::normalize::normalize_with;
+    use tdx_storage::SearchOptions;
+    for clusters in [10usize, 20] {
+        let (instance, conj) = clustered_instance(&ClusteredConfig {
+            clusters,
+            ..ClusteredConfig::default()
+        });
+        for (label, use_indexes) in [("indexed", true), ("full_scan", false)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("normalize_clustered/{label}"), clusters),
+                &clusters,
+                |b, _| {
+                    b.iter(|| {
+                        normalize_with(&instance, &[conj.as_slice()], SearchOptions { use_indexes })
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_employment, bench_nested, bench_engines);
 criterion_main!(benches);

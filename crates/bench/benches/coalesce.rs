@@ -9,7 +9,9 @@ use tdx_workload::{EmploymentConfig, EmploymentWorkload};
 
 fn bench_coalesce(c: &mut Criterion) {
     let mut group = c.benchmark_group("coalesce");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for persons in [10usize, 50, 200] {
         let w = EmploymentWorkload::generate(&EmploymentConfig {
             persons,

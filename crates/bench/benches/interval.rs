@@ -6,9 +6,13 @@ use tdx_temporal::{fragment_interval, Breakpoints, Interval, IntervalSet};
 
 fn bench_interval_set(c: &mut Criterion) {
     let mut group = c.benchmark_group("interval_set");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [100usize, 1000, 10000] {
-        let a: Vec<Interval> = (0..n as u64).map(|i| Interval::new(3 * i, 3 * i + 2)).collect();
+        let a: Vec<Interval> = (0..n as u64)
+            .map(|i| Interval::new(3 * i, 3 * i + 2))
+            .collect();
         let b: Vec<Interval> = (0..n as u64)
             .map(|i| Interval::new(3 * i + 1, 3 * i + 3))
             .collect();
@@ -32,9 +36,13 @@ fn bench_interval_set(c: &mut Criterion) {
 
 fn bench_fragmentation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fragment");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [100usize, 1000, 10000] {
-        let cuts: Vec<Interval> = (0..n as u64).map(|i| Interval::new(2 * i, 2 * i + 1)).collect();
+        let cuts: Vec<Interval> = (0..n as u64)
+            .map(|i| Interval::new(2 * i, 2 * i + 1))
+            .collect();
         let bps = Breakpoints::from_intervals(cuts.iter());
         let target = Interval::new(0, 2 * n as u64);
         group.bench_with_input(BenchmarkId::new("breakpoints", n), &n, |bch, _| {

@@ -9,7 +9,9 @@ use tdx_workload::{EmploymentConfig, EmploymentWorkload};
 
 fn bench_matcher(c: &mut Criterion) {
     let mut group = c.benchmark_group("matcher");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let body = parse_tgd("E(n,c) & S(n,s) -> Sink()").unwrap().body;
     for persons in [25usize, 100, 400] {
         let w = EmploymentWorkload::generate(&EmploymentConfig {

@@ -10,7 +10,9 @@ use tdx_workload::{clustered_instance, nested_intervals, ClusteredConfig};
 
 fn bench_nested(c: &mut Criterion) {
     let mut group = c.benchmark_group("normalize/nested");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [16usize, 32, 64, 128] {
         let (ic, conj) = nested_intervals(n);
         group.bench_with_input(BenchmarkId::new("algorithm1", n), &n, |b, _| {
@@ -25,16 +27,20 @@ fn bench_nested(c: &mut Criterion) {
 
 fn bench_sparse(c: &mut Criterion) {
     let mut group = c.benchmark_group("normalize/sparse");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for clusters in [16usize, 64, 256] {
         let (ic, conj) = clustered_instance(&ClusteredConfig {
             clusters,
             pairs_per_cluster: 2,
             overlapping: true,
         });
-        group.bench_with_input(BenchmarkId::new("algorithm1", clusters), &clusters, |b, _| {
-            b.iter(|| normalize(&ic, &[&conj]).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm1", clusters),
+            &clusters,
+            |b, _| b.iter(|| normalize(&ic, &[&conj]).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("naive", clusters), &clusters, |b, _| {
             b.iter(|| naive_normalize(&ic))
         });

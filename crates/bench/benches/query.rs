@@ -4,15 +4,16 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use tdx_core::{
-    c_chase, certain_answers_abstract, certain_answers_concrete, naive_eval_concrete,
-    ChaseOptions,
+    c_chase, certain_answers_abstract, certain_answers_concrete, naive_eval_concrete, ChaseOptions,
 };
 use tdx_logic::{parse_query, UnionQuery};
 use tdx_workload::{EmploymentConfig, EmploymentWorkload};
 
 fn bench_queries(c: &mut Criterion) {
     let mut group = c.benchmark_group("query");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for persons in [10usize, 25, 50] {
         let w = EmploymentWorkload::generate(&EmploymentConfig {
             persons,
@@ -53,9 +54,7 @@ fn bench_queries(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("certain/abstract_route", persons),
             &persons,
-            |b, _| {
-                b.iter(|| certain_answers_abstract(&w.source, &w.mapping, &q_simple).unwrap())
-            },
+            |b, _| b.iter(|| certain_answers_abstract(&w.source, &w.mapping, &q_simple).unwrap()),
         );
     }
     group.finish();

@@ -14,13 +14,13 @@
 use std::sync::Arc;
 use std::time::Duration;
 use tdx_bench::{banner, check, fmt_duration, growth_exponent, timed, Table};
+use tdx_core::normalize::{candidate_groups, has_empty_intersection_property, naive_normalize};
+use tdx_core::verify::{alignment_holds, is_solution_concrete};
 use tdx_core::{
     abstract_chase, abstract_hom, c_chase, certain_answers_abstract, certain_answers_concrete,
     hom_equivalent, normalize, normalize as norm_fn, semantics, AValue, AbstractInstanceBuilder,
     ChaseOptions, TdxError,
 };
-use tdx_core::normalize::{candidate_groups, has_empty_intersection_property, naive_normalize};
-use tdx_core::verify::{alignment_holds, is_solution_concrete};
 use tdx_logic::{parse_query, parse_tgd, UnionQuery};
 use tdx_storage::display::render_temporal_relation;
 use tdx_storage::{NullId, TemporalInstance};
@@ -72,21 +72,30 @@ fn exp_f1() -> bool {
 // F2 — Figure 2 / Example 2: homomorphisms between abstract instances
 // ---------------------------------------------------------------------
 fn exp_f2() -> bool {
-    banner("F2", "Figure 2 / Example 2: J2 → J1 exists, J1 → J2 does not");
-    let schema = Arc::new(
-        tdx_logic::parse_schema("Emp(name, company, salary).").unwrap(),
+    banner(
+        "F2",
+        "Figure 2 / Example 2: J2 → J1 exists, J1 → J2 does not",
     );
+    let schema = Arc::new(tdx_logic::parse_schema("Emp(name, company, salary).").unwrap());
     let mut b = AbstractInstanceBuilder::new(Arc::clone(&schema));
     b.add(
         "Emp",
-        vec![AValue::str("Ada"), AValue::str("IBM"), AValue::Rigid(NullId(0))],
+        vec![
+            AValue::str("Ada"),
+            AValue::str("IBM"),
+            AValue::Rigid(NullId(0)),
+        ],
         iv(0, 2),
     );
     let j1 = b.build();
     let mut b = AbstractInstanceBuilder::new(schema);
     b.add(
         "Emp",
-        vec![AValue::str("Ada"), AValue::str("IBM"), AValue::PerPoint(NullId(1))],
+        vec![
+            AValue::str("Ada"),
+            AValue::str("IBM"),
+            AValue::PerPoint(NullId(1)),
+        ],
         iv(0, 2),
     );
     let j2 = b.build();
@@ -162,7 +171,10 @@ fn exp_f5() -> bool {
     expected.insert_strs("S", &["Bob", "13k"], iv(2015, 2018));
     expected.insert_strs("S", &["Bob", "13k"], Interval::from(2018));
     let mut ok = true;
-    ok &= check("matches the paper's Figure 5 exactly (9 facts)", out == expected);
+    ok &= check(
+        "matches the paper's Figure 5 exactly (9 facts)",
+        out == expected,
+    );
     ok &= check(
         "output has the empty intersection property",
         has_empty_intersection_property(&out, &[&phi]).unwrap(),
@@ -178,7 +190,10 @@ fn exp_f5() -> bool {
 // F6 — Figure 6: naïve normalization
 // ---------------------------------------------------------------------
 fn exp_f6() -> bool {
-    banner("F6", "Figure 6: naïve normalization of Ic (endpoint-oblivious)");
+    banner(
+        "F6",
+        "Figure 6: naïve normalization of Ic (endpoint-oblivious)",
+    );
     let mapping = paper_mapping();
     let ic = figure4_source(&mapping);
     let out = naive_normalize(&ic);
@@ -201,7 +216,10 @@ fn exp_f6() -> bool {
 // F7F8 — Example 14 / Figures 7→8: Algorithm 1 end to end
 // ---------------------------------------------------------------------
 fn exp_f7f8() -> bool {
-    banner("F7F8", "Figures 7→8 / Example 14: Algorithm 1 grouping and output");
+    banner(
+        "F7F8",
+        "Figures 7→8 / Example 14: Algorithm 1 grouping and output",
+    );
     let schema = Arc::new(tdx_logic::parse_schema("R(a). P(a). S(a).").unwrap());
     let mut ic = TemporalInstance::new(schema);
     ic.insert_strs("R", &["a"], iv(5, 11)); // f1
@@ -214,8 +232,11 @@ fn exp_f7f8() -> bool {
     let phi1 = parse_tgd("R(x) & P(y) -> Sink(x)").unwrap().body;
     let phi2 = parse_tgd("P(x) & S(y) -> Sink(x)").unwrap().body;
     let groups = candidate_groups(&ic, &[&phi1, &phi2]).unwrap();
-    println!("\nmerged groups S = {{Δ1, Δ2}} with |Δ1| = {}, |Δ2| = {}",
-        groups[0].len(), groups[1].len());
+    println!(
+        "\nmerged groups S = {{Δ1, Δ2}} with |Δ1| = {}, |Δ2| = {}",
+        groups[0].len(),
+        groups[1].len()
+    );
     let out = normalize(&ic, &[&phi1, &phi2]).unwrap();
     println!("\noutput (Figure 8; the paper lists f31 twice — corrected to f32):");
     print_instance(&out);
@@ -246,7 +267,10 @@ fn exp_f7f8() -> bool {
 // F9 — Figure 9 / Example 17: the c-chase result
 // ---------------------------------------------------------------------
 fn exp_f9() -> bool {
-    banner("F9", "Figure 9 / Example 17: c-chase of the concrete source");
+    banner(
+        "F9",
+        "Figure 9 / Example 17: c-chase of the concrete source",
+    );
     let mapping = paper_mapping();
     let ic = figure4_source(&mapping);
     let result = c_chase(&ic, &mapping).expect("paper chase succeeds");
@@ -268,7 +292,7 @@ fn exp_f9() -> bool {
                 tdx_storage::Value::str("IBM"),
                 tdx_storage::Value::str("18k"),
             ]),
-            iv(2013, 2014)
+            iv(2013, 2014),
         ),
     );
     let null_facts: Vec<_> = jc
@@ -303,7 +327,11 @@ fn exp_f10() -> bool {
     let mapping = paper_mapping();
     let ic = figure4_source(&mapping);
     let aligned = alignment_holds(&ic, &mapping, &ChaseOptions::default()).unwrap();
-    table.row(&["figure4".into(), ic.total_len().to_string(), aligned.to_string()]);
+    table.row(&[
+        "figure4".into(),
+        ic.total_len().to_string(),
+        aligned.to_string(),
+    ]);
     ok &= aligned;
     // Employment populations.
     for seed in [1u64, 2, 3] {
@@ -375,8 +403,14 @@ fn exp_t13() -> bool {
     let k = growth_exponent(&samples);
     println!("fitted growth exponent: n^{k:.3}");
     let mut ok = true;
-    ok &= check("sizes are exactly n² on this family", samples.iter().all(|(n, y)| *y == n * n));
-    ok &= check("fitted exponent within [1.9, 2.1]", (1.9..=2.1).contains(&k));
+    ok &= check(
+        "sizes are exactly n² on this family",
+        samples.iter().all(|(n, y)| *y == n * n),
+    );
+    ok &= check(
+        "fitted exponent within [1.9, 2.1]",
+        (1.9..=2.1).contains(&k),
+    );
     ok
 }
 
@@ -447,7 +481,9 @@ fn exp_qa() -> bool {
         "Thm 21 / Cor 22: naïve evaluation on the c-chase result = certain answers",
     );
     let mut ok = true;
-    let mut table = Table::new(&["workload", "query", "tuples", "concrete", "abstract", "equal"]);
+    let mut table = Table::new(&[
+        "workload", "query", "tuples", "concrete", "abstract", "equal",
+    ]);
     let queries = [
         "Q(n, s) :- Emp(n, c, s)",
         "Q(n, c) :- Emp(n, c, s)",
@@ -551,7 +587,10 @@ fn exp_fail() -> bool {
 // SCALE — c-chase end-to-end scaling
 // ---------------------------------------------------------------------
 fn exp_scale() -> bool {
-    banner("SCALE", "c-chase scaling and phase breakdown on employment workloads");
+    banner(
+        "SCALE",
+        "c-chase scaling and phase breakdown on employment workloads",
+    );
     let mut table = Table::new(&[
         "persons",
         "src facts",
@@ -746,10 +785,12 @@ fn exp_modal() -> bool {
     ok
 }
 
+type Experiment = fn() -> bool;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all: Vec<(&str, fn() -> bool)> = vec![
-        ("F1", exp_f1 as fn() -> bool),
+    let all: Vec<(&str, Experiment)> = vec![
+        ("F1", exp_f1 as Experiment),
         ("F2", exp_f2),
         ("F3", exp_f3),
         ("F4", exp_f4),

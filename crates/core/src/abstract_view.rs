@@ -21,9 +21,9 @@ use crate::error::TdxError;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
-use tdx_temporal::{partition::epochs_over_timeline, Breakpoints, Endpoint, Interval, TimePoint};
 use tdx_logic::{Constant, RelId, Schema, Symbol};
 use tdx_storage::NullId;
+use tdx_temporal::{partition::epochs_over_timeline, Breakpoints, Endpoint, Interval, TimePoint};
 
 /// A value in an abstract snapshot.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -181,7 +181,8 @@ impl ASnapshot {
 
     /// Whether the snapshot contains no nulls.
     pub fn is_complete(&self) -> bool {
-        self.iter_all().all(|(_, row)| row.iter().all(|v| !v.is_null()))
+        self.iter_all()
+            .all(|(_, row)| row.iter().all(|v| !v.is_null()))
     }
 
     /// Renders the snapshot as the paper writes them:
@@ -465,7 +466,11 @@ mod tests {
 
     fn schema() -> Arc<Schema> {
         Arc::new(
-            Schema::new(vec![RelationSchema::new("Emp", &["name", "company", "salary"])]).unwrap(),
+            Schema::new(vec![RelationSchema::new(
+                "Emp",
+                &["name", "company", "salary"],
+            )])
+            .unwrap(),
         )
     }
 
@@ -479,20 +484,18 @@ mod tests {
         );
         b.add(
             "Emp",
-            vec![AValue::str("Ada"), AValue::str("Google"), AValue::str("18k")],
+            vec![
+                AValue::str("Ada"),
+                AValue::str("Google"),
+                AValue::str("18k"),
+            ],
             Interval::from(2014),
         );
         let ia = b.build();
         assert_eq!(ia.epochs().len(), 3); // [0,2013), [2013,2014), [2014,∞)
         assert!(ia.snapshot_at(0).is_empty());
-        assert_eq!(
-            ia.snapshot_at(2013).render(),
-            "{Emp(Ada, IBM, 18k)}"
-        );
-        assert_eq!(
-            ia.snapshot_at(3000).render(),
-            "{Emp(Ada, Google, 18k)}"
-        );
+        assert_eq!(ia.snapshot_at(2013).render(), "{Emp(Ada, IBM, 18k)}");
+        assert_eq!(ia.snapshot_at(3000).render(), "{Emp(Ada, Google, 18k)}");
     }
 
     #[test]
@@ -635,7 +638,11 @@ mod tests {
         let mut b = AbstractInstanceBuilder::new(schema());
         b.add(
             "Emp",
-            vec![AValue::str("A"), AValue::str("B"), AValue::PerPoint(NullId(0))],
+            vec![
+                AValue::str("A"),
+                AValue::str("B"),
+                AValue::PerPoint(NullId(0)),
+            ],
             iv(0, 2),
         );
         let ia = b.build();

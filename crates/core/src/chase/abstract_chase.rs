@@ -9,11 +9,11 @@
 //! one generator across epochs, so no base is reused between epochs.
 
 use crate::abstract_view::{ASnapshot, AValue, AbstractInstance, Epoch};
-use crate::chase::snapshot::snapshot_chase;
+use crate::chase::snapshot::{snapshot_chase, snapshot_chase_with};
 use crate::error::{Result, TdxError};
 use std::sync::Arc;
 use tdx_logic::SchemaMapping;
-use tdx_storage::{Instance, NullGen, Value};
+use tdx_storage::{Instance, NullGen, SearchOptions, Value};
 
 /// Converts a complete abstract snapshot into a storage instance.
 fn to_instance(snap: &ASnapshot) -> Result<Instance> {
@@ -55,25 +55,36 @@ fn to_asnapshot(db: &Instance, schema: Arc<tdx_logic::Schema>) -> ASnapshot {
 /// successful result is a universal solution; a failure means no solution
 /// exists.
 pub fn abstract_chase(ia: &AbstractInstance, mapping: &SchemaMapping) -> Result<AbstractInstance> {
+    abstract_chase_with(ia, mapping, SearchOptions::default())
+}
+
+/// [`abstract_chase`] with explicit matcher options, so the per-snapshot
+/// chases inherit the engine choice (indexed vs full-scan) end to end.
+pub fn abstract_chase_with(
+    ia: &AbstractInstance,
+    mapping: &SchemaMapping,
+    options: SearchOptions,
+) -> Result<AbstractInstance> {
     let target_schema = Arc::new(mapping.target().clone());
     let mut nulls = NullGen::new();
     let mut epochs = Vec::with_capacity(ia.epochs().len());
     for epoch in ia.epochs() {
         let src = to_instance(&epoch.snapshot)?;
-        let chased = snapshot_chase(&src, mapping, &mut nulls).map_err(|e| match e {
-            TdxError::ChaseFailure {
-                dependency,
-                left,
-                right,
-                ..
-            } => TdxError::ChaseFailure {
-                dependency,
-                left,
-                right,
-                interval: Some(epoch.interval),
-            },
-            other => other,
-        })?;
+        let chased =
+            snapshot_chase_with(&src, mapping, &mut nulls, options).map_err(|e| match e {
+                TdxError::ChaseFailure {
+                    dependency,
+                    left,
+                    right,
+                    ..
+                } => TdxError::ChaseFailure {
+                    dependency,
+                    left,
+                    right,
+                    interval: Some(epoch.interval),
+                },
+                other => other,
+            })?;
         epochs.push(Epoch {
             interval: epoch.interval,
             snapshot: to_asnapshot(&chased, Arc::clone(&target_schema)),
@@ -251,21 +262,9 @@ mod tests {
         let mapping = paper_mapping();
         let schema = Arc::new(mapping.source().clone());
         let mut b = AbstractInstanceBuilder::new(schema);
-        b.add(
-            "E",
-            vec![AValue::str("Ada"), AValue::str("IBM")],
-            iv(5, 9),
-        );
-        b.add(
-            "S",
-            vec![AValue::str("Ada"), AValue::str("18k")],
-            iv(5, 9),
-        );
-        b.add(
-            "S",
-            vec![AValue::str("Ada"), AValue::str("20k")],
-            iv(7, 8),
-        );
+        b.add("E", vec![AValue::str("Ada"), AValue::str("IBM")], iv(5, 9));
+        b.add("S", vec![AValue::str("Ada"), AValue::str("18k")], iv(5, 9));
+        b.add("S", vec![AValue::str("Ada"), AValue::str("20k")], iv(7, 8));
         let ia = b.build();
         let err = abstract_chase(&ia, &mapping).unwrap_err();
         match err {

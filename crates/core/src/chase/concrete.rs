@@ -18,12 +18,28 @@
 //! `⟦J_c⟧ ∼ chase(⟦I_c⟧)`.
 
 use crate::error::{Result, TdxError};
-use crate::normalize::{naive_normalize, normalize};
+use crate::normalize::{naive_normalize, normalize_with};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tdx_logic::{Atom, SchemaMapping, Term, Var};
-use tdx_storage::{NullGen, NullId, TemporalInstance, TemporalMode, Value};
+use tdx_storage::{
+    Generation, NullGen, NullId, SearchOptions, TemporalInstance, TemporalMode, Value,
+};
 use tdx_temporal::Interval;
+
+/// Which join engine the c-chase runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ChaseEngine {
+    /// Index-probed joins (eager column indexes, interval-endpoint indexes)
+    /// plus **semi-naive** egd rounds: after the first round, egd bodies
+    /// join only against the facts changed by the previous round.
+    #[default]
+    IndexedSemiNaive,
+    /// The pre-`FactStore` behavior: full relation scans, every egd round
+    /// re-enumerates every match. Kept as the equivalence oracle for tests
+    /// and the ablation baseline for benches.
+    LegacyScan,
+}
 
 /// Tuning knobs for the c-chase.
 #[derive(Clone, Debug)]
@@ -43,6 +59,9 @@ pub struct ChaseOptions {
     pub coalesce_result: bool,
     /// Record a human-readable step trace in the result.
     pub record_trace: bool,
+    /// The join engine (indexed semi-naive by default; the legacy full-scan
+    /// path is kept for equivalence tests and ablation benches).
+    pub engine: ChaseEngine,
 }
 
 impl Default for ChaseOptions {
@@ -52,6 +71,7 @@ impl Default for ChaseOptions {
             naive_normalization: false,
             coalesce_result: false,
             record_trace: false,
+            engine: ChaseEngine::default(),
         }
     }
 }
@@ -63,6 +83,21 @@ impl ChaseOptions {
         ChaseOptions {
             renormalize_between_egd_rounds: false,
             ..ChaseOptions::default()
+        }
+    }
+
+    /// Default options on the legacy full-scan engine.
+    pub fn legacy_scan() -> ChaseOptions {
+        ChaseOptions {
+            engine: ChaseEngine::LegacyScan,
+            ..ChaseOptions::default()
+        }
+    }
+
+    /// The matcher options implied by the engine choice.
+    pub fn search_options(&self) -> SearchOptions {
+        SearchOptions {
+            use_indexes: self.engine == ChaseEngine::IndexedSemiNaive,
         }
     }
 }
@@ -82,6 +117,9 @@ pub struct ChaseStats {
     pub target_facts_normalized: usize,
     /// Egd merge rounds executed.
     pub egd_rounds: usize,
+    /// Egd rounds that ran delta-restricted (semi-naive engine only; the
+    /// first round is always a full enumeration).
+    pub egd_delta_rounds: usize,
     /// Individual value identifications performed.
     pub egd_merges: usize,
     /// Facts in the returned target.
@@ -237,8 +275,8 @@ fn align_shared_nulls(target: &TemporalInstance) -> TemporalInstance {
     // Component breakpoints from member intervals (singleton components
     // need no cuts — a fact is always aligned with itself).
     let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
-    for i in 0..n {
-        if has_null[i] {
+    for (i, hn) in has_null.iter().enumerate() {
+        if *hn {
             members.entry(find(&mut parent, i)).or_default().push(i);
         }
     }
@@ -247,9 +285,7 @@ fn align_shared_nulls(target: &TemporalInstance) -> TemporalInstance {
         if ms.len() > 1 {
             bps.insert(
                 *root,
-                tdx_temporal::Breakpoints::from_intervals(
-                    ms.iter().map(|&i| &facts[i].1.interval),
-                ),
+                tdx_temporal::Breakpoints::from_intervals(ms.iter().map(|&i| &facts[i].1.interval)),
             );
         }
     }
@@ -274,6 +310,29 @@ fn align_shared_nulls(target: &TemporalInstance) -> TemporalInstance {
     out
 }
 
+/// Rebuilds `new` so that the facts already present in `old` come first,
+/// seals a generation, then appends the changed facts. The returned
+/// generation's delta is exactly "what the last egd round changed" — new
+/// fragments included — which is what the semi-naive rounds join against.
+fn mark_delta_against(
+    new: &TemporalInstance,
+    old: &TemporalInstance,
+) -> (TemporalInstance, Generation) {
+    let mut out = TemporalInstance::new(new.schema_arc());
+    for (rel, fact) in new.iter_all() {
+        if old.contains(rel, &fact.data, fact.interval) {
+            out.insert(rel, Arc::clone(&fact.data), fact.interval);
+        }
+    }
+    let gen = out.mark_generation();
+    for (rel, fact) in new.iter_all() {
+        if !old.contains(rel, &fact.data, fact.interval) {
+            out.insert(rel, Arc::clone(&fact.data), fact.interval);
+        }
+    }
+    (out, gen)
+}
+
 /// Runs the c-chase of `ic` w.r.t. `mapping` with default options.
 pub fn c_chase(ic: &TemporalInstance, mapping: &SchemaMapping) -> Result<CChaseResult> {
     c_chase_with(ic, mapping, &ChaseOptions::default())
@@ -296,12 +355,14 @@ pub fn c_chase_with(
         }
     };
 
+    let sopts = opts.search_options();
+
     // Step 1: normalize the source w.r.t. the s-t tgd bodies.
     let tgd_bodies = mapping.tgd_bodies();
     let nsource = if opts.naive_normalization {
         naive_normalize(ic)
     } else {
-        normalize(ic, &tgd_bodies)?
+        normalize_with(ic, &tgd_bodies, sopts)?
     };
     stats.source_facts_normalized = nsource.total_len();
     log(
@@ -318,7 +379,7 @@ pub fn c_chase_with(
     let mut nulls = NullGen::new();
     for tgd in mapping.st_tgds() {
         let mut homs: Vec<(Vec<(Var, Value)>, Interval)> = Vec::new();
-        nsource.find_matches(&tgd.body, TemporalMode::Shared, &[], None, |m| {
+        nsource.find_matches_with(&tgd.body, TemporalMode::Shared, &[], None, sopts, |m| {
             homs.push((
                 m.bindings(),
                 m.shared_interval().expect("temporal store binds t"),
@@ -327,7 +388,7 @@ pub fn c_chase_with(
         })?;
         let existentials = tgd.existential_vars();
         for (h, iv) in homs {
-            if target.exists_match(&tgd.head, TemporalMode::Shared, &h, Some(iv))? {
+            if target.exists_match_with(&tgd.head, TemporalMode::Shared, &h, Some(iv), sopts)? {
                 continue;
             }
             let mut env = h;
@@ -352,10 +413,8 @@ pub fn c_chase_with(
                     tgd.head
                         .iter()
                         .map(|a| {
-                            let vals: Vec<String> = instantiate(a, &env)
-                                .iter()
-                                .map(|v| v.to_string())
-                                .collect();
+                            let vals: Vec<String> =
+                                instantiate(a, &env).iter().map(|v| v.to_string()).collect();
                             format!("{}({}, {iv})", a.relation, vals.join(", "))
                         })
                         .collect::<Vec<_>>()
@@ -379,10 +438,11 @@ pub fn c_chase_with(
             // output is aligned and normalized in one shot.
             return Ok(naive_normalize(target));
         }
+        let sopts = opts.search_options();
         let mut current = if egd_bodies.is_empty() {
             target.clone()
         } else {
-            normalize(target, &egd_bodies)?
+            normalize_with(target, &egd_bodies, sopts)?
         };
         loop {
             // Both passes only fragment, so an unchanged fact count means a
@@ -395,7 +455,7 @@ pub fn c_chase_with(
             current = if egd_bodies.is_empty() {
                 aligned
             } else {
-                let renormalized = normalize(&aligned, &egd_bodies)?;
+                let renormalized = normalize_with(&aligned, &egd_bodies, sopts)?;
                 if renormalized.total_len() == aligned.total_len() {
                     return Ok(renormalized);
                 }
@@ -417,12 +477,22 @@ pub fn c_chase_with(
     );
 
     // Step 4: egd c-chase steps to fixpoint.
+    //
+    // Semi-naive engine: the first round enumerates every match; each later
+    // round joins only against the delta of the previous round's rewrite
+    // (changed and re-fragmented facts). That is sound because a match whose
+    // image consists solely of unchanged facts was already enumerated — and
+    // its identification applied — in an earlier round, so revisiting it
+    // would find `a == b` and do nothing; a constant/constant conflict among
+    // unchanged facts would likewise have failed the chase already.
+    let semi_naive = opts.engine == ChaseEngine::IndexedSemiNaive;
+    let mut delta_gen: Option<Generation> = None;
     loop {
         let mut uf = AnnotatedUnionFind::new();
         let mut merges = 0usize;
         let mut conflict: Option<(String, UfKey, UfKey, Interval)> = None;
         for egd in mapping.egds() {
-            target.find_matches(&egd.body, TemporalMode::Shared, &[], None, |m| {
+            let mut on_match = |m: &tdx_storage::Match<'_>| {
                 let iv = m.shared_interval().expect("temporal store binds t");
                 let a = m.value(egd.lhs).expect("egd lhs in body");
                 let b = m.value(egd.rhs).expect("egd rhs in body");
@@ -452,7 +522,30 @@ pub fn c_chase_with(
                         false
                     }
                 }
-            })?;
+            };
+            match delta_gen {
+                Some(gen) => {
+                    target.find_matches_delta(
+                        &egd.body,
+                        TemporalMode::Shared,
+                        &[],
+                        None,
+                        sopts,
+                        gen,
+                        &mut on_match,
+                    )?;
+                }
+                None => {
+                    target.find_matches_with(
+                        &egd.body,
+                        TemporalMode::Shared,
+                        &[],
+                        None,
+                        sopts,
+                        &mut on_match,
+                    )?;
+                }
+            }
             if conflict.is_some() {
                 break;
             }
@@ -474,20 +567,31 @@ pub fn c_chase_with(
         }
         stats.egd_rounds += 1;
         stats.egd_merges += merges;
+        if delta_gen.is_some() {
+            stats.egd_delta_rounds += 1;
+        }
         log(
             opts,
             &mut trace,
             format!("egd round {}: {} identifications", stats.egd_rounds, merges),
         );
-        target = target.map_values(|v, fact_iv| uf.resolve(v, fact_iv));
+        let previous = target;
+        let mut next = previous.map_values(|v, fact_iv| uf.resolve(v, fact_iv));
         if opts.renormalize_between_egd_rounds {
             // Rewriting can merge bases (new sharing) and create new data
             // joins — restore both invariants.
-            target = refragment(&target, opts)?;
+            next = refragment(&next, opts)?;
         } else {
             // Even in paper-faithful mode the annotated-null bookkeeping
             // must stay coherent: keep sibling occurrences aligned.
-            target = align_shared_nulls(&target);
+            next = align_shared_nulls(&next);
+        }
+        if semi_naive {
+            let (reordered, gen) = mark_delta_against(&next, &previous);
+            target = reordered;
+            delta_gen = Some(gen);
+        } else {
+            target = next;
         }
     }
 
@@ -507,9 +611,9 @@ pub fn c_chase_with(
 mod tests {
     use super::*;
     use crate::semantics::semantics;
+    use tdx_logic::RelId;
     use tdx_logic::{parse_egd, parse_schema, parse_tgd};
     use tdx_storage::row;
-    use tdx_logic::RelId;
 
     fn iv(s: u64, e: u64) -> Interval {
         Interval::new(s, e)
@@ -521,7 +625,9 @@ mod tests {
             parse_schema("Emp(name, company, salary).").unwrap(),
             vec![
                 parse_tgd("E(n,c) -> Emp(n,c,s)").unwrap().named("st1"),
-                parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)").unwrap().named("st2"),
+                parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)")
+                    .unwrap()
+                    .named("st2"),
             ],
             vec![parse_egd("Emp(n,c,s) & Emp(n,c,s2) -> s = s2")
                 .unwrap()
@@ -589,8 +695,12 @@ mod tests {
     fn paper_faithful_mode_gives_same_result_on_paper_example() {
         let mapping = paper_mapping();
         let a = c_chase_with(&figure4(&mapping), &mapping, &ChaseOptions::default()).unwrap();
-        let b =
-            c_chase_with(&figure4(&mapping), &mapping, &ChaseOptions::paper_faithful()).unwrap();
+        let b = c_chase_with(
+            &figure4(&mapping),
+            &mapping,
+            &ChaseOptions::paper_faithful(),
+        )
+        .unwrap();
         assert_eq!(a.target, b.target);
     }
 

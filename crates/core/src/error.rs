@@ -58,7 +58,10 @@ impl fmt::Display for TdxError {
             }
             TdxError::Invalid(msg) => write!(f, "invalid input: {msg}"),
             TdxError::TemporalUnsatisfiable { dependency, detail } => {
-                write!(f, "temporal dependency {dependency} is unsatisfiable: {detail}")
+                write!(
+                    f,
+                    "temporal dependency {dependency} is unsatisfiable: {detail}"
+                )
             }
         }
     }

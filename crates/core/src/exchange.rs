@@ -10,7 +10,7 @@ use crate::chase::abstract_chase::abstract_chase;
 use crate::chase::concrete::{c_chase_with, CChaseResult, ChaseOptions};
 use crate::error::Result;
 use crate::query::certain::{certain_answers_abstract, EpochAnswers};
-use crate::query::concrete::{naive_eval_concrete, TemporalAnswers};
+use crate::query::concrete::{naive_eval_concrete_with, TemporalAnswers};
 use crate::semantics::semantics;
 use crate::verify::is_solution_concrete;
 use std::sync::Arc;
@@ -98,7 +98,7 @@ impl DataExchange {
         q: &UnionQuery,
     ) -> Result<TemporalAnswers> {
         let solution = self.exchange(source)?;
-        naive_eval_concrete(&solution.target, q)
+        naive_eval_concrete_with(&solution.target, q, self.options.search_options())
     }
 
     /// Certain answers via the abstract route (for cross-checking).
@@ -127,8 +127,7 @@ fn load_instance(
     side: &str,
 ) -> Result<TemporalInstance> {
     use crate::error::TdxError;
-    let facts =
-        tdx_logic::parse_facts(text).map_err(|e| TdxError::Invalid(e.to_string()))?;
+    let facts = tdx_logic::parse_facts(text).map_err(|e| TdxError::Invalid(e.to_string()))?;
     let mut out = TemporalInstance::new(Arc::new(schema.clone()));
     let mut null_names: std::collections::HashMap<tdx_logic::Symbol, tdx_storage::NullId> =
         std::collections::HashMap::new();

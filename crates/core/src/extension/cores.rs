@@ -99,7 +99,9 @@ mod tests {
     use crate::chase::concrete::c_chase;
     use crate::hom::hom_equivalent;
     use crate::query::certain::theorem21_holds;
-    use tdx_logic::{parse_egd, parse_mapping, parse_query, parse_schema, parse_tgd, SchemaMapping};
+    use tdx_logic::{
+        parse_egd, parse_mapping, parse_query, parse_schema, parse_tgd, SchemaMapping,
+    };
     use tdx_storage::NullId;
     use tdx_temporal::Interval;
 
@@ -155,7 +157,11 @@ mod tests {
         );
         db.insert_values(
             "Emp",
-            [Value::str("Bob"), Value::Null(NullId(1)), Value::Null(NullId(2))],
+            [
+                Value::str("Bob"),
+                Value::Null(NullId(1)),
+                Value::Null(NullId(2)),
+            ],
         );
         let core = snapshot_core(&db);
         assert_eq!(snapshot_core(&core), core);
@@ -197,7 +203,9 @@ mod tests {
         assert_eq!(sem.snapshot_at(6).render(), "{Emp(Ada, IBM, 18k)}");
         // Core is smaller but homomorphically equivalent.
         assert!(hom_equivalent(&semantics(&jc), &sem));
-        let before: usize = (0..12).map(|t| semantics(&jc).snapshot_at(t).total_len()).sum();
+        let before: usize = (0..12)
+            .map(|t| semantics(&jc).snapshot_at(t).total_len())
+            .sum();
         let after: usize = (0..12).map(|t| sem.snapshot_at(t).total_len()).sum();
         assert!(after < before);
     }
@@ -233,8 +241,7 @@ mod tests {
         ic.insert_strs("S", &["Ada", "18k"], iv(4, 10));
         let jc = c_chase(&ic, &mapping).unwrap().target;
         let core = concrete_core(&jc);
-        let q: tdx_logic::UnionQuery =
-            parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
+        let q: tdx_logic::UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
         let full = crate::query::concrete::naive_eval_concrete(&jc, &q).unwrap();
         let on_core = crate::query::concrete::naive_eval_concrete(&core, &q).unwrap();
         assert_eq!(full.epochs(), on_core.epochs());

@@ -82,10 +82,7 @@ enum Obligation {
     Trivial,
 }
 
-fn obligation(
-    tgd: &TemporalTgd,
-    support: Interval,
-) -> Result<(Obligation, Option<Interval>)> {
+fn obligation(tgd: &TemporalTgd, support: Interval) -> Result<(Obligation, Option<Interval>)> {
     let s = support.start();
     Ok(match tgd.modality {
         Modality::Now => (Obligation::ForAll(support), Some(support)),
@@ -97,10 +94,7 @@ fn obligation(
                         .into(),
                 });
             }
-            (
-                Obligation::ExistsBefore(s),
-                Some(Interval::new(s - 1, s)),
-            )
+            (Obligation::ExistsBefore(s), Some(Interval::new(s - 1, s)))
         }
         Modality::AlwaysPast => match support.end() {
             Endpoint::Fin(e) => {
@@ -269,7 +263,9 @@ pub fn temporal_chase(
                     if obligation_met(&target, &tgd.head, &h, &ob)? {
                         continue;
                     }
-                    let Some(witness_iv) = placement else { continue };
+                    let Some(witness_iv) = placement else {
+                        continue;
+                    };
                     // Instantiate the head with fresh per-point families for
                     // the existentials.
                     let mut env = h.clone();
@@ -284,11 +280,8 @@ pub fn temporal_chase(
                             .map(|t| match t {
                                 Term::Const(c) => AValue::Const(*c),
                                 Term::Var(v) => {
-                                    let val = env
-                                        .iter()
-                                        .find(|(w, _)| w == v)
-                                        .expect("head var bound")
-                                        .1;
+                                    let val =
+                                        env.iter().find(|(w, _)| w == v).expect("head var bound").1;
                                     match val {
                                         Value::Const(c) => AValue::Const(c),
                                         Value::Null(b) => AValue::PerPoint(b),
@@ -471,8 +464,7 @@ mod tests {
             .unwrap()],
         )
         .unwrap();
-        let schema =
-            Arc::new(parse_schema("PhDgrad(name). Cand(name, adviser, topic).").unwrap());
+        let schema = Arc::new(parse_schema("PhDgrad(name). Cand(name, adviser, topic).").unwrap());
         let mut b = AbstractInstanceBuilder::new(schema);
         b.add("PhDgrad", vec![AValue::str("Ada")], iv(5, 8));
         b.add(
@@ -594,10 +586,9 @@ mod tests {
         .unwrap();
         let setting = TemporalSetting::new(
             base,
-            vec![parse_temporal_tgd(
-                "Grad(n) -> sometime_past exists adv . PhDCan(n, adv)",
-            )
-            .unwrap()],
+            vec![
+                parse_temporal_tgd("Grad(n) -> sometime_past exists adv . PhDCan(n, adv)").unwrap(),
+            ],
         )
         .unwrap();
         let schema = Arc::new(parse_schema("Grad(name). Hist(name, adviser).").unwrap());
@@ -633,11 +624,7 @@ mod tests {
         .unwrap();
         let schema = Arc::new(parse_schema("E(name, company).").unwrap());
         let mut b = AbstractInstanceBuilder::new(schema);
-        b.add(
-            "E",
-            vec![AValue::str("Ada"), AValue::str("IBM")],
-            iv(2, 6),
-        );
+        b.add("E", vec![AValue::str("Ada"), AValue::str("IBM")], iv(2, 6));
         let src = b.build();
         let via_temporal = temporal_chase(&src, &setting).unwrap();
         let plain_mapping = SchemaMapping::new(

@@ -188,9 +188,7 @@ fn search_abstract(
                 AValue::Rigid(n) => {
                     let key = SrcKey::Rigid(*n);
                     let scope_ok = match w {
-                        TgtVal::PerPoint(_) => {
-                            rigid_single_point.get(n).copied().unwrap_or(false)
-                        }
+                        TgtVal::PerPoint(_) => rigid_single_point.get(n).copied().unwrap_or(false),
                         _ => true,
                     };
                     scope_ok
@@ -241,7 +239,11 @@ mod tests {
 
     fn schema() -> Arc<Schema> {
         Arc::new(
-            Schema::new(vec![RelationSchema::new("Emp", &["name", "company", "salary"])]).unwrap(),
+            Schema::new(vec![RelationSchema::new(
+                "Emp",
+                &["name", "company", "salary"],
+            )])
+            .unwrap(),
         )
     }
 
@@ -401,19 +403,31 @@ mod tests {
         let mut b = AbstractInstanceBuilder::new(schema());
         b.add(
             "Emp",
-            vec![AValue::str("A"), AValue::str("B"), AValue::PerPoint(NullId(1))],
+            vec![
+                AValue::str("A"),
+                AValue::str("B"),
+                AValue::PerPoint(NullId(1)),
+            ],
             iv(0, 4),
         );
         let src = b.build();
         let mut b = AbstractInstanceBuilder::new(schema());
         b.add(
             "Emp",
-            vec![AValue::str("A"), AValue::str("B"), AValue::PerPoint(NullId(2))],
+            vec![
+                AValue::str("A"),
+                AValue::str("B"),
+                AValue::PerPoint(NullId(2)),
+            ],
             iv(0, 2),
         );
         b.add(
             "Emp",
-            vec![AValue::str("A"), AValue::str("B"), AValue::PerPoint(NullId(3))],
+            vec![
+                AValue::str("A"),
+                AValue::str("B"),
+                AValue::PerPoint(NullId(3)),
+            ],
             iv(2, 4),
         );
         let tgt = b.build();

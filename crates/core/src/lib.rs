@@ -18,6 +18,29 @@
 //! | §5 naïve evaluation, certain answers | [`query`] |
 //! | Prop. 4, Thm. 19, Cor. 20, Thm. 21, Cor. 22 | [`verify`], [`query::certain`] |
 //!
+//! ## Engine architecture (beyond the paper)
+//!
+//! The storage substrate is `tdx_storage::FactStore`: per relation it keeps
+//! eager per-column value indexes, an eager exact-interval index, an
+//! interval-endpoint index (`tdx_temporal::IntervalIndex`, overlap probes
+//! and incremental endpoint enumeration), and a **generation log** exposing
+//! "facts added since round *k*". On top of it the default
+//! [`ChaseEngine::IndexedSemiNaive`] runs tgd/egd steps as index-probed
+//! joins and makes egd fixpoint rounds **semi-naive**: after the first
+//! round, egd bodies join only against the previous round's delta. The
+//! pre-FactStore full-scan behavior survives as
+//! [`ChaseEngine::LegacyScan`] — `tests/equivalence.rs` asserts both
+//! engines produce identical solutions, and `crates/bench` ablates them
+//! (see `BENCH_chase.json`).
+//!
+//! | Layer | Role |
+//! |-------|------|
+//! | `tdx_temporal::index` | interval-endpoint index: overlap/exact probes, endpoints |
+//! | `tdx_storage::fact_store` | indexed fact storage + generation/delta log |
+//! | `tdx_storage::matcher` | join engine: index candidates, per-atom delta bounds |
+//! | [`chase::concrete`] | semi-naive c-chase over the store's deltas |
+//! | [`normalize`], [`query`] | overlap-index group discovery, engine-threaded eval |
+//!
 //! ## Quick start
 //!
 //! ```
@@ -58,26 +81,31 @@ pub mod query;
 pub mod semantics;
 pub mod verify;
 
-pub use abstract_view::{arow, ARow, ASnapshot, AValue, AbstractInstance, AbstractInstanceBuilder, Epoch};
-pub use chase::abstract_chase::{abstract_chase, abstract_chase_parallel};
-pub use chase::concrete::{c_chase, c_chase_with, CChaseResult, ChaseOptions, ChaseStats};
-pub use chase::snapshot::snapshot_chase;
+pub use abstract_view::{
+    arow, ARow, ASnapshot, AValue, AbstractInstance, AbstractInstanceBuilder, Epoch,
+};
+pub use chase::abstract_chase::{abstract_chase, abstract_chase_parallel, abstract_chase_with};
+pub use chase::concrete::{
+    c_chase, c_chase_with, CChaseResult, ChaseEngine, ChaseOptions, ChaseStats,
+};
+pub use chase::snapshot::{snapshot_chase, snapshot_chase_with};
 pub use error::{Result, TdxError};
 pub use exchange::DataExchange;
 pub use extension::cores::{concrete_core, snapshot_core};
 pub use extension::temporal_chase::{satisfies_temporal_tgd, temporal_chase, TemporalSetting};
 pub use hom::{abstract_hom, hom_equivalent, hom_equivalent_snapshots, snapshot_hom};
 pub use normalize::{
-    candidate_groups, has_empty_intersection_property, naive_normalize, normalize, FactRef,
+    candidate_groups, candidate_groups_with, has_empty_intersection_property, naive_normalize,
+    normalize, normalize_with, FactRef,
 };
 pub use query::certain::{
     certain_answers_abstract, certain_answers_concrete, naive_eval_abstract, theorem21_holds,
     EpochAnswers,
 };
-pub use query::concrete::{naive_eval_concrete, TemporalAnswers};
+pub use query::concrete::{naive_eval_concrete, naive_eval_concrete_with, TemporalAnswers};
 pub use query::naive::{eval_cq_raw, naive_eval_snapshot};
 pub use semantics::{concretize, semantics};
 pub use verify::{
-    alignment_holds, is_solution_abstract, is_solution_concrete, is_universal_among,
-    satisfies_egd, satisfies_tgd,
+    alignment_holds, is_solution_abstract, is_solution_concrete, is_universal_among, satisfies_egd,
+    satisfies_tgd,
 };

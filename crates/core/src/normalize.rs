@@ -18,9 +18,9 @@
 use crate::error::Result;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
-use tdx_storage::{TemporalInstance, TemporalMode};
-use tdx_temporal::{fragment_interval, Breakpoints, Interval};
 use tdx_logic::{Atom, RelId};
+use tdx_storage::{SearchOptions, TemporalInstance, TemporalMode};
+use tdx_temporal::{fragment_interval, Breakpoints, Interval};
 
 /// A fact identity inside one instance: `(relation, row index)`.
 pub type FactRef = (RelId, u32);
@@ -46,19 +46,41 @@ pub fn candidate_groups(
     ic: &TemporalInstance,
     conjunctions: &[&[Atom]],
 ) -> Result<Vec<BTreeSet<FactRef>>> {
+    candidate_groups_with(ic, conjunctions, SearchOptions::default())
+}
+
+/// [`candidate_groups`] with explicit search options. With indexes enabled
+/// the `FreeOverlapping` searches probe the store's interval-endpoint index
+/// (overlap candidates) instead of scanning whole relations; with indexes
+/// disabled this is the paper-literal nested-loop search.
+pub fn candidate_groups_with(
+    ic: &TemporalInstance,
+    conjunctions: &[&[Atom]],
+    options: SearchOptions,
+) -> Result<Vec<BTreeSet<FactRef>>> {
     // Step 1 (line 3): S = all images of some φ∗ with ⋂ f[T] ≠ ∅.
     // `TemporalMode::FreeOverlapping` enforces the intersection condition
-    // during the search.
-    let mut sets: Vec<BTreeSet<FactRef>> = Vec::new();
-    let mut seen: BTreeSet<BTreeSet<FactRef>> = BTreeSet::new();
+    // during the search. Images are deduplicated as sorted vectors — cheaper
+    // to hash than tree sets on this hot path.
+    let mut sets: Vec<Vec<FactRef>> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<FactRef>> = std::collections::HashSet::new();
     for atoms in conjunctions {
-        ic.find_matches(atoms, TemporalMode::FreeOverlapping, &[], None, |m| {
-            let image: BTreeSet<FactRef> = m.atom_rows().iter().copied().collect();
-            if seen.insert(image.clone()) {
-                sets.push(image);
-            }
-            true
-        })?;
+        ic.find_matches_with(
+            atoms,
+            TemporalMode::FreeOverlapping,
+            &[],
+            None,
+            options,
+            |m| {
+                let mut image: Vec<FactRef> = m.atom_rows().to_vec();
+                image.sort_unstable();
+                image.dedup();
+                if seen.insert(image.clone()) {
+                    sets.push(image);
+                }
+                true
+            },
+        )?;
     }
     // Steps 2–3 (lines 4–10): merge sets sharing a fact until disjoint.
     // Union-find keyed by set index, driven by fact membership.
@@ -71,9 +93,8 @@ pub fn candidate_groups(
         parent[i]
     }
     let mut owner: HashMap<FactRef, usize> = HashMap::new();
-    for i in 0..sets.len() {
-        let members: Vec<FactRef> = sets[i].iter().copied().collect();
-        for f in members {
+    for (i, set) in sets.iter().enumerate() {
+        for &f in set {
             match owner.get(&f) {
                 Some(&j) => {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
@@ -88,9 +109,9 @@ pub fn candidate_groups(
         }
     }
     let mut merged: HashMap<usize, BTreeSet<FactRef>> = HashMap::new();
-    for i in 0..sets.len() {
+    for (i, set) in sets.iter().enumerate() {
         let r = find(&mut parent, i);
-        merged.entry(r).or_default().extend(sets[i].iter().copied());
+        merged.entry(r).or_default().extend(set.iter().copied());
     }
     let mut groups: Vec<BTreeSet<FactRef>> = merged.into_values().collect();
     groups.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
@@ -105,11 +126,18 @@ pub fn candidate_groups(
 /// (Theorem 15) and represents the same abstract instance (fragmentation
 /// preserves `⟦·⟧`; null bases are kept, so the fragments of an annotated
 /// null `N^[s,e)` still denote the family `⟨N_s, …, N_{e−1}⟩`).
-pub fn normalize(
+pub fn normalize(ic: &TemporalInstance, conjunctions: &[&[Atom]]) -> Result<TemporalInstance> {
+    normalize_with(ic, conjunctions, SearchOptions::default())
+}
+
+/// [`normalize`] with explicit search options (see
+/// [`candidate_groups_with`]).
+pub fn normalize_with(
     ic: &TemporalInstance,
     conjunctions: &[&[Atom]],
+    options: SearchOptions,
 ) -> Result<TemporalInstance> {
-    let groups = candidate_groups(ic, conjunctions)?;
+    let groups = candidate_groups_with(ic, conjunctions, options)?;
     normalize_with_groups(ic, &groups)
 }
 

@@ -10,10 +10,10 @@
 //!   evaluation.
 
 use crate::abstract_view::{AValue, AbstractInstance};
-use crate::chase::concrete::{c_chase_with, ChaseOptions};
 use crate::chase::abstract_chase::abstract_chase;
+use crate::chase::concrete::{c_chase_with, ChaseOptions};
 use crate::error::Result;
-use crate::query::concrete::{naive_eval_concrete, TemporalAnswers};
+use crate::query::concrete::{naive_eval_concrete, naive_eval_concrete_with, TemporalAnswers};
 use crate::query::naive::naive_eval_snapshot;
 use crate::semantics::semantics;
 use std::collections::BTreeSet;
@@ -66,7 +66,7 @@ pub fn certain_answers_concrete(
     opts: &ChaseOptions,
 ) -> Result<TemporalAnswers> {
     let chased = c_chase_with(ic, mapping, opts)?;
-    naive_eval_concrete(&chased.target, q)
+    naive_eval_concrete_with(&chased.target, q, opts.search_options())
 }
 
 /// Certain answers via the abstract route: chase `⟦I_c⟧` snapshot-wise
@@ -133,10 +133,9 @@ mod tests {
             "Q(m) :- Emp(Ada, c, s) & Emp(m, c, s2)",
         ] {
             let q: UnionQuery = parse_query(q_text).unwrap().into();
-            let concrete =
-                certain_answers_concrete(&ic, &mapping, &q, &ChaseOptions::default())
-                    .unwrap()
-                    .epochs();
+            let concrete = certain_answers_concrete(&ic, &mapping, &q, &ChaseOptions::default())
+                .unwrap()
+                .epochs();
             let abstract_side = certain_answers_abstract(&ic, &mapping, &q).unwrap();
             assert_eq!(concrete, abstract_side, "query: {q_text}");
         }
@@ -147,8 +146,7 @@ mod tests {
         let mapping = paper_mapping();
         let ic = figure4(&mapping);
         let q: UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
-        let ans =
-            certain_answers_concrete(&ic, &mapping, &q, &ChaseOptions::default()).unwrap();
+        let ans = certain_answers_concrete(&ic, &mapping, &q, &ChaseOptions::default()).unwrap();
         // Certain: Ada earns 18k from 2013 on; Bob earns 13k on [2015,2018).
         // Ada's 2012 salary and Bob's 2013–2015 salary are unknown — not
         // certain.
@@ -163,7 +161,9 @@ mod tests {
     fn theorem21_on_chase_result() {
         let mapping = paper_mapping();
         let ic = figure4(&mapping);
-        let jc = crate::chase::concrete::c_chase(&ic, &mapping).unwrap().target;
+        let jc = crate::chase::concrete::c_chase(&ic, &mapping)
+            .unwrap()
+            .target;
         for q_text in [
             "Q(n, s) :- Emp(n, c, s)",
             "Q(n, c) :- Emp(n, c, s)",
@@ -185,7 +185,9 @@ mod tests {
             certain_answers_concrete(&ic, &mapping, &q, &ChaseOptions::default()).unwrap();
         // A solution: chase result with nulls replaced by concrete salaries
         // plus an extra unrelated fact.
-        let jc = crate::chase::concrete::c_chase(&ic, &mapping).unwrap().target;
+        let jc = crate::chase::concrete::c_chase(&ic, &mapping)
+            .unwrap()
+            .target;
         let mut solution = jc.map_values(|v, _| match v {
             Value::Null(_) => Value::str("42k"),
             other => *other,

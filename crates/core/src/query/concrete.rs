@@ -15,12 +15,14 @@
 //! view.
 
 use crate::error::Result;
-use crate::normalize::normalize;
+use crate::normalize::normalize_with;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use tdx_logic::{Constant, Term, UnionQuery};
-use tdx_storage::{TemporalInstance, TemporalMode};
-use tdx_temporal::{partition::epochs_over_timeline, Breakpoints, Interval, IntervalSet, TimePoint};
+use tdx_storage::{SearchOptions, TemporalInstance, TemporalMode};
+use tdx_temporal::{
+    partition::epochs_over_timeline, Breakpoints, Interval, IntervalSet, TimePoint,
+};
 
 /// The answers of a temporal query: a set of constant tuples, each holding
 /// over a coalesced set of intervals.
@@ -126,27 +128,45 @@ impl fmt::Debug for TemporalAnswers {
 /// Computes `q⁺(J_c)↓` — naïve evaluation of the temporal counterpart of a
 /// union of conjunctive queries on a concrete instance.
 pub fn naive_eval_concrete(jc: &TemporalInstance, q: &UnionQuery) -> Result<TemporalAnswers> {
+    naive_eval_concrete_with(jc, q, SearchOptions::default())
+}
+
+/// [`naive_eval_concrete`] with explicit matcher options: the per-disjunct
+/// normalization and the shared-`t` evaluation both follow the engine
+/// choice (index probes vs full scans).
+pub fn naive_eval_concrete_with(
+    jc: &TemporalInstance,
+    q: &UnionQuery,
+    options: SearchOptions,
+) -> Result<TemporalAnswers> {
     let mut out = TemporalAnswers::new();
     for disjunct in q.disjuncts() {
         // Step 1: normalize w.r.t. this disjunct's body.
-        let normalized = normalize(jc, &[disjunct.body.as_slice()])?;
+        let normalized = normalize_with(jc, &[disjunct.body.as_slice()], options)?;
         // Steps 2–4: evaluate with shared t; nulls are naïve constants; drop
         // tuples that still contain one.
-        normalized.find_matches(&disjunct.body, TemporalMode::Shared, &[], None, |m| {
-            let iv = m.shared_interval().expect("temporal store binds t");
-            let tuple: Option<Vec<Constant>> = disjunct
-                .head
-                .iter()
-                .map(|t| match t {
-                    Term::Const(c) => Some(*c),
-                    Term::Var(v) => m.value(*v).expect("safe head var").as_const(),
-                })
-                .collect();
-            if let Some(tuple) = tuple {
-                out.add(tuple, iv);
-            }
-            true
-        })?;
+        normalized.find_matches_with(
+            &disjunct.body,
+            TemporalMode::Shared,
+            &[],
+            None,
+            options,
+            |m| {
+                let iv = m.shared_interval().expect("temporal store binds t");
+                let tuple: Option<Vec<Constant>> = disjunct
+                    .head
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => Some(*c),
+                        Term::Var(v) => m.value(*v).expect("safe head var").as_const(),
+                    })
+                    .collect();
+                if let Some(tuple) = tuple {
+                    out.add(tuple, iv);
+                }
+                true
+            },
+        )?;
     }
     Ok(out)
 }
@@ -164,7 +184,11 @@ mod tests {
 
     fn target() -> Arc<Schema> {
         Arc::new(
-            Schema::new(vec![RelationSchema::new("Emp", &["name", "company", "salary"])]).unwrap(),
+            Schema::new(vec![RelationSchema::new(
+                "Emp",
+                &["name", "company", "salary"],
+            )])
+            .unwrap(),
         )
     }
 
@@ -212,8 +236,9 @@ mod tests {
         // The bodies join Emp with itself; Figure 9's intervals are not
         // aligned for that join — normalization inside the evaluator fixes
         // it.
-        let q: UnionQuery =
-            parse_query("Q(m) :- Emp(Ada, c, s) & Emp(m, c, s2)").unwrap().into();
+        let q: UnionQuery = parse_query("Q(m) :- Emp(Ada, c, s) & Emp(m, c, s2)")
+            .unwrap()
+            .into();
         let ans = naive_eval_concrete(&figure9(), &q).unwrap();
         let bob = ans
             .rows()
@@ -259,10 +284,7 @@ mod tests {
 
     #[test]
     fn union_of_queries() {
-        let q = parse_union_query(
-            "Q(n) :- Emp(n, IBM, s); Q(n) :- Emp(n, Google, s)",
-        )
-        .unwrap();
+        let q = parse_union_query("Q(n) :- Emp(n, IBM, s); Q(n) :- Emp(n, Google, s)").unwrap();
         let ans = naive_eval_concrete(&figure9(), &q).unwrap();
         let ada = ans
             .rows()
@@ -278,7 +300,10 @@ mod tests {
         let ans = naive_eval_concrete(&figure9(), &q).unwrap();
         let t = ans.render_table(&["Name", "Salary"]);
         let lines: Vec<&str> = t.lines().collect();
-        assert!(lines[0].contains("Name") && lines[0].contains("When"), "{t}");
+        assert!(
+            lines[0].contains("Name") && lines[0].contains("When"),
+            "{t}"
+        );
         assert!(t.contains("Ada"), "{t}");
         assert!(t.contains("{[2013, ∞)}"), "{t}");
     }

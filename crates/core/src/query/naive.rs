@@ -7,7 +7,7 @@
 
 use crate::error::Result;
 use std::collections::BTreeSet;
-use tdx_logic::{Constant, ConjunctiveQuery, Term, UnionQuery};
+use tdx_logic::{ConjunctiveQuery, Constant, Term, UnionQuery};
 use tdx_storage::{Instance, Value};
 
 /// Evaluates one conjunctive query, keeping tuples that contain nulls
@@ -35,8 +35,7 @@ pub fn naive_eval_snapshot(db: &Instance, q: &UnionQuery) -> Result<BTreeSet<Vec
     let mut out = BTreeSet::new();
     for disjunct in q.disjuncts() {
         for tuple in eval_cq_raw(db, disjunct)? {
-            let constants: Option<Vec<Constant>> =
-                tuple.iter().map(|v| v.as_const()).collect();
+            let constants: Option<Vec<Constant>> = tuple.iter().map(|v| v.as_const()).collect();
             if let Some(t) = constants {
                 out.insert(t);
             }

@@ -58,9 +58,7 @@ pub fn semantics(ic: &TemporalInstance) -> AbstractInstance {
 /// representation — an annotated null denotes *distinct* per-snapshot
 /// values — so it is rejected. (A rigid null at a single time point is
 /// indistinguishable from a one-point family and is accepted.)
-pub fn concretize(
-    ia: &AbstractInstance,
-) -> crate::error::Result<tdx_storage::TemporalInstance> {
+pub fn concretize(ia: &AbstractInstance) -> crate::error::Result<tdx_storage::TemporalInstance> {
     use crate::abstract_view::AValue;
     let mut out = tdx_storage::TemporalInstance::new(ia.schema_arc());
     for epoch in ia.epochs() {
@@ -156,10 +154,7 @@ mod tests {
             "{E(Ada, Google), S(Ada, 18k), S(Bob, 13k)}"
         );
         // Finite change: snapshot at 2018 persists forever.
-        assert_eq!(
-            ia.snapshot_at(5000).render(),
-            ia.snapshot_at(2018).render()
-        );
+        assert_eq!(ia.snapshot_at(5000).render(), ia.snapshot_at(2018).render());
         // Epochs: [0,2012) [2012,2013) [2013,2014) [2014,2015) [2015,2018) [2018,∞)
         assert_eq!(ia.epochs().len(), 6);
     }
@@ -167,11 +162,7 @@ mod tests {
     #[test]
     fn nulls_become_per_point_families() {
         let mut ic = TemporalInstance::new(schema());
-        ic.insert_values(
-            "E",
-            [Value::str("Ada"), Value::Null(NullId(7))],
-            iv(0, 2),
-        );
+        ic.insert_values("E", [Value::str("Ada"), Value::Null(NullId(7))], iv(0, 2));
         let ia = semantics(&ic);
         assert_eq!(ia.snapshot_at(0).render(), "{E(Ada, N7@ℓ)}");
         assert_eq!(ia.snapshot_at(1).render(), "{E(Ada, N7@ℓ)}");
@@ -203,7 +194,11 @@ mod tests {
         let mut ic = TemporalInstance::new(schema());
         ic.insert_strs("E", &["Ada", "IBM"], iv(2012, 2014));
         ic.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
-        ic.insert_values("S", [Value::str("Ada"), Value::Null(NullId(3))], iv(2013, 2015));
+        ic.insert_values(
+            "S",
+            [Value::str("Ada"), Value::Null(NullId(3))],
+            iv(2013, 2015),
+        );
         let ia = semantics(&ic);
         let back = concretize(&ia).unwrap();
         // The round trip restores the coalesced instance exactly (bases are

@@ -175,7 +175,9 @@ mod tests {
     fn chase_output_is_a_solution() {
         let mapping = paper_mapping();
         let ic = figure4(&mapping);
-        let jc = crate::chase::concrete::c_chase(&ic, &mapping).unwrap().target;
+        let jc = crate::chase::concrete::c_chase(&ic, &mapping)
+            .unwrap()
+            .target;
         assert!(is_solution_concrete(&ic, &jc, &mapping).unwrap());
     }
 
@@ -191,7 +193,9 @@ mod tests {
     fn egd_violating_target_is_not_a_solution() {
         let mapping = paper_mapping();
         let ic = figure4(&mapping);
-        let jc = crate::chase::concrete::c_chase(&ic, &mapping).unwrap().target;
+        let jc = crate::chase::concrete::c_chase(&ic, &mapping)
+            .unwrap()
+            .target;
         // Add a second salary for Ada in 2013 — violates the fd.
         let mut bad = jc.clone();
         bad.insert_strs("Emp", &["Ada", "IBM", "99k"], iv(2013, 2014));
@@ -203,7 +207,9 @@ mod tests {
         use tdx_storage::Value;
         let mapping = paper_mapping();
         let ic = figure4(&mapping);
-        let jc = crate::chase::concrete::c_chase(&ic, &mapping).unwrap().target;
+        let jc = crate::chase::concrete::c_chase(&ic, &mapping)
+            .unwrap()
+            .target;
         // Two other solutions: nulls resolved differently, plus extra facts.
         let sol1 = {
             let mut s = jc.map_values(|v, _| match v {
@@ -217,9 +223,7 @@ mod tests {
             Value::Null(n) => Value::str(&format!("w{}_{}", n.0, iv.start())),
             other => *other,
         });
-        assert!(
-            is_universal_among(&ic, &jc, &[&sol1, &sol2], &mapping).unwrap()
-        );
+        assert!(is_universal_among(&ic, &jc, &[&sol1, &sol2], &mapping).unwrap());
         // sol1 is a solution but not universal: its extra fact and resolved
         // constants cannot map back into the chase result.
         assert!(!is_universal_among(&ic, &sol1, &[&jc], &mapping).unwrap());

@@ -26,16 +26,22 @@ struct GenFact {
 }
 
 fn arb_fact() -> impl Strategy<Value = GenFact> {
-    (0usize..3, 0u8..4, 0u8..4, 0u64..20, 1u64..8, prop::bool::weighted(0.15)).prop_map(
-        |(rel, a, b, start, len, unbounded)| GenFact {
+    (
+        0usize..3,
+        0u8..4,
+        0u8..4,
+        0u64..20,
+        1u64..8,
+        prop::bool::weighted(0.15),
+    )
+        .prop_map(|(rel, a, b, start, len, unbounded)| GenFact {
             rel,
             a,
             b,
             start,
             len,
             unbounded,
-        },
-    )
+        })
 }
 
 fn build(facts: &[GenFact]) -> TemporalInstance {

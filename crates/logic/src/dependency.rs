@@ -311,15 +311,21 @@ mod tests {
             RelationSchema::new("S", &["name", "salary"]),
         ])
         .unwrap();
-        let target =
-            Schema::new(vec![RelationSchema::new("Emp", &["name", "company", "salary"])]).unwrap();
+        let target = Schema::new(vec![RelationSchema::new(
+            "Emp",
+            &["name", "company", "salary"],
+        )])
+        .unwrap();
         (source, target)
     }
 
     #[test]
     fn existential_vars_are_head_minus_body() {
-        let tgd = Tgd::new(vec![atom("E", &["n", "c"])], vec![atom("Emp", &["n", "c", "s"])])
-            .unwrap();
+        let tgd = Tgd::new(
+            vec![atom("E", &["n", "c"])],
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
         assert_eq!(tgd.universal_vars(), vec![Var::new("n"), Var::new("c")]);
         assert_eq!(tgd.existential_vars(), vec![Var::new("s")]);
     }
@@ -327,27 +333,40 @@ mod tests {
     #[test]
     fn egd_safety() {
         let ok = Egd::new(
-            vec![atom("Emp", &["n", "c", "s"]), atom("Emp", &["n", "c", "s2"])],
+            vec![
+                atom("Emp", &["n", "c", "s"]),
+                atom("Emp", &["n", "c", "s2"]),
+            ],
             Var::new("s"),
             Var::new("s2"),
         );
         assert!(ok.is_ok());
-        let bad = Egd::new(vec![atom("Emp", &["n", "c", "s"])], Var::new("s"), Var::new("zz"));
+        let bad = Egd::new(
+            vec![atom("Emp", &["n", "c", "s"])],
+            Var::new("s"),
+            Var::new("zz"),
+        );
         assert!(bad.is_err());
     }
 
     #[test]
     fn mapping_validation_accepts_paper_setting() {
         let (source, target) = paper_schemas();
-        let t1 = Tgd::new(vec![atom("E", &["n", "c"])], vec![atom("Emp", &["n", "c", "s"])])
-            .unwrap();
+        let t1 = Tgd::new(
+            vec![atom("E", &["n", "c"])],
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
         let t2 = Tgd::new(
             vec![atom("E", &["n", "c"]), atom("S", &["n", "s"])],
             vec![atom("Emp", &["n", "c", "s"])],
         )
         .unwrap();
         let egd = Egd::new(
-            vec![atom("Emp", &["n", "c", "s"]), atom("Emp", &["n", "c", "s2"])],
+            vec![
+                atom("Emp", &["n", "c", "s"]),
+                atom("Emp", &["n", "c", "s2"]),
+            ],
             Var::new("s"),
             Var::new("s2"),
         )
@@ -399,18 +418,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(tgd.to_string(), "E(n, c) ∧ S(n, s) → Emp(n, c, s)");
-        let tgd = Tgd::new(vec![atom("E", &["n", "c"])], vec![atom("Emp", &["n", "c", "s"])])
-            .unwrap();
+        let tgd = Tgd::new(
+            vec![atom("E", &["n", "c"])],
+            vec![atom("Emp", &["n", "c", "s"])],
+        )
+        .unwrap();
         assert_eq!(tgd.to_string(), "E(n, c) → ∃s . Emp(n, c, s)");
         let egd = Egd::new(
-            vec![atom("Emp", &["n", "c", "s"]), atom("Emp", &["n", "c", "s2"])],
+            vec![
+                atom("Emp", &["n", "c", "s"]),
+                atom("Emp", &["n", "c", "s2"]),
+            ],
             Var::new("s"),
             Var::new("s2"),
         )
         .unwrap();
-        assert_eq!(
-            egd.to_string(),
-            "Emp(n, c, s) ∧ Emp(n, c, s2) → s = s2"
-        );
+        assert_eq!(egd.to_string(), "Emp(n, c, s) ∧ Emp(n, c, s2) → s = s2");
     }
 }

@@ -331,7 +331,10 @@ impl Parser {
     }
 
     fn error_here(&self, msg: impl Into<String>) -> ParseError {
-        match self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))) {
+        match self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+        {
             Some(s) if self.pos < self.toks.len() => ParseError {
                 line: s.line,
                 col: s.col,
@@ -463,7 +466,11 @@ impl Parser {
 
     fn var(&mut self, what: &str) -> Result<Var, ParseError> {
         match self.peek() {
-            Some(Tok::Ident(s)) if s.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') => {
+            Some(Tok::Ident(s))
+                if s.chars()
+                    .next()
+                    .is_some_and(|c| c.is_lowercase() || c == '_') =>
+            {
                 let v = Var::new(s);
                 self.pos += 1;
                 Ok(v)
@@ -565,9 +572,7 @@ impl Parser {
                     egds.push(e);
                 }
                 other => {
-                    return Err(self.error_here(format!(
-                        "expected 'tgd' or 'egd', found '{other}'"
-                    )))
+                    return Err(self.error_here(format!("expected 'tgd' or 'egd', found '{other}'")))
                 }
             }
         }
@@ -699,7 +704,9 @@ pub fn parse_tgd(src: &str) -> Result<Tgd, ParseError> {
 /// ```text
 /// PhDgrad(n) -> sometime_past exists adv, top . PhDCan(n, adv, top)
 /// ```
-pub fn parse_temporal_tgd(src: &str) -> Result<crate::temporal_dependency::TemporalTgd, ParseError> {
+pub fn parse_temporal_tgd(
+    src: &str,
+) -> Result<crate::temporal_dependency::TemporalTgd, ParseError> {
     use crate::temporal_dependency::{Modality, TemporalTgd};
     let mut p = Parser::new(src)?;
     let body = p.conjunction()?;

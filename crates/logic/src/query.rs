@@ -214,12 +214,9 @@ mod tests {
 
     #[test]
     fn display() {
-        let q = ConjunctiveQuery::new(
-            vec![Term::var("n")],
-            vec![atom("Emp", &["n", "c", "s"])],
-        )
-        .unwrap()
-        .named("People");
+        let q = ConjunctiveQuery::new(vec![Term::var("n")], vec![atom("Emp", &["n", "c", "s"])])
+            .unwrap()
+            .named("People");
         assert_eq!(q.to_string(), "People(n) :- Emp(n, c, s)");
     }
 }

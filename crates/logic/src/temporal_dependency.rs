@@ -221,10 +221,7 @@ mod tests {
         .unwrap()
         .named("grad");
         assert_eq!(t.universal_vars(), vec![Var::new("n")]);
-        assert_eq!(
-            t.existential_vars(),
-            vec![Var::new("adv"), Var::new("top")]
-        );
+        assert_eq!(t.existential_vars(), vec![Var::new("adv"), Var::new("top")]);
         assert_eq!(
             t.to_string(),
             "PhDgrad(n) → ◇⁻ ∃adv,top . PhDCan(n, adv, top)"

@@ -2,9 +2,7 @@
 //! equal AST (Display and the parser agree on one syntax).
 
 use proptest::prelude::*;
-use tdx_logic::{
-    parse_egd, parse_query, parse_tgd, Atom, ConjunctiveQuery, Egd, Term, Tgd, Var,
-};
+use tdx_logic::{parse_egd, parse_query, parse_tgd, Atom, ConjunctiveQuery, Egd, Term, Tgd, Var};
 
 const RELS: &[&str] = &["R", "S", "T", "Emp", "Reg"];
 const VARS: &[&str] = &["x", "y", "z", "n", "c", "s"];

@@ -124,9 +124,8 @@ mod tests {
 
     #[test]
     fn renders_temporal_relation_sorted() {
-        let schema = Arc::new(
-            Schema::new(vec![RelationSchema::new("E", &["name", "company"])]).unwrap(),
-        );
+        let schema =
+            Arc::new(Schema::new(vec![RelationSchema::new("E", &["name", "company"])]).unwrap());
         let mut i = TemporalInstance::new(schema);
         i.insert_strs("E", &["Bob", "IBM"], Interval::new(2013, 2018));
         i.insert_strs("E", &["Ada", "IBM"], Interval::new(2012, 2014));

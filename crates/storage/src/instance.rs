@@ -6,39 +6,26 @@
 //! reproducible.
 
 use crate::value::{NullId, Row, Value};
-use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use tdx_logic::{RelId, Schema, Symbol};
 
-pub(crate) struct ColIndex {
-    pub(crate) map: HashMap<Value, Vec<u32>>,
-    /// Number of rows already reflected in `map`.
-    pub(crate) synced: usize,
-}
-
-impl ColIndex {
-    fn new() -> ColIndex {
-        ColIndex {
-            map: HashMap::new(),
-            synced: 0,
-        }
-    }
-}
-
 struct RelData {
     rows: Vec<Row>,
     set: HashSet<Row>,
-    cols: RefCell<HashMap<usize, ColIndex>>,
+    /// One eager value index per column, updated on every insert (the
+    /// lazily-synced `ColIndex` this replaces needed interior mutability and
+    /// a sync check on every probe).
+    cols: Vec<HashMap<Value, Vec<u32>>>,
 }
 
 impl RelData {
-    fn new() -> RelData {
+    fn new(arity: usize) -> RelData {
         RelData {
             rows: Vec::new(),
             set: HashSet::new(),
-            cols: RefCell::new(HashMap::new()),
+            cols: (0..arity).map(|_| HashMap::new()).collect(),
         }
     }
 }
@@ -53,7 +40,9 @@ pub struct Instance {
 impl Instance {
     /// An empty instance over `schema`.
     pub fn new(schema: Arc<Schema>) -> Instance {
-        let rels = (0..schema.len()).map(|_| RelData::new()).collect();
+        let rels = (0..schema.len())
+            .map(|i| RelData::new(schema.relation(RelId(i as u32)).arity()))
+            .collect();
         Instance { schema, rels }
     }
 
@@ -88,6 +77,10 @@ impl Instance {
             return false;
         }
         data.set.insert(Arc::clone(&row));
+        let id = u32::try_from(data.rows.len()).expect("row id overflow");
+        for (col, index) in data.cols.iter_mut().enumerate() {
+            index.entry(row[col]).or_default().push(id);
+        }
         data.rows.push(row);
         true
     }
@@ -128,11 +121,10 @@ impl Instance {
 
     /// Iterates `(rel, row)` over the whole instance.
     pub fn iter_all(&self) -> impl Iterator<Item = (RelId, &Row)> {
-        self.rels.iter().enumerate().flat_map(|(i, r)| {
-            r.rows
-                .iter()
-                .map(move |row| (RelId(i as u32), row))
-        })
+        self.rels
+            .iter()
+            .enumerate()
+            .flat_map(|(i, r)| r.rows.iter().map(move |row| (RelId(i as u32), row)))
     }
 
     /// The set of null bases occurring anywhere in the instance
@@ -160,7 +152,7 @@ impl Instance {
     pub fn map_values(&self, mut f: impl FnMut(&Value) -> Value) -> Instance {
         let mut out = Instance::new(self.schema_arc());
         for (rel, row) in self.iter_all() {
-            let new_row: Row = row.iter().map(|v| f(v)).collect();
+            let new_row: Row = row.iter().map(&mut f).collect();
             out.insert(rel, new_row);
         }
         out
@@ -168,24 +160,10 @@ impl Instance {
 
     // ---- index support for the matcher -------------------------------
 
-    pub(crate) fn ensure_col_index(&self, rel: RelId, col: usize) {
-        let data = &self.rels[rel.0 as usize];
-        let mut cols = data.cols.borrow_mut();
-        let idx = cols.entry(col).or_insert_with(ColIndex::new);
-        while idx.synced < data.rows.len() {
-            let row_id = idx.synced as u32;
-            let v = data.rows[idx.synced][col];
-            idx.map.entry(v).or_default().push(row_id);
-            idx.synced += 1;
-        }
-    }
-
-    /// Number of rows with value `v` in column `col`. The index must have
-    /// been prepared with [`Instance::ensure_col_index`].
+    /// Number of rows with value `v` in column `col`.
     pub(crate) fn col_count(&self, rel: RelId, col: usize, v: &Value) -> usize {
-        let cols = self.rels[rel.0 as usize].cols.borrow();
-        cols.get(&col)
-            .and_then(|i| i.map.get(v))
+        self.rels[rel.0 as usize].cols[col]
+            .get(v)
             .map_or(0, |ids| ids.len())
     }
 
@@ -198,8 +176,7 @@ impl Instance {
         v: &Value,
         f: &mut dyn FnMut(u32) -> bool,
     ) -> bool {
-        let cols = self.rels[rel.0 as usize].cols.borrow();
-        if let Some(ids) = cols.get(&col).and_then(|i| i.map.get(v)) {
+        if let Some(ids) = self.rels[rel.0 as usize].cols[col].get(v) {
             for &id in ids {
                 if !f(id) {
                     return false;
@@ -301,10 +278,7 @@ mod tests {
             other => *other,
         });
         assert!(complete.is_complete());
-        assert!(complete.contains(
-            RelId(0),
-            &row([Value::str("Ada"), Value::str("IBM")])
-        ));
+        assert!(complete.contains(RelId(0), &row([Value::str("Ada"), Value::str("IBM")])));
     }
 
     #[test]
@@ -340,13 +314,11 @@ mod tests {
         i.insert_values("E", [Value::str("Bob"), Value::str("IBM")]);
         i.insert_values("E", [Value::str("Ada"), Value::str("Google")]);
         let e = RelId(0);
-        i.ensure_col_index(e, 1);
         assert_eq!(i.col_count(e, 1, &Value::str("IBM")), 2);
         assert_eq!(i.col_count(e, 1, &Value::str("Google")), 1);
         assert_eq!(i.col_count(e, 1, &Value::str("Intel")), 0);
-        // Incremental sync after more inserts.
+        // The eager index tracks later inserts with no sync step.
         i.insert_values("E", [Value::str("Cyd"), Value::str("IBM")]);
-        i.ensure_col_index(e, 1);
         assert_eq!(i.col_count(e, 1, &Value::str("IBM")), 3);
         let mut seen = Vec::new();
         i.for_col(e, 1, &Value::str("IBM"), &mut |id| {

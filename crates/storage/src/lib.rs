@@ -12,7 +12,9 @@
 //! * [`TemporalInstance`] — a concrete temporal instance (tuples time-stamped
 //!   with [`Interval`](tdx_temporal::Interval)s over the implicit `R⁺`
 //!   schema);
-//! * lazy per-column (and per-interval) hash indexes;
+//! * [`FactStore`] — the indexed storage engine underneath: eager
+//!   per-column value indexes, interval-endpoint indexes (exact and overlap
+//!   probes), and a generation/delta log for semi-naive evaluation;
 //! * [`matcher`] — a backtracking conjunctive matcher with the three
 //!   temporal modes the paper needs: ignore time, one shared interval
 //!   variable `t` (the `φ⁺(x̄, t)` forms of Definition 16), or one interval
@@ -22,11 +24,13 @@
 #![warn(missing_docs)]
 
 pub mod display;
+pub mod fact_store;
 pub mod instance;
 pub mod matcher;
 pub mod temporal_instance;
 pub mod value;
 
+pub use fact_store::{FactStore, Generation};
 pub use instance::Instance;
 pub use matcher::{Match, MatchError, SearchOptions, TemporalMode};
 pub use temporal_instance::{TemporalFact, TemporalInstance};

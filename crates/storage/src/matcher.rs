@@ -23,8 +23,8 @@ use crate::instance::Instance;
 use crate::temporal_instance::TemporalInstance;
 use crate::value::Value;
 use std::fmt;
-use tdx_temporal::Interval;
 use tdx_logic::{Atom, RelId, Schema, Term, Var};
+use tdx_temporal::Interval;
 
 /// How the implicit temporal variables of a conjunction are interpreted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -187,12 +187,14 @@ pub(crate) trait Store {
     fn data(&self, rel: RelId, row: u32) -> &[Value];
     fn interval_of(&self, rel: RelId, row: u32) -> Option<Interval>;
     fn is_temporal(&self) -> bool;
-    fn prep_col(&self, rel: RelId, col: usize);
-    fn prep_iv(&self, rel: RelId);
     fn col_count(&self, rel: RelId, col: usize, v: &Value) -> usize;
     fn for_col(&self, rel: RelId, col: usize, v: &Value, f: &mut dyn FnMut(u32) -> bool) -> bool;
-    fn iv_count(&self, rel: RelId, iv: &Interval) -> usize;
-    fn for_iv(&self, rel: RelId, iv: &Interval, f: &mut dyn FnMut(u32) -> bool) -> bool;
+    /// Facts whose interval equals `iv` (shared-`t` probes).
+    fn exact_count(&self, rel: RelId, iv: &Interval) -> usize;
+    fn for_exact(&self, rel: RelId, iv: &Interval, f: &mut dyn FnMut(u32) -> bool) -> bool;
+    /// Facts whose interval overlaps `iv` (Algorithm 1 candidate probes).
+    fn overlap_count(&self, rel: RelId, iv: &Interval) -> usize;
+    fn for_overlap(&self, rel: RelId, iv: &Interval, f: &mut dyn FnMut(u32) -> bool) -> bool;
 }
 
 impl Store for Instance {
@@ -211,20 +213,22 @@ impl Store for Instance {
     fn is_temporal(&self) -> bool {
         false
     }
-    fn prep_col(&self, rel: RelId, col: usize) {
-        self.ensure_col_index(rel, col);
-    }
-    fn prep_iv(&self, _rel: RelId) {}
     fn col_count(&self, rel: RelId, col: usize, v: &Value) -> usize {
         Instance::col_count(self, rel, col, v)
     }
     fn for_col(&self, rel: RelId, col: usize, v: &Value, f: &mut dyn FnMut(u32) -> bool) -> bool {
         Instance::for_col(self, rel, col, v, f)
     }
-    fn iv_count(&self, _rel: RelId, _iv: &Interval) -> usize {
+    fn exact_count(&self, _rel: RelId, _iv: &Interval) -> usize {
         usize::MAX
     }
-    fn for_iv(&self, _rel: RelId, _iv: &Interval, _f: &mut dyn FnMut(u32) -> bool) -> bool {
+    fn for_exact(&self, _rel: RelId, _iv: &Interval, _f: &mut dyn FnMut(u32) -> bool) -> bool {
+        true
+    }
+    fn overlap_count(&self, _rel: RelId, _iv: &Interval) -> usize {
+        usize::MAX
+    }
+    fn for_overlap(&self, _rel: RelId, _iv: &Interval, _f: &mut dyn FnMut(u32) -> bool) -> bool {
         true
     }
 }
@@ -245,23 +249,23 @@ impl Store for TemporalInstance {
     fn is_temporal(&self) -> bool {
         true
     }
-    fn prep_col(&self, rel: RelId, col: usize) {
-        self.ensure_col_index(rel, col);
-    }
-    fn prep_iv(&self, rel: RelId) {
-        self.ensure_interval_index(rel);
-    }
     fn col_count(&self, rel: RelId, col: usize, v: &Value) -> usize {
-        TemporalInstance::col_count(self, rel, col, v)
+        self.store().col_count(rel, col, v)
     }
     fn for_col(&self, rel: RelId, col: usize, v: &Value, f: &mut dyn FnMut(u32) -> bool) -> bool {
-        TemporalInstance::for_col(self, rel, col, v, f)
+        self.store().for_col(rel, col, v, f)
     }
-    fn iv_count(&self, rel: RelId, iv: &Interval) -> usize {
-        TemporalInstance::interval_count(self, rel, iv)
+    fn exact_count(&self, rel: RelId, iv: &Interval) -> usize {
+        self.store().exact_count(rel, iv)
     }
-    fn for_iv(&self, rel: RelId, iv: &Interval, f: &mut dyn FnMut(u32) -> bool) -> bool {
-        TemporalInstance::for_interval(self, rel, iv, f)
+    fn for_exact(&self, rel: RelId, iv: &Interval, f: &mut dyn FnMut(u32) -> bool) -> bool {
+        self.store().for_exact(rel, iv, f)
+    }
+    fn overlap_count(&self, rel: RelId, iv: &Interval) -> usize {
+        self.store().overlap_count(rel, iv)
+    }
+    fn for_overlap(&self, rel: RelId, iv: &Interval, f: &mut dyn FnMut(u32) -> bool) -> bool {
+        self.store().for_overlap(rel, iv, f)
     }
 }
 
@@ -270,6 +274,10 @@ struct Search<'a, S: Store> {
     pattern: &'a Pattern,
     mode: TemporalMode,
     use_indexes: bool,
+    /// Per-atom admissible row-id range `[lo, hi)`. The semi-naive chase
+    /// uses this to pin one atom to a generation's delta and the preceding
+    /// atoms to the pre-delta prefix.
+    bounds: Vec<(u32, u32)>,
     bindings: Vec<Option<Value>>,
     matched: Vec<bool>,
     atom_rows: Vec<(RelId, u32)>,
@@ -284,7 +292,8 @@ struct Search<'a, S: Store> {
 enum Candidates {
     FullScan,
     Col(usize, Value),
-    IntervalIdx(Interval),
+    ExactInterval(Interval),
+    OverlapInterval(Interval),
 }
 
 impl<'a, S: Store> Search<'a, S> {
@@ -306,7 +315,7 @@ impl<'a, S: Store> Search<'a, S> {
                 })
                 .count();
             // Lower key is better: fewer *unbound* positions first.
-            let key = (atom.slots.len() - bound, self.store.count(atom.rel));
+            let key = (atom.slots.len() - bound, self.effective_count(i));
             if key < best_key {
                 best_key = key;
                 best = i;
@@ -315,13 +324,22 @@ impl<'a, S: Store> Search<'a, S> {
         best
     }
 
+    /// Rows of atom `ai` admitted by its id bounds.
+    fn effective_count(&self, ai: usize) -> usize {
+        let atom = &self.pattern.atoms[ai];
+        let (lo, hi) = self.bounds[ai];
+        let n = self.store.count(atom.rel) as u32;
+        hi.min(n).saturating_sub(lo) as usize
+    }
+
     /// Chooses the most selective candidate source for the atom.
-    fn pick_candidates(&self, atom: &PatAtom) -> Candidates {
+    fn pick_candidates(&self, ai: usize) -> Candidates {
+        let atom = &self.pattern.atoms[ai];
         if !self.use_indexes {
             return Candidates::FullScan;
         }
         let mut best = Candidates::FullScan;
-        let mut best_count = self.store.count(atom.rel);
+        let mut best_count = self.effective_count(ai);
         for (col, slot) in atom.slots.iter().enumerate() {
             let v = match slot {
                 Slot::Const(v) => Some(*v),
@@ -335,12 +353,30 @@ impl<'a, S: Store> Search<'a, S> {
                 }
             }
         }
-        if self.mode == TemporalMode::Shared && self.store.is_temporal() {
-            if let Some(iv) = self.shared {
-                let c = self.store.iv_count(atom.rel, &iv);
-                if c < best_count {
-                    best = Candidates::IntervalIdx(iv);
+        if self.store.is_temporal() {
+            match self.mode {
+                // The shared variable `t` pins every atom to one interval:
+                // probe the exact-interval index once `t` is bound.
+                TemporalMode::Shared => {
+                    if let Some(iv) = self.shared {
+                        let c = self.store.exact_count(atom.rel, &iv);
+                        if c < best_count {
+                            best = Candidates::ExactInterval(iv);
+                        }
+                    }
                 }
+                // The candidate-set condition of Algorithm 1 needs a
+                // non-empty running intersection: probe the
+                // interval-endpoint index for overlapping facts.
+                TemporalMode::FreeOverlapping => {
+                    if let Some(iv) = self.running {
+                        let c = self.store.overlap_count(atom.rel, &iv);
+                        if c < best_count {
+                            best = Candidates::OverlapInterval(iv);
+                        }
+                    }
+                }
+                TemporalMode::Free => {}
             }
         }
         best
@@ -448,10 +484,11 @@ impl<'a, S: Store> Search<'a, S> {
         }
         let ai = self.pick_atom();
         let atom = &self.pattern.atoms[ai];
-        match self.pick_candidates(atom) {
+        let (lo, hi) = self.bounds[ai];
+        match self.pick_candidates(ai) {
             Candidates::FullScan => {
-                let n = self.store.count(atom.rel) as u32;
-                for row in 0..n {
+                let n = (self.store.count(atom.rel) as u32).min(hi);
+                for row in lo..n {
                     if self.stopped {
                         break;
                     }
@@ -464,7 +501,9 @@ impl<'a, S: Store> Search<'a, S> {
                 // which cannot live inside the index-borrowing closure.
                 let mut ids: Vec<u32> = Vec::new();
                 self.store.for_col(rel, col, &v, &mut |id| {
-                    ids.push(id);
+                    if id >= lo && id < hi {
+                        ids.push(id);
+                    }
                     true
                 });
                 for row in ids {
@@ -474,11 +513,29 @@ impl<'a, S: Store> Search<'a, S> {
                     self.try_row(ai, row, on_match);
                 }
             }
-            Candidates::IntervalIdx(iv) => {
+            Candidates::ExactInterval(iv) => {
                 let rel = atom.rel;
                 let mut ids: Vec<u32> = Vec::new();
-                self.store.for_iv(rel, &iv, &mut |id| {
-                    ids.push(id);
+                self.store.for_exact(rel, &iv, &mut |id| {
+                    if id >= lo && id < hi {
+                        ids.push(id);
+                    }
+                    true
+                });
+                for row in ids {
+                    if self.stopped {
+                        break;
+                    }
+                    self.try_row(ai, row, on_match);
+                }
+            }
+            Candidates::OverlapInterval(iv) => {
+                let rel = atom.rel;
+                let mut ids: Vec<u32> = Vec::new();
+                self.store.for_overlap(rel, &iv, &mut |id| {
+                    if id >= lo && id < hi {
+                        ids.push(id);
+                    }
                     true
                 });
                 for row in ids {
@@ -506,6 +563,7 @@ impl Default for SearchOptions {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_search<S: Store>(
     store: &S,
     atoms: &[Atom],
@@ -513,20 +571,10 @@ pub(crate) fn run_search<S: Store>(
     prebound: &[(Var, Value)],
     pre_interval: Option<Interval>,
     options: SearchOptions,
+    bounds: Option<&[(u32, u32)]>,
     on_match: &mut dyn FnMut(&Match<'_>) -> bool,
 ) -> Result<bool, MatchError> {
     let pattern = Pattern::compile(atoms, store.schema())?;
-    // Prepare indexes: every column of every pattern atom can become bound.
-    if options.use_indexes {
-        for atom in &pattern.atoms {
-            for col in 0..atom.slots.len() {
-                store.prep_col(atom.rel, col);
-            }
-            if mode == TemporalMode::Shared && store.is_temporal() {
-                store.prep_iv(atom.rel);
-            }
-        }
-    }
     let mut bindings = vec![None; pattern.vars.len()];
     for (v, val) in prebound {
         if let Some(slot) = pattern.slot_of(*v) {
@@ -534,11 +582,19 @@ pub(crate) fn run_search<S: Store>(
         }
     }
     let n = pattern.atoms.len();
+    let bounds = match bounds {
+        Some(b) => {
+            debug_assert_eq!(b.len(), n, "one bound per pattern atom");
+            b.to_vec()
+        }
+        None => vec![(0, u32::MAX); n],
+    };
     let mut search = Search {
         store,
         pattern: &pattern,
         mode,
         use_indexes: options.use_indexes,
+        bounds,
         bindings,
         matched: vec![false; n],
         atom_rows: vec![(RelId(0), 0); n],
@@ -571,6 +627,28 @@ impl Instance {
             prebound,
             None,
             SearchOptions::default(),
+            None,
+            &mut on_match,
+        )
+    }
+
+    /// [`Instance::find_matches`] with explicit [`SearchOptions`] (the
+    /// snapshot/abstract chase threads its engine choice through here).
+    pub fn find_matches_with(
+        &self,
+        atoms: &[Atom],
+        prebound: &[(Var, Value)],
+        options: SearchOptions,
+        mut on_match: impl FnMut(&Match<'_>) -> bool,
+    ) -> Result<bool, MatchError> {
+        run_search(
+            self,
+            atoms,
+            TemporalMode::Free,
+            prebound,
+            None,
+            options,
+            None,
             &mut on_match,
         )
     }
@@ -582,6 +660,16 @@ impl Instance {
         prebound: &[(Var, Value)],
     ) -> Result<bool, MatchError> {
         self.find_matches(atoms, prebound, |_| false)
+    }
+
+    /// [`Instance::exists_match`] with explicit [`SearchOptions`].
+    pub fn exists_match_with(
+        &self,
+        atoms: &[Atom],
+        prebound: &[(Var, Value)],
+        options: SearchOptions,
+    ) -> Result<bool, MatchError> {
+        self.find_matches_with(atoms, prebound, options, |_| false)
     }
 }
 
@@ -605,6 +693,7 @@ impl TemporalInstance {
             prebound,
             pre_interval,
             SearchOptions::default(),
+            None,
             &mut on_match,
         )
     }
@@ -620,7 +709,97 @@ impl TemporalInstance {
         options: SearchOptions,
         mut on_match: impl FnMut(&Match<'_>) -> bool,
     ) -> Result<bool, MatchError> {
-        run_search(self, atoms, mode, prebound, pre_interval, options, &mut on_match)
+        run_search(
+            self,
+            atoms,
+            mode,
+            prebound,
+            pre_interval,
+            options,
+            None,
+            &mut on_match,
+        )
+    }
+
+    /// Semi-naive enumeration: homomorphisms whose image contains **at least
+    /// one fact added since `since`** (see
+    /// [`FactStore::mark`](crate::fact_store::FactStore::mark)).
+    ///
+    /// Classic delta-join decomposition: for each pivot atom `i`, atom `i`
+    /// ranges over the delta, atoms before `i` over the pre-delta prefix,
+    /// and atoms after `i` over the whole store — every qualifying
+    /// homomorphism is enumerated exactly once. Matches entirely inside the
+    /// pre-delta instance are skipped, which is what makes fixpoint rounds
+    /// incremental.
+    #[allow(clippy::too_many_arguments)]
+    pub fn find_matches_delta(
+        &self,
+        atoms: &[Atom],
+        mode: TemporalMode,
+        prebound: &[(Var, Value)],
+        pre_interval: Option<Interval>,
+        options: SearchOptions,
+        since: crate::fact_store::Generation,
+        mut on_match: impl FnMut(&Match<'_>) -> bool,
+    ) -> Result<bool, MatchError> {
+        let store = self.store();
+        let schema = TemporalInstance::schema(self);
+        // Per-atom delta watermarks (unknown relations error in compile —
+        // run one plain search to surface the same `MatchError`).
+        let mut marks: Vec<u32> = Vec::with_capacity(atoms.len());
+        for atom in atoms {
+            match schema.rel_id(atom.relation) {
+                Some(rel) => marks.push(store.delta_start(rel, since)),
+                None => {
+                    return run_search(
+                        self,
+                        atoms,
+                        mode,
+                        prebound,
+                        pre_interval,
+                        options,
+                        None,
+                        &mut on_match,
+                    )
+                }
+            }
+        }
+        let mut found = false;
+        let mut stopped = false;
+        for pivot in 0..atoms.len() {
+            let rel = schema.rel_id(atoms[pivot].relation).expect("checked above");
+            if marks[pivot] >= store.len(rel) as u32 {
+                continue; // empty delta for this pivot
+            }
+            let bounds: Vec<(u32, u32)> = (0..atoms.len())
+                .map(|j| match j.cmp(&pivot) {
+                    std::cmp::Ordering::Less => (0, marks[j]),
+                    std::cmp::Ordering::Equal => (marks[j], u32::MAX),
+                    std::cmp::Ordering::Greater => (0, u32::MAX),
+                })
+                .collect();
+            let any = run_search(
+                self,
+                atoms,
+                mode,
+                prebound,
+                pre_interval,
+                options,
+                Some(&bounds),
+                &mut |m| {
+                    let keep_going = on_match(m);
+                    if !keep_going {
+                        stopped = true;
+                    }
+                    keep_going
+                },
+            )?;
+            found |= any;
+            if stopped {
+                break;
+            }
+        }
+        Ok(found)
     }
 
     /// Whether at least one homomorphism exists under `mode`.
@@ -632,6 +811,18 @@ impl TemporalInstance {
         pre_interval: Option<Interval>,
     ) -> Result<bool, MatchError> {
         self.find_matches(atoms, mode, prebound, pre_interval, |_| false)
+    }
+
+    /// [`TemporalInstance::exists_match`] with explicit [`SearchOptions`].
+    pub fn exists_match_with(
+        &self,
+        atoms: &[Atom],
+        mode: TemporalMode,
+        prebound: &[(Var, Value)],
+        pre_interval: Option<Interval>,
+        options: SearchOptions,
+    ) -> Result<bool, MatchError> {
+        self.find_matches_with(atoms, mode, prebound, pre_interval, options, |_| false)
     }
 }
 
@@ -684,9 +875,9 @@ mod tests {
     }
 
     fn body(src: &str) -> Vec<Atom> {
-        parse_tgd(&format!("{src} -> Z()")).map(|t| t.body).unwrap_or_else(|_| {
-            panic!("bad test pattern {src}")
-        })
+        parse_tgd(&format!("{src} -> Z()"))
+            .map(|t| t.body)
+            .unwrap_or_else(|_| panic!("bad test pattern {src}"))
     }
 
     #[test]
@@ -821,9 +1012,7 @@ mod tests {
 
     #[test]
     fn repeated_variables_in_one_atom() {
-        let schema = Arc::new(
-            Schema::new(vec![RelationSchema::new("R", &["a", "b"])]).unwrap(),
-        );
+        let schema = Arc::new(Schema::new(vec![RelationSchema::new("R", &["a", "b"])]).unwrap());
         let mut i = TemporalInstance::new(schema);
         i.insert_strs("R", &["x", "x"], iv(0, 1));
         i.insert_strs("R", &["x", "y"], iv(0, 1));
@@ -886,7 +1075,7 @@ mod tests {
     }
 
     #[test]
-    fn no_index_mode_agrees_with_indexed(){
+    fn no_index_mode_agrees_with_indexed() {
         let i = figure5();
         let atoms = body("E(n,c) & S(n,s)");
         let mut with_idx = Vec::new();
@@ -916,8 +1105,11 @@ mod tests {
     #[test]
     fn nulls_match_as_constants() {
         let schema = Arc::new(
-            Schema::new(vec![RelationSchema::new("Emp", &["name", "company", "salary"])])
-                .unwrap(),
+            Schema::new(vec![RelationSchema::new(
+                "Emp",
+                &["name", "company", "salary"],
+            )])
+            .unwrap(),
         );
         let mut i = TemporalInstance::new(schema);
         use crate::value::NullId;

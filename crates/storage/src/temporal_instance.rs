@@ -3,15 +3,20 @@
 //! A [`TemporalInstance`] stores facts of the concrete schema `R⁺`: every
 //! tuple carries a time interval (paper Section 2). Nulls inside the tuple
 //! are interval-annotated implicitly — the annotation is the fact's interval.
+//!
+//! Storage, indexing and the generation log live in [`FactStore`]; this type
+//! layers the paper-level operations on top (snapshots, coalescing,
+//! value rewriting, semantic equality).
 
-use crate::instance::{ColIndex, Instance};
+use crate::fact_store::{FactStore, Generation};
 use crate::value::{NullId, Row, Value};
-use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
+use tdx_logic::{RelId, Schema};
 use tdx_temporal::{coalesce_intervals, Breakpoints, Interval, TimePoint};
-use tdx_logic::{RelId, Schema, Symbol};
+
+use crate::instance::Instance;
 
 /// One concrete fact: data attribute values plus the temporal attribute.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -35,42 +40,20 @@ impl fmt::Debug for TemporalFact {
     }
 }
 
-struct RelData {
-    facts: Vec<TemporalFact>,
-    set: HashSet<(Row, Interval)>,
-    cols: RefCell<HashMap<usize, ColIndex>>,
-    ivs: RefCell<IntervalIndex>,
-}
-
-#[derive(Default)]
-struct IntervalIndex {
-    map: HashMap<Interval, Vec<u32>>,
-    synced: usize,
-}
-
-impl RelData {
-    fn new() -> RelData {
-        RelData {
-            facts: Vec::new(),
-            set: HashSet::new(),
-            cols: RefCell::new(HashMap::new()),
-            ivs: RefCell::new(IntervalIndex::default()),
-        }
-    }
-}
-
-/// A concrete temporal database instance over the implicit schema `R⁺`.
+/// A concrete temporal database instance over the implicit schema `R⁺`,
+/// backed by an indexed [`FactStore`].
+#[derive(Clone)]
 pub struct TemporalInstance {
-    schema: Arc<Schema>,
-    rels: Vec<RelData>,
+    store: FactStore,
 }
 
 impl TemporalInstance {
     /// An empty instance over `schema` (data attributes only; the temporal
     /// attribute is implicit).
     pub fn new(schema: Arc<Schema>) -> TemporalInstance {
-        let rels = (0..schema.len()).map(|_| RelData::new()).collect();
-        TemporalInstance { schema, rels }
+        TemporalInstance {
+            store: FactStore::new(schema),
+        }
     }
 
     /// An empty instance over an owned schema.
@@ -80,31 +63,28 @@ impl TemporalInstance {
 
     /// The instance's (data) schema.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.store.schema()
     }
 
     /// Shared handle to the schema.
     pub fn schema_arc(&self) -> Arc<Schema> {
-        Arc::clone(&self.schema)
+        self.store.schema_arc()
+    }
+
+    /// The backing fact store (indexes, generation log).
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// Mutable access to the backing fact store.
+    pub fn store_mut(&mut self) -> &mut FactStore {
+        &mut self.store
     }
 
     /// Inserts a fact; returns `false` if the identical fact (same data and
     /// same interval) was already present.
     pub fn insert(&mut self, rel: RelId, data: Row, interval: Interval) -> bool {
-        assert_eq!(
-            data.len(),
-            self.schema.relation(rel).arity(),
-            "arity mismatch inserting into {}",
-            self.schema.relation(rel).name()
-        );
-        let rd = &mut self.rels[rel.0 as usize];
-        let key = (Arc::clone(&data), interval);
-        if rd.set.contains(&key) {
-            return false;
-        }
-        rd.set.insert(key);
-        rd.facts.push(TemporalFact { data, interval });
-        true
+        self.store.insert(rel, data, interval)
     }
 
     /// Inserts by relation name. Panics on an unknown relation.
@@ -114,11 +94,7 @@ impl TemporalInstance {
         vals: I,
         interval: Interval,
     ) -> bool {
-        let id = self
-            .schema
-            .rel_id(Symbol::intern(rel))
-            .unwrap_or_else(|| panic!("unknown relation {rel}"));
-        self.insert(id, vals.into_iter().collect(), interval)
+        self.store.insert_values(rel, vals, interval)
     }
 
     /// Convenience for string-constant facts: `insert_strs("E", &["Ada", "IBM"], iv)`.
@@ -128,38 +104,50 @@ impl TemporalInstance {
 
     /// Whether the exact fact is present.
     pub fn contains(&self, rel: RelId, data: &Row, interval: Interval) -> bool {
-        self.rels[rel.0 as usize]
-            .set
-            .contains(&(Arc::clone(data), interval))
+        self.store.contains(rel, data, interval)
     }
 
     /// The facts of one relation, in insertion order.
     pub fn facts(&self, rel: RelId) -> &[TemporalFact] {
-        &self.rels[rel.0 as usize].facts
+        self.store.facts(rel)
     }
 
     /// Number of facts in one relation.
     pub fn len(&self, rel: RelId) -> usize {
-        self.rels[rel.0 as usize].facts.len()
+        self.store.len(rel)
     }
 
     /// Total number of facts.
     pub fn total_len(&self) -> usize {
-        self.rels.iter().map(|r| r.facts.len()).sum()
+        self.store.total_len()
     }
 
     /// Whether the whole instance is empty.
     pub fn is_empty(&self) -> bool {
-        self.total_len() == 0
+        self.store.is_empty()
     }
 
     /// Iterates `(rel, fact)` over the whole instance.
     pub fn iter_all(&self) -> impl Iterator<Item = (RelId, &TemporalFact)> {
-        self.rels.iter().enumerate().flat_map(|(i, r)| {
-            r.facts
-                .iter()
-                .map(move |fact| (RelId(i as u32), fact))
-        })
+        self.store.iter_all()
+    }
+
+    /// Seals the current contents as a generation (see
+    /// [`FactStore::mark`]). Facts inserted afterwards form the delta that
+    /// [`TemporalInstance::find_matches_delta`](crate::matcher) joins
+    /// against.
+    pub fn mark_generation(&mut self) -> Generation {
+        self.store.mark()
+    }
+
+    /// The facts of `rel` added since `gen` was sealed.
+    pub fn facts_since(&self, rel: RelId, gen: Generation) -> &[TemporalFact] {
+        self.store.facts_since(rel, gen)
+    }
+
+    /// Whether any relation gained facts since `gen` was sealed.
+    pub fn has_delta_since(&self, gen: Generation) -> bool {
+        self.store.has_delta_since(gen)
     }
 
     /// The set of null bases occurring anywhere in the instance.
@@ -181,9 +169,10 @@ impl TemporalInstance {
             .all(|(_, f)| f.data.iter().all(|v| !v.is_null()))
     }
 
-    /// All distinct start/end points of the instance's facts.
+    /// All distinct start/end points of the instance's facts, read from the
+    /// store's incrementally maintained endpoint sets.
     pub fn endpoints(&self) -> Breakpoints {
-        Breakpoints::from_intervals(self.iter_all().map(|(_, f)| &f.interval))
+        self.store.endpoints()
     }
 
     /// The snapshot `db_ℓ` of the represented abstract instance at time `t`:
@@ -206,10 +195,10 @@ impl TemporalInstance {
     /// (base, time point).
     pub fn coalesced(&self) -> TemporalInstance {
         let mut out = TemporalInstance::new(self.schema_arc());
-        for (i, rd) in self.rels.iter().enumerate() {
-            let rel = RelId(i as u32);
+        for r in 0..self.schema().len() {
+            let rel = RelId(r as u32);
             let groups = coalesce_intervals(
-                rd.facts
+                self.facts(rel)
                     .iter()
                     .map(|f| (Arc::clone(&f.data), f.interval)),
             );
@@ -224,9 +213,11 @@ impl TemporalInstance {
 
     /// Whether every relation is already coalesced.
     pub fn is_coalesced(&self) -> bool {
-        self.rels.iter().all(|rd| {
+        (0..self.schema().len()).all(|r| {
             tdx_temporal::coalesce::is_coalesced(
-                rd.facts.iter().map(|f| (Arc::clone(&f.data), f.interval)),
+                self.facts(RelId(r as u32))
+                    .iter()
+                    .map(|f| (Arc::clone(&f.data), f.interval)),
             )
         })
     }
@@ -238,10 +229,10 @@ impl TemporalInstance {
     pub fn eq_coalesced(&self, other: &TemporalInstance) -> bool {
         let a = self.coalesced();
         let b = other.coalesced();
-        if a.schema.as_ref() != b.schema.as_ref() {
+        if a.schema() != b.schema() {
             return false;
         }
-        a.rels.iter().zip(&b.rels).all(|(x, y)| x.set == y.set)
+        a.store.same_facts(&b.store)
     }
 
     /// A new instance with every value mapped through `f`. The interval of
@@ -254,110 +245,16 @@ impl TemporalInstance {
         }
         out
     }
-
-    // ---- index support for the matcher -------------------------------
-
-    pub(crate) fn ensure_col_index(&self, rel: RelId, col: usize) {
-        let rd = &self.rels[rel.0 as usize];
-        let mut cols = rd.cols.borrow_mut();
-        let idx = cols.entry(col).or_insert_with(ColIndex::new_for_temporal);
-        while idx.synced < rd.facts.len() {
-            let row_id = idx.synced as u32;
-            let v = rd.facts[idx.synced].data[col];
-            idx.map.entry(v).or_default().push(row_id);
-            idx.synced += 1;
-        }
-    }
-
-    pub(crate) fn ensure_interval_index(&self, rel: RelId) {
-        let rd = &self.rels[rel.0 as usize];
-        let mut idx = rd.ivs.borrow_mut();
-        while idx.synced < rd.facts.len() {
-            let row_id = idx.synced as u32;
-            let iv = rd.facts[idx.synced].interval;
-            idx.map.entry(iv).or_default().push(row_id);
-            idx.synced += 1;
-        }
-    }
-
-    pub(crate) fn col_count(&self, rel: RelId, col: usize, v: &Value) -> usize {
-        let cols = self.rels[rel.0 as usize].cols.borrow();
-        cols.get(&col)
-            .and_then(|i| i.map.get(v))
-            .map_or(0, |ids| ids.len())
-    }
-
-    pub(crate) fn for_col(
-        &self,
-        rel: RelId,
-        col: usize,
-        v: &Value,
-        f: &mut dyn FnMut(u32) -> bool,
-    ) -> bool {
-        let cols = self.rels[rel.0 as usize].cols.borrow();
-        if let Some(ids) = cols.get(&col).and_then(|i| i.map.get(v)) {
-            for &id in ids {
-                if !f(id) {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    pub(crate) fn interval_count(&self, rel: RelId, iv: &Interval) -> usize {
-        let idx = self.rels[rel.0 as usize].ivs.borrow();
-        idx.map.get(iv).map_or(0, |ids| ids.len())
-    }
-
-    pub(crate) fn for_interval(
-        &self,
-        rel: RelId,
-        iv: &Interval,
-        f: &mut dyn FnMut(u32) -> bool,
-    ) -> bool {
-        let idx = self.rels[rel.0 as usize].ivs.borrow();
-        if let Some(ids) = idx.map.get(iv) {
-            for &id in ids {
-                if !f(id) {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-}
-
-impl ColIndex {
-    fn new_for_temporal() -> ColIndex {
-        ColIndex {
-            map: HashMap::new(),
-            synced: 0,
-        }
-    }
-}
-
-impl Clone for TemporalInstance {
-    fn clone(&self) -> Self {
-        let mut out = TemporalInstance::new(self.schema_arc());
-        for (rel, fact) in self.iter_all() {
-            out.insert(rel, Arc::clone(&fact.data), fact.interval);
-        }
-        out
-    }
 }
 
 impl PartialEq for TemporalInstance {
     /// Exact set equality of facts (see [`TemporalInstance::eq_coalesced`]
     /// for equality up to coalescing).
     fn eq(&self, other: &Self) -> bool {
-        if self.schema.as_ref() != other.schema.as_ref() {
+        if self.schema() != other.schema() {
             return false;
         }
-        self.rels
-            .iter()
-            .zip(&other.rels)
-            .all(|(a, b)| a.set == b.set)
+        self.store.same_facts(&other.store)
     }
 }
 
@@ -460,37 +357,49 @@ mod tests {
     }
 
     #[test]
-    fn interval_index() {
-        let i = figure4();
-        let e = RelId(0);
-        i.ensure_interval_index(e);
-        assert_eq!(i.interval_count(e, &iv(2012, 2014)), 1);
-        assert_eq!(i.interval_count(e, &iv(1999, 2000)), 0);
-        let mut hits = Vec::new();
-        i.for_interval(e, &iv(2012, 2014), &mut |id| {
-            hits.push(id);
-            true
-        });
-        assert_eq!(hits, vec![0]);
+    fn generation_marks_surface_deltas() {
+        let mut i = figure4();
+        let gen = i.mark_generation();
+        assert!(!i.has_delta_since(gen));
+        i.insert_strs("E", &["Cyd", "Intel"], iv(0, 1));
+        assert!(i.has_delta_since(gen));
+        let delta: Vec<String> = i
+            .facts_since(RelId(0), gen)
+            .iter()
+            .map(|f| f.data[0].to_string())
+            .collect();
+        assert_eq!(delta, vec!["Cyd"]);
+        assert!(i.facts_since(RelId(1), gen).is_empty());
     }
 
     #[test]
     fn col_index_on_temporal() {
         let i = figure4();
         let e = RelId(0);
-        i.ensure_col_index(e, 0);
-        assert_eq!(i.col_count(e, 0, &Value::str("Ada")), 2);
-        assert_eq!(i.col_count(e, 0, &Value::str("Bob")), 1);
+        assert_eq!(i.store().col_count(e, 0, &Value::str("Ada")), 2);
+        assert_eq!(i.store().col_count(e, 0, &Value::str("Bob")), 1);
+    }
+
+    #[test]
+    fn interval_probes_via_store() {
+        let i = figure4();
+        let e = RelId(0);
+        assert_eq!(i.store().exact_count(e, &iv(2012, 2014)), 1);
+        assert_eq!(i.store().exact_count(e, &iv(1999, 2000)), 0);
+        let mut hits = Vec::new();
+        i.store().for_exact(e, &iv(2012, 2014), &mut |id| {
+            hits.push(id);
+            true
+        });
+        assert_eq!(hits, vec![0]);
+        // Overlap probe: everything live in 2013.
+        assert_eq!(i.store().overlap_count(e, &Interval::point(2013)), 2);
     }
 
     #[test]
     fn map_values_preserves_intervals() {
         let mut i = TemporalInstance::new(schema());
-        i.insert_values(
-            "E",
-            [Value::str("Ada"), Value::Null(NullId(0))],
-            iv(0, 5),
-        );
+        i.insert_values("E", [Value::str("Ada"), Value::Null(NullId(0))], iv(0, 5));
         let out = i.map_values(|v, interval| {
             assert_eq!(interval, iv(0, 5));
             match v {

@@ -77,18 +77,17 @@ fn build_atoms(pattern: &[PatAtom]) -> Vec<Atom> {
                     Term::Var(Var::new(&format!("w{}", t - 4)))
                 }
             };
-            Atom::new(if p.rel == 0 { "A" } else { "B" }, vec![term(p.t0), term(p.t1)])
+            Atom::new(
+                if p.rel == 0 { "A" } else { "B" },
+                vec![term(p.t0), term(p.t1)],
+            )
         })
         .collect()
 }
 
 /// Brute force: enumerate every tuple of fact indices (one per atom), check
 /// consistency by hand, and collect the canonical match signature.
-fn reference_matches(
-    facts: &[Fact],
-    pattern: &[PatAtom],
-    mode: TemporalMode,
-) -> BTreeSet<String> {
+fn reference_matches(facts: &[Fact], pattern: &[PatAtom], mode: TemporalMode) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     let k = pattern.len();
     let n = facts.len();
@@ -162,12 +161,12 @@ fn reference_matches(
             out.insert(sig);
         }
         // Next combination.
-        for pos in 0..k {
-            idx[pos] += 1;
-            if idx[pos] < n {
+        for slot in idx.iter_mut().take(k) {
+            *slot += 1;
+            if *slot < n {
                 continue 'outer;
             }
-            idx[pos] = 0;
+            *slot = 0;
         }
         break;
     }
@@ -201,29 +200,22 @@ fn engine_matches(
     }
     let mut out = BTreeSet::new();
     instance
-        .find_matches_with(
-            atoms,
-            mode,
-            &[],
-            None,
-            SearchOptions { use_indexes },
-            |m| {
-                let mut env: [Option<u8>; 3] = [None; 3];
-                for slot in 0..3u8 {
-                    if let Some(Value::Const(c)) = m.value(Var::new(&format!("w{slot}"))) {
-                        let s = c.to_string();
-                        env[slot as usize] = s.strip_prefix('v').and_then(|d| d.parse().ok());
-                    }
+        .find_matches_with(atoms, mode, &[], None, SearchOptions { use_indexes }, |m| {
+            let mut env: [Option<u8>; 3] = [None; 3];
+            for slot in 0..3u8 {
+                if let Some(Value::Const(c)) = m.value(Var::new(&format!("w{slot}"))) {
+                    let s = c.to_string();
+                    env[slot as usize] = s.strip_prefix('v').and_then(|d| d.parse().ok());
                 }
-                let ids: Vec<usize> = m
-                    .atom_rows()
-                    .iter()
-                    .map(|(rel, row)| per_rel[rel.0 as usize][*row as usize])
-                    .collect();
-                out.insert(format!("{env:?}|{ids:?}"));
-                true
-            },
-        )
+            }
+            let ids: Vec<usize> = m
+                .atom_rows()
+                .iter()
+                .map(|(rel, row)| per_rel[rel.0 as usize][*row as usize])
+                .collect();
+            out.insert(format!("{env:?}|{ids:?}"));
+            true
+        })
         .unwrap();
     out
 }

@@ -1,0 +1,344 @@
+//! An append-only interval-endpoint index.
+//!
+//! [`IntervalIndex`] maps a growing sequence of intervals (identified by
+//! their insertion order, a dense `u32` id) to three query capabilities the
+//! storage and chase layers need:
+//!
+//! * **overlap probes** — all intervals sharing at least one time point with
+//!   a query interval (the candidate-set condition of Algorithm 1 and the
+//!   backbone of normalization group discovery);
+//! * **exact probes** — all intervals equal to a query interval (the shared
+//!   temporal variable `t` of c-chase steps, Definition 16);
+//! * **endpoint enumeration** — the distinct start/end points seen so far,
+//!   maintained incrementally so normalization can fetch breakpoints without
+//!   rescanning facts.
+//!
+//! Internally the index keeps the intervals sorted by start with a
+//! max-endpoint segment tree on top (the classic array-backed interval
+//! tree), giving `O(log n + k)` overlap queries. Appends are `O(1)` and land
+//! in an unsorted tail that queries scan linearly; the sorted order and tree
+//! are rebuilt lazily once the tail outgrows a fraction of the built prefix,
+//! so interleaved insert/probe workloads (the chase's tgd phase) stay
+//! near-linear instead of rebuilding per probe.
+
+use crate::interval::Interval;
+use crate::point::{Endpoint, TimePoint};
+use std::collections::BTreeSet;
+
+/// An append-only index over intervals keyed by dense insertion ids.
+#[derive(Clone, Default)]
+pub struct IntervalIndex {
+    /// All intervals, by insertion id.
+    ivs: Vec<Interval>,
+    /// Insertion ids sorted by `(start, end)`.
+    order: Vec<u32>,
+    /// `starts[i] = ivs[order[i]].start()` — the sorted start array.
+    starts: Vec<TimePoint>,
+    /// Max-end segment tree over `order` (1-based heap layout, node 1 is the
+    /// root; `tree[n]` covers a contiguous range of `order`).
+    tree: Vec<Endpoint>,
+    /// Number of intervals reflected in `order`/`starts`/`tree`.
+    built: usize,
+    /// Distinct endpoints (starts and finite ends) of every interval ever
+    /// pushed.
+    points: BTreeSet<TimePoint>,
+}
+
+impl IntervalIndex {
+    /// An empty index.
+    pub fn new() -> IntervalIndex {
+        IntervalIndex::default()
+    }
+
+    /// Number of indexed intervals.
+    pub fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Appends an interval, returning its id. `O(1)` amortized (plus the
+    /// endpoint-set insertion); the query structures refresh lazily.
+    pub fn push(&mut self, iv: Interval) -> u32 {
+        let id = u32::try_from(self.ivs.len()).expect("interval index overflow");
+        self.ivs.push(iv);
+        self.points.insert(iv.start());
+        if let Endpoint::Fin(e) = iv.end() {
+            self.points.insert(e);
+        }
+        id
+    }
+
+    /// The interval with insertion id `id`.
+    pub fn get(&self, id: u32) -> Interval {
+        self.ivs[id as usize]
+    }
+
+    /// The distinct endpoints (starts and finite ends) seen so far, in
+    /// ascending order.
+    pub fn endpoints(&self) -> impl Iterator<Item = TimePoint> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Rebuilds the sorted order and the max-end tree once the unsorted tail
+    /// outgrows a fraction of the built prefix. Small tails are left in
+    /// place — queries scan them linearly — so interleaved appends and
+    /// probes do not trigger quadratic rebuild storms.
+    pub fn ensure_built(&mut self) {
+        let pending = self.ivs.len() - self.built;
+        if pending == 0 || pending <= 64 + self.built / 8 {
+            return;
+        }
+        self.rebuild();
+    }
+
+    /// Unconditionally absorbs the tail into the tree.
+    pub fn rebuild(&mut self) {
+        if self.built == self.ivs.len() {
+            return;
+        }
+        let n = self.ivs.len();
+        self.order = (0..n as u32).collect();
+        let ivs = &self.ivs;
+        self.order
+            .sort_unstable_by_key(|&id| (ivs[id as usize].start(), ivs[id as usize].end()));
+        self.starts = self
+            .order
+            .iter()
+            .map(|&id| ivs[id as usize].start())
+            .collect();
+        self.tree = vec![Endpoint::Fin(0); 4 * n.max(1)];
+        if n > 0 {
+            self.build_tree(1, 0, n);
+        }
+        self.built = n;
+    }
+
+    fn build_tree(&mut self, node: usize, lo: usize, hi: usize) {
+        if hi - lo == 1 {
+            self.tree[node] = self.ivs[self.order[lo] as usize].end();
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.build_tree(2 * node, lo, mid);
+        self.build_tree(2 * node + 1, mid, hi);
+        self.tree[node] = self.tree[2 * node].max(self.tree[2 * node + 1]);
+    }
+
+    /// Visits the ids of all intervals overlapping `q` (sharing at least one
+    /// time point): tree descent over the built prefix plus a linear scan of
+    /// the unsorted tail. Call [`IntervalIndex::ensure_built`] first.
+    pub fn visit_overlapping(&self, q: &Interval, f: &mut dyn FnMut(u32)) {
+        if self.built > 0 {
+            self.visit_node(1, 0, self.built, q, f);
+        }
+        for id in self.built..self.ivs.len() {
+            if self.ivs[id].overlaps(q) {
+                f(id as u32);
+            }
+        }
+    }
+
+    fn visit_node(&self, node: usize, lo: usize, hi: usize, q: &Interval, f: &mut dyn FnMut(u32)) {
+        // No interval in this subtree ends after q's start…
+        if self.tree[node] <= Endpoint::Fin(q.start()) {
+            return;
+        }
+        // …and none starts before q's end (starts are sorted, `lo` is the
+        // subtree minimum).
+        if Endpoint::Fin(self.starts[lo]) >= q.end() {
+            return;
+        }
+        if hi - lo == 1 {
+            // Both prunes passed on a single leaf ⇒ it overlaps.
+            f(self.order[lo]);
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        self.visit_node(2 * node, lo, mid, q, f);
+        self.visit_node(2 * node + 1, mid, hi, q, f);
+    }
+
+    /// Number of intervals overlapping `q`. Call
+    /// [`IntervalIndex::ensure_built`] first.
+    pub fn count_overlapping(&self, q: &Interval) -> usize {
+        let mut n = 0usize;
+        self.visit_overlapping(q, &mut |_| n += 1);
+        n
+    }
+
+    /// Visits the ids of all intervals exactly equal to `q`, via binary
+    /// search on the sorted `(start, end)` order plus a linear scan of the
+    /// unsorted tail. Call [`IntervalIndex::ensure_built`] first.
+    pub fn visit_exact(&self, q: &Interval, f: &mut dyn FnMut(u32)) {
+        for id in self.built..self.ivs.len() {
+            if self.ivs[id] == *q {
+                f(id as u32);
+            }
+        }
+        let key = (q.start(), q.end());
+        let lo = self.order.partition_point(|&id| {
+            (self.ivs[id as usize].start(), self.ivs[id as usize].end()) < key
+        });
+        for &id in &self.order[lo..] {
+            let iv = self.ivs[id as usize];
+            if (iv.start(), iv.end()) != key {
+                break;
+            }
+            f(id);
+        }
+    }
+
+    /// Number of intervals exactly equal to `q`. Call
+    /// [`IntervalIndex::ensure_built`] first.
+    pub fn count_exact(&self, q: &Interval) -> usize {
+        let mut n = 0usize;
+        self.visit_exact(q, &mut |_| n += 1);
+        n
+    }
+
+    /// Visits the ids of all intervals containing the time point `t`.
+    pub fn visit_containing(&self, t: TimePoint, f: &mut dyn FnMut(u32)) {
+        self.visit_overlapping(&Interval::point(t), f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn collect_overlaps(idx: &IntervalIndex, q: Interval) -> Vec<u32> {
+        let mut out = Vec::new();
+        idx.visit_overlapping(&q, &mut |id| out.push(id));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn overlap_matches_brute_force() {
+        let mut idx = IntervalIndex::new();
+        let data = [
+            iv(5, 11),
+            iv(8, 15),
+            iv(20, 25),
+            iv(7, 10),
+            Interval::from(18),
+            iv(0, 3),
+            iv(3, 5),
+        ];
+        for d in data {
+            idx.push(d);
+        }
+        idx.ensure_built();
+        for q in [
+            iv(0, 40),
+            iv(9, 10),
+            iv(15, 18),
+            Interval::from(24),
+            iv(4, 6),
+        ] {
+            let expect: Vec<u32> = data
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.overlaps(&q))
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(collect_overlaps(&idx, q), expect, "query {q}");
+            assert_eq!(idx.count_overlapping(&q), expect.len());
+        }
+    }
+
+    #[test]
+    fn lazy_rebuild_after_append() {
+        let mut idx = IntervalIndex::new();
+        idx.push(iv(0, 5));
+        idx.ensure_built();
+        assert_eq!(collect_overlaps(&idx, iv(0, 10)), vec![0]);
+        // A small tail is served by the linear scan without a rebuild…
+        idx.push(iv(7, 9));
+        idx.ensure_built();
+        assert_eq!(collect_overlaps(&idx, iv(0, 10)), vec![0, 1]);
+        assert_eq!(idx.get(1), iv(7, 9));
+        assert_eq!(idx.len(), 2);
+        // …and a forced rebuild gives the same answers through the tree.
+        idx.rebuild();
+        assert_eq!(collect_overlaps(&idx, iv(0, 10)), vec![0, 1]);
+        assert_eq!(collect_overlaps(&idx, iv(5, 7)), vec![]);
+    }
+
+    #[test]
+    fn tail_and_tree_agree_under_interleaving() {
+        let mut idx = IntervalIndex::new();
+        let mut all = Vec::new();
+        for i in 0..500u64 {
+            let s = (i * 37) % 211;
+            let e = s + 1 + (i * 13) % 17;
+            idx.push(iv(s, e));
+            all.push(iv(s, e));
+            if i % 7 == 0 {
+                idx.ensure_built();
+                let q = iv((i * 11) % 200, (i * 11) % 200 + 9);
+                let expect: Vec<u32> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.overlaps(&q))
+                    .map(|(k, _)| k as u32)
+                    .collect();
+                assert_eq!(collect_overlaps(&idx, q), expect, "step {i}");
+                assert_eq!(idx.count_exact(&all[i as usize]), {
+                    all.iter().filter(|d| **d == all[i as usize]).count()
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn exact_probes() {
+        let mut idx = IntervalIndex::new();
+        idx.push(iv(1, 4));
+        idx.push(iv(1, 4));
+        idx.push(iv(1, 5));
+        idx.push(Interval::from(1));
+        idx.ensure_built();
+        assert_eq!(idx.count_exact(&iv(1, 4)), 2);
+        assert_eq!(idx.count_exact(&iv(1, 5)), 1);
+        assert_eq!(idx.count_exact(&Interval::from(1)), 1);
+        assert_eq!(idx.count_exact(&iv(2, 4)), 0);
+        let mut ids = Vec::new();
+        idx.visit_exact(&iv(1, 4), &mut |id| ids.push(id));
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn containing_and_endpoints() {
+        let mut idx = IntervalIndex::new();
+        idx.push(iv(2012, 2014));
+        idx.push(Interval::from(2014));
+        idx.ensure_built();
+        let mut hits = Vec::new();
+        idx.visit_containing(2013, &mut |id| hits.push(id));
+        assert_eq!(hits, vec![0]);
+        let mut hits = Vec::new();
+        idx.visit_containing(2030, &mut |id| hits.push(id));
+        assert_eq!(hits, vec![1]);
+        let pts: Vec<TimePoint> = idx.endpoints().collect();
+        assert_eq!(pts, vec![2012, 2014]);
+    }
+
+    #[test]
+    fn empty_index_is_quiet() {
+        let mut idx = IntervalIndex::new();
+        idx.ensure_built();
+        assert!(idx.is_empty());
+        assert_eq!(idx.count_overlapping(&iv(0, 10)), 0);
+        assert_eq!(idx.count_exact(&iv(0, 10)), 0);
+    }
+}

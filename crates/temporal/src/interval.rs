@@ -103,7 +103,9 @@ impl Interval {
         self.end
     }
 
-    /// Number of time points covered, or `None` when infinite.
+    /// Number of time points covered, or `None` when infinite. (There is
+    /// deliberately no `is_empty`: intervals are non-empty by construction.)
+    #[allow(clippy::len_without_is_empty)]
     #[inline]
     pub fn len(&self) -> Option<u64> {
         self.end.finite().map(|e| e - self.start)
@@ -353,7 +355,10 @@ mod tests {
         assert_eq!(iv(0, 10).subtract(&iv(5, 10)), vec![iv(0, 5)]);
         assert_eq!(iv(0, 10).subtract(&iv(0, 10)), Vec::<Interval>::new());
         assert_eq!(iv(0, 10).subtract(&iv(20, 30)), vec![iv(0, 10)]);
-        assert_eq!(Interval::from(0).subtract(&iv(2, 4)), vec![iv(0, 2), Interval::from(4)]);
+        assert_eq!(
+            Interval::from(0).subtract(&iv(2, 4)),
+            vec![iv(0, 2), Interval::from(4)]
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! * [`partition`] — endpoint collection and elementary-interval
 //!   partitioning, the engine behind both normalization algorithms
 //!   (paper Section 4.2);
+//! * [`index`] — an append-only interval-endpoint index (sorted starts plus
+//!   a max-end tree) serving the overlap/exact probes of the storage layer;
 //! * [`coalesce`] — generic coalescing of `(key, interval)` streams
 //!   (Böhlen, Snodgrass & Soo; used by the paper's Section 2 definition of
 //!   coalesced concrete instances).
@@ -24,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod coalesce;
+pub mod index;
 pub mod interval;
 pub mod partition;
 pub mod point;
 pub mod set;
 
 pub use coalesce::coalesce_intervals;
+pub use index::IntervalIndex;
 pub use interval::{AllenRelation, Interval};
 pub use partition::{fragment_interval, Breakpoints};
 pub use point::{Endpoint, TimePoint};

@@ -40,6 +40,17 @@ impl Breakpoints {
         Breakpoints { points }
     }
 
+    /// Builds a cutting set from already-collected points (e.g. the
+    /// incrementally maintained endpoint set of an
+    /// [`IntervalIndex`](crate::index::IntervalIndex)). The input need not
+    /// be sorted or deduplicated.
+    pub fn from_points<I: IntoIterator<Item = TimePoint>>(iter: I) -> Self {
+        let mut points: Vec<TimePoint> = iter.into_iter().collect();
+        points.sort_unstable();
+        points.dedup();
+        Breakpoints { points }
+    }
+
     /// Adds the endpoints of one more interval.
     pub fn add_interval(&mut self, iv: &Interval) {
         self.points.push(iv.start());

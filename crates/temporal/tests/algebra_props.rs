@@ -1,0 +1,143 @@
+//! Algebraic properties of coalescing, Allen classification and the
+//! interval-endpoint index.
+
+use proptest::prelude::*;
+use tdx_temporal::{coalesce_intervals, AllenRelation, Interval, IntervalIndex, IntervalSet};
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (0u64..120, 1u64..40, prop::bool::weighted(0.15)).prop_map(|(s, len, inf)| {
+        if inf {
+            Interval::from(s)
+        } else {
+            Interval::new(s, s + len)
+        }
+    })
+}
+
+fn arb_intervals(max: usize) -> impl Strategy<Value = Vec<Interval>> {
+    prop::collection::vec(arb_interval(), 0..max)
+}
+
+/// The converse of an Allen relation (`x rel y ⇔ y converse(rel) x`).
+fn converse(rel: AllenRelation) -> AllenRelation {
+    use AllenRelation::*;
+    match rel {
+        Before => After,
+        Meets => MetBy,
+        Overlaps => OverlappedBy,
+        Starts => StartedBy,
+        During => Contains,
+        Finishes => FinishedBy,
+        Equals => Equals,
+        FinishedBy => Finishes,
+        Contains => During,
+        StartedBy => Starts,
+        OverlappedBy => Overlaps,
+        MetBy => Meets,
+        After => Before,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `IntervalSet::from_intervals` is idempotent: feeding a coalesced
+    /// set's spans back in reproduces the set exactly.
+    #[test]
+    fn interval_set_from_intervals_is_idempotent(ivs in arb_intervals(12)) {
+        let once = IntervalSet::from_intervals(ivs.iter().copied());
+        let twice = IntervalSet::from_intervals(once.intervals().iter().copied());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// `IntervalSet::from_intervals` is order-insensitive: any permutation
+    /// of the inputs coalesces to the same set. (Reversal plus a
+    /// deterministic shuffle stand in for "any".)
+    #[test]
+    fn interval_set_from_intervals_is_order_insensitive(ivs in arb_intervals(12)) {
+        let forward = IntervalSet::from_intervals(ivs.iter().copied());
+        let backward = IntervalSet::from_intervals(ivs.iter().rev().copied());
+        prop_assert_eq!(&forward, &backward);
+        let mut shuffled = ivs.clone();
+        // Deterministic shuffle: sort by a mixing key.
+        shuffled.sort_by_key(|iv| (iv.start().wrapping_mul(2654435761)) ^ u64::from(iv.is_unbounded()));
+        let reshuffled = IntervalSet::from_intervals(shuffled.into_iter());
+        prop_assert_eq!(&forward, &reshuffled);
+    }
+
+    /// `coalesce_intervals` is idempotent per key: re-coalescing its output
+    /// changes nothing.
+    #[test]
+    fn coalesce_intervals_is_idempotent(a in arb_intervals(10), b in arb_intervals(10)) {
+        let tagged = a
+            .iter()
+            .map(|iv| ("a", *iv))
+            .chain(b.iter().map(|iv| ("b", *iv)));
+        let once = coalesce_intervals(tagged);
+        let again = coalesce_intervals(
+            once.iter()
+                .flat_map(|(k, set)| set.intervals().iter().map(move |iv| (*k, *iv))),
+        );
+        prop_assert_eq!(once, again);
+    }
+
+    /// `coalesce_intervals` is order-insensitive in its input stream.
+    #[test]
+    fn coalesce_intervals_is_order_insensitive(a in arb_intervals(12)) {
+        let forward = coalesce_intervals(a.iter().map(|iv| ((), *iv)));
+        let backward = coalesce_intervals(a.iter().rev().map(|iv| ((), *iv)));
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Allen classification is antisymmetric: swapping the arguments yields
+    /// exactly the converse relation, and `Equals` is the only fixpoint.
+    #[test]
+    fn allen_classification_is_antisymmetric(x in arb_interval(), y in arb_interval()) {
+        let fwd = x.allen(&y);
+        let bwd = y.allen(&x);
+        prop_assert_eq!(bwd, converse(fwd));
+        prop_assert_eq!(converse(bwd), fwd);
+        if fwd == bwd {
+            prop_assert_eq!(fwd, AllenRelation::Equals);
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    /// The interval-endpoint index answers overlap and exact probes exactly
+    /// like the brute-force scan, at every build state.
+    #[test]
+    fn interval_index_matches_brute_force(ivs in arb_intervals(24), probes in arb_intervals(6)) {
+        let mut idx = IntervalIndex::new();
+        for iv in &ivs {
+            idx.push(*iv);
+        }
+        for (k, built) in [false, true].into_iter().enumerate() {
+            if built {
+                idx.rebuild();
+            }
+            for q in &probes {
+                let mut got: Vec<u32> = Vec::new();
+                idx.visit_overlapping(q, &mut |id| got.push(id));
+                got.sort_unstable();
+                let expect: Vec<u32> = ivs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, iv)| iv.overlaps(q))
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                prop_assert_eq!(&got, &expect, "overlap pass {}", k);
+                prop_assert_eq!(idx.count_exact(q), ivs.iter().filter(|iv| *iv == q).count());
+            }
+        }
+        // Endpoint enumeration equals the scan-collected endpoint set.
+        let mut expect_points: Vec<u64> = ivs
+            .iter()
+            .flat_map(|iv| {
+                std::iter::once(iv.start()).chain(iv.end().finite())
+            })
+            .collect();
+        expect_points.sort_unstable();
+        expect_points.dedup();
+        prop_assert_eq!(idx.endpoints().collect::<Vec<_>>(), expect_points);
+    }
+}

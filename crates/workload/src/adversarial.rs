@@ -36,7 +36,9 @@ pub fn nested_mapping(n: usize) -> (SchemaMapping, TemporalInstance) {
         vec![parse_tgd("R(x) & R(y) -> exists w . T(x, w)")
             .unwrap()
             .named("cross")],
-        vec![parse_egd("T(a, w) & T(a, w2) -> w = w2").unwrap().named("wfd")],
+        vec![parse_egd("T(a, w) & T(a, w2) -> w = w2")
+            .unwrap()
+            .named("wfd")],
     )
     .expect("valid mapping");
     let (ic, _) = nested_intervals(n);

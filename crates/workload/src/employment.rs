@@ -64,8 +64,12 @@ pub fn paper_mapping() -> SchemaMapping {
         parse_schema("E(name, company). S(name, salary).").unwrap(),
         parse_schema("Emp(name, company, salary).").unwrap(),
         vec![
-            parse_tgd("E(n,c) -> exists s . Emp(n,c,s)").unwrap().named("st1"),
-            parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)").unwrap().named("st2"),
+            parse_tgd("E(n,c) -> exists s . Emp(n,c,s)")
+                .unwrap()
+                .named("st1"),
+            parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)")
+                .unwrap()
+                .named("st2"),
         ],
         vec![parse_egd("Emp(n,c,s) & Emp(n,c,s2) -> s = s2")
             .unwrap()

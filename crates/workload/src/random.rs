@@ -9,9 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use tdx_logic::{
-    Atom, Egd, RelationSchema, Schema, SchemaMapping, Symbol, Term, Tgd, Var,
-};
+use tdx_logic::{Atom, Egd, RelationSchema, Schema, SchemaMapping, Symbol, Term, Tgd, Var};
 use tdx_storage::TemporalInstance;
 use tdx_temporal::Interval;
 
@@ -214,9 +212,7 @@ impl RandomWorkload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdx_core::{
-        abstract_chase, c_chase, hom::hom_equivalent, semantics, TdxError,
-    };
+    use tdx_core::{abstract_chase, c_chase, hom::hom_equivalent, semantics, TdxError};
 
     #[test]
     fn generation_is_deterministic() {

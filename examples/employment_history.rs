@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.stats.target_facts_out,
         result.target.nulls().len(),
     );
-    assert!(is_solution_concrete(&w.source, &result.target, engine.mapping())?);
+    assert!(is_solution_concrete(
+        &w.source,
+        &result.target,
+        engine.mapping()
+    )?);
 
     // Storage: the chase result is fragmented; coalescing shrinks it.
     let coalesced = result.target.coalesced();
@@ -61,13 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Temporal join: colleagues — pairs at the same company at the same time.
-    let colleagues: UnionQuery =
-        parse_query("Q(a, b, c) :- Emp(a, c, s1) & Emp(b, c, s2)")?.into();
+    let colleagues: UnionQuery = parse_query("Q(a, b, c) :- Emp(a, c, s1) & Emp(b, c, s2)")?.into();
     let pairs = engine.certain_answers(&w.source, &colleagues)?;
-    let proper_pairs = pairs
-        .rows()
-        .filter(|(t, _)| t[0] != t[1])
-        .count();
+    let proper_pairs = pairs.rows().filter(|(t, _)| t[0] != t[1]).count();
     println!("colleague pairs (certain, any time): {proper_pairs}");
 
     // Cross-check the concrete route against the abstract one on a spot

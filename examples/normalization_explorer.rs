@@ -17,7 +17,10 @@ use tdx::semantics;
 use tdx::workload::{clustered_instance, nested_intervals, ClusteredConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<18} {:>7} {:>9} {:>11} {:>9} {:>11}", "workload", "facts", "|naive|", "naive time", "|alg1|", "alg1 time");
+    println!(
+        "{:<18} {:>7} {:>9} {:>11} {:>9} {:>11}",
+        "workload", "facts", "|naive|", "naive time", "|alg1|", "alg1 time"
+    );
 
     // 1. Sparse: joins only inside small clusters, clusters interleaved on
     //    the timeline. Algorithm 1 wins on output size.

@@ -54,13 +54,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // It really is a solution, with the right semantics.
-    assert!(is_solution_concrete(&source, &result.target, engine.mapping())?);
+    assert!(is_solution_concrete(
+        &source,
+        &result.target,
+        engine.mapping()
+    )?);
 
     // Certain answers (Section 5): true in *every* possible solution.
     let q = parse_query("Q(n, s) :- Emp(n, c, s)")?.into();
     let answers = engine.certain_answers(&source, &q)?;
     println!("== certain salaries over time ==\n{answers}");
-    assert!(answers.at(2012).is_empty(), "Ada's 2012 salary is not certain");
+    assert!(
+        answers.at(2012).is_empty(),
+        "Ada's 2012 salary is not certain"
+    );
     assert_eq!(answers.at(2016).len(), 2, "both salaries certain in 2016");
 
     println!("done — every assertion from the paper checks out.");

@@ -140,8 +140,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             let q = parse_union_query(q_text)?;
             let answers = engine.certain_answers(&source, &q)?;
             if args.has("table") {
-                let headers: Vec<String> =
-                    (1..=q.arity()).map(|i| format!("c{i}")).collect();
+                let headers: Vec<String> = (1..=q.arity()).map(|i| format!("c{i}")).collect();
                 let refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
                 print!("{}", answers.render_table(&refs));
             } else {

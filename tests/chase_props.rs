@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use tdx::core::normalize::has_empty_intersection_property;
 use tdx::core::verify::{is_solution_concrete, satisfies_egd, satisfies_tgd};
-use tdx::{c_chase_with, semantics, ChaseOptions};
 use tdx::workload::{EmploymentConfig, EmploymentWorkload, RandomConfig, RandomWorkload};
+use tdx::{c_chase_with, semantics, ChaseOptions};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(20))]

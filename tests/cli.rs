@@ -22,8 +22,14 @@ fn exchange_reproduces_figure9() {
     let out = tdx().args(paper_args("exchange")).output().unwrap();
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8(out.stdout).unwrap();
-    assert!(stdout.contains("Ada  | IBM     | 18k    | [2013, 2014)"), "{stdout}");
-    assert!(stdout.contains("Bob  | IBM     | 13k    | [2015, 2018)"), "{stdout}");
+    assert!(
+        stdout.contains("Ada  | IBM     | 18k    | [2013, 2014)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("Bob  | IBM     | 13k    | [2015, 2018)"),
+        "{stdout}"
+    );
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("5 target facts"), "{stderr}");
 }

@@ -105,7 +105,11 @@ fn normalization_invariants_at_api_level() {
     let mut src = ex.new_source();
     for i in 0..12u64 {
         src.insert_strs("Shipment", &[&format!("s{i}"), "r1"], iv(i, i + 6));
-        src.insert_strs("Carrier", &["r1", &format!("co{}", i % 3)], iv(i + 1, i + 5));
+        src.insert_strs(
+            "Carrier",
+            &["r1", &format!("co{}", i % 3)],
+            iv(i + 1, i + 5),
+        );
     }
     let bodies = ex.mapping().tgd_bodies();
     let normalized = normalize(&src, &bodies).unwrap();
@@ -134,8 +138,14 @@ fn multi_tgd_heads_share_existentials() {
     let mut src = ex.new_source();
     src.insert_strs("A", &["a1"], iv(0, 4));
     let result = ex.exchange(&src).unwrap();
-    let b = ex.target_schema().rel_id(tdx::logic::Symbol::intern("B")).unwrap();
-    let c = ex.target_schema().rel_id(tdx::logic::Symbol::intern("C")).unwrap();
+    let b = ex
+        .target_schema()
+        .rel_id(tdx::logic::Symbol::intern("B"))
+        .unwrap();
+    let c = ex
+        .target_schema()
+        .rel_id(tdx::logic::Symbol::intern("C"))
+        .unwrap();
     let b_null = result.target.facts(b)[0].data[1];
     let c_null = result.target.facts(c)[0].data[0];
     assert!(b_null.is_null());

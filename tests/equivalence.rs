@@ -1,0 +1,191 @@
+//! Engine equivalence: the indexed semi-naive c-chase must produce the same
+//! solutions as the legacy full-scan chase on the whole scenario suite —
+//! same facts, nulls up to renaming, same certain answers — and must fail on
+//! exactly the same inputs.
+
+use tdx::core::{certain_answers_concrete, hom_equivalent, is_solution_concrete, semantics};
+use tdx::workload::{
+    clustered_instance, figure4_source, nested_mapping, paper_mapping, ClusteredConfig,
+    EmploymentConfig, EmploymentWorkload, RandomConfig, RandomWorkload,
+};
+use tdx::{
+    c_chase_with, parse_query, ChaseOptions, SchemaMapping, TdxError, TemporalInstance, UnionQuery,
+};
+
+fn indexed() -> ChaseOptions {
+    ChaseOptions::default()
+}
+
+fn scan() -> ChaseOptions {
+    ChaseOptions::legacy_scan()
+}
+
+/// Runs both engines and checks that the solutions represent the same
+/// abstract instance up to null renaming, and that both verify as solutions.
+fn assert_engines_agree(label: &str, mapping: &SchemaMapping, source: &TemporalInstance) {
+    let fast = c_chase_with(source, mapping, &indexed());
+    let slow = c_chase_with(source, mapping, &scan());
+    match (fast, slow) {
+        (Ok(a), Ok(b)) => {
+            assert!(
+                hom_equivalent(&semantics(&a.target), &semantics(&b.target)),
+                "{label}: solutions differ between engines"
+            );
+            assert!(
+                is_solution_concrete(source, &a.target, mapping).unwrap(),
+                "{label}: indexed result is not a solution"
+            );
+            assert!(
+                is_solution_concrete(source, &b.target, mapping).unwrap(),
+                "{label}: scan result is not a solution"
+            );
+            // Same amount of incompleteness: the chases may name nulls
+            // differently but must leave the same number of unknowns.
+            assert_eq!(
+                a.target.nulls().len(),
+                b.target.nulls().len(),
+                "{label}: null counts differ"
+            );
+        }
+        (Err(TdxError::ChaseFailure { .. }), Err(TdxError::ChaseFailure { .. })) => {}
+        (a, b) => panic!(
+            "{label}: engines disagree: indexed {:?}, scan {:?}",
+            a.map(|r| r.target.total_len()),
+            b.map(|r| r.target.total_len())
+        ),
+    }
+}
+
+/// Certain answers must be byte-identical (they contain no nulls, so no
+/// renaming slack is allowed).
+fn assert_same_certain_answers(
+    label: &str,
+    mapping: &SchemaMapping,
+    source: &TemporalInstance,
+    queries: &[&str],
+) {
+    for q_text in queries {
+        let q: UnionQuery = parse_query(q_text).unwrap().into();
+        let fast = certain_answers_concrete(source, mapping, &q, &indexed()).unwrap();
+        let slow = certain_answers_concrete(source, mapping, &q, &scan()).unwrap();
+        assert_eq!(
+            fast.epochs(),
+            slow.epochs(),
+            "{label}: certain answers differ for {q_text}"
+        );
+    }
+}
+
+#[test]
+fn paper_example_agrees() {
+    let mapping = paper_mapping();
+    let source = figure4_source(&mapping);
+    assert_engines_agree("figure4", &mapping, &source);
+    assert_same_certain_answers(
+        "figure4",
+        &mapping,
+        &source,
+        &[
+            "Q(n, s) :- Emp(n, c, s)",
+            "Q(n) :- Emp(n, c, s)",
+            "Q(m) :- Emp(Ada, c, s) & Emp(m, c, s2)",
+        ],
+    );
+}
+
+#[test]
+fn employment_workloads_agree() {
+    for (persons, coverage, seed) in [(10usize, 1.0, 1u64), (25, 0.6, 2), (40, 0.8, 3)] {
+        let w = EmploymentWorkload::generate(&EmploymentConfig {
+            persons,
+            horizon: 30,
+            salary_coverage: coverage,
+            seed,
+            ..EmploymentConfig::default()
+        });
+        let label = format!("employment/p{persons}s{seed}");
+        assert_engines_agree(&label, &w.mapping, &w.source);
+        assert_same_certain_answers(
+            &label,
+            &w.mapping,
+            &w.source,
+            &["Q(n, s) :- Emp(n, c, s)", "Q(n, c) :- Emp(n, c, s)"],
+        );
+    }
+}
+
+#[test]
+fn conflicting_employment_fails_on_both_engines() {
+    let w = EmploymentWorkload::generate(&EmploymentConfig {
+        persons: 12,
+        horizon: 24,
+        conflicts: 3,
+        seed: 5,
+        ..EmploymentConfig::default()
+    });
+    assert_engines_agree("employment/conflicts", &w.mapping, &w.source);
+}
+
+#[test]
+fn adversarial_nested_agrees() {
+    for n in [6usize, 12, 20] {
+        let (mapping, source) = nested_mapping(n);
+        assert_engines_agree(&format!("nested/{n}"), &mapping, &source);
+    }
+}
+
+#[test]
+fn sparse_clustered_normalization_agrees() {
+    use tdx::core::normalize::{normalize, normalize_with};
+    use tdx::storage::SearchOptions;
+    // The clustered workload exercises Algorithm 1's overlap-group
+    // discovery — exactly the path the interval-endpoint index accelerates.
+    for clusters in [4usize, 10] {
+        let (instance, conj) = clustered_instance(&ClusteredConfig {
+            clusters,
+            ..ClusteredConfig::default()
+        });
+        let refs = [conj.as_slice()];
+        let fast = normalize(&instance, &refs).unwrap();
+        let slow = normalize_with(&instance, &refs, SearchOptions { use_indexes: false }).unwrap();
+        assert_eq!(fast, slow, "clusters = {clusters}");
+    }
+}
+
+#[test]
+fn random_workloads_agree() {
+    for seed in 0..10u64 {
+        let w = RandomWorkload::generate(&RandomConfig {
+            seed,
+            facts: 20,
+            horizon: 16,
+            ..RandomConfig::default()
+        });
+        assert_engines_agree(&format!("random/{seed}"), &w.mapping, &w.source);
+    }
+}
+
+#[test]
+fn semi_naive_deltas_change_nothing_across_chase_options() {
+    // Cross the engine flag with the other chase options on the paper
+    // example: every combination must produce the same certain answers.
+    let mapping = paper_mapping();
+    let source = figure4_source(&mapping);
+    let q: UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
+    let reference = certain_answers_concrete(&source, &mapping, &q, &indexed())
+        .unwrap()
+        .epochs();
+    for engine_opts in [indexed(), scan()] {
+        for (renorm, naive) in [(true, false), (false, false), (true, true)] {
+            let opts = ChaseOptions {
+                renormalize_between_egd_rounds: renorm,
+                naive_normalization: naive,
+                ..engine_opts.clone()
+            };
+            let ans = certain_answers_concrete(&source, &mapping, &q, &opts)
+                .unwrap()
+                .epochs();
+            assert_eq!(ans, reference, "options {opts:?}");
+        }
+    }
+}

@@ -51,20 +51,27 @@ fn figure1_abstract_view() {
 /// nulls.
 #[test]
 fn example2_homomorphisms() {
-    let schema = std::sync::Arc::new(
-        tdx::logic::parse_schema("Emp(name, company, salary).").unwrap(),
-    );
+    let schema =
+        std::sync::Arc::new(tdx::logic::parse_schema("Emp(name, company, salary).").unwrap());
     let mut b = AbstractInstanceBuilder::new(std::sync::Arc::clone(&schema));
     b.add(
         "Emp",
-        vec![AValue::str("Ada"), AValue::str("IBM"), AValue::Rigid(NullId(0))],
+        vec![
+            AValue::str("Ada"),
+            AValue::str("IBM"),
+            AValue::Rigid(NullId(0)),
+        ],
         iv(0, 2),
     );
     let j1 = b.build();
     let mut b = AbstractInstanceBuilder::new(schema);
     b.add(
         "Emp",
-        vec![AValue::str("Ada"), AValue::str("IBM"), AValue::PerPoint(NullId(1))],
+        vec![
+            AValue::str("Ada"),
+            AValue::str("IBM"),
+            AValue::PerPoint(NullId(1)),
+        ],
         iv(0, 2),
     );
     let j2 = b.build();
@@ -88,7 +95,9 @@ fn figure3_abstract_chase() {
 fn figures5_and_6_normalization() {
     let e = engine();
     let ic = figure4(&e);
-    let phi = tdx::logic::parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)").unwrap().body;
+    let phi = tdx::logic::parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)")
+        .unwrap()
+        .body;
     // Unnormalized: no shared-t homomorphism exists for the σ2 body
     // (Section 4.2's motivating observation)...
     assert!(!has_empty_intersection_property(&ic, &[&phi]).unwrap());

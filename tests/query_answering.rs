@@ -15,7 +15,9 @@ fn queries() -> Vec<UnionQuery> {
         parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into(),
         parse_query("Q(n, c) :- Emp(n, c, s)").unwrap().into(),
         parse_query("Q(n) :- Emp(n, c, s)").unwrap().into(),
-        parse_query("Q(a, b) :- Emp(a, c, s1) & Emp(b, c, s2)").unwrap().into(),
+        parse_query("Q(a, b) :- Emp(a, c, s1) & Emp(b, c, s2)")
+            .unwrap()
+            .into(),
         parse_union_query("Q(n) :- Emp(n, c0, s); Q(n) :- Emp(n, c1, s)").unwrap(),
     ]
 }
@@ -92,8 +94,7 @@ fn certain_answers_sound_under_perturbation() {
         });
         let q: UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
         let certain =
-            certain_answers_concrete(&w.source, &w.mapping, &q, &ChaseOptions::default())
-                .unwrap();
+            certain_answers_concrete(&w.source, &w.mapping, &q, &ChaseOptions::default()).unwrap();
         // Perturb: resolve each null to a distinct constant, add noise facts.
         let jc = tdx::c_chase(&w.source, &w.mapping).unwrap().target;
         let mut solution = jc.map_values(|v, iv| match v {

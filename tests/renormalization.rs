@@ -48,7 +48,12 @@ fn abstract_chase_fails_on_the_hidden_overlap() {
     let (mapping, ic) = setting();
     let err = abstract_chase(&semantics(&ic), &mapping).unwrap_err();
     match err {
-        TdxError::ChaseFailure { interval, left, right, .. } => {
+        TdxError::ChaseFailure {
+            interval,
+            left,
+            right,
+            ..
+        } => {
             assert_eq!(interval, Some(iv(3, 5)));
             let mut pair = [left, right];
             pair.sort();

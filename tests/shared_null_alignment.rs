@@ -92,8 +92,14 @@ fn c_chase_aligns_and_rewrites_shared_nulls() {
 fn sibling_fragments_share_bases() {
     let (mapping, ic) = setting();
     let jc = tdx::c_chase(&ic, &mapping).unwrap().target;
-    let t1 = mapping.target().rel_id(tdx::logic::Symbol::intern("T1")).unwrap();
-    let t2 = mapping.target().rel_id(tdx::logic::Symbol::intern("T2")).unwrap();
+    let t1 = mapping
+        .target()
+        .rel_id(tdx::logic::Symbol::intern("T1"))
+        .unwrap();
+    let t2 = mapping
+        .target()
+        .rel_id(tdx::logic::Symbol::intern("T2"))
+        .unwrap();
     for fact in jc.facts(t1) {
         if let Value::Null(b) = fact.data[1] {
             // The same (base, interval) occurrence exists in T2.

@@ -1,0 +1,138 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses.
+//!
+//! The build environment has no access to crates.io, so the property tests
+//! link against this drop-in. It keeps the `proptest!` surface syntax —
+//! strategies, `prop_map`, `prop_oneof!`, `prop_assert*!` — but replaces the
+//! engine with plain deterministic random sampling: each test runs
+//! `ProptestConfig::cases` cases seeded from the test's name, with **no
+//! shrinking** on failure (the failing values are printed instead).
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy combinators on primitive namespaces (`prop::collection::vec`,
+/// `prop::bool::weighted`, …), mirroring upstream's `prop` module.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+        use std::ops::Range;
+
+        /// A vector whose length is drawn from `len` and whose elements are
+        /// drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::strategy::WeightedBool;
+
+        /// `true` with probability `p`.
+        pub fn weighted(p: f64) -> WeightedBool {
+            WeightedBool { p }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::{Strategy, WeightedOption};
+
+        /// `Some` with probability `p`, drawing the payload from `inner`.
+        pub fn weighted<S: Strategy>(p: f64, inner: S) -> WeightedOption<S> {
+            WeightedOption { p, inner }
+        }
+    }
+
+    /// Sampling from fixed pools.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// A uniformly chosen element of `options` (cloned).
+        pub fn select<T: Clone>(options: &'static [T]) -> Select<T> {
+            Select { options }
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests. Supports the upstream surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0u64..10, v in prop::collection::vec(0u8..4, 0..6)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)*
+                // Upstream bodies may `return Ok(())` to discard a case.
+                let __case = move || -> ::std::result::Result<(), ::std::string::String> {
+                    $body
+                    Ok(())
+                };
+                if let Err(e) = __case() {
+                    panic!("{e}");
+                }
+            });
+        }
+        $crate::__proptest_items!{ ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}

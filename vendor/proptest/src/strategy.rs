@@ -1,0 +1,241 @@
+//! Value-generation strategies: deterministic sampling, no shrinking.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (needed by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = Rc::new(self);
+        BoxedStrategy {
+            sample: Rc::new(move |rng| inner.sample(rng)),
+        }
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<T> {
+    sample: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.sample)(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i64);
+
+impl Strategy for Range<i32> {
+    type Value = i32;
+    fn sample(&self, rng: &mut TestRng) -> i32 {
+        let span = (self.end as i64) - (self.start as i64);
+        (self.start as i64 + rng.gen_range(0i64..span)) as i32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+
+/// Strategy of `prop::collection::vec`.
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.len.start >= self.len.end {
+            self.len.start
+        } else {
+            rng.gen_range(self.len.clone())
+        };
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy of `prop::bool::weighted`.
+pub struct WeightedBool {
+    pub(crate) p: f64,
+}
+
+impl Strategy for WeightedBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(self.p)
+    }
+}
+
+/// Strategy of `prop::option::weighted`.
+pub struct WeightedOption<S> {
+    pub(crate) p: f64,
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for WeightedOption<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(self.p) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Strategy of `prop::sample::select`.
+pub struct Select<T: 'static> {
+    pub(crate) options: &'static [T],
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select: empty pool");
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// Strategy of [`crate::prop_oneof!`]: a uniform choice between alternatives.
+pub struct Union<T> {
+    alternatives: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given alternatives.
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!alternatives.is_empty(), "prop_oneof!: no alternatives");
+        Union { alternatives }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.alternatives.len());
+        self.alternatives[i].sample(rng)
+    }
+}
+
+/// Types with a canonical strategy (subset of upstream's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A full-range integer strategy used by [`any`].
+pub struct FullRange<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FullRange { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, i32, i64);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FullRange {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// The canonical strategy for `T` (subset of upstream's `any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}

@@ -1,0 +1,51 @@
+//! The case runner: deterministic seeding, no shrinking.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `body` for each case with a per-case deterministic generator. The
+/// seed stream is a function of the property name alone, so failures are
+/// reproducible run to run; on panic the failing case index is reported.
+pub fn run(config: &ProptestConfig, name: &str, mut body: impl FnMut(&mut TestRng)) {
+    let base = fnv1a(name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(base.wrapping_add(case as u64));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest stand-in: property {name} failed at case {case}/{}",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}

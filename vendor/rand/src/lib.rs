@@ -1,0 +1,165 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workload
+//! generators link against this drop-in instead. It implements exactly the
+//! API surface the generators call — `StdRng::seed_from_u64`, `gen_range`
+//! over integer ranges, `gen_bool` and `gen_ratio` — on top of a
+//! splitmix64/xorshift-style generator. Streams are deterministic per seed
+//! (which is all the generators require) but do **not** match upstream
+//! `rand`'s streams.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a `Range` by this stand-in.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Uniformly samples from `[lo, hi)` using `next` as the word source.
+    fn sample(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_uniform_for_uint {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi - lo) as u128;
+                // Rejection-free multiply-shift mapping; bias is negligible
+                // for the small spans the generators use.
+                let word = next() as u128;
+                lo + ((word * span) >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_for_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_for_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let word = next() as u128;
+                (lo as i128 + ((word * span) >> 64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_for_int!(i32, i64);
+
+/// The generator trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// The next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        let mut next = || self.next_u64();
+        T::sample(range.start, range.end, &mut next)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 uniform mantissa bits, same construction as upstream.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool {
+        assert!(
+            numerator <= denominator && denominator > 0,
+            "gen_ratio: invalid ratio"
+        );
+        self.gen_range(0u32..denominator) < numerator
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic 64-bit generator (xorshift over a splitmix64-expanded
+    /// seed). Stands in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 2],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            StdRng {
+                state: [splitmix64(&mut s), splitmix64(&mut s)],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift128+ (Vigna); plenty for synthetic workloads.
+            let [mut s0, s1] = self.state;
+            let out = s0.wrapping_add(s1);
+            s0 ^= s0 << 23;
+            s0 ^= s0 >> 18;
+            s0 ^= s1 ^ (s1 >> 5);
+            self.state = [s1, s0];
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0usize..5);
+            assert!(y < 5);
+        }
+    }
+
+    #[test]
+    fn bool_and_ratio_are_roughly_calibrated() {
+        let mut r = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        let hits = (0..10_000).filter(|_| r.gen_ratio(1, 4)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+}
