@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use tdx_core::{c_chase_with, ChaseOptions};
-use tdx_workload::{
-    clustered_instance, nested_mapping, ClusteredConfig, EmploymentConfig, EmploymentWorkload,
-};
+use tdx_workload::{nested_mapping, EmploymentConfig, EmploymentWorkload};
 
 fn bench_employment(c: &mut Criterion) {
     let mut group = c.benchmark_group("c_chase/employment");
@@ -68,64 +66,23 @@ fn bench_nested(c: &mut Criterion) {
     group.finish();
 }
 
-/// The headline ablation for the FactStore refactor: the indexed semi-naive
-/// engine against the legacy full-scan engine, across all three workload
-/// families. The acceptance bar is ≥ 1.5× on the largest scenario.
+/// The headline engine ablation: indexed semi-naive vs legacy full scan vs
+/// the partitioned parallel engine (1 and 4 workers) across the workload
+/// families. The case list is shared with the CI regression gate
+/// (`cargo run -p tdx-bench --bin bench_check`) via
+/// [`tdx_bench::engine_suite`], so the gate compares exactly what this
+/// bench records. Acceptance bars: indexed ≥ 1.5× over scan, partitioned
+/// at 4 workers ≥ 2× over indexed, both on employment/100.
 fn bench_engines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("c_chase/engine");
+    let mut group = c.benchmark_group(tdx_bench::engine_suite::GROUP);
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(3));
-    let engines = [
-        ("indexed_semi_naive", ChaseOptions::default()),
-        ("legacy_scan", ChaseOptions::legacy_scan()),
-    ];
-    for persons in [50usize, 100] {
-        let w = EmploymentWorkload::generate(&EmploymentConfig {
-            persons,
-            horizon: 30,
-            seed: 42,
-            ..EmploymentConfig::default()
+    for case in tdx_bench::engine_suite::cases() {
+        let run = case.run;
+        group.bench_with_input(BenchmarkId::from(case.id.as_str()), &(), |b, _| {
+            b.iter(&run)
         });
-        for (label, opts) in &engines {
-            group.bench_with_input(
-                BenchmarkId::new(format!("employment/{label}"), persons),
-                &persons,
-                |b, _| b.iter(|| c_chase_with(&w.source, &w.mapping, opts).unwrap()),
-            );
-        }
-    }
-    for n in [16usize, 24] {
-        let (mapping, src) = nested_mapping(n);
-        for (label, opts) in &engines {
-            group.bench_with_input(
-                BenchmarkId::new(format!("nested/{label}"), n),
-                &n,
-                |b, _| b.iter(|| c_chase_with(&src, &mapping, opts).unwrap()),
-            );
-        }
-    }
-    // Normalization-dominated: Algorithm 1 group discovery over clustered
-    // intervals, which the interval-endpoint index accelerates.
-    use tdx_core::normalize::normalize_with;
-    use tdx_storage::SearchOptions;
-    for clusters in [10usize, 20] {
-        let (instance, conj) = clustered_instance(&ClusteredConfig {
-            clusters,
-            ..ClusteredConfig::default()
-        });
-        for (label, use_indexes) in [("indexed", true), ("full_scan", false)] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("normalize_clustered/{label}"), clusters),
-                &clusters,
-                |b, _| {
-                    b.iter(|| {
-                        normalize_with(&instance, &[conj.as_slice()], SearchOptions { use_indexes })
-                            .unwrap()
-                    })
-                },
-            );
-        }
     }
     group.finish();
 }

@@ -133,3 +133,101 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_millis(2500)), "2.50s");
     }
 }
+
+/// The `c_chase/engine/*` benchmark suite, shared between the Criterion
+/// bench (`benches/chase.rs`) and the CI regression gate
+/// (`bin/bench_check.rs`) so both measure exactly the same work under the
+/// same ids.
+pub mod engine_suite {
+    use tdx_core::{c_chase_with, ChaseOptions};
+    use tdx_workload::{
+        clustered_instance, nested_mapping, ClusteredConfig, EmploymentConfig, EmploymentWorkload,
+    };
+
+    /// One benchmark case: the id under `c_chase/engine/` and a closure
+    /// running one iteration of the measured work.
+    pub struct Case {
+        /// Id suffix, e.g. `employment/indexed_semi_naive/100`.
+        pub id: String,
+        /// One iteration of the benchmark body.
+        pub run: Box<dyn Fn() + Send + Sync>,
+    }
+
+    /// The group prefix every case id lives under.
+    pub const GROUP: &str = "c_chase/engine";
+
+    /// The engine ablation: indexed semi-naive vs legacy full scan vs the
+    /// partitioned parallel engine at 1 and 4 workers, across the
+    /// employment and nested workload families, plus the
+    /// normalization-dominated clustered probe.
+    pub fn cases() -> Vec<Case> {
+        let engines: Vec<(&'static str, ChaseOptions)> = vec![
+            ("indexed_semi_naive", ChaseOptions::default()),
+            ("legacy_scan", ChaseOptions::legacy_scan()),
+            (
+                "partitioned_parallel/1",
+                ChaseOptions::partitioned_parallel(1),
+            ),
+            (
+                "partitioned_parallel/4",
+                ChaseOptions::partitioned_parallel(4),
+            ),
+        ];
+        let mut out = Vec::new();
+        for persons in [50usize, 100] {
+            let w = std::sync::Arc::new(EmploymentWorkload::generate(&EmploymentConfig {
+                persons,
+                horizon: 30,
+                seed: 42,
+                ..EmploymentConfig::default()
+            }));
+            for (label, opts) in &engines {
+                let w = std::sync::Arc::clone(&w);
+                let opts = opts.clone();
+                out.push(Case {
+                    id: format!("employment/{label}/{persons}"),
+                    run: Box::new(move || {
+                        c_chase_with(&w.source, &w.mapping, &opts).unwrap();
+                    }),
+                });
+            }
+        }
+        for n in [16usize, 24] {
+            let pair = std::sync::Arc::new(nested_mapping(n));
+            for (label, opts) in &engines {
+                let pair = std::sync::Arc::clone(&pair);
+                let opts = opts.clone();
+                out.push(Case {
+                    id: format!("nested/{label}/{n}"),
+                    run: Box::new(move || {
+                        c_chase_with(&pair.1, &pair.0, &opts).unwrap();
+                    }),
+                });
+            }
+        }
+        // Normalization-dominated: Algorithm 1 group discovery over
+        // clustered intervals, which the interval-endpoint index
+        // accelerates.
+        for clusters in [10usize, 20] {
+            let data = std::sync::Arc::new(clustered_instance(&ClusteredConfig {
+                clusters,
+                ..ClusteredConfig::default()
+            }));
+            for (label, use_indexes) in [("indexed", true), ("full_scan", false)] {
+                let data = std::sync::Arc::clone(&data);
+                out.push(Case {
+                    id: format!("normalize_clustered/{label}/{clusters}"),
+                    run: Box::new(move || {
+                        tdx_core::normalize::normalize_with(
+                            &data.0,
+                            &[data.1.as_slice()],
+                            tdx_storage::SearchOptions { use_indexes },
+                        )
+                        .unwrap();
+                    }),
+                });
+            }
+        }
+        out
+    }
+}

@@ -102,12 +102,17 @@ pub fn abstract_chase_with(
 /// realizes the requirement that nulls differ across snapshots without any
 /// cross-thread coordination. The result is *identical* to the sequential
 /// chase up to null renaming (and byte-identical per epoch structure).
+///
+/// `threads = 0` resolves through the same knob as the concrete engine —
+/// `TDX_CHASE_THREADS`, then the machine — via
+/// [`worker_threads`](crate::chase::worker_threads); see also
+/// [`abstract_chase_parallel_opts`] to drive it from [`ChaseOptions`].
 pub fn abstract_chase_parallel(
     ia: &AbstractInstance,
     mapping: &SchemaMapping,
     threads: usize,
 ) -> Result<AbstractInstance> {
-    let threads = threads.max(1);
+    let threads = crate::chase::worker_threads(threads);
     let target_schema = Arc::new(mapping.target().clone());
     let n = ia.epochs().len();
     if threads == 1 || n <= 1 {
@@ -158,6 +163,23 @@ pub fn abstract_chase_parallel(
         epochs.push(slot.expect("every epoch chased")?);
     }
     AbstractInstance::from_epochs(target_schema, epochs)
+}
+
+/// [`abstract_chase_parallel`] configured from [`ChaseOptions`]: the worker
+/// count comes from the engine choice
+/// ([`ChaseEngine::PartitionedParallel`](crate::chase::concrete::ChaseEngine)'s
+/// `threads`, else the `TDX_CHASE_THREADS`/machine default) — the one knob
+/// shared with the concrete chase.
+pub fn abstract_chase_parallel_opts(
+    ia: &AbstractInstance,
+    mapping: &SchemaMapping,
+    opts: &crate::chase::concrete::ChaseOptions,
+) -> Result<AbstractInstance> {
+    let requested = match opts.engine {
+        crate::chase::concrete::ChaseEngine::PartitionedParallel { threads } => threads,
+        _ => 0,
+    };
+    abstract_chase_parallel(ia, mapping, requested)
 }
 
 #[cfg(test)]
@@ -287,6 +309,24 @@ mod tests {
                 "threads = {threads}"
             );
             assert_eq!(sequential.epochs().len(), parallel.epochs().len());
+        }
+    }
+
+    #[test]
+    fn options_drive_the_parallel_worker_knob() {
+        use crate::chase::concrete::ChaseOptions;
+        let mapping = paper_mapping();
+        let ia = figure1(&mapping);
+        let sequential = abstract_chase(&ia, &mapping).unwrap();
+        // The engine's thread count flows through; 0 resolves to the
+        // env/machine default — both must chase correctly.
+        for opts in [
+            ChaseOptions::partitioned_parallel(3),
+            ChaseOptions::partitioned_parallel(0),
+            ChaseOptions::default(),
+        ] {
+            let parallel = abstract_chase_parallel_opts(&ia, &mapping, &opts).unwrap();
+            assert!(crate::hom::hom_equivalent(&sequential, &parallel));
         }
     }
 

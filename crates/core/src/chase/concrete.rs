@@ -39,6 +39,19 @@ pub enum ChaseEngine {
     /// re-enumerates every match. Kept as the equivalence oracle for tests
     /// and the ablation baseline for benches.
     LegacyScan,
+    /// Timeline-partitioned evaluation over a
+    /// [`ShardedFactStore`](tdx_storage::ShardedFactStore): match work fans
+    /// out per partition (and per hash shard in the tgd phase) onto scoped
+    /// worker threads, egd/renormalization fixpoints run per partition with
+    /// boundary-crossing facts reconciled through replicas, and rounds ship
+    /// their changes through the delta log. Results are hom-equivalent to
+    /// [`ChaseEngine::IndexedSemiNaive`]. See `docs/parallelism.md`.
+    PartitionedParallel {
+        /// Worker threads; `0` resolves from `TDX_CHASE_THREADS` or the
+        /// machine's available parallelism (see
+        /// [`worker_threads`](crate::chase::worker_threads)).
+        threads: usize,
+    },
 }
 
 /// Tuning knobs for the c-chase.
@@ -94,10 +107,20 @@ impl ChaseOptions {
         }
     }
 
+    /// Default options on the partitioned parallel engine. `threads = 0`
+    /// resolves from `TDX_CHASE_THREADS` / the machine (see
+    /// [`worker_threads`](crate::chase::worker_threads)).
+    pub fn partitioned_parallel(threads: usize) -> ChaseOptions {
+        ChaseOptions {
+            engine: ChaseEngine::PartitionedParallel { threads },
+            ..ChaseOptions::default()
+        }
+    }
+
     /// The matcher options implied by the engine choice.
     pub fn search_options(&self) -> SearchOptions {
         SearchOptions {
-            use_indexes: self.engine == ChaseEngine::IndexedSemiNaive,
+            use_indexes: self.engine != ChaseEngine::LegacyScan,
         }
     }
 }
@@ -142,7 +165,7 @@ pub struct CChaseResult {
     pub trace: Vec<String>,
 }
 
-fn instantiate(atom: &Atom, env: &[(Var, Value)]) -> Vec<Value> {
+pub(crate) fn instantiate(atom: &Atom, env: &[(Var, Value)]) -> Vec<Value> {
     atom.terms
         .iter()
         .map(|t| match t {
@@ -161,18 +184,18 @@ fn instantiate(atom: &Atom, env: &[(Var, Value)]) -> Vec<Value> {
 /// annotation; constants are global (a null equated to `18k` in `[0,2)` and
 /// another in `[5,7)` both resolve to `18k`, but the two nulls are never
 /// directly identified with each other).
-struct AnnotatedUnionFind {
+pub(crate) struct AnnotatedUnionFind {
     parent: HashMap<UfKey, UfKey>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum UfKey {
+pub(crate) enum UfKey {
     Const(tdx_logic::Constant),
     Null(NullId, Interval),
 }
 
 impl AnnotatedUnionFind {
-    fn new() -> AnnotatedUnionFind {
+    pub(crate) fn new() -> AnnotatedUnionFind {
         AnnotatedUnionFind {
             parent: HashMap::new(),
         }
@@ -188,7 +211,7 @@ impl AnnotatedUnionFind {
         root
     }
 
-    fn union(&mut self, a: UfKey, b: UfKey) -> std::result::Result<(), (UfKey, UfKey)> {
+    pub(crate) fn union(&mut self, a: UfKey, b: UfKey) -> std::result::Result<(), (UfKey, UfKey)> {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra == rb {
@@ -215,7 +238,7 @@ impl AnnotatedUnionFind {
         }
     }
 
-    fn resolve(&mut self, v: &Value, fact_interval: Interval) -> Value {
+    pub(crate) fn resolve(&mut self, v: &Value, fact_interval: Interval) -> Value {
         match v {
             Value::Const(_) => *v,
             Value::Null(b) => match self.find(UfKey::Null(*b, fact_interval)) {
@@ -245,13 +268,7 @@ fn align_shared_nulls(target: &TemporalInstance) -> TemporalInstance {
     let n = facts.len();
     // Union-find over fact indices, connected through shared null bases.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-        if parent[i] != i {
-            let r = find(parent, parent[i]);
-            parent[i] = r;
-        }
-        parent[i]
-    }
+    use crate::normalize::uf_find as find;
     let mut owner: HashMap<NullId, usize> = HashMap::new();
     let mut has_null = vec![false; n];
     for (i, (_, fact)) in facts.iter().enumerate() {
@@ -344,6 +361,9 @@ pub fn c_chase_with(
     mapping: &SchemaMapping,
     opts: &ChaseOptions,
 ) -> Result<CChaseResult> {
+    if let ChaseEngine::PartitionedParallel { threads } = opts.engine {
+        return crate::chase::partitioned::c_chase_partitioned(ic, mapping, opts, threads);
+    }
     let mut stats = ChaseStats {
         source_facts_in: ic.total_len(),
         ..ChaseStats::default()

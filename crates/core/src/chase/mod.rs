@@ -10,8 +10,32 @@
 
 pub mod abstract_chase;
 pub mod concrete;
+pub(crate) mod partitioned;
 pub mod snapshot;
 
-pub use abstract_chase::{abstract_chase, abstract_chase_parallel};
+pub use abstract_chase::{abstract_chase, abstract_chase_parallel, abstract_chase_parallel_opts};
 pub use concrete::{c_chase, CChaseResult, ChaseOptions, ChaseStats};
 pub use snapshot::snapshot_chase;
+
+/// Resolves a worker-thread request into a concrete count — the one knob
+/// shared by [`ChaseEngine::PartitionedParallel`](concrete::ChaseEngine) and
+/// [`abstract_chase_parallel`]: an explicit `requested > 0` wins; `0` falls
+/// back to the `TDX_CHASE_THREADS` environment variable, then to the
+/// machine's available parallelism (capped at 8 — the chase's partition
+/// fan-out saturates well before wide machines do).
+pub fn worker_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(v) = std::env::var("TDX_CHASE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}

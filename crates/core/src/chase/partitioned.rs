@@ -1,0 +1,1161 @@
+//! The partitioned parallel c-chase (`ChaseEngine::PartitionedParallel`).
+//!
+//! The paper's c-chase (Section 4.3) is defined fact-at-a-time, but its
+//! normalization step makes the target fragment along interval breakpoints —
+//! so the concrete timeline decomposes into independent slices the same way
+//! the abstract chase decomposes into epochs. This engine exploits that:
+//!
+//! * the timeline is cut at **coarse breakpoints** drawn from the source's
+//!   endpoint set (`Breakpoints::coarsen`), and every phase's facts live in a
+//!   [`ShardedFactStore`] over that [`TimelinePartition`];
+//! * **tgd rounds** fan match work out per `(partition, hash shard)` onto
+//!   `std::thread::scope` workers — a [`TemporalMode::Shared`] match binds
+//!   every atom to one interval, so matches never cross partitions and the
+//!   per-partition owner blocks cover them exactly once;
+//! * the **egd / renormalization fixpoint** runs per timeline partition and
+//!   reconciles only facts whose intervals cross partition boundaries: such
+//!   facts are replicated into every partition they overlap, which makes
+//!   every overlapping image of Algorithm 1 visible inside a single
+//!   partition; the group-merge is a cheap global union-find over the
+//!   per-partition discoveries ([`merge_image_sets`]);
+//! * rounds ship their changes through the **delta log**: each rebuild lays
+//!   out unchanged facts before changed ones, so the next round's matching
+//!   pivots on contiguous delta suffixes ([`PartScope::OwnerDelta`]) and
+//!   renormalization discovery visits only *dirty* partitions — the ones a
+//!   changed fact overlaps.
+//!
+//! The result is hom-equivalent to `IndexedSemiNaive` (it may fragment
+//! differently — delta-restricted discovery skips group merges between
+//! long-settled facts, which Algorithm 1 would re-derive with no effect on
+//! `⟦·⟧`); `tests/equivalence.rs` triangulates all three engines. The
+//! equivalence argument is spelled out in `docs/parallelism.md`.
+
+use crate::chase::concrete::{
+    instantiate, AnnotatedUnionFind, CChaseResult, ChaseOptions, ChaseStats, UfKey,
+};
+use crate::error::{Result, TdxError};
+use crate::normalize::{
+    merge_image_sets, naive_normalize, normalize_with_groups, uf_find, FactRef,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Var};
+use tdx_storage::{
+    NullGen, PartScope, Row, SearchOptions, ShardedFactStore, TemporalFact, TemporalInstance,
+    TemporalMode, Value,
+};
+use tdx_temporal::{fragment_interval, Breakpoints, Interval, TimePoint, TimelinePartition};
+
+/// Per-relation fact lists: the working representation between rebuilds.
+/// `pre` holds facts unchanged since the last round, `delta` the changed
+/// ones; a fact's global id is its position in `pre ++ delta`.
+type FactLists = Vec<Vec<TemporalFact>>;
+
+/// Runs `f(0..n)` on up to `threads` scoped workers (inline when either
+/// count is one) and returns the results in task order — so the merge, and
+/// therefore the chase result, is deterministic regardless of thread count
+/// and scheduling.
+fn run_tasks<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    // Workers beyond the machine's cores only add spawn and scheduling
+    // overhead — asking for 4 threads on a 1-core box must not be slower
+    // than asking for 1.
+    let threads = threads.min(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    );
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                results.lock().expect("task results lock").push((i, r));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("workers joined");
+    out.sort_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A 2-atom conjunction compiled for the sweep join: per-atom constant and
+/// intra-atom-equality filters, plus the cross-atom join columns.
+struct PairSpec {
+    rels: [RelId; 2],
+    consts: [Vec<(usize, Value)>; 2],
+    intra: [Vec<(usize, usize)>; 2],
+    /// `(col in atom 0, col in atom 1)` pairs that must be equal.
+    joins: Vec<(usize, usize)>,
+}
+
+impl PairSpec {
+    /// Compiles a 2-atom conjunction; `None` when a relation is unknown
+    /// (the caller falls back to the generic matcher, which reports the
+    /// proper error).
+    fn compile(atoms: &[Atom], schema: &Schema) -> Option<PairSpec> {
+        let mut rels = [RelId(0); 2];
+        let mut consts: [Vec<(usize, Value)>; 2] = [Vec::new(), Vec::new()];
+        let mut intra: [Vec<(usize, usize)>; 2] = [Vec::new(), Vec::new()];
+        let mut joins = Vec::new();
+        let mut first_of: Vec<(Var, usize, usize)> = Vec::new(); // var → (atom, col)
+        for (ai, atom) in atoms.iter().enumerate() {
+            rels[ai] = schema.rel_id(atom.relation)?;
+            if schema.relation(rels[ai]).arity() != atom.arity() {
+                return None;
+            }
+            for (col, term) in atom.terms.iter().enumerate() {
+                match term {
+                    tdx_logic::Term::Const(c) => consts[ai].push((col, Value::Const(*c))),
+                    tdx_logic::Term::Var(v) => match first_of.iter().find(|(w, _, _)| w == v) {
+                        None => first_of.push((*v, ai, col)),
+                        Some(&(_, fa, fc)) => {
+                            if fa == ai {
+                                intra[ai].push((fc, col));
+                            } else {
+                                joins.push((fc, col));
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        Some(PairSpec {
+            rels,
+            consts,
+            intra,
+            joins,
+        })
+    }
+}
+
+/// Sweep-based overlap join for a 2-atom conjunction over the global fact
+/// lists — the partitioned engine's replacement for backtracking image
+/// discovery. Candidates are filtered per atom, bucketed by join key,
+/// sorted by interval start, and swept: a pair is emitted iff the two
+/// intervals overlap (for two atoms, pairwise overlap *is* the non-empty
+/// common intersection of `TemporalMode::FreeOverlapping`). Diagonal pairs
+/// (both atoms on one fact) are singleton images and contribute nothing to
+/// Algorithm 1's groups, so they are skipped. With `fresh` set, only pairs
+/// touching a fresh (just-changed) fact are emitted — the semi-naive
+/// restriction of incremental renormalization: a pair of settled facts was
+/// already discovered, and aligned, in the round that last changed one of
+/// them.
+fn sweep_lists(
+    pre: &FactLists,
+    delta: &FactLists,
+    fresh: Option<&[Vec<bool>]>,
+    spec: &PairSpec,
+    mut emit: impl FnMut(FactRef, FactRef),
+) {
+    // Per join key, the candidate (interval, global id, fresh) entries of
+    // each atom side.
+    type Entry = (Interval, u32, bool);
+    let mut buckets: tdx_storage::fxhash::FxHashMap<Vec<Value>, [Vec<Entry>; 2]> =
+        tdx_storage::fxhash::FxHashMap::default();
+    for ai in 0..2 {
+        let r = spec.rels[ai].0 as usize;
+        let pre_len = pre[r].len();
+        for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
+            if spec.consts[ai]
+                .iter()
+                .any(|&(col, ref v)| fact.data[col] != *v)
+            {
+                continue;
+            }
+            if spec.intra[ai]
+                .iter()
+                .any(|&(c1, c2)| fact.data[c1] != fact.data[c2])
+            {
+                continue;
+            }
+            let is_fresh = match fresh {
+                None => true,
+                Some(flags) => gid >= pre_len && flags[r][gid - pre_len],
+            };
+            let key: Vec<Value> = spec
+                .joins
+                .iter()
+                .map(|&(c0, c1)| fact.data[if ai == 0 { c0 } else { c1 }])
+                .collect();
+            buckets.entry(key).or_default()[ai].push((fact.interval, gid as u32, is_fresh));
+        }
+    }
+    let restricted = fresh.is_some();
+    let (ra, rb) = (spec.rels[0], spec.rels[1]);
+    for [a_side, b_side] in buckets.values_mut() {
+        if a_side.is_empty() || b_side.is_empty() {
+            continue;
+        }
+        a_side.sort_unstable_by_key(|e| e.0.start());
+        b_side.sort_unstable_by_key(|e| e.0.start());
+        for &(aiv, agid, afresh) in a_side.iter() {
+            for &(biv, bgid, bfresh) in b_side.iter() {
+                if tdx_temporal::Endpoint::Fin(biv.start()) >= aiv.end() {
+                    break; // b and everything after starts at/after a ends
+                }
+                if (restricted && !(afresh || bfresh)) || !aiv.overlaps(&biv) {
+                    continue;
+                }
+                if ra == rb && agid == bgid {
+                    continue; // singleton image
+                }
+                emit((ra, agid), (rb, bgid));
+            }
+        }
+    }
+}
+
+/// The fact with global id `gid` inside the `pre ++ delta` lists.
+fn fact_at<'a>(pre: &'a FactLists, delta: &'a FactLists, rel: RelId, gid: u32) -> &'a TemporalFact {
+    let r = rel.0 as usize;
+    let g = gid as usize;
+    if g < pre[r].len() {
+        &pre[r][g]
+    } else {
+        &delta[r][g - pre[r].len()]
+    }
+}
+
+/// Image discovery for Algorithm 1 over the working fact lists.
+///
+/// Single-atom conjunctions are skipped outright: their images are
+/// singletons, which never add members to a merged group and never cut (a
+/// fact is aligned with itself), so they cannot change the output. 2-atom
+/// conjunctions — every dependency body in the scenario suite — go through
+/// the [`sweep_lists`] overlap join, one parallel task per conjunction, with
+/// no store build at all. Wider conjunctions fall back to the generic
+/// backtracking matcher over a replicated [`ShardedFactStore`]: each image's
+/// common intersection meets some partition's range, replicas make all of
+/// its facts visible there, and the at-least-one-owner pivot decomposition
+/// keeps long-lived facts from being re-enumerated in every partition they
+/// span.
+#[allow(clippy::too_many_arguments)]
+fn discover_images(
+    schema: &Arc<Schema>,
+    tp: &TimelinePartition,
+    pre: &FactLists,
+    delta: &FactLists,
+    fresh: Option<&[Vec<bool>]>,
+    conjs: &[&[Atom]],
+    threads: usize,
+    sopts: SearchOptions,
+) -> Result<Vec<Vec<FactRef>>> {
+    // Images are deduplicated as packed `(rel << 32 | gid)` keys — a pair
+    // for the ubiquitous 2-atom bodies, a heap key above — so duplicate
+    // enumerations (symmetric self-joins) cost a hash probe, not an
+    // allocation.
+    let pack = |(rel, gid): FactRef| ((rel.0 as u64) << 32) | gid as u64;
+    let unpack = |k: u64| (RelId((k >> 32) as u32), k as u32);
+    let mut specs: Vec<PairSpec> = Vec::new();
+    let mut generic: Vec<&[Atom]> = Vec::new();
+    for &atoms in conjs {
+        if atoms.len() < 2 {
+            continue;
+        }
+        match (atoms.len() == 2)
+            .then(|| PairSpec::compile(atoms, schema))
+            .flatten()
+        {
+            Some(spec) => specs.push(spec),
+            None => generic.push(atoms),
+        }
+    }
+    let swept = run_tasks(threads, specs.len(), |i| {
+        let mut pairs: tdx_storage::fxhash::FxHashSet<(u64, u64)> = Default::default();
+        let mut out: Vec<Vec<u64>> = Vec::new();
+        sweep_lists(pre, delta, fresh, &specs[i], |a, b| {
+            let (ka, kb) = (pack(a), pack(b));
+            let key = if ka <= kb { (ka, kb) } else { (kb, ka) };
+            if pairs.insert(key) {
+                out.push(vec![key.0, key.1]);
+            }
+        });
+        out
+    });
+    let mut from_matcher: Vec<Result<Vec<Vec<u64>>>> = Vec::new();
+    if !generic.is_empty() {
+        let sharded = build_sharded(schema, tp, pre, delta, true);
+        // Partitions worth scanning: all of them on a full pass, else the
+        // ones some fresh fact overlaps (an image with a fresh member is
+        // visible wherever its common intersection lands — inside the
+        // fresh fact's span).
+        let dirty: Vec<usize> = match fresh {
+            None => (0..tp.len()).collect(),
+            Some(flags) => {
+                let mut mark = vec![false; tp.len()];
+                for (r, rel_flags) in flags.iter().enumerate() {
+                    for (i, is_fresh) in rel_flags.iter().enumerate() {
+                        if *is_fresh {
+                            let iv = &delta[r][i].interval;
+                            let (lo, hi) = tp.parts_overlapping(iv);
+                            for d in mark.iter_mut().take(hi + 1).skip(lo) {
+                                *d = true;
+                            }
+                        }
+                    }
+                }
+                (0..tp.len()).filter(|&p| mark[p]).collect()
+            }
+        };
+        let ntasks = dirty.len() * generic.len();
+        from_matcher = run_tasks(threads, ntasks, |t| -> Result<Vec<Vec<u64>>> {
+            let view = sharded.part(dirty[t / generic.len()]);
+            let atoms = generic[t % generic.len()];
+            let mut seen: tdx_storage::fxhash::FxHashSet<Vec<u64>> = Default::default();
+            let mut out = Vec::new();
+            let mut key: Vec<u64> = Vec::with_capacity(atoms.len());
+            view.find_matches(
+                atoms,
+                TemporalMode::FreeOverlapping,
+                &[],
+                None,
+                sopts,
+                PartScope::OwnerTouch,
+                &mut |m| {
+                    key.clear();
+                    key.extend(
+                        m.atom_rows()
+                            .iter()
+                            .map(|&(rel, local)| pack((rel, view.global_row(rel, local)))),
+                    );
+                    key.sort_unstable();
+                    key.dedup();
+                    if key.len() >= 2 && seen.insert(key.clone()) {
+                        out.push(key.clone());
+                    }
+                    true
+                },
+            )?;
+            Ok(out)
+        });
+    }
+    let mut seen: tdx_storage::fxhash::FxHashSet<Vec<u64>> = Default::default();
+    let mut out: Vec<Vec<FactRef>> = Vec::new();
+    for image in swept.into_iter().flatten().chain(
+        from_matcher
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?
+            .into_iter()
+            .flatten(),
+    ) {
+        if seen.insert(image.clone()) {
+            out.push(image.iter().map(|&k| unpack(k)).collect());
+        }
+    }
+    Ok(out)
+}
+
+/// Partitioned Algorithm 1 over a whole instance: sweep/matcher image
+/// discovery, global group merge, fragmentation via the shared
+/// [`normalize_with_groups`]. Produces the groups of the sequential
+/// [`candidate_groups`](crate::normalize::candidate_groups) minus the
+/// no-op singletons — global fact ids equal the instance's fact ids.
+fn par_normalize(
+    ic: &TemporalInstance,
+    conjs: &[&[Atom]],
+    tp: &TimelinePartition,
+    threads: usize,
+    sopts: SearchOptions,
+) -> Result<TemporalInstance> {
+    if conjs.is_empty() {
+        return Ok(ic.clone());
+    }
+    let nrels = ic.schema().len();
+    let pre: FactLists = (0..nrels)
+        .map(|r| ic.facts(RelId(r as u32)).to_vec())
+        .collect();
+    let delta: FactLists = vec![Vec::new(); nrels];
+    let images = discover_images(
+        &ic.schema_arc(),
+        tp,
+        &pre,
+        &delta,
+        None,
+        conjs,
+        threads,
+        sopts,
+    )?;
+    let groups = merge_image_sets(&images);
+    normalize_with_groups(ic, &groups)
+}
+
+fn build_sharded(
+    schema: &Arc<Schema>,
+    tp: &TimelinePartition,
+    pre: &FactLists,
+    delta: &FactLists,
+    replicate: bool,
+) -> ShardedFactStore {
+    ShardedFactStore::build_with_delta(Arc::clone(schema), tp.clone(), 1, replicate, |rel| {
+        (
+            pre[rel.0 as usize].as_slice(),
+            delta[rel.0 as usize].as_slice(),
+        )
+    })
+}
+
+/// Adds the shared-null-base alignment cuts (see `align_shared_nulls` in the
+/// sequential engine): sibling occurrences of one annotated null must stay
+/// fragmented at common endpoints so the `(base, interval)`-keyed egd
+/// rewrite touches all of them alike. Computed globally over the fact
+/// lists — a linear pass plus a union-find, no matching, no store.
+fn base_align_cuts(
+    pre: &FactLists,
+    delta: &FactLists,
+    cuts: &mut HashMap<(RelId, u32), Vec<TimePoint>>,
+) {
+    // Facts containing nulls, union-found through shared bases.
+    let mut facts: Vec<(RelId, u32, Interval)> = Vec::new();
+    let mut parent: Vec<usize> = Vec::new();
+    let mut owner: tdx_storage::fxhash::FxHashMap<tdx_storage::NullId, usize> = Default::default();
+    for (r, (p, d)) in pre.iter().zip(delta.iter()).enumerate() {
+        let rel = RelId(r as u32);
+        for (gid, fact) in p.iter().chain(d.iter()).enumerate() {
+            let mut entry: Option<usize> = None;
+            for v in fact.data.iter() {
+                if let Value::Null(b) = v {
+                    let i = *entry.get_or_insert_with(|| {
+                        facts.push((rel, gid as u32, fact.interval));
+                        parent.push(facts.len() - 1);
+                        facts.len() - 1
+                    });
+                    match owner.get(b) {
+                        Some(&j) => {
+                            let (ri, rj) = (uf_find(&mut parent, i), uf_find(&mut parent, j));
+                            if ri != rj {
+                                parent[ri] = rj;
+                            }
+                        }
+                        None => {
+                            owner.insert(*b, i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..facts.len() {
+        let root = uf_find(&mut parent, i);
+        members.entry(root).or_default().push(i);
+    }
+    for ms in members.values() {
+        if ms.len() < 2 {
+            continue;
+        }
+        let bps = Breakpoints::from_intervals(ms.iter().map(|&i| &facts[i].2));
+        for &i in ms {
+            let (rel, gid, iv) = facts[i];
+            let pts: Vec<TimePoint> = bps.interior_of(&iv).collect();
+            if !pts.is_empty() {
+                cuts.entry((rel, gid)).or_default().extend(pts);
+            }
+        }
+    }
+}
+
+/// Re-fragments the working fact lists to a fixpoint and then builds the
+/// round's sharded match store once. Per iteration it collects cuts from
+/// (a) egd-body candidate groups (sweep/matcher discovery, restricted to
+/// images touching a fresh fact), or every fact at every endpoint (when
+/// `naive`), plus (b) shared-base alignment; applies them; and stops once
+/// no cut remains. Fragments join the delta block (they are "changed" for
+/// the next round's matching) and are the next iteration's fresh set.
+#[allow(clippy::too_many_arguments)]
+fn refragment(
+    schema: &Arc<Schema>,
+    tp: &TimelinePartition,
+    threads: usize,
+    sopts: SearchOptions,
+    renorm_bodies: Option<&[&[Atom]]>,
+    naive: bool,
+    mut pre: FactLists,
+    mut delta: FactLists,
+) -> Result<(ShardedFactStore, FactLists, FactLists)> {
+    let nrels = schema.len();
+    let mut fresh: Vec<Vec<bool>> = delta.iter().map(|d| vec![true; d.len()]).collect();
+    loop {
+        let mut cuts: HashMap<(RelId, u32), Vec<TimePoint>> = HashMap::new();
+        if naive && renorm_bodies.is_some() {
+            let bps = Breakpoints::from_intervals(
+                pre.iter()
+                    .chain(delta.iter())
+                    .flat_map(|facts| facts.iter().map(|f| &f.interval)),
+            );
+            for (r, (p, d)) in pre.iter().zip(delta.iter()).enumerate() {
+                for (gid, fact) in p.iter().chain(d.iter()).enumerate() {
+                    let pts: Vec<TimePoint> = bps.interior_of(&fact.interval).collect();
+                    if !pts.is_empty() {
+                        cuts.insert((RelId(r as u32), gid as u32), pts);
+                    }
+                }
+            }
+        } else if let Some(conjs) = renorm_bodies {
+            if !conjs.is_empty() {
+                let images = discover_images(
+                    schema,
+                    tp,
+                    &pre,
+                    &delta,
+                    Some(&fresh),
+                    conjs,
+                    threads,
+                    sopts,
+                )?;
+                for group in merge_image_sets(&images) {
+                    let ivs: Vec<Interval> = group
+                        .iter()
+                        .map(|&(rel, gid)| fact_at(&pre, &delta, rel, gid).interval)
+                        .collect();
+                    let bps = Breakpoints::from_intervals(ivs.iter());
+                    for (&(rel, gid), iv) in group.iter().zip(ivs.iter()) {
+                        let pts: Vec<TimePoint> = bps.interior_of(iv).collect();
+                        if !pts.is_empty() {
+                            cuts.entry((rel, gid)).or_default().extend(pts);
+                        }
+                    }
+                }
+            }
+        }
+        base_align_cuts(&pre, &delta, &mut cuts);
+        if cuts.is_empty() {
+            // Fixpoint: one store build serves the whole round's matching.
+            return Ok((build_sharded(schema, tp, &pre, &delta, false), pre, delta));
+        }
+        // Apply the cuts; fragments become delta and the new fresh set.
+        let mut npre: FactLists = vec![Vec::new(); nrels];
+        let mut ndelta: FactLists = vec![Vec::new(); nrels];
+        let mut nfresh: Vec<Vec<bool>> = vec![Vec::new(); nrels];
+        for r in 0..nrels {
+            let rel = RelId(r as u32);
+            let pre_len = pre[r].len();
+            let mut kept: HashSet<(Row, Interval)> = HashSet::new();
+            // Uncut facts first, so a fragment colliding with an existing
+            // fact dissolves into it.
+            for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
+                if !cuts.contains_key(&(rel, gid as u32))
+                    && kept.insert((Arc::clone(&fact.data), fact.interval))
+                {
+                    if gid < pre_len {
+                        npre[r].push(fact.clone());
+                    } else {
+                        ndelta[r].push(fact.clone());
+                        nfresh[r].push(false);
+                    }
+                }
+            }
+            for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
+                if let Some(pts) = cuts.get(&(rel, gid as u32)) {
+                    let bps = Breakpoints::from_points(pts.iter().copied());
+                    for iv in fragment_interval(&fact.interval, &bps) {
+                        if kept.insert((Arc::clone(&fact.data), iv)) {
+                            ndelta[r].push(TemporalFact {
+                                data: Arc::clone(&fact.data),
+                                interval: iv,
+                            });
+                            nfresh[r].push(true);
+                        }
+                    }
+                }
+            }
+        }
+        pre = npre;
+        delta = ndelta;
+        fresh = nfresh;
+    }
+}
+
+/// Rewrites every fact through the round's union-find, splitting the result
+/// into unchanged (`pre`) and changed (`delta`) blocks. Facts that become
+/// identical merge (first occurrence wins).
+fn rewrite_values(
+    schema: &Arc<Schema>,
+    pre: &FactLists,
+    delta: &FactLists,
+    uf: &mut AnnotatedUnionFind,
+) -> (FactLists, FactLists) {
+    let nrels = schema.len();
+    let mut npre: FactLists = vec![Vec::new(); nrels];
+    let mut ndelta: FactLists = vec![Vec::new(); nrels];
+    for r in 0..nrels {
+        let mut kept: HashSet<(tdx_storage::Row, Interval)> = HashSet::new();
+        for fact in pre[r].iter().chain(delta[r].iter()) {
+            let new_data: tdx_storage::Row = fact
+                .data
+                .iter()
+                .map(|v| uf.resolve(v, fact.interval))
+                .collect();
+            let changed = new_data[..] != fact.data[..];
+            if kept.insert((Arc::clone(&new_data), fact.interval)) {
+                let out = TemporalFact {
+                    data: new_data,
+                    interval: fact.interval,
+                };
+                if changed {
+                    ndelta[r].push(out);
+                } else {
+                    npre[r].push(out);
+                }
+            }
+        }
+    }
+    (npre, ndelta)
+}
+
+/// The partitioned parallel c-chase. Same contract as
+/// [`c_chase_with`](crate::chase::concrete::c_chase_with); dispatched from
+/// there for [`ChaseEngine::PartitionedParallel`](crate::chase::concrete::ChaseEngine).
+pub(crate) fn c_chase_partitioned(
+    ic: &TemporalInstance,
+    mapping: &SchemaMapping,
+    opts: &ChaseOptions,
+    threads: usize,
+) -> Result<CChaseResult> {
+    let threads = crate::chase::worker_threads(threads);
+    let sopts = opts.search_options();
+    let mut stats = ChaseStats {
+        source_facts_in: ic.total_len(),
+        ..ChaseStats::default()
+    };
+    let mut trace: Vec<String> = Vec::new();
+    let log = |opts: &ChaseOptions, trace: &mut Vec<String>, msg: String| {
+        if opts.record_trace {
+            trace.push(msg);
+        }
+    };
+
+    // Partition the timeline at coarse breakpoints of the source. The chase
+    // never invents endpoints (tgd heads reuse h(t); fragmentation cuts at
+    // existing endpoints), so one partition serves every phase. The count is
+    // a locality knob, not a worker knob: more partitions shrink the index
+    // buckets every probe scans, which pays even on one thread, so it is
+    // deliberately independent of `threads` (which also keeps results
+    // byte-identical across thread counts).
+    let parts_hint = 16;
+    let tp = TimelinePartition::new(&ic.endpoints().coarsen(parts_hint));
+    log(
+        opts,
+        &mut trace,
+        format!(
+            "partitioned chase: {} timeline partitions, {threads} threads",
+            tp.len()
+        ),
+    );
+
+    // Step 1: normalize the source w.r.t. the s-t tgd bodies (partitioned
+    // Algorithm 1 — identical groups, discovered per partition).
+    let tgd_bodies = mapping.tgd_bodies();
+    let nsource = if opts.naive_normalization {
+        naive_normalize(ic)
+    } else {
+        par_normalize(ic, &tgd_bodies, &tp, threads, sopts)?
+    };
+    stats.source_facts_normalized = nsource.total_len();
+    log(
+        opts,
+        &mut trace,
+        format!(
+            "normalized source w.r.t. Σst: {} → {} facts",
+            stats.source_facts_in, stats.source_facts_normalized
+        ),
+    );
+
+    // Step 2: s-t tgd steps. Match enumeration fans out per (tgd,
+    // partition, hash shard); the restricted-chase check and inserts merge
+    // sequentially in task order, so the output is deterministic across
+    // thread counts. The hash fan-out is a fixed constant — not the thread
+    // count — precisely so the task decomposition (and with it the merge
+    // order and the result) never depends on how many workers ran it.
+    let hash_shards = 8;
+    let ssrc = ShardedFactStore::build_from(&nsource, tp.clone(), hash_shards, false);
+    let tgds = mapping.st_tgds();
+    let nparts = ssrc.part_count();
+    let ntasks = tgds.len() * nparts * hash_shards;
+    type Hom = (Vec<(Var, Value)>, Interval);
+    let homs = run_tasks(threads, ntasks, |t| -> Result<Vec<Hom>> {
+        let tgd = &tgds[t / (nparts * hash_shards)];
+        let rem = t % (nparts * hash_shards);
+        let (p, bucket) = (rem / hash_shards, rem % hash_shards);
+        let rel0 = ssrc
+            .schema()
+            .rel_id(tgd.body[0].relation)
+            .expect("validated body atom");
+        let range = ssrc.hash_range(p, rel0, bucket);
+        if range.0 == range.1 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        ssrc.part(p).find_matches(
+            &tgd.body,
+            TemporalMode::Shared,
+            &[],
+            None,
+            sopts,
+            PartScope::OwnerPivot { atom: 0, range },
+            &mut |m| {
+                out.push((
+                    m.bindings(),
+                    m.shared_interval().expect("temporal store binds t"),
+                ));
+                true
+            },
+        )?;
+        Ok(out)
+    });
+    let mut target = TemporalInstance::new(Arc::new(mapping.target().clone()));
+    let mut nulls = NullGen::new();
+    // The restricted-chase check per tgd, cheapest applicable first:
+    // without existentials, "no extension into the target" is just "some
+    // head fact is missing" — the insert's own dedup answers it. A
+    // single-atom head with (non-repeated) existentials reduces to a hash
+    // memo over the determined head positions, updated on every insert.
+    // Anything else falls back to the matcher probe.
+    enum Check {
+        Direct,
+        Memo { rel: RelId, cols: Vec<usize> },
+        Probe,
+    }
+    let checks: Vec<(Check, Vec<Var>)> = tgds
+        .iter()
+        .map(|tgd| {
+            let existentials = tgd.existential_vars();
+            let check = if existentials.is_empty() {
+                Check::Direct
+            } else if tgd.head.len() == 1 {
+                let atom = &tgd.head[0];
+                let repeated = existentials.iter().any(|e| {
+                    atom.terms
+                        .iter()
+                        .filter(|t| matches!(t, tdx_logic::Term::Var(v) if v == e))
+                        .count()
+                        > 1
+                });
+                if repeated {
+                    Check::Probe
+                } else {
+                    Check::Memo {
+                        rel: mapping
+                            .target()
+                            .rel_id(atom.relation)
+                            .expect("validated head atom"),
+                        cols: atom
+                            .terms
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, t)| match t {
+                                tdx_logic::Term::Const(_) => true,
+                                tdx_logic::Term::Var(v) => !existentials.contains(v),
+                            })
+                            .map(|(i, _)| i)
+                            .collect(),
+                    }
+                }
+            } else {
+                Check::Probe
+            };
+            (check, existentials)
+        })
+        .collect();
+    type MemoKey = (Vec<Value>, Interval);
+    let mut memos: Vec<tdx_storage::fxhash::FxHashSet<MemoKey>> =
+        checks.iter().map(|_| Default::default()).collect();
+    // Registers an inserted fact with every memo watching its relation.
+    let register = |memos: &mut Vec<tdx_storage::fxhash::FxHashSet<MemoKey>>,
+                    checks: &[(Check, Vec<Var>)],
+                    rel: RelId,
+                    data: &[Value],
+                    iv: Interval| {
+        for (mi, (check, _)) in checks.iter().enumerate() {
+            if let Check::Memo { rel: mrel, cols } = check {
+                if *mrel == rel {
+                    let key: Vec<Value> = cols.iter().map(|&c| data[c]).collect();
+                    memos[mi].insert((key, iv));
+                }
+            }
+        }
+    };
+    for (t, task_homs) in homs.into_iter().enumerate() {
+        let ti = t / (nparts * hash_shards);
+        let tgd = &tgds[ti];
+        let (check, existentials) = &checks[ti];
+        for (h, iv) in task_homs? {
+            match check {
+                Check::Direct => {
+                    let mut fired = false;
+                    for atom in &tgd.head {
+                        let rel = mapping
+                            .target()
+                            .rel_id(atom.relation)
+                            .expect("validated head atom");
+                        let row: Row = instantiate(atom, &h).into();
+                        if target.insert(rel, Arc::clone(&row), iv) {
+                            register(&mut memos, &checks, rel, &row, iv);
+                            fired = true;
+                        }
+                    }
+                    if fired {
+                        stats.tgd_steps += 1;
+                    }
+                    continue;
+                }
+                Check::Memo { rel: _, cols } => {
+                    let atom = &tgd.head[0];
+                    let key: Vec<Value> = cols
+                        .iter()
+                        .map(|&c| match &atom.terms[c] {
+                            tdx_logic::Term::Const(cst) => Value::Const(*cst),
+                            tdx_logic::Term::Var(v) => {
+                                h.iter()
+                                    .find(|(w, _)| w == v)
+                                    .expect("universal head var bound")
+                                    .1
+                            }
+                        })
+                        .collect();
+                    if memos[ti].contains(&(key, iv)) {
+                        continue;
+                    }
+                }
+                Check::Probe => {
+                    if target.exists_match_with(
+                        &tgd.head,
+                        TemporalMode::Shared,
+                        &h,
+                        Some(iv),
+                        sopts,
+                    )? {
+                        continue;
+                    }
+                }
+            }
+            let mut env = h;
+            for v in existentials {
+                env.push((*v, Value::Null(nulls.fresh())));
+            }
+            for atom in &tgd.head {
+                let rel = mapping
+                    .target()
+                    .rel_id(atom.relation)
+                    .expect("validated head atom");
+                let row: Row = instantiate(atom, &env).into();
+                if target.insert(rel, Arc::clone(&row), iv) {
+                    register(&mut memos, &checks, rel, &row, iv);
+                }
+            }
+            stats.tgd_steps += 1;
+        }
+    }
+    stats.nulls_created = nulls.peek();
+    stats.target_facts_after_tgd = target.total_len();
+    log(
+        opts,
+        &mut trace,
+        format!(
+            "tgd phase: {} steps fired over {ntasks} tasks",
+            stats.tgd_steps
+        ),
+    );
+
+    // Steps 3–4: normalize the target w.r.t. the egd bodies, then run egd
+    // rounds to a fixpoint — per partition, reconciling boundary-crossing
+    // facts through replicas, shipping each round's changes via the delta
+    // log.
+    let egd_bodies = mapping.egd_bodies();
+    let schema = target.schema_arc();
+    let nrels = schema.len();
+    if egd_bodies.is_empty() && target.nulls().is_empty() {
+        stats.target_facts_normalized = target.total_len();
+        if opts.coalesce_result {
+            target = target.coalesced();
+        }
+        stats.target_facts_out = target.total_len();
+        return Ok(CChaseResult {
+            target,
+            normalized_source: nsource,
+            stats,
+            trace,
+        });
+    }
+    let pre: FactLists = vec![Vec::new(); nrels];
+    let delta: FactLists = (0..nrels)
+        .map(|r| target.facts(RelId(r as u32)).to_vec())
+        .collect();
+    // The initial normalization always runs w.r.t. the egd bodies (the
+    // paper's step 3); the per-round choice below honors
+    // `renormalize_between_egd_rounds`.
+    let (mut sharded, mut pre, mut delta) = refragment(
+        &schema,
+        &tp,
+        threads,
+        sopts,
+        Some(&egd_bodies),
+        opts.naive_normalization,
+        pre,
+        delta,
+    )?;
+    stats.target_facts_normalized = sharded.total_len();
+    log(
+        opts,
+        &mut trace,
+        format!(
+            "normalized target w.r.t. Σeg: {} → {} facts",
+            stats.target_facts_after_tgd, stats.target_facts_normalized
+        ),
+    );
+
+    let mut first_round = true;
+    loop {
+        // Per-partition egd match enumeration, delta-pivoted. Owner blocks
+        // cover shared-t matches exactly once; partitions without delta
+        // facts cannot host a new match.
+        let dirty: Vec<usize> = (0..sharded.part_count())
+            .filter(|&p| sharded.part(p).has_delta())
+            .collect();
+        let egds = mapping.egds();
+        type Op = (usize, Value, Value, Interval);
+        let per_task = run_tasks(threads, dirty.len(), |t| -> Result<Vec<Op>> {
+            let view = sharded.part(dirty[t]);
+            let mut ops = Vec::new();
+            for (ei, egd) in egds.iter().enumerate() {
+                view.find_matches(
+                    &egd.body,
+                    TemporalMode::Shared,
+                    &[],
+                    None,
+                    sopts,
+                    PartScope::OwnerDelta,
+                    &mut |m| {
+                        let iv = m.shared_interval().expect("temporal store binds t");
+                        let a = m.value(egd.lhs).expect("egd lhs in body");
+                        let b = m.value(egd.rhs).expect("egd rhs in body");
+                        if a != b {
+                            ops.push((ei, a, b, iv));
+                        }
+                        true
+                    },
+                )?;
+            }
+            Ok(ops)
+        });
+        let mut uf = AnnotatedUnionFind::new();
+        let mut merges = 0usize;
+        for task in per_task {
+            for (ei, a, b, iv) in task? {
+                let key = |v: Value| match v {
+                    Value::Const(c) => UfKey::Const(c),
+                    Value::Null(n) => UfKey::Null(n, iv),
+                };
+                match uf.union(key(a), key(b)) {
+                    Ok(()) => merges += 1,
+                    Err((c1, c2)) => {
+                        let render = |k: UfKey| match k {
+                            UfKey::Const(c) => c.to_string(),
+                            UfKey::Null(n, _) => n.to_string(),
+                        };
+                        let egd = &egds[ei];
+                        return Err(TdxError::ChaseFailure {
+                            dependency: egd.name.clone().unwrap_or_else(|| egd.to_string()),
+                            left: render(c1),
+                            right: render(c2),
+                            interval: Some(iv),
+                        });
+                    }
+                }
+            }
+        }
+        if merges == 0 {
+            break;
+        }
+        stats.egd_rounds += 1;
+        stats.egd_merges += merges;
+        if !first_round {
+            stats.egd_delta_rounds += 1;
+        }
+        first_round = false;
+        log(
+            opts,
+            &mut trace,
+            format!(
+                "egd round {}: {merges} identifications over {} dirty partitions",
+                stats.egd_rounds,
+                dirty.len()
+            ),
+        );
+        let (npre, ndelta) = rewrite_values(&schema, &pre, &delta, &mut uf);
+        let renorm = if opts.renormalize_between_egd_rounds {
+            Some(egd_bodies.as_slice())
+        } else {
+            None // paper-faithful: keep annotated-null siblings aligned only
+        };
+        (sharded, pre, delta) = refragment(
+            &schema,
+            &tp,
+            threads,
+            sopts,
+            renorm,
+            opts.naive_normalization,
+            npre,
+            ndelta,
+        )?;
+    }
+
+    let mut target = sharded.to_instance();
+    if opts.coalesce_result {
+        target = target.coalesced();
+    }
+    stats.target_facts_out = target.total_len();
+    Ok(CChaseResult {
+        target,
+        normalized_source: nsource,
+        stats,
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::concrete::c_chase_with;
+    use crate::hom::hom_equivalent;
+    use crate::semantics::semantics;
+    use tdx_logic::{parse_egd, parse_schema, parse_tgd};
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn paper_mapping() -> SchemaMapping {
+        SchemaMapping::new(
+            parse_schema("E(name, company). S(name, salary).").unwrap(),
+            parse_schema("Emp(name, company, salary).").unwrap(),
+            vec![
+                parse_tgd("E(n,c) -> Emp(n,c,s)").unwrap().named("st1"),
+                parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)")
+                    .unwrap()
+                    .named("st2"),
+            ],
+            vec![parse_egd("Emp(n,c,s) & Emp(n,c,s2) -> s = s2")
+                .unwrap()
+                .named("fd")],
+        )
+        .unwrap()
+    }
+
+    fn figure4(mapping: &SchemaMapping) -> TemporalInstance {
+        let mut i = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        i.insert_strs("E", &["Ada", "IBM"], iv(2012, 2014));
+        i.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
+        i.insert_strs("E", &["Bob", "IBM"], iv(2013, 2018));
+        i.insert_strs("S", &["Ada", "18k"], Interval::from(2013));
+        i.insert_strs("S", &["Bob", "13k"], Interval::from(2015));
+        i
+    }
+
+    #[test]
+    fn paper_example_matches_sequential_engine() {
+        let mapping = paper_mapping();
+        let source = figure4(&mapping);
+        let seq = c_chase_with(&source, &mapping, &ChaseOptions::default()).unwrap();
+        for threads in [1usize, 2, 4] {
+            let par = c_chase_with(
+                &source,
+                &mapping,
+                &ChaseOptions::partitioned_parallel(threads),
+            )
+            .unwrap();
+            assert!(
+                hom_equivalent(&semantics(&seq.target), &semantics(&par.target)),
+                "threads = {threads}"
+            );
+            assert_eq!(par.target.nulls().len(), seq.target.nulls().len());
+            assert_eq!(par.stats.tgd_steps, seq.stats.tgd_steps);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mapping = paper_mapping();
+        let source = figure4(&mapping);
+        let one = c_chase_with(&source, &mapping, &ChaseOptions::partitioned_parallel(1)).unwrap();
+        for threads in [2usize, 4, 8] {
+            let many = c_chase_with(
+                &source,
+                &mapping,
+                &ChaseOptions::partitioned_parallel(threads),
+            )
+            .unwrap();
+            assert_eq!(one.target, many.target, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn failure_on_conflicting_sources() {
+        let mapping = paper_mapping();
+        let mut ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        ic.insert_strs("E", &["Ada", "IBM"], iv(0, 10));
+        ic.insert_strs("S", &["Ada", "18k"], iv(0, 10));
+        ic.insert_strs("S", &["Ada", "20k"], iv(5, 15));
+        for threads in [1usize, 4] {
+            let err = c_chase_with(&ic, &mapping, &ChaseOptions::partitioned_parallel(threads))
+                .unwrap_err();
+            assert!(
+                matches!(err, TdxError::ChaseFailure { .. }),
+                "threads = {threads}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_source() {
+        let mapping = paper_mapping();
+        let ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        let result = c_chase_with(&ic, &mapping, &ChaseOptions::partitioned_parallel(4)).unwrap();
+        assert!(result.target.is_empty());
+        assert_eq!(result.stats.tgd_steps, 0);
+    }
+
+    #[test]
+    fn trace_and_options_are_honored() {
+        let mapping = paper_mapping();
+        let source = figure4(&mapping);
+        let opts = ChaseOptions {
+            record_trace: true,
+            coalesce_result: true,
+            ..ChaseOptions::partitioned_parallel(2)
+        };
+        let result = c_chase_with(&source, &mapping, &opts).unwrap();
+        assert!(result.target.is_coalesced());
+        assert!(result
+            .trace
+            .iter()
+            .any(|l| l.contains("timeline partitions")));
+        // Paper-faithful and naive-normalization variants stay equivalent.
+        let seq = c_chase_with(&source, &mapping, &ChaseOptions::default()).unwrap();
+        for variant in [
+            ChaseOptions {
+                renormalize_between_egd_rounds: false,
+                ..ChaseOptions::partitioned_parallel(2)
+            },
+            ChaseOptions {
+                naive_normalization: true,
+                ..ChaseOptions::partitioned_parallel(2)
+            },
+        ] {
+            let par = c_chase_with(&source, &mapping, &variant).unwrap();
+            assert!(hom_equivalent(
+                &semantics(&seq.target),
+                &semantics(&par.target)
+            ));
+        }
+    }
+}

@@ -82,22 +82,33 @@ pub fn candidate_groups_with(
             },
         )?;
     }
-    // Steps 2–3 (lines 4–10): merge sets sharing a fact until disjoint.
-    // Union-find keyed by set index, driven by fact membership.
-    let mut parent: Vec<usize> = (0..sets.len()).collect();
-    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
-        if parent[i] != i {
-            let r = find(parent, parent[i]);
-            parent[i] = r;
-        }
-        parent[i]
+    Ok(merge_image_sets(&sets))
+}
+
+/// Path-compressing find over an index-keyed union-find — the shared
+/// primitive behind Algorithm 1's group merge, the shared-base alignment
+/// of the chase engines, and the fact-connectivity passes.
+pub(crate) fn uf_find(parent: &mut Vec<usize>, i: usize) -> usize {
+    if parent[i] != i {
+        let r = uf_find(parent, parent[i]);
+        parent[i] = r;
     }
+    parent[i]
+}
+
+/// Steps 2–3 of Algorithm 1 (lines 4–10): merges images sharing a fact
+/// until the resulting groups are disjoint. Union-find keyed by set index,
+/// driven by fact membership. Also the reconciliation step of the
+/// partitioned chase, whose workers discover images per timeline partition
+/// and merge them here.
+pub fn merge_image_sets(sets: &[Vec<FactRef>]) -> Vec<BTreeSet<FactRef>> {
+    let mut parent: Vec<usize> = (0..sets.len()).collect();
     let mut owner: HashMap<FactRef, usize> = HashMap::new();
     for (i, set) in sets.iter().enumerate() {
         for &f in set {
             match owner.get(&f) {
                 Some(&j) => {
-                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    let (ri, rj) = (uf_find(&mut parent, i), uf_find(&mut parent, j));
                     if ri != rj {
                         parent[ri] = rj;
                     }
@@ -110,12 +121,12 @@ pub fn candidate_groups_with(
     }
     let mut merged: HashMap<usize, BTreeSet<FactRef>> = HashMap::new();
     for (i, set) in sets.iter().enumerate() {
-        let r = find(&mut parent, i);
+        let r = uf_find(&mut parent, i);
         merged.entry(r).or_default().extend(set.iter().copied());
     }
     let mut groups: Vec<BTreeSet<FactRef>> = merged.into_values().collect();
     groups.sort_by(|a, b| a.iter().next().cmp(&b.iter().next()));
-    Ok(groups)
+    groups
 }
 
 /// Algorithm 1 `norm(I_c, Φ⁺)`: fragments exactly the facts in the merged

@@ -20,10 +20,9 @@
 //! Insertion ids are stable and monotone, so a generation is just a
 //! per-relation watermark and a delta is a contiguous id range.
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::temporal_instance::TemporalFact;
 use crate::value::{Row, Value};
-use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use tdx_logic::{RelId, Schema, Symbol};
 use tdx_temporal::{Breakpoints, Interval, IntervalIndex};
@@ -36,27 +35,29 @@ pub struct Generation(pub u32);
 #[derive(Clone)]
 struct RelStore {
     facts: Vec<TemporalFact>,
-    set: HashSet<(Row, Interval)>,
+    set: FxHashSet<(Row, Interval)>,
     /// One eager value index per column.
-    cols: Vec<HashMap<Value, Vec<u32>>>,
+    cols: Vec<FxHashMap<Value, Vec<u32>>>,
     /// Eager exact-interval index (`O(1)` per insert); exact probes are on
     /// the chase's insert-probe-insert hot path, where rebuilding a sorted
     /// structure would be quadratic.
-    exact: HashMap<Interval, Vec<u32>>,
-    /// Interval-endpoint index for overlap probes and endpoint enumeration;
-    /// appends are eager, the query structure rebuilds lazily (hence the
-    /// `RefCell` — queries take `&self`).
-    ivs: RefCell<IntervalIndex>,
+    exact: FxHashMap<Interval, Vec<u32>>,
+    /// Interval-endpoint index for overlap probes and endpoint enumeration.
+    /// Appends are eager and the amortized tree rebuild happens at insert
+    /// time (inserts already take `&mut self`), so every probe is `&self`
+    /// and the store is `Sync` — worker threads of the partitioned chase
+    /// share shards without locks.
+    ivs: IntervalIndex,
 }
 
 impl RelStore {
     fn new(arity: usize) -> RelStore {
         RelStore {
             facts: Vec::new(),
-            set: HashSet::new(),
-            cols: (0..arity).map(|_| HashMap::new()).collect(),
-            exact: HashMap::new(),
-            ivs: RefCell::new(IntervalIndex::new()),
+            set: FxHashSet::default(),
+            cols: (0..arity).map(|_| FxHashMap::default()).collect(),
+            exact: FxHashMap::default(),
+            ivs: IntervalIndex::new(),
         }
     }
 }
@@ -116,7 +117,10 @@ impl FactStore {
             index.entry(data[col]).or_default().push(id);
         }
         rd.exact.entry(interval).or_default().push(id);
-        rd.ivs.borrow_mut().push(interval);
+        rd.ivs.push(interval);
+        // Absorb the unsorted tail while we hold `&mut self`; probes then
+        // never need interior mutability (see the `ivs` field note).
+        rd.ivs.ensure_built();
         rd.facts.push(TemporalFact { data, interval });
         true
     }
@@ -230,10 +234,10 @@ impl FactStore {
     // ---- interval-index probes ---------------------------------------
 
     fn overlap_ids(&self, rel: RelId, iv: &Interval) -> Vec<u32> {
-        let mut idx = self.rels[rel.0 as usize].ivs.borrow_mut();
-        idx.ensure_built();
         let mut ids = Vec::new();
-        idx.visit_overlapping(iv, &mut |id| ids.push(id));
+        self.rels[rel.0 as usize]
+            .ivs
+            .visit_overlapping(iv, &mut |id| ids.push(id));
         ids
     }
 
@@ -260,9 +264,7 @@ impl FactStore {
 
     /// Number of facts whose interval overlaps `iv`.
     pub fn overlap_count(&self, rel: RelId, iv: &Interval) -> usize {
-        let mut idx = self.rels[rel.0 as usize].ivs.borrow_mut();
-        idx.ensure_built();
-        idx.count_overlapping(iv)
+        self.rels[rel.0 as usize].ivs.count_overlapping(iv)
     }
 
     /// Visits fact ids whose interval overlaps `iv`; `f` returns `false` to
@@ -279,16 +281,12 @@ impl FactStore {
     /// All distinct start/end points across the store, read from the
     /// incrementally maintained per-relation endpoint sets (no fact scan).
     pub fn endpoints(&self) -> Breakpoints {
-        Breakpoints::from_points(
-            self.rels
-                .iter()
-                .flat_map(|r| r.ivs.borrow().endpoints().collect::<Vec<_>>()),
-        )
+        Breakpoints::from_points(self.rels.iter().flat_map(|r| r.ivs.endpoints()))
     }
 
     /// Distinct start/end points of one relation.
     pub fn endpoints_of(&self, rel: RelId) -> Breakpoints {
-        Breakpoints::from_points(self.rels[rel.0 as usize].ivs.borrow().endpoints())
+        Breakpoints::from_points(self.rels[rel.0 as usize].ivs.endpoints())
     }
 
     /// Set equality of contents (used by `TemporalInstance`'s `PartialEq`).

@@ -1,0 +1,105 @@
+//! A minimal Fx-style hasher for the storage layer's hot maps.
+//!
+//! The store's indexes hash tiny keys — interned symbol ids, null ids,
+//! `(Row, Interval)` tuples of a few machine words — millions of times per
+//! chase. SipHash's per-instance initialization and per-round cost dominate
+//! those operations; the multiply-xor folding below (the rustc `FxHasher`
+//! scheme) is 3-10× cheaper on such keys. The maps are process-internal and
+//! never exposed to untrusted keys, so HashDoS resistance is not a concern
+//! here.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc/firefox multiply-xor hasher: fold each word into the state
+/// with a rotate, xor, and odd-constant multiply.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FxHashMap<(u32, u64), Vec<u32>> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.entry((i % 7, (i as u64) % 13)).or_default().push(i);
+        }
+        assert_eq!(m.len(), 7 * 13);
+        let mut s: FxHashSet<String> = FxHashSet::default();
+        assert!(s.insert("a".into()));
+        assert!(!s.insert("a".into()));
+    }
+
+    #[test]
+    fn distributes_small_integers() {
+        // Sanity: consecutive ids should not collapse to few buckets.
+        let hashes: std::collections::HashSet<u64> = (0..1024u64)
+            .map(|v| {
+                let mut h = FxHasher::default();
+                h.write_u64(v);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 1024);
+    }
+}

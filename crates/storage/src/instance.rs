@@ -5,27 +5,28 @@
 //! table). Rows are deduplicated; insertion order is preserved so runs are
 //! reproducible.
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::value::{NullId, Row, Value};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 use tdx_logic::{RelId, Schema, Symbol};
 
 struct RelData {
     rows: Vec<Row>,
-    set: HashSet<Row>,
+    set: FxHashSet<Row>,
     /// One eager value index per column, updated on every insert (the
     /// lazily-synced `ColIndex` this replaces needed interior mutability and
     /// a sync check on every probe).
-    cols: Vec<HashMap<Value, Vec<u32>>>,
+    cols: Vec<FxHashMap<Value, Vec<u32>>>,
 }
 
 impl RelData {
     fn new(arity: usize) -> RelData {
         RelData {
             rows: Vec::new(),
-            set: HashSet::new(),
-            cols: (0..arity).map(|_| HashMap::new()).collect(),
+            set: FxHashSet::default(),
+            cols: (0..arity).map(|_| FxHashMap::default()).collect(),
         }
     }
 }

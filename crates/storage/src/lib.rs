@@ -25,13 +25,16 @@
 
 pub mod display;
 pub mod fact_store;
+pub mod fxhash;
 pub mod instance;
 pub mod matcher;
+pub mod sharded;
 pub mod temporal_instance;
 pub mod value;
 
 pub use fact_store::{FactStore, Generation};
 pub use instance::Instance;
 pub use matcher::{Match, MatchError, SearchOptions, TemporalMode};
+pub use sharded::{PartScope, PartView, ShardedFactStore};
 pub use temporal_instance::{TemporalFact, TemporalInstance};
 pub use value::{row, NullGen, NullId, Row, Value};

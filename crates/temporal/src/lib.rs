@@ -35,6 +35,6 @@ pub mod set;
 pub use coalesce::coalesce_intervals;
 pub use index::IntervalIndex;
 pub use interval::{AllenRelation, Interval};
-pub use partition::{fragment_interval, Breakpoints};
+pub use partition::{fragment_interval, Breakpoints, TimelinePartition};
 pub use point::{Endpoint, TimePoint};
 pub use set::IntervalSet;

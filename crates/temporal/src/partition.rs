@@ -86,6 +86,106 @@ impl Breakpoints {
             .copied()
             .take_while(move |&p| Endpoint::Fin(p) < end)
     }
+
+    /// Selects at most `parts − 1` evenly spaced cutting positions — the
+    /// *coarse* breakpoints that split the timeline into roughly `parts`
+    /// ranges with a similar number of distinct endpoints each. This is how
+    /// the partitioned chase picks worker partitions: cutting at existing
+    /// endpoints keeps every interval's fragments aligned with the ranges,
+    /// and even endpoint counts stand in for even fact counts.
+    pub fn coarsen(&self, parts: usize) -> Breakpoints {
+        if parts <= 1 || self.points.len() <= 1 {
+            return Breakpoints::new();
+        }
+        let cuts = (parts - 1).min(self.points.len() - 1);
+        let mut points = Vec::with_capacity(cuts);
+        // Skip index 0: a boundary at (or below) every interval's start
+        // would create an empty leading range.
+        for k in 1..=cuts {
+            let idx = (k * self.points.len()) / (cuts + 1);
+            points.push(self.points[idx.clamp(1, self.points.len() - 1)]);
+        }
+        points.dedup();
+        Breakpoints { points }
+    }
+}
+
+/// A partition of the timeline `[0, ∞)` into consecutive half-open ranges
+/// cut at fixed boundary points: `[0, b₁), [b₁, b₂), …, [b_k, ∞)`.
+///
+/// This is the work-distribution structure of the partitioned chase: facts
+/// whose intervals lie within one range can be matched, merged and
+/// re-fragmented by that range's worker without coordination, while facts
+/// crossing a boundary are the (small) reconciliation set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimelinePartition {
+    /// Strictly increasing, non-zero boundary points.
+    boundaries: Vec<TimePoint>,
+}
+
+impl TimelinePartition {
+    /// A partition cut at the given breakpoints (a point at 0 is dropped —
+    /// the leading range always starts at 0).
+    pub fn new(bps: &Breakpoints) -> TimelinePartition {
+        TimelinePartition {
+            boundaries: bps.points().iter().copied().filter(|&p| p > 0).collect(),
+        }
+    }
+
+    /// The trivial partition: one range covering the whole timeline.
+    pub fn whole() -> TimelinePartition {
+        TimelinePartition {
+            boundaries: Vec::new(),
+        }
+    }
+
+    /// Number of ranges (`boundaries + 1`, always ≥ 1).
+    pub fn len(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// Whether this is the trivial single-range partition.
+    pub fn is_empty(&self) -> bool {
+        self.boundaries.is_empty()
+    }
+
+    /// The boundary points.
+    pub fn boundaries(&self) -> &[TimePoint] {
+        &self.boundaries
+    }
+
+    /// The ranges, in timeline order.
+    pub fn ranges(&self) -> Vec<Interval> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut cur = 0u64;
+        for &b in &self.boundaries {
+            out.push(Interval::new(cur, b));
+            cur = b;
+        }
+        out.push(Interval::from(cur));
+        out
+    }
+
+    /// Index of the range containing time point `t`.
+    pub fn part_of(&self, t: TimePoint) -> usize {
+        self.boundaries.partition_point(|&b| b <= t)
+    }
+
+    /// Indices `lo..=hi` of the ranges `iv` overlaps.
+    pub fn parts_overlapping(&self, iv: &Interval) -> (usize, usize) {
+        let lo = self.part_of(iv.start());
+        let hi = match iv.end() {
+            Endpoint::Fin(e) => self.part_of(e - 1),
+            Endpoint::Inf => self.boundaries.len(),
+        };
+        (lo, hi)
+    }
+
+    /// Whether `iv` crosses a boundary (overlaps more than one range).
+    pub fn crosses(&self, iv: &Interval) -> bool {
+        let (lo, hi) = self.parts_overlapping(iv);
+        lo != hi
+    }
 }
 
 /// Fragments `iv` at every breakpoint strictly inside it.
@@ -224,6 +324,63 @@ mod tests {
             epochs_over_timeline(&Breakpoints::new()),
             vec![Interval::all()]
         );
+    }
+
+    #[test]
+    fn coarsen_picks_even_cuts() {
+        let bps = Breakpoints::from_points(0..=100);
+        let coarse = Breakpoints::coarsen(&bps, 4);
+        assert_eq!(coarse.points(), &[25, 50, 75]);
+        // Fewer distinct points than requested parts: every interior point.
+        let bps = Breakpoints::from_points([3, 9]);
+        assert_eq!(Breakpoints::coarsen(&bps, 8).points(), &[9]);
+        // Degenerate cases.
+        assert!(Breakpoints::coarsen(&bps, 1).is_empty());
+        assert!(Breakpoints::coarsen(&Breakpoints::new(), 4).is_empty());
+        assert!(Breakpoints::coarsen(&Breakpoints::from_points([7]), 4).is_empty());
+    }
+
+    #[test]
+    fn timeline_partition_lookup() {
+        let tp = TimelinePartition::new(&Breakpoints::from_points([10, 20]));
+        assert_eq!(tp.len(), 3);
+        assert_eq!(tp.ranges(), vec![iv(0, 10), iv(10, 20), Interval::from(20)]);
+        assert_eq!(tp.part_of(0), 0);
+        assert_eq!(tp.part_of(9), 0);
+        assert_eq!(tp.part_of(10), 1);
+        assert_eq!(tp.part_of(19), 1);
+        assert_eq!(tp.part_of(20), 2);
+        assert_eq!(tp.part_of(1000), 2);
+        // Range membership by overlap.
+        assert_eq!(tp.parts_overlapping(&iv(2, 5)), (0, 0));
+        assert_eq!(tp.parts_overlapping(&iv(5, 15)), (0, 1));
+        assert_eq!(tp.parts_overlapping(&iv(10, 20)), (1, 1));
+        assert_eq!(tp.parts_overlapping(&Interval::from(3)), (0, 2));
+        assert!(!tp.crosses(&iv(10, 20)));
+        assert!(tp.crosses(&iv(9, 11)));
+        // A boundary at 0 is dropped.
+        let tp = TimelinePartition::new(&Breakpoints::from_points([0, 4]));
+        assert_eq!(tp.len(), 2);
+        // The trivial partition.
+        let tp = TimelinePartition::whole();
+        assert!(tp.is_empty());
+        assert_eq!(tp.ranges(), vec![Interval::all()]);
+        assert_eq!(tp.parts_overlapping(&iv(3, 9)), (0, 0));
+    }
+
+    #[test]
+    fn partition_ranges_tile_the_timeline() {
+        let tp = TimelinePartition::new(&Breakpoints::from_points([7, 31, 64]));
+        let ranges = tp.ranges();
+        assert_eq!(ranges.first().unwrap().start(), 0);
+        assert!(ranges.last().unwrap().is_unbounded());
+        for w in ranges.windows(2) {
+            assert_eq!(Endpoint::Fin(w[1].start()), w[0].end());
+        }
+        for t in [0u64, 6, 7, 30, 31, 63, 64, 1000] {
+            let p = tp.part_of(t);
+            assert!(ranges[p].contains(t), "point {t} in range {p}");
+        }
     }
 
     #[test]

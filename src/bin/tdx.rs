@@ -66,6 +66,7 @@ fn usage() -> ExitCode {
          \x20          --coalesce  coalesce the result   --trace  print chase steps\n\
          \x20          --core      reduce to the pointwise core\n\
          \x20          --paper-faithful  single target normalization (§4.3 exactly)\n\
+         \x20          --engine indexed|scan|partitioned[:THREADS]  join engine\n\
          normalize  print the normalized source            --naive  endpoint-oblivious\n\
          query      certain answers                        --query 'Q(n) :- Emp(n,c,s)'\n\
          snapshots  print the abstract view                --from T --to T [--target]\n\
@@ -96,6 +97,22 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let mut options = ChaseOptions::default();
     if args.has("paper-faithful") {
         options = ChaseOptions::paper_faithful();
+    }
+    if let Some(engine) = args.get("engine") {
+        options.engine = match engine.split_once(':') {
+            None => match engine {
+                "indexed" => tdx::core::ChaseEngine::IndexedSemiNaive,
+                "scan" => tdx::core::ChaseEngine::LegacyScan,
+                // Bare "partitioned": threads from TDX_CHASE_THREADS or
+                // the machine (see tdx_core::worker_threads).
+                "partitioned" => tdx::core::ChaseEngine::PartitionedParallel { threads: 0 },
+                other => return Err(format!("unknown engine {other}").into()),
+            },
+            Some(("partitioned", n)) => tdx::core::ChaseEngine::PartitionedParallel {
+                threads: n.parse().map_err(|_| format!("bad thread count {n}"))?,
+            },
+            Some(_) => return Err(format!("unknown engine {engine}").into()),
+        };
     }
     options.coalesce_result = args.has("coalesce");
     options.record_trace = args.has("trace");

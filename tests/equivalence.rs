@@ -1,7 +1,8 @@
-//! Engine equivalence: the indexed semi-naive c-chase must produce the same
-//! solutions as the legacy full-scan chase on the whole scenario suite —
-//! same facts, nulls up to renaming, same certain answers — and must fail on
-//! exactly the same inputs.
+//! Engine equivalence: the indexed semi-naive c-chase, the legacy full-scan
+//! chase and the partitioned parallel chase (at 1, 2 and 4 workers) must
+//! produce the same solutions on the whole scenario suite — same facts,
+//! nulls up to renaming, same certain answers — and must fail on exactly
+//! the same inputs.
 
 use tdx::core::{certain_answers_concrete, hom_equivalent, is_solution_concrete, semantics};
 use tdx::workload::{
@@ -20,44 +21,73 @@ fn scan() -> ChaseOptions {
     ChaseOptions::legacy_scan()
 }
 
-/// Runs both engines and checks that the solutions represent the same
-/// abstract instance up to null renaming, and that both verify as solutions.
+/// Every engine configuration under triangulation. The partitioned engine
+/// runs at three worker counts — its task decomposition is thread-count
+/// independent, but the scopes and merges must stay correct under real
+/// concurrency too — plus once with `threads = 0`, which resolves through
+/// the `TDX_CHASE_THREADS` environment variable: that is the configuration
+/// CI's thread matrix actually varies.
+fn all_engines() -> Vec<(&'static str, ChaseOptions)> {
+    vec![
+        ("indexed", indexed()),
+        ("scan", scan()),
+        ("partitioned/1", ChaseOptions::partitioned_parallel(1)),
+        ("partitioned/2", ChaseOptions::partitioned_parallel(2)),
+        ("partitioned/4", ChaseOptions::partitioned_parallel(4)),
+        ("partitioned/env", ChaseOptions::partitioned_parallel(0)),
+    ]
+}
+
+/// Runs every engine and checks that all solutions represent the same
+/// abstract instance up to null renaming and all verify as solutions — or
+/// that every engine fails. The indexed and scan engines must additionally
+/// leave exactly the same number of unknowns (they enumerate the same homs
+/// tgd by tgd); the partitioned engine merges its fan-out tasks in a
+/// different order, and the *restricted* chase may then pre-empt a
+/// different subset of redundant steps — the universal solution is the same
+/// up to homomorphic equivalence, with possibly fewer leftover nulls.
 fn assert_engines_agree(label: &str, mapping: &SchemaMapping, source: &TemporalInstance) {
-    let fast = c_chase_with(source, mapping, &indexed());
-    let slow = c_chase_with(source, mapping, &scan());
-    match (fast, slow) {
-        (Ok(a), Ok(b)) => {
-            assert!(
-                hom_equivalent(&semantics(&a.target), &semantics(&b.target)),
-                "{label}: solutions differ between engines"
-            );
-            assert!(
-                is_solution_concrete(source, &a.target, mapping).unwrap(),
-                "{label}: indexed result is not a solution"
-            );
-            assert!(
-                is_solution_concrete(source, &b.target, mapping).unwrap(),
-                "{label}: scan result is not a solution"
-            );
-            // Same amount of incompleteness: the chases may name nulls
-            // differently but must leave the same number of unknowns.
-            assert_eq!(
-                a.target.nulls().len(),
-                b.target.nulls().len(),
-                "{label}: null counts differ"
-            );
+    let reference = c_chase_with(source, mapping, &indexed());
+    for (name, opts) in all_engines().iter().skip(1) {
+        let result = c_chase_with(source, mapping, opts);
+        match (&reference, &result) {
+            (Ok(a), Ok(b)) => {
+                assert!(
+                    hom_equivalent(&semantics(&a.target), &semantics(&b.target)),
+                    "{label}: {name} solution differs from indexed"
+                );
+                assert!(
+                    is_solution_concrete(source, &b.target, mapping).unwrap(),
+                    "{label}: {name} result is not a solution"
+                );
+                if *name == "scan" {
+                    // Same amount of incompleteness: these two may name
+                    // nulls differently but must leave the same unknowns.
+                    assert_eq!(
+                        a.target.nulls().len(),
+                        b.target.nulls().len(),
+                        "{label}: {name} null count differs"
+                    );
+                }
+            }
+            (Err(TdxError::ChaseFailure { .. }), Err(TdxError::ChaseFailure { .. })) => {}
+            (a, b) => panic!(
+                "{label}: engines disagree: indexed {:?}, {name} {:?}",
+                a.as_ref().map(|r| r.target.total_len()),
+                b.as_ref().map(|r| r.target.total_len())
+            ),
         }
-        (Err(TdxError::ChaseFailure { .. }), Err(TdxError::ChaseFailure { .. })) => {}
-        (a, b) => panic!(
-            "{label}: engines disagree: indexed {:?}, scan {:?}",
-            a.map(|r| r.target.total_len()),
-            b.map(|r| r.target.total_len())
-        ),
+    }
+    if let Ok(a) = &reference {
+        assert!(
+            is_solution_concrete(source, &a.target, mapping).unwrap(),
+            "{label}: indexed result is not a solution"
+        );
     }
 }
 
-/// Certain answers must be byte-identical (they contain no nulls, so no
-/// renaming slack is allowed).
+/// Certain answers must be byte-identical across engines (they contain no
+/// nulls, so no renaming slack is allowed).
 fn assert_same_certain_answers(
     label: &str,
     mapping: &SchemaMapping,
@@ -66,13 +96,15 @@ fn assert_same_certain_answers(
 ) {
     for q_text in queries {
         let q: UnionQuery = parse_query(q_text).unwrap().into();
-        let fast = certain_answers_concrete(source, mapping, &q, &indexed()).unwrap();
-        let slow = certain_answers_concrete(source, mapping, &q, &scan()).unwrap();
-        assert_eq!(
-            fast.epochs(),
-            slow.epochs(),
-            "{label}: certain answers differ for {q_text}"
-        );
+        let reference = certain_answers_concrete(source, mapping, &q, &indexed()).unwrap();
+        for (name, opts) in all_engines().iter().skip(1) {
+            let ans = certain_answers_concrete(source, mapping, &q, opts).unwrap();
+            assert_eq!(
+                reference.epochs(),
+                ans.epochs(),
+                "{label}: certain answers differ for {q_text} on {name}"
+            );
+        }
     }
 }
 
@@ -115,7 +147,7 @@ fn employment_workloads_agree() {
 }
 
 #[test]
-fn conflicting_employment_fails_on_both_engines() {
+fn conflicting_employment_fails_on_all_engines() {
     let w = EmploymentWorkload::generate(&EmploymentConfig {
         persons: 12,
         horizon: 24,
@@ -166,6 +198,36 @@ fn random_workloads_agree() {
 }
 
 #[test]
+fn partitioned_engine_is_thread_count_deterministic() {
+    // Beyond hom-equivalence: the partitioned engine's task decomposition
+    // does not depend on the worker count, so its output must be
+    // byte-identical at 1, 2 and 4 threads.
+    let w = EmploymentWorkload::generate(&EmploymentConfig {
+        persons: 20,
+        horizon: 30,
+        salary_coverage: 0.7,
+        seed: 9,
+        ..EmploymentConfig::default()
+    });
+    let one = c_chase_with(
+        &w.source,
+        &w.mapping,
+        &ChaseOptions::partitioned_parallel(1),
+    )
+    .unwrap();
+    for threads in [2usize, 4] {
+        let many = c_chase_with(
+            &w.source,
+            &w.mapping,
+            &ChaseOptions::partitioned_parallel(threads),
+        )
+        .unwrap();
+        assert_eq!(one.target, many.target, "threads = {threads}");
+        assert_eq!(one.stats.tgd_steps, many.stats.tgd_steps);
+    }
+}
+
+#[test]
 fn semi_naive_deltas_change_nothing_across_chase_options() {
     // Cross the engine flag with the other chase options on the paper
     // example: every combination must produce the same certain answers.
@@ -175,7 +237,7 @@ fn semi_naive_deltas_change_nothing_across_chase_options() {
     let reference = certain_answers_concrete(&source, &mapping, &q, &indexed())
         .unwrap()
         .epochs();
-    for engine_opts in [indexed(), scan()] {
+    for engine_opts in [indexed(), scan(), ChaseOptions::partitioned_parallel(2)] {
         for (renorm, naive) in [(true, false), (false, false), (true, true)] {
             let opts = ChaseOptions {
                 renormalize_between_egd_rounds: renorm,
