@@ -87,5 +87,29 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_employment, bench_nested, bench_engines);
+/// Per-batch latency of the incremental exchange session vs a from-scratch
+/// re-chase of the same accumulated source (`tdx_bench::incremental_suite`,
+/// shared with the CI gate). Acceptance bar: `employment/batch5pct/100` at
+/// ≥5× lower latency than `employment/from_scratch/100`.
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group(tdx_bench::incremental_suite::GROUP);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for case in tdx_bench::incremental_suite::cases() {
+        let run = case.run;
+        group.bench_with_input(BenchmarkId::from(case.id.as_str()), &(), |b, _| {
+            b.iter(&run)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_employment,
+    bench_nested,
+    bench_engines,
+    bench_incremental
+);
 criterion_main!(benches);

@@ -134,24 +134,52 @@ mod tests {
     }
 }
 
+/// One benchmark case: an id suffix under its suite's group prefix and a
+/// closure running one iteration of the measured work.
+pub struct Case {
+    /// Id suffix, e.g. `employment/indexed_semi_naive/100`.
+    pub id: String,
+    /// One iteration of the benchmark body.
+    pub run: Box<dyn Fn() + Send + Sync>,
+}
+
+/// Whether this machine can actually run work in parallel. On a 1-core
+/// box the `partitioned_parallel/4` rows would measure nothing but thread
+/// scheduling overhead, so the suites skip them (the committed baselines
+/// keep their rows; ids absent from a fresh run are simply not gated).
+pub fn multicore() -> bool {
+    std::thread::available_parallelism()
+        .map(|n| n.get() >= 2)
+        .unwrap_or(false)
+}
+
+/// Every `(full id, body)` pair the CI regression gate measures: the
+/// engine ablation plus the incremental-session family, under their group
+/// prefixes.
+pub fn gated_cases() -> Vec<(String, Box<dyn Fn() + Send + Sync>)> {
+    let mut out: Vec<(String, Box<dyn Fn() + Send + Sync>)> = Vec::new();
+    for case in engine_suite::cases() {
+        out.push((format!("{}/{}", engine_suite::GROUP, case.id), case.run));
+    }
+    for case in incremental_suite::cases() {
+        out.push((
+            format!("{}/{}", incremental_suite::GROUP, case.id),
+            case.run,
+        ));
+    }
+    out
+}
+
 /// The `c_chase/engine/*` benchmark suite, shared between the Criterion
 /// bench (`benches/chase.rs`) and the CI regression gate
 /// (`bin/bench_check.rs`) so both measure exactly the same work under the
 /// same ids.
 pub mod engine_suite {
+    pub use crate::Case;
     use tdx_core::{c_chase_with, ChaseOptions};
     use tdx_workload::{
         clustered_instance, nested_mapping, ClusteredConfig, EmploymentConfig, EmploymentWorkload,
     };
-
-    /// One benchmark case: the id under `c_chase/engine/` and a closure
-    /// running one iteration of the measured work.
-    pub struct Case {
-        /// Id suffix, e.g. `employment/indexed_semi_naive/100`.
-        pub id: String,
-        /// One iteration of the benchmark body.
-        pub run: Box<dyn Fn() + Send + Sync>,
-    }
 
     /// The group prefix every case id lives under.
     pub const GROUP: &str = "c_chase/engine";
@@ -159,20 +187,23 @@ pub mod engine_suite {
     /// The engine ablation: indexed semi-naive vs legacy full scan vs the
     /// partitioned parallel engine at 1 and 4 workers, across the
     /// employment and nested workload families, plus the
-    /// normalization-dominated clustered probe.
+    /// normalization-dominated clustered probe. The 4-worker rows are
+    /// skipped on single-core machines (see [`crate::multicore`]).
     pub fn cases() -> Vec<Case> {
-        let engines: Vec<(&'static str, ChaseOptions)> = vec![
+        let mut engines: Vec<(&'static str, ChaseOptions)> = vec![
             ("indexed_semi_naive", ChaseOptions::default()),
             ("legacy_scan", ChaseOptions::legacy_scan()),
             (
                 "partitioned_parallel/1",
                 ChaseOptions::partitioned_parallel(1),
             ),
-            (
+        ];
+        if crate::multicore() {
+            engines.push((
                 "partitioned_parallel/4",
                 ChaseOptions::partitioned_parallel(4),
-            ),
-        ];
+            ));
+        }
         let mut out = Vec::new();
         for persons in [50usize, 100] {
             let w = std::sync::Arc::new(EmploymentWorkload::generate(&EmploymentConfig {
@@ -227,6 +258,134 @@ pub mod engine_suite {
                     }),
                 });
             }
+        }
+        out
+    }
+}
+
+/// The `c_chase/incremental/*` suite: per-batch latency of the stateful
+/// [`IncrementalExchange`](tdx_core::IncrementalExchange) session against a
+/// from-scratch re-chase of the same accumulated source. Shared between
+/// `benches/chase.rs` and the regression gate like [`engine_suite`].
+pub mod incremental_suite {
+    pub use crate::Case;
+    use std::sync::Arc;
+    use tdx_core::{c_chase_with, ChaseOptions, DeltaBatch, IncrementalExchange};
+    use tdx_workload::{
+        employment_stream, nested_stream, sparse_stream, BatchOrder, ClusteredConfig, DeltaStream,
+        EmploymentConfig, StreamConfig,
+    };
+
+    /// The group prefix every case id lives under.
+    pub const GROUP: &str = "c_chase/incremental";
+
+    /// Seeds a session with the stream's base instance, returning it with
+    /// the first update batch.
+    fn seed(stream: &DeltaStream) -> (IncrementalExchange, DeltaBatch) {
+        let mut session =
+            IncrementalExchange::new(stream.mapping.clone()).expect("valid scenario mapping");
+        session
+            .apply(&DeltaBatch::from_instance(&stream.base))
+            .expect("consistent base instance");
+        (session, DeltaBatch::from_instance(&stream.batches[0]))
+    }
+
+    /// Per-family cases:
+    ///
+    /// * `<family>/batchNpct/<size>` — clone the seeded session and absorb
+    ///   one batch (clone included: it is the cost a caller pays to keep a
+    ///   rollback point, and it bounds the reported speedup from below);
+    /// * `employment/clone/100` — the session clone alone, to make the
+    ///   clone share of the batch rows visible;
+    /// * `employment/from_scratch/100` — the partitioned engine re-chasing
+    ///   the same accumulated source from scratch: the latency an
+    ///   incremental batch replaces.
+    pub fn cases() -> Vec<Case> {
+        let mut out: Vec<Case> = Vec::new();
+        for persons in [50usize, 100] {
+            let stream = employment_stream(
+                &EmploymentConfig {
+                    persons,
+                    horizon: 30,
+                    seed: 42,
+                    ..EmploymentConfig::default()
+                },
+                &StreamConfig {
+                    batches: 1,
+                    batch_fraction: 0.05,
+                    order: BatchOrder::Uniform,
+                    ..StreamConfig::default()
+                },
+            );
+            let union = Arc::new(stream.union());
+            let mapping = Arc::new(stream.mapping.clone());
+            let (session, batch) = seed(&stream);
+            let session = Arc::new(session);
+            let batch = Arc::new(batch);
+            {
+                let (session, batch) = (Arc::clone(&session), Arc::clone(&batch));
+                out.push(Case {
+                    id: format!("employment/batch5pct/{persons}"),
+                    run: Box::new(move || {
+                        let mut s = (*session).clone();
+                        s.apply(&batch).unwrap();
+                    }),
+                });
+            }
+            if persons == 100 {
+                let s2 = Arc::clone(&session);
+                out.push(Case {
+                    id: "employment/clone/100".to_string(),
+                    run: Box::new(move || {
+                        std::hint::black_box((*s2).clone());
+                    }),
+                });
+                out.push(Case {
+                    id: "employment/from_scratch/100".to_string(),
+                    run: Box::new(move || {
+                        c_chase_with(&union, &mapping, &ChaseOptions::partitioned_parallel(1))
+                            .unwrap();
+                    }),
+                });
+            }
+        }
+        for (family, stream) in [
+            (
+                "nested",
+                nested_stream(
+                    16,
+                    &StreamConfig {
+                        batches: 1,
+                        batch_fraction: 0.1,
+                        ..StreamConfig::default()
+                    },
+                ),
+            ),
+            (
+                "sparse",
+                sparse_stream(
+                    &ClusteredConfig {
+                        clusters: 16,
+                        ..ClusteredConfig::default()
+                    },
+                    &StreamConfig {
+                        batches: 1,
+                        batch_fraction: 0.1,
+                        order: BatchOrder::TailLocal,
+                        ..StreamConfig::default()
+                    },
+                ),
+            ),
+        ] {
+            let (session, batch) = seed(&stream);
+            let (session, batch) = (Arc::new(session), Arc::new(batch));
+            out.push(Case {
+                id: format!("{family}/batch10pct/16"),
+                run: Box::new(move || {
+                    let mut s = (*session).clone();
+                    s.apply(&batch).unwrap();
+                }),
+            });
         }
         out
     }

@@ -1,0 +1,1463 @@
+//! Incremental cross-shard exchange: delta-batch re-chase over a
+//! materialized target.
+//!
+//! [`IncrementalExchange`] is a stateful session around the partitioned
+//! c-chase: it keeps the chased target materialized between calls, accepts
+//! [`DeltaBatch`]es of source insertions (and interval-refining updates),
+//! and brings the target back to a chase fixpoint by re-running tgd/egd
+//! work only where the batch actually landed, instead of chasing the whole
+//! source from scratch.
+//!
+//! # How a batch is absorbed
+//!
+//! 1. **Incremental renormalization.** The batch's facts join the
+//!    normalized source's delta block and run through the same
+//!    [`refragment_lists`] fixpoint the partitioned engine uses between egd
+//!    rounds: Algorithm-1 cut discovery restricted to images touching a
+//!    *fresh* fact, so long-settled source facts are only re-fragmented
+//!    when a new fact actually joins them.
+//! 2. **Delta-scoped tgd matching.** A [`TemporalMode::Shared`] match binds
+//!    every body atom to one interval, so new matches can only exist at
+//!    *dirty intervals* — intervals carrying at least one changed fact.
+//!    The session joins per dirty interval (a strictly finer unit than the
+//!    dirty timeline partitions of the sharded store) and requires every
+//!    emitted match to touch the delta block, which is exactly the
+//!    `PartScope::OwnerDelta` pivot decomposition of the partitioned
+//!    engine, evaluated against the working fact lists with no store build
+//!    on the fast path.
+//! 3. **Restricted checks across batches.** "Has this hom an extension into
+//!    the target?" must consult everything previous batches produced. The
+//!    session keeps the partitioned engine's per-tgd memo sets *persistent*:
+//!    a memo entry `(determined values, interval)` records that a covering
+//!    head fact was inserted, and neither egd rewriting (values only get
+//!    more specific) nor re-fragmentation (fragments cover their original)
+//!    can ever invalidate that coverage — so a memo hit stays a sound
+//!    reason to suppress the step in every later batch.
+//! 4. **Egd fixpoint over the boundary-reconciliation set.** New target
+//!    facts plus every settled fact they forced to fragment form the delta
+//!    block; egd matching is again dirty-interval scoped and
+//!    delta-restricted, rounds rewrite through the same annotated
+//!    union-find and re-fragment via [`refragment_lists`]. A match among
+//!    settled facts needs no revisit: the previous batch left them at an
+//!    egd fixpoint, so re-enumerating it would find both sides already
+//!    equal — the semi-naive argument of the partitioned engine, carried
+//!    across batches.
+//! 5. **Breakpoint maintenance.** The timeline partition is re-coarsened
+//!    when the endpoint histogram shifts (endpoint count doubled, or the
+//!    per-partition endpoint distribution became badly imbalanced —
+//!    [`TimelinePartition::imbalance`]); nothing in the session state is
+//!    keyed on the partition, so re-cutting is free.
+//!
+//! Failure handling: an egd equating two distinct constants means the
+//! *accumulated* source admits no solution. The session rolls the batch
+//! back (the target is rebuilt from the pre-batch source, which was
+//! consistent) and returns the failure, staying usable.
+//!
+//! The correctness oracle is hom-equivalence to a from-scratch chase of the
+//! accumulated source after every batch (`tests/incremental.rs`); the
+//! argument is spelled out in `docs/incremental.md`.
+
+use crate::chase::concrete::{instantiate, AnnotatedUnionFind, ChaseEngine, ChaseOptions, UfKey};
+use crate::chase::partitioned::{fact_at, refragment_lists, rewrite_values, FactLists};
+use crate::error::{Result, TdxError};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Term, Var};
+use tdx_storage::fxhash::{FxHashMap, FxHashSet};
+use tdx_storage::{
+    NullGen, Row, SearchOptions, TemporalFact, TemporalInstance, TemporalMode, Value,
+};
+use tdx_temporal::{Breakpoints, Interval, TimePoint, TimelinePartition};
+
+/// A batch of source changes for [`IncrementalExchange::apply`].
+///
+/// Insertions are the monotone unit of the stream. An *interval-refining
+/// update* replaces every previously asserted interval of one data row with
+/// a new interval: when the new interval contains the old ones (the fact
+/// turned out to hold *longer* — e.g. an open-ended employment gets its
+/// real extent), the refinement is monotone and rides the incremental path
+/// as an insertion; when it narrows the row's timeline, knowledge was
+/// retracted and the session transparently falls back to one full re-chase
+/// for that batch.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaBatch {
+    inserts: Vec<(RelId, Row, Interval)>,
+    refines: Vec<(RelId, Row, Interval)>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> DeltaBatch {
+        DeltaBatch::default()
+    }
+
+    /// Queues a source fact insertion.
+    pub fn insert(&mut self, rel: RelId, data: Row, interval: Interval) -> &mut Self {
+        self.inserts.push((rel, data, interval));
+        self
+    }
+
+    /// Queues an interval-refining update: after this batch, `data` is
+    /// asserted exactly over `interval`, superseding every interval the row
+    /// was previously asserted over.
+    pub fn refine(&mut self, rel: RelId, data: Row, interval: Interval) -> &mut Self {
+        self.refines.push((rel, data, interval));
+        self
+    }
+
+    /// Queues every fact of `inst` as an insertion.
+    pub fn extend_from_instance(&mut self, inst: &TemporalInstance) -> &mut Self {
+        for (rel, fact) in inst.iter_all() {
+            self.inserts
+                .push((rel, Arc::clone(&fact.data), fact.interval));
+        }
+        self
+    }
+
+    /// A batch inserting every fact of `inst`.
+    pub fn from_instance(inst: &TemporalInstance) -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        b.extend_from_instance(inst);
+        b
+    }
+
+    /// Number of queued changes.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.refines.len()
+    }
+
+    /// Whether the batch queues no changes.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.refines.is_empty()
+    }
+}
+
+/// What one [`IncrementalExchange::apply`] call did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Batch facts that were actually new (not already asserted).
+    pub batch_facts: usize,
+    /// Normalized-source facts changed by the batch (fragments included).
+    pub source_delta: usize,
+    /// Tgd homomorphisms enumerated at dirty intervals.
+    pub tgd_matches: usize,
+    /// Tgd steps fired (restricted-check survivors).
+    pub tgd_steps: usize,
+    /// New target facts the tgd phase inserted.
+    pub target_new_facts: usize,
+    /// Egd merge rounds run.
+    pub egd_rounds: usize,
+    /// Value identifications performed.
+    pub egd_merges: usize,
+    /// Timeline partitions the batch touched (dirtied).
+    pub dirty_partitions: usize,
+    /// Timeline partitions in total.
+    pub partitions: usize,
+    /// Whether the timeline partition was re-coarsened for this batch.
+    pub recoarsened: bool,
+    /// Whether the batch fell back to a full re-chase (narrowing refine).
+    pub full_rechase: bool,
+    /// Materialized target size after the batch.
+    pub target_facts: usize,
+}
+
+/// Session-level counters. `batches` and `full_rechases` are cumulative
+/// over the session's lifetime; the work counters (`tgd_steps`,
+/// `egd_merges`, `nulls_created`) describe the work behind the *current*
+/// materialized state and restart whenever a full re-chase rebuilds it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Successfully applied batches (failed, rolled-back batches do not
+    /// count; a narrowing-refine full re-chase counts as one).
+    pub batches: usize,
+    /// Tgd steps fired building the current state.
+    pub tgd_steps: usize,
+    /// Egd identifications performed building the current state.
+    pub egd_merges: usize,
+    /// Full re-chases taken (narrowing refines, failure rollbacks).
+    pub full_rechases: usize,
+    /// Fresh nulls behind the current state.
+    pub nulls_created: u64,
+}
+
+/// One body atom compiled for the shared-interval join: relation plus a
+/// slot per column (a constant to filter on, or a variable slot index).
+#[derive(Clone)]
+struct AtomPlan {
+    rel: RelId,
+    slots: Vec<SlotPlan>,
+}
+
+#[derive(Clone)]
+enum SlotPlan {
+    Const(Value),
+    Var(usize),
+}
+
+/// A conjunction compiled for dirty-interval shared joins.
+#[derive(Clone)]
+struct JoinPlan {
+    atoms: Vec<AtomPlan>,
+    /// Slot index → variable, in first-occurrence order.
+    vars: Vec<Var>,
+}
+
+impl JoinPlan {
+    fn compile(atoms: &[Atom], schema: &Schema) -> Result<JoinPlan> {
+        let mut vars: Vec<Var> = Vec::new();
+        let mut plans = Vec::with_capacity(atoms.len());
+        for atom in atoms {
+            let rel = schema
+                .rel_id(atom.relation)
+                .ok_or_else(|| TdxError::Invalid(format!("unknown relation {}", atom.relation)))?;
+            if schema.relation(rel).arity() != atom.arity() {
+                return Err(TdxError::Invalid(format!(
+                    "atom {} does not match relation arity",
+                    atom.relation
+                )));
+            }
+            let slots = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => SlotPlan::Const(Value::Const(*c)),
+                    Term::Var(v) => match vars.iter().position(|w| w == v) {
+                        Some(i) => SlotPlan::Var(i),
+                        None => {
+                            vars.push(*v);
+                            SlotPlan::Var(vars.len() - 1)
+                        }
+                    },
+                })
+                .collect();
+            plans.push(AtomPlan { rel, slots });
+        }
+        Ok(JoinPlan { atoms: plans, vars })
+    }
+
+    fn slot_of(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|w| *w == v)
+    }
+}
+
+/// A per-phase candidate index for dirty-interval shared joins: for every
+/// relation, the facts living at a *dirty interval* (an interval some delta
+/// fact carries, in any relation), bucketed by interval and tagged fresh
+/// when drawn from the delta block. Built once per phase with a single
+/// scan per relation and shared by every join of that phase.
+struct DirtyIndex {
+    /// Sorted dirty intervals (deterministic enumeration order).
+    intervals: Vec<Interval>,
+    /// Per relation: interval → candidate facts `(global id, fresh)`.
+    buckets: Vec<FxHashMap<Interval, Vec<(u32, bool)>>>,
+}
+
+impl DirtyIndex {
+    fn build(pre: &FactLists, delta: &FactLists) -> DirtyIndex {
+        let mut dirty: FxHashSet<Interval> = Default::default();
+        for facts in delta {
+            for fact in facts {
+                dirty.insert(fact.interval);
+            }
+        }
+        let mut buckets: Vec<FxHashMap<Interval, Vec<(u32, bool)>>> = Vec::with_capacity(pre.len());
+        for (p, d) in pre.iter().zip(delta.iter()) {
+            let mut by_iv: FxHashMap<Interval, Vec<(u32, bool)>> = Default::default();
+            if !dirty.is_empty() {
+                let pre_len = p.len();
+                for (i, fact) in p.iter().chain(d.iter()).enumerate() {
+                    if dirty.contains(&fact.interval) {
+                        by_iv
+                            .entry(fact.interval)
+                            .or_default()
+                            .push((i as u32, i >= pre_len));
+                    }
+                }
+            }
+            buckets.push(by_iv);
+        }
+        let mut intervals: Vec<Interval> = dirty.into_iter().collect();
+        intervals.sort_unstable();
+        DirtyIndex { intervals, buckets }
+    }
+}
+
+/// Enumerates every [`TemporalMode::Shared`] match of `plan` over
+/// `pre ++ delta` whose image touches at least one delta fact, exactly
+/// once. Shared matches bind all atoms to one interval, so only the
+/// index's dirty intervals can host one; within an interval the join
+/// backtracks over the per-atom candidate buckets, and settled-only
+/// combinations are dropped at the leaf — they were enumerated in the
+/// round or batch that last changed one of their facts. `emit` receives
+/// the variable bindings (slot order) and the shared interval.
+fn shared_join_delta(
+    plan: &JoinPlan,
+    pre: &FactLists,
+    delta: &FactLists,
+    idx: &DirtyIndex,
+    mut emit: impl FnMut(&[Value], Interval),
+) {
+    let mut bindings: Vec<Option<Value>> = vec![None; plan.vars.len()];
+    let mut out: Vec<Value> = Vec::with_capacity(plan.vars.len());
+    let mut newly: Vec<usize> = Vec::new();
+    for &iv in &idx.intervals {
+        let cands: Vec<&[(u32, bool)]> = match plan
+            .atoms
+            .iter()
+            .map(|ap| {
+                idx.buckets[ap.rel.0 as usize]
+                    .get(&iv)
+                    .map(|b| b.as_slice())
+            })
+            .collect::<Option<Vec<_>>>()
+        {
+            Some(c) => c,
+            None => continue, // some atom has no candidate at this interval
+        };
+        descend(
+            plan,
+            pre,
+            delta,
+            &cands,
+            0,
+            0,
+            &mut bindings,
+            &mut newly,
+            &mut out,
+            iv,
+            &mut emit,
+        );
+    }
+}
+
+/// Backtracking over atoms within one interval's candidate buckets.
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    plan: &JoinPlan,
+    pre: &FactLists,
+    delta: &FactLists,
+    cands: &[&[(u32, bool)]],
+    ai: usize,
+    fresh: usize,
+    bindings: &mut Vec<Option<Value>>,
+    newly: &mut Vec<usize>,
+    out: &mut Vec<Value>,
+    iv: Interval,
+    emit: &mut impl FnMut(&[Value], Interval),
+) {
+    if ai == plan.atoms.len() {
+        if fresh > 0 {
+            out.clear();
+            out.extend(bindings.iter().map(|b| b.expect("all slots bound")));
+            emit(out, iv);
+        }
+        return;
+    }
+    let rel = plan.atoms[ai].rel;
+    'facts: for &(gid, is_fresh) in cands[ai].iter() {
+        let fact = fact_at(pre, delta, rel, gid);
+        let newly_from = newly.len();
+        for (col, s) in plan.atoms[ai].slots.iter().enumerate() {
+            match s {
+                SlotPlan::Const(v) => {
+                    if fact.data[col] != *v {
+                        for &u in &newly[newly_from..] {
+                            bindings[u] = None;
+                        }
+                        newly.truncate(newly_from);
+                        continue 'facts;
+                    }
+                }
+                SlotPlan::Var(slot) => match bindings[*slot] {
+                    Some(b) => {
+                        if fact.data[col] != b {
+                            for &u in &newly[newly_from..] {
+                                bindings[u] = None;
+                            }
+                            newly.truncate(newly_from);
+                            continue 'facts;
+                        }
+                    }
+                    None => {
+                        bindings[*slot] = Some(fact.data[col]);
+                        newly.push(*slot);
+                    }
+                },
+            }
+        }
+        descend(
+            plan,
+            pre,
+            delta,
+            cands,
+            ai + 1,
+            fresh + usize::from(is_fresh),
+            bindings,
+            newly,
+            out,
+            iv,
+            emit,
+        );
+        for &u in &newly[newly_from..] {
+            bindings[u] = None;
+        }
+        newly.truncate(newly_from);
+    }
+}
+
+/// The restricted-chase check compiled per tgd — the same three tiers as
+/// the partitioned engine, with the memo tier made persistent across
+/// batches (see the module docs for why coverage survives rewriting and
+/// re-fragmentation).
+#[derive(Clone)]
+enum Check {
+    /// No existentials: the head either inserts something new or it fires
+    /// for nothing — the target dedup set answers it.
+    Direct,
+    /// Single-atom head, non-repeated existentials: a hash memo over the
+    /// determined head columns.
+    Memo { rel: RelId, cols: Vec<usize> },
+    /// Anything else: probe the materialized target with the matcher.
+    Probe,
+}
+
+#[derive(Clone)]
+struct TgdPlan {
+    body: JoinPlan,
+    check: Check,
+    existentials: Vec<Var>,
+    /// Head atoms with their target relation ids.
+    head: Vec<(RelId, Atom)>,
+}
+
+#[derive(Clone)]
+struct EgdPlan {
+    body: JoinPlan,
+    lhs: usize,
+    rhs: usize,
+    name: String,
+}
+
+/// A stateful incremental data-exchange session (see the module docs).
+///
+/// Created via [`IncrementalExchange::new`] or
+/// [`DataExchange::incremental`](crate::exchange::DataExchange::incremental);
+/// feed it [`DeltaBatch`]es and read the materialized solution with
+/// [`IncrementalExchange::target`].
+#[derive(Clone)]
+pub struct IncrementalExchange {
+    mapping: Arc<SchemaMapping>,
+    opts: ChaseOptions,
+    threads: usize,
+    sopts: SearchOptions,
+    src_schema: Arc<Schema>,
+    tgt_schema: Arc<Schema>,
+
+    /// Accumulated raw source facts (insertion order) + dedup set.
+    source: FactLists,
+    source_set: FxHashSet<(u32, Row, Interval)>,
+    /// Distinct source endpoints (for partition maintenance).
+    endpoints: FxHashSet<TimePoint>,
+    /// Timeline partition + endpoint count when it was last cut.
+    tp: TimelinePartition,
+    endpoints_at_cut: usize,
+
+    /// Normalized source at fixpoint (settled between batches).
+    nsrc: FactLists,
+    /// Materialized target at egd fixpoint (settled between batches).
+    tgt: FactLists,
+
+    plans: Vec<TgdPlan>,
+    egd_plans: Vec<EgdPlan>,
+    /// Per-tgd persistent restricted-check memos (Memo tier).
+    memos: Vec<FxHashSet<(Vec<Value>, Interval)>>,
+    /// Whether any tgd needs the Probe tier (materialize-and-probe).
+    probe_needed: bool,
+    nulls: NullGen,
+    stats: SessionStats,
+    poisoned: Option<String>,
+}
+
+const PARTS_HINT: usize = 16;
+
+impl IncrementalExchange {
+    /// A fresh session over `mapping` with default chase options.
+    pub fn new(mapping: SchemaMapping) -> Result<IncrementalExchange> {
+        Self::with_options(mapping, ChaseOptions::default())
+    }
+
+    /// A fresh session with explicit options. The engine choice only
+    /// contributes its worker-thread count — the session always evaluates
+    /// incrementally over the partitioned machinery; `naive_normalization`
+    /// and `renormalize_between_egd_rounds` are honored as in the batch
+    /// engines.
+    pub fn with_options(mapping: SchemaMapping, opts: ChaseOptions) -> Result<IncrementalExchange> {
+        let threads = crate::chase::worker_threads(match opts.engine {
+            ChaseEngine::PartitionedParallel { threads } => threads,
+            _ => 0,
+        });
+        let sopts = opts.search_options();
+        let src_schema = Arc::new(mapping.source().clone());
+        let tgt_schema = Arc::new(mapping.target().clone());
+        let mut plans = Vec::new();
+        for tgd in mapping.st_tgds() {
+            let body = JoinPlan::compile(&tgd.body, &src_schema)?;
+            let existentials = tgd.existential_vars();
+            let check = if existentials.is_empty() {
+                Check::Direct
+            } else if tgd.head.len() == 1 {
+                let atom = &tgd.head[0];
+                let repeated = existentials.iter().any(|e| {
+                    atom.terms
+                        .iter()
+                        .filter(|t| matches!(t, Term::Var(v) if v == e))
+                        .count()
+                        > 1
+                });
+                if repeated {
+                    Check::Probe
+                } else {
+                    Check::Memo {
+                        rel: tgt_schema.rel_id(atom.relation).ok_or_else(|| {
+                            TdxError::Invalid(format!("unknown head relation {}", atom.relation))
+                        })?,
+                        cols: atom
+                            .terms
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, t)| match t {
+                                Term::Const(_) => true,
+                                Term::Var(v) => !existentials.contains(v),
+                            })
+                            .map(|(i, _)| i)
+                            .collect(),
+                    }
+                }
+            } else {
+                Check::Probe
+            };
+            let head = tgd
+                .head
+                .iter()
+                .map(|a| {
+                    tgt_schema
+                        .rel_id(a.relation)
+                        .map(|rel| (rel, a.clone()))
+                        .ok_or_else(|| {
+                            TdxError::Invalid(format!("unknown head relation {}", a.relation))
+                        })
+                })
+                .collect::<Result<Vec<_>>>()?;
+            plans.push(TgdPlan {
+                body,
+                check,
+                existentials,
+                head,
+            });
+        }
+        let mut egd_plans = Vec::new();
+        for egd in mapping.egds() {
+            let body = JoinPlan::compile(&egd.body, &tgt_schema)?;
+            let lhs = body
+                .slot_of(egd.lhs)
+                .ok_or_else(|| TdxError::Invalid("egd lhs not in body".into()))?;
+            let rhs = body
+                .slot_of(egd.rhs)
+                .ok_or_else(|| TdxError::Invalid("egd rhs not in body".into()))?;
+            egd_plans.push(EgdPlan {
+                body,
+                lhs,
+                rhs,
+                name: egd.name.clone().unwrap_or_else(|| egd.to_string()),
+            });
+        }
+        let probe_needed = plans.iter().any(|p| matches!(p.check, Check::Probe));
+        let memos = plans.iter().map(|_| Default::default()).collect();
+        let nsrcs = src_schema.len();
+        let ntgts = tgt_schema.len();
+        Ok(IncrementalExchange {
+            mapping: Arc::new(mapping),
+            opts,
+            threads,
+            sopts,
+            src_schema,
+            tgt_schema,
+            source: vec![Vec::new(); nsrcs],
+            source_set: Default::default(),
+            endpoints: Default::default(),
+            tp: TimelinePartition::whole(),
+            endpoints_at_cut: 0,
+            nsrc: vec![Vec::new(); nsrcs],
+            tgt: vec![Vec::new(); ntgts],
+            plans,
+            egd_plans,
+            memos,
+            probe_needed,
+            nulls: NullGen::new(),
+            stats: SessionStats::default(),
+            poisoned: None,
+        })
+    }
+
+    /// The schema mapping the session exchanges over.
+    pub fn mapping(&self) -> &SchemaMapping {
+        &self.mapping
+    }
+
+    /// Cumulative session counters.
+    pub fn stats(&self) -> SessionStats {
+        let mut s = self.stats.clone();
+        s.nulls_created = self.nulls.peek();
+        s
+    }
+
+    /// Number of facts in the materialized target.
+    pub fn target_len(&self) -> usize {
+        self.tgt.iter().map(|l| l.len()).sum()
+    }
+
+    /// Number of facts in the accumulated source.
+    pub fn source_len(&self) -> usize {
+        self.source.iter().map(|l| l.len()).sum()
+    }
+
+    /// The accumulated source as an instance.
+    pub fn source(&self) -> TemporalInstance {
+        lists_to_instance(&self.src_schema, &self.source)
+    }
+
+    /// The materialized solution for the accumulated source (coalesced when
+    /// the session options ask for it).
+    pub fn target(&self) -> TemporalInstance {
+        let out = lists_to_instance(&self.tgt_schema, &self.tgt);
+        if self.opts.coalesce_result {
+            out.coalesced()
+        } else {
+            out
+        }
+    }
+
+    /// Whether an internal rollback failed, leaving the session unusable.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Applies one batch and brings the target back to a chase fixpoint.
+    ///
+    /// On chase failure the accumulated source admits no solution with the
+    /// batch applied; the batch is rolled back (the session stays at its
+    /// pre-batch fixpoint, at the cost of one re-chase) and the failure is
+    /// returned.
+    pub fn apply(&mut self, batch: &DeltaBatch) -> Result<BatchStats> {
+        if let Some(msg) = &self.poisoned {
+            return Err(TdxError::Invalid(format!(
+                "incremental session is poisoned by a failed rollback: {msg}"
+            )));
+        }
+        // Classify refines: pure widenings ride the incremental path.
+        let mut inserts: Vec<(RelId, Row, Interval)> = Vec::new();
+        let mut narrowing = false;
+        for (rel, data, iv) in &batch.inserts {
+            self.validate_row(*rel, data)?;
+            inserts.push((*rel, Arc::clone(data), *iv));
+        }
+        for (rel, data, new_iv) in &batch.refines {
+            self.validate_row(*rel, data)?;
+            let r = rel.0 as usize;
+            let widens = self.source[r]
+                .iter()
+                .filter(|f| f.data == *data)
+                .all(|f| new_iv.covers(&f.interval));
+            if widens {
+                inserts.push((*rel, Arc::clone(data), *new_iv));
+            } else {
+                narrowing = true;
+            }
+        }
+        if narrowing {
+            return self.full_rechase(batch);
+        }
+        // Record genuinely new facts into the accumulated source.
+        let pre_lens: Vec<usize> = self.source.iter().map(|l| l.len()).collect();
+        let mut fresh: FactLists = vec![Vec::new(); self.src_schema.len()];
+        let mut batch_facts = 0usize;
+        for (rel, data, iv) in inserts {
+            let key = (rel.0, Arc::clone(&data), iv);
+            if self.source_set.insert(key) {
+                self.source[rel.0 as usize].push(TemporalFact {
+                    data: Arc::clone(&data),
+                    interval: iv,
+                });
+                fresh[rel.0 as usize].push(TemporalFact { data, interval: iv });
+                batch_facts += 1;
+            }
+        }
+        if batch_facts == 0 {
+            self.stats.batches += 1;
+            return Ok(BatchStats {
+                partitions: self.tp.len(),
+                target_facts: self.target_len(),
+                ..BatchStats::default()
+            });
+        }
+        match self.absorb(fresh, batch_facts) {
+            Ok(stats) => {
+                self.stats.batches += 1;
+                Ok(stats)
+            }
+            Err(e) => {
+                // Roll the batch's source facts back and rebuild the
+                // session at the (consistent) pre-batch fixpoint.
+                for (r, len) in pre_lens.iter().enumerate() {
+                    for fact in self.source[r].drain(*len..).collect::<Vec<_>>() {
+                        self.source_set
+                            .remove(&(r as u32, fact.data, fact.interval));
+                    }
+                }
+                if let Err(inner) = self.rebuild_from_source() {
+                    self.poisoned = Some(format!("{inner}"));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn validate_row(&self, rel: RelId, data: &Row) -> Result<()> {
+        let schema = &self.src_schema;
+        if rel.0 as usize >= schema.len() {
+            return Err(TdxError::Invalid(format!("unknown relation id {}", rel.0)));
+        }
+        if schema.relation(rel).arity() != data.len() {
+            return Err(TdxError::Invalid(format!(
+                "row arity {} does not match relation {}",
+                data.len(),
+                schema.relation(rel).name()
+            )));
+        }
+        if data.iter().any(|v| matches!(v, Value::Null(_))) {
+            return Err(TdxError::Invalid(
+                "source batches must be complete; found a null".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The incremental core: absorbs `fresh` (already recorded in the
+    /// accumulated source) and restores the chase fixpoint.
+    fn absorb(&mut self, fresh: FactLists, batch_facts: usize) -> Result<BatchStats> {
+        let mut stats = BatchStats {
+            batch_facts,
+            ..BatchStats::default()
+        };
+        // Breakpoint maintenance: endpoints are drawn from the source (the
+        // chase never invents new ones); re-coarsen when the histogram
+        // shifted enough that the old cut no longer balances.
+        for facts in &fresh {
+            for fact in facts {
+                self.endpoints.insert(fact.interval.start());
+                if let tdx_temporal::Endpoint::Fin(e) = fact.interval.end() {
+                    self.endpoints.insert(e);
+                }
+            }
+        }
+        if self.endpoints.len() >= (2 * self.endpoints_at_cut).max(2) || {
+            self.stats.batches % 16 == 15 && {
+                let bps = Breakpoints::from_points(self.endpoints.iter().copied());
+                self.tp.imbalance(&bps) > 3.0
+            }
+        } {
+            let bps = Breakpoints::from_points(self.endpoints.iter().copied());
+            self.tp = TimelinePartition::new(&bps.coarsen(PARTS_HINT));
+            self.endpoints_at_cut = self.endpoints.len();
+            stats.recoarsened = true;
+        }
+        stats.partitions = self.tp.len();
+
+        // Drop batch facts already present verbatim in the normalized
+        // source — re-asserting an existing fragment discovers no cut, so
+        // without this the duplicate would settle into the lists and
+        // accumulate across batches (the raw-source dedup above cannot see
+        // fragments; correctness is unaffected, size is).
+        let mut batch_set: FxHashSet<(u32, Row, Interval)> = fresh
+            .iter()
+            .enumerate()
+            .flat_map(|(r, facts)| {
+                facts
+                    .iter()
+                    .map(move |f| (r as u32, Arc::clone(&f.data), f.interval))
+            })
+            .collect();
+        for (r, facts) in self.nsrc.iter().enumerate() {
+            for fact in facts {
+                batch_set.remove(&(r as u32, Arc::clone(&fact.data), fact.interval));
+            }
+        }
+        let mut fresh = fresh;
+        for (r, facts) in fresh.iter_mut().enumerate() {
+            facts.retain(|f| batch_set.contains(&(r as u32, Arc::clone(&f.data), f.interval)));
+        }
+
+        // Step 1: incremental source renormalization — the batch facts are
+        // the fresh seed; settled facts re-fragment only when a new image
+        // touches them.
+        let tgd_bodies = self.mapping.tgd_bodies();
+        let pre = std::mem::take(&mut self.nsrc);
+        let (npre, ndelta) = refragment_lists(
+            &self.src_schema,
+            &self.tp,
+            self.threads,
+            self.sopts,
+            Some(&tgd_bodies),
+            self.opts.naive_normalization,
+            pre,
+            fresh,
+        )?;
+        stats.source_delta = ndelta.iter().map(|l| l.len()).sum();
+        let mut dirty_parts: BTreeSet<usize> = BTreeSet::new();
+        for facts in &ndelta {
+            for fact in facts {
+                dirty_parts.insert(self.tp.part_of(fact.interval.start()));
+            }
+        }
+
+        // Step 2: delta-scoped tgd steps at dirty intervals.
+        let mut new_facts: FactLists = vec![Vec::new(); self.tgt_schema.len()];
+        let mut existing: FxHashSet<(u32, Row, Interval)> = self
+            .tgt
+            .iter()
+            .enumerate()
+            .flat_map(|(r, facts)| {
+                facts
+                    .iter()
+                    .map(move |f| (r as u32, Arc::clone(&f.data), f.interval))
+            })
+            .collect();
+        let mut probe_inst: Option<TemporalInstance> = if self.probe_needed {
+            Some(lists_to_instance(&self.tgt_schema, &self.tgt))
+        } else {
+            None
+        };
+        let src_idx = DirtyIndex::build(&npre, &ndelta);
+        for ti in 0..self.plans.len() {
+            let mut homs: Vec<(Vec<Value>, Interval)> = Vec::new();
+            shared_join_delta(
+                &self.plans[ti].body,
+                &npre,
+                &ndelta,
+                &src_idx,
+                |vals, iv| {
+                    homs.push((vals.to_vec(), iv));
+                },
+            );
+            stats.tgd_matches += homs.len();
+            for (vals, iv) in homs {
+                let plan = &self.plans[ti];
+                let h: Vec<(Var, Value)> = plan
+                    .body
+                    .vars
+                    .iter()
+                    .copied()
+                    .zip(vals.iter().copied())
+                    .collect();
+                match &plan.check {
+                    Check::Direct => {
+                        let mut fired = false;
+                        for (rel, atom) in &plan.head {
+                            let row: Row = instantiate(atom, &h).into();
+                            if existing.insert((rel.0, Arc::clone(&row), iv)) {
+                                register_memo(&mut self.memos, &self.plans, *rel, &row, iv);
+                                if let Some(pi) = probe_inst.as_mut() {
+                                    pi.insert(*rel, Arc::clone(&row), iv);
+                                }
+                                new_facts[rel.0 as usize].push(TemporalFact {
+                                    data: row,
+                                    interval: iv,
+                                });
+                                fired = true;
+                            }
+                        }
+                        if fired {
+                            stats.tgd_steps += 1;
+                        }
+                        continue;
+                    }
+                    Check::Memo { rel: _, cols } => {
+                        let atom = &plan.head[0].1;
+                        let key: Vec<Value> = cols
+                            .iter()
+                            .map(|&c| match &atom.terms[c] {
+                                Term::Const(cst) => Value::Const(*cst),
+                                Term::Var(v) => {
+                                    h.iter()
+                                        .find(|(w, _)| w == v)
+                                        .expect("universal head var bound")
+                                        .1
+                                }
+                            })
+                            .collect();
+                        if self.memos[ti].contains(&(key, iv)) {
+                            continue;
+                        }
+                    }
+                    Check::Probe => {
+                        let head_atoms: Vec<Atom> =
+                            plan.head.iter().map(|(_, a)| a.clone()).collect();
+                        let pi = probe_inst.as_ref().expect("probe instance materialized");
+                        if pi.exists_match_with(
+                            &head_atoms,
+                            TemporalMode::Shared,
+                            &h,
+                            Some(iv),
+                            self.sopts,
+                        )? {
+                            continue;
+                        }
+                    }
+                }
+                let mut env = h;
+                for v in &self.plans[ti].existentials {
+                    env.push((*v, Value::Null(self.nulls.fresh())));
+                }
+                for (rel, atom) in &self.plans[ti].head {
+                    let row: Row = instantiate(atom, &env).into();
+                    if existing.insert((rel.0, Arc::clone(&row), iv)) {
+                        register_memo(&mut self.memos, &self.plans, *rel, &row, iv);
+                        if let Some(pi) = probe_inst.as_mut() {
+                            pi.insert(*rel, Arc::clone(&row), iv);
+                        }
+                        new_facts[rel.0 as usize].push(TemporalFact {
+                            data: row,
+                            interval: iv,
+                        });
+                    }
+                }
+                stats.tgd_steps += 1;
+            }
+        }
+        // Source fixpoint settles: delta drains into pre.
+        self.nsrc = settle(npre, ndelta);
+        stats.target_new_facts = new_facts.iter().map(|l| l.len()).sum();
+
+        // Step 3+4: boundary reconciliation and the egd fixpoint, only if
+        // the batch produced target work.
+        if stats.target_new_facts > 0 {
+            for facts in &new_facts {
+                for fact in facts {
+                    dirty_parts.insert(self.tp.part_of(fact.interval.start()));
+                }
+            }
+            let egd_bodies = self.mapping.egd_bodies();
+            let pre = std::mem::take(&mut self.tgt);
+            // Initial normalization always runs w.r.t. the egd bodies (the
+            // paper's step 3); per-round renormalization honors the option.
+            let (mut pre, mut delta) = refragment_lists(
+                &self.tgt_schema,
+                &self.tp,
+                self.threads,
+                self.sopts,
+                Some(&egd_bodies),
+                self.opts.naive_normalization,
+                pre,
+                new_facts,
+            )?;
+            loop {
+                let mut uf = AnnotatedUnionFind::new();
+                let mut merges = 0usize;
+                let mut conflict: Option<(String, UfKey, UfKey, Interval)> = None;
+                let tgt_idx = DirtyIndex::build(&pre, &delta);
+                for ep in &self.egd_plans {
+                    if conflict.is_some() {
+                        break;
+                    }
+                    shared_join_delta(&ep.body, &pre, &delta, &tgt_idx, |vals, iv| {
+                        if conflict.is_some() {
+                            return;
+                        }
+                        let (a, b) = (vals[ep.lhs], vals[ep.rhs]);
+                        if a == b {
+                            return;
+                        }
+                        let key = |v: Value| match v {
+                            Value::Const(c) => UfKey::Const(c),
+                            Value::Null(n) => UfKey::Null(n, iv),
+                        };
+                        match uf.union(key(a), key(b)) {
+                            Ok(()) => merges += 1,
+                            Err((c1, c2)) => conflict = Some((ep.name.clone(), c1, c2, iv)),
+                        }
+                    });
+                }
+                if let Some((name, c1, c2, iv)) = conflict {
+                    let render = |k: UfKey| match k {
+                        UfKey::Const(c) => c.to_string(),
+                        UfKey::Null(n, _) => n.to_string(),
+                    };
+                    return Err(TdxError::ChaseFailure {
+                        dependency: name,
+                        left: render(c1),
+                        right: render(c2),
+                        interval: Some(iv),
+                    });
+                }
+                if merges == 0 {
+                    break;
+                }
+                stats.egd_rounds += 1;
+                stats.egd_merges += merges;
+                let (npre, ndelta) = rewrite_values(&self.tgt_schema, &pre, &delta, &mut uf);
+                let renorm = if self.opts.renormalize_between_egd_rounds {
+                    Some(egd_bodies.as_slice())
+                } else {
+                    None // paper-faithful: alignment cuts only
+                };
+                (pre, delta) = refragment_lists(
+                    &self.tgt_schema,
+                    &self.tp,
+                    self.threads,
+                    self.sopts,
+                    renorm,
+                    self.opts.naive_normalization,
+                    npre,
+                    ndelta,
+                )?;
+                for facts in &delta {
+                    for fact in facts {
+                        dirty_parts.insert(self.tp.part_of(fact.interval.start()));
+                    }
+                }
+            }
+            self.tgt = settle(pre, delta);
+        }
+
+        stats.dirty_partitions = dirty_parts.len();
+        stats.target_facts = self.target_len();
+        self.stats.tgd_steps += stats.tgd_steps;
+        self.stats.egd_merges += stats.egd_merges;
+        Ok(stats)
+    }
+
+    /// The non-monotone path: rebuild the accumulated source with the
+    /// batch's refines applied, then re-chase everything as one batch.
+    fn full_rechase(&mut self, batch: &DeltaBatch) -> Result<BatchStats> {
+        let old_source = self.source.clone();
+        let old_set = self.source_set.clone();
+        // Refined rows lose every previously asserted interval.
+        for (rel, data, _) in &batch.refines {
+            let r = rel.0 as usize;
+            let source = &mut self.source;
+            let set = &mut self.source_set;
+            source[r].retain(|f| {
+                if f.data == *data {
+                    set.remove(&(rel.0, Arc::clone(&f.data), f.interval));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        for (rel, data, iv) in batch.refines.iter().chain(batch.inserts.iter()) {
+            if self.source_set.insert((rel.0, Arc::clone(data), *iv)) {
+                self.source[rel.0 as usize].push(TemporalFact {
+                    data: Arc::clone(data),
+                    interval: *iv,
+                });
+            }
+        }
+        match self.rebuild_from_source() {
+            Ok(mut stats) => {
+                stats.full_rechase = true;
+                stats.batch_facts = batch.len();
+                self.stats.batches += 1;
+                Ok(stats)
+            }
+            Err(e) => {
+                // The refined source admits no solution; keep the pre-batch
+                // state usable.
+                self.source = old_source;
+                self.source_set = old_set;
+                if let Err(inner) = self.rebuild_from_source() {
+                    self.poisoned = Some(format!("{inner}"));
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Resets the derived state and re-chases the accumulated source as one
+    /// batch — correctness anchor for fallbacks and rollbacks. The
+    /// work-behind-the-current-state counters restart with the rebuild
+    /// (see [`SessionStats`]); `batches` is the caller's concern — a
+    /// rollback must not count the failed batch as applied.
+    fn rebuild_from_source(&mut self) -> Result<BatchStats> {
+        self.nsrc = vec![Vec::new(); self.src_schema.len()];
+        self.tgt = vec![Vec::new(); self.tgt_schema.len()];
+        for m in &mut self.memos {
+            m.clear();
+        }
+        self.nulls = NullGen::new();
+        self.endpoints.clear();
+        self.endpoints_at_cut = 0;
+        self.tp = TimelinePartition::whole();
+        let fresh = self.source.clone();
+        let n = fresh.iter().map(|l| l.len()).sum();
+        self.stats.full_rechases += 1;
+        self.stats.tgd_steps = 0;
+        self.stats.egd_merges = 0;
+        self.absorb(fresh, n)
+    }
+}
+
+/// Registers an inserted target fact with every persistent memo watching
+/// its relation.
+fn register_memo(
+    memos: &mut [FxHashSet<(Vec<Value>, Interval)>],
+    plans: &[TgdPlan],
+    rel: RelId,
+    data: &[Value],
+    iv: Interval,
+) {
+    for (mi, plan) in plans.iter().enumerate() {
+        if let Check::Memo { rel: mrel, cols } = &plan.check {
+            if *mrel == rel {
+                let key: Vec<Value> = cols.iter().map(|&c| data[c]).collect();
+                memos[mi].insert((key, iv));
+            }
+        }
+    }
+}
+
+/// Drains `delta` into `pre`, preserving order: the settled representation
+/// between batches.
+fn settle(mut pre: FactLists, delta: FactLists) -> FactLists {
+    for (p, d) in pre.iter_mut().zip(delta) {
+        p.extend(d);
+    }
+    pre
+}
+
+fn lists_to_instance(schema: &Arc<Schema>, lists: &FactLists) -> TemporalInstance {
+    let mut out = TemporalInstance::new(Arc::clone(schema));
+    for (r, facts) in lists.iter().enumerate() {
+        let rel = RelId(r as u32);
+        for fact in facts {
+            out.insert(rel, Arc::clone(&fact.data), fact.interval);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::concrete::c_chase_with;
+    use crate::hom::hom_equivalent;
+    use crate::semantics::semantics;
+    use tdx_logic::{parse_egd, parse_schema, parse_tgd};
+    use tdx_storage::row;
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn paper_mapping() -> SchemaMapping {
+        SchemaMapping::new(
+            parse_schema("E(name, company). S(name, salary).").unwrap(),
+            parse_schema("Emp(name, company, salary).").unwrap(),
+            vec![
+                parse_tgd("E(n,c) -> exists s . Emp(n,c,s)")
+                    .unwrap()
+                    .named("st1"),
+                parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)")
+                    .unwrap()
+                    .named("st2"),
+            ],
+            vec![parse_egd("Emp(n,c,s) & Emp(n,c,s2) -> s = s2")
+                .unwrap()
+                .named("fd")],
+        )
+        .unwrap()
+    }
+
+    fn batch(mapping: &SchemaMapping, facts: &[(&str, &[&str], Interval)]) -> DeltaBatch {
+        let mut b = DeltaBatch::new();
+        for (rel, vals, interval) in facts {
+            let rid = mapping
+                .source()
+                .rel_id(tdx_logic::Symbol::intern(rel))
+                .unwrap();
+            let data: Row = vals.iter().map(|v| Value::str(v)).collect();
+            b.insert(rid, data, *interval);
+        }
+        b
+    }
+
+    fn assert_matches_from_scratch(session: &IncrementalExchange) {
+        let source = session.source();
+        let scratch = c_chase_with(&source, session.mapping(), &ChaseOptions::default()).unwrap();
+        let inc = session.target();
+        assert!(
+            hom_equivalent(&semantics(&scratch.target), &semantics(&inc)),
+            "incremental target diverged from from-scratch chase"
+        );
+        assert!(
+            crate::verify::is_solution_concrete(&source, &inc, session.mapping()).unwrap(),
+            "incremental target is not a solution"
+        );
+    }
+
+    #[test]
+    fn figure4_in_batches_matches_from_scratch() {
+        let mapping = paper_mapping();
+        let mut s = IncrementalExchange::new(mapping.clone()).unwrap();
+        let batches = [
+            batch(&mapping, &[("E", &["Ada", "IBM"][..], iv(2012, 2014))]),
+            batch(
+                &mapping,
+                &[
+                    ("E", &["Ada", "Google"][..], Interval::from(2014)),
+                    ("S", &["Ada", "18k"][..], Interval::from(2013)),
+                ],
+            ),
+            batch(
+                &mapping,
+                &[
+                    ("E", &["Bob", "IBM"][..], iv(2013, 2018)),
+                    ("S", &["Bob", "13k"][..], Interval::from(2015)),
+                ],
+            ),
+        ];
+        for b in &batches {
+            s.apply(b).unwrap();
+            assert_matches_from_scratch(&s);
+        }
+        // Figure 9: five facts, Ada's salary unknown on [2012, 2013).
+        let target = s.target();
+        assert_eq!(target.total_len(), 5);
+        assert!(target.contains(
+            RelId(0),
+            &row([Value::str("Ada"), Value::str("IBM"), Value::str("18k")]),
+            iv(2013, 2014)
+        ));
+    }
+
+    #[test]
+    fn single_batch_equals_full_chase() {
+        let mapping = paper_mapping();
+        let mut s = IncrementalExchange::new(mapping.clone()).unwrap();
+        let b = batch(
+            &mapping,
+            &[
+                ("E", &["Ada", "IBM"][..], iv(2012, 2014)),
+                ("E", &["Ada", "Google"][..], Interval::from(2014)),
+                ("E", &["Bob", "IBM"][..], iv(2013, 2018)),
+                ("S", &["Ada", "18k"][..], Interval::from(2013)),
+                ("S", &["Bob", "13k"][..], Interval::from(2015)),
+            ],
+        );
+        let stats = s.apply(&b).unwrap();
+        assert_eq!(stats.batch_facts, 5);
+        assert!(stats.tgd_steps >= 8);
+        assert_matches_from_scratch(&s);
+    }
+
+    #[test]
+    fn duplicate_and_empty_batches_are_cheap_noops() {
+        let mapping = paper_mapping();
+        let mut s = IncrementalExchange::new(mapping.clone()).unwrap();
+        let b = batch(&mapping, &[("E", &["Ada", "IBM"][..], iv(2012, 2014))]);
+        s.apply(&b).unwrap();
+        let len = s.target_len();
+        let stats = s.apply(&b).unwrap();
+        assert_eq!(stats.batch_facts, 0);
+        assert_eq!(stats.tgd_steps, 0);
+        assert_eq!(s.target_len(), len);
+        let stats = s.apply(&DeltaBatch::new()).unwrap();
+        assert_eq!(stats.batch_facts, 0);
+    }
+
+    #[test]
+    fn reasserting_an_existing_fragment_adds_no_work() {
+        // E fragments at 2014 (S joins there); a later batch re-asserting
+        // the fragment verbatim is new to the raw source but must not
+        // duplicate inside the normalized lists or trigger chase work.
+        let mapping = paper_mapping();
+        let mut s = IncrementalExchange::new(mapping.clone()).unwrap();
+        s.apply(&batch(
+            &mapping,
+            &[
+                ("E", &["Ada", "IBM"][..], iv(2012, 2016)),
+                ("S", &["Ada", "18k"][..], iv(2014, 2016)),
+            ],
+        ))
+        .unwrap();
+        let target_before = s.target();
+        let stats = s
+            .apply(&batch(
+                &mapping,
+                &[("E", &["Ada", "IBM"][..], iv(2014, 2016))],
+            ))
+            .unwrap();
+        assert_eq!(stats.batch_facts, 1, "new to the raw source");
+        assert_eq!(stats.source_delta, 0, "but already normalized away");
+        assert_eq!(stats.tgd_steps, 0);
+        assert_eq!(s.target(), target_before);
+        assert_matches_from_scratch(&s);
+    }
+
+    #[test]
+    fn failed_batches_do_not_count_as_applied() {
+        let mapping = paper_mapping();
+        let mut s = IncrementalExchange::new(mapping.clone()).unwrap();
+        s.apply(&batch(
+            &mapping,
+            &[
+                ("E", &["Ada", "IBM"][..], iv(0, 10)),
+                ("S", &["Ada", "18k"][..], iv(0, 10)),
+            ],
+        ))
+        .unwrap();
+        assert_eq!(s.stats().batches, 1);
+        s.apply(&batch(&mapping, &[("S", &["Ada", "20k"][..], iv(5, 15))]))
+            .unwrap_err();
+        assert_eq!(s.stats().batches, 1, "rolled-back batch must not count");
+        assert_eq!(s.stats().full_rechases, 1, "rollback rebuilds once");
+        s.apply(&batch(&mapping, &[("E", &["Bob", "IBM"][..], iv(2, 8))]))
+            .unwrap();
+        assert_eq!(s.stats().batches, 2);
+    }
+
+    #[test]
+    fn widening_refine_rides_the_incremental_path() {
+        let mapping = paper_mapping();
+        let mut s = IncrementalExchange::new(mapping.clone()).unwrap();
+        s.apply(&batch(
+            &mapping,
+            &[
+                ("E", &["Ada", "IBM"][..], iv(2012, 2014)),
+                ("S", &["Ada", "18k"][..], iv(2013, 2014)),
+            ],
+        ))
+        .unwrap();
+        let e = mapping
+            .source()
+            .rel_id(tdx_logic::Symbol::intern("E"))
+            .unwrap();
+        let mut b = DeltaBatch::new();
+        b.refine(
+            e,
+            row([Value::str("Ada"), Value::str("IBM")]),
+            iv(2012, 2016),
+        );
+        let stats = s.apply(&b).unwrap();
+        assert!(!stats.full_rechase);
+        assert_matches_from_scratch(&s);
+        // The widened extent is reflected in the solution.
+        let target = s.target();
+        let sem = semantics(&target);
+        assert!(!sem.snapshot_at(2015).is_empty());
+    }
+
+    #[test]
+    fn narrowing_refine_falls_back_to_full_rechase() {
+        let mapping = paper_mapping();
+        let mut s = IncrementalExchange::new(mapping.clone()).unwrap();
+        s.apply(&batch(
+            &mapping,
+            &[("E", &["Ada", "IBM"][..], iv(2012, 2018))],
+        ))
+        .unwrap();
+        let e = mapping
+            .source()
+            .rel_id(tdx_logic::Symbol::intern("E"))
+            .unwrap();
+        let mut b = DeltaBatch::new();
+        b.refine(
+            e,
+            row([Value::str("Ada"), Value::str("IBM")]),
+            iv(2012, 2014),
+        );
+        let stats = s.apply(&b).unwrap();
+        assert!(stats.full_rechase);
+        assert_eq!(s.source_len(), 1);
+        let sem = semantics(&s.target());
+        assert!(sem.snapshot_at(2015).is_empty());
+        assert_matches_from_scratch(&s);
+    }
+
+    #[test]
+    fn conflicting_batch_fails_and_rolls_back() {
+        let mapping = paper_mapping();
+        let mut s = IncrementalExchange::new(mapping.clone()).unwrap();
+        s.apply(&batch(
+            &mapping,
+            &[
+                ("E", &["Ada", "IBM"][..], iv(0, 10)),
+                ("S", &["Ada", "18k"][..], iv(0, 10)),
+            ],
+        ))
+        .unwrap();
+        let before = s.target();
+        let err = s
+            .apply(&batch(&mapping, &[("S", &["Ada", "20k"][..], iv(5, 15))]))
+            .unwrap_err();
+        assert!(matches!(err, TdxError::ChaseFailure { .. }), "{err:?}");
+        // Rolled back: the conflicting fact is gone and the session still
+        // answers from the pre-batch fixpoint.
+        assert!(!s.is_poisoned());
+        assert_eq!(s.source_len(), 2);
+        assert!(hom_equivalent(&semantics(&before), &semantics(&s.target())));
+        // And it keeps accepting consistent batches.
+        s.apply(&batch(&mapping, &[("E", &["Bob", "IBM"][..], iv(2, 8))]))
+            .unwrap();
+        assert_matches_from_scratch(&s);
+    }
+
+    #[test]
+    fn recoarsens_when_the_timeline_grows() {
+        let mapping = paper_mapping();
+        let mut s = IncrementalExchange::new(mapping.clone()).unwrap();
+        let mut recoarsened = 0;
+        for k in 0..40u64 {
+            let name = format!("p{k}");
+            let b = batch(
+                &mapping,
+                &[("E", &[name.as_str(), "c"][..], iv(10 * k, 10 * k + 5))],
+            );
+            let stats = s.apply(&b).unwrap();
+            recoarsened += usize::from(stats.recoarsened);
+            assert!(stats.partitions >= 1);
+        }
+        assert!(recoarsened >= 2, "timeline growth must re-coarsen the cut");
+        assert!(s.tp.len() > 1);
+        assert_matches_from_scratch(&s);
+    }
+
+    #[test]
+    fn options_variants_stay_equivalent() {
+        let mapping = paper_mapping();
+        for opts in [
+            ChaseOptions::paper_faithful(),
+            ChaseOptions {
+                naive_normalization: true,
+                ..ChaseOptions::default()
+            },
+            ChaseOptions::partitioned_parallel(2),
+        ] {
+            let mut s = IncrementalExchange::with_options(mapping.clone(), opts).unwrap();
+            s.apply(&batch(
+                &mapping,
+                &[
+                    ("E", &["Ada", "IBM"][..], iv(2012, 2014)),
+                    ("S", &["Ada", "18k"][..], Interval::from(2013)),
+                ],
+            ))
+            .unwrap();
+            s.apply(&batch(
+                &mapping,
+                &[("E", &["Bob", "IBM"][..], iv(2013, 2018))],
+            ))
+            .unwrap();
+            assert_matches_from_scratch(&s);
+        }
+    }
+}

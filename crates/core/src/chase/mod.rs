@@ -10,11 +10,13 @@
 
 pub mod abstract_chase;
 pub mod concrete;
+pub mod incremental;
 pub(crate) mod partitioned;
 pub mod snapshot;
 
 pub use abstract_chase::{abstract_chase, abstract_chase_parallel, abstract_chase_parallel_opts};
 pub use concrete::{c_chase, CChaseResult, ChaseOptions, ChaseStats};
+pub use incremental::{BatchStats, DeltaBatch, IncrementalExchange, SessionStats};
 pub use snapshot::snapshot_chase;
 
 /// Resolves a worker-thread request into a concrete count — the one knob

@@ -37,7 +37,7 @@ use crate::error::{Result, TdxError};
 use crate::normalize::{
     merge_image_sets, naive_normalize, normalize_with_groups, uf_find, FactRef,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Var};
 use tdx_storage::{
@@ -48,14 +48,20 @@ use tdx_temporal::{fragment_interval, Breakpoints, Interval, TimePoint, Timeline
 
 /// Per-relation fact lists: the working representation between rebuilds.
 /// `pre` holds facts unchanged since the last round, `delta` the changed
-/// ones; a fact's global id is its position in `pre ++ delta`.
-type FactLists = Vec<Vec<TemporalFact>>;
+/// ones; a fact's global id is its position in `pre ++ delta`. Shared with
+/// the incremental session ([`crate::chase::incremental`]), whose
+/// materialized target lives in this representation between batches.
+pub(crate) type FactLists = Vec<Vec<TemporalFact>>;
 
 /// Runs `f(0..n)` on up to `threads` scoped workers (inline when either
 /// count is one) and returns the results in task order — so the merge, and
 /// therefore the chase result, is deterministic regardless of thread count
 /// and scheduling.
-fn run_tasks<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+pub(crate) fn run_tasks<R: Send>(
+    threads: usize,
+    n: usize,
+    f: impl Fn(usize) -> R + Sync,
+) -> Vec<R> {
     // Workers beyond the machine's cores only add spawn and scheduling
     // overhead — asking for 4 threads on a 1-core box must not be slower
     // than asking for 1.
@@ -158,39 +164,67 @@ fn sweep_lists(
     mut emit: impl FnMut(FactRef, FactRef),
 ) {
     // Per join key, the candidate (interval, global id, fresh) entries of
-    // each atom side.
+    // each atom side. Keys are *hashes* of the joined values — no per-fact
+    // allocation; a hash collision only groups unrelated facts into one
+    // bucket, and the equality re-check at emit time filters them out.
     type Entry = (Interval, u32, bool);
-    let mut buckets: tdx_storage::fxhash::FxHashMap<Vec<Value>, [Vec<Entry>; 2]> =
+    let key_hash = |fact: &TemporalFact, ai: usize| -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = tdx_storage::fxhash::FxHasher::default();
+        for &(c0, c1) in &spec.joins {
+            fact.data[if ai == 0 { c0 } else { c1 }].hash(&mut h);
+        }
+        h.finish()
+    };
+    let passes = |fact: &TemporalFact, ai: usize| -> bool {
+        !spec.consts[ai]
+            .iter()
+            .any(|&(col, ref v)| fact.data[col] != *v)
+            && !spec.intra[ai]
+                .iter()
+                .any(|&(c1, c2)| fact.data[c1] != fact.data[c2])
+    };
+    // Restricted (semi-naive) runs: only join keys carried by some fresh
+    // fact can contribute a new pair, so collect the fresh keys per side
+    // first and skip every settled fact whose key matches neither — the
+    // scan over settled facts then costs one cheap hash each instead of
+    // bucket insertions.
+    let restricted = fresh.is_some();
+    let mut fresh_keys: [tdx_storage::fxhash::FxHashSet<u64>; 2] =
+        [Default::default(), Default::default()];
+    if let Some(flags) = fresh {
+        for (ai, keys) in fresh_keys.iter_mut().enumerate() {
+            let r = spec.rels[ai].0 as usize;
+            for (i, fact) in delta[r].iter().enumerate() {
+                if flags[r][i] && passes(fact, ai) {
+                    keys.insert(key_hash(fact, ai));
+                }
+            }
+        }
+        if fresh_keys[0].is_empty() && fresh_keys[1].is_empty() {
+            return; // nothing fresh joins this conjunction
+        }
+    }
+    let mut buckets: tdx_storage::fxhash::FxHashMap<u64, [Vec<Entry>; 2]> =
         tdx_storage::fxhash::FxHashMap::default();
     for ai in 0..2 {
         let r = spec.rels[ai].0 as usize;
         let pre_len = pre[r].len();
         for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
-            if spec.consts[ai]
-                .iter()
-                .any(|&(col, ref v)| fact.data[col] != *v)
-            {
-                continue;
-            }
-            if spec.intra[ai]
-                .iter()
-                .any(|&(c1, c2)| fact.data[c1] != fact.data[c2])
-            {
+            if !passes(fact, ai) {
                 continue;
             }
             let is_fresh = match fresh {
                 None => true,
                 Some(flags) => gid >= pre_len && flags[r][gid - pre_len],
             };
-            let key: Vec<Value> = spec
-                .joins
-                .iter()
-                .map(|&(c0, c1)| fact.data[if ai == 0 { c0 } else { c1 }])
-                .collect();
+            let key = key_hash(fact, ai);
+            if restricted && !is_fresh && !fresh_keys[1 - ai].contains(&key) {
+                continue; // cannot pair with any fresh fact
+            }
             buckets.entry(key).or_default()[ai].push((fact.interval, gid as u32, is_fresh));
         }
     }
-    let restricted = fresh.is_some();
     let (ra, rb) = (spec.rels[0], spec.rels[1]);
     for [a_side, b_side] in buckets.values_mut() {
         if a_side.is_empty() || b_side.is_empty() {
@@ -209,6 +243,18 @@ fn sweep_lists(
                 if ra == rb && agid == bgid {
                     continue; // singleton image
                 }
+                // Re-check the join columns: bucket keys are hashes.
+                if !spec.joins.is_empty() {
+                    let fa = fact_at(pre, delta, ra, agid);
+                    let fb = fact_at(pre, delta, rb, bgid);
+                    if spec
+                        .joins
+                        .iter()
+                        .any(|&(c0, c1)| fa.data[c0] != fb.data[c1])
+                    {
+                        continue;
+                    }
+                }
                 emit((ra, agid), (rb, bgid));
             }
         }
@@ -216,7 +262,12 @@ fn sweep_lists(
 }
 
 /// The fact with global id `gid` inside the `pre ++ delta` lists.
-fn fact_at<'a>(pre: &'a FactLists, delta: &'a FactLists, rel: RelId, gid: u32) -> &'a TemporalFact {
+pub(crate) fn fact_at<'a>(
+    pre: &'a FactLists,
+    delta: &'a FactLists,
+    rel: RelId,
+    gid: u32,
+) -> &'a TemporalFact {
     let r = rel.0 as usize;
     let g = gid as usize;
     if g < pre[r].len() {
@@ -240,7 +291,7 @@ fn fact_at<'a>(pre: &'a FactLists, delta: &'a FactLists, rel: RelId, gid: u32) -
 /// keeps long-lived facts from being re-enumerated in every partition they
 /// span.
 #[allow(clippy::too_many_arguments)]
-fn discover_images(
+pub(crate) fn discover_images(
     schema: &Arc<Schema>,
     tp: &TimelinePartition,
     pre: &FactLists,
@@ -389,7 +440,7 @@ fn par_normalize(
     normalize_with_groups(ic, &groups)
 }
 
-fn build_sharded(
+pub(crate) fn build_sharded(
     schema: &Arc<Schema>,
     tp: &TimelinePartition,
     pre: &FactLists,
@@ -479,9 +530,29 @@ fn refragment(
     sopts: SearchOptions,
     renorm_bodies: Option<&[&[Atom]]>,
     naive: bool,
+    pre: FactLists,
+    delta: FactLists,
+) -> Result<(ShardedFactStore, FactLists, FactLists)> {
+    let (pre, delta) =
+        refragment_lists(schema, tp, threads, sopts, renorm_bodies, naive, pre, delta)?;
+    Ok((build_sharded(schema, tp, &pre, &delta, false), pre, delta))
+}
+
+/// The list-level fixpoint behind [`refragment`]: same cut discovery and
+/// application, but without the final store build — the incremental session
+/// matches with its own delta-scoped joins over the lists and never needs
+/// the sharded store on its fast path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn refragment_lists(
+    schema: &Arc<Schema>,
+    tp: &TimelinePartition,
+    threads: usize,
+    sopts: SearchOptions,
+    renorm_bodies: Option<&[&[Atom]]>,
+    naive: bool,
     mut pre: FactLists,
     mut delta: FactLists,
-) -> Result<(ShardedFactStore, FactLists, FactLists)> {
+) -> Result<(FactLists, FactLists)> {
     let nrels = schema.len();
     let mut fresh: Vec<Vec<bool>> = delta.iter().map(|d| vec![true; d.len()]).collect();
     loop {
@@ -529,29 +600,55 @@ fn refragment(
         }
         base_align_cuts(&pre, &delta, &mut cuts);
         if cuts.is_empty() {
-            // Fixpoint: one store build serves the whole round's matching.
-            return Ok((build_sharded(schema, tp, &pre, &delta, false), pre, delta));
+            return Ok((pre, delta));
         }
         // Apply the cuts; fragments become delta and the new fresh set.
+        // Relations without cuts move over wholesale; within a cut
+        // relation, only facts sharing a row with some cut fact can ever
+        // collide with a fragment, so the dedup set tracks exactly those —
+        // the rest of the relation is copied without hashing.
+        let row_hash = |data: &Row| -> u64 {
+            use std::hash::{Hash, Hasher};
+            let mut h = tdx_storage::fxhash::FxHasher::default();
+            data.hash(&mut h);
+            h.finish()
+        };
+        let mut cut_rows: Vec<Option<tdx_storage::fxhash::FxHashSet<u64>>> = vec![None; nrels];
+        for &(rel, gid) in cuts.keys() {
+            let fact = fact_at(&pre, &delta, rel, gid);
+            cut_rows[rel.0 as usize]
+                .get_or_insert_with(Default::default)
+                .insert(row_hash(&fact.data));
+        }
         let mut npre: FactLists = vec![Vec::new(); nrels];
         let mut ndelta: FactLists = vec![Vec::new(); nrels];
         let mut nfresh: Vec<Vec<bool>> = vec![Vec::new(); nrels];
         for r in 0..nrels {
             let rel = RelId(r as u32);
             let pre_len = pre[r].len();
-            let mut kept: HashSet<(Row, Interval)> = HashSet::new();
+            let Some(rows) = &cut_rows[r] else {
+                npre[r] = std::mem::take(&mut pre[r]);
+                ndelta[r] = std::mem::take(&mut delta[r]);
+                nfresh[r] = vec![false; ndelta[r].len()];
+                continue;
+            };
+            let mut kept: tdx_storage::fxhash::FxHashSet<(Row, Interval)> = Default::default();
             // Uncut facts first, so a fragment colliding with an existing
             // fact dissolves into it.
             for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
-                if !cuts.contains_key(&(rel, gid as u32))
-                    && kept.insert((Arc::clone(&fact.data), fact.interval))
+                if cuts.contains_key(&(rel, gid as u32)) {
+                    continue;
+                }
+                if rows.contains(&row_hash(&fact.data))
+                    && !kept.insert((Arc::clone(&fact.data), fact.interval))
                 {
-                    if gid < pre_len {
-                        npre[r].push(fact.clone());
-                    } else {
-                        ndelta[r].push(fact.clone());
-                        nfresh[r].push(false);
-                    }
+                    continue; // duplicate of an already-kept collision candidate
+                }
+                if gid < pre_len {
+                    npre[r].push(fact.clone());
+                } else {
+                    ndelta[r].push(fact.clone());
+                    nfresh[r].push(false);
                 }
             }
             for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
@@ -578,7 +675,7 @@ fn refragment(
 /// Rewrites every fact through the round's union-find, splitting the result
 /// into unchanged (`pre`) and changed (`delta`) blocks. Facts that become
 /// identical merge (first occurrence wins).
-fn rewrite_values(
+pub(crate) fn rewrite_values(
     schema: &Arc<Schema>,
     pre: &FactLists,
     delta: &FactLists,
@@ -588,14 +685,23 @@ fn rewrite_values(
     let mut npre: FactLists = vec![Vec::new(); nrels];
     let mut ndelta: FactLists = vec![Vec::new(); nrels];
     for r in 0..nrels {
-        let mut kept: HashSet<(tdx_storage::Row, Interval)> = HashSet::new();
+        let mut kept: tdx_storage::fxhash::FxHashSet<(tdx_storage::Row, Interval)> =
+            Default::default();
         for fact in pre[r].iter().chain(delta[r].iter()) {
-            let new_data: tdx_storage::Row = fact
-                .data
-                .iter()
-                .map(|v| uf.resolve(v, fact.interval))
-                .collect();
-            let changed = new_data[..] != fact.data[..];
+            // Only null-bearing facts can change under the union-find —
+            // everything else keeps its row without re-resolving.
+            let has_null = fact.data.iter().any(|v| matches!(v, Value::Null(_)));
+            let (new_data, changed) = if has_null {
+                let new_data: tdx_storage::Row = fact
+                    .data
+                    .iter()
+                    .map(|v| uf.resolve(v, fact.interval))
+                    .collect();
+                let changed = new_data[..] != fact.data[..];
+                (new_data, changed)
+            } else {
+                (Arc::clone(&fact.data), false)
+            };
             if kept.insert((Arc::clone(&new_data), fact.interval)) {
                 let out = TemporalFact {
                     data: new_data,
@@ -917,10 +1023,10 @@ pub(crate) fn c_chase_partitioned(
     loop {
         // Per-partition egd match enumeration, delta-pivoted. Owner blocks
         // cover shared-t matches exactly once; partitions without delta
-        // facts cannot host a new match.
-        let dirty: Vec<usize> = (0..sharded.part_count())
-            .filter(|&p| sharded.part(p).has_delta())
-            .collect();
+        // facts cannot host a new match. Generation 0 is the round's
+        // pre/delta split, so the watermark query is exactly "who gained
+        // facts this round".
+        let dirty: Vec<usize> = sharded.dirty_partitions(tdx_storage::Generation(0));
         let egds = mapping.egds();
         type Op = (usize, Value, Value, Interval);
         let per_task = run_tasks(threads, dirty.len(), |t| -> Result<Vec<Op>> {

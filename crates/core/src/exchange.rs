@@ -84,6 +84,17 @@ impl DataExchange {
         c_chase_with(source, &self.mapping, &self.options)
     }
 
+    /// Opens a stateful incremental session: the target stays materialized
+    /// between calls and each [`DeltaBatch`](crate::chase::incremental::DeltaBatch)
+    /// of source changes re-runs only the affected chase work (see
+    /// [`IncrementalExchange`](crate::chase::incremental::IncrementalExchange)).
+    pub fn incremental(&self) -> Result<crate::chase::incremental::IncrementalExchange> {
+        crate::chase::incremental::IncrementalExchange::with_options(
+            self.mapping.clone(),
+            self.options.clone(),
+        )
+    }
+
     /// Chases the abstract view of a concrete source (Section 3); mostly
     /// useful for validation and the experiments.
     pub fn exchange_abstract(&self, source: &TemporalInstance) -> Result<AbstractInstance> {

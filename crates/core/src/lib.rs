@@ -41,6 +41,14 @@
 //! triangulates all three engines, and `crates/bench` ablates them (see
 //! `BENCH_chase.json`; CI gates regressions via `bench_check`).
 //!
+//! On top of the batch engines, [`IncrementalExchange`] is a *stateful*
+//! exchange session: the chased target stays materialized between calls
+//! and each [`DeltaBatch`] of source changes re-runs only the tgd/egd
+//! work at dirty intervals plus the boundary-reconciliation set — ~8×
+//! over a from-scratch partitioned re-chase for small batches (see
+//! `docs/incremental.md` and `c_chase/incremental/*` in
+//! `BENCH_chase.json`).
+//!
 //! | Layer | Role |
 //! |-------|------|
 //! | `tdx_temporal::index` | interval-endpoint index: overlap/exact probes, endpoints |
@@ -101,6 +109,7 @@ pub use chase::abstract_chase::{
 pub use chase::concrete::{
     c_chase, c_chase_with, CChaseResult, ChaseEngine, ChaseOptions, ChaseStats,
 };
+pub use chase::incremental::{BatchStats, DeltaBatch, IncrementalExchange, SessionStats};
 pub use chase::snapshot::{snapshot_chase, snapshot_chase_with};
 pub use chase::worker_threads;
 pub use error::{Result, TdxError};

@@ -186,6 +186,23 @@ impl TimelinePartition {
         let (lo, hi) = self.parts_overlapping(iv);
         lo != hi
     }
+
+    /// How unevenly `points` distribute over the ranges: the largest
+    /// per-range point count divided by the ideal (total / ranges). `1.0`
+    /// is perfectly balanced; values well above it mean the endpoint
+    /// histogram has shifted since the partition was cut — the signal an
+    /// incremental session uses to re-coarsen its timeline partition.
+    pub fn imbalance(&self, points: &Breakpoints) -> f64 {
+        if self.len() <= 1 || points.is_empty() {
+            return 1.0;
+        }
+        let mut counts = vec![0usize; self.len()];
+        for &p in points.points() {
+            counts[self.part_of(p)] += 1;
+        }
+        let ideal = points.len() as f64 / self.len() as f64;
+        counts.iter().copied().max().unwrap_or(0) as f64 / ideal.max(1.0)
+    }
 }
 
 /// Fragments `iv` at every breakpoint strictly inside it.
@@ -236,6 +253,20 @@ mod tests {
 
     fn iv(s: u64, e: u64) -> Interval {
         Interval::new(s, e)
+    }
+
+    #[test]
+    fn imbalance_detects_a_shifted_histogram() {
+        let tp = TimelinePartition::new(&Breakpoints::from_points([10, 20, 30]));
+        // Evenly spread endpoints: perfectly balanced.
+        let even = Breakpoints::from_points([5, 15, 25, 35]);
+        assert!((tp.imbalance(&even) - 1.0).abs() < 1e-9);
+        // Everything piled into the last range: maximally skewed.
+        let skewed = Breakpoints::from_points([31, 32, 33, 34, 35, 36, 37, 38]);
+        assert!(tp.imbalance(&skewed) > 3.0);
+        // Degenerate cases report balance.
+        assert!((TimelinePartition::whole().imbalance(&even) - 1.0).abs() < 1e-9);
+        assert!((tp.imbalance(&Breakpoints::new()) - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -23,8 +23,13 @@ pub mod adversarial;
 pub mod employment;
 pub mod random;
 pub mod sparse;
+pub mod stream;
 
 pub use adversarial::{nested_intervals, nested_mapping};
 pub use employment::{figure4_source, paper_mapping, EmploymentConfig, EmploymentWorkload};
 pub use random::{RandomConfig, RandomWorkload};
 pub use sparse::{clustered_instance, ClusteredConfig};
+pub use stream::{
+    employment_stream, nested_stream, random_stream, sparse_stream, split_stream, BatchOrder,
+    DeltaStream, StreamConfig,
+};

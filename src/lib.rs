@@ -32,7 +32,7 @@ pub use tdx_workload as workload;
 
 pub use tdx_core::{
     c_chase, c_chase_with, naive_eval_concrete, semantics, CChaseResult, ChaseOptions,
-    DataExchange, TdxError, TemporalAnswers,
+    DataExchange, DeltaBatch, IncrementalExchange, TdxError, TemporalAnswers,
 };
 pub use tdx_logic::{parse_mapping, parse_query, parse_union_query, SchemaMapping, UnionQuery};
 pub use tdx_storage::{TemporalInstance, Value};

@@ -228,6 +228,55 @@ fn partitioned_engine_is_thread_count_deterministic() {
 }
 
 #[test]
+fn incremental_session_agrees_with_every_engine() {
+    // The incremental path joins the triangulation: replaying the source
+    // in batches through an `IncrementalExchange` (whose worker count
+    // resolves through the same TDX_CHASE_THREADS knob CI's matrix varies)
+    // must land on the same solution as every batch engine.
+    use tdx::workload::{employment_stream, BatchOrder, StreamConfig};
+    use tdx::{DeltaBatch, IncrementalExchange};
+    let stream = employment_stream(
+        &EmploymentConfig {
+            persons: 25,
+            horizon: 30,
+            salary_coverage: 0.7,
+            seed: 4,
+            ..EmploymentConfig::default()
+        },
+        &StreamConfig {
+            batches: 4,
+            batch_fraction: 0.05,
+            order: BatchOrder::Uniform,
+            ..StreamConfig::default()
+        },
+    );
+    let mut session = IncrementalExchange::with_options(
+        stream.mapping.clone(),
+        ChaseOptions::partitioned_parallel(0), // resolves via TDX_CHASE_THREADS
+    )
+    .unwrap();
+    session
+        .apply(&DeltaBatch::from_instance(&stream.base))
+        .unwrap();
+    for batch in &stream.batches {
+        session.apply(&DeltaBatch::from_instance(batch)).unwrap();
+    }
+    let union = stream.union();
+    let incremental = session.target();
+    assert!(
+        is_solution_concrete(&union, &incremental, &stream.mapping).unwrap(),
+        "incremental result is not a solution"
+    );
+    for (name, opts) in all_engines() {
+        let scratch = c_chase_with(&union, &stream.mapping, &opts).unwrap();
+        assert!(
+            hom_equivalent(&semantics(&scratch.target), &semantics(&incremental)),
+            "incremental session disagrees with {name}"
+        );
+    }
+}
+
+#[test]
 fn semi_naive_deltas_change_nothing_across_chase_options() {
     // Cross the engine flag with the other chase options on the paper
     // example: every combination must produce the same certain answers.

@@ -7,11 +7,15 @@
 //! and measures with plain wall-clock sampling: per benchmark it warms up,
 //! picks an iteration count that fits the measurement budget, takes
 //! `sample_size` samples, and reports min/median/mean. Results are printed
-//! and written as JSON to `target/criterion-lite/<bench>.json`.
+//! and written as JSON to `<out dir>/<bench>.json`.
 //!
 //! Environment knobs:
 //!
-//! * `TDX_BENCH_FAST=1` — shrink budgets (~20×) for CI smoke runs.
+//! * `TDX_BENCH_FAST=1` — shrink budgets (~20×) for CI smoke runs;
+//! * `TDX_BENCH_OUT_DIR` — where the JSON reports go. Defaults to `out/`
+//!   relative to the bench binary's working directory — `cargo bench` runs
+//!   from the package dir, so reports land in `crates/bench/out/` (which is
+//!   git-ignored), never inside a `target/` tree that caching may persist.
 
 #![warn(missing_docs)]
 
@@ -148,7 +152,9 @@ impl Criterion {
                 }
             })
             .unwrap_or_else(|| "bench".to_string());
-        let dir = std::path::Path::new("target").join("criterion-lite");
+        let dir = std::path::PathBuf::from(
+            std::env::var("TDX_BENCH_OUT_DIR").unwrap_or_else(|_| "out".to_string()),
+        );
         if std::fs::create_dir_all(&dir).is_ok() {
             let path = dir.join(format!("{stem}.json"));
             if std::fs::write(&path, self.to_json()).is_ok() {
