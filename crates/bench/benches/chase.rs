@@ -87,6 +87,25 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
+/// The distributed partition-server engine across cluster sizes, plus one
+/// distributed incremental batch (`tdx_bench::distributed_suite`, shared
+/// with the CI gate). Acceptance bar: the 1-server row stays within the
+/// same order of magnitude as `partitioned_parallel/1` — the delta is the
+/// cost of serializing every fact and match over the protocol.
+fn bench_distributed(c: &mut Criterion) {
+    let mut group = c.benchmark_group(tdx_bench::distributed_suite::GROUP);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for case in tdx_bench::distributed_suite::cases() {
+        let run = case.run;
+        group.bench_with_input(BenchmarkId::from(case.id.as_str()), &(), |b, _| {
+            b.iter(&run)
+        });
+    }
+    group.finish();
+}
+
 /// Per-batch latency of the incremental exchange session vs a from-scratch
 /// re-chase of the same accumulated source (`tdx_bench::incremental_suite`,
 /// shared with the CI gate). Acceptance bar: `employment/batch5pct/100` at
@@ -110,6 +129,7 @@ criterion_group!(
     bench_employment,
     bench_nested,
     bench_engines,
+    bench_distributed,
     bench_incremental
 );
 criterion_main!(benches);

@@ -27,7 +27,10 @@
 //!
 //! On single-core machines the `partitioned_parallel/4` rows are skipped by
 //! the suite itself (they would measure pure thread overhead); baseline
-//! rows without a fresh counterpart are simply not gated.
+//! rows without a fresh counterpart are simply not gated. The reverse — a
+//! *measured* id with no committed baseline row — fails the gate with a
+//! "missing baseline row" message listing the ids: a gated family whose
+//! baseline was never committed would otherwise be silently exempt.
 
 use std::time::{Duration, Instant};
 
@@ -161,6 +164,7 @@ fn main() {
     const GATE_FLOOR_NS: f64 = 500_000.0;
     let mut ratios: Vec<(String, f64)> = Vec::new();
     let mut ungated: Vec<String> = Vec::new();
+    let mut missing: Vec<String> = Vec::new();
     for (id, median_ns, _) in &fresh {
         if let Some(base) = baselines.iter().find(|b| &b.id == id) {
             if base.anchor_ns >= GATE_FLOOR_NS {
@@ -173,8 +177,25 @@ fn main() {
                 ));
             }
         } else {
-            println!("bench_check: note: {id} has no committed baseline yet");
+            // A gated family without a committed baseline row is a gap in
+            // the gate, not a note: every measured id must be anchored, or
+            // a regression in the new family would sail through unseen.
+            missing.push(id.clone());
         }
+    }
+    if !missing.is_empty() {
+        eprintln!(
+            "bench_check: FAILED — missing baseline row{} in {baseline_path} for:",
+            if missing.len() == 1 { "" } else { "s" }
+        );
+        for id in &missing {
+            eprintln!("  {id}");
+        }
+        eprintln!(
+            "bench_check: run the suite on the baseline machine and commit the new rows \
+             (the fresh measurements were written to {out_path})"
+        );
+        std::process::exit(1);
     }
     if ratios.is_empty() {
         println!("bench_check: no overlapping ids with the baseline — nothing to gate");

@@ -167,6 +167,12 @@ pub fn gated_cases() -> Vec<(String, Box<dyn Fn() + Send + Sync>)> {
             case.run,
         ));
     }
+    for case in distributed_suite::cases() {
+        out.push((
+            format!("{}/{}", distributed_suite::GROUP, case.id),
+            case.run,
+        ));
+    }
     out
 }
 
@@ -259,6 +265,86 @@ pub mod engine_suite {
                 });
             }
         }
+        out
+    }
+}
+
+/// The `c_chase/distributed/*` suite: the partition-server engine at 1 and
+/// 3 servers against the same workloads as the engine ablation, plus the
+/// per-batch latency of a distributed incremental session. Unlike
+/// `partitioned_parallel/4`, the 3-server rows are *not* skipped on
+/// single-core machines: the servers' match enumeration is
+/// request-response serialized behind the coordinator anyway, so the row
+/// measures protocol overhead plus the same work — a meaningful number on
+/// any machine. Shared between `benches/chase.rs` and the regression gate
+/// like [`engine_suite`].
+pub mod distributed_suite {
+    pub use crate::Case;
+    use std::sync::Arc;
+    use tdx_core::{c_chase_with, ChaseOptions, DeltaBatch, IncrementalExchange};
+    use tdx_workload::{
+        employment_stream, BatchOrder, EmploymentConfig, EmploymentWorkload, StreamConfig,
+    };
+
+    /// The group prefix every case id lives under.
+    pub const GROUP: &str = "c_chase/distributed";
+
+    /// Per-family cases: `employment/{1s,3s}/{50,100}` full chases and
+    /// `employment/incremental5pct/1s/100` (clone a seeded distributed
+    /// session, absorb one 5% batch through the cluster).
+    pub fn cases() -> Vec<Case> {
+        let engines: Vec<(&'static str, ChaseOptions)> = vec![
+            ("1s", ChaseOptions::distributed(1)),
+            ("3s", ChaseOptions::distributed(3)),
+        ];
+        let mut out = Vec::new();
+        for persons in [50usize, 100] {
+            let w = Arc::new(EmploymentWorkload::generate(&EmploymentConfig {
+                persons,
+                horizon: 30,
+                seed: 42,
+                ..EmploymentConfig::default()
+            }));
+            for (label, opts) in &engines {
+                let w = Arc::clone(&w);
+                let opts = opts.clone();
+                out.push(Case {
+                    id: format!("employment/{label}/{persons}"),
+                    run: Box::new(move || {
+                        c_chase_with(&w.source, &w.mapping, &opts).unwrap();
+                    }),
+                });
+            }
+        }
+        let stream = employment_stream(
+            &EmploymentConfig {
+                persons: 100,
+                horizon: 30,
+                seed: 42,
+                ..EmploymentConfig::default()
+            },
+            &StreamConfig {
+                batches: 1,
+                batch_fraction: 0.05,
+                order: BatchOrder::Uniform,
+                ..StreamConfig::default()
+            },
+        );
+        let mut session =
+            IncrementalExchange::with_options(stream.mapping.clone(), ChaseOptions::distributed(1))
+                .expect("valid scenario mapping");
+        session
+            .apply(&DeltaBatch::from_instance(&stream.base))
+            .expect("consistent base instance");
+        let session = Arc::new(session);
+        let batch = Arc::new(DeltaBatch::from_instance(&stream.batches[0]));
+        out.push(Case {
+            id: "employment/incremental5pct/1s/100".to_string(),
+            run: Box::new(move || {
+                let mut s = (*session).clone();
+                s.apply(&batch).unwrap();
+            }),
+        });
         out
     }
 }

@@ -52,6 +52,18 @@ pub enum ChaseEngine {
         /// [`worker_threads`](crate::chase::worker_threads)).
         threads: usize,
     },
+    /// Distributed evaluation over partition servers: each server owns a
+    /// contiguous block of timeline partitions and speaks the serialized
+    /// `ApplyDelta` / `RunTgdRound` / `RunLocalEgdRound` / `Snapshot`
+    /// protocol of [`crate::chase::distributed`], while the coordinator
+    /// keeps the global union-find and the normalization fixpoints.
+    /// Hom-equivalent to [`ChaseEngine::PartitionedParallel`] and
+    /// byte-identical across server counts. See `docs/distributed.md`.
+    Distributed {
+        /// Partition servers; `0` resolves from `TDX_CHASE_SERVERS`, then
+        /// defaults to 2 (see [`server_count`](crate::chase::server_count)).
+        servers: usize,
+    },
 }
 
 /// Tuning knobs for the c-chase.
@@ -113,6 +125,16 @@ impl ChaseOptions {
     pub fn partitioned_parallel(threads: usize) -> ChaseOptions {
         ChaseOptions {
             engine: ChaseEngine::PartitionedParallel { threads },
+            ..ChaseOptions::default()
+        }
+    }
+
+    /// Default options on the distributed partition-server engine.
+    /// `servers = 0` resolves from `TDX_CHASE_SERVERS` (see
+    /// [`server_count`](crate::chase::server_count)).
+    pub fn distributed(servers: usize) -> ChaseOptions {
+        ChaseOptions {
+            engine: ChaseEngine::Distributed { servers },
             ..ChaseOptions::default()
         }
     }
@@ -363,6 +385,9 @@ pub fn c_chase_with(
 ) -> Result<CChaseResult> {
     if let ChaseEngine::PartitionedParallel { threads } = opts.engine {
         return crate::chase::partitioned::c_chase_partitioned(ic, mapping, opts, threads);
+    }
+    if let ChaseEngine::Distributed { servers } = opts.engine {
+        return crate::chase::distributed::c_chase_distributed(ic, mapping, opts, servers);
     }
     let mut stats = ChaseStats {
         source_facts_in: ic.total_len(),

@@ -1,0 +1,1131 @@
+//! The distributed partition-server c-chase
+//! (`ChaseEngine::Distributed { servers }`).
+//!
+//! The partitioned engine (`chase/partitioned.rs`) already confines every
+//! shared-interval match to one timeline partition and ships round changes
+//! through the delta log; this module distributes those partitions across
+//! **partition servers** and turns the remaining coupling into an explicit
+//! message protocol. Each server owns a contiguous block of timeline
+//! partitions ([`TimelinePartition::server_of`]) and holds the facts
+//! overlapping its owned ranges — its owner blocks plus the **replica set**
+//! of boundary-crossing facts owned elsewhere, which is the only data that
+//! travels to more than one server. The coordinator runs the chase loop
+//! (and, for delta streams, the existing
+//! [`IncrementalExchange`](crate::chase::incremental::IncrementalExchange)
+//! loop), keeps the global annotated union-find, and performs the global
+//! normalization/re-fragmentation steps; servers do the match enumeration.
+//!
+//! # Protocol
+//!
+//! Servers speak a four-message protocol ([`Message`] / [`Response`]):
+//!
+//! * [`Message::ApplyDelta`] — replace the server's fact lists for one
+//!   store (source or target) with the shipped `pre`/`delta` blocks. The
+//!   coordinator ships each fact to every server whose owned ranges it
+//!   overlaps, so boundary replicas are materialized at shipping time.
+//! * [`Message::RunTgdRound`] — enumerate, per owned partition, every
+//!   shared-interval homomorphism of the s-t tgd bodies whose image touches
+//!   the delta block (`PartScope::OwnerDelta`), returning the variable
+//!   bindings and the shared interval. The restricted-chase check and null
+//!   generation stay on the coordinator — they consult global state.
+//! * [`Message::RunLocalEgdRound`] — enumerate the egd-body matches of the
+//!   owned partitions the same way and return the *merge operations*
+//!   `(egd, lhs value, rhs value, interval)`. The coordinator folds them
+//!   into the global union-find; a constant/constant clash fails the chase
+//!   exactly as in the shared-memory engines.
+//! * [`Message::Snapshot`] — return the server's owner facts and replica
+//!   facts, for consistency auditing and tests.
+//!
+//! Every message and response crosses the channel as **serialized bytes**
+//! ([`tdx_storage::codec`]): the in-process actors (one thread + channel
+//! pair per server) exercise the exact encode/decode path a socket
+//! transport would, so swapping the `std::sync::mpsc` pair for a TCP
+//! stream is a transport change, not a protocol change (see
+//! `docs/distributed.md`). Spawn-time configuration — schemas, dependency
+//! bodies, the timeline partition — plays the role of process-start
+//! arguments and is passed by value when the server thread starts.
+//!
+//! # Determinism and equivalence
+//!
+//! Responses are tagged with their partition index and the coordinator
+//! folds them in ascending partition order, so the result is byte-identical
+//! for every server count: the per-partition work is independent of which
+//! server hosts the partition. Hom-equivalence to
+//! [`ChaseEngine::PartitionedParallel`] is triangulated in
+//! `tests/equivalence.rs`; the argument mirrors `docs/parallelism.md` and
+//! is spelled out in `docs/distributed.md`.
+
+use crate::chase::concrete::{
+    instantiate, AnnotatedUnionFind, CChaseResult, ChaseOptions, ChaseStats, UfKey,
+};
+use crate::chase::partitioned::{refragment_lists, rewrite_values, FactLists};
+use crate::error::{Result, TdxError};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Var};
+use tdx_storage::codec::{decode, encode, ByteReader, ByteWriter, CodecError, Wire};
+use tdx_storage::{
+    NullGen, PartScope, Row, SearchOptions, ShardedFactStore, TemporalFact, TemporalInstance,
+    TemporalMode, Value,
+};
+use tdx_temporal::{Interval, TimelinePartition};
+
+/// Which of a server's two stores a message addresses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreKind {
+    /// The normalized source (tgd bodies match against it).
+    Source,
+    /// The materialized target (egd bodies match against it).
+    Target,
+}
+
+/// A coordinator → server request. See the module docs for the protocol.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// Replace the server's fact lists for `store` with the shipped
+    /// pre/delta blocks (per relation, in global order). The shipped facts
+    /// are exactly those overlapping the server's owned ranges — owner
+    /// facts and boundary replicas.
+    ApplyDelta {
+        /// Store addressed.
+        store: StoreKind,
+        /// Facts unchanged since the last round, per relation.
+        pre: Vec<Vec<TemporalFact>>,
+        /// Facts changed by the last round, per relation.
+        delta: Vec<Vec<TemporalFact>>,
+    },
+    /// Enumerate delta-touching s-t tgd body matches over the owned
+    /// partitions; respond with [`Response::Homs`].
+    RunTgdRound,
+    /// Enumerate delta-touching egd body matches over the owned
+    /// partitions; respond with [`Response::Merges`].
+    RunLocalEgdRound,
+    /// Return the server's owner and replica facts for `store`; respond
+    /// with [`Response::Facts`].
+    Snapshot {
+        /// Store addressed.
+        store: StoreKind,
+    },
+    /// Terminate the server loop; respond with [`Response::Stopped`].
+    Shutdown,
+}
+
+/// One enumerated homomorphism: variable bindings (variables by name — wire
+/// messages cannot carry process-local intern ids) and the shared interval.
+pub type WireHom = (Vec<(String, Value)>, Interval);
+
+/// A decoded homomorphism, variables re-interned on the coordinator side.
+pub type Hom = (Vec<(Var, Value)>, Interval);
+
+/// One merge operation: `(egd index, lhs value, rhs value, interval)`.
+pub type MergeOp = (u32, Value, Value, Interval);
+
+/// A partition's merge operations, tagged with its index for the
+/// coordinator's deterministic ascending fold.
+pub type PartitionMerges = (u64, Vec<MergeOp>);
+
+/// A server → coordinator response.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// [`Message::ApplyDelta`] acknowledged.
+    Applied,
+    /// Per owned partition (ascending), per tgd, the enumerated
+    /// homomorphisms.
+    Homs(Vec<(u64, Vec<Vec<WireHom>>)>),
+    /// Per owned partition (ascending): `(egd index, lhs, rhs, interval)`
+    /// merge operations, in enumeration order.
+    Merges(Vec<PartitionMerges>),
+    /// Owner facts and replica facts, per relation.
+    Facts {
+        /// Facts whose owner partition this server owns.
+        owned: Vec<Vec<TemporalFact>>,
+        /// Boundary replicas of facts owned by other servers.
+        replicas: Vec<Vec<TemporalFact>>,
+    },
+    /// [`Message::Shutdown`] acknowledged; the server loop has exited.
+    Stopped,
+}
+
+impl Wire for StoreKind {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u8(match self {
+            StoreKind::Source => 0,
+            StoreKind::Target => 1,
+        });
+    }
+    fn read(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(StoreKind::Source),
+            1 => Ok(StoreKind::Target),
+            tag => Err(CodecError(format!("unknown StoreKind tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for Message {
+    fn write(&self, w: &mut ByteWriter) {
+        match self {
+            Message::ApplyDelta { store, pre, delta } => {
+                w.u8(0);
+                store.write(w);
+                pre.write(w);
+                delta.write(w);
+            }
+            Message::RunTgdRound => w.u8(1),
+            Message::RunLocalEgdRound => w.u8(2),
+            Message::Snapshot { store } => {
+                w.u8(3);
+                store.write(w);
+            }
+            Message::Shutdown => w.u8(4),
+        }
+    }
+    fn read(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(Message::ApplyDelta {
+                store: StoreKind::read(r)?,
+                pre: Wire::read(r)?,
+                delta: Wire::read(r)?,
+            }),
+            1 => Ok(Message::RunTgdRound),
+            2 => Ok(Message::RunLocalEgdRound),
+            3 => Ok(Message::Snapshot {
+                store: StoreKind::read(r)?,
+            }),
+            4 => Ok(Message::Shutdown),
+            tag => Err(CodecError(format!("unknown Message tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for Response {
+    fn write(&self, w: &mut ByteWriter) {
+        match self {
+            Response::Applied => w.u8(0),
+            Response::Homs(homs) => {
+                w.u8(1);
+                homs.write(w);
+            }
+            Response::Merges(ops) => {
+                w.u8(2);
+                ops.write(w);
+            }
+            Response::Facts { owned, replicas } => {
+                w.u8(3);
+                owned.write(w);
+                replicas.write(w);
+            }
+            Response::Stopped => w.u8(4),
+        }
+    }
+    fn read(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(Response::Applied),
+            1 => Ok(Response::Homs(Wire::read(r)?)),
+            2 => Ok(Response::Merges(Wire::read(r)?)),
+            3 => Ok(Response::Facts {
+                owned: Wire::read(r)?,
+                replicas: Wire::read(r)?,
+            }),
+            4 => Ok(Response::Stopped),
+            tag => Err(CodecError(format!("unknown Response tag {tag}"))),
+        }
+    }
+}
+
+/// A partition server's spawn-time configuration — the process-start
+/// arguments of a future out-of-process server.
+struct ServerConfig {
+    src_schema: Arc<Schema>,
+    tgt_schema: Arc<Schema>,
+    tp: TimelinePartition,
+    /// Partitions this server owns, ascending.
+    owned: Vec<usize>,
+    tgd_bodies: Vec<Vec<Atom>>,
+    /// Egd bodies with their lhs/rhs variables.
+    egds: Vec<(Vec<Atom>, Var, Var)>,
+    sopts: SearchOptions,
+}
+
+/// The server actor: decodes requests, maintains its two stores, runs
+/// owner-scoped match enumeration, encodes responses.
+struct ServerState {
+    cfg: ServerConfig,
+    src: Option<ShardedFactStore>,
+    tgt: Option<ShardedFactStore>,
+}
+
+impl ServerState {
+    fn handle(&mut self, msg: Message) -> std::result::Result<Response, String> {
+        match msg {
+            Message::ApplyDelta { store, pre, delta } => {
+                let schema = match store {
+                    StoreKind::Source => &self.cfg.src_schema,
+                    StoreKind::Target => &self.cfg.tgt_schema,
+                };
+                if pre.len() != schema.len() || delta.len() != schema.len() {
+                    return Err(format!(
+                        "ApplyDelta relation count mismatch: got {}/{}, schema has {}",
+                        pre.len(),
+                        delta.len(),
+                        schema.len()
+                    ));
+                }
+                let built = ShardedFactStore::build_with_delta(
+                    Arc::clone(schema),
+                    self.cfg.tp.clone(),
+                    1,
+                    false,
+                    |rel| {
+                        (
+                            pre[rel.0 as usize].as_slice(),
+                            delta[rel.0 as usize].as_slice(),
+                        )
+                    },
+                );
+                match store {
+                    StoreKind::Source => self.src = Some(built),
+                    StoreKind::Target => self.tgt = Some(built),
+                }
+                Ok(Response::Applied)
+            }
+            Message::RunTgdRound => {
+                let store = self.src.as_ref().ok_or("RunTgdRound before ApplyDelta")?;
+                let mut out: Vec<(u64, Vec<Vec<WireHom>>)> = Vec::new();
+                for &p in &self.cfg.owned {
+                    let view = store.part(p);
+                    if !view.has_delta() {
+                        continue; // nothing new can match here
+                    }
+                    let mut per_tgd: Vec<Vec<WireHom>> = Vec::new();
+                    for body in &self.cfg.tgd_bodies {
+                        let mut homs: Vec<WireHom> = Vec::new();
+                        view.find_matches(
+                            body,
+                            TemporalMode::Shared,
+                            &[],
+                            None,
+                            self.cfg.sopts,
+                            PartScope::OwnerDelta,
+                            &mut |m| {
+                                homs.push((
+                                    m.bindings()
+                                        .into_iter()
+                                        .map(|(v, val)| (v.name().to_string(), val))
+                                        .collect(),
+                                    m.shared_interval().expect("temporal store binds t"),
+                                ));
+                                true
+                            },
+                        )
+                        .map_err(|e| e.to_string())?;
+                        per_tgd.push(homs);
+                    }
+                    if per_tgd.iter().any(|h| !h.is_empty()) {
+                        out.push((p as u64, per_tgd));
+                    }
+                }
+                Ok(Response::Homs(out))
+            }
+            Message::RunLocalEgdRound => {
+                let store = self
+                    .tgt
+                    .as_ref()
+                    .ok_or("RunLocalEgdRound before ApplyDelta")?;
+                let mut out: Vec<PartitionMerges> = Vec::new();
+                for &p in &self.cfg.owned {
+                    let view = store.part(p);
+                    if !view.has_delta() {
+                        continue;
+                    }
+                    let mut ops: Vec<MergeOp> = Vec::new();
+                    for (ei, (body, lhs, rhs)) in self.cfg.egds.iter().enumerate() {
+                        view.find_matches(
+                            body,
+                            TemporalMode::Shared,
+                            &[],
+                            None,
+                            self.cfg.sopts,
+                            PartScope::OwnerDelta,
+                            &mut |m| {
+                                let iv = m.shared_interval().expect("temporal store binds t");
+                                let a = m.value(*lhs).expect("egd lhs in body");
+                                let b = m.value(*rhs).expect("egd rhs in body");
+                                if a != b {
+                                    ops.push((ei as u32, a, b, iv));
+                                }
+                                true
+                            },
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                    if !ops.is_empty() {
+                        out.push((p as u64, ops));
+                    }
+                }
+                Ok(Response::Merges(out))
+            }
+            Message::Snapshot { store } => {
+                let (store, schema) = match store {
+                    StoreKind::Source => (&self.src, &self.cfg.src_schema),
+                    StoreKind::Target => (&self.tgt, &self.cfg.tgt_schema),
+                };
+                let nrels = schema.len();
+                let mut owned: Vec<Vec<TemporalFact>> = vec![Vec::new(); nrels];
+                let mut replicas: Vec<Vec<TemporalFact>> = vec![Vec::new(); nrels];
+                if let Some(s) = store {
+                    // Every shipped fact lands in the local partition owning
+                    // its start point; the ones in owned partitions are this
+                    // server's owner facts, the rest are boundary replicas.
+                    for (rel, _, fact) in s.iter_all() {
+                        let p = self.cfg.tp.part_of(fact.interval.start());
+                        if self.cfg.owned.binary_search(&p).is_ok() {
+                            owned[rel.0 as usize].push(fact.clone());
+                        } else {
+                            replicas[rel.0 as usize].push(fact.clone());
+                        }
+                    }
+                }
+                Ok(Response::Facts { owned, replicas })
+            }
+            Message::Shutdown => Ok(Response::Stopped),
+        }
+    }
+}
+
+/// The server loop: bytes in, bytes out, until `Shutdown` (or a closed
+/// channel — coordinator dropped — which also terminates it).
+fn serve(mut state: ServerState, rx: Receiver<Vec<u8>>, tx: Sender<Vec<u8>>) {
+    while let Ok(bytes) = rx.recv() {
+        let msg = match decode::<Message>(&bytes) {
+            Ok(m) => m,
+            Err(e) => {
+                // A malformed frame is fatal for this transport pair.
+                let _ = tx.send(encode(&Response::Stopped));
+                panic!("partition server: {e}");
+            }
+        };
+        let stop = matches!(msg, Message::Shutdown);
+        match state.handle(msg) {
+            Ok(resp) => {
+                if tx.send(encode(&resp)).is_err() {
+                    return; // coordinator gone
+                }
+            }
+            Err(e) => panic!("partition server: {e}"),
+        }
+        if stop {
+            return;
+        }
+    }
+}
+
+struct ServerHandle {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A coordinator-side handle to a set of partition servers (in-process
+/// actors speaking the serialized [`Message`] protocol). Owns the server
+/// threads; dropping the cluster shuts them down.
+pub struct DistributedCluster {
+    handles: Vec<ServerHandle>,
+    tp: TimelinePartition,
+    src_rels: usize,
+    tgt_rels: usize,
+    servers: usize,
+}
+
+impl DistributedCluster {
+    /// Spawns `servers` partition servers over `tp`, distributing its
+    /// ranges as contiguous balanced blocks
+    /// ([`TimelinePartition::server_of`]). Dependency bodies and schemas
+    /// are spawn-time configuration.
+    pub fn spawn(
+        mapping: &SchemaMapping,
+        tp: &TimelinePartition,
+        servers: usize,
+        sopts: SearchOptions,
+    ) -> DistributedCluster {
+        let servers = servers.max(1);
+        let src_schema = Arc::new(mapping.source().clone());
+        let tgt_schema = Arc::new(mapping.target().clone());
+        let tgd_bodies: Vec<Vec<Atom>> = mapping.st_tgds().iter().map(|t| t.body.clone()).collect();
+        let egds: Vec<(Vec<Atom>, Var, Var)> = mapping
+            .egds()
+            .iter()
+            .map(|e| (e.body.clone(), e.lhs, e.rhs))
+            .collect();
+        let assignment = tp.server_assignment(servers);
+        let mut handles = Vec::with_capacity(servers);
+        for s in 0..servers {
+            let owned: Vec<usize> = (0..tp.len()).filter(|&p| assignment[p] == s).collect();
+            let cfg = ServerConfig {
+                src_schema: Arc::clone(&src_schema),
+                tgt_schema: Arc::clone(&tgt_schema),
+                tp: tp.clone(),
+                owned,
+                tgd_bodies: tgd_bodies.clone(),
+                egds: egds.clone(),
+                sopts,
+            };
+            let (req_tx, req_rx) = channel::<Vec<u8>>();
+            let (resp_tx, resp_rx) = channel::<Vec<u8>>();
+            let state = ServerState {
+                cfg,
+                src: None,
+                tgt: None,
+            };
+            let join = std::thread::Builder::new()
+                .name(format!("tdx-part-server-{s}"))
+                .spawn(move || serve(state, req_rx, resp_tx))
+                .expect("spawn partition server");
+            handles.push(ServerHandle {
+                tx: req_tx,
+                rx: resp_rx,
+                join: Some(join),
+            });
+        }
+        DistributedCluster {
+            handles,
+            tp: tp.clone(),
+            src_rels: src_schema.len(),
+            tgt_rels: tgt_schema.len(),
+            servers,
+        }
+    }
+
+    /// The timeline partition the cluster was spawned over.
+    pub fn partition(&self) -> &TimelinePartition {
+        &self.tp
+    }
+
+    /// Number of partition servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Broadcasts a request and collects one response per server, in server
+    /// order. Requests are sent to every server before any response is
+    /// awaited, so the servers work concurrently.
+    fn broadcast(&self, msg: &Message) -> Result<Vec<Response>> {
+        let frame = encode(msg);
+        for (s, h) in self.handles.iter().enumerate() {
+            h.tx.send(frame.clone())
+                .map_err(|_| TdxError::Invalid(format!("partition server {s} is gone")))?;
+        }
+        let mut out = Vec::with_capacity(self.handles.len());
+        for (s, h) in self.handles.iter().enumerate() {
+            let bytes = h.rx.recv().map_err(|_| {
+                TdxError::Invalid(format!("partition server {s} closed its channel"))
+            })?;
+            out.push(decode::<Response>(&bytes).map_err(|e| TdxError::Invalid(e.to_string()))?);
+        }
+        Ok(out)
+    }
+
+    /// Ships the pre/delta fact lists for `store`: each fact goes to every
+    /// server whose owned ranges its interval overlaps — its owner, plus
+    /// the replica set when it crosses that server's block boundary.
+    pub fn apply_delta(&self, store: StoreKind, pre: &FactLists, delta: &FactLists) -> Result<()> {
+        let nrels = match store {
+            StoreKind::Source => self.src_rels,
+            StoreKind::Target => self.tgt_rels,
+        };
+        let route = |lists: &FactLists| -> Vec<Vec<Vec<TemporalFact>>> {
+            let mut per_server: Vec<Vec<Vec<TemporalFact>>> =
+                vec![vec![Vec::new(); nrels]; self.servers];
+            for (r, facts) in lists.iter().enumerate() {
+                for fact in facts {
+                    let (lo, hi) = self.tp.servers_overlapping(&fact.interval, self.servers);
+                    for dest in per_server.iter_mut().take(hi + 1).skip(lo) {
+                        dest[r].push(fact.clone());
+                    }
+                }
+            }
+            per_server
+        };
+        let pre_routed = route(pre);
+        let delta_routed = route(delta);
+        // Send every frame before awaiting acknowledgements, so servers
+        // rebuild their stores concurrently.
+        for (s, (p, d)) in pre_routed.into_iter().zip(delta_routed).enumerate() {
+            let msg = Message::ApplyDelta {
+                store,
+                pre: p,
+                delta: d,
+            };
+            self.handles[s]
+                .tx
+                .send(encode(&msg))
+                .map_err(|_| TdxError::Invalid(format!("partition server {s} is gone")))?;
+        }
+        for (s, h) in self.handles.iter().enumerate() {
+            let bytes = h.rx.recv().map_err(|_| {
+                TdxError::Invalid(format!("partition server {s} closed its channel"))
+            })?;
+            match decode::<Response>(&bytes).map_err(|e| TdxError::Invalid(e.to_string()))? {
+                Response::Applied => {}
+                other => {
+                    return Err(TdxError::Invalid(format!(
+                        "unexpected response to ApplyDelta: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one tgd round on every server and returns, per tgd, the
+    /// enumerated homomorphisms in ascending partition order — the same for
+    /// every server count.
+    pub fn run_tgd_round(&self, tgd_count: usize) -> Result<Vec<Vec<Hom>>> {
+        let mut grouped: Vec<(u64, Vec<Vec<WireHom>>)> = Vec::new();
+        for resp in self.broadcast(&Message::RunTgdRound)? {
+            match resp {
+                Response::Homs(h) => grouped.extend(h),
+                other => {
+                    return Err(TdxError::Invalid(format!(
+                        "unexpected response to RunTgdRound: {other:?}"
+                    )))
+                }
+            }
+        }
+        grouped.sort_by_key(|(p, _)| *p);
+        let mut out: Vec<Vec<Hom>> = vec![Vec::new(); tgd_count];
+        for (_, per_tgd) in grouped {
+            for (ti, homs) in per_tgd.into_iter().enumerate() {
+                if ti >= tgd_count {
+                    return Err(TdxError::Invalid("server returned extra tgd rows".into()));
+                }
+                out[ti].extend(homs.into_iter().map(|(bind, iv)| {
+                    (
+                        bind.into_iter()
+                            .map(|(name, val)| (Var::new(&name), val))
+                            .collect::<Vec<_>>(),
+                        iv,
+                    )
+                }));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs one local egd round on every server and returns the merge
+    /// operations in ascending partition order.
+    pub fn run_egd_round(&self) -> Result<Vec<MergeOp>> {
+        let mut grouped: Vec<PartitionMerges> = Vec::new();
+        for resp in self.broadcast(&Message::RunLocalEgdRound)? {
+            match resp {
+                Response::Merges(ops) => grouped.extend(ops),
+                other => {
+                    return Err(TdxError::Invalid(format!(
+                        "unexpected response to RunLocalEgdRound: {other:?}"
+                    )))
+                }
+            }
+        }
+        grouped.sort_by_key(|(p, _)| *p);
+        Ok(grouped.into_iter().flat_map(|(_, ops)| ops).collect())
+    }
+
+    /// Per server: the owned facts and boundary replicas it currently holds
+    /// for `store`.
+    pub fn snapshots(&self, store: StoreKind) -> Result<Vec<(FactLists, FactLists)>> {
+        let mut out = Vec::with_capacity(self.servers);
+        for resp in self.broadcast(&Message::Snapshot { store })? {
+            match resp {
+                Response::Facts { owned, replicas } => out.push((owned, replicas)),
+                other => {
+                    return Err(TdxError::Invalid(format!(
+                        "unexpected response to Snapshot: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Drop for DistributedCluster {
+    fn drop(&mut self) {
+        for h in &mut self.handles {
+            let _ = h.tx.send(encode(&Message::Shutdown));
+        }
+        for h in &mut self.handles {
+            // Drain the Stopped ack (best effort) and join.
+            let _ = h.rx.recv();
+            if let Some(join) = h.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+/// Audits that the union of the servers' owner facts equals the
+/// coordinator's fact lists (as multisets) — the invariant `ApplyDelta`
+/// shipping must maintain. Cheap relative to a chase round; used by the
+/// engine after the egd fixpoint and by the protocol tests.
+pub fn snapshot_consistent(
+    cluster: &DistributedCluster,
+    store: StoreKind,
+    lists: &FactLists,
+) -> Result<bool> {
+    use std::collections::HashMap;
+    let mut expected: HashMap<(usize, Row, Interval), isize> = HashMap::new();
+    for (r, facts) in lists.iter().enumerate() {
+        for f in facts {
+            *expected
+                .entry((r, Arc::clone(&f.data), f.interval))
+                .or_default() += 1;
+        }
+    }
+    for (owned, _) in cluster.snapshots(store)? {
+        for (r, facts) in owned.iter().enumerate() {
+            for f in facts {
+                *expected
+                    .entry((r, Arc::clone(&f.data), f.interval))
+                    .or_default() -= 1;
+            }
+        }
+    }
+    Ok(expected.values().all(|&n| n == 0))
+}
+
+/// The distributed c-chase. Same contract as
+/// [`c_chase_with`](crate::chase::concrete::c_chase_with); dispatched from
+/// there for [`ChaseEngine::Distributed`].
+pub(crate) fn c_chase_distributed(
+    ic: &TemporalInstance,
+    mapping: &SchemaMapping,
+    opts: &ChaseOptions,
+    servers: usize,
+) -> Result<CChaseResult> {
+    let servers = crate::chase::server_count(servers);
+    let threads = crate::chase::worker_threads(0);
+    let sopts = opts.search_options();
+    let mut stats = ChaseStats {
+        source_facts_in: ic.total_len(),
+        ..ChaseStats::default()
+    };
+    let mut trace: Vec<String> = Vec::new();
+    let log = |opts: &ChaseOptions, trace: &mut Vec<String>, msg: String| {
+        if opts.record_trace {
+            trace.push(msg);
+        }
+    };
+
+    // Same coarse timeline partition as the partitioned engine: the count
+    // is a locality knob, independent of the server count, which keeps the
+    // result byte-identical across cluster sizes.
+    let parts_hint = 16;
+    let tp = TimelinePartition::new(&ic.endpoints().coarsen(parts_hint));
+    let cluster = DistributedCluster::spawn(mapping, &tp, servers, sopts);
+    log(
+        opts,
+        &mut trace,
+        format!(
+            "distributed chase: {} timeline partitions over {} servers",
+            tp.len(),
+            cluster.servers()
+        ),
+    );
+
+    // Step 1 (coordinator): normalize the source w.r.t. the s-t tgd bodies.
+    // Normalization is a global fixpoint (its cut groups span partitions),
+    // so it stays on the coordinator; only match enumeration distributes.
+    let tgd_bodies = mapping.tgd_bodies();
+    let nrels_src = mapping.source().len();
+    let src_schema = Arc::new(mapping.source().clone());
+    let src_delta: FactLists = (0..nrels_src)
+        .map(|r| ic.facts(RelId(r as u32)).to_vec())
+        .collect();
+    let (src_pre, src_delta) = refragment_lists(
+        &src_schema,
+        &tp,
+        threads,
+        sopts,
+        Some(&tgd_bodies),
+        opts.naive_normalization,
+        vec![Vec::new(); nrels_src],
+        src_delta,
+    )?;
+    stats.source_facts_normalized = src_pre
+        .iter()
+        .chain(src_delta.iter())
+        .map(|l| l.len())
+        .sum();
+    log(
+        opts,
+        &mut trace,
+        format!(
+            "normalized source w.r.t. Σst: {} → {} facts",
+            stats.source_facts_in, stats.source_facts_normalized
+        ),
+    );
+
+    // Step 2: ship the normalized source (ApplyDelta) and run the tgd
+    // round on the servers; restricted checks, null generation and target
+    // inserts stay on the coordinator.
+    cluster.apply_delta(StoreKind::Source, &src_pre, &src_delta)?;
+    let tgds = mapping.st_tgds();
+    let homs_per_tgd = cluster.run_tgd_round(tgds.len())?;
+    let mut target = TemporalInstance::new(Arc::new(mapping.target().clone()));
+    let mut nulls = NullGen::new();
+    for (ti, homs) in homs_per_tgd.into_iter().enumerate() {
+        let tgd = &tgds[ti];
+        let existentials = tgd.existential_vars();
+        for (h, iv) in homs {
+            if target.exists_match_with(&tgd.head, TemporalMode::Shared, &h, Some(iv), sopts)? {
+                continue;
+            }
+            let mut env = h;
+            for v in &existentials {
+                env.push((*v, Value::Null(nulls.fresh())));
+            }
+            for atom in &tgd.head {
+                let rel = mapping
+                    .target()
+                    .rel_id(atom.relation)
+                    .expect("validated head atom");
+                target.insert(rel, instantiate(atom, &env).into(), iv);
+            }
+            stats.tgd_steps += 1;
+        }
+    }
+    stats.nulls_created = nulls.peek();
+    stats.target_facts_after_tgd = target.total_len();
+    log(
+        opts,
+        &mut trace,
+        format!("tgd round: {} steps fired", stats.tgd_steps),
+    );
+
+    // Steps 3–4: initial target normalization on the coordinator, then
+    // local egd rounds on the servers with the global union-find (and the
+    // rewrite/re-fragmentation it implies) on the coordinator.
+    let tgt_schema = target.schema_arc();
+    let nrels_tgt = tgt_schema.len();
+    let egd_bodies = mapping.egd_bodies();
+    if egd_bodies.is_empty() && target.nulls().is_empty() {
+        stats.target_facts_normalized = target.total_len();
+        if opts.coalesce_result {
+            target = target.coalesced();
+        }
+        stats.target_facts_out = target.total_len();
+        return Ok(CChaseResult {
+            target,
+            normalized_source: lists_to_instance(&src_schema, &src_pre, &src_delta),
+            stats,
+            trace,
+        });
+    }
+    let tgt_delta: FactLists = (0..nrels_tgt)
+        .map(|r| target.facts(RelId(r as u32)).to_vec())
+        .collect();
+    let (mut pre, mut delta) = refragment_lists(
+        &tgt_schema,
+        &tp,
+        threads,
+        sopts,
+        Some(&egd_bodies),
+        opts.naive_normalization,
+        vec![Vec::new(); nrels_tgt],
+        tgt_delta,
+    )?;
+    stats.target_facts_normalized = pre.iter().chain(delta.iter()).map(|l| l.len()).sum();
+    let egds = mapping.egds();
+    let mut first_round = true;
+    loop {
+        cluster.apply_delta(StoreKind::Target, &pre, &delta)?;
+        let ops = cluster.run_egd_round()?;
+        let mut uf = AnnotatedUnionFind::new();
+        let mut merges = 0usize;
+        for (ei, a, b, iv) in ops {
+            let key = |v: Value| match v {
+                Value::Const(c) => UfKey::Const(c),
+                Value::Null(n) => UfKey::Null(n, iv),
+            };
+            match uf.union(key(a), key(b)) {
+                Ok(()) => merges += 1,
+                Err((c1, c2)) => {
+                    let render = |k: UfKey| match k {
+                        UfKey::Const(c) => c.to_string(),
+                        UfKey::Null(n, _) => n.to_string(),
+                    };
+                    let egd = &egds[ei as usize];
+                    return Err(TdxError::ChaseFailure {
+                        dependency: egd.name.clone().unwrap_or_else(|| egd.to_string()),
+                        left: render(c1),
+                        right: render(c2),
+                        interval: Some(iv),
+                    });
+                }
+            }
+        }
+        if merges == 0 {
+            break;
+        }
+        stats.egd_rounds += 1;
+        stats.egd_merges += merges;
+        if !first_round {
+            stats.egd_delta_rounds += 1;
+        }
+        first_round = false;
+        log(
+            opts,
+            &mut trace,
+            format!(
+                "egd round {}: {merges} identifications from local server rounds",
+                stats.egd_rounds
+            ),
+        );
+        let (npre, ndelta) = rewrite_values(&tgt_schema, &pre, &delta, &mut uf);
+        let renorm = if opts.renormalize_between_egd_rounds {
+            Some(egd_bodies.as_slice())
+        } else {
+            None // paper-faithful: alignment cuts only
+        };
+        (pre, delta) = refragment_lists(
+            &tgt_schema,
+            &tp,
+            threads,
+            sopts,
+            renorm,
+            opts.naive_normalization,
+            npre,
+            ndelta,
+        )?;
+    }
+
+    // The servers' owner blocks must tile the coordinator's target exactly —
+    // the shipping invariant the protocol relies on. The audit re-serializes
+    // the whole target through `Snapshot`, so it runs in debug builds and
+    // the protocol tests (`tests/distributed.rs`), not on release chases.
+    if cfg!(debug_assertions) {
+        let settled: FactLists = pre
+            .iter()
+            .zip(delta.iter())
+            .map(|(p, d)| p.iter().chain(d.iter()).cloned().collect())
+            .collect();
+        if !snapshot_consistent(&cluster, StoreKind::Target, &settled)? {
+            return Err(TdxError::Invalid(
+                "distributed chase: server snapshots diverged from the coordinator".into(),
+            ));
+        }
+    }
+
+    let mut target = lists_to_instance(&tgt_schema, &pre, &delta);
+    if opts.coalesce_result {
+        target = target.coalesced();
+    }
+    stats.target_facts_out = target.total_len();
+    Ok(CChaseResult {
+        target,
+        normalized_source: lists_to_instance(&src_schema, &src_pre, &src_delta),
+        stats,
+        trace,
+    })
+}
+
+fn lists_to_instance(schema: &Arc<Schema>, pre: &FactLists, delta: &FactLists) -> TemporalInstance {
+    let mut out = TemporalInstance::new(Arc::clone(schema));
+    for (r, (p, d)) in pre.iter().zip(delta.iter()).enumerate() {
+        let rel = RelId(r as u32);
+        for fact in p.iter().chain(d.iter()) {
+            out.insert(rel, Arc::clone(&fact.data), fact.interval);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::concrete::c_chase_with;
+    use crate::hom::hom_equivalent;
+    use crate::semantics::semantics;
+    use tdx_logic::{parse_egd, parse_schema, parse_tgd};
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn paper_mapping() -> SchemaMapping {
+        SchemaMapping::new(
+            parse_schema("E(name, company). S(name, salary).").unwrap(),
+            parse_schema("Emp(name, company, salary).").unwrap(),
+            vec![
+                parse_tgd("E(n,c) -> Emp(n,c,s)").unwrap().named("st1"),
+                parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)")
+                    .unwrap()
+                    .named("st2"),
+            ],
+            vec![parse_egd("Emp(n,c,s) & Emp(n,c,s2) -> s = s2")
+                .unwrap()
+                .named("fd")],
+        )
+        .unwrap()
+    }
+
+    fn figure4(mapping: &SchemaMapping) -> TemporalInstance {
+        let mut i = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        i.insert_strs("E", &["Ada", "IBM"], iv(2012, 2014));
+        i.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
+        i.insert_strs("E", &["Bob", "IBM"], iv(2013, 2018));
+        i.insert_strs("S", &["Ada", "18k"], Interval::from(2013));
+        i.insert_strs("S", &["Bob", "13k"], Interval::from(2015));
+        i
+    }
+
+    #[test]
+    fn messages_roundtrip_through_the_codec() {
+        use tdx_storage::row;
+        let fact = TemporalFact {
+            data: row([Value::str("Ada"), Value::str("IBM")]),
+            interval: Interval::from(2014),
+        };
+        let msgs = [
+            Message::ApplyDelta {
+                store: StoreKind::Target,
+                pre: vec![vec![fact.clone()], vec![]],
+                delta: vec![vec![], vec![fact.clone()]],
+            },
+            Message::RunTgdRound,
+            Message::RunLocalEgdRound,
+            Message::Snapshot {
+                store: StoreKind::Source,
+            },
+            Message::Shutdown,
+        ];
+        for msg in &msgs {
+            let decoded: Message = decode(&encode(msg)).unwrap();
+            // Message has no PartialEq (Atom doesn't need one); compare via
+            // re-encoding — the codec is deterministic.
+            assert_eq!(encode(&decoded), encode(msg));
+        }
+        let resps = [
+            Response::Applied,
+            Response::Homs(vec![(
+                3,
+                vec![vec![(vec![("n".to_string(), Value::str("Ada"))], iv(1, 2))]],
+            )]),
+            Response::Merges(vec![(
+                0,
+                vec![(
+                    1,
+                    Value::str("18k"),
+                    Value::Null(tdx_storage::NullId(4)),
+                    iv(5, 9),
+                )],
+            )]),
+            Response::Facts {
+                owned: vec![vec![fact.clone()]],
+                replicas: vec![vec![]],
+            },
+            Response::Stopped,
+        ];
+        for resp in &resps {
+            let decoded: Response = decode(&encode(resp)).unwrap();
+            assert_eq!(encode(&decoded), encode(resp));
+        }
+    }
+
+    #[test]
+    fn matches_the_sequential_engine_across_server_counts() {
+        let mapping = paper_mapping();
+        let source = figure4(&mapping);
+        let seq = c_chase_with(&source, &mapping, &ChaseOptions::default()).unwrap();
+        for servers in [1usize, 2, 3, 5] {
+            let dist =
+                c_chase_with(&source, &mapping, &ChaseOptions::distributed(servers)).unwrap();
+            assert!(
+                hom_equivalent(&semantics(&seq.target), &semantics(&dist.target)),
+                "servers = {servers}"
+            );
+            assert_eq!(dist.target.nulls().len(), seq.target.nulls().len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_server_counts() {
+        let mapping = paper_mapping();
+        let source = figure4(&mapping);
+        let one = c_chase_with(&source, &mapping, &ChaseOptions::distributed(1)).unwrap();
+        for servers in [2usize, 3, 4, 7] {
+            let many =
+                c_chase_with(&source, &mapping, &ChaseOptions::distributed(servers)).unwrap();
+            assert_eq!(one.target, many.target, "servers = {servers}");
+        }
+    }
+
+    #[test]
+    fn failure_on_conflicting_sources() {
+        let mapping = paper_mapping();
+        let mut ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        ic.insert_strs("E", &["Ada", "IBM"], iv(0, 10));
+        ic.insert_strs("S", &["Ada", "18k"], iv(0, 10));
+        ic.insert_strs("S", &["Ada", "20k"], iv(5, 15));
+        for servers in [1usize, 3] {
+            let err = c_chase_with(&ic, &mapping, &ChaseOptions::distributed(servers)).unwrap_err();
+            assert!(
+                matches!(err, TdxError::ChaseFailure { .. }),
+                "servers = {servers}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_source_and_trace() {
+        let mapping = paper_mapping();
+        let ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        let result = c_chase_with(&ic, &mapping, &ChaseOptions::distributed(2)).unwrap();
+        assert!(result.target.is_empty());
+        let opts = ChaseOptions {
+            record_trace: true,
+            coalesce_result: true,
+            ..ChaseOptions::distributed(2)
+        };
+        let source = figure4(&mapping);
+        let result = c_chase_with(&source, &mapping, &opts).unwrap();
+        assert!(result.target.is_coalesced());
+        assert!(result.trace.iter().any(|l| l.contains("servers")));
+    }
+
+    #[test]
+    fn unbounded_boundary_facts_are_replicated_to_the_server_tail() {
+        // An unbounded fact must be shipped to its owner and to every later
+        // server (it overlaps all of their ranges) — visible as a replica in
+        // their snapshots.
+        let mapping = paper_mapping();
+        let tp = TimelinePartition::new(&tdx_temporal::Breakpoints::from_points([10, 20, 30]));
+        let cluster = DistributedCluster::spawn(&mapping, &tp, 2, SearchOptions::default());
+        use tdx_storage::row;
+        let unbounded = TemporalFact {
+            data: row([Value::str("Ada"), Value::str("IBM")]),
+            interval: Interval::from(15), // owner partition 1 (server 0), crosses into server 1
+        };
+        let bounded = TemporalFact {
+            data: row([Value::str("Bob"), Value::str("IBM")]),
+            interval: iv(0, 5), // stays on server 0
+        };
+        assert!(unbounded.interval.is_unbounded());
+        let pre: FactLists = vec![vec![unbounded.clone(), bounded.clone()], vec![]];
+        let delta: FactLists = vec![Vec::new(); 2];
+        cluster
+            .apply_delta(StoreKind::Source, &pre, &delta)
+            .unwrap();
+        let snaps = cluster.snapshots(StoreKind::Source).unwrap();
+        assert_eq!(snaps.len(), 2);
+        // Server 0 owns both facts; server 1 holds the unbounded one only,
+        // as a replica.
+        assert_eq!(snaps[0].0[0].len(), 2);
+        assert!(snaps[0].1[0].is_empty());
+        assert!(snaps[1].0[0].is_empty());
+        assert_eq!(snaps[1].1[0], vec![unbounded]);
+        // And the owner multiset matches the coordinator's lists.
+        assert!(snapshot_consistent(&cluster, StoreKind::Source, &pre).unwrap());
+    }
+}

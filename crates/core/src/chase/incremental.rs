@@ -58,10 +58,11 @@
 //! argument is spelled out in `docs/incremental.md`.
 
 use crate::chase::concrete::{instantiate, AnnotatedUnionFind, ChaseEngine, ChaseOptions, UfKey};
+use crate::chase::distributed::{DistributedCluster, Hom, MergeOp, StoreKind};
 use crate::chase::partitioned::{fact_at, refragment_lists, rewrite_values, FactLists};
 use crate::error::{Result, TdxError};
 use std::collections::BTreeSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Term, Var};
 use tdx_storage::fxhash::{FxHashMap, FxHashSet};
 use tdx_storage::{
@@ -473,6 +474,16 @@ pub struct IncrementalExchange {
     memos: Vec<FxHashSet<(Vec<Value>, Interval)>>,
     /// Whether any tgd needs the Probe tier (materialize-and-probe).
     probe_needed: bool,
+    /// Partition servers (`ChaseEngine::Distributed`); `0` = evaluate
+    /// locally. When set, tgd/egd match enumeration goes through a
+    /// [`DistributedCluster`] speaking the serialized partition-server
+    /// protocol, while this session remains the coordinator loop.
+    servers: usize,
+    /// The running cluster, lazily (re)spawned whenever the timeline
+    /// partition it was built over diverges from the session's (shared
+    /// between clones — every round re-ships its fact lists first, so
+    /// clones cannot observe each other's state).
+    cluster: Option<Arc<Mutex<DistributedCluster>>>,
     nulls: NullGen,
     stats: SessionStats,
     poisoned: Option<String>,
@@ -486,16 +497,23 @@ impl IncrementalExchange {
         Self::with_options(mapping, ChaseOptions::default())
     }
 
-    /// A fresh session with explicit options. The engine choice only
-    /// contributes its worker-thread count — the session always evaluates
-    /// incrementally over the partitioned machinery; `naive_normalization`
-    /// and `renormalize_between_egd_rounds` are honored as in the batch
+    /// A fresh session with explicit options. The engine choice
+    /// contributes its worker-thread count, and
+    /// [`ChaseEngine::Distributed`] additionally routes tgd/egd match
+    /// enumeration through a partition-server cluster (the session stays
+    /// the coordinator loop: union-find, restricted checks and
+    /// re-fragmentation remain here); `naive_normalization` and
+    /// `renormalize_between_egd_rounds` are honored as in the batch
     /// engines.
     pub fn with_options(mapping: SchemaMapping, opts: ChaseOptions) -> Result<IncrementalExchange> {
         let threads = crate::chase::worker_threads(match opts.engine {
             ChaseEngine::PartitionedParallel { threads } => threads,
             _ => 0,
         });
+        let servers = match opts.engine {
+            ChaseEngine::Distributed { servers } => crate::chase::server_count(servers),
+            _ => 0,
+        };
         let sopts = opts.search_options();
         let src_schema = Arc::new(mapping.source().clone());
         let tgt_schema = Arc::new(mapping.target().clone());
@@ -593,6 +611,8 @@ impl IncrementalExchange {
             egd_plans,
             memos,
             probe_needed,
+            servers,
+            cluster: None,
             nulls: NullGen::new(),
             stats: SessionStats::default(),
             poisoned: None,
@@ -722,6 +742,62 @@ impl IncrementalExchange {
         }
     }
 
+    /// Runs `f` against the partition-server cluster, (re)spawning it when
+    /// absent or when the session's timeline partition has moved past the
+    /// one the cluster was built over (re-coarsening, full re-chase). The
+    /// lock spans the whole ship-and-match exchange, so session clones
+    /// sharing one cluster interleave at round granularity — and since
+    /// every round re-ships its own fact lists first, they never observe
+    /// each other's state.
+    fn with_cluster<R>(&mut self, f: impl FnOnce(&DistributedCluster) -> Result<R>) -> Result<R> {
+        let stale = match &self.cluster {
+            None => true,
+            Some(c) => {
+                let guard = c.lock().unwrap_or_else(|e| e.into_inner());
+                guard.partition() != &self.tp
+            }
+        };
+        if stale {
+            self.cluster = Some(Arc::new(Mutex::new(DistributedCluster::spawn(
+                &self.mapping,
+                &self.tp,
+                self.servers,
+                self.sopts,
+            ))));
+        }
+        let cluster = self.cluster.as_ref().expect("cluster just ensured");
+        let guard = cluster.lock().unwrap_or_else(|e| e.into_inner());
+        f(&guard)
+    }
+
+    /// One distributed tgd round: ship the normalized-source lists
+    /// (`ApplyDelta`) and collect the delta-touching homomorphisms per tgd
+    /// (`RunTgdRound`), in ascending partition order.
+    fn distributed_tgd_round(
+        &mut self,
+        pre: &FactLists,
+        delta: &FactLists,
+    ) -> Result<Vec<Vec<Hom>>> {
+        let tgd_count = self.plans.len();
+        self.with_cluster(|c| {
+            c.apply_delta(StoreKind::Source, pre, delta)?;
+            c.run_tgd_round(tgd_count)
+        })
+    }
+
+    /// One distributed egd round: ship the target lists (`ApplyDelta`) and
+    /// collect the merge operations (`RunLocalEgdRound`).
+    fn distributed_egd_round(
+        &mut self,
+        pre: &FactLists,
+        delta: &FactLists,
+    ) -> Result<Vec<MergeOp>> {
+        self.with_cluster(|c| {
+            c.apply_delta(StoreKind::Target, pre, delta)?;
+            c.run_egd_round()
+        })
+    }
+
     fn validate_row(&self, rel: RelId, data: &Row) -> Result<()> {
         let schema = &self.src_schema;
         if rel.0 as usize >= schema.len() {
@@ -837,28 +913,44 @@ impl IncrementalExchange {
         } else {
             None
         };
-        let src_idx = DirtyIndex::build(&npre, &ndelta);
+        // Distributed sessions ship the lists and enumerate on the
+        // partition servers; local sessions join over the dirty-interval
+        // index. Either way the homomorphisms arrive per tgd, delta-scoped
+        // and deterministically ordered.
+        let mut cluster_homs: Option<Vec<Vec<Hom>>> = if self.servers > 0 {
+            Some(self.distributed_tgd_round(&npre, &ndelta)?)
+        } else {
+            None
+        };
+        let src_idx = if cluster_homs.is_none() {
+            Some(DirtyIndex::build(&npre, &ndelta))
+        } else {
+            None
+        };
         for ti in 0..self.plans.len() {
-            let mut homs: Vec<(Vec<Value>, Interval)> = Vec::new();
-            shared_join_delta(
-                &self.plans[ti].body,
-                &npre,
-                &ndelta,
-                &src_idx,
-                |vals, iv| {
-                    homs.push((vals.to_vec(), iv));
-                },
-            );
+            let homs: Vec<Hom> = match cluster_homs.as_mut() {
+                Some(all) => std::mem::take(&mut all[ti]),
+                None => {
+                    let idx = src_idx.as_ref().expect("local dirty index built");
+                    let plan = &self.plans[ti];
+                    let mut homs = Vec::new();
+                    shared_join_delta(&plan.body, &npre, &ndelta, idx, |vals, iv| {
+                        homs.push((
+                            plan.body
+                                .vars
+                                .iter()
+                                .copied()
+                                .zip(vals.iter().copied())
+                                .collect(),
+                            iv,
+                        ));
+                    });
+                    homs
+                }
+            };
             stats.tgd_matches += homs.len();
-            for (vals, iv) in homs {
+            for (h, iv) in homs {
                 let plan = &self.plans[ti];
-                let h: Vec<(Var, Value)> = plan
-                    .body
-                    .vars
-                    .iter()
-                    .copied()
-                    .zip(vals.iter().copied())
-                    .collect();
                 match &plan.check {
                     Check::Direct => {
                         let mut fired = false;
@@ -946,7 +1038,10 @@ impl IncrementalExchange {
                     dirty_parts.insert(self.tp.part_of(fact.interval.start()));
                 }
             }
-            let egd_bodies = self.mapping.egd_bodies();
+            // Borrow the bodies from a local handle so the round methods
+            // below can take `&mut self`.
+            let mapping = Arc::clone(&self.mapping);
+            let egd_bodies = mapping.egd_bodies();
             let pre = std::mem::take(&mut self.tgt);
             // Initial normalization always runs w.r.t. the egd bodies (the
             // paper's step 3); per-round renormalization honors the option.
@@ -964,28 +1059,48 @@ impl IncrementalExchange {
                 let mut uf = AnnotatedUnionFind::new();
                 let mut merges = 0usize;
                 let mut conflict: Option<(String, UfKey, UfKey, Interval)> = None;
-                let tgt_idx = DirtyIndex::build(&pre, &delta);
-                for ep in &self.egd_plans {
-                    if conflict.is_some() {
-                        break;
-                    }
-                    shared_join_delta(&ep.body, &pre, &delta, &tgt_idx, |vals, iv| {
-                        if conflict.is_some() {
-                            return;
-                        }
-                        let (a, b) = (vals[ep.lhs], vals[ep.rhs]);
-                        if a == b {
-                            return;
-                        }
+                if self.servers > 0 {
+                    // Ship the target lists, run local egd rounds on the
+                    // servers, fold the merge ops into the global
+                    // union-find here.
+                    for (ei, a, b, iv) in self.distributed_egd_round(&pre, &delta)? {
                         let key = |v: Value| match v {
                             Value::Const(c) => UfKey::Const(c),
                             Value::Null(n) => UfKey::Null(n, iv),
                         };
                         match uf.union(key(a), key(b)) {
                             Ok(()) => merges += 1,
-                            Err((c1, c2)) => conflict = Some((ep.name.clone(), c1, c2, iv)),
+                            Err((c1, c2)) => {
+                                conflict =
+                                    Some((self.egd_plans[ei as usize].name.clone(), c1, c2, iv));
+                                break;
+                            }
                         }
-                    });
+                    }
+                } else {
+                    let tgt_idx = DirtyIndex::build(&pre, &delta);
+                    for ep in &self.egd_plans {
+                        if conflict.is_some() {
+                            break;
+                        }
+                        shared_join_delta(&ep.body, &pre, &delta, &tgt_idx, |vals, iv| {
+                            if conflict.is_some() {
+                                return;
+                            }
+                            let (a, b) = (vals[ep.lhs], vals[ep.rhs]);
+                            if a == b {
+                                return;
+                            }
+                            let key = |v: Value| match v {
+                                Value::Const(c) => UfKey::Const(c),
+                                Value::Null(n) => UfKey::Null(n, iv),
+                            };
+                            match uf.union(key(a), key(b)) {
+                                Ok(()) => merges += 1,
+                                Err((c1, c2)) => conflict = Some((ep.name.clone(), c1, c2, iv)),
+                            }
+                        });
+                    }
                 }
                 if let Some((name, c1, c2, iv)) = conflict {
                     let render = |k: UfKey| match k {
@@ -1089,6 +1204,27 @@ impl IncrementalExchange {
     /// (see [`SessionStats`]); `batches` is the caller's concern — a
     /// rollback must not count the failed batch as applied.
     fn rebuild_from_source(&mut self) -> Result<BatchStats> {
+        self.reset_derived_state();
+        let fresh = self.source.clone();
+        let n = fresh.iter().map(|l| l.len()).sum();
+        self.stats.full_rechases += 1;
+        self.stats.tgd_steps = 0;
+        self.stats.egd_merges = 0;
+        self.absorb(fresh, n)
+    }
+
+    /// Drops **every** piece of state derived from the pre-rebuild source,
+    /// in one place so a rebuild can never leak stale derived state:
+    /// normalized-source and target lists, the persistent restricted-check
+    /// memos (a memo entry records coverage by a target fact that a
+    /// narrowing refine may have removed — a stale entry would wrongly
+    /// suppress tgd steps in later batches; see the
+    /// `narrowing_then_insert_*` regression tests), the null generator,
+    /// the endpoint histogram, the timeline partition, and the
+    /// partition-server cluster (the fresh partition forces a respawn).
+    /// The per-phase `DirtyIndex` is never persisted on the session, so no
+    /// other derived structure can survive a rebuild.
+    fn reset_derived_state(&mut self) {
         self.nsrc = vec![Vec::new(); self.src_schema.len()];
         self.tgt = vec![Vec::new(); self.tgt_schema.len()];
         for m in &mut self.memos {
@@ -1098,12 +1234,7 @@ impl IncrementalExchange {
         self.endpoints.clear();
         self.endpoints_at_cut = 0;
         self.tp = TimelinePartition::whole();
-        let fresh = self.source.clone();
-        let n = fresh.iter().map(|l| l.len()).sum();
-        self.stats.full_rechases += 1;
-        self.stats.tgd_steps = 0;
-        self.stats.egd_merges = 0;
-        self.absorb(fresh, n)
+        self.cluster = None;
     }
 }
 
@@ -1429,6 +1560,149 @@ mod tests {
         }
         assert!(recoarsened >= 2, "timeline growth must re-coarsen the cut");
         assert!(s.tp.len() > 1);
+        assert_matches_from_scratch(&s);
+    }
+
+    #[test]
+    fn narrowing_then_insert_does_not_reuse_stale_memos() {
+        // Regression: the full re-chase a narrowing refine triggers must
+        // drop the persistent restricted-check memos. A stale memo entry
+        // `(Ada, IBM) @ [2012, 2018)` would claim the st1 head is already
+        // covered and suppress the tgd step for the re-inserted interval —
+        // the session would silently lose Ada's row.
+        let mapping = paper_mapping();
+        let e = mapping
+            .source()
+            .rel_id(tdx_logic::Symbol::intern("E"))
+            .unwrap();
+        for opts in [ChaseOptions::default(), ChaseOptions::distributed(2)] {
+            let mut s = IncrementalExchange::with_options(mapping.clone(), opts).unwrap();
+            s.apply(&batch(
+                &mapping,
+                &[("E", &["Ada", "IBM"][..], iv(2012, 2018))],
+            ))
+            .unwrap();
+            // Narrow Ada's employment: full re-chase, memos must reset.
+            let mut b = DeltaBatch::new();
+            b.refine(
+                e,
+                row([Value::str("Ada"), Value::str("IBM")]),
+                iv(2012, 2014),
+            );
+            let stats = s.apply(&b).unwrap();
+            assert!(stats.full_rechase);
+            assert_matches_from_scratch(&s);
+            // Re-insert over an interval the pre-narrowing memo covered:
+            // the tgd step must fire again.
+            s.apply(&batch(
+                &mapping,
+                &[("E", &["Ada", "IBM"][..], iv(2015, 2018))],
+            ))
+            .unwrap();
+            let sem = semantics(&s.target());
+            assert!(
+                !sem.snapshot_at(2016).is_empty(),
+                "stale memo suppressed the re-inserted fact"
+            );
+            assert_matches_from_scratch(&s);
+        }
+    }
+
+    #[test]
+    fn unbounded_boundary_facts_survive_recoarsening() {
+        // Unbounded intervals cross every partition boundary after their
+        // start; re-coarsening moves those boundaries. The session must
+        // stay hom-equivalent to a from-scratch chase throughout, in both
+        // local and distributed evaluation.
+        let mapping = paper_mapping();
+        for opts in [ChaseOptions::default(), ChaseOptions::distributed(3)] {
+            let mut s = IncrementalExchange::with_options(mapping.clone(), opts).unwrap();
+            let mut recoarsened = 0usize;
+            for k in 0..24u64 {
+                let name = format!("p{k}");
+                let mut b = batch(
+                    &mapping,
+                    &[("E", &[name.as_str(), "c"][..], iv(10 * k, 10 * k + 5))],
+                );
+                if k % 3 == 0 {
+                    // Every third person keeps an open-ended employment.
+                    let rid = mapping
+                        .source()
+                        .rel_id(tdx_logic::Symbol::intern("E"))
+                        .unwrap();
+                    let open = Interval::from(10 * k + 5);
+                    assert!(open.is_unbounded());
+                    b.insert(rid, row([Value::str(&name), Value::str("c2")]), open);
+                }
+                let stats = s.apply(&b).unwrap();
+                recoarsened += usize::from(stats.recoarsened);
+            }
+            assert!(recoarsened >= 1, "growth must re-coarsen at least once");
+            assert!(s.tp.len() > 1);
+            assert_matches_from_scratch(&s);
+        }
+    }
+
+    #[test]
+    fn distributed_session_matches_from_scratch_across_server_counts() {
+        let mapping = paper_mapping();
+        let batches = [
+            batch(&mapping, &[("E", &["Ada", "IBM"][..], iv(2012, 2014))]),
+            batch(
+                &mapping,
+                &[
+                    ("E", &["Ada", "Google"][..], Interval::from(2014)),
+                    ("S", &["Ada", "18k"][..], Interval::from(2013)),
+                ],
+            ),
+            batch(
+                &mapping,
+                &[
+                    ("E", &["Bob", "IBM"][..], iv(2013, 2018)),
+                    ("S", &["Bob", "13k"][..], Interval::from(2015)),
+                ],
+            ),
+        ];
+        let mut targets = Vec::new();
+        for servers in [1usize, 3] {
+            let mut s = IncrementalExchange::with_options(
+                mapping.clone(),
+                ChaseOptions::distributed(servers),
+            )
+            .unwrap();
+            for b in &batches {
+                s.apply(b).unwrap();
+                assert_matches_from_scratch(&s);
+            }
+            targets.push(s.target());
+        }
+        // Determinism across server counts carries over to the session.
+        assert_eq!(targets[0], targets[1]);
+    }
+
+    #[test]
+    fn distributed_session_rolls_back_conflicts() {
+        let mapping = paper_mapping();
+        let mut s =
+            IncrementalExchange::with_options(mapping.clone(), ChaseOptions::distributed(2))
+                .unwrap();
+        s.apply(&batch(
+            &mapping,
+            &[
+                ("E", &["Ada", "IBM"][..], iv(0, 10)),
+                ("S", &["Ada", "18k"][..], iv(0, 10)),
+            ],
+        ))
+        .unwrap();
+        let before = s.target();
+        let err = s
+            .apply(&batch(&mapping, &[("S", &["Ada", "20k"][..], iv(5, 15))]))
+            .unwrap_err();
+        assert!(matches!(err, TdxError::ChaseFailure { .. }), "{err:?}");
+        assert!(!s.is_poisoned());
+        assert!(hom_equivalent(&semantics(&before), &semantics(&s.target())));
+        s.apply(&batch(&mapping, &[("E", &["Bob", "IBM"][..], iv(2, 8))]))
+            .unwrap();
         assert_matches_from_scratch(&s);
     }
 

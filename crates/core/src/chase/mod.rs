@@ -10,34 +10,141 @@
 
 pub mod abstract_chase;
 pub mod concrete;
+pub mod distributed;
 pub mod incremental;
 pub(crate) mod partitioned;
 pub mod snapshot;
 
 pub use abstract_chase::{abstract_chase, abstract_chase_parallel, abstract_chase_parallel_opts};
 pub use concrete::{c_chase, CChaseResult, ChaseOptions, ChaseStats};
+pub use distributed::{DistributedCluster, Message, Response, StoreKind};
 pub use incremental::{BatchStats, DeltaBatch, IncrementalExchange, SessionStats};
 pub use snapshot::snapshot_chase;
+
+/// Parses a positive-integer tuning knob from the environment. `0` is an
+/// explicit "auto" and falls through silently; anything non-numeric is a
+/// misconfiguration the caller should hear about, so it is reported to
+/// stderr **once per knob per process** before falling back to auto —
+/// silently honoring a typo like `TDX_CHASE_THREADS=four` by running
+/// single-knob defaults was a long-standing trap.
+fn env_knob(name: &str, warned: &'static std::sync::Once) -> Option<usize> {
+    resolve_knob(std::env::var(name).ok().as_deref(), name, warned)
+}
+
+/// The pure resolution behind [`env_knob`]: takes the variable's value (if
+/// set) instead of reading the process environment, so tests can exercise
+/// the garbage path without `set_var` races against concurrently running
+/// tests.
+fn resolve_knob(
+    value: Option<&str>,
+    name: &str,
+    warned: &'static std::sync::Once,
+) -> Option<usize> {
+    let v = value?;
+    match parse_env_knob(v) {
+        Ok(n) => n,
+        Err(()) => {
+            warned.call_once(|| {
+                eprintln!(
+                    "tdx: warning: ignoring non-numeric {name}={v:?}; \
+                     falling back to auto-detection"
+                );
+            });
+            None
+        }
+    }
+}
+
+/// The pure parse behind [`resolve_knob`]: `Ok(Some(n))` for a positive
+/// count, `Ok(None)` for an explicit `0` (auto), `Err(())` for garbage.
+fn parse_env_knob(v: &str) -> Result<Option<usize>, ()> {
+    match v.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        Ok(_) => Ok(None),
+        Err(_) => Err(()),
+    }
+}
 
 /// Resolves a worker-thread request into a concrete count — the one knob
 /// shared by [`ChaseEngine::PartitionedParallel`](concrete::ChaseEngine) and
 /// [`abstract_chase_parallel`]: an explicit `requested > 0` wins; `0` falls
-/// back to the `TDX_CHASE_THREADS` environment variable, then to the
-/// machine's available parallelism (capped at 8 — the chase's partition
-/// fan-out saturates well before wide machines do).
+/// back to the `TDX_CHASE_THREADS` environment variable (a non-numeric
+/// value is reported once to stderr and ignored), then to the machine's
+/// available parallelism (capped at 8 — the chase's partition fan-out
+/// saturates well before wide machines do).
 pub fn worker_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
-    if let Ok(v) = std::env::var("TDX_CHASE_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    if let Some(n) = env_knob("TDX_CHASE_THREADS", &WARNED) {
+        return n;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(8)
+}
+
+/// Resolves a partition-server request for
+/// [`ChaseEngine::Distributed`](concrete::ChaseEngine): an explicit
+/// `requested > 0` wins; `0` falls back to the `TDX_CHASE_SERVERS`
+/// environment variable (non-numeric values are reported once to stderr
+/// and ignored, like [`worker_threads`]), then to 2 — the smallest cluster
+/// that actually exercises cross-server replica shipping.
+pub fn server_count(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    if let Some(n) = env_knob("TDX_CHASE_SERVERS", &WARNED) {
+        return n;
+    }
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_env_knob_classifies_inputs() {
+        assert_eq!(parse_env_knob("4"), Ok(Some(4)));
+        assert_eq!(parse_env_knob(" 16 "), Ok(Some(16)));
+        assert_eq!(parse_env_knob("0"), Ok(None)); // explicit auto
+        for garbage in ["", "four", "2x", "-1", "1.5", "0x2", "∞"] {
+            assert_eq!(parse_env_knob(garbage), Err(()), "input {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn explicit_request_wins_over_everything() {
+        assert_eq!(worker_threads(3), 3);
+        assert_eq!(server_count(5), 5);
+    }
+
+    #[test]
+    fn garbage_knob_values_warn_once_and_fall_back_to_auto() {
+        // Exercised through the injected-value resolver rather than
+        // `std::env::set_var`: mutating the real environment would race
+        // against every concurrently running test that constructs a
+        // session (getenv/setenv is UB territory on glibc, and a momentary
+        // garbage value would leak into their thread resolution).
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        for garbage in ["not-a-number", "four", "-1", ""] {
+            assert_eq!(
+                resolve_knob(Some(garbage), "TDX_CHASE_THREADS", &WARNED),
+                None,
+                "garbage {garbage:?} must fall back to auto, not panic or stick"
+            );
+        }
+        // The warning path has fired; valid values still resolve.
+        assert!(WARNED.is_completed());
+        assert_eq!(
+            resolve_knob(Some("4"), "TDX_CHASE_THREADS", &WARNED),
+            Some(4)
+        );
+        assert_eq!(resolve_knob(Some("0"), "TDX_CHASE_THREADS", &WARNED), None);
+        assert_eq!(resolve_knob(None, "TDX_CHASE_THREADS", &WARNED), None);
+    }
 }

@@ -41,6 +41,14 @@
 //! triangulates all three engines, and `crates/bench` ablates them (see
 //! `BENCH_chase.json`; CI gates regressions via `bench_check`).
 //!
+//! [`ChaseEngine::Distributed`] relocates that match work onto
+//! **partition servers**: in-process actors that each own a contiguous
+//! block of timeline partitions and speak a serialized
+//! `ApplyDelta`/`RunTgdRound`/`RunLocalEgdRound`/`Snapshot` protocol
+//! (`tdx_storage::codec` byte frames, socket-swappable), while the
+//! coordinator keeps the global union-find and normalization — the
+//! protocol layer for multi-process operation (see `docs/distributed.md`).
+//!
 //! On top of the batch engines, [`IncrementalExchange`] is a *stateful*
 //! exchange session: the chased target stays materialized between calls
 //! and each [`DeltaBatch`] of source changes re-runs only the tgd/egd
@@ -58,6 +66,7 @@
 //! | `tdx_storage::matcher` | join engine: index candidates, per-atom delta bounds |
 //! | [`chase::concrete`] | semi-naive c-chase over the store's deltas |
 //! | [`chase::partitioned`](chase) | partitioned parallel c-chase (sweep discovery, worker fan-out) |
+//! | [`chase::distributed`](chase) | partition-server protocol (serialized messages, coordinator/worker split) |
 //! | [`normalize`], [`query`] | overlap-index group discovery, engine-threaded eval |
 //!
 //! ## Quick start
@@ -109,9 +118,10 @@ pub use chase::abstract_chase::{
 pub use chase::concrete::{
     c_chase, c_chase_with, CChaseResult, ChaseEngine, ChaseOptions, ChaseStats,
 };
+pub use chase::distributed::{DistributedCluster, Message, Response, StoreKind};
 pub use chase::incremental::{BatchStats, DeltaBatch, IncrementalExchange, SessionStats};
 pub use chase::snapshot::{snapshot_chase, snapshot_chase_with};
-pub use chase::worker_threads;
+pub use chase::{server_count, worker_threads};
 pub use error::{Result, TdxError};
 pub use exchange::DataExchange;
 pub use extension::cores::{concrete_core, snapshot_core};

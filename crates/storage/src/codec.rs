@@ -1,0 +1,445 @@
+//! A plain byte codec for the distributed-chase wire protocol.
+//!
+//! The partition servers of `tdx_core::chase::distributed` exchange facts,
+//! homomorphism bindings and merge operations with their coordinator as
+//! *serialized byte messages*, even while they run as in-process actors:
+//! every request and response crosses the channel as a `Vec<u8>` produced by
+//! [`ByteWriter`] and re-parsed by [`ByteReader`]. That keeps the protocol
+//! honest — nothing structured is shared through memory — so the channel
+//! pair can later be swapped for a socket without touching the protocol
+//! layer.
+//!
+//! The encoding is bincode-style: fixed-width little-endian integers, a
+//! `u64` length prefix for sequences, one tag byte for enums. String
+//! constants travel as their text (not their process-local
+//! [`Symbol`](tdx_logic::Symbol) ids — intern ids are meaningless across
+//! process boundaries) and are re-interned on decode.
+
+use crate::temporal_instance::TemporalFact;
+use crate::value::{NullId, Row, Value};
+use std::fmt;
+use std::sync::Arc;
+use tdx_logic::{Constant, RelId};
+use tdx_temporal::{Endpoint, Interval};
+
+/// A decode failure: truncated input, an unknown enum tag, or malformed
+/// UTF-8. The protocol layer treats any of these as a fatal transport
+/// error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes wire values into a growing byte buffer.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// The serialized bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one raw byte (enum tags).
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Deserializes wire values from a byte slice.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed — a completed message must
+    /// leave nothing behind.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        // `n` can come straight from a corrupted length prefix, so the
+        // bounds check must not itself overflow — a wrapped `pos + n`
+        // would turn malformed input into a slice panic instead of the
+        // CodecError the protocol layer relies on.
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| {
+                CodecError(format!(
+                    "truncated input: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.buf.len() - self.pos
+                ))
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one raw byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        let len = self.u64()? as usize;
+        std::str::from_utf8(self.take(len)?)
+            .map_err(|e| CodecError(format!("malformed UTF-8 string: {e}")))
+    }
+}
+
+/// A value with a wire representation. Implementations must round-trip:
+/// `read(write(v)) == v` (string constants round-trip by text, re-interned
+/// on the decoding side).
+pub trait Wire: Sized {
+    /// Appends this value to `w`.
+    fn write(&self, w: &mut ByteWriter);
+    /// Parses one value from `r`.
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError>;
+}
+
+/// Serializes one `Wire` value into a standalone message buffer.
+pub fn encode<T: Wire>(value: &T) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    value.write(&mut w);
+    w.into_bytes()
+}
+
+/// Parses one `Wire` value from a standalone message buffer, requiring the
+/// buffer to be fully consumed.
+pub fn decode<T: Wire>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let v = T::read(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(CodecError("trailing bytes after message".into()));
+    }
+    Ok(v)
+}
+
+impl Wire for u32 {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u32(*self);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.u32()
+    }
+}
+
+impl Wire for u64 {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u64(*self);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        r.u64()
+    }
+}
+
+impl Wire for usize {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u64(*self as u64);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(r.u64()? as usize)
+    }
+}
+
+impl Wire for String {
+    fn write(&self, w: &mut ByteWriter) {
+        w.str(self);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(r.str()?.to_string())
+    }
+}
+
+impl Wire for RelId {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u32(self.0);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(RelId(r.u32()?))
+    }
+}
+
+impl Wire for Value {
+    fn write(&self, w: &mut ByteWriter) {
+        match self {
+            Value::Const(Constant::Int(i)) => {
+                w.u8(0);
+                w.i64(*i);
+            }
+            Value::Const(Constant::Str(s)) => {
+                w.u8(1);
+                w.str(s.as_str());
+            }
+            Value::Null(NullId(n)) => {
+                w.u8(2);
+                w.u64(*n);
+            }
+        }
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(Value::Const(Constant::Int(r.i64()?))),
+            1 => Ok(Value::str(r.str()?)),
+            2 => Ok(Value::Null(NullId(r.u64()?))),
+            tag => Err(CodecError(format!("unknown Value tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for Interval {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u64(self.start());
+        match self.end() {
+            Endpoint::Fin(e) => {
+                w.u8(0);
+                w.u64(e);
+            }
+            Endpoint::Inf => w.u8(1),
+        }
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let start = r.u64()?;
+        match r.u8()? {
+            0 => {
+                let end = r.u64()?;
+                if end <= start {
+                    return Err(CodecError(format!("empty interval [{start}, {end})")));
+                }
+                Ok(Interval::new(start, end))
+            }
+            1 => Ok(Interval::from(start)),
+            tag => Err(CodecError(format!("unknown Interval end tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for Row {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u64(self.len() as u64);
+        for v in self.iter() {
+            v.write(w);
+        }
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let len = r.u64()? as usize;
+        let mut vals = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            vals.push(Value::read(r)?);
+        }
+        Ok(Arc::from(vals))
+    }
+}
+
+impl Wire for TemporalFact {
+    fn write(&self, w: &mut ByteWriter) {
+        self.data.write(w);
+        self.interval.write(w);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(TemporalFact {
+            data: Row::read(r)?,
+            interval: Interval::read(r)?,
+        })
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u64(self.len() as u64);
+        for item in self {
+            item.write(w);
+        }
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let len = r.u64()? as usize;
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::read(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn write(&self, w: &mut ByteWriter) {
+        self.0.write(w);
+        self.1.write(w);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok((A::read(r)?, B::read(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn write(&self, w: &mut ByteWriter) {
+        self.0.write(w);
+        self.1.write(w);
+        self.2.write(w);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok((A::read(r)?, B::read(r)?, C::read(r)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn write(&self, w: &mut ByteWriter) {
+        self.0.write(w);
+        self.1.write(w);
+        self.2.write(w);
+        self.3.write(w);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok((A::read(r)?, B::read(r)?, C::read(r)?, D::read(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::row;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode(&v);
+        assert_eq!(decode::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(String::new());
+        roundtrip("Ada Lovelace — 18k".to_string());
+        roundtrip(RelId(7));
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        roundtrip(Value::str("IBM"));
+        roundtrip(Value::int(-42));
+        roundtrip(Value::Null(NullId(9)));
+    }
+
+    #[test]
+    fn intervals_roundtrip_including_unbounded() {
+        roundtrip(Interval::new(2012, 2014));
+        roundtrip(Interval::from(2014)); // unbounded end
+        roundtrip(Interval::from(0));
+        assert!(Interval::from(2014).is_unbounded());
+    }
+
+    #[test]
+    fn facts_and_containers_roundtrip() {
+        let fact = TemporalFact {
+            data: row([Value::str("Ada"), Value::int(18), Value::Null(NullId(3))]),
+            interval: Interval::from(2013),
+        };
+        roundtrip(fact.clone());
+        roundtrip(vec![fact.clone(), fact]);
+        roundtrip((RelId(1), Interval::new(1, 2)));
+        roundtrip((1u32, "x".to_string(), Interval::from(5)));
+        roundtrip(Vec::<Value>::new());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        // Truncated.
+        let bytes = encode(&Interval::new(3, 9));
+        assert!(decode::<Interval>(&bytes[..bytes.len() - 1]).is_err());
+        // Trailing garbage.
+        let mut bytes = encode(&Value::int(1));
+        bytes.push(0);
+        assert!(decode::<Value>(&bytes).is_err());
+        // Unknown tag.
+        assert!(decode::<Value>(&[9]).is_err());
+        // A corrupted length prefix near u64::MAX must error, not panic.
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX - 2);
+        assert!(decode::<String>(&w.into_bytes()).is_err());
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX);
+        assert!(decode::<Vec<u64>>(&w.into_bytes()).is_err());
+        // Empty interval on the wire.
+        let mut w = ByteWriter::new();
+        w.u64(5);
+        w.u8(0);
+        w.u64(5);
+        assert!(decode::<Interval>(&w.into_bytes()).is_err());
+    }
+
+    #[test]
+    fn string_constants_reintern_on_decode() {
+        let v = Value::str("codec-reintern-probe");
+        let decoded: Value = decode(&encode(&v)).unwrap();
+        // Equality is by intern id — same process, same symbol.
+        assert_eq!(decoded, v);
+    }
+}

@@ -15,6 +15,10 @@
 //! * [`FactStore`] — the indexed storage engine underneath: eager
 //!   per-column value indexes, interval-endpoint indexes (exact and overlap
 //!   probes), and a generation/delta log for semi-naive evaluation;
+//! * [`codec`] — a plain byte codec (bincode-style) for the distributed
+//!   chase's wire protocol: values, rows, intervals and facts serialize to
+//!   transport-neutral frames (string constants travel as text, never as
+//!   process-local intern ids);
 //! * [`matcher`] — a backtracking conjunctive matcher with the three
 //!   temporal modes the paper needs: ignore time, one shared interval
 //!   variable `t` (the `φ⁺(x̄, t)` forms of Definition 16), or one interval
@@ -23,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod display;
 pub mod fact_store;
 pub mod fxhash;
@@ -32,6 +37,7 @@ pub mod sharded;
 pub mod temporal_instance;
 pub mod value;
 
+pub use codec::{ByteReader, ByteWriter, CodecError, Wire};
 pub use fact_store::{FactStore, Generation};
 pub use instance::Instance;
 pub use matcher::{Match, MatchError, SearchOptions, TemporalMode};

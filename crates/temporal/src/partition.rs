@@ -187,6 +187,41 @@ impl TimelinePartition {
         lo != hi
     }
 
+    /// The server owning range `part` when the partition's ranges are
+    /// distributed over `servers` partition servers as contiguous,
+    /// balanced blocks: server `s` owns the ranges `p` with
+    /// `p * servers / len` equal to `s`, so block sizes differ by at most
+    /// one and the assignment depends only on `(len, servers)` — never on
+    /// which server happens to ask. Contiguity matters for the distributed
+    /// chase: a boundary-crossing fact (an unbounded interval crosses
+    /// every boundary after its start) is replicated exactly to the
+    /// servers owning the ranges it overlaps, and a contiguous assignment
+    /// makes that replica set a contiguous server range too.
+    pub fn server_of(&self, part: usize, servers: usize) -> usize {
+        assert!(part < self.len(), "partition index out of range");
+        if servers <= 1 {
+            return 0;
+        }
+        (part * servers.min(self.len())) / self.len()
+    }
+
+    /// The full partition → server map for `servers` servers (see
+    /// [`TimelinePartition::server_of`]).
+    pub fn server_assignment(&self, servers: usize) -> Vec<usize> {
+        (0..self.len())
+            .map(|p| self.server_of(p, servers))
+            .collect()
+    }
+
+    /// The servers owning at least one range that `iv` overlaps — the
+    /// replica set a boundary-crossing fact is shipped to. For an
+    /// unbounded interval this extends to the last server with any owned
+    /// range.
+    pub fn servers_overlapping(&self, iv: &Interval, servers: usize) -> (usize, usize) {
+        let (lo, hi) = self.parts_overlapping(iv);
+        (self.server_of(lo, servers), self.server_of(hi, servers))
+    }
+
     /// How unevenly `points` distribute over the ranges: the largest
     /// per-range point count divided by the ideal (total / ranges). `1.0`
     /// is perfectly balanced; values well above it mean the endpoint
@@ -412,6 +447,53 @@ mod tests {
             let p = tp.part_of(t);
             assert!(ranges[p].contains(t), "point {t} in range {p}");
         }
+    }
+
+    #[test]
+    fn server_assignment_is_contiguous_and_balanced() {
+        for (parts, servers) in [(1usize, 1usize), (4, 2), (5, 3), (7, 3), (3, 8), (16, 4)] {
+            let bps = Breakpoints::from_points((1..parts as u64).map(|k| 10 * k));
+            let tp = TimelinePartition::new(&bps);
+            assert_eq!(tp.len(), parts);
+            let assign = tp.server_assignment(servers);
+            assert_eq!(assign.len(), parts);
+            // Monotone (contiguous blocks), starting at server 0.
+            assert_eq!(assign[0], 0);
+            for w in assign.windows(2) {
+                assert!(w[1] == w[0] || w[1] == w[0] + 1, "{assign:?}");
+            }
+            // Every server in 0..min(servers, parts) owns something, and
+            // block sizes differ by at most one.
+            let used = servers.min(parts);
+            let mut counts = vec![0usize; used];
+            for &s in &assign {
+                counts[s] += 1;
+            }
+            assert!(counts.iter().all(|&c| c > 0), "{assign:?}");
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            assert!(max - min <= 1, "{assign:?}");
+        }
+    }
+
+    #[test]
+    fn unbounded_intervals_span_the_server_tail() {
+        // An unbounded interval crosses every boundary after its start, so
+        // its replica set must reach the last server.
+        let tp = TimelinePartition::new(&Breakpoints::from_points([10, 20, 30]));
+        let unbounded = Interval::from(15);
+        assert!(unbounded.is_unbounded());
+        assert!(tp.crosses(&unbounded));
+        assert_eq!(tp.parts_overlapping(&unbounded), (1, 3));
+        for servers in [1usize, 2, 3, 4] {
+            let (lo, hi) = tp.servers_overlapping(&unbounded, servers);
+            assert_eq!(hi, tp.server_of(tp.len() - 1, servers), "servers={servers}");
+            assert!(lo <= hi);
+        }
+        // An unbounded interval starting at 0 reaches every server.
+        let whole = Interval::from(0);
+        let (lo, hi) = tp.servers_overlapping(&whole, 3);
+        assert_eq!((lo, hi), (0, tp.server_of(tp.len() - 1, 3)));
+        assert_eq!(lo, 0);
     }
 
     #[test]

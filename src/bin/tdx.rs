@@ -75,7 +75,9 @@ fn usage() -> ExitCode {
          \x20          --coalesce  coalesce the result   --trace  print chase steps\n\
          \x20          --core      reduce to the pointwise core\n\
          \x20          --paper-faithful  single target normalization (§4.3 exactly)\n\
-         \x20          --engine indexed|scan|partitioned[:THREADS]  join engine\n\
+         \x20          --engine indexed|scan|partitioned[:THREADS]|distributed[:SERVERS]\n\
+         \x20          --servers N  partition servers for --engine distributed\n\
+         \x20                       (0 or absent: TDX_CHASE_SERVERS, then 2)\n\
          normalize  print the normalized source            --naive  endpoint-oblivious\n\
          query      certain answers                        --query 'Q(n) :- Emp(n,c,s)'\n\
          snapshots  print the abstract view                --from T --to T [--target]\n\
@@ -110,6 +112,15 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     if args.has("paper-faithful") {
         options = ChaseOptions::paper_faithful();
     }
+    // Partition servers for the distributed engine: --servers N wins, then
+    // the :N suffix, then 0 (resolved through TDX_CHASE_SERVERS — see
+    // tdx_core::server_count). Parsed outside the engine block so that a
+    // --servers flag without a distributed engine is rejected rather than
+    // silently dropped.
+    let servers_flag: Option<usize> = match args.get("servers") {
+        Some(n) => Some(n.parse().map_err(|_| format!("bad server count {n}"))?),
+        None => None,
+    };
     if let Some(engine) = args.get("engine") {
         options.engine = match engine.split_once(':') {
             None => match engine {
@@ -118,13 +129,27 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 // Bare "partitioned": threads from TDX_CHASE_THREADS or
                 // the machine (see tdx_core::worker_threads).
                 "partitioned" => tdx::core::ChaseEngine::PartitionedParallel { threads: 0 },
+                "distributed" => tdx::core::ChaseEngine::Distributed {
+                    servers: servers_flag.unwrap_or(0),
+                },
                 other => return Err(format!("unknown engine {other}").into()),
             },
             Some(("partitioned", n)) => tdx::core::ChaseEngine::PartitionedParallel {
                 threads: n.parse().map_err(|_| format!("bad thread count {n}"))?,
             },
+            Some(("distributed", n)) => tdx::core::ChaseEngine::Distributed {
+                servers: match servers_flag {
+                    Some(s) => s,
+                    None => n.parse().map_err(|_| format!("bad server count {n}"))?,
+                },
+            },
             Some(_) => return Err(format!("unknown engine {engine}").into()),
         };
+    }
+    if servers_flag.is_some()
+        && !matches!(options.engine, tdx::core::ChaseEngine::Distributed { .. })
+    {
+        return Err("--servers requires --engine distributed".into());
     }
     options.coalesce_result = args.has("coalesce");
     options.record_trace = args.has("trace");
@@ -192,6 +217,18 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         "incremental" => {
             use tdx::core::hom_equivalent;
             use tdx::DeltaBatch;
+            // A replay without a single --batch is a misuse, not a
+            // degenerate success: the command exists to exercise the
+            // incremental path, and silently printing a zero-batch summary
+            // (exit 0) hid forgotten flags from scripts.
+            if args.get_all("batch").is_empty() {
+                eprintln!(
+                    "tdx incremental: no --batch files given; nothing to replay.\n\
+                     usage: tdx incremental --mapping FILE --data BASE \
+                     --batch FILE [--batch FILE ...] [--verify]"
+                );
+                return Ok(ExitCode::from(2));
+            }
             let mut session = engine.incremental()?;
             let mut replay = |label: &str,
                               inst: &tdx::TemporalInstance|

@@ -107,6 +107,84 @@ fn check_accepts_figure9_and_rejects_truncations() {
 }
 
 #[test]
+fn exchange_engines_agree_from_the_cli() {
+    // Every engine solves the paper example with the same five-fact
+    // summary; the distributed engine's rendering is additionally
+    // byte-identical across server counts.
+    let mut distributed_outputs = Vec::new();
+    for engine in [
+        "scan",
+        "partitioned:2",
+        "distributed", // servers via TDX_CHASE_SERVERS / default
+        "distributed:1",
+        "distributed:3",
+    ] {
+        let mut args = paper_args("exchange");
+        args.push("--engine".into());
+        args.push(engine.into());
+        let out = tdx().args(&args).output().unwrap();
+        assert!(out.status.success(), "engine {engine}: {out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("5 target facts"),
+            "engine {engine}: {stderr}"
+        );
+        if engine.starts_with("distributed") {
+            distributed_outputs.push(String::from_utf8(out.stdout).unwrap());
+        }
+    }
+    for o in &distributed_outputs[1..] {
+        assert_eq!(*o, distributed_outputs[0], "server counts must agree");
+    }
+    // --servers overrides the :N suffix.
+    let mut args = paper_args("exchange");
+    args.extend(["--engine".into(), "distributed".into()]);
+    args.extend(["--servers".into(), "2".into()]);
+    let out = tdx().args(&args).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // Garbage engine and server counts are rejected.
+    let mut args = paper_args("exchange");
+    args.extend(["--engine".into(), "distributed:x".into()]);
+    let out = tdx().args(&args).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("bad server count"), "{stderr}");
+    // --servers without a distributed engine is an error, not a silent
+    // no-op.
+    for extra in [vec![], vec!["--engine", "partitioned"]] {
+        let mut args = paper_args("exchange");
+        args.extend(extra.into_iter().map(String::from));
+        args.extend(["--servers".into(), "3".into()]);
+        let out = tdx().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(1), "{out:?}");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("requires --engine distributed"), "{stderr}");
+    }
+}
+
+#[test]
+fn incremental_without_batches_is_a_usage_error() {
+    // `tdx incremental` with zero --batch flags used to print a zero-batch
+    // summary and exit 0 — scripts that forgot the flag saw success.
+    let out = tdx().args(paper_args("incremental")).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("no --batch files given"), "{stderr}");
+    // With a batch it still works (and verifies).
+    let dir = std::env::temp_dir().join("tdx-cli-incremental");
+    std::fs::create_dir_all(&dir).unwrap();
+    let batch = dir.join("batch1.facts");
+    std::fs::write(&batch, "E(Cyd, IBM) @ [2013, 2016)\n").unwrap();
+    let mut args = paper_args("incremental");
+    args.extend(["--batch".into(), batch.to_str().unwrap().into()]);
+    args.push("--verify".into());
+    let out = tdx().args(&args).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("verified hom-equivalent"), "{stderr}");
+}
+
+#[test]
 fn missing_args_exit_with_usage() {
     let out = tdx().arg("exchange").output().unwrap();
     assert_eq!(out.status.code(), Some(2));

@@ -26,7 +26,10 @@ fn scan() -> ChaseOptions {
 /// independent, but the scopes and merges must stay correct under real
 /// concurrency too — plus once with `threads = 0`, which resolves through
 /// the `TDX_CHASE_THREADS` environment variable: that is the configuration
-/// CI's thread matrix actually varies.
+/// CI's thread matrix actually varies. The distributed partition-server
+/// engine joins the same way: explicit 1- and 3-server clusters plus
+/// `servers = 0`, which resolves through `TDX_CHASE_SERVERS` — the knob
+/// CI's server matrix varies.
 fn all_engines() -> Vec<(&'static str, ChaseOptions)> {
     vec![
         ("indexed", indexed()),
@@ -35,6 +38,9 @@ fn all_engines() -> Vec<(&'static str, ChaseOptions)> {
         ("partitioned/2", ChaseOptions::partitioned_parallel(2)),
         ("partitioned/4", ChaseOptions::partitioned_parallel(4)),
         ("partitioned/env", ChaseOptions::partitioned_parallel(0)),
+        ("distributed/1", ChaseOptions::distributed(1)),
+        ("distributed/3", ChaseOptions::distributed(3)),
+        ("distributed/env", ChaseOptions::distributed(0)),
     ]
 }
 
@@ -224,6 +230,76 @@ fn partitioned_engine_is_thread_count_deterministic() {
         .unwrap();
         assert_eq!(one.target, many.target, "threads = {threads}");
         assert_eq!(one.stats.tgd_steps, many.stats.tgd_steps);
+    }
+}
+
+#[test]
+fn distributed_engine_is_server_count_deterministic() {
+    // Like the thread-count determinism of the partitioned engine: the
+    // coordinator folds per-partition responses in partition order, so the
+    // output must be byte-identical for every cluster size.
+    let w = EmploymentWorkload::generate(&EmploymentConfig {
+        persons: 20,
+        horizon: 30,
+        salary_coverage: 0.7,
+        seed: 9,
+        ..EmploymentConfig::default()
+    });
+    let one = c_chase_with(&w.source, &w.mapping, &ChaseOptions::distributed(1)).unwrap();
+    for servers in [2usize, 3, 5] {
+        let many =
+            c_chase_with(&w.source, &w.mapping, &ChaseOptions::distributed(servers)).unwrap();
+        assert_eq!(one.target, many.target, "servers = {servers}");
+        assert_eq!(one.stats.tgd_steps, many.stats.tgd_steps);
+        assert_eq!(one.stats.egd_merges, many.stats.egd_merges);
+    }
+}
+
+#[test]
+fn distributed_incremental_session_agrees_with_every_engine() {
+    // The acceptance bar of the distributed engine: driven through
+    // IncrementalExchange batches (cluster respawned across
+    // re-coarsenings), it must land on the same solution as every batch
+    // engine. `servers = 0` resolves through TDX_CHASE_SERVERS — the knob
+    // CI's server matrix varies.
+    use tdx::workload::{employment_stream, BatchOrder, StreamConfig};
+    use tdx::{DeltaBatch, IncrementalExchange};
+    let stream = employment_stream(
+        &EmploymentConfig {
+            persons: 20,
+            horizon: 30,
+            salary_coverage: 0.7,
+            seed: 11,
+            ..EmploymentConfig::default()
+        },
+        &StreamConfig {
+            batches: 3,
+            batch_fraction: 0.05,
+            order: BatchOrder::Uniform,
+            ..StreamConfig::default()
+        },
+    );
+    let mut session =
+        IncrementalExchange::with_options(stream.mapping.clone(), ChaseOptions::distributed(0))
+            .unwrap();
+    session
+        .apply(&DeltaBatch::from_instance(&stream.base))
+        .unwrap();
+    for batch in &stream.batches {
+        session.apply(&DeltaBatch::from_instance(batch)).unwrap();
+    }
+    let union = stream.union();
+    let incremental = session.target();
+    assert!(
+        is_solution_concrete(&union, &incremental, &stream.mapping).unwrap(),
+        "distributed incremental result is not a solution"
+    );
+    for (name, opts) in all_engines() {
+        let scratch = c_chase_with(&union, &stream.mapping, &opts).unwrap();
+        assert!(
+            hom_equivalent(&semantics(&scratch.target), &semantics(&incremental)),
+            "distributed incremental session disagrees with {name}"
+        );
     }
 }
 
