@@ -106,6 +106,26 @@ fn bench_distributed(c: &mut Criterion) {
     group.finish();
 }
 
+/// The transport ablation: the distributed chase (and one incremental
+/// batch) over in-process channels vs loopback TCP
+/// (`tdx_bench::transport_suite`, shared with the CI gate). Acceptance
+/// bar: the tcp rows stay within the same order of magnitude as their
+/// channel counterparts — the gap is pure carrier cost, the protocol
+/// bytes are identical.
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group(tdx_bench::transport_suite::GROUP);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for case in tdx_bench::transport_suite::cases() {
+        let run = case.run;
+        group.bench_with_input(BenchmarkId::from(case.id.as_str()), &(), |b, _| {
+            b.iter(&run)
+        });
+    }
+    group.finish();
+}
+
 /// Per-batch latency of the incremental exchange session vs a from-scratch
 /// re-chase of the same accumulated source (`tdx_bench::incremental_suite`,
 /// shared with the CI gate). Acceptance bar: `employment/batch5pct/100` at
@@ -130,6 +150,7 @@ criterion_group!(
     bench_nested,
     bench_engines,
     bench_distributed,
+    bench_transport,
     bench_incremental
 );
 criterion_main!(benches);

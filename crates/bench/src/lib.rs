@@ -173,6 +173,9 @@ pub fn gated_cases() -> Vec<(String, Box<dyn Fn() + Send + Sync>)> {
             case.run,
         ));
     }
+    for case in transport_suite::cases() {
+        out.push((format!("{}/{}", transport_suite::GROUP, case.id), case.run));
+    }
     out
 }
 
@@ -345,6 +348,91 @@ pub mod distributed_suite {
                 s.apply(&batch).unwrap();
             }),
         });
+        out
+    }
+}
+
+/// The `c_chase/transport/*` suite: the distributed engine's transport
+/// ablation — the same chase over in-process channels vs loopback TCP
+/// (`employment/{channel,tcp}/100`), plus one incremental 5% batch per
+/// transport through a seeded distributed session
+/// (`employment/incremental5pct/{channel,tcp}/100`, clone included as in
+/// the incremental family). The channel/tcp gap is the carrier tax —
+/// frame syscalls and loopback latency on top of the identical protocol
+/// bytes; the incremental rows additionally show the delta-only watermark
+/// shipping at work (without it the tcp row would scale with the store,
+/// not the batch). Note the tcp rows measure the thread-backed loopback
+/// server when no `tdx` binary is alongside the bench executable (the
+/// usual case for `bench_check`), so they isolate socket transport cost
+/// from process spawn cost. Shared between `benches/chase.rs` and the
+/// regression gate like [`engine_suite`].
+pub mod transport_suite {
+    pub use crate::Case;
+    use std::sync::Arc;
+    use tdx_core::{c_chase_with, ChaseOptions, DeltaBatch, IncrementalExchange, TransportKind};
+    use tdx_workload::{
+        employment_stream, BatchOrder, EmploymentConfig, EmploymentWorkload, StreamConfig,
+    };
+
+    /// The group prefix every case id lives under.
+    pub const GROUP: &str = "c_chase/transport";
+
+    /// See the module docs for the case list.
+    pub fn cases() -> Vec<Case> {
+        let transports = [
+            ("channel", TransportKind::Channel),
+            ("tcp", TransportKind::Tcp),
+        ];
+        let mut out = Vec::new();
+        let w = Arc::new(EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 100,
+            horizon: 30,
+            seed: 42,
+            ..EmploymentConfig::default()
+        }));
+        for (label, kind) in transports {
+            let w = Arc::clone(&w);
+            let opts = ChaseOptions::distributed(1).on_transport(kind);
+            out.push(Case {
+                id: format!("employment/{label}/100"),
+                run: Box::new(move || {
+                    c_chase_with(&w.source, &w.mapping, &opts).unwrap();
+                }),
+            });
+        }
+        let stream = employment_stream(
+            &EmploymentConfig {
+                persons: 100,
+                horizon: 30,
+                seed: 42,
+                ..EmploymentConfig::default()
+            },
+            &StreamConfig {
+                batches: 1,
+                batch_fraction: 0.05,
+                order: BatchOrder::Uniform,
+                ..StreamConfig::default()
+            },
+        );
+        for (label, kind) in transports {
+            let mut session = IncrementalExchange::with_options(
+                stream.mapping.clone(),
+                ChaseOptions::distributed(1).on_transport(kind),
+            )
+            .expect("valid scenario mapping");
+            session
+                .apply(&DeltaBatch::from_instance(&stream.base))
+                .expect("consistent base instance");
+            let session = Arc::new(session);
+            let batch = Arc::new(DeltaBatch::from_instance(&stream.batches[0]));
+            out.push(Case {
+                id: format!("employment/incremental5pct/{label}/100"),
+                run: Box::new(move || {
+                    let mut s = (*session).clone();
+                    s.apply(&batch).unwrap();
+                }),
+            });
+        }
         out
     }
 }

@@ -1,0 +1,1456 @@
+//! The coordinator: the one place global chase state lives, for every
+//! engine that farms match enumeration out.
+//!
+//! Two things live here:
+//!
+//! 1. **The coordinator kernel** — the restricted-chase check machinery
+//!    ([`Check`], [`classify_check`], [`TgdFolder`]) and the union-find
+//!    merge fold ([`fold_merge_ops`]). [`ChaseEngine::PartitionedParallel`],
+//!    [`ChaseEngine::Distributed`] and the
+//!    [`IncrementalExchange`](crate::chase::incremental::IncrementalExchange)
+//!    session all fold their enumerated matches through these same
+//!    routines; only *where the enumeration ran* differs.
+//! 2. **[`DistributedCluster`]** — the coordinator-side handle to a set of
+//!    partition servers behind any [`Transport`] backend: delta-only
+//!    `ApplyDelta` shipping against per-server retained-prefix watermarks,
+//!    a heartbeat, and a bounded retry path that respawns a dead server
+//!    and replays its watermarked images. [`c_chase_distributed`] is the
+//!    batch engine loop on top of it.
+//!
+//! # Delta-only shipping
+//!
+//! For each server and store the cluster caches the routed image it last
+//! shipped (the concatenated pre + delta lists, per relation). The
+//! invariant is **cache = the server's retained image**: an `ApplyDelta`
+//! ships, per relation, a [`SyncOp`] program — runs of retained facts
+//! kept in order, plus inserts of only the genuinely new facts — and the
+//! server reconstructs exactly the full lists the PR 4 protocol used to
+//! re-ship wholesale. The program is the greedy in-order diff
+//! ([`diff_ops`]), which is *exact* for how the chase evolves its lists:
+//! settling appends (one retained run + a suffix — the retained-prefix
+//! watermark of the steady state), union-find rewrites and
+//! re-fragmentation delete in place and append replacements (retained
+//! runs around the deletions). Traffic is therefore proportional to what
+//! changed; only re-coarsening or a rebuild (a fresh cluster) re-ships
+//! everything.
+//!
+//! # Failure handling
+//!
+//! Any transport error (or undecodable response) marks the server dead.
+//! The retry path respawns it through the cluster's
+//! [`TransportSpawner`], replays the `Hello` handshake and both stores'
+//! cached images as full re-ships — restoring the server to exactly its
+//! pre-failure state — and re-sends the failed frame. Respawns are
+//! bounded per server ([`MAX_RESPAWNS`]); beyond that the chase fails.
+//! [`DistributedCluster::heartbeat`] pings every server and runs the same
+//! recovery, for callers that held a cluster idle (an incremental session
+//! between batches).
+//!
+//! # Determinism
+//!
+//! Responses are tagged with their partition index and folded in ascending
+//! partition order; a partition's enumeration depends on neither the
+//! server hosting it nor the transport carrying the frames. The result is
+//! byte-identical across `{channel, tcp} × any server count`
+//! (`tests/equivalence.rs`).
+
+use super::protocol::{
+    FactLists, Hom, MergeOp, Message, RelationSync, Response, ServerConfig, StoreKind, SyncOp,
+};
+use super::transport::{
+    resolve_transport, spawner_for, Transport, TransportKind, TransportSpawner,
+};
+use crate::chase::concrete::{
+    instantiate, AnnotatedUnionFind, CChaseResult, ChaseOptions, ChaseStats, UfKey,
+};
+use crate::chase::partitioned::{refragment_lists, rewrite_values};
+use crate::error::{Result, TdxError};
+use std::sync::Arc;
+use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Term, Var};
+use tdx_storage::codec::{decode, encode};
+use tdx_storage::fxhash::FxHashSet;
+use tdx_storage::{
+    NullGen, Row, SearchOptions, TemporalFact, TemporalInstance, TemporalMode, Value,
+};
+use tdx_temporal::{Interval, TimelinePartition};
+
+// ---------------------------------------------------------------------------
+// The coordinator kernel
+
+/// A memo entry: determined head values + the shared interval.
+pub(crate) type MemoKey = (Vec<Value>, Interval);
+
+/// The restricted-chase check for one tgd, cheapest applicable tier first:
+/// without existentials, "no extension into the target" is just "some head
+/// fact is missing" — the insert's own dedup answers it (`Direct`). A
+/// single-atom head with non-repeated existentials reduces to a hash memo
+/// over the determined head positions, updated on every insert (`Memo`).
+/// Anything else falls back to the matcher probe (`Probe`).
+#[derive(Clone)]
+pub(crate) enum Check {
+    /// Insert-dedup answers the check.
+    Direct,
+    /// Hash memo over the determined columns of the single head atom.
+    Memo {
+        /// Head relation the memo watches.
+        rel: RelId,
+        /// Determined column positions (constants + universal variables).
+        cols: Vec<usize>,
+    },
+    /// Full matcher probe against the target.
+    Probe,
+}
+
+/// Classifies the restricted-chase check tier for a tgd head (see
+/// [`Check`]). Shared by the partitioned and distributed batch engines and
+/// the incremental session — one classification, three call sites.
+pub(crate) fn classify_check(head: &[Atom], existentials: &[Var], tgt: &Schema) -> Result<Check> {
+    if existentials.is_empty() {
+        return Ok(Check::Direct);
+    }
+    if head.len() == 1 {
+        let atom = &head[0];
+        let repeated = existentials.iter().any(|e| {
+            atom.terms
+                .iter()
+                .filter(|t| matches!(t, Term::Var(v) if v == e))
+                .count()
+                > 1
+        });
+        if !repeated {
+            return Ok(Check::Memo {
+                rel: tgt.rel_id(atom.relation).ok_or_else(|| {
+                    TdxError::Invalid(format!("unknown head relation {}", atom.relation))
+                })?,
+                cols: atom
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => !existentials.contains(v),
+                    })
+                    .map(|(i, _)| i)
+                    .collect(),
+            });
+        }
+    }
+    Ok(Check::Probe)
+}
+
+/// Registers an inserted target fact with every memo watching its relation.
+pub(crate) fn register_memo<'a>(
+    memos: &mut [FxHashSet<MemoKey>],
+    checks: impl Iterator<Item = &'a Check>,
+    rel: RelId,
+    data: &[Value],
+    iv: Interval,
+) {
+    for (mi, check) in checks.enumerate() {
+        if let Check::Memo { rel: mrel, cols } = check {
+            if *mrel == rel {
+                let key: Vec<Value> = cols.iter().map(|&c| data[c]).collect();
+                memos[mi].insert((key, iv));
+            }
+        }
+    }
+}
+
+/// The memo probe key of one enumerated homomorphism: the determined head
+/// values at `cols`, in column order.
+pub(crate) fn memo_probe_key(cols: &[usize], atom: &Atom, h: &[(Var, Value)]) -> Vec<Value> {
+    cols.iter()
+        .map(|&c| match &atom.terms[c] {
+            Term::Const(cst) => Value::Const(*cst),
+            Term::Var(v) => {
+                h.iter()
+                    .find(|(w, _)| w == v)
+                    .expect("universal head var bound")
+                    .1
+            }
+        })
+        .collect()
+}
+
+/// Folds enumerated egd merge operations into a round's union-find. A
+/// constant/constant clash fails the chase with the owning egd's name —
+/// identical failure rendering for every engine. Returns the number of
+/// effective identifications.
+pub(crate) fn fold_merge_ops(
+    ops: impl IntoIterator<Item = (usize, Value, Value, Interval)>,
+    uf: &mut AnnotatedUnionFind,
+    egd_name: impl Fn(usize) -> String,
+) -> Result<usize> {
+    let mut merges = 0usize;
+    for (ei, a, b, iv) in ops {
+        let key = |v: Value| match v {
+            Value::Const(c) => UfKey::Const(c),
+            Value::Null(n) => UfKey::Null(n, iv),
+        };
+        match uf.union(key(a), key(b)) {
+            Ok(()) => merges += 1,
+            Err((c1, c2)) => {
+                let render = |k: UfKey| match k {
+                    UfKey::Const(c) => c.to_string(),
+                    UfKey::Null(n, _) => n.to_string(),
+                };
+                return Err(TdxError::ChaseFailure {
+                    dependency: egd_name(ei),
+                    left: render(c1),
+                    right: render(c2),
+                    interval: Some(iv),
+                });
+            }
+        }
+    }
+    Ok(merges)
+}
+
+/// The coordinator-side tgd step folder: takes enumerated homomorphisms
+/// (from worker tasks or partition servers — anywhere), applies the
+/// restricted-chase check and inserts head facts with fresh annotated
+/// nulls. One instance per chase; both batch engines fold through it.
+pub(crate) struct TgdFolder<'a> {
+    mapping: &'a SchemaMapping,
+    checks: Vec<(Check, Vec<Var>)>,
+    memos: Vec<FxHashSet<MemoKey>>,
+    pub(crate) nulls: NullGen,
+}
+
+impl<'a> TgdFolder<'a> {
+    /// A folder for `mapping`'s s-t tgds (one check + memo per tgd).
+    pub(crate) fn new(mapping: &'a SchemaMapping) -> Result<TgdFolder<'a>> {
+        let checks = mapping
+            .st_tgds()
+            .iter()
+            .map(|tgd| {
+                let ex = tgd.existential_vars();
+                classify_check(&tgd.head, &ex, mapping.target()).map(|c| (c, ex))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let memos = checks.iter().map(|_| Default::default()).collect();
+        Ok(TgdFolder {
+            mapping,
+            checks,
+            memos,
+            nulls: NullGen::new(),
+        })
+    }
+
+    /// Folds tgd `ti`'s homomorphisms into `target`; returns the number of
+    /// steps fired.
+    pub(crate) fn fold(
+        &mut self,
+        ti: usize,
+        homs: impl IntoIterator<Item = Hom>,
+        target: &mut TemporalInstance,
+        sopts: SearchOptions,
+    ) -> Result<usize> {
+        let tgd = &self.mapping.st_tgds()[ti];
+        let mut fired_total = 0usize;
+        for (h, iv) in homs {
+            let (check, existentials) = &self.checks[ti];
+            match check {
+                Check::Direct => {
+                    let mut fired = false;
+                    for atom in &tgd.head {
+                        let rel = self
+                            .mapping
+                            .target()
+                            .rel_id(atom.relation)
+                            .expect("validated head atom");
+                        let row: Row = instantiate(atom, &h).into();
+                        if target.insert(rel, Arc::clone(&row), iv) {
+                            register_memo(
+                                &mut self.memos,
+                                self.checks.iter().map(|(c, _)| c),
+                                rel,
+                                &row,
+                                iv,
+                            );
+                            fired = true;
+                        }
+                    }
+                    if fired {
+                        fired_total += 1;
+                    }
+                    continue;
+                }
+                Check::Memo { rel: _, cols } => {
+                    let key = memo_probe_key(cols, &tgd.head[0], &h);
+                    if self.memos[ti].contains(&(key, iv)) {
+                        continue;
+                    }
+                }
+                Check::Probe => {
+                    if target.exists_match_with(
+                        &tgd.head,
+                        TemporalMode::Shared,
+                        &h,
+                        Some(iv),
+                        sopts,
+                    )? {
+                        continue;
+                    }
+                }
+            }
+            let mut env = h;
+            for v in existentials {
+                env.push((*v, Value::Null(self.nulls.fresh())));
+            }
+            for atom in &tgd.head {
+                let rel = self
+                    .mapping
+                    .target()
+                    .rel_id(atom.relation)
+                    .expect("validated head atom");
+                let row: Row = instantiate(atom, &env).into();
+                if target.insert(rel, Arc::clone(&row), iv) {
+                    register_memo(
+                        &mut self.memos,
+                        self.checks.iter().map(|(c, _)| c),
+                        rel,
+                        &row,
+                        iv,
+                    );
+                }
+            }
+            fired_total += 1;
+        }
+        Ok(fired_total)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cluster
+
+/// Respawn budget per server over a cluster's lifetime. Three strikes
+/// covers a flaky-but-recovering carrier; a server that keeps dying is a
+/// configuration problem the chase should surface, not mask.
+pub(crate) const MAX_RESPAWNS: u32 = 3;
+
+/// Cumulative wire-traffic counters of one [`DistributedCluster`] — the
+/// observable for shipping-discipline tests and the bench notes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Protocol frames sent coordinator → servers.
+    pub frames_sent: u64,
+    /// Total bytes of those frames.
+    pub bytes_sent: u64,
+    /// Bytes of `ApplyDelta` frames alone (the traffic the delta-only
+    /// watermark scheme bounds).
+    pub apply_delta_bytes: u64,
+    /// Facts actually shipped inside `ApplyDelta` frames (appends +
+    /// delta blocks; retained-prefix facts count 0).
+    pub apply_delta_facts: u64,
+    /// Dead-server respawns performed by the retry path.
+    pub respawns: u64,
+}
+
+struct ServerSlot {
+    transport: Box<dyn Transport>,
+    /// The encoded `Hello` handshake, replayed on respawn.
+    hello: Vec<u8>,
+    /// Per store: the routed image last acknowledged (concatenated
+    /// pre + delta lists and the per-relation split) — the coordinator's
+    /// copy of the server's retained image, and the base of the next
+    /// watermark diff.
+    shipped: [Option<(FactLists, Vec<u64>)>; 2],
+    respawns: u32,
+}
+
+/// A coordinator-side handle to a set of partition servers behind a
+/// [`Transport`] backend. Owns the server peers; dropping the cluster
+/// sends `Shutdown` and joins/reaps them.
+pub struct DistributedCluster {
+    slots: Vec<ServerSlot>,
+    tp: TimelinePartition,
+    src_rels: usize,
+    tgt_rels: usize,
+    servers: usize,
+    spawner: Arc<dyn TransportSpawner>,
+    traffic: TrafficStats,
+}
+
+fn transport_err(s: usize, e: impl std::fmt::Display) -> TdxError {
+    TdxError::Invalid(format!("partition server {s}: {e}"))
+}
+
+impl DistributedCluster {
+    /// Spawns `servers` partition servers over `tp` on the transport
+    /// resolved from the environment (`TDX_CHASE_TRANSPORT`, default
+    /// channel), distributing its ranges as contiguous balanced blocks
+    /// ([`TimelinePartition::server_of`]). Dependency bodies and schemas
+    /// ship as the `Hello` handshake.
+    pub fn spawn(
+        mapping: &SchemaMapping,
+        tp: &TimelinePartition,
+        servers: usize,
+        sopts: SearchOptions,
+    ) -> Result<DistributedCluster> {
+        Self::spawn_with(
+            mapping,
+            tp,
+            servers,
+            sopts,
+            spawner_for(resolve_transport(None)),
+        )
+    }
+
+    /// [`DistributedCluster::spawn`] on an explicit transport backend.
+    pub fn spawn_on(
+        mapping: &SchemaMapping,
+        tp: &TimelinePartition,
+        servers: usize,
+        sopts: SearchOptions,
+        transport: TransportKind,
+    ) -> Result<DistributedCluster> {
+        Self::spawn_with(mapping, tp, servers, sopts, spawner_for(transport))
+    }
+
+    /// [`DistributedCluster::spawn`] through an arbitrary spawner — the
+    /// injection point for fault-injection tests and custom carriers.
+    pub fn spawn_with(
+        mapping: &SchemaMapping,
+        tp: &TimelinePartition,
+        servers: usize,
+        sopts: SearchOptions,
+        spawner: Arc<dyn TransportSpawner>,
+    ) -> Result<DistributedCluster> {
+        let servers = servers.max(1);
+        let mut slots = Vec::with_capacity(servers);
+        for s in 0..servers {
+            let cfg = ServerConfig::for_server(mapping, tp, s, servers, sopts);
+            let transport = spawner.spawn(s).map_err(|e| transport_err(s, e))?;
+            slots.push(ServerSlot {
+                transport,
+                hello: encode(&Message::Hello(cfg)),
+                shipped: [None, None],
+                respawns: 0,
+            });
+        }
+        let mut cluster = DistributedCluster {
+            slots,
+            tp: tp.clone(),
+            src_rels: mapping.source().len(),
+            tgt_rels: mapping.target().len(),
+            servers,
+            spawner,
+            traffic: TrafficStats::default(),
+        };
+        // Handshake every server (pipelined like any broadcast round).
+        let hellos: Vec<Vec<u8>> = cluster.slots.iter().map(|s| s.hello.clone()).collect();
+        for (s, resp) in cluster.broadcast(hellos)?.into_iter().enumerate() {
+            if resp != Response::Ready {
+                return Err(transport_err(
+                    s,
+                    format!("unexpected Hello response {resp:?}"),
+                ));
+            }
+        }
+        Ok(cluster)
+    }
+
+    /// The timeline partition the cluster was spawned over.
+    pub fn partition(&self) -> &TimelinePartition {
+        &self.tp
+    }
+
+    /// Number of partition servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// The transport backend the cluster runs on.
+    pub fn transport(&self) -> TransportKind {
+        self.spawner.kind()
+    }
+
+    /// Cumulative wire-traffic counters.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic
+    }
+
+    fn send_counted(&mut self, s: usize, frame: &[u8]) -> std::io::Result<()> {
+        self.slots[s].transport.send(frame)?;
+        self.traffic.frames_sent += 1;
+        self.traffic.bytes_sent += frame.len() as u64;
+        Ok(())
+    }
+
+    fn recv_decoded(&mut self, s: usize) -> std::io::Result<Response> {
+        let bytes = self.slots[s].transport.recv()?;
+        decode::<Response>(&bytes)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// One request/response exchange with no recovery — the building block
+    /// `respawn` itself uses.
+    fn request_direct(&mut self, s: usize, frame: &[u8]) -> Result<Response> {
+        self.send_counted(s, frame)
+            .map_err(|e| transport_err(s, e))?;
+        self.recv_decoded(s).map_err(|e| transport_err(s, e))
+    }
+
+    /// The retry path: tear the dead server down, spawn a replacement,
+    /// replay the `Hello` handshake and both stores' cached images as full
+    /// re-ships. On return the server holds exactly the state it held
+    /// before it died, so the caller can re-send its in-flight frame
+    /// verbatim.
+    fn respawn(&mut self, s: usize) -> Result<()> {
+        self.slots[s].respawns += 1;
+        self.traffic.respawns += 1;
+        if self.slots[s].respawns > MAX_RESPAWNS {
+            return Err(transport_err(
+                s,
+                format!("died more than {MAX_RESPAWNS} times; giving up"),
+            ));
+        }
+        self.slots[s].transport.shutdown();
+        self.slots[s].transport = self.spawner.spawn(s).map_err(|e| transport_err(s, e))?;
+        let hello = self.slots[s].hello.clone();
+        match self.request_direct(s, &hello)? {
+            Response::Ready => {}
+            other => {
+                return Err(transport_err(
+                    s,
+                    format!("unexpected Hello response after respawn: {other:?}"),
+                ))
+            }
+        }
+        for store in StoreKind::BOTH {
+            let Some((image, splits)) = self.slots[s].shipped[store.idx()].clone() else {
+                continue;
+            };
+            let facts: usize = image.iter().map(|l| l.len()).sum();
+            let sync: Vec<RelationSync> = image
+                .into_iter()
+                .zip(&splits)
+                .map(|(list, &split)| RelationSync {
+                    ops: if list.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![SyncOp::Insert(list)]
+                    },
+                    split,
+                })
+                .collect();
+            let frame = encode(&Message::ApplyDelta { store, sync });
+            self.traffic.apply_delta_bytes += frame.len() as u64;
+            self.traffic.apply_delta_facts += facts as u64;
+            match self.request_direct(s, &frame)? {
+                Response::Applied => {}
+                other => {
+                    return Err(transport_err(
+                        s,
+                        format!("unexpected replay response: {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends one frame per server (frame `s` to server `s`), collects one
+    /// response per server in server order. All frames go out before any
+    /// response is awaited, so servers work concurrently; a server that
+    /// fails at either step goes through the retry path and answers the
+    /// same frame on its replacement.
+    fn broadcast(&mut self, frames: Vec<Vec<u8>>) -> Result<Vec<Response>> {
+        debug_assert_eq!(frames.len(), self.slots.len());
+        let n = self.slots.len();
+        let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        let mut failed: Vec<usize> = Vec::new();
+        for (s, frame) in frames.iter().enumerate() {
+            if self.send_counted(s, frame).is_err() {
+                failed.push(s);
+            }
+        }
+        for (s, slot_out) in out.iter_mut().enumerate() {
+            if failed.contains(&s) {
+                continue;
+            }
+            match self.recv_decoded(s) {
+                Ok(resp) => *slot_out = Some(resp),
+                Err(_) => failed.push(s),
+            }
+        }
+        for s in failed {
+            self.respawn(s)?;
+            out[s] = Some(self.request_direct(s, &frames[s])?);
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every server answered or failed the chase"))
+            .collect())
+    }
+
+    /// Broadcasts one identical frame to every server.
+    fn broadcast_same(&mut self, msg: &Message) -> Result<Vec<Response>> {
+        let frame = encode(msg);
+        let frames: Vec<Vec<u8>> = (0..self.slots.len()).map(|_| frame.clone()).collect();
+        self.broadcast(frames)
+    }
+
+    /// Pings every server, recovering dead ones through the retry path.
+    /// Callers that held an idle cluster (an incremental session between
+    /// batches) run this before trusting it with a round.
+    pub fn heartbeat(&mut self) -> Result<()> {
+        for (s, resp) in self.broadcast_same(&Message::Ping)?.into_iter().enumerate() {
+            if resp != Response::Pong {
+                return Err(transport_err(
+                    s,
+                    format!("unexpected Ping response {resp:?}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Syncs the servers' fact lists for `store`: each fact is routed to
+    /// every server whose owned ranges its interval overlaps (owner +
+    /// boundary replicas), and each server receives only the sync program
+    /// against its retained image — runs kept in place, genuinely new
+    /// facts inserted (see the module docs).
+    pub fn apply_delta(
+        &mut self,
+        store: StoreKind,
+        pre: &FactLists,
+        delta: &FactLists,
+    ) -> Result<()> {
+        let nrels = match store {
+            StoreKind::Source => self.src_rels,
+            StoreKind::Target => self.tgt_rels,
+        };
+        // Route pre and delta into each server's image: per relation the
+        // concatenated pre + delta facts overlapping its owned ranges, and
+        // the boundary between the two blocks.
+        let mut images: Vec<FactLists> = vec![vec![Vec::new(); nrels]; self.servers];
+        let mut splits: Vec<Vec<u64>> = vec![vec![0; nrels]; self.servers];
+        for (block, lists) in [pre, delta].into_iter().enumerate() {
+            for (r, facts) in lists.iter().enumerate() {
+                for fact in facts {
+                    let (lo, hi) = self.tp.servers_overlapping(&fact.interval, self.servers);
+                    for s in lo..=hi {
+                        images[s][r].push(fact.clone());
+                        if block == 0 {
+                            splits[s][r] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut frames = Vec::with_capacity(self.servers);
+        for s in 0..self.servers {
+            let empty: FactLists = Vec::new();
+            let old = match &self.slots[s].shipped[store.idx()] {
+                Some((old_image, _)) => old_image,
+                None => &empty,
+            };
+            let mut shipped_facts = 0u64;
+            let sync: Vec<RelationSync> = (0..nrels)
+                .map(|r| {
+                    let ops = diff_ops(old.get(r).map_or(&[][..], |l| l), &images[s][r]);
+                    shipped_facts += ops
+                        .iter()
+                        .map(|op| match op {
+                            SyncOp::Insert(facts) => facts.len() as u64,
+                            SyncOp::Keep { .. } => 0,
+                        })
+                        .sum::<u64>();
+                    RelationSync {
+                        ops,
+                        split: splits[s][r],
+                    }
+                })
+                .collect();
+            let frame = encode(&Message::ApplyDelta { store, sync });
+            self.traffic.apply_delta_bytes += frame.len() as u64;
+            self.traffic.apply_delta_facts += shipped_facts;
+            frames.push(frame);
+        }
+        for (s, resp) in self.broadcast(frames)?.into_iter().enumerate() {
+            if resp != Response::Applied {
+                return Err(transport_err(
+                    s,
+                    format!("unexpected response to ApplyDelta: {resp:?}"),
+                ));
+            }
+        }
+        for (s, (image, split)) in images.into_iter().zip(splits).enumerate() {
+            self.slots[s].shipped[store.idx()] = Some((image, split));
+        }
+        Ok(())
+    }
+
+    /// Runs one tgd round on every server and returns, per tgd, the
+    /// enumerated homomorphisms in ascending partition order — the same for
+    /// every server count.
+    pub fn run_tgd_round(&mut self, tgd_count: usize) -> Result<Vec<Vec<Hom>>> {
+        let mut grouped: Vec<(u64, Vec<Vec<super::protocol::WireHom>>)> = Vec::new();
+        for (s, resp) in self
+            .broadcast_same(&Message::RunTgdRound)?
+            .into_iter()
+            .enumerate()
+        {
+            match resp {
+                Response::Homs(h) => grouped.extend(h),
+                other => {
+                    return Err(transport_err(
+                        s,
+                        format!("unexpected response to RunTgdRound: {other:?}"),
+                    ))
+                }
+            }
+        }
+        grouped.sort_by_key(|(p, _)| *p);
+        let mut out: Vec<Vec<Hom>> = vec![Vec::new(); tgd_count];
+        for (_, per_tgd) in grouped {
+            for (ti, homs) in per_tgd.into_iter().enumerate() {
+                if ti >= tgd_count {
+                    return Err(TdxError::Invalid("server returned extra tgd rows".into()));
+                }
+                out[ti].extend(homs.into_iter().map(|(bind, iv)| {
+                    (
+                        bind.into_iter()
+                            .map(|(name, val)| (Var::new(&name), val))
+                            .collect::<Vec<_>>(),
+                        iv,
+                    )
+                }));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs one local egd round on every server and returns the merge
+    /// operations in ascending partition order.
+    pub fn run_egd_round(&mut self) -> Result<Vec<MergeOp>> {
+        let mut grouped: Vec<super::protocol::PartitionMerges> = Vec::new();
+        for (s, resp) in self
+            .broadcast_same(&Message::RunLocalEgdRound)?
+            .into_iter()
+            .enumerate()
+        {
+            match resp {
+                Response::Merges(ops) => grouped.extend(ops),
+                other => {
+                    return Err(transport_err(
+                        s,
+                        format!("unexpected response to RunLocalEgdRound: {other:?}"),
+                    ))
+                }
+            }
+        }
+        grouped.sort_by_key(|(p, _)| *p);
+        Ok(grouped.into_iter().flat_map(|(_, ops)| ops).collect())
+    }
+
+    /// Per server: the owned facts and boundary replicas it currently holds
+    /// for `store`.
+    pub fn snapshots(&mut self, store: StoreKind) -> Result<Vec<(FactLists, FactLists)>> {
+        let mut out = Vec::with_capacity(self.servers);
+        for (s, resp) in self
+            .broadcast_same(&Message::Snapshot { store })?
+            .into_iter()
+            .enumerate()
+        {
+            match resp {
+                Response::Facts { owned, replicas } => out.push((owned, replicas)),
+                other => {
+                    return Err(transport_err(
+                        s,
+                        format!("unexpected response to Snapshot: {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The greedy in-order diff behind delta-only shipping: expresses `new` as
+/// [`SyncOp`] runs over `old` (facts kept in retained order) plus inserts
+/// of the facts not found. Exact — the reconstruction always equals `new`
+/// — and *minimal* whenever `new` is an order-preserving subsequence of
+/// `old` with fresh facts spliced in, which is precisely how the chase
+/// evolves its lists (settling appends; rewriting and re-fragmentation
+/// delete in place and append replacements). A hash index over `old`
+/// keeps it linear; `Arc` pointer equality short-circuits the common case
+/// where a fact object survives rounds untouched.
+fn diff_ops(old: &[TemporalFact], new: &[TemporalFact]) -> Vec<SyncOp> {
+    use std::collections::VecDeque;
+    use std::hash::{Hash, Hasher};
+    if old.is_empty() {
+        return if new.is_empty() {
+            Vec::new()
+        } else {
+            vec![SyncOp::Insert(new.to_vec())]
+        };
+    }
+    let key = |f: &TemporalFact| -> (u64, Interval) {
+        let mut h = tdx_storage::fxhash::FxHasher::default();
+        f.data.hash(&mut h);
+        (h.finish(), f.interval)
+    };
+    let mut index: tdx_storage::fxhash::FxHashMap<(u64, Interval), VecDeque<u32>> =
+        Default::default();
+    for (i, f) in old.iter().enumerate() {
+        index.entry(key(f)).or_default().push_back(i as u32);
+    }
+    let mut ops: Vec<SyncOp> = Vec::new();
+    let mut at = 0usize; // next unconsumed position of `old`
+    for fact in new {
+        let matched = index.get_mut(&key(fact)).and_then(|q| {
+            while q.front().is_some_and(|&p| (p as usize) < at) {
+                q.pop_front();
+            }
+            let p = *q.front()? as usize;
+            // Verify (hash collisions): equality by content, Arc fast path.
+            let o = &old[p];
+            (o.interval == fact.interval
+                && (Arc::ptr_eq(&o.data, &fact.data) || o.data == fact.data))
+                .then(|| {
+                    q.pop_front();
+                    p
+                })
+        });
+        match matched {
+            Some(p) => {
+                match ops.last_mut() {
+                    Some(SyncOp::Keep { take, .. }) if p == at => *take += 1,
+                    _ => ops.push(SyncOp::Keep {
+                        skip: (p - at) as u64,
+                        take: 1,
+                    }),
+                }
+                at = p + 1;
+            }
+            None => match ops.last_mut() {
+                Some(SyncOp::Insert(facts)) => facts.push(fact.clone()),
+                _ => ops.push(SyncOp::Insert(vec![fact.clone()])),
+            },
+        }
+    }
+    ops
+}
+
+impl Drop for DistributedCluster {
+    fn drop(&mut self) {
+        let frame = encode(&Message::Shutdown);
+        for slot in &mut self.slots {
+            let _ = slot.transport.send(&frame);
+        }
+        for slot in &mut self.slots {
+            // Drain the Stopped ack (best effort), then carrier teardown:
+            // join the thread / reap the child.
+            let _ = slot.transport.recv();
+            slot.transport.shutdown();
+        }
+    }
+}
+
+/// Audits that the union of the servers' owner facts equals the
+/// coordinator's fact lists (as multisets) — the invariant `ApplyDelta`
+/// shipping must maintain. Cheap relative to a chase round; used by the
+/// engine after the egd fixpoint (debug builds) and by the protocol tests.
+pub fn snapshot_consistent(
+    cluster: &mut DistributedCluster,
+    store: StoreKind,
+    lists: &FactLists,
+) -> Result<bool> {
+    use std::collections::HashMap;
+    let mut expected: HashMap<(usize, Row, Interval), isize> = HashMap::new();
+    for (r, facts) in lists.iter().enumerate() {
+        for f in facts {
+            *expected
+                .entry((r, Arc::clone(&f.data), f.interval))
+                .or_default() += 1;
+        }
+    }
+    for (owned, _) in cluster.snapshots(store)? {
+        for (r, facts) in owned.iter().enumerate() {
+            for f in facts {
+                *expected
+                    .entry((r, Arc::clone(&f.data), f.interval))
+                    .or_default() -= 1;
+            }
+        }
+    }
+    Ok(expected.values().all(|&n| n == 0))
+}
+
+/// The distributed c-chase. Same contract as
+/// [`c_chase_with`](crate::chase::concrete::c_chase_with); dispatched from
+/// there for [`ChaseEngine::Distributed`](crate::chase::concrete::ChaseEngine).
+pub(crate) fn c_chase_distributed(
+    ic: &TemporalInstance,
+    mapping: &SchemaMapping,
+    opts: &ChaseOptions,
+    servers: usize,
+) -> Result<CChaseResult> {
+    c_chase_distributed_with(
+        ic,
+        mapping,
+        opts,
+        servers,
+        spawner_for(resolve_transport(opts.transport)),
+    )
+}
+
+/// [`c_chase_distributed`] through an explicit spawner — the injection
+/// point the fault-injection tests use.
+pub(crate) fn c_chase_distributed_with(
+    ic: &TemporalInstance,
+    mapping: &SchemaMapping,
+    opts: &ChaseOptions,
+    servers: usize,
+    spawner: Arc<dyn TransportSpawner>,
+) -> Result<CChaseResult> {
+    let servers = crate::chase::server_count(servers);
+    let threads = crate::chase::worker_threads(0);
+    let sopts = opts.search_options();
+    let mut stats = ChaseStats {
+        source_facts_in: ic.total_len(),
+        ..ChaseStats::default()
+    };
+    let mut trace: Vec<String> = Vec::new();
+    let log = |opts: &ChaseOptions, trace: &mut Vec<String>, msg: String| {
+        if opts.record_trace {
+            trace.push(msg);
+        }
+    };
+
+    // Same coarse timeline partition as the partitioned engine: the count
+    // is a locality knob, independent of the server count, which keeps the
+    // result byte-identical across cluster sizes.
+    let parts_hint = 16;
+    let tp = TimelinePartition::new(&ic.endpoints().coarsen(parts_hint));
+    let mut cluster = DistributedCluster::spawn_with(mapping, &tp, servers, sopts, spawner)?;
+    log(
+        opts,
+        &mut trace,
+        format!(
+            "distributed chase: {} timeline partitions over {} servers ({:?} transport)",
+            tp.len(),
+            cluster.servers(),
+            cluster.transport()
+        ),
+    );
+
+    // Step 1 (coordinator): normalize the source w.r.t. the s-t tgd bodies.
+    // Normalization is a global fixpoint (its cut groups span partitions),
+    // so it stays on the coordinator; only match enumeration distributes.
+    let tgd_bodies = mapping.tgd_bodies();
+    let nrels_src = mapping.source().len();
+    let src_schema = Arc::new(mapping.source().clone());
+    let src_delta: FactLists = (0..nrels_src)
+        .map(|r| ic.facts(RelId(r as u32)).to_vec())
+        .collect();
+    let (src_pre, src_delta) = refragment_lists(
+        &src_schema,
+        &tp,
+        threads,
+        sopts,
+        Some(&tgd_bodies),
+        opts.naive_normalization,
+        vec![Vec::new(); nrels_src],
+        src_delta,
+    )?;
+    stats.source_facts_normalized = src_pre
+        .iter()
+        .chain(src_delta.iter())
+        .map(|l| l.len())
+        .sum();
+    log(
+        opts,
+        &mut trace,
+        format!(
+            "normalized source w.r.t. Σst: {} → {} facts",
+            stats.source_facts_in, stats.source_facts_normalized
+        ),
+    );
+
+    // Step 2: ship the normalized source (ApplyDelta) and run the tgd
+    // round on the servers; the restricted checks, null generation and
+    // target inserts fold through the coordinator kernel.
+    cluster.apply_delta(StoreKind::Source, &src_pre, &src_delta)?;
+    let tgds = mapping.st_tgds();
+    let homs_per_tgd = cluster.run_tgd_round(tgds.len())?;
+    let mut target = TemporalInstance::new(Arc::new(mapping.target().clone()));
+    let mut folder = TgdFolder::new(mapping)?;
+    for (ti, homs) in homs_per_tgd.into_iter().enumerate() {
+        stats.tgd_steps += folder.fold(ti, homs, &mut target, sopts)?;
+    }
+    stats.nulls_created = folder.nulls.peek();
+    stats.target_facts_after_tgd = target.total_len();
+    log(
+        opts,
+        &mut trace,
+        format!("tgd round: {} steps fired", stats.tgd_steps),
+    );
+
+    // Steps 3–4: initial target normalization on the coordinator, then
+    // local egd rounds on the servers with the global union-find (and the
+    // rewrite/re-fragmentation it implies) on the coordinator.
+    let tgt_schema = target.schema_arc();
+    let nrels_tgt = tgt_schema.len();
+    let egd_bodies = mapping.egd_bodies();
+    if egd_bodies.is_empty() && target.nulls().is_empty() {
+        stats.target_facts_normalized = target.total_len();
+        if opts.coalesce_result {
+            target = target.coalesced();
+        }
+        stats.target_facts_out = target.total_len();
+        return Ok(CChaseResult {
+            target,
+            normalized_source: lists_to_instance(&src_schema, &src_pre, &src_delta),
+            stats,
+            trace,
+        });
+    }
+    let tgt_delta: FactLists = (0..nrels_tgt)
+        .map(|r| target.facts(RelId(r as u32)).to_vec())
+        .collect();
+    let (mut pre, mut delta) = refragment_lists(
+        &tgt_schema,
+        &tp,
+        threads,
+        sopts,
+        Some(&egd_bodies),
+        opts.naive_normalization,
+        vec![Vec::new(); nrels_tgt],
+        tgt_delta,
+    )?;
+    stats.target_facts_normalized = pre.iter().chain(delta.iter()).map(|l| l.len()).sum();
+    let egds = mapping.egds();
+    let mut first_round = true;
+    loop {
+        cluster.apply_delta(StoreKind::Target, &pre, &delta)?;
+        let ops = cluster.run_egd_round()?;
+        let mut uf = AnnotatedUnionFind::new();
+        let merges = fold_merge_ops(
+            ops.into_iter()
+                .map(|(ei, a, b, iv)| (ei as usize, a, b, iv)),
+            &mut uf,
+            |ei| {
+                let egd = &egds[ei];
+                egd.name.clone().unwrap_or_else(|| egd.to_string())
+            },
+        )?;
+        if merges == 0 {
+            break;
+        }
+        stats.egd_rounds += 1;
+        stats.egd_merges += merges;
+        if !first_round {
+            stats.egd_delta_rounds += 1;
+        }
+        first_round = false;
+        log(
+            opts,
+            &mut trace,
+            format!(
+                "egd round {}: {merges} identifications from local server rounds",
+                stats.egd_rounds
+            ),
+        );
+        let (npre, ndelta) = rewrite_values(&tgt_schema, &pre, &delta, &mut uf);
+        let renorm = if opts.renormalize_between_egd_rounds {
+            Some(egd_bodies.as_slice())
+        } else {
+            None // paper-faithful: alignment cuts only
+        };
+        (pre, delta) = refragment_lists(
+            &tgt_schema,
+            &tp,
+            threads,
+            sopts,
+            renorm,
+            opts.naive_normalization,
+            npre,
+            ndelta,
+        )?;
+    }
+
+    // The servers' owner blocks must tile the coordinator's target exactly —
+    // the shipping invariant the protocol relies on. The audit re-serializes
+    // the whole target through `Snapshot`, so it runs in debug builds and
+    // the protocol tests (`tests/distributed.rs`), not on release chases.
+    if cfg!(debug_assertions) {
+        let settled: FactLists = pre
+            .iter()
+            .zip(delta.iter())
+            .map(|(p, d)| p.iter().chain(d.iter()).cloned().collect())
+            .collect();
+        if !snapshot_consistent(&mut cluster, StoreKind::Target, &settled)? {
+            return Err(TdxError::Invalid(
+                "distributed chase: server snapshots diverged from the coordinator".into(),
+            ));
+        }
+    }
+
+    let mut target = lists_to_instance(&tgt_schema, &pre, &delta);
+    if opts.coalesce_result {
+        target = target.coalesced();
+    }
+    stats.target_facts_out = target.total_len();
+    Ok(CChaseResult {
+        target,
+        normalized_source: lists_to_instance(&src_schema, &src_pre, &src_delta),
+        stats,
+        trace,
+    })
+}
+
+fn lists_to_instance(schema: &Arc<Schema>, pre: &FactLists, delta: &FactLists) -> TemporalInstance {
+    let mut out = TemporalInstance::new(Arc::clone(schema));
+    for (r, (p, d)) in pre.iter().zip(delta.iter()).enumerate() {
+        let rel = RelId(r as u32);
+        for fact in p.iter().chain(d.iter()) {
+            out.insert(rel, Arc::clone(&fact.data), fact.interval);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::cluster::transport::{ChannelSpawner, FaultInjector};
+    use crate::chase::concrete::c_chase_with;
+    use crate::hom::hom_equivalent;
+    use crate::semantics::semantics;
+    use tdx_logic::{parse_egd, parse_schema, parse_tgd};
+
+    fn iv(s: u64, e: u64) -> Interval {
+        Interval::new(s, e)
+    }
+
+    fn paper_mapping() -> SchemaMapping {
+        SchemaMapping::new(
+            parse_schema("E(name, company). S(name, salary).").unwrap(),
+            parse_schema("Emp(name, company, salary).").unwrap(),
+            vec![
+                parse_tgd("E(n,c) -> Emp(n,c,s)").unwrap().named("st1"),
+                parse_tgd("E(n,c) & S(n,s) -> Emp(n,c,s)")
+                    .unwrap()
+                    .named("st2"),
+            ],
+            vec![parse_egd("Emp(n,c,s) & Emp(n,c,s2) -> s = s2")
+                .unwrap()
+                .named("fd")],
+        )
+        .unwrap()
+    }
+
+    fn figure4(mapping: &SchemaMapping) -> TemporalInstance {
+        let mut i = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        i.insert_strs("E", &["Ada", "IBM"], iv(2012, 2014));
+        i.insert_strs("E", &["Ada", "Google"], Interval::from(2014));
+        i.insert_strs("E", &["Bob", "IBM"], iv(2013, 2018));
+        i.insert_strs("S", &["Ada", "18k"], Interval::from(2013));
+        i.insert_strs("S", &["Bob", "13k"], Interval::from(2015));
+        i
+    }
+
+    #[test]
+    fn matches_the_sequential_engine_across_server_counts() {
+        let mapping = paper_mapping();
+        let source = figure4(&mapping);
+        let seq = c_chase_with(&source, &mapping, &ChaseOptions::default()).unwrap();
+        for servers in [1usize, 2, 3, 5] {
+            let dist =
+                c_chase_with(&source, &mapping, &ChaseOptions::distributed(servers)).unwrap();
+            assert!(
+                hom_equivalent(&semantics(&seq.target), &semantics(&dist.target)),
+                "servers = {servers}"
+            );
+            assert_eq!(dist.target.nulls().len(), seq.target.nulls().len());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_server_counts() {
+        let mapping = paper_mapping();
+        let source = figure4(&mapping);
+        let one = c_chase_with(&source, &mapping, &ChaseOptions::distributed(1)).unwrap();
+        for servers in [2usize, 3, 4, 7] {
+            let many =
+                c_chase_with(&source, &mapping, &ChaseOptions::distributed(servers)).unwrap();
+            assert_eq!(one.target, many.target, "servers = {servers}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_transports() {
+        // The transport is a carrier, not a participant: channel and TCP
+        // runs are byte-identical.
+        let mapping = paper_mapping();
+        let source = figure4(&mapping);
+        let channel = c_chase_with(
+            &source,
+            &mapping,
+            &ChaseOptions::distributed(2).on_transport(TransportKind::Channel),
+        )
+        .unwrap();
+        let tcp = c_chase_with(
+            &source,
+            &mapping,
+            &ChaseOptions::distributed(2).on_transport(TransportKind::Tcp),
+        )
+        .unwrap();
+        assert_eq!(channel.target, tcp.target);
+        assert_eq!(channel.stats, tcp.stats);
+    }
+
+    #[test]
+    fn failure_on_conflicting_sources() {
+        let mapping = paper_mapping();
+        let mut ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        ic.insert_strs("E", &["Ada", "IBM"], iv(0, 10));
+        ic.insert_strs("S", &["Ada", "18k"], iv(0, 10));
+        ic.insert_strs("S", &["Ada", "20k"], iv(5, 15));
+        for servers in [1usize, 3] {
+            let err = c_chase_with(&ic, &mapping, &ChaseOptions::distributed(servers)).unwrap_err();
+            assert!(
+                matches!(err, TdxError::ChaseFailure { .. }),
+                "servers = {servers}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_source_and_trace() {
+        let mapping = paper_mapping();
+        let ic = TemporalInstance::new(Arc::new(mapping.source().clone()));
+        let result = c_chase_with(&ic, &mapping, &ChaseOptions::distributed(2)).unwrap();
+        assert!(result.target.is_empty());
+        let opts = ChaseOptions {
+            record_trace: true,
+            coalesce_result: true,
+            ..ChaseOptions::distributed(2)
+        };
+        let source = figure4(&mapping);
+        let result = c_chase_with(&source, &mapping, &opts).unwrap();
+        assert!(result.target.is_coalesced());
+        assert!(result.trace.iter().any(|l| l.contains("servers")));
+    }
+
+    #[test]
+    fn unbounded_boundary_facts_are_replicated_to_the_server_tail() {
+        // An unbounded fact must be shipped to its owner and to every later
+        // server (it overlaps all of their ranges) — visible as a replica in
+        // their snapshots.
+        let mapping = paper_mapping();
+        let tp = TimelinePartition::new(&tdx_temporal::Breakpoints::from_points([10, 20, 30]));
+        let mut cluster =
+            DistributedCluster::spawn(&mapping, &tp, 2, SearchOptions::default()).unwrap();
+        use tdx_storage::row;
+        let unbounded = TemporalFact {
+            data: row([Value::str("Ada"), Value::str("IBM")]),
+            interval: Interval::from(15), // owner partition 1 (server 0), crosses into server 1
+        };
+        let bounded = TemporalFact {
+            data: row([Value::str("Bob"), Value::str("IBM")]),
+            interval: iv(0, 5), // stays on server 0
+        };
+        assert!(unbounded.interval.is_unbounded());
+        let pre: FactLists = vec![vec![unbounded.clone(), bounded.clone()], vec![]];
+        let delta: FactLists = vec![Vec::new(); 2];
+        cluster
+            .apply_delta(StoreKind::Source, &pre, &delta)
+            .unwrap();
+        let snaps = cluster.snapshots(StoreKind::Source).unwrap();
+        assert_eq!(snaps.len(), 2);
+        // Server 0 owns both facts; server 1 holds the unbounded one only,
+        // as a replica.
+        assert_eq!(snaps[0].0[0].len(), 2);
+        assert!(snaps[0].1[0].is_empty());
+        assert!(snaps[1].0[0].is_empty());
+        assert_eq!(snaps[1].1[0], vec![unbounded]);
+        // And the owner multiset matches the coordinator's lists.
+        assert!(snapshot_consistent(&mut cluster, StoreKind::Source, &pre).unwrap());
+    }
+
+    #[test]
+    fn delta_only_shipping_skips_the_retained_prefix() {
+        use tdx_storage::row;
+        let mapping = paper_mapping();
+        let tp = TimelinePartition::new(&tdx_temporal::Breakpoints::from_points([10, 20]));
+        let mut cluster =
+            DistributedCluster::spawn(&mapping, &tp, 1, SearchOptions::default()).unwrap();
+        let fact = |name: &str, s: u64| TemporalFact {
+            data: row([Value::str(name), Value::str("IBM")]),
+            interval: iv(s, s + 3),
+        };
+        // Round 1: full ship of 100 facts.
+        let mut pre: FactLists = vec![(0..100).map(|i| fact("Ada", i)).collect(), Vec::new()];
+        cluster
+            .apply_delta(StoreKind::Source, &pre, &vec![Vec::new(); 2])
+            .unwrap();
+        let full = cluster.traffic();
+        assert_eq!(full.apply_delta_facts, 100);
+        // Round 2: same lists + 2 appended facts → only the suffix ships.
+        pre[0].push(fact("Bob", 50));
+        pre[0].push(fact("Cyd", 60));
+        cluster
+            .apply_delta(StoreKind::Source, &pre, &vec![Vec::new(); 2])
+            .unwrap();
+        let after = cluster.traffic();
+        assert_eq!(after.apply_delta_facts - full.apply_delta_facts, 2);
+        assert!(
+            (after.apply_delta_bytes - full.apply_delta_bytes) * 10 < full.apply_delta_bytes,
+            "suffix ship must be an order of magnitude under the full ship: {after:?} vs {full:?}"
+        );
+        // The server's reconstructed image still tiles the coordinator's.
+        assert!(snapshot_consistent(&mut cluster, StoreKind::Source, &pre).unwrap());
+        // Round 3: a rewrite in the middle ships only the rewritten fact —
+        // the kept runs around it stay on the server.
+        pre[0][10] = fact("Eve", 10);
+        cluster
+            .apply_delta(StoreKind::Source, &pre, &vec![Vec::new(); 2])
+            .unwrap();
+        let rewritten = cluster.traffic();
+        assert_eq!(rewritten.apply_delta_facts - after.apply_delta_facts, 1);
+        assert!(snapshot_consistent(&mut cluster, StoreKind::Source, &pre).unwrap());
+    }
+
+    #[test]
+    fn diff_ops_reconstructs_and_is_minimal_on_chase_shaped_edits() {
+        use tdx_storage::row;
+        let f = |name: &str, s: u64| TemporalFact {
+            data: row([Value::str(name), Value::int(s as i64)]),
+            interval: iv(s, s + 2),
+        };
+        let reconstruct = |old: &[TemporalFact], ops: &[SyncOp]| -> Vec<TemporalFact> {
+            let mut out = Vec::new();
+            let mut at = 0usize;
+            for op in ops {
+                match op {
+                    SyncOp::Keep { skip, take } => {
+                        at += *skip as usize;
+                        out.extend_from_slice(&old[at..at + *take as usize]);
+                        at += *take as usize;
+                    }
+                    SyncOp::Insert(facts) => out.extend(facts.iter().cloned()),
+                }
+            }
+            out
+        };
+        let inserted = |ops: &[SyncOp]| -> usize {
+            ops.iter()
+                .map(|op| match op {
+                    SyncOp::Insert(facts) => facts.len(),
+                    SyncOp::Keep { .. } => 0,
+                })
+                .sum()
+        };
+        let old: Vec<TemporalFact> = (0..50).map(|i| f("a", i)).collect();
+        // Append-only (settling): one kept run + suffix.
+        let mut appended = old.clone();
+        appended.push(f("b", 100));
+        let ops = diff_ops(&old, &appended);
+        assert_eq!(reconstruct(&old, &ops), appended);
+        assert_eq!(inserted(&ops), 1);
+        // Mid-list deletions + replacements appended (a rewrite round).
+        let mut rewritten: Vec<TemporalFact> = old
+            .iter()
+            .filter(|x| x.interval.start() % 7 != 0)
+            .cloned()
+            .collect();
+        rewritten.push(f("rw", 7));
+        rewritten.push(f("rw", 14));
+        let ops = diff_ops(&old, &rewritten);
+        assert_eq!(reconstruct(&old, &ops), rewritten);
+        assert_eq!(inserted(&ops), 2);
+        // Duplicates keep multiset semantics.
+        let dup = vec![f("d", 1), f("d", 1), f("x", 2)];
+        let new = vec![f("d", 1), f("x", 2), f("d", 1)];
+        let ops = diff_ops(&dup, &new);
+        assert_eq!(reconstruct(&dup, &ops), new);
+        // Empty transitions.
+        assert!(diff_ops(&[], &[]).is_empty());
+        assert_eq!(inserted(&diff_ops(&[], &old)), 50);
+        assert_eq!(
+            reconstruct(&old, &diff_ops(&old, &[])),
+            Vec::<TemporalFact>::new()
+        );
+    }
+
+    #[test]
+    fn retry_path_respawns_a_killed_server_and_restores_the_fixpoint() {
+        // Kill server 1 of 3 mid-chase (after a few frames) on every
+        // workload phase boundary the injector can hit; the retry path must
+        // respawn it, replay its watermarked images and finish with a
+        // result hom-equivalent to (indeed byte-identical to) an unfaulted
+        // channel run.
+        let mapping = paper_mapping();
+        let source = figure4(&mapping);
+        let clean = c_chase_with(&source, &mapping, &ChaseOptions::distributed(3)).unwrap();
+        for kill_after in [0usize, 1, 2, 3, 5] {
+            let injector = Arc::new(FaultInjector::new(Arc::new(ChannelSpawner), 1, kill_after));
+            let faulted = c_chase_distributed_with(
+                &source,
+                &mapping,
+                &ChaseOptions::distributed(3),
+                3,
+                Arc::clone(&injector) as Arc<dyn TransportSpawner>,
+            )
+            .unwrap_or_else(|e| panic!("kill_after {kill_after}: chase failed: {e:?}"));
+            assert!(
+                injector.tripped(),
+                "kill_after {kill_after}: fault never fired"
+            );
+            assert_eq!(
+                clean.target, faulted.target,
+                "kill_after {kill_after}: retry path diverged"
+            );
+            assert!(hom_equivalent(
+                &semantics(&clean.target),
+                &semantics(&faulted.target)
+            ));
+        }
+    }
+
+    #[test]
+    fn respawn_budget_is_bounded() {
+        // A server that dies on every frame exhausts MAX_RESPAWNS and the
+        // chase fails instead of looping.
+        struct AlwaysDead;
+        struct DeadTransport;
+        impl Transport for DeadTransport {
+            fn send(&mut self, _: &[u8]) -> std::io::Result<()> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "dead"))
+            }
+            fn recv(&mut self) -> std::io::Result<Vec<u8>> {
+                Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "dead"))
+            }
+            fn shutdown(&mut self) {}
+        }
+        impl TransportSpawner for AlwaysDead {
+            fn spawn(&self, _: usize) -> std::io::Result<Box<dyn Transport>> {
+                Ok(Box::new(DeadTransport))
+            }
+            fn kind(&self) -> TransportKind {
+                TransportKind::Channel
+            }
+        }
+        let mapping = paper_mapping();
+        let tp = TimelinePartition::new(&tdx_temporal::Breakpoints::from_points([10]));
+        let err = match DistributedCluster::spawn_with(
+            &mapping,
+            &tp,
+            1,
+            SearchOptions::default(),
+            Arc::new(AlwaysDead),
+        ) {
+            Ok(_) => panic!("a permanently dead server must fail the spawn"),
+            Err(e) => e,
+        };
+        assert!(
+            err.to_string().contains("giving up") || err.to_string().contains("partition server"),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! The distributed partition-server c-chase
+//! (`ChaseEngine::Distributed { servers }`), as a layered cluster
+//! subsystem.
+//!
+//! The partitioned engine (`chase/partitioned.rs`) already confines every
+//! shared-interval match to one timeline partition and ships round changes
+//! through the delta log; this subsystem distributes those partitions
+//! across **partition servers** and turns the remaining coupling into an
+//! explicit message protocol over pluggable carriers. The layers, bottom
+//! up:
+//!
+//! * [`protocol`] — the message shapes and their byte codec
+//!   ([`tdx_storage::codec`]): `Hello` (the [`ServerConfig`] handshake),
+//!   delta-only `ApplyDelta` against a retained-prefix watermark,
+//!   `RunTgdRound`/`RunLocalEgdRound`, `Snapshot`, `Ping`, `Shutdown`.
+//! * [`server`] — the server state machine and its carrier loops: behind
+//!   an in-process channel pair, or behind a TCP connection (the
+//!   `tdx serve-partition` subcommand).
+//! * [`transport`] — how frames travel: the [`Transport`] trait with
+//!   [`ChannelTransport`] (in-process actors) and [`TcpTransport`] (real
+//!   child processes over loopback TCP) backends, plus the
+//!   [`FaultInjector`] test harness.
+//! * [`coordinator`] — the global chase state: the coordinator kernel
+//!   (restricted checks + union-find folds shared with the partitioned
+//!   engine and the incremental session), [`DistributedCluster`] with
+//!   heartbeat/retry and delta-only shipping, and the batch engine loop.
+//!
+//! See `docs/distributed.md` for the protocol and equivalence argument and
+//! `docs/transport.md` for the transport layer and the watermark
+//! invariant.
+
+pub mod coordinator;
+pub mod protocol;
+pub mod server;
+pub mod transport;
+
+pub use coordinator::{snapshot_consistent, DistributedCluster, TrafficStats};
+pub use protocol::{Hom, MergeOp, Message, Response, ServerConfig, StoreKind, WireHom};
+pub use transport::{
+    resolve_transport, spawner_for, ChannelSpawner, ChannelTransport, FaultInjector, TcpSpawner,
+    TcpTransport, Transport, TransportKind, TransportSpawner,
+};
+
+pub(crate) use coordinator::{
+    classify_check, fold_merge_ops, memo_probe_key, register_memo, Check, TgdFolder,
+};

@@ -1,0 +1,455 @@
+//! The partition-server side of the protocol: decode a request, update the
+//! retained fact image or enumerate matches, encode the response.
+//!
+//! [`ServerState`] is carrier-agnostic — the same state machine runs behind
+//! an in-process channel pair ([`serve_channel`]) and a TCP stream
+//! ([`serve_stream`], reached from the hidden `tdx serve-partition`
+//! subcommand via [`serve_connect`]). A server starts *unconfigured* and
+//! must receive [`Message::Hello`] before any store traffic; that keeps the
+//! channel and process lifecycles identical — spawn is always
+//! "start a blank peer, then configure it over the wire".
+//!
+//! # Retained images
+//!
+//! Per store the server keeps the **retained image**: the concatenated
+//! pre + delta fact lists as of the last `ApplyDelta`, per relation. An
+//! `ApplyDelta` replays the shipped [`SyncOp`] program against it —
+//! keeping runs of retained facts in order, inserting only the shipped
+//! ones — and rebuilds the local [`ShardedFactStore`] from the
+//! reconstructed list split at the shipped pre/delta boundary. The
+//! rebuild is local CPU; only genuinely new facts cross the wire.
+
+use super::protocol::{FactLists, Message, Response, ServerConfig, StoreKind, SyncOp, WireHom};
+use std::io;
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use tdx_storage::codec::{decode, encode, read_frame, write_frame};
+use tdx_storage::{PartScope, ShardedFactStore, TemporalMode};
+
+/// The server state machine: configuration, retained images, and the
+/// stores built from them.
+pub(crate) struct ServerState {
+    cfg: Option<ServerConfig>,
+    /// Retained image per store (concatenated pre + delta lists), indexed
+    /// by [`StoreKind::idx`].
+    image: [FactLists; 2],
+    /// Pre/delta boundary of the last `ApplyDelta`, per store, per
+    /// relation.
+    splits: [Vec<usize>; 2],
+    stores: [Option<ShardedFactStore>; 2],
+}
+
+impl ServerState {
+    pub(crate) fn new() -> ServerState {
+        ServerState {
+            cfg: None,
+            image: [Vec::new(), Vec::new()],
+            splits: [Vec::new(), Vec::new()],
+            stores: [None, None],
+        }
+    }
+
+    fn cfg(&self) -> Result<&ServerConfig, String> {
+        self.cfg
+            .as_ref()
+            .ok_or_else(|| "request before Hello".into())
+    }
+
+    /// Handles one decoded request. An `Err` is a protocol violation —
+    /// fatal for this server, surfaced to the carrier loop.
+    pub(crate) fn handle(&mut self, msg: Message) -> Result<Response, String> {
+        match msg {
+            Message::Ping => Ok(Response::Pong),
+            Message::Shutdown => Ok(Response::Stopped),
+            Message::Hello(cfg) => {
+                // (Re)configure; any retained image belongs to the old
+                // configuration.
+                self.image = [
+                    vec![Vec::new(); cfg.src_schema.len()],
+                    vec![Vec::new(); cfg.tgt_schema.len()],
+                ];
+                self.splits = [vec![0; cfg.src_schema.len()], vec![0; cfg.tgt_schema.len()]];
+                self.stores = [None, None];
+                self.cfg = Some(cfg);
+                Ok(Response::Ready)
+            }
+            Message::ApplyDelta { store, sync } => {
+                let (schema, tp) = {
+                    let cfg = self.cfg()?;
+                    let schema = match store {
+                        StoreKind::Source => Arc::clone(&cfg.src_schema),
+                        StoreKind::Target => Arc::clone(&cfg.tgt_schema),
+                    };
+                    (schema, cfg.tp.clone())
+                };
+                let nrels = schema.len();
+                if sync.len() != nrels {
+                    return Err(format!(
+                        "ApplyDelta relation count mismatch: got {}, schema has {nrels}",
+                        sync.len()
+                    ));
+                }
+                let image = &mut self.image[store.idx()];
+                let splits = &mut self.splits[store.idx()];
+                for (r, rs) in sync.into_iter().enumerate() {
+                    let old = &image[r];
+                    // Size hint only — fold saturating and clamp so corrupt
+                    // run lengths reach the checked validation below
+                    // instead of a capacity-overflow panic here.
+                    let kept: usize = rs
+                        .ops
+                        .iter()
+                        .fold(0usize, |acc, op| {
+                            acc.saturating_add(match op {
+                                SyncOp::Keep { take, .. } => *take as usize,
+                                SyncOp::Insert(facts) => facts.len(),
+                            })
+                        })
+                        .min(old.len().saturating_add(1 << 16));
+                    let mut new_list: Vec<_> = Vec::with_capacity(kept);
+                    let mut at = 0usize;
+                    for op in rs.ops {
+                        match op {
+                            SyncOp::Keep { skip, take } => {
+                                // `skip`/`take` come off the wire; checked
+                                // arithmetic turns a corrupt-but-decodable
+                                // frame into the protocol error below, not
+                                // an overflow panic.
+                                let end = usize::try_from(skip)
+                                    .ok()
+                                    .and_then(|skip| at.checked_add(skip))
+                                    .and_then(|start| {
+                                        at = start;
+                                        start.checked_add(usize::try_from(take).ok()?)
+                                    })
+                                    .filter(|&end| end <= old.len())
+                                    .ok_or_else(|| {
+                                        format!(
+                                            "ApplyDelta keep run (skip {skip}, take {take}) at \
+                                             {at} beyond retained image of {} facts \
+                                             (relation {r}) — coordinator and server diverged",
+                                            old.len()
+                                        )
+                                    })?;
+                                new_list.extend_from_slice(&old[at..end]);
+                                at = end;
+                            }
+                            SyncOp::Insert(facts) => new_list.extend(facts),
+                        }
+                    }
+                    let split = rs.split as usize;
+                    if split > new_list.len() {
+                        return Err(format!(
+                            "ApplyDelta split {split} beyond reconstructed list of {} \
+                             facts (relation {r})",
+                            new_list.len()
+                        ));
+                    }
+                    image[r] = new_list;
+                    splits[r] = split;
+                }
+                let (image, splits) = (&self.image[store.idx()], &self.splits[store.idx()]);
+                let built = ShardedFactStore::build_with_delta(schema, tp, 1, false, |rel| {
+                    let r = rel.0 as usize;
+                    image[r].split_at(splits[r])
+                });
+                self.stores[store.idx()] = Some(built);
+                Ok(Response::Applied)
+            }
+            Message::RunTgdRound => {
+                let cfg = self.cfg()?;
+                let store = self.stores[StoreKind::Source.idx()]
+                    .as_ref()
+                    .ok_or("RunTgdRound before ApplyDelta")?;
+                let mut out: Vec<(u64, Vec<Vec<WireHom>>)> = Vec::new();
+                for &p in &cfg.owned {
+                    let view = store.part(p);
+                    if !view.has_delta() {
+                        continue; // nothing new can match here
+                    }
+                    let mut per_tgd: Vec<Vec<WireHom>> = Vec::new();
+                    for body in &cfg.tgd_bodies {
+                        let mut homs: Vec<WireHom> = Vec::new();
+                        view.find_matches(
+                            body,
+                            TemporalMode::Shared,
+                            &[],
+                            None,
+                            cfg.sopts,
+                            PartScope::OwnerDelta,
+                            &mut |m| {
+                                homs.push((
+                                    m.bindings()
+                                        .into_iter()
+                                        .map(|(v, val)| (v.name().to_string(), val))
+                                        .collect(),
+                                    m.shared_interval().expect("temporal store binds t"),
+                                ));
+                                true
+                            },
+                        )
+                        .map_err(|e| e.to_string())?;
+                        per_tgd.push(homs);
+                    }
+                    if per_tgd.iter().any(|h| !h.is_empty()) {
+                        out.push((p as u64, per_tgd));
+                    }
+                }
+                Ok(Response::Homs(out))
+            }
+            Message::RunLocalEgdRound => {
+                let cfg = self.cfg()?;
+                let store = self.stores[StoreKind::Target.idx()]
+                    .as_ref()
+                    .ok_or("RunLocalEgdRound before ApplyDelta")?;
+                let mut out: Vec<(u64, Vec<super::protocol::MergeOp>)> = Vec::new();
+                for &p in &cfg.owned {
+                    let view = store.part(p);
+                    if !view.has_delta() {
+                        continue;
+                    }
+                    let mut ops: Vec<super::protocol::MergeOp> = Vec::new();
+                    for (ei, (body, lhs, rhs)) in cfg.egds.iter().enumerate() {
+                        view.find_matches(
+                            body,
+                            TemporalMode::Shared,
+                            &[],
+                            None,
+                            cfg.sopts,
+                            PartScope::OwnerDelta,
+                            &mut |m| {
+                                let iv = m.shared_interval().expect("temporal store binds t");
+                                let a = m.value(*lhs).expect("egd lhs in body");
+                                let b = m.value(*rhs).expect("egd rhs in body");
+                                if a != b {
+                                    ops.push((ei as u32, a, b, iv));
+                                }
+                                true
+                            },
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                    if !ops.is_empty() {
+                        out.push((p as u64, ops));
+                    }
+                }
+                Ok(Response::Merges(out))
+            }
+            Message::Snapshot { store } => {
+                let cfg = self.cfg()?;
+                let (store_opt, schema) = match store {
+                    StoreKind::Source => (&self.stores[0], &cfg.src_schema),
+                    StoreKind::Target => (&self.stores[1], &cfg.tgt_schema),
+                };
+                let nrels = schema.len();
+                let mut owned: FactLists = vec![Vec::new(); nrels];
+                let mut replicas: FactLists = vec![Vec::new(); nrels];
+                if let Some(s) = store_opt {
+                    // Every shipped fact lands in the local partition owning
+                    // its start point; the ones in owned partitions are this
+                    // server's owner facts, the rest are boundary replicas.
+                    for (rel, _, fact) in s.iter_all() {
+                        let p = cfg.tp.part_of(fact.interval.start());
+                        if cfg.owned.binary_search(&p).is_ok() {
+                            owned[rel.0 as usize].push(fact.clone());
+                        } else {
+                            replicas[rel.0 as usize].push(fact.clone());
+                        }
+                    }
+                }
+                Ok(Response::Facts { owned, replicas })
+            }
+        }
+    }
+
+    /// Test/audit access: the retained image of `store`, per relation.
+    #[cfg(test)]
+    pub(crate) fn retained(&self, store: StoreKind) -> &FactLists {
+        &self.image[store.idx()]
+    }
+}
+
+/// The carrier-agnostic server loop: frames in, frames out, until
+/// `Shutdown`, a closed carrier (`recv` returns `None` / `send` returns
+/// `false` — the coordinator is gone), or a protocol violation (`Err`).
+pub(crate) fn serve_loop(
+    mut recv: impl FnMut() -> Option<Vec<u8>>,
+    mut send: impl FnMut(&[u8]) -> bool,
+) -> Result<(), String> {
+    let mut state = ServerState::new();
+    while let Some(bytes) = recv() {
+        let msg = decode::<Message>(&bytes).map_err(|e| e.to_string())?;
+        let stop = matches!(msg, Message::Shutdown);
+        let resp = state.handle(msg)?;
+        if !send(&encode(&resp)) || stop {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Serves one in-process channel pair (the body of a
+/// [`ChannelTransport`](super::transport::ChannelTransport) server thread).
+/// A protocol violation panics the thread — the coordinator observes the
+/// closed channel and runs its retry path.
+pub(crate) fn serve_channel(rx: Receiver<Vec<u8>>, tx: Sender<Vec<u8>>) {
+    if let Err(e) = serve_loop(|| rx.recv().ok(), |b| tx.send(b.to_vec()).is_ok()) {
+        panic!("partition server: {e}");
+    }
+}
+
+/// Serves one TCP connection until shutdown or disconnect: length-prefixed
+/// [`tdx_storage::codec`] frames in both directions.
+pub fn serve_stream(stream: TcpStream) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    serve_loop(
+        || read_frame(&mut reader).ok(),
+        |b| write_frame(&mut writer, b).is_ok(),
+    )
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("partition server: {e}")))
+}
+
+/// The `tdx serve-partition --connect ADDR` entry point: dial the
+/// coordinator's rendezvous listener and serve the connection until it
+/// shuts us down. The process holds no state beyond the connection — its
+/// whole configuration arrives as the `Hello` handshake.
+pub fn serve_connect(addr: &str) -> io::Result<()> {
+    serve_stream(TcpStream::connect(addr)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::cluster::protocol::RelationSync;
+    use tdx_logic::parse_mapping;
+    use tdx_storage::{row, SearchOptions, TemporalFact, Value};
+    use tdx_temporal::{Breakpoints, Interval, TimelinePartition};
+
+    fn config() -> ServerConfig {
+        let mapping = parse_mapping(
+            "source { E(name, company). S(name, salary). }\n\
+             target { Emp(name, company, salary). }\n\
+             tgd E(n,c) & S(n,s) -> Emp(n,c,s)\n\
+             egd Emp(n,c,s) & Emp(n,c,s2) -> s = s2",
+        )
+        .unwrap();
+        let tp = TimelinePartition::new(&Breakpoints::from_points([10, 20]));
+        ServerConfig::for_server(&mapping, &tp, 0, 1, SearchOptions::default())
+    }
+
+    fn fact(name: &str, company: &str, iv: Interval) -> TemporalFact {
+        TemporalFact {
+            data: row([Value::str(name), Value::str(company)]),
+            interval: iv,
+        }
+    }
+
+    #[test]
+    fn requests_before_hello_are_rejected() {
+        let mut s = ServerState::new();
+        assert!(s.handle(Message::RunTgdRound).is_err());
+        // Ping and Shutdown are carrier-level and work unconfigured.
+        assert_eq!(s.handle(Message::Ping), Ok(Response::Pong));
+        assert_eq!(s.handle(Message::Shutdown), Ok(Response::Stopped));
+    }
+
+    fn ship(ops: Vec<SyncOp>, split: u64) -> Message {
+        Message::ApplyDelta {
+            store: StoreKind::Source,
+            sync: vec![
+                RelationSync { ops, split },
+                RelationSync {
+                    ops: vec![],
+                    split: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn sync_program_reconstructs_the_retained_image() {
+        let mut s = ServerState::new();
+        assert_eq!(s.handle(Message::Hello(config())), Ok(Response::Ready));
+        let a = fact("Ada", "IBM", Interval::new(1, 5));
+        let b = fact("Bob", "IBM", Interval::new(2, 8));
+        let c = fact("Cyd", "ACME", Interval::new(3, 9));
+        // Full ship: one insert run.
+        s.handle(ship(vec![SyncOp::Insert(vec![a.clone(), b.clone()])], 2))
+            .unwrap();
+        assert_eq!(s.retained(StoreKind::Source)[0], vec![a.clone(), b.clone()]);
+        // Steady-state ship: retain everything, append one fact.
+        s.handle(ship(
+            vec![
+                SyncOp::Keep { skip: 0, take: 2 },
+                SyncOp::Insert(vec![c.clone()]),
+            ],
+            2,
+        ))
+        .unwrap();
+        assert_eq!(
+            s.retained(StoreKind::Source)[0],
+            vec![a.clone(), b.clone(), c.clone()]
+        );
+        // Mid-list deletion: skip the second fact, keep the rest.
+        s.handle(ship(
+            vec![
+                SyncOp::Keep { skip: 0, take: 1 },
+                SyncOp::Keep { skip: 1, take: 1 },
+            ],
+            2,
+        ))
+        .unwrap();
+        assert_eq!(s.retained(StoreKind::Source)[0], vec![a, c]);
+        // A keep run beyond the image is a protocol violation.
+        assert!(s
+            .handle(ship(vec![SyncOp::Keep { skip: 0, take: 99 }], 0))
+            .is_err());
+        // Corrupt-but-decodable runs near u64::MAX must error, not
+        // overflow-panic (the codec hardening standard, upheld here too).
+        for (skip, take) in [(u64::MAX, 1), (1, u64::MAX), (u64::MAX, u64::MAX)] {
+            assert!(
+                s.handle(ship(vec![SyncOp::Keep { skip, take }], 0))
+                    .is_err(),
+                "skip {skip} take {take}"
+            );
+        }
+        // So is a split beyond the reconstructed list.
+        assert!(s
+            .handle(ship(vec![SyncOp::Keep { skip: 0, take: 1 }], 5))
+            .is_err());
+        // Relation-count mismatch too.
+        assert!(s
+            .handle(Message::ApplyDelta {
+                store: StoreKind::Source,
+                sync: vec![RelationSync {
+                    ops: vec![],
+                    split: 0
+                }],
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn hello_resets_the_retained_images() {
+        let mut s = ServerState::new();
+        s.handle(Message::Hello(config())).unwrap();
+        s.handle(ship(
+            vec![SyncOp::Insert(vec![fact(
+                "Ada",
+                "IBM",
+                Interval::new(1, 5),
+            )])],
+            1,
+        ))
+        .unwrap();
+        s.handle(Message::Hello(config())).unwrap();
+        assert!(s.retained(StoreKind::Source)[0].is_empty());
+        // After a reset, a keep run no longer verifies.
+        assert!(s
+            .handle(ship(vec![SyncOp::Keep { skip: 0, take: 1 }], 0))
+            .is_err());
+    }
+}

@@ -1,0 +1,557 @@
+//! Transports: how protocol frames travel between the coordinator and a
+//! partition server.
+//!
+//! A [`Transport`] is one coordinator-side endpoint — spawn happens through
+//! a [`TransportSpawner`], which the coordinator also re-invokes to
+//! *respawn* a dead server on its retry path. Two backends ship:
+//!
+//! * [`ChannelTransport`] — the in-process actor of the original engine:
+//!   one server thread plus an `mpsc` channel pair, every frame still a
+//!   serialized byte message. The fastest carrier, and the default.
+//! * [`TcpTransport`] — a real out-of-process server: the spawner binds a
+//!   loopback rendezvous listener, launches `tdx serve-partition --connect
+//!   <addr>` as a child process, and speaks length-prefixed
+//!   [`tdx_storage::codec`] frames over the accepted stream. When no `tdx`
+//!   binary can be located (unit tests of a library crate, bench binaries),
+//!   it degrades to an in-process thread serving the same TCP connection —
+//!   same sockets, same frames, no child process — and says so via
+//!   [`TcpPeer`].
+//!
+//! The backend is picked per chase through
+//! [`ChaseOptions::transport`](crate::chase::concrete::ChaseOptions), the
+//! `--transport` CLI flag, or the `TDX_CHASE_TRANSPORT` environment
+//! variable (resolved by [`resolve_transport`]). Protocol bytes are
+//! identical on every backend, which is why results are too — transports
+//! carry frames, they never interpret them.
+
+use super::protocol::{Message, Response};
+use super::server::{serve_channel, serve_stream};
+use std::io::{self, BufReader};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tdx_storage::codec::{read_frame, write_frame};
+
+/// Which transport backend a distributed chase runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TransportKind {
+    /// In-process server threads over `mpsc` channel pairs.
+    #[default]
+    Channel,
+    /// Out-of-process servers (or loopback server threads when no `tdx`
+    /// binary is available) over TCP.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Parses the `TDX_CHASE_TRANSPORT` / `--transport` spelling.
+    pub fn parse(s: &str) -> Option<TransportKind> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("channel") {
+            Some(TransportKind::Channel)
+        } else if s.eq_ignore_ascii_case("tcp") {
+            Some(TransportKind::Tcp)
+        } else {
+            None
+        }
+    }
+}
+
+/// Resolves a transport request: an explicit choice wins; `None` falls back
+/// to the `TDX_CHASE_TRANSPORT` environment variable (an unknown value is
+/// reported once to stderr and ignored, like the numeric chase knobs), then
+/// to [`TransportKind::Channel`].
+pub fn resolve_transport(requested: Option<TransportKind>) -> TransportKind {
+    if let Some(k) = requested {
+        return k;
+    }
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    match std::env::var("TDX_CHASE_TRANSPORT") {
+        Ok(v) => TransportKind::parse(&v).unwrap_or_else(|| {
+            WARNED.call_once(|| {
+                eprintln!(
+                    "tdx: warning: ignoring unknown TDX_CHASE_TRANSPORT={v:?} \
+                     (expected \"channel\" or \"tcp\"); using the channel transport"
+                );
+            });
+            TransportKind::Channel
+        }),
+        Err(_) => TransportKind::Channel,
+    }
+}
+
+/// One coordinator-side endpoint to one partition server: a reliable,
+/// ordered byte-frame pipe. `send`/`recv` errors mean the server is gone
+/// (the coordinator's retry path respawns through the
+/// [`TransportSpawner`]); `shutdown` is the carrier-level teardown — join
+/// the thread, reap the child — run *after* the protocol-level `Shutdown`
+/// message.
+pub trait Transport: Send {
+    /// Ships one frame to the server.
+    fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+    /// Receives the server's next frame.
+    fn recv(&mut self) -> io::Result<Vec<u8>>;
+    /// Tears the carrier down (best effort, idempotent).
+    fn shutdown(&mut self);
+}
+
+/// Spawns transports — and respawns them when the coordinator's retry path
+/// replaces a dead server. `server` is the cluster-wide server index (for
+/// thread/process naming and fault targeting); a spawned peer is always
+/// blank and expects the protocol `Hello` next.
+pub trait TransportSpawner: Send + Sync {
+    /// Starts server `server`'s peer and returns the endpoint to it.
+    fn spawn(&self, server: usize) -> io::Result<Box<dyn Transport>>;
+    /// The backend this spawner provides (for traces and stats).
+    fn kind(&self) -> TransportKind;
+}
+
+/// The spawner for `kind`'s default backend.
+pub fn spawner_for(kind: TransportKind) -> Arc<dyn TransportSpawner> {
+    match kind {
+        TransportKind::Channel => Arc::new(ChannelSpawner),
+        TransportKind::Tcp => Arc::new(TcpSpawner),
+    }
+}
+
+fn gone(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::BrokenPipe,
+        format!("partition server {what}"),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Channel backend
+
+/// In-process backend: one server thread per spawn, frames over an `mpsc`
+/// channel pair.
+pub struct ChannelTransport {
+    tx: Option<Sender<Vec<u8>>>,
+    rx: Receiver<Vec<u8>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Spawner of [`ChannelTransport`] endpoints.
+pub struct ChannelSpawner;
+
+impl TransportSpawner for ChannelSpawner {
+    fn spawn(&self, server: usize) -> io::Result<Box<dyn Transport>> {
+        let (req_tx, req_rx) = channel::<Vec<u8>>();
+        let (resp_tx, resp_rx) = channel::<Vec<u8>>();
+        let join = std::thread::Builder::new()
+            .name(format!("tdx-part-server-{server}"))
+            .spawn(move || serve_channel(req_rx, resp_tx))?;
+        Ok(Box::new(ChannelTransport {
+            tx: Some(req_tx),
+            rx: resp_rx,
+            join: Some(join),
+        }))
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Channel
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.tx
+            .as_ref()
+            .ok_or_else(|| gone("already shut down"))?
+            .send(frame.to_vec())
+            .map_err(|_| gone("closed its channel"))
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.rx.recv().map_err(|_| gone("closed its channel"))
+    }
+
+    fn shutdown(&mut self) {
+        // Dropping the sender unblocks a server waiting in `recv`; then the
+        // thread exits and joins. A panicked server thread just yields a
+        // poisoned join result, which teardown ignores.
+        self.tx = None;
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP backend
+
+/// What serves the far side of a [`TcpTransport`] connection.
+enum TcpPeer {
+    /// A real `tdx serve-partition` child process.
+    Child(Child),
+    /// The in-process fallback thread (no `tdx` binary found).
+    Thread(Option<JoinHandle<()>>),
+}
+
+/// Out-of-process backend: length-prefixed codec frames over a loopback
+/// TCP stream to a `tdx serve-partition` child process (or the thread
+/// fallback — see the module docs).
+pub struct TcpTransport {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    peer: TcpPeer,
+}
+
+/// Spawner of [`TcpTransport`] endpoints.
+pub struct TcpSpawner;
+
+/// Locates the `tdx` binary whose `serve-partition` subcommand hosts an
+/// out-of-process server: `TDX_SERVE_BIN` wins, then the current executable
+/// if it *is* `tdx`, then a `tdx` sibling of the current executable's
+/// target directory (how integration tests and in-repo tools find the
+/// freshly built CLI). `None` means no binary — callers fall back to the
+/// in-process serving thread.
+fn resolve_serve_bin() -> Option<PathBuf> {
+    if let Ok(p) = std::env::var("TDX_SERVE_BIN") {
+        let p = PathBuf::from(p);
+        return p.is_file().then_some(p);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_str()?;
+    if stem == "tdx" {
+        return Some(exe);
+    }
+    let mut dir = exe.parent()?;
+    if dir.file_name().and_then(|n| n.to_str()) == Some("deps") {
+        dir = dir.parent()?;
+    }
+    let cand = dir.join(format!("tdx{}", std::env::consts::EXE_SUFFIX));
+    cand.is_file().then_some(cand)
+}
+
+/// Accepts the server's rendezvous connection, polling so a hung peer
+/// cannot wedge the coordinator. `child`: a child process to watch — if it
+/// exits before connecting (wrong binary, crashed at startup), give up
+/// immediately instead of waiting out the deadline.
+fn accept_with_deadline(
+    listener: &TcpListener,
+    deadline: Duration,
+    mut child: Option<&mut Child>,
+) -> io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    let t0 = Instant::now();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false)?;
+                stream.set_nodelay(true)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if let Some(child) = child.as_deref_mut() {
+                    if matches!(child.try_wait(), Ok(Some(_)) | Err(_)) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            "partition server process exited before connecting",
+                        ));
+                    }
+                }
+                if t0.elapsed() > deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "partition server never connected back",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+impl TransportSpawner for TcpSpawner {
+    fn spawn(&self, server: usize) -> io::Result<Box<dyn Transport>> {
+        // Preferred shape: a real child process. A binary that fails to
+        // come up (stale build without `serve-partition`, exec failure)
+        // degrades to the in-process serving thread below rather than
+        // failing the chase — the protocol and framing are identical.
+        if let Some(bin) = resolve_serve_bin() {
+            let listener = TcpListener::bind(("127.0.0.1", 0))?;
+            let addr = listener.local_addr()?;
+            let child = Command::new(bin)
+                .arg("serve-partition")
+                .arg("--connect")
+                .arg(addr.to_string())
+                .stdin(Stdio::null())
+                .spawn();
+            if let Ok(mut child) = child {
+                match accept_with_deadline(&listener, Duration::from_secs(10), Some(&mut child)) {
+                    Ok(stream) => {
+                        let mut transport = TcpTransport {
+                            reader: BufReader::new(stream.try_clone()?),
+                            writer: stream,
+                            peer: TcpPeer::Child(child),
+                        };
+                        // Protocol probe: one Ping round-trip proves the
+                        // child speaks this build's protocol. A stale or
+                        // foreign binary fails here and we degrade to the
+                        // serving thread instead of poisoning the cluster.
+                        let pong = transport
+                            .send(&tdx_storage::codec::encode(&Message::Ping))
+                            .and_then(|()| transport.recv())
+                            .ok()
+                            .and_then(|b| tdx_storage::codec::decode::<Response>(&b).ok());
+                        if pong == Some(Response::Pong) {
+                            return Ok(Box::new(transport));
+                        }
+                        transport.shutdown();
+                    }
+                    Err(_) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+            }
+        }
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let join = std::thread::Builder::new()
+            .name(format!("tdx-part-server-{server}-tcp"))
+            .spawn(move || {
+                if let Ok(stream) = TcpStream::connect(addr) {
+                    let _ = serve_stream(stream);
+                }
+            })?;
+        let stream = accept_with_deadline(&listener, Duration::from_secs(10), None)?;
+        Ok(Box::new(TcpTransport {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            peer: TcpPeer::Thread(Some(join)),
+        }))
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Tcp
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        read_frame(&mut self.reader)
+    }
+
+    fn shutdown(&mut self) {
+        // Closing the socket unblocks the peer's read; the child then exits
+        // on its own (waited with a bounded grace period before a kill),
+        // the fallback thread just returns and joins.
+        let _ = self.writer.shutdown(Shutdown::Both);
+        match &mut self.peer {
+            TcpPeer::Child(child) => {
+                let t0 = Instant::now();
+                loop {
+                    match child.try_wait() {
+                        Ok(Some(_)) => return,
+                        Ok(None) if t0.elapsed() > Duration::from_secs(2) => {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            return;
+                        }
+                        Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+                        Err(_) => return,
+                    }
+                }
+            }
+            TcpPeer::Thread(join) => {
+                if let Some(join) = join.take() {
+                    let _ = join.join();
+                }
+            }
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection (test support)
+
+/// Fault-injection spawner for the retry-path tests: wraps an inner
+/// spawner and arms the transport of server `victim` to fail — and kill
+/// its carrier — after `frames_before_failure` successful sends. The fault
+/// trips once per injector; respawns of the victim get clean transports,
+/// so a correct retry path converges.
+pub struct FaultInjector {
+    inner: Arc<dyn TransportSpawner>,
+    victim: usize,
+    frames_before_failure: usize,
+    /// Consumed by the first spawn of the victim — later respawns are
+    /// clean.
+    armed: AtomicUsize,
+    /// Set by the faulty transport when the failure actually fires.
+    fired: Arc<AtomicUsize>,
+}
+
+impl FaultInjector {
+    /// Arms one failure on `victim`'s transport after
+    /// `frames_before_failure` sends.
+    pub fn new(
+        inner: Arc<dyn TransportSpawner>,
+        victim: usize,
+        frames_before_failure: usize,
+    ) -> FaultInjector {
+        FaultInjector {
+            inner,
+            victim,
+            frames_before_failure,
+            armed: AtomicUsize::new(1),
+            fired: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Whether the armed fault has actually fired.
+    pub fn tripped(&self) -> bool {
+        self.fired.load(Ordering::SeqCst) != 0
+    }
+}
+
+struct FaultTransport {
+    inner: Box<dyn Transport>,
+    remaining: usize,
+    fired: Arc<AtomicUsize>,
+}
+
+impl Transport for FaultTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        if self.remaining == 0 {
+            // Kill the carrier mid-round: the peer dies with us, exactly
+            // like a crashed server process.
+            self.fired.store(1, Ordering::SeqCst);
+            self.inner.shutdown();
+            return Err(gone("killed by fault injection"));
+        }
+        self.remaining -= 1;
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        self.inner.recv()
+    }
+
+    fn shutdown(&mut self) {
+        self.inner.shutdown();
+    }
+}
+
+impl TransportSpawner for FaultInjector {
+    fn spawn(&self, server: usize) -> io::Result<Box<dyn Transport>> {
+        let inner = self.inner.spawn(server)?;
+        if server == self.victim
+            && self
+                .armed
+                .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            return Ok(Box::new(FaultTransport {
+                inner,
+                remaining: self.frames_before_failure,
+                fired: Arc::clone(&self.fired),
+            }));
+        }
+        Ok(inner)
+    }
+
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::cluster::protocol::{Message, Response};
+    use tdx_storage::codec::{decode, encode};
+
+    fn ping(t: &mut Box<dyn Transport>) -> Response {
+        t.send(&encode(&Message::Ping)).unwrap();
+        decode::<Response>(&t.recv().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn channel_transport_answers_pings_and_shuts_down() {
+        let mut t = ChannelSpawner.spawn(0).unwrap();
+        assert_eq!(ping(&mut t), Response::Pong);
+        t.send(&encode(&Message::Shutdown)).unwrap();
+        assert_eq!(
+            decode::<Response>(&t.recv().unwrap()).unwrap(),
+            Response::Stopped
+        );
+        t.shutdown();
+        // Idempotent; errors after teardown are BrokenPipe, not panics.
+        t.shutdown();
+        assert!(t.send(b"x").is_err());
+    }
+
+    #[test]
+    fn tcp_transport_answers_pings_and_shuts_down() {
+        // Works regardless of whether a tdx binary is found — the fallback
+        // thread serves the same framed TCP protocol.
+        let mut t = TcpSpawner.spawn(0).unwrap();
+        assert_eq!(ping(&mut t), Response::Pong);
+        t.send(&encode(&Message::Shutdown)).unwrap();
+        assert_eq!(
+            decode::<Response>(&t.recv().unwrap()).unwrap(),
+            Response::Stopped
+        );
+        t.shutdown();
+        t.shutdown();
+    }
+
+    #[test]
+    fn transport_kind_parsing_and_resolution() {
+        assert_eq!(TransportKind::parse("tcp"), Some(TransportKind::Tcp));
+        assert_eq!(TransportKind::parse(" TCP "), Some(TransportKind::Tcp));
+        assert_eq!(
+            TransportKind::parse("channel"),
+            Some(TransportKind::Channel)
+        );
+        assert_eq!(TransportKind::parse("carrier-pigeon"), None);
+        // Explicit choice wins over the environment.
+        assert_eq!(
+            resolve_transport(Some(TransportKind::Tcp)),
+            TransportKind::Tcp
+        );
+    }
+
+    #[test]
+    fn fault_injector_trips_exactly_once() {
+        let spawner = FaultInjector::new(Arc::new(ChannelSpawner), 0, 1);
+        let mut t = spawner.spawn(0).unwrap();
+        assert!(!spawner.tripped());
+        assert_eq!(ping(&mut t), Response::Pong); // first frame passes
+        assert!(t.send(&encode(&Message::Ping)).is_err()); // second trips
+        assert!(spawner.tripped());
+        // The respawn is clean.
+        let mut t2 = spawner.spawn(0).unwrap();
+        assert_eq!(ping(&mut t2), Response::Pong);
+        assert_eq!(ping(&mut t2), Response::Pong);
+        t2.send(&encode(&Message::Shutdown)).unwrap();
+        let _ = t2.recv();
+        t.shutdown();
+        t2.shutdown();
+    }
+}

@@ -55,10 +55,13 @@ pub enum ChaseEngine {
     /// Distributed evaluation over partition servers: each server owns a
     /// contiguous block of timeline partitions and speaks the serialized
     /// `ApplyDelta` / `RunTgdRound` / `RunLocalEgdRound` / `Snapshot`
-    /// protocol of [`crate::chase::distributed`], while the coordinator
-    /// keeps the global union-find and the normalization fixpoints.
+    /// protocol of [`crate::chase::cluster`] over a pluggable transport
+    /// (in-process channels or TCP child processes — see
+    /// [`ChaseOptions::transport`]), while the coordinator keeps the
+    /// global union-find and the normalization fixpoints.
     /// Hom-equivalent to [`ChaseEngine::PartitionedParallel`] and
-    /// byte-identical across server counts. See `docs/distributed.md`.
+    /// byte-identical across server counts and transports. See
+    /// `docs/distributed.md` and `docs/transport.md`.
     Distributed {
         /// Partition servers; `0` resolves from `TDX_CHASE_SERVERS`, then
         /// defaults to 2 (see [`server_count`](crate::chase::server_count)).
@@ -87,6 +90,11 @@ pub struct ChaseOptions {
     /// The join engine (indexed semi-naive by default; the legacy full-scan
     /// path is kept for equivalence tests and ablation benches).
     pub engine: ChaseEngine,
+    /// Transport backend for [`ChaseEngine::Distributed`]: `None` resolves
+    /// from `TDX_CHASE_TRANSPORT` (default: in-process channels). Ignored
+    /// by the shared-memory engines. See
+    /// [`resolve_transport`](crate::chase::cluster::resolve_transport).
+    pub transport: Option<crate::chase::cluster::TransportKind>,
 }
 
 impl Default for ChaseOptions {
@@ -97,6 +105,7 @@ impl Default for ChaseOptions {
             coalesce_result: false,
             record_trace: false,
             engine: ChaseEngine::default(),
+            transport: None,
         }
     }
 }
@@ -137,6 +146,13 @@ impl ChaseOptions {
             engine: ChaseEngine::Distributed { servers },
             ..ChaseOptions::default()
         }
+    }
+
+    /// These options with an explicit transport backend for the
+    /// distributed engine (`--transport` on the CLI).
+    pub fn on_transport(mut self, transport: crate::chase::cluster::TransportKind) -> ChaseOptions {
+        self.transport = Some(transport);
+        self
     }
 
     /// The matcher options implied by the engine choice.
@@ -387,7 +403,7 @@ pub fn c_chase_with(
         return crate::chase::partitioned::c_chase_partitioned(ic, mapping, opts, threads);
     }
     if let ChaseEngine::Distributed { servers } = opts.engine {
-        return crate::chase::distributed::c_chase_distributed(ic, mapping, opts, servers);
+        return crate::chase::cluster::coordinator::c_chase_distributed(ic, mapping, opts, servers);
     }
     let mut stats = ChaseStats {
         source_facts_in: ic.total_len(),

@@ -57,8 +57,11 @@
 //! accumulated source after every batch (`tests/incremental.rs`); the
 //! argument is spelled out in `docs/incremental.md`.
 
+use crate::chase::cluster::{
+    classify_check, fold_merge_ops, memo_probe_key, resolve_transport, Check, DistributedCluster,
+    Hom, MergeOp, StoreKind, TrafficStats,
+};
 use crate::chase::concrete::{instantiate, AnnotatedUnionFind, ChaseEngine, ChaseOptions, UfKey};
-use crate::chase::distributed::{DistributedCluster, Hom, MergeOp, StoreKind};
 use crate::chase::partitioned::{fact_at, refragment_lists, rewrite_values, FactLists};
 use crate::error::{Result, TdxError};
 use std::collections::BTreeSet;
@@ -406,21 +409,11 @@ fn descend(
     }
 }
 
-/// The restricted-chase check compiled per tgd — the same three tiers as
-/// the partitioned engine, with the memo tier made persistent across
-/// batches (see the module docs for why coverage survives rewriting and
-/// re-fragmentation).
-#[derive(Clone)]
-enum Check {
-    /// No existentials: the head either inserts something new or it fires
-    /// for nothing — the target dedup set answers it.
-    Direct,
-    /// Single-atom head, non-repeated existentials: a hash memo over the
-    /// determined head columns.
-    Memo { rel: RelId, cols: Vec<usize> },
-    /// Anything else: probe the materialized target with the matcher.
-    Probe,
-}
+// The restricted-chase check ([`Check`]) is the shared coordinator kernel
+// of `chase/cluster/coordinator.rs` — the same three tiers the partitioned
+// and distributed batch engines classify with, except that here the memo
+// tier is *persistent* across batches (see the module docs for why
+// coverage survives rewriting and re-fragmentation).
 
 #[derive(Clone)]
 struct TgdPlan {
@@ -521,39 +514,7 @@ impl IncrementalExchange {
         for tgd in mapping.st_tgds() {
             let body = JoinPlan::compile(&tgd.body, &src_schema)?;
             let existentials = tgd.existential_vars();
-            let check = if existentials.is_empty() {
-                Check::Direct
-            } else if tgd.head.len() == 1 {
-                let atom = &tgd.head[0];
-                let repeated = existentials.iter().any(|e| {
-                    atom.terms
-                        .iter()
-                        .filter(|t| matches!(t, Term::Var(v) if v == e))
-                        .count()
-                        > 1
-                });
-                if repeated {
-                    Check::Probe
-                } else {
-                    Check::Memo {
-                        rel: tgt_schema.rel_id(atom.relation).ok_or_else(|| {
-                            TdxError::Invalid(format!("unknown head relation {}", atom.relation))
-                        })?,
-                        cols: atom
-                            .terms
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, t)| match t {
-                                Term::Const(_) => true,
-                                Term::Var(v) => !existentials.contains(v),
-                            })
-                            .map(|(i, _)| i)
-                            .collect(),
-                    }
-                }
-            } else {
-                Check::Probe
-            };
+            let check = classify_check(&tgd.head, &existentials, &tgt_schema)?;
             let head = tgd
                 .head
                 .iter()
@@ -674,6 +635,9 @@ impl IncrementalExchange {
                 "incremental session is poisoned by a failed rollback: {msg}"
             )));
         }
+        if self.servers > 0 {
+            self.heartbeat_cluster();
+        }
         // Classify refines: pure widenings ride the incremental path.
         let mut inserts: Vec<(RelId, Row, Interval)> = Vec::new();
         let mut narrowing = false;
@@ -747,9 +711,13 @@ impl IncrementalExchange {
     /// one the cluster was built over (re-coarsening, full re-chase). The
     /// lock spans the whole ship-and-match exchange, so session clones
     /// sharing one cluster interleave at round granularity — and since
-    /// every round re-ships its own fact lists first, they never observe
+    /// every round re-syncs its own fact lists first (a watermark diff
+    /// against whatever the servers actually hold), they never observe
     /// each other's state.
-    fn with_cluster<R>(&mut self, f: impl FnOnce(&DistributedCluster) -> Result<R>) -> Result<R> {
+    fn with_cluster<R>(
+        &mut self,
+        f: impl FnOnce(&mut DistributedCluster) -> Result<R>,
+    ) -> Result<R> {
         let stale = match &self.cluster {
             None => true,
             Some(c) => {
@@ -758,16 +726,28 @@ impl IncrementalExchange {
             }
         };
         if stale {
-            self.cluster = Some(Arc::new(Mutex::new(DistributedCluster::spawn(
+            self.cluster = Some(Arc::new(Mutex::new(DistributedCluster::spawn_on(
                 &self.mapping,
                 &self.tp,
                 self.servers,
                 self.sopts,
-            ))));
+                resolve_transport(self.opts.transport),
+            )?)));
         }
         let cluster = self.cluster.as_ref().expect("cluster just ensured");
-        let guard = cluster.lock().unwrap_or_else(|e| e.into_inner());
-        f(&guard)
+        let mut guard = cluster.lock().unwrap_or_else(|e| e.into_inner());
+        f(&mut guard)
+    }
+
+    /// Cumulative wire-traffic counters of the session's partition-server
+    /// cluster, when one is running (`None` for local sessions and before
+    /// the first distributed round). The observable behind the
+    /// shipping-discipline tests: steady-state `ApplyDelta` traffic must be
+    /// proportional to the batch, not the store.
+    pub fn cluster_traffic(&self) -> Option<TrafficStats> {
+        self.cluster
+            .as_ref()
+            .map(|c| c.lock().unwrap_or_else(|e| e.into_inner()).traffic())
     }
 
     /// One distributed tgd round: ship the normalized-source lists
@@ -783,6 +763,23 @@ impl IncrementalExchange {
             c.apply_delta(StoreKind::Source, pre, delta)?;
             c.run_tgd_round(tgd_count)
         })
+    }
+
+    /// Heartbeats a cluster that idled between batches, dropping it on
+    /// unrecoverable failure so the next round respawns a fresh one (with
+    /// a full re-ship) instead of failing the batch.
+    fn heartbeat_cluster(&mut self) {
+        let dead = match &self.cluster {
+            None => false,
+            Some(c) => c
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .heartbeat()
+                .is_err(),
+        };
+        if dead {
+            self.cluster = None;
+        }
     }
 
     /// One distributed egd round: ship the target lists (`ApplyDelta`) and
@@ -974,19 +971,7 @@ impl IncrementalExchange {
                         continue;
                     }
                     Check::Memo { rel: _, cols } => {
-                        let atom = &plan.head[0].1;
-                        let key: Vec<Value> = cols
-                            .iter()
-                            .map(|&c| match &atom.terms[c] {
-                                Term::Const(cst) => Value::Const(*cst),
-                                Term::Var(v) => {
-                                    h.iter()
-                                        .find(|(w, _)| w == v)
-                                        .expect("universal head var bound")
-                                        .1
-                                }
-                            })
-                            .collect();
+                        let key = memo_probe_key(cols, &plan.head[0].1, &h);
                         if self.memos[ti].contains(&(key, iv)) {
                             continue;
                         }
@@ -1062,21 +1047,15 @@ impl IncrementalExchange {
                 if self.servers > 0 {
                     // Ship the target lists, run local egd rounds on the
                     // servers, fold the merge ops into the global
-                    // union-find here.
-                    for (ei, a, b, iv) in self.distributed_egd_round(&pre, &delta)? {
-                        let key = |v: Value| match v {
-                            Value::Const(c) => UfKey::Const(c),
-                            Value::Null(n) => UfKey::Null(n, iv),
-                        };
-                        match uf.union(key(a), key(b)) {
-                            Ok(()) => merges += 1,
-                            Err((c1, c2)) => {
-                                conflict =
-                                    Some((self.egd_plans[ei as usize].name.clone(), c1, c2, iv));
-                                break;
-                            }
-                        }
-                    }
+                    // union-find through the shared kernel (its
+                    // ChaseFailure propagates like a local conflict would).
+                    let ops = self.distributed_egd_round(&pre, &delta)?;
+                    merges += fold_merge_ops(
+                        ops.into_iter()
+                            .map(|(ei, a, b, iv)| (ei as usize, a, b, iv)),
+                        &mut uf,
+                        |ei| self.egd_plans[ei].name.clone(),
+                    )?;
                 } else {
                     let tgt_idx = DirtyIndex::build(&pre, &delta);
                     for ep in &self.egd_plans {
@@ -1239,7 +1218,7 @@ impl IncrementalExchange {
 }
 
 /// Registers an inserted target fact with every persistent memo watching
-/// its relation.
+/// its relation (the kernel's memo registration over the session's plans).
 fn register_memo(
     memos: &mut [FxHashSet<(Vec<Value>, Interval)>],
     plans: &[TgdPlan],
@@ -1247,14 +1226,7 @@ fn register_memo(
     data: &[Value],
     iv: Interval,
 ) {
-    for (mi, plan) in plans.iter().enumerate() {
-        if let Check::Memo { rel: mrel, cols } = &plan.check {
-            if *mrel == rel {
-                let key: Vec<Value> = cols.iter().map(|&c| data[c]).collect();
-                memos[mi].insert((key, iv));
-            }
-        }
-    }
+    crate::chase::cluster::register_memo(memos, plans.iter().map(|p| &p.check), rel, data, iv);
 }
 
 /// Drains `delta` into `pre`, preserving order: the settled representation

@@ -9,15 +9,18 @@
 //!   with normalization and interval-annotated nulls.
 
 pub mod abstract_chase;
+pub mod cluster;
 pub mod concrete;
-pub mod distributed;
 pub mod incremental;
 pub(crate) mod partitioned;
 pub mod snapshot;
 
 pub use abstract_chase::{abstract_chase, abstract_chase_parallel, abstract_chase_parallel_opts};
+pub use cluster::{
+    snapshot_consistent, DistributedCluster, Message, Response, StoreKind, TrafficStats, Transport,
+    TransportKind, TransportSpawner,
+};
 pub use concrete::{c_chase, CChaseResult, ChaseOptions, ChaseStats};
-pub use distributed::{DistributedCluster, Message, Response, StoreKind};
 pub use incremental::{BatchStats, DeltaBatch, IncrementalExchange, SessionStats};
 pub use snapshot::snapshot_chase;
 

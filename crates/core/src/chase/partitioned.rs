@@ -30,10 +30,8 @@
 //! `⟦·⟧`); `tests/equivalence.rs` triangulates all three engines. The
 //! equivalence argument is spelled out in `docs/parallelism.md`.
 
-use crate::chase::concrete::{
-    instantiate, AnnotatedUnionFind, CChaseResult, ChaseOptions, ChaseStats, UfKey,
-};
-use crate::error::{Result, TdxError};
+use crate::chase::concrete::{AnnotatedUnionFind, CChaseResult, ChaseOptions, ChaseStats};
+use crate::error::Result;
 use crate::normalize::{
     merge_image_sets, naive_normalize, normalize_with_groups, uf_find, FactRef,
 };
@@ -41,17 +39,18 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Var};
 use tdx_storage::{
-    NullGen, PartScope, Row, SearchOptions, ShardedFactStore, TemporalFact, TemporalInstance,
-    TemporalMode, Value,
+    PartScope, Row, SearchOptions, ShardedFactStore, TemporalFact, TemporalInstance, TemporalMode,
+    Value,
 };
 use tdx_temporal::{fragment_interval, Breakpoints, Interval, TimePoint, TimelinePartition};
 
 /// Per-relation fact lists: the working representation between rebuilds.
 /// `pre` holds facts unchanged since the last round, `delta` the changed
-/// ones; a fact's global id is its position in `pre ++ delta`. Shared with
-/// the incremental session ([`crate::chase::incremental`]), whose
-/// materialized target lives in this representation between batches.
-pub(crate) type FactLists = Vec<Vec<TemporalFact>>;
+/// ones; a fact's global id is its position in `pre ++ delta`. One alias
+/// crate-wide — the cluster protocol ships this exact representation, and
+/// the incremental session's materialized target lives in it between
+/// batches.
+pub(crate) use crate::chase::cluster::protocol::FactLists;
 
 /// Runs `f(0..n)` on up to `threads` scoped workers (inline when either
 /// count is one) and returns the results in task order — so the merge, and
@@ -819,149 +818,16 @@ pub(crate) fn c_chase_partitioned(
         Ok(out)
     });
     let mut target = TemporalInstance::new(Arc::new(mapping.target().clone()));
-    let mut nulls = NullGen::new();
-    // The restricted-chase check per tgd, cheapest applicable first:
-    // without existentials, "no extension into the target" is just "some
-    // head fact is missing" — the insert's own dedup answers it. A
-    // single-atom head with (non-repeated) existentials reduces to a hash
-    // memo over the determined head positions, updated on every insert.
-    // Anything else falls back to the matcher probe.
-    enum Check {
-        Direct,
-        Memo { rel: RelId, cols: Vec<usize> },
-        Probe,
-    }
-    let checks: Vec<(Check, Vec<Var>)> = tgds
-        .iter()
-        .map(|tgd| {
-            let existentials = tgd.existential_vars();
-            let check = if existentials.is_empty() {
-                Check::Direct
-            } else if tgd.head.len() == 1 {
-                let atom = &tgd.head[0];
-                let repeated = existentials.iter().any(|e| {
-                    atom.terms
-                        .iter()
-                        .filter(|t| matches!(t, tdx_logic::Term::Var(v) if v == e))
-                        .count()
-                        > 1
-                });
-                if repeated {
-                    Check::Probe
-                } else {
-                    Check::Memo {
-                        rel: mapping
-                            .target()
-                            .rel_id(atom.relation)
-                            .expect("validated head atom"),
-                        cols: atom
-                            .terms
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, t)| match t {
-                                tdx_logic::Term::Const(_) => true,
-                                tdx_logic::Term::Var(v) => !existentials.contains(v),
-                            })
-                            .map(|(i, _)| i)
-                            .collect(),
-                    }
-                }
-            } else {
-                Check::Probe
-            };
-            (check, existentials)
-        })
-        .collect();
-    type MemoKey = (Vec<Value>, Interval);
-    let mut memos: Vec<tdx_storage::fxhash::FxHashSet<MemoKey>> =
-        checks.iter().map(|_| Default::default()).collect();
-    // Registers an inserted fact with every memo watching its relation.
-    let register = |memos: &mut Vec<tdx_storage::fxhash::FxHashSet<MemoKey>>,
-                    checks: &[(Check, Vec<Var>)],
-                    rel: RelId,
-                    data: &[Value],
-                    iv: Interval| {
-        for (mi, (check, _)) in checks.iter().enumerate() {
-            if let Check::Memo { rel: mrel, cols } = check {
-                if *mrel == rel {
-                    let key: Vec<Value> = cols.iter().map(|&c| data[c]).collect();
-                    memos[mi].insert((key, iv));
-                }
-            }
-        }
-    };
+    // The restricted-chase check and insert discipline is the shared
+    // coordinator kernel (`chase/cluster/coordinator.rs`): the same
+    // `TgdFolder` the distributed engine folds its server responses
+    // through, fed here from the local task fan-out in task order.
+    let mut folder = crate::chase::cluster::TgdFolder::new(mapping)?;
     for (t, task_homs) in homs.into_iter().enumerate() {
         let ti = t / (nparts * hash_shards);
-        let tgd = &tgds[ti];
-        let (check, existentials) = &checks[ti];
-        for (h, iv) in task_homs? {
-            match check {
-                Check::Direct => {
-                    let mut fired = false;
-                    for atom in &tgd.head {
-                        let rel = mapping
-                            .target()
-                            .rel_id(atom.relation)
-                            .expect("validated head atom");
-                        let row: Row = instantiate(atom, &h).into();
-                        if target.insert(rel, Arc::clone(&row), iv) {
-                            register(&mut memos, &checks, rel, &row, iv);
-                            fired = true;
-                        }
-                    }
-                    if fired {
-                        stats.tgd_steps += 1;
-                    }
-                    continue;
-                }
-                Check::Memo { rel: _, cols } => {
-                    let atom = &tgd.head[0];
-                    let key: Vec<Value> = cols
-                        .iter()
-                        .map(|&c| match &atom.terms[c] {
-                            tdx_logic::Term::Const(cst) => Value::Const(*cst),
-                            tdx_logic::Term::Var(v) => {
-                                h.iter()
-                                    .find(|(w, _)| w == v)
-                                    .expect("universal head var bound")
-                                    .1
-                            }
-                        })
-                        .collect();
-                    if memos[ti].contains(&(key, iv)) {
-                        continue;
-                    }
-                }
-                Check::Probe => {
-                    if target.exists_match_with(
-                        &tgd.head,
-                        TemporalMode::Shared,
-                        &h,
-                        Some(iv),
-                        sopts,
-                    )? {
-                        continue;
-                    }
-                }
-            }
-            let mut env = h;
-            for v in existentials {
-                env.push((*v, Value::Null(nulls.fresh())));
-            }
-            for atom in &tgd.head {
-                let rel = mapping
-                    .target()
-                    .rel_id(atom.relation)
-                    .expect("validated head atom");
-                let row: Row = instantiate(atom, &env).into();
-                if target.insert(rel, Arc::clone(&row), iv) {
-                    register(&mut memos, &checks, rel, &row, iv);
-                }
-            }
-            stats.tgd_steps += 1;
-        }
+        stats.tgd_steps += folder.fold(ti, task_homs?, &mut target, sopts)?;
     }
-    stats.nulls_created = nulls.peek();
+    stats.nulls_created = folder.nulls.peek();
     stats.target_facts_after_tgd = target.total_len();
     log(
         opts,
@@ -1056,28 +922,12 @@ pub(crate) fn c_chase_partitioned(
         let mut uf = AnnotatedUnionFind::new();
         let mut merges = 0usize;
         for task in per_task {
-            for (ei, a, b, iv) in task? {
-                let key = |v: Value| match v {
-                    Value::Const(c) => UfKey::Const(c),
-                    Value::Null(n) => UfKey::Null(n, iv),
-                };
-                match uf.union(key(a), key(b)) {
-                    Ok(()) => merges += 1,
-                    Err((c1, c2)) => {
-                        let render = |k: UfKey| match k {
-                            UfKey::Const(c) => c.to_string(),
-                            UfKey::Null(n, _) => n.to_string(),
-                        };
-                        let egd = &egds[ei];
-                        return Err(TdxError::ChaseFailure {
-                            dependency: egd.name.clone().unwrap_or_else(|| egd.to_string()),
-                            left: render(c1),
-                            right: render(c2),
-                            interval: Some(iv),
-                        });
-                    }
-                }
-            }
+            // The union-find fold (and its failure rendering) is the shared
+            // coordinator kernel, identical across engines.
+            merges += crate::chase::cluster::fold_merge_ops(task?, &mut uf, |ei| {
+                let egd = &egds[ei];
+                egd.name.clone().unwrap_or_else(|| egd.to_string())
+            })?;
         }
         if merges == 0 {
             break;
@@ -1132,6 +982,7 @@ pub(crate) fn c_chase_partitioned(
 mod tests {
     use super::*;
     use crate::chase::concrete::c_chase_with;
+    use crate::error::TdxError;
     use crate::hom::hom_equivalent;
     use crate::semantics::semantics;
     use tdx_logic::{parse_egd, parse_schema, parse_tgd};

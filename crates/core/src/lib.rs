@@ -42,12 +42,17 @@
 //! `BENCH_chase.json`; CI gates regressions via `bench_check`).
 //!
 //! [`ChaseEngine::Distributed`] relocates that match work onto
-//! **partition servers**: in-process actors that each own a contiguous
-//! block of timeline partitions and speak a serialized
-//! `ApplyDelta`/`RunTgdRound`/`RunLocalEgdRound`/`Snapshot` protocol
-//! (`tdx_storage::codec` byte frames, socket-swappable), while the
-//! coordinator keeps the global union-find and normalization — the
-//! protocol layer for multi-process operation (see `docs/distributed.md`).
+//! **partition servers**: each owns a contiguous block of timeline
+//! partitions and speaks a serialized
+//! `Hello`/`ApplyDelta`/`RunTgdRound`/`RunLocalEgdRound`/`Snapshot`/`Ping`
+//! protocol (`tdx_storage::codec` byte frames) over a pluggable
+//! [`Transport`] — in-process channel actors or real `tdx
+//! serve-partition` child processes on loopback TCP — while the
+//! coordinator keeps the global union-find and normalization.
+//! `ApplyDelta` ships delta-only sync programs against per-server
+//! retained-image watermarks, and a heartbeat + bounded-retry path
+//! respawns dead servers and replays their images (see
+//! `docs/distributed.md` and `docs/transport.md`).
 //!
 //! On top of the batch engines, [`IncrementalExchange`] is a *stateful*
 //! exchange session: the chased target stays materialized between calls
@@ -66,7 +71,7 @@
 //! | `tdx_storage::matcher` | join engine: index candidates, per-atom delta bounds |
 //! | [`chase::concrete`] | semi-naive c-chase over the store's deltas |
 //! | [`chase::partitioned`](chase) | partitioned parallel c-chase (sweep discovery, worker fan-out) |
-//! | [`chase::distributed`](chase) | partition-server protocol (serialized messages, coordinator/worker split) |
+//! | [`chase::cluster`](chase) | partition-server protocol, transports, coordinator kernel |
 //! | [`normalize`], [`query`] | overlap-index group discovery, engine-threaded eval |
 //!
 //! ## Quick start
@@ -115,10 +120,13 @@ pub use abstract_view::{
 pub use chase::abstract_chase::{
     abstract_chase, abstract_chase_parallel, abstract_chase_parallel_opts, abstract_chase_with,
 };
+pub use chase::cluster::{
+    DistributedCluster, Message, Response, StoreKind, TrafficStats, Transport, TransportKind,
+    TransportSpawner,
+};
 pub use chase::concrete::{
     c_chase, c_chase_with, CChaseResult, ChaseEngine, ChaseOptions, ChaseStats,
 };
-pub use chase::distributed::{DistributedCluster, Message, Response, StoreKind};
 pub use chase::incremental::{BatchStats, DeltaBatch, IncrementalExchange, SessionStats};
 pub use chase::snapshot::{snapshot_chase, snapshot_chase_with};
 pub use chase::{server_count, worker_threads};

@@ -1,6 +1,6 @@
 //! A plain byte codec for the distributed-chase wire protocol.
 //!
-//! The partition servers of `tdx_core::chase::distributed` exchange facts,
+//! The partition servers of `tdx_core::chase::cluster` exchange facts,
 //! homomorphism bindings and merge operations with their coordinator as
 //! *serialized byte messages*, even while they run as in-process actors:
 //! every request and response crosses the channel as a `Vec<u8>` produced by
@@ -15,12 +15,14 @@
 //! [`Symbol`](tdx_logic::Symbol) ids — intern ids are meaningless across
 //! process boundaries) and are re-interned on decode.
 
+use crate::matcher::SearchOptions;
 use crate::temporal_instance::TemporalFact;
 use crate::value::{NullId, Row, Value};
 use std::fmt;
+use std::io;
 use std::sync::Arc;
-use tdx_logic::{Constant, RelId};
-use tdx_temporal::{Endpoint, Interval};
+use tdx_logic::{Atom, Constant, RelId, RelationSchema, Schema, Symbol, Term, Var};
+use tdx_temporal::{Breakpoints, Endpoint, Interval, TimelinePartition};
 
 /// A decode failure: truncated input, an unknown enum tag, or malformed
 /// UTF-8. The protocol layer treats any of these as a fatal transport
@@ -179,6 +181,50 @@ pub fn decode<T: Wire>(bytes: &[u8]) -> Result<T, CodecError> {
         return Err(CodecError("trailing bytes after message".into()));
     }
     Ok(v)
+}
+
+/// Upper bound on a framed message (1 GiB). A length prefix beyond it is
+/// treated as stream corruption rather than an allocation request — the
+/// same defensive stance [`ByteReader::take`] applies to in-message length
+/// prefixes.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// Writes one length-prefixed frame — a `u32` little-endian payload length
+/// followed by the payload — and flushes. This is the unit a socket
+/// transport ships: `write_frame(encode(&msg))` on one side,
+/// `decode(read_frame()?)` on the other.
+pub fn write_frame(w: &mut impl io::Write, frame: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(frame.len())
+        .ok()
+        .filter(|&l| (l as usize) <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {} bytes exceeds MAX_FRAME_LEN", frame.len()),
+            )
+        })?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame written by [`write_frame`]. A cleanly
+/// closed peer surfaces as `UnexpectedEof` on the length prefix; a prefix
+/// beyond [`MAX_FRAME_LEN`] as `InvalidData` (corruption, not an
+/// allocation).
+pub fn read_frame(r: &mut impl io::Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length prefix {len} exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
 }
 
 impl Wire for u32 {
@@ -348,6 +394,144 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
 }
 
+impl Wire for bool {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u8(*self as u8);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(CodecError(format!("unknown bool tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for Constant {
+    fn write(&self, w: &mut ByteWriter) {
+        match self {
+            Constant::Int(i) => {
+                w.u8(0);
+                w.i64(*i);
+            }
+            Constant::Str(s) => {
+                w.u8(1);
+                w.str(s.as_str());
+            }
+        }
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(Constant::Int(r.i64()?)),
+            1 => Ok(Constant::Str(Symbol::intern(r.str()?))),
+            tag => Err(CodecError(format!("unknown Constant tag {tag}"))),
+        }
+    }
+}
+
+// The spawn-time configuration of an out-of-process partition server —
+// dependency bodies, schemas, the timeline partition — travels through the
+// same codec as the round messages. As everywhere on the wire, interned
+// symbols (relation names, attribute names, variable names) travel as
+// their text and re-intern on decode.
+
+impl Wire for Var {
+    fn write(&self, w: &mut ByteWriter) {
+        w.str(self.name());
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(Var::new(r.str()?))
+    }
+}
+
+impl Wire for Term {
+    fn write(&self, w: &mut ByteWriter) {
+        match self {
+            Term::Var(v) => {
+                w.u8(0);
+                v.write(w);
+            }
+            Term::Const(c) => {
+                w.u8(1);
+                c.write(w);
+            }
+        }
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(Term::Var(Var::read(r)?)),
+            1 => Ok(Term::Const(Constant::read(r)?)),
+            tag => Err(CodecError(format!("unknown Term tag {tag}"))),
+        }
+    }
+}
+
+impl Wire for Atom {
+    fn write(&self, w: &mut ByteWriter) {
+        w.str(self.relation.as_str());
+        self.terms.write(w);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let relation = Symbol::intern(r.str()?);
+        Ok(Atom {
+            relation,
+            terms: Wire::read(r)?,
+        })
+    }
+}
+
+impl Wire for Schema {
+    fn write(&self, w: &mut ByteWriter) {
+        w.u64(self.len() as u64);
+        for rel in self.relations() {
+            w.str(rel.name().as_str());
+            w.u64(rel.attrs().len() as u64);
+            for a in rel.attrs() {
+                w.str(a.as_str());
+            }
+        }
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let nrels = r.u64()? as usize;
+        let mut rels = Vec::with_capacity(nrels.min(1024));
+        for _ in 0..nrels {
+            let name = Symbol::intern(r.str()?);
+            let nattrs = r.u64()? as usize;
+            let mut attrs = Vec::with_capacity(nattrs.min(1024));
+            for _ in 0..nattrs {
+                attrs.push(Symbol::intern(r.str()?));
+            }
+            rels.push(RelationSchema::from_symbols(name, attrs));
+        }
+        Schema::new(rels).map_err(|e| CodecError(format!("malformed schema on the wire: {e}")))
+    }
+}
+
+impl Wire for TimelinePartition {
+    fn write(&self, w: &mut ByteWriter) {
+        self.boundaries().to_vec().write(w);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let boundaries: Vec<u64> = Wire::read(r)?;
+        // `TimelinePartition::new` sorts, dedups and drops a 0 boundary, so
+        // a corrupted-but-decodable list still yields a valid partition.
+        Ok(TimelinePartition::new(&Breakpoints::from_points(
+            boundaries,
+        )))
+    }
+}
+
+impl Wire for SearchOptions {
+    fn write(&self, w: &mut ByteWriter) {
+        self.use_indexes.write(w);
+    }
+    fn read(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(SearchOptions {
+            use_indexes: Wire::read(r)?,
+        })
+    }
+}
+
 impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
     fn write(&self, w: &mut ByteWriter) {
         self.0.write(w);
@@ -441,5 +625,64 @@ mod tests {
         let decoded: Value = decode(&encode(&v)).unwrap();
         // Equality is by intern id — same process, same symbol.
         assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn handshake_types_roundtrip() {
+        use tdx_logic::parse_schema;
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(Constant::str("IBM"));
+        roundtrip(Constant::Int(i64::MIN));
+        roundtrip(Var::new("salary"));
+        roundtrip(Term::var("n"));
+        roundtrip(Term::constant(42i64));
+        roundtrip(Atom::new(
+            "Emp",
+            vec![Term::var("n"), Term::constant("IBM"), Term::var("s")],
+        ));
+        roundtrip(parse_schema("E(name, company). S(name, salary).").unwrap());
+        roundtrip(Schema::empty());
+        roundtrip(TimelinePartition::new(&Breakpoints::from_points([
+            4, 9, 17,
+        ])));
+        roundtrip(TimelinePartition::whole());
+        roundtrip(SearchOptions { use_indexes: false });
+        roundtrip(SearchOptions::default());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_io_streams() {
+        let payloads: [&[u8]; 3] = [b"", b"x", &[0u8; 4096]];
+        let mut buf: Vec<u8> = Vec::new();
+        for p in payloads {
+            write_frame(&mut buf, p).unwrap();
+        }
+        let mut r = std::io::Cursor::new(buf);
+        for p in payloads {
+            assert_eq!(read_frame(&mut r).unwrap(), p);
+        }
+        // Clean EOF at a frame boundary.
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frames_reject_truncation_and_absurd_lengths() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        // Truncated payload.
+        let mut r = std::io::Cursor::new(&buf[..buf.len() - 1]);
+        assert!(read_frame(&mut r).is_err());
+        // Truncated length prefix.
+        let mut r = std::io::Cursor::new(&buf[..2]);
+        assert!(read_frame(&mut r).is_err());
+        // A corrupted length prefix beyond MAX_FRAME_LEN must error without
+        // attempting the allocation.
+        let mut corrupt = (u32::MAX).to_le_bytes().to_vec();
+        corrupt.extend_from_slice(b"junk");
+        let mut r = std::io::Cursor::new(corrupt);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }

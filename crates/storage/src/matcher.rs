@@ -550,7 +550,7 @@ impl<'a, S: Store> Search<'a, S> {
 }
 
 /// Options shared by the `find_matches` entry points.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SearchOptions {
     /// Use hash indexes for candidate selection (`false` forces full scans;
     /// exposed for the index-ablation benchmark).

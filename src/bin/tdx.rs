@@ -78,6 +78,8 @@ fn usage() -> ExitCode {
          \x20          --engine indexed|scan|partitioned[:THREADS]|distributed[:SERVERS]\n\
          \x20          --servers N  partition servers for --engine distributed\n\
          \x20                       (0 or absent: TDX_CHASE_SERVERS, then 2)\n\
+         \x20          --transport channel|tcp  partition-server transport\n\
+         \x20                       (absent: TDX_CHASE_TRANSPORT, then channel)\n\
          normalize  print the normalized source            --naive  endpoint-oblivious\n\
          query      certain answers                        --query 'Q(n) :- Emp(n,c,s)'\n\
          snapshots  print the abstract view                --from T --to T [--target]\n\
@@ -104,6 +106,19 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         return Ok(usage());
     };
     let args = Args::parse(&argv[1..]);
+    if cmd == "serve-partition" {
+        // Hidden subcommand: host one partition server of a distributed
+        // chase whose coordinator runs elsewhere. Dials the coordinator's
+        // rendezvous address and serves codec frames until shut down; the
+        // whole configuration arrives over the wire as the Hello
+        // handshake, so there are no other flags.
+        let Some(addr) = args.get("connect") else {
+            eprintln!("usage: tdx serve-partition --connect HOST:PORT");
+            return Ok(ExitCode::from(2));
+        };
+        tdx::core::chase::cluster::server::serve_connect(addr)?;
+        return Ok(ExitCode::SUCCESS);
+    }
     let (Some(mapping_path), Some(data_path)) = (args.get("mapping"), args.get("data")) else {
         return Ok(usage());
     };
@@ -150,6 +165,18 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         && !matches!(options.engine, tdx::core::ChaseEngine::Distributed { .. })
     {
         return Err("--servers requires --engine distributed".into());
+    }
+    // Transport backend for the distributed engine: --transport wins, then
+    // TDX_CHASE_TRANSPORT, then in-process channels. Like --servers, the
+    // flag without a distributed engine is rejected rather than silently
+    // dropped.
+    if let Some(t) = args.get("transport") {
+        let kind = tdx::core::TransportKind::parse(t)
+            .ok_or_else(|| format!("unknown transport {t} (expected channel or tcp)"))?;
+        if !matches!(options.engine, tdx::core::ChaseEngine::Distributed { .. }) {
+            return Err("--transport requires --engine distributed".into());
+        }
+        options.transport = Some(kind);
     }
     options.coalesce_result = args.has("coalesce");
     options.record_trace = args.has("trace");

@@ -163,6 +163,43 @@ fn exchange_engines_agree_from_the_cli() {
 }
 
 #[test]
+fn transport_flag_selects_a_byte_identical_carrier() {
+    // The same distributed exchange over channels and over TCP child
+    // processes (this binary hosts the servers via its hidden
+    // serve-partition subcommand) renders byte-identically.
+    let mut outputs = Vec::new();
+    for transport in ["channel", "tcp"] {
+        let mut args = paper_args("exchange");
+        args.extend(["--engine".into(), "distributed:2".into()]);
+        args.extend(["--transport".into(), transport.into()]);
+        let out = tdx().args(&args).output().unwrap();
+        assert!(out.status.success(), "transport {transport}: {out:?}");
+        outputs.push(String::from_utf8(out.stdout).unwrap());
+    }
+    assert_eq!(outputs[0], outputs[1], "transports must agree");
+    // Unknown transports are rejected.
+    let mut args = paper_args("exchange");
+    args.extend(["--engine".into(), "distributed".into()]);
+    args.extend(["--transport".into(), "pigeon".into()]);
+    let out = tdx().args(&args).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown transport"), "{stderr}");
+    // ... and the flag without a distributed engine is an error.
+    let mut args = paper_args("exchange");
+    args.extend(["--transport".into(), "tcp".into()]);
+    let out = tdx().args(&args).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("requires --engine distributed"), "{stderr}");
+    // serve-partition without a rendezvous address is a usage error.
+    let out = tdx().arg("serve-partition").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--connect"), "{stderr}");
+}
+
+#[test]
 fn incremental_without_batches_is_a_usage_error() {
     // `tdx incremental` with zero --batch flags used to print a zero-batch
     // summary and exit 0 — scripts that forgot the flag saw success.

@@ -1,10 +1,11 @@
 //! Protocol-level tests of the distributed partition-server chase: replica
 //! shipping for boundary-crossing (and unbounded) facts, snapshot
-//! consistency between coordinator and servers, and end-to-end behavior on
+//! consistency between coordinator and servers, delta-only `ApplyDelta`
+//! shipping, clean teardown across transports, and end-to-end behavior on
 //! workloads rich in unbounded intervals.
 
-use tdx::core::chase::distributed::snapshot_consistent;
-use tdx::core::{hom_equivalent, semantics, DistributedCluster, StoreKind};
+use tdx::core::chase::cluster::snapshot_consistent;
+use tdx::core::{hom_equivalent, semantics, DistributedCluster, StoreKind, TransportKind};
 use tdx::storage::{SearchOptions, TemporalFact};
 use tdx::temporal::{Breakpoints, TimelinePartition};
 use tdx::workload::{paper_mapping, EmploymentConfig, EmploymentWorkload};
@@ -27,7 +28,8 @@ fn replica_sets_follow_the_server_assignment() {
     let mapping = paper_mapping();
     let tp = TimelinePartition::new(&Breakpoints::from_points([10, 20, 30]));
     assert_eq!(tp.server_assignment(3), vec![0, 0, 1, 2]);
-    let cluster = DistributedCluster::spawn(&mapping, &tp, 3, SearchOptions::default());
+    let mut cluster =
+        DistributedCluster::spawn(&mapping, &tp, 3, SearchOptions::default()).unwrap();
 
     let local = fact(&["Ada", "IBM"], iv(0, 5)); // server 0 only
     let crossing = fact(&["Bob", "IBM"], iv(15, 25)); // owner server 0, replica on 1
@@ -55,17 +57,18 @@ fn replica_sets_follow_the_server_assignment() {
     assert_eq!(snaps[1].1[0], vec![crossing]);
     assert_eq!(snaps[2].1[0], vec![unbounded]);
     // The owner multiset tiles the coordinator's lists exactly.
-    assert!(snapshot_consistent(&cluster, StoreKind::Source, &pre).unwrap());
+    assert!(snapshot_consistent(&mut cluster, StoreKind::Source, &pre).unwrap());
     // ... and a diverged coordinator view is detected.
     let wrong = vec![vec![fact(&["Eve", "ACME"], iv(1, 2))], Vec::new()];
-    assert!(!snapshot_consistent(&cluster, StoreKind::Source, &wrong).unwrap());
+    assert!(!snapshot_consistent(&mut cluster, StoreKind::Source, &wrong).unwrap());
 }
 
 #[test]
 fn delta_shipping_reaches_every_overlapping_server() {
     let mapping = paper_mapping();
     let tp = TimelinePartition::new(&Breakpoints::from_points([10, 20]));
-    let cluster = DistributedCluster::spawn(&mapping, &tp, 3, SearchOptions::default());
+    let mut cluster =
+        DistributedCluster::spawn(&mapping, &tp, 3, SearchOptions::default()).unwrap();
     // Ship a delta-only load whose single fact spans all three blocks.
     let spanning = fact(&["Ada", "IBM"], Interval::from(0));
     let pre = vec![Vec::new(), Vec::new()];
@@ -112,5 +115,141 @@ fn unbounded_heavy_workload_is_deterministic_and_equivalent() {
         let many =
             c_chase_with(&w.source, &w.mapping, &ChaseOptions::distributed(servers)).unwrap();
         assert_eq!(one.target, many.target, "servers = {servers}");
+    }
+}
+
+#[test]
+fn tcp_cluster_speaks_the_same_protocol_as_channel() {
+    // The full protocol round-trip — handshake, delta shipping, snapshot
+    // audit — over real TCP (child processes when the tdx binary is
+    // around, which it is for integration tests).
+    let mapping = paper_mapping();
+    let tp = TimelinePartition::new(&Breakpoints::from_points([10, 20, 30]));
+    let mut cluster = DistributedCluster::spawn_on(
+        &mapping,
+        &tp,
+        3,
+        SearchOptions::default(),
+        TransportKind::Tcp,
+    )
+    .unwrap();
+    assert_eq!(cluster.transport(), TransportKind::Tcp);
+    cluster.heartbeat().unwrap();
+    let crossing = fact(&["Bob", "IBM"], iv(15, 25));
+    let pre = vec![vec![crossing.clone()], Vec::new()];
+    let delta = vec![Vec::new(), Vec::new()];
+    cluster
+        .apply_delta(StoreKind::Source, &pre, &delta)
+        .unwrap();
+    assert!(snapshot_consistent(&mut cluster, StoreKind::Source, &pre).unwrap());
+    let snaps = cluster.snapshots(StoreKind::Source).unwrap();
+    assert_eq!(snaps[1].1[0], vec![crossing]);
+}
+
+/// Steady-state `ApplyDelta` traffic of an incremental distributed session
+/// must be proportional to the batch, not the store: on employment/100
+/// with a 5% batch the batch's shipped bytes are >5× under the full
+/// re-ship the PR 4 protocol performed every round (= what the session's
+/// base ship still costs).
+#[test]
+fn incremental_batch_traffic_is_proportional_to_the_batch() {
+    use tdx::workload::{employment_stream, BatchOrder, StreamConfig};
+    use tdx::{DeltaBatch, IncrementalExchange};
+    let stream = employment_stream(
+        &EmploymentConfig {
+            persons: 100,
+            horizon: 30,
+            seed: 42,
+            ..EmploymentConfig::default()
+        },
+        &StreamConfig {
+            batches: 1,
+            batch_fraction: 0.05,
+            order: BatchOrder::Uniform,
+            ..StreamConfig::default()
+        },
+    );
+    let mut session =
+        IncrementalExchange::with_options(stream.mapping.clone(), ChaseOptions::distributed(1))
+            .unwrap();
+    session
+        .apply(&DeltaBatch::from_instance(&stream.base))
+        .unwrap();
+    let base = session
+        .cluster_traffic()
+        .expect("distributed session has a cluster");
+    // The base batch ships the whole store: pre is empty, everything is
+    // fresh — this is exactly the PR 4 full-list re-ship cost for this
+    // store size.
+    assert!(base.apply_delta_bytes > 0);
+    assert_eq!(base.respawns, 0);
+    session
+        .apply(&DeltaBatch::from_instance(&stream.batches[0]))
+        .unwrap();
+    let after = session.cluster_traffic().unwrap();
+    let batch_bytes = after.apply_delta_bytes - base.apply_delta_bytes;
+    let batch_facts = after.apply_delta_facts - base.apply_delta_facts;
+    assert!(batch_bytes > 0, "the batch must ship something");
+    assert!(
+        batch_bytes * 5 < base.apply_delta_bytes,
+        "5% batch shipped {batch_bytes} bytes — not >5x under the full re-ship \
+         ({} bytes); facts shipped: {batch_facts} vs {}",
+        base.apply_delta_bytes,
+        base.apply_delta_facts,
+    );
+    // The session still lands on the right answer. The recursive
+    // homomorphism search needs more than a default 2 MiB test-thread
+    // stack at this instance size, so the check runs on its own thread.
+    let union = stream.union();
+    let mapping = stream.mapping.clone();
+    let incremental = session.target();
+    std::thread::Builder::new()
+        .stack_size(64 << 20)
+        .spawn(move || {
+            let scratch = c_chase_with(&union, &mapping, &ChaseOptions::default()).unwrap();
+            assert!(hom_equivalent(
+                &semantics(&scratch.target),
+                &semantics(&incremental)
+            ));
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+/// Spawning and dropping clusters must not leak server threads or
+/// processes: drop sends `Shutdown`, joins the threads and reaps the
+/// children. Regression test for the teardown path on both transports.
+#[cfg(target_os = "linux")]
+#[test]
+fn repeated_spawn_drop_does_not_grow_the_thread_count() {
+    let mapping = paper_mapping();
+    let tp = TimelinePartition::new(&Breakpoints::from_points([10, 20, 30]));
+    for transport in [TransportKind::Channel, TransportKind::Tcp] {
+        // Warm up once (lazy runtime allocations), then measure.
+        drop(
+            DistributedCluster::spawn_on(&mapping, &tp, 3, SearchOptions::default(), transport)
+                .unwrap(),
+        );
+        let before = thread_count();
+        for _ in 0..10 {
+            let mut cluster =
+                DistributedCluster::spawn_on(&mapping, &tp, 3, SearchOptions::default(), transport)
+                    .unwrap();
+            cluster.heartbeat().unwrap();
+        }
+        let after = thread_count();
+        // A leaking teardown would grow by 3 threads per cycle (30 here);
+        // the slack of 4 absorbs unrelated test-harness threads coming and
+        // going in parallel.
+        assert!(
+            after <= before + 4,
+            "{transport:?}: thread count grew from {before} to {after} over 10 spawn/drop cycles"
+        );
     }
 }

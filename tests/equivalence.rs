@@ -4,6 +4,7 @@
 //! nulls up to renaming, same certain answers — and must fail on exactly
 //! the same inputs.
 
+use tdx::core::TransportKind;
 use tdx::core::{certain_answers_concrete, hom_equivalent, is_solution_concrete, semantics};
 use tdx::workload::{
     clustered_instance, figure4_source, nested_mapping, paper_mapping, ClusteredConfig,
@@ -29,7 +30,10 @@ fn scan() -> ChaseOptions {
 /// CI's thread matrix actually varies. The distributed partition-server
 /// engine joins the same way: explicit 1- and 3-server clusters plus
 /// `servers = 0`, which resolves through `TDX_CHASE_SERVERS` — the knob
-/// CI's server matrix varies.
+/// CI's server matrix varies — and whose transport resolves through
+/// `TDX_CHASE_TRANSPORT`, the knob CI's transport matrix varies. One
+/// explicit TCP configuration keeps the out-of-process carrier in every
+/// triangulation even when the environment selects channels.
 fn all_engines() -> Vec<(&'static str, ChaseOptions)> {
     vec![
         ("indexed", indexed()),
@@ -40,6 +44,10 @@ fn all_engines() -> Vec<(&'static str, ChaseOptions)> {
         ("partitioned/env", ChaseOptions::partitioned_parallel(0)),
         ("distributed/1", ChaseOptions::distributed(1)),
         ("distributed/3", ChaseOptions::distributed(3)),
+        (
+            "distributed/tcp/2",
+            ChaseOptions::distributed(2).on_transport(TransportKind::Tcp),
+        ),
         ("distributed/env", ChaseOptions::distributed(0)),
     ]
 }
@@ -252,6 +260,43 @@ fn distributed_engine_is_server_count_deterministic() {
         assert_eq!(one.target, many.target, "servers = {servers}");
         assert_eq!(one.stats.tgd_steps, many.stats.tgd_steps);
         assert_eq!(one.stats.egd_merges, many.stats.egd_merges);
+    }
+}
+
+#[test]
+fn distributed_engine_is_byte_identical_across_transports_and_server_counts() {
+    // The acceptance bar of the transport layer: `{channel, tcp} × {1, 3}`
+    // servers all produce byte-identical targets and stats. The transport
+    // carries frames and the server count only relocates partitions, so
+    // neither may influence the result.
+    let w = EmploymentWorkload::generate(&EmploymentConfig {
+        persons: 20,
+        horizon: 30,
+        salary_coverage: 0.7,
+        seed: 9,
+        ..EmploymentConfig::default()
+    });
+    let reference = c_chase_with(
+        &w.source,
+        &w.mapping,
+        &ChaseOptions::distributed(1).on_transport(TransportKind::Channel),
+    )
+    .unwrap();
+    for transport in [TransportKind::Channel, TransportKind::Tcp] {
+        for servers in [1usize, 3] {
+            let run = c_chase_with(
+                &w.source,
+                &w.mapping,
+                &ChaseOptions::distributed(servers).on_transport(transport),
+            )
+            .unwrap();
+            assert_eq!(
+                reference.target, run.target,
+                "{transport:?} x {servers} servers diverged"
+            );
+            assert_eq!(reference.stats.tgd_steps, run.stats.tgd_steps);
+            assert_eq!(reference.stats.egd_merges, run.stats.egd_merges);
+        }
     }
 }
 
