@@ -106,6 +106,25 @@ fn bench_distributed(c: &mut Criterion) {
     group.finish();
 }
 
+/// The scaling family: the same chase at {1, 2, 4} servers over the
+/// employment and boundary-dense workloads (`tdx_bench::scaling_suite`,
+/// shared with the CI gate). Acceptance bar: monotone non-negative speedup
+/// slope across server counts on a multi-core box — the fused v2 protocol
+/// must not reintroduce the v1 negative scaling.
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group(tdx_bench::scaling_suite::GROUP);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for case in tdx_bench::scaling_suite::cases() {
+        let run = case.run;
+        group.bench_with_input(BenchmarkId::from(case.id.as_str()), &(), |b, _| {
+            b.iter(&run)
+        });
+    }
+    group.finish();
+}
+
 /// The transport ablation: the distributed chase (and one incremental
 /// batch) over in-process channels vs loopback TCP
 /// (`tdx_bench::transport_suite`, shared with the CI gate). Acceptance
@@ -150,6 +169,7 @@ criterion_group!(
     bench_nested,
     bench_engines,
     bench_distributed,
+    bench_scaling,
     bench_transport,
     bench_incremental
 );

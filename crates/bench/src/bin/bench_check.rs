@@ -31,6 +31,20 @@
 //! *measured* id with no committed baseline row — fails the gate with a
 //! "missing baseline row" message listing the ids: a gated family whose
 //! baseline was never committed would otherwise be silently exempt.
+//!
+//! Every baseline row must carry the **full schema** (`median_ns`,
+//! `mean_ns`, `min_ns`, `samples`, `iters_per_sample`); a partial row fails
+//! the gate instead of silently being anchored on a different statistic.
+//! The fresh JSON this binary writes carries the same schema, so it can be
+//! committed as the next baseline verbatim.
+//!
+//! Besides the cross-run calibration gate there is a **scaling smoke
+//! gate** over the `c_chase/distributed/scaling/*` family: on the same
+//! fresh run (no calibration needed), the {2,4}-server rows may not exceed
+//! the 1-server row by more than the gate margin on a multi-core box —
+//! catching a reintroduction of the v1 protocol's negative scaling. On
+//! 1-core runners, where parallel speedup is physically impossible, the
+//! check degrades to a parity check at twice the margin.
 
 use std::time::{Duration, Instant};
 
@@ -38,6 +52,18 @@ struct Baseline {
     id: String,
     anchor_ns: f64,
 }
+
+/// Every field a baseline (and fresh) row must carry. Rows missing any of
+/// them fail the gate outright: a partial row silently weakens the anchor
+/// (an id gated on `mean_ns` because its `median_ns` was never written
+/// compares a different statistic than the rest of the suite).
+const REQUIRED_FIELDS: [&str; 5] = [
+    "median_ns",
+    "mean_ns",
+    "min_ns",
+    "samples",
+    "iters_per_sample",
+];
 
 fn field(line: &str, name: &str) -> Option<f64> {
     let at = line.find(&format!("\"{name}\":"))?;
@@ -50,13 +76,14 @@ fn field(line: &str, name: &str) -> Option<f64> {
     num.parse::<f64>().ok()
 }
 
-/// Minimal parser for the flat `BENCH_chase.json` schema written by the
-/// criterion stand-in: one object per line with `"id"` and the timing
-/// fields. The per-id anchor is `median_ns` when present (the statistic the
-/// gate compares), falling back to `min_ns` then `mean_ns` for older
-/// baselines.
-fn parse_baseline(text: &str) -> Vec<Baseline> {
+/// Minimal parser for the flat `BENCH_chase.json` schema: one object per
+/// line with `"id"` and the timing fields. The per-id anchor is
+/// `median_ns` — the statistic the gate compares. Every row must carry the
+/// full schema ([`REQUIRED_FIELDS`]); any partial row fails the gate with
+/// the offending ids instead of silently passing on a different statistic.
+fn parse_baseline(path: &str, text: &str) -> Vec<Baseline> {
     let mut out = Vec::new();
+    let mut partial: Vec<String> = Vec::new();
     for line in text.lines() {
         let Some(id_at) = line.find("\"id\":") else {
             continue;
@@ -67,23 +94,51 @@ fn parse_baseline(text: &str) -> Vec<Baseline> {
             continue;
         };
         let id = rest[q1 + 1..q1 + 1 + q2].to_string();
-        let Some(anchor_ns) = field(line, "median_ns")
-            .or_else(|| field(line, "min_ns"))
-            .or_else(|| field(line, "mean_ns"))
-        else {
+        let missing: Vec<&str> = REQUIRED_FIELDS
+            .iter()
+            .filter(|name| field(line, name).is_none())
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            partial.push(format!("  {id}: missing {}", missing.join(", ")));
             continue;
-        };
-        out.push(Baseline { id, anchor_ns });
+        }
+        out.push(Baseline {
+            id,
+            anchor_ns: field(line, "median_ns").expect("checked above"),
+        });
+    }
+    if !partial.is_empty() {
+        eprintln!("bench_check: FAILED — partial row(s) in {path}:");
+        for line in &partial {
+            eprintln!("{line}");
+        }
+        eprintln!(
+            "bench_check: regenerate the baseline with this binary (--out) so every row \
+             carries the full schema: {}",
+            REQUIRED_FIELDS.join(", ")
+        );
+        std::process::exit(1);
     }
     out
 }
 
+/// One fresh measurement, full row schema.
+struct Fresh {
+    id: String,
+    median_ns: f64,
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u32,
+}
+
 /// Fast-mode measurement: scale the per-sample iteration count so every
 /// sample runs ≥ ~10ms (microsecond-scale cases would otherwise be pure
-/// scheduler noise), take 9 samples, and report `(median, mean)` of the
-/// per-iteration times. The gate rules on the median — robust against a
-/// single noisy sample on a loaded CI runner.
-fn measure(run: &dyn Fn()) -> (f64, f64) {
+/// scheduler noise), take 9 samples, and report the per-iteration
+/// statistics. The gate rules on the median — robust against a single
+/// noisy sample on a loaded CI runner.
+fn measure(id: &str, run: &dyn Fn()) -> Fresh {
     let t0 = Instant::now();
     run(); // warmup doubles as the iteration-count calibration
     let once = t0.elapsed().max(Duration::from_nanos(1));
@@ -98,9 +153,14 @@ fn measure(run: &dyn Fn()) -> (f64, f64) {
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    let median = samples[samples.len() / 2];
-    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    (median, mean)
+    Fresh {
+        id: id.to_string(),
+        median_ns: samples[samples.len() / 2],
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        min_ns: samples[0],
+        samples: samples.len(),
+        iters_per_sample: iters,
+    }
 }
 
 fn main() {
@@ -125,7 +185,7 @@ fn main() {
 
     let baseline_text = std::fs::read_to_string(&baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-    let baselines = parse_baseline(&baseline_text);
+    let baselines = parse_baseline(&baseline_path, &baseline_text);
 
     if !tdx_bench::multicore() {
         println!(
@@ -135,21 +195,30 @@ fn main() {
     }
     println!("bench_check: measuring c_chase/engine + c_chase/incremental (fast mode)");
     let cases = tdx_bench::gated_cases();
-    let mut fresh: Vec<(String, f64, f64)> = Vec::new();
+    let mut fresh: Vec<Fresh> = Vec::new();
     for (id, run) in &cases {
-        let (median_ns, mean_ns) = measure(&**run);
-        println!("  {id:60} {:10.2} ms", median_ns / 1e6);
-        fresh.push((id.clone(), median_ns, mean_ns));
+        let row = measure(id, &**run);
+        println!("  {id:60} {:10.2} ms", row.median_ns / 1e6);
+        fresh.push(row);
     }
 
-    // Write the fresh JSON (workflow artifact), same shape as the baseline.
+    // Write the fresh JSON (workflow artifact), same full-schema shape the
+    // baseline is required to carry — so a fresh file can be committed as
+    // the next baseline verbatim.
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         let _ = std::fs::create_dir_all(dir);
     }
     let mut json = String::from("{\n  \"benchmarks\": [\n");
-    for (i, (id, median_ns, mean_ns)) in fresh.iter().enumerate() {
+    for (i, row) in fresh.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"id\": \"{id}\", \"median_ns\": {median_ns:.1}, \"mean_ns\": {mean_ns:.1}}}{}\n",
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+            row.id,
+            row.mean_ns,
+            row.median_ns,
+            row.min_ns,
+            row.samples,
+            row.iters_per_sample,
             if i + 1 < fresh.len() { "," } else { "" }
         ));
     }
@@ -165,14 +234,15 @@ fn main() {
     let mut ratios: Vec<(String, f64)> = Vec::new();
     let mut ungated: Vec<String> = Vec::new();
     let mut missing: Vec<String> = Vec::new();
-    for (id, median_ns, _) in &fresh {
+    for row in &fresh {
+        let id = &row.id;
         if let Some(base) = baselines.iter().find(|b| &b.id == id) {
             if base.anchor_ns >= GATE_FLOOR_NS {
-                ratios.push((id.clone(), median_ns / base.anchor_ns));
+                ratios.push((id.clone(), row.median_ns / base.anchor_ns));
             } else if base.anchor_ns > 0.0 {
                 ungated.push(format!(
                     "  {id:60} {:6.3}x  [below {:.1}ms gate floor — not gated]",
-                    median_ns / base.anchor_ns,
+                    row.median_ns / base.anchor_ns,
                     GATE_FLOOR_NS / 1e6
                 ));
             }
@@ -222,12 +292,12 @@ fn main() {
                 .iter()
                 .find(|(cid, _)| cid == id)
                 .expect("measured id comes from the suite");
-            let (remeasured, _) = measure(&**run);
+            let remeasured = measure(id, &**run);
             let base = baselines
                 .iter()
                 .find(|b| &b.id == id)
                 .expect("gated ids have baselines");
-            *ratio = ratio.min(remeasured / base.anchor_ns);
+            *ratio = ratio.min(remeasured.median_ns / base.anchor_ns);
         }
         let relative = *ratio / calibration;
         let verdict = if *ratio > threshold * calibration {
@@ -241,13 +311,67 @@ fn main() {
     for line in &ungated {
         println!("{line}");
     }
-    if !failed.is_empty() {
+
+    // Scaling smoke gate (same-run, no cross-machine calibration): the
+    // `c_chase/distributed/scaling/*` rows compare an n-server chase
+    // against the 1-server chase of the *same fresh run*, so the
+    // machine-speed calibration factor cancels out entirely. On a
+    // multi-core box no multi-server row may regress more than the gate
+    // margin over its 1s sibling — that is exactly the negative-scaling
+    // symptom the fused protocol exists to remove. A 1-core runner cannot
+    // exhibit real parallel speedup (every "server" thread shares the one
+    // core), so there the gate degrades to a parity check at twice the
+    // margin.
+    let mut scaling_failed: Vec<String> = Vec::new();
+    let scaling_margin = if tdx_bench::multicore() {
+        threshold
+    } else {
+        println!("bench_check: 1-core runner — scaling gate degraded to a parity check");
+        2.0 * threshold
+    };
+    for family in tdx_bench::scaling_suite::FAMILIES {
+        let median = |n: usize| {
+            let id = format!("{}/{family}/{n}s", tdx_bench::scaling_suite::GROUP);
+            fresh.iter().find(|r| r.id == id).map(|r| r.median_ns)
+        };
+        let points: Vec<(f64, f64)> = tdx_bench::scaling_suite::SERVERS
+            .iter()
+            .filter_map(|&n| median(n).map(|t| (n as f64, t)))
+            .collect();
+        let Some(&(_, t1)) = points.first().filter(|(n, _)| *n == 1.0) else {
+            continue; // family not measured on this run
+        };
+        for &(n, t) in &points[1..] {
+            let ratio = t / t1;
+            let verdict = if ratio > scaling_margin {
+                scaling_failed.push(format!(
+                    "{}/{family}/{n:.0}s runs at {ratio:.3}x of the same-run 1s row \
+                     (scaling gate {scaling_margin:.2}x)",
+                    tdx_bench::scaling_suite::GROUP
+                ));
+                "NEGATIVE SCALING"
+            } else {
+                "ok"
+            };
+            println!("  scaling {family:24} {n:.0}s vs 1s {ratio:6.3}x  [{verdict}]");
+        }
+        let exponent = tdx_bench::growth_exponent(&points);
+        println!(
+            "  scaling {family:24} time-vs-servers exponent {exponent:+.3} \
+             (negative = speedup)"
+        );
+    }
+
+    if !failed.is_empty() || !scaling_failed.is_empty() {
         for (id, relative) in &failed {
             eprintln!(
                 "bench_check: FAILED — {id} regressed to {relative:.3}x of its baseline median \
                  after machine calibration (calibration factor {calibration:.3}, \
                  gate {threshold:.2}x)"
             );
+        }
+        for msg in &scaling_failed {
+            eprintln!("bench_check: FAILED — {msg}");
         }
         std::process::exit(1);
     }

@@ -176,6 +176,9 @@ pub fn gated_cases() -> Vec<(String, Box<dyn Fn() + Send + Sync>)> {
     for case in transport_suite::cases() {
         out.push((format!("{}/{}", transport_suite::GROUP, case.id), case.run));
     }
+    for case in scaling_suite::cases() {
+        out.push((format!("{}/{}", scaling_suite::GROUP, case.id), case.run));
+    }
     out
 }
 
@@ -348,6 +351,67 @@ pub mod distributed_suite {
                 s.apply(&batch).unwrap();
             }),
         });
+        out
+    }
+}
+
+/// The `c_chase/distributed/scaling/*` suite: the same chase at 1, 2 and 4
+/// servers over two workload families, sized so the servers' fused-round
+/// work (local Algorithm-1 discovery + match enumeration, which runs
+/// concurrently across servers inside each broadcast barrier) dominates
+/// the protocol overhead. `employment` is the standard family at 200
+/// persons; `boundary` turns the tenure and unbounded-interval knobs up so
+/// a large share of facts cross coarsened-block boundaries — the
+/// replica-dense regime where the v1 coordinator-funneled protocol scaled
+/// *negatively*. The acceptance bar (enforced by `bench_check` on
+/// multi-core machines) is a monotone non-negative speedup slope across
+/// the server counts. Shared between `benches/chase.rs` and the regression
+/// gate like [`engine_suite`].
+pub mod scaling_suite {
+    pub use crate::Case;
+    use std::sync::Arc;
+    use tdx_core::{c_chase_with, ChaseOptions};
+    use tdx_workload::{EmploymentConfig, EmploymentWorkload};
+
+    /// The group prefix every case id lives under.
+    pub const GROUP: &str = "c_chase/distributed/scaling";
+
+    /// Server counts every scaling family is measured at.
+    pub const SERVERS: [usize; 3] = [1, 2, 4];
+
+    /// The family names (id shape: `<family>/<n>s`).
+    pub const FAMILIES: [&str; 2] = ["employment", "boundary"];
+
+    /// See the module docs for the case list.
+    pub fn cases() -> Vec<Case> {
+        let employment = Arc::new(EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 200,
+            horizon: 30,
+            seed: 42,
+            ..EmploymentConfig::default()
+        }));
+        let boundary = Arc::new(EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 150,
+            horizon: 30,
+            avg_tenure: 18,
+            p_unbounded: 0.4,
+            salary_coverage: 0.9,
+            seed: 7,
+            ..EmploymentConfig::default()
+        }));
+        let mut out = Vec::new();
+        for (family, w) in [("employment", employment), ("boundary", boundary)] {
+            for servers in SERVERS {
+                let w = Arc::clone(&w);
+                let opts = ChaseOptions::distributed(servers);
+                out.push(Case {
+                    id: format!("{family}/{servers}s"),
+                    run: Box::new(move || {
+                        c_chase_with(&w.source, &w.mapping, &opts).unwrap();
+                    }),
+                });
+            }
+        }
         out
     }
 }

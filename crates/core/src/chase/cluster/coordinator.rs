@@ -55,7 +55,8 @@
 //! (`tests/equivalence.rs`).
 
 use super::protocol::{
-    FactLists, Hom, MergeOp, Message, RelationSync, Response, ServerConfig, StoreKind, SyncOp,
+    FactLists, Hom, ImagePair, MergeOp, Message, RelationSync, Response, ServerConfig, StoreKind,
+    SyncOp,
 };
 use super::transport::{
     resolve_transport, spawner_for, Transport, TransportKind, TransportSpawner,
@@ -63,8 +64,12 @@ use super::transport::{
 use crate::chase::concrete::{
     instantiate, AnnotatedUnionFind, CChaseResult, ChaseOptions, ChaseStats, UfKey,
 };
-use crate::chase::partitioned::{refragment_lists, rewrite_values};
+use crate::chase::partitioned::{
+    apply_cuts, base_align_cuts, image_cuts, pack_ref, refragment_lists, rewrite_values,
+    sweep_specs, unpack_ref, CutMap,
+};
 use crate::error::{Result, TdxError};
+use crate::normalize::FactRef;
 use std::sync::Arc;
 use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Term, Var};
 use tdx_storage::codec::{decode, encode};
@@ -337,14 +342,110 @@ pub struct TrafficStats {
     pub frames_sent: u64,
     /// Total bytes of those frames.
     pub bytes_sent: u64,
-    /// Bytes of `ApplyDelta` frames alone (the traffic the delta-only
-    /// watermark scheme bounds).
+    /// Bytes of sync-carrying frames (`ApplyDelta` and the fused rounds —
+    /// the traffic the delta-only watermark scheme bounds).
     pub apply_delta_bytes: u64,
-    /// Facts actually shipped inside `ApplyDelta` frames (appends +
-    /// delta blocks; retained-prefix facts count 0).
+    /// Facts actually shipped inside sync programs (appends + delta
+    /// blocks; retained-prefix facts count 0).
     pub apply_delta_facts: u64,
+    /// Full-barrier round trips: broadcasts where every server was sent a
+    /// frame and awaited. The latency currency of the protocol — the
+    /// fused v2 rounds exist to shrink this number.
+    pub round_trips: u64,
     /// Dead-server respawns performed by the retry path.
     pub respawns: u64,
+}
+
+/// Per server, per relation: the global gid of each routed fact — the
+/// route maps that translate server-local image pairs back.
+type RouteMaps = Vec<Vec<Vec<u32>>>;
+
+/// Discovered overlap-image pair groups, in global fact refs.
+type PairImages = Vec<Vec<FactRef>>;
+
+/// One routed image set (see [`DistributedCluster::route_lists`]).
+struct Routed {
+    /// Per server: the concatenated pre + delta lists per relation.
+    images: Vec<FactLists>,
+    /// Per server: the pre/delta boundary per relation.
+    splits: Vec<Vec<u64>>,
+    /// The route maps for this routing.
+    gids: RouteMaps,
+    /// Per server, per relation: fresh flags of the routed delta facts
+    /// (empty unless requested).
+    fresh: Vec<Vec<Vec<bool>>>,
+}
+
+/// Accumulates server-local image pairs, translated through the route maps
+/// to global gids and deduplicated across servers — every boundary pair is
+/// reported by each server holding both replicas, but an overlapping pair's
+/// intersection always lands in a partition both facts are shipped to, so
+/// the deduplicated union over the servers is exactly the global pair set
+/// of coordinator-local [`discover_images`]
+/// (crate::chase::partitioned::discover_images).
+struct ImageUnion {
+    nrels: usize,
+    seen: FxHashSet<(u64, u64)>,
+    pairs: Vec<Vec<FactRef>>,
+}
+
+impl ImageUnion {
+    fn new(nrels: usize) -> Self {
+        ImageUnion {
+            nrels,
+            seen: Default::default(),
+            pairs: Vec::new(),
+        }
+    }
+
+    /// Folds one server's pairs in; `gids` is that server's route map.
+    fn absorb(&mut self, s: usize, pairs: Vec<ImagePair>, gids: &[Vec<u32>]) -> Result<()> {
+        let translate = |r: u32, local: u32| -> Result<FactRef> {
+            let map = gids.get(r as usize).ok_or_else(|| {
+                transport_err(s, format!("image pair names unknown relation {r}"))
+            })?;
+            let gid = map
+                .get(local as usize)
+                .ok_or_else(|| transport_err(s, format!("image pair gid {local} out of range")))?;
+            Ok((RelId(r), *gid))
+        };
+        debug_assert!(gids.len() == self.nrels);
+        for (ra, la, rb, lb) in pairs {
+            let (ka, kb) = (pack_ref(translate(ra, la)?), pack_ref(translate(rb, lb)?));
+            let key = if ka <= kb { (ka, kb) } else { (kb, ka) };
+            if self.seen.insert(key) {
+                self.pairs.push(vec![unpack_ref(key.0), unpack_ref(key.1)]);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sorts per-partition wire homs into ascending partition order and
+/// re-interns them per tgd — shared by the unfused and fused tgd rounds so
+/// both fold byte-identically.
+fn fold_wire_homs(
+    mut grouped: Vec<super::protocol::PartitionHoms>,
+    tgd_count: usize,
+) -> Result<Vec<Vec<Hom>>> {
+    grouped.sort_by_key(|(p, _)| *p);
+    let mut out: Vec<Vec<Hom>> = vec![Vec::new(); tgd_count];
+    for (_, per_tgd) in grouped {
+        for (ti, homs) in per_tgd.into_iter().enumerate() {
+            if ti >= tgd_count {
+                return Err(TdxError::Invalid("server returned extra tgd rows".into()));
+            }
+            out[ti].extend(homs.into_iter().map(|(bind, iv)| {
+                (
+                    bind.into_iter()
+                        .map(|(name, val)| (Var::new(&name), val))
+                        .collect::<Vec<_>>(),
+                    iv,
+                )
+            }));
+        }
+    }
+    Ok(out)
 }
 
 struct ServerSlot {
@@ -374,6 +475,15 @@ pub struct DistributedCluster {
 
 fn transport_err(s: usize, e: impl std::fmt::Display) -> TdxError {
     TdxError::Invalid(format!("partition server {s}: {e}"))
+}
+
+/// Whether `e` came out of the cluster's transport/retry path (a dead or
+/// unreachable partition server, or an exhausted respawn budget) rather
+/// than a chase failure. The incremental session uses this to replace a
+/// cluster that died while it idled with a fresh spawn — one full re-ship
+/// — instead of failing the batch.
+pub(crate) fn is_transport_error(e: &TdxError) -> bool {
+    matches!(e, TdxError::Invalid(msg) if msg.starts_with("partition server"))
 }
 
 impl DistributedCluster {
@@ -559,23 +669,27 @@ impl DistributedCluster {
     fn broadcast(&mut self, frames: Vec<Vec<u8>>) -> Result<Vec<Response>> {
         debug_assert_eq!(frames.len(), self.slots.len());
         let n = self.slots.len();
+        self.traffic.round_trips += 1;
         let mut out: Vec<Option<Response>> = (0..n).map(|_| None).collect();
-        let mut failed: Vec<usize> = Vec::new();
+        let mut failed = vec![false; n];
         for (s, frame) in frames.iter().enumerate() {
             if self.send_counted(s, frame).is_err() {
-                failed.push(s);
+                failed[s] = true;
             }
         }
         for (s, slot_out) in out.iter_mut().enumerate() {
-            if failed.contains(&s) {
+            if failed[s] {
                 continue;
             }
             match self.recv_decoded(s) {
                 Ok(resp) => *slot_out = Some(resp),
-                Err(_) => failed.push(s),
+                Err(_) => failed[s] = true,
             }
         }
-        for s in failed {
+        for s in 0..n {
+            if !failed[s] {
+                continue;
+            }
             self.respawn(s)?;
             out[s] = Some(self.request_direct(s, &frames[s])?);
         }
@@ -607,6 +721,83 @@ impl DistributedCluster {
         Ok(())
     }
 
+    /// Routes `pre ++ delta` into per-server images: per relation the
+    /// concatenated pre + delta facts overlapping each server's owned
+    /// ranges (owner + boundary replicas), the boundary between the two
+    /// blocks, the *global* gid of every routed fact (its index in the
+    /// coordinator's own `pre ++ delta` list — the route map that
+    /// translates server-local image pairs back), and, when `fresh` is
+    /// given, the routed delta facts' fresh flags.
+    fn route_lists(
+        &self,
+        nrels: usize,
+        pre: &FactLists,
+        delta: &FactLists,
+        fresh: Option<&[Vec<bool>]>,
+    ) -> Routed {
+        let mut routed = Routed {
+            images: vec![vec![Vec::new(); nrels]; self.servers],
+            splits: vec![vec![0; nrels]; self.servers],
+            gids: vec![vec![Vec::new(); nrels]; self.servers],
+            fresh: vec![vec![Vec::new(); nrels]; self.servers],
+        };
+        for (block, lists) in [pre, delta].into_iter().enumerate() {
+            for (r, facts) in lists.iter().enumerate() {
+                for (i, fact) in facts.iter().enumerate() {
+                    let gid = if block == 0 { i } else { pre[r].len() + i } as u32;
+                    let (lo, hi) = self.tp.servers_overlapping(&fact.interval, self.servers);
+                    for s in lo..=hi {
+                        routed.images[s][r].push(fact.clone());
+                        routed.gids[s][r].push(gid);
+                        if block == 0 {
+                            routed.splits[s][r] += 1;
+                        } else if let Some(flags) = fresh {
+                            routed.fresh[s][r].push(flags[r][i]);
+                        }
+                    }
+                }
+            }
+        }
+        routed
+    }
+
+    /// The sync program for one server against its retained image (see the
+    /// module docs), plus the count of facts actually shipped (`Insert`
+    /// payloads; retained runs count 0).
+    fn sync_program(
+        &self,
+        store: StoreKind,
+        s: usize,
+        image: &FactLists,
+        splits: &[u64],
+    ) -> (Vec<RelationSync>, u64) {
+        let empty: FactLists = Vec::new();
+        let old = match &self.slots[s].shipped[store.idx()] {
+            Some((old_image, _)) => old_image,
+            None => &empty,
+        };
+        let mut shipped_facts = 0u64;
+        let sync: Vec<RelationSync> = image
+            .iter()
+            .enumerate()
+            .map(|(r, list)| {
+                let ops = diff_ops(old.get(r).map_or(&[][..], |l| l), list);
+                shipped_facts += ops
+                    .iter()
+                    .map(|op| match op {
+                        SyncOp::Insert(facts) => facts.len() as u64,
+                        SyncOp::Keep { .. } => 0,
+                    })
+                    .sum::<u64>();
+                RelationSync {
+                    ops,
+                    split: splits[r],
+                }
+            })
+            .collect();
+        (sync, shipped_facts)
+    }
+
     /// Syncs the servers' fact lists for `store`: each fact is routed to
     /// every server whose owned ranges its interval overlaps (owner +
     /// boundary replicas), and each server receives only the sync program
@@ -622,48 +813,11 @@ impl DistributedCluster {
             StoreKind::Source => self.src_rels,
             StoreKind::Target => self.tgt_rels,
         };
-        // Route pre and delta into each server's image: per relation the
-        // concatenated pre + delta facts overlapping its owned ranges, and
-        // the boundary between the two blocks.
-        let mut images: Vec<FactLists> = vec![vec![Vec::new(); nrels]; self.servers];
-        let mut splits: Vec<Vec<u64>> = vec![vec![0; nrels]; self.servers];
-        for (block, lists) in [pre, delta].into_iter().enumerate() {
-            for (r, facts) in lists.iter().enumerate() {
-                for fact in facts {
-                    let (lo, hi) = self.tp.servers_overlapping(&fact.interval, self.servers);
-                    for s in lo..=hi {
-                        images[s][r].push(fact.clone());
-                        if block == 0 {
-                            splits[s][r] += 1;
-                        }
-                    }
-                }
-            }
-        }
+        let routed = self.route_lists(nrels, pre, delta, None);
         let mut frames = Vec::with_capacity(self.servers);
         for s in 0..self.servers {
-            let empty: FactLists = Vec::new();
-            let old = match &self.slots[s].shipped[store.idx()] {
-                Some((old_image, _)) => old_image,
-                None => &empty,
-            };
-            let mut shipped_facts = 0u64;
-            let sync: Vec<RelationSync> = (0..nrels)
-                .map(|r| {
-                    let ops = diff_ops(old.get(r).map_or(&[][..], |l| l), &images[s][r]);
-                    shipped_facts += ops
-                        .iter()
-                        .map(|op| match op {
-                            SyncOp::Insert(facts) => facts.len() as u64,
-                            SyncOp::Keep { .. } => 0,
-                        })
-                        .sum::<u64>();
-                    RelationSync {
-                        ops,
-                        split: splits[s][r],
-                    }
-                })
-                .collect();
+            let (sync, shipped_facts) =
+                self.sync_program(store, s, &routed.images[s], &routed.splits[s]);
             let frame = encode(&Message::ApplyDelta { store, sync });
             self.traffic.apply_delta_bytes += frame.len() as u64;
             self.traffic.apply_delta_facts += shipped_facts;
@@ -677,10 +831,132 @@ impl DistributedCluster {
                 ));
             }
         }
-        for (s, (image, split)) in images.into_iter().zip(splits).enumerate() {
+        for (s, (image, split)) in routed.images.into_iter().zip(routed.splits).enumerate() {
             self.slots[s].shipped[store.idx()] = Some((image, split));
         }
         Ok(())
+    }
+
+    /// Ships one fused frame per server — sync program + fresh flags +
+    /// discovery request — and collects the responses. The retained-image
+    /// cache is updated only *after* the broadcast succeeds, so a server
+    /// that dies mid-fused-round is respawned to its pre-frame image and
+    /// re-answers the identical frame. Returns the raw responses plus the
+    /// per-server route maps for translating image pairs back to global
+    /// gids.
+    fn fused_exchange(
+        &mut self,
+        store: StoreKind,
+        pre: &FactLists,
+        delta: &FactLists,
+        fresh: Option<&[Vec<bool>]>,
+        discover: bool,
+    ) -> Result<(Vec<Response>, RouteMaps)> {
+        let nrels = match store {
+            StoreKind::Source => self.src_rels,
+            StoreKind::Target => self.tgt_rels,
+        };
+        let mut routed = self.route_lists(nrels, pre, delta, if discover { fresh } else { None });
+        let mut frames = Vec::with_capacity(self.servers);
+        for s in 0..self.servers {
+            let (sync, shipped_facts) =
+                self.sync_program(store, s, &routed.images[s], &routed.splits[s]);
+            let fresh_s = if discover {
+                std::mem::take(&mut routed.fresh[s])
+            } else {
+                Vec::new()
+            };
+            let msg = match store {
+                StoreKind::Source => Message::TgdRoundFused {
+                    sync,
+                    fresh: fresh_s,
+                    discover,
+                },
+                StoreKind::Target => Message::EgdRoundFused {
+                    sync,
+                    fresh: fresh_s,
+                    discover,
+                },
+            };
+            let frame = encode(&msg);
+            self.traffic.apply_delta_bytes += frame.len() as u64;
+            self.traffic.apply_delta_facts += shipped_facts;
+            frames.push(frame);
+        }
+        let resps = self.broadcast(frames)?;
+        for (s, (image, split)) in routed.images.into_iter().zip(routed.splits).enumerate() {
+            self.slots[s].shipped[store.idx()] = Some((image, split));
+        }
+        Ok((resps, routed.gids))
+    }
+
+    /// One fused tgd round: sync + (optional) Algorithm-1 discovery + match
+    /// enumeration in a single round trip per server. Returns the
+    /// homomorphisms per tgd (ascending partition order, as
+    /// [`run_tgd_round`](Self::run_tgd_round)) and the discovered pair
+    /// images translated to global gids and deduplicated across servers.
+    pub fn run_tgd_round_fused(
+        &mut self,
+        pre: &FactLists,
+        delta: &FactLists,
+        fresh: Option<&[Vec<bool>]>,
+        discover: bool,
+        tgd_count: usize,
+    ) -> Result<(Vec<Vec<Hom>>, PairImages)> {
+        let (resps, gids) = self.fused_exchange(StoreKind::Source, pre, delta, fresh, discover)?;
+        let mut grouped: Vec<super::protocol::PartitionHoms> = Vec::new();
+        let mut images = ImageUnion::new(self.src_rels);
+        for (s, resp) in resps.into_iter().enumerate() {
+            match resp {
+                Response::TgdFused { homs, images: im } => {
+                    grouped.extend(homs);
+                    images.absorb(s, im, &gids[s])?;
+                }
+                other => {
+                    return Err(transport_err(
+                        s,
+                        format!("unexpected response to TgdRoundFused: {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok((fold_wire_homs(grouped, tgd_count)?, images.pairs))
+    }
+
+    /// One fused egd round: sync + (optional) renormalization discovery +
+    /// local merge enumeration in a single round trip per server. Returns
+    /// the merge ops (ascending partition order, as
+    /// [`run_egd_round`](Self::run_egd_round)) and the discovered pair
+    /// images in global gids.
+    pub fn run_egd_round_fused(
+        &mut self,
+        pre: &FactLists,
+        delta: &FactLists,
+        fresh: Option<&[Vec<bool>]>,
+        discover: bool,
+    ) -> Result<(Vec<MergeOp>, PairImages)> {
+        let (resps, gids) = self.fused_exchange(StoreKind::Target, pre, delta, fresh, discover)?;
+        let mut grouped: Vec<super::protocol::PartitionMerges> = Vec::new();
+        let mut images = ImageUnion::new(self.tgt_rels);
+        for (s, resp) in resps.into_iter().enumerate() {
+            match resp {
+                Response::EgdFused { merges, images: im } => {
+                    grouped.extend(merges);
+                    images.absorb(s, im, &gids[s])?;
+                }
+                other => {
+                    return Err(transport_err(
+                        s,
+                        format!("unexpected response to EgdRoundFused: {other:?}"),
+                    ))
+                }
+            }
+        }
+        grouped.sort_by_key(|(p, _)| *p);
+        Ok((
+            grouped.into_iter().flat_map(|(_, ops)| ops).collect(),
+            images.pairs,
+        ))
     }
 
     /// Runs one tgd round on every server and returns, per tgd, the
@@ -703,24 +979,7 @@ impl DistributedCluster {
                 }
             }
         }
-        grouped.sort_by_key(|(p, _)| *p);
-        let mut out: Vec<Vec<Hom>> = vec![Vec::new(); tgd_count];
-        for (_, per_tgd) in grouped {
-            for (ti, homs) in per_tgd.into_iter().enumerate() {
-                if ti >= tgd_count {
-                    return Err(TdxError::Invalid("server returned extra tgd rows".into()));
-                }
-                out[ti].extend(homs.into_iter().map(|(bind, iv)| {
-                    (
-                        bind.into_iter()
-                            .map(|(name, val)| (Var::new(&name), val))
-                            .collect::<Vec<_>>(),
-                        iv,
-                    )
-                }));
-            }
-        }
-        Ok(out)
+        fold_wire_homs(grouped, tgd_count)
     }
 
     /// Runs one local egd round on every server and returns the merge
@@ -900,7 +1159,7 @@ pub(crate) fn c_chase_distributed(
 
 /// [`c_chase_distributed`] through an explicit spawner — the injection
 /// point the fault-injection tests use.
-pub(crate) fn c_chase_distributed_with(
+pub fn c_chase_distributed_with(
     ic: &TemporalInstance,
     mapping: &SchemaMapping,
     opts: &ChaseOptions,
@@ -938,25 +1197,65 @@ pub(crate) fn c_chase_distributed_with(
         ),
     );
 
-    // Step 1 (coordinator): normalize the source w.r.t. the s-t tgd bodies.
-    // Normalization is a global fixpoint (its cut groups span partitions),
-    // so it stays on the coordinator; only match enumeration distributes.
+    // Steps 1–2, fused: normalize the source w.r.t. the s-t tgd bodies and
+    // enumerate the tgd matches. When every body is sweepable the fixpoint
+    // runs *optimistically distributed*: each fused frame ships the current
+    // lists and asks the servers to both discover Algorithm-1 images over
+    // their blocks and enumerate matches. If the folded cuts come back
+    // empty the lists were already normal and the piggybacked enumerations
+    // are used as-is — the steady state costs one round trip per server.
+    // Otherwise the enumerations are discarded, the cuts applied, and the
+    // next frame re-ships only the fragments. Generic (>2-atom) bodies and
+    // naive mode keep the fixpoint coordinator-local and ship one
+    // enumerate-only fused frame.
     let tgd_bodies = mapping.tgd_bodies();
     let nrels_src = mapping.source().len();
     let src_schema = Arc::new(mapping.source().clone());
-    let src_delta: FactLists = (0..nrels_src)
+    let tgds = mapping.st_tgds();
+    let mut src_pre: FactLists = vec![Vec::new(); nrels_src];
+    let mut src_delta: FactLists = (0..nrels_src)
         .map(|r| ic.facts(RelId(r as u32)).to_vec())
         .collect();
-    let (src_pre, src_delta) = refragment_lists(
-        &src_schema,
-        &tp,
-        threads,
-        sopts,
-        Some(&tgd_bodies),
-        opts.naive_normalization,
-        vec![Vec::new(); nrels_src],
-        src_delta,
-    )?;
+    let src_sweep = (!opts.naive_normalization)
+        .then(|| sweep_specs(&src_schema, &tgd_bodies))
+        .flatten();
+    let homs_per_tgd = match &src_sweep {
+        Some(specs) => {
+            let discover = !specs.is_empty();
+            let mut fresh: Vec<Vec<bool>> = src_delta.iter().map(|d| vec![true; d.len()]).collect();
+            loop {
+                let (homs, images) = cluster.run_tgd_round_fused(
+                    &src_pre,
+                    &src_delta,
+                    Some(&fresh),
+                    discover,
+                    tgds.len(),
+                )?;
+                let mut cuts = CutMap::new();
+                image_cuts(&images, &src_pre, &src_delta, &mut cuts);
+                base_align_cuts(&src_pre, &src_delta, &mut cuts);
+                if cuts.is_empty() {
+                    break homs;
+                }
+                (src_pre, src_delta, fresh) = apply_cuts(nrels_src, &cuts, src_pre, src_delta);
+            }
+        }
+        None => {
+            (src_pre, src_delta) = refragment_lists(
+                &src_schema,
+                &tp,
+                threads,
+                sopts,
+                Some(&tgd_bodies),
+                opts.naive_normalization,
+                src_pre,
+                src_delta,
+            )?;
+            cluster
+                .run_tgd_round_fused(&src_pre, &src_delta, None, false, tgds.len())?
+                .0
+        }
+    };
     stats.source_facts_normalized = src_pre
         .iter()
         .chain(src_delta.iter())
@@ -970,13 +1269,6 @@ pub(crate) fn c_chase_distributed_with(
             stats.source_facts_in, stats.source_facts_normalized
         ),
     );
-
-    // Step 2: ship the normalized source (ApplyDelta) and run the tgd
-    // round on the servers; the restricted checks, null generation and
-    // target inserts fold through the coordinator kernel.
-    cluster.apply_delta(StoreKind::Source, &src_pre, &src_delta)?;
-    let tgds = mapping.st_tgds();
-    let homs_per_tgd = cluster.run_tgd_round(tgds.len())?;
     let mut target = TemporalInstance::new(Arc::new(mapping.target().clone()));
     let mut folder = TgdFolder::new(mapping)?;
     for (ti, homs) in homs_per_tgd.into_iter().enumerate() {
@@ -1009,25 +1301,62 @@ pub(crate) fn c_chase_distributed_with(
             trace,
         });
     }
-    let tgt_delta: FactLists = (0..nrels_tgt)
+    let mut pre: FactLists = vec![Vec::new(); nrels_tgt];
+    let mut delta: FactLists = (0..nrels_tgt)
         .map(|r| target.facts(RelId(r as u32)).to_vec())
         .collect();
-    let (mut pre, mut delta) = refragment_lists(
-        &tgt_schema,
-        &tp,
-        threads,
-        sopts,
-        Some(&egd_bodies),
-        opts.naive_normalization,
-        vec![Vec::new(); nrels_tgt],
-        tgt_delta,
-    )?;
-    stats.target_facts_normalized = pre.iter().chain(delta.iter()).map(|l| l.len()).sum();
     let egds = mapping.egds();
+    let tgt_sweep = (!opts.naive_normalization)
+        .then(|| sweep_specs(&tgt_schema, &egd_bodies))
+        .flatten();
+    let mut fresh: Vec<Vec<bool>> = delta.iter().map(|d| vec![true; d.len()]).collect();
+    // Step 3's initial normalization is always w.r.t. Σeg; after each
+    // union-find rewrite, re-discovery is the
+    // `renormalize_between_egd_rounds` knob (alignment cuts always run).
+    let mut discover_round = true;
+    let mut normalized_recorded = false;
     let mut first_round = true;
     loop {
-        cluster.apply_delta(StoreKind::Target, &pre, &delta)?;
-        let ops = cluster.run_egd_round()?;
+        // Normalize the current lists, then enumerate merges — through the
+        // optimistic fused fixpoint when the egd bodies are sweepable, or a
+        // coordinator-local fixpoint plus one enumerate-only frame when not.
+        let ops = match &tgt_sweep {
+            Some(specs) => loop {
+                let (ops, images) = cluster.run_egd_round_fused(
+                    &pre,
+                    &delta,
+                    Some(&fresh),
+                    discover_round && !specs.is_empty(),
+                )?;
+                let mut cuts = CutMap::new();
+                if discover_round {
+                    image_cuts(&images, &pre, &delta, &mut cuts);
+                }
+                base_align_cuts(&pre, &delta, &mut cuts);
+                if cuts.is_empty() {
+                    break ops;
+                }
+                (pre, delta, fresh) = apply_cuts(nrels_tgt, &cuts, pre, delta);
+            },
+            None => {
+                let renorm = discover_round.then_some(egd_bodies.as_slice());
+                (pre, delta) = refragment_lists(
+                    &tgt_schema,
+                    &tp,
+                    threads,
+                    sopts,
+                    renorm,
+                    opts.naive_normalization,
+                    std::mem::take(&mut pre),
+                    std::mem::take(&mut delta),
+                )?;
+                cluster.run_egd_round_fused(&pre, &delta, None, false)?.0
+            }
+        };
+        if !normalized_recorded {
+            normalized_recorded = true;
+            stats.target_facts_normalized = pre.iter().chain(delta.iter()).map(|l| l.len()).sum();
+        }
         let mut uf = AnnotatedUnionFind::new();
         let merges = fold_merge_ops(
             ops.into_iter()
@@ -1055,22 +1384,11 @@ pub(crate) fn c_chase_distributed_with(
                 stats.egd_rounds
             ),
         );
-        let (npre, ndelta) = rewrite_values(&tgt_schema, &pre, &delta, &mut uf);
-        let renorm = if opts.renormalize_between_egd_rounds {
-            Some(egd_bodies.as_slice())
-        } else {
-            None // paper-faithful: alignment cuts only
-        };
-        (pre, delta) = refragment_lists(
-            &tgt_schema,
-            &tp,
-            threads,
-            sopts,
-            renorm,
-            opts.naive_normalization,
-            npre,
-            ndelta,
-        )?;
+        (pre, delta) = rewrite_values(&tgt_schema, &pre, &delta, &mut uf);
+        if tgt_sweep.is_some() {
+            fresh = delta.iter().map(|d| vec![true; d.len()]).collect();
+        }
+        discover_round = opts.renormalize_between_egd_rounds;
     }
 
     // The servers' owner blocks must tile the coordinator's target exactly —
@@ -1380,15 +1698,16 @@ mod tests {
 
     #[test]
     fn retry_path_respawns_a_killed_server_and_restores_the_fixpoint() {
-        // Kill server 1 of 3 mid-chase (after a few frames) on every
-        // workload phase boundary the injector can hit; the retry path must
-        // respawn it, replay its watermarked images and finish with a
-        // result hom-equivalent to (indeed byte-identical to) an unfaulted
-        // channel run.
+        // Kill server 1 of 3 at every frame offset it ever reaches — the
+        // handshake, then each fused round — until the injector stops
+        // tripping; the retry path must respawn it, replay its watermarked
+        // (pre-frame) images and finish with a result hom-equivalent to
+        // (indeed byte-identical to) an unfaulted channel run.
         let mapping = paper_mapping();
         let source = figure4(&mapping);
         let clean = c_chase_with(&source, &mapping, &ChaseOptions::distributed(3)).unwrap();
-        for kill_after in [0usize, 1, 2, 3, 5] {
+        let mut kill_after = 0usize;
+        loop {
             let injector = Arc::new(FaultInjector::new(Arc::new(ChannelSpawner), 1, kill_after));
             let faulted = c_chase_distributed_with(
                 &source,
@@ -1398,10 +1717,6 @@ mod tests {
                 Arc::clone(&injector) as Arc<dyn TransportSpawner>,
             )
             .unwrap_or_else(|e| panic!("kill_after {kill_after}: chase failed: {e:?}"));
-            assert!(
-                injector.tripped(),
-                "kill_after {kill_after}: fault never fired"
-            );
             assert_eq!(
                 clean.target, faulted.target,
                 "kill_after {kill_after}: retry path diverged"
@@ -1410,7 +1725,16 @@ mod tests {
                 &semantics(&clean.target),
                 &semantics(&faulted.target)
             ));
+            if !injector.tripped() {
+                break; // past the last frame the victim ever sees
+            }
+            kill_after += 1;
+            assert!(kill_after < 64, "fault matrix did not converge");
         }
+        assert!(
+            kill_after >= 2,
+            "matrix stopped at offset {kill_after} before reaching a fused round"
+        );
     }
 
     #[test]

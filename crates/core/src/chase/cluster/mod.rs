@@ -34,7 +34,9 @@ pub mod protocol;
 pub mod server;
 pub mod transport;
 
-pub use coordinator::{snapshot_consistent, DistributedCluster, TrafficStats};
+pub use coordinator::{
+    c_chase_distributed_with, snapshot_consistent, DistributedCluster, TrafficStats,
+};
 pub use protocol::{Hom, MergeOp, Message, Response, ServerConfig, StoreKind, WireHom};
 pub use transport::{
     resolve_transport, spawner_for, ChannelSpawner, ChannelTransport, FaultInjector, TcpSpawner,
@@ -42,5 +44,6 @@ pub use transport::{
 };
 
 pub(crate) use coordinator::{
-    classify_check, fold_merge_ops, memo_probe_key, register_memo, Check, TgdFolder,
+    classify_check, fold_merge_ops, is_transport_error, memo_probe_key, register_memo, Check,
+    TgdFolder,
 };

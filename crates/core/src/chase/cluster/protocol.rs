@@ -27,8 +27,16 @@
 //!   watermark); a union-find rewrite round keeps the unchanged runs and
 //!   inserts only the rewritten facts. A single `Insert` of everything is
 //!   a full re-ship — what a fresh or respawned server gets.
-//! * [`Message::RunTgdRound`] / [`Message::RunLocalEgdRound`] — enumerate
-//!   the delta-touching tgd/egd body matches of the owned partitions.
+//! * [`Message::TgdRoundFused`] / [`Message::EgdRoundFused`] — the **fused
+//!   frames** (protocol v2): apply a sync program, optionally run
+//!   Algorithm-1 pair discovery over the synced lists, and enumerate the
+//!   delta-touching tgd/egd body matches — all in one round trip. The
+//!   response carries the matches *and* the discovered overlap-image
+//!   pairs (as server-local fact ids the coordinator translates through
+//!   its routing table), so a steady-state round costs one barrier
+//!   instead of three (`ApplyDelta` → enumerate → re-ship).
+//! * [`Message::RunTgdRound`] / [`Message::RunLocalEgdRound`] — the
+//!   unfused v1 enumerations, kept for replay and the protocol tests.
 //! * [`Message::Snapshot`] — audit view of the server's owner and replica
 //!   facts.
 //! * [`Message::Ping`] — liveness heartbeat, answered by
@@ -52,7 +60,11 @@ pub type FactLists = Vec<Vec<TemporalFact>>;
 /// connect-time ping probe then detects a version-skewed `tdx` binary —
 /// same tags, different payloads — and degrades to an in-process server
 /// instead of poisoning the cluster mid-round.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: fused round frames ([`Message::TgdRoundFused`],
+/// [`Message::EgdRoundFused`]) and server-side Algorithm-1 discovery
+/// ([`Response::TgdFused`], [`Response::EgdFused`]).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Which of a server's two stores a message addresses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -210,6 +222,33 @@ pub enum Message {
     Ping,
     /// Terminate the server loop; respond with [`Response::Stopped`].
     Shutdown,
+    /// Fused round (v2): sync the `Source` store, then enumerate the
+    /// delta-touching tgd matches — and, when `discover` is set, run the
+    /// Algorithm-1 two-atom overlap sweep over the synced lists. Respond
+    /// with [`Response::TgdFused`]. One barrier replaces the v1
+    /// `ApplyDelta` → `RunTgdRound` pair.
+    TgdRoundFused {
+        /// Per relation: the sync program against the retained image.
+        sync: Vec<RelationSync>,
+        /// Per relation, per *delta-block* fact of the reconstructed
+        /// list: whether the fact is fresh (changed since the last
+        /// discovery pass) — the semi-naive restriction the sweep
+        /// honors. Empty when `discover` is false.
+        fresh: Vec<Vec<bool>>,
+        /// Run pair discovery over the synced lists.
+        discover: bool,
+    },
+    /// Fused round (v2): sync the `Target` store, then enumerate the
+    /// delta-touching egd matches, with the same optional discovery
+    /// sweep. Respond with [`Response::EgdFused`].
+    EgdRoundFused {
+        /// Per relation: the sync program against the retained image.
+        sync: Vec<RelationSync>,
+        /// Fresh flags for the delta block, as in [`Message::TgdRoundFused`].
+        fresh: Vec<Vec<bool>>,
+        /// Run pair discovery over the synced lists.
+        discover: bool,
+    },
 }
 
 /// One enumerated homomorphism: variable bindings (variables by name — wire
@@ -226,6 +265,17 @@ pub type MergeOp = (u32, Value, Value, Interval);
 /// coordinator's deterministic ascending fold.
 pub type PartitionMerges = (u64, Vec<MergeOp>);
 
+/// A partition's homomorphisms (per tgd), tagged with its index for the
+/// coordinator's deterministic ascending fold.
+pub type PartitionHoms = (u64, Vec<Vec<WireHom>>);
+
+/// One discovered overlap-image pair, in **server-local** fact ids:
+/// `(rel_a, local_gid_a, rel_b, local_gid_b)`, where a local gid indexes
+/// the server's reconstructed pre + delta list of that relation. The
+/// coordinator translates local gids to global ones through the routing
+/// table it built while shipping.
+pub type ImagePair = (u32, u32, u32, u32);
+
 /// A server → coordinator response.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Response {
@@ -235,7 +285,7 @@ pub enum Response {
     Applied,
     /// Per owned partition (ascending), per tgd, the enumerated
     /// homomorphisms.
-    Homs(Vec<(u64, Vec<Vec<WireHom>>)>),
+    Homs(Vec<PartitionHoms>),
     /// Per owned partition (ascending): `(egd index, lhs, rhs, interval)`
     /// merge operations, in enumeration order.
     Merges(Vec<PartitionMerges>),
@@ -250,6 +300,25 @@ pub enum Response {
     Pong,
     /// [`Message::Shutdown`] acknowledged; the server loop has exited.
     Stopped,
+    /// [`Message::TgdRoundFused`] result: the tgd matches of the synced
+    /// lists plus the discovered overlap-image pairs (empty when the
+    /// frame's `discover` was false).
+    TgdFused {
+        /// Per owned partition (ascending), per tgd, the enumerated
+        /// homomorphisms — as in [`Response::Homs`].
+        homs: Vec<PartitionHoms>,
+        /// Discovered pairs in server-local fact ids.
+        images: Vec<ImagePair>,
+    },
+    /// [`Message::EgdRoundFused`] result: the egd merge operations plus
+    /// the discovered overlap-image pairs.
+    EgdFused {
+        /// Per owned partition (ascending) merge operations — as in
+        /// [`Response::Merges`].
+        merges: Vec<PartitionMerges>,
+        /// Discovered pairs in server-local fact ids.
+        images: Vec<ImagePair>,
+    },
 }
 
 impl Wire for StoreKind {
@@ -330,6 +399,26 @@ impl Wire for Message {
                 w.u32(PROTOCOL_VERSION);
             }
             Message::Shutdown => w.u8(6),
+            Message::TgdRoundFused {
+                sync,
+                fresh,
+                discover,
+            } => {
+                w.u8(7);
+                sync.write(w);
+                fresh.write(w);
+                discover.write(w);
+            }
+            Message::EgdRoundFused {
+                sync,
+                fresh,
+                discover,
+            } => {
+                w.u8(8);
+                sync.write(w);
+                fresh.write(w);
+                discover.write(w);
+            }
         }
     }
     fn read(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
@@ -355,6 +444,16 @@ impl Wire for Message {
                 Ok(Message::Ping)
             }
             6 => Ok(Message::Shutdown),
+            7 => Ok(Message::TgdRoundFused {
+                sync: Wire::read(r)?,
+                fresh: Wire::read(r)?,
+                discover: Wire::read(r)?,
+            }),
+            8 => Ok(Message::EgdRoundFused {
+                sync: Wire::read(r)?,
+                fresh: Wire::read(r)?,
+                discover: Wire::read(r)?,
+            }),
             tag => Err(CodecError(format!("unknown Message tag {tag}"))),
         }
     }
@@ -380,6 +479,16 @@ impl Wire for Response {
             }
             Response::Pong => w.u8(5),
             Response::Stopped => w.u8(6),
+            Response::TgdFused { homs, images } => {
+                w.u8(7);
+                homs.write(w);
+                images.write(w);
+            }
+            Response::EgdFused { merges, images } => {
+                w.u8(8);
+                merges.write(w);
+                images.write(w);
+            }
         }
     }
     fn read(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
@@ -394,6 +503,14 @@ impl Wire for Response {
             }),
             5 => Ok(Response::Pong),
             6 => Ok(Response::Stopped),
+            7 => Ok(Response::TgdFused {
+                homs: Wire::read(r)?,
+                images: Wire::read(r)?,
+            }),
+            8 => Ok(Response::EgdFused {
+                merges: Wire::read(r)?,
+                images: Wire::read(r)?,
+            }),
             tag => Err(CodecError(format!("unknown Response tag {tag}"))),
         }
     }
@@ -471,6 +588,25 @@ mod tests {
             },
             Message::Ping,
             Message::Shutdown,
+            Message::TgdRoundFused {
+                sync: vec![RelationSync {
+                    ops: vec![
+                        SyncOp::Keep { skip: 1, take: 4 },
+                        SyncOp::Insert(vec![fact.clone()]),
+                    ],
+                    split: 4,
+                }],
+                fresh: vec![vec![true, false, true]],
+                discover: true,
+            },
+            Message::EgdRoundFused {
+                sync: vec![RelationSync {
+                    ops: vec![SyncOp::Insert(vec![fact.clone()])],
+                    split: 0,
+                }],
+                fresh: vec![],
+                discover: false,
+            },
         ];
         for msg in &msgs {
             assert_eq!(&decode::<Message>(&encode(msg)).unwrap(), msg);
@@ -492,6 +628,20 @@ mod tests {
             },
             Response::Pong,
             Response::Stopped,
+            Response::TgdFused {
+                homs: vec![(
+                    2,
+                    vec![vec![(vec![("c".to_string(), Value::str("IBM"))], iv(3, 7))]],
+                )],
+                images: vec![(0, 5, 1, 2), (1, 0, 1, 9)],
+            },
+            Response::EgdFused {
+                merges: vec![(
+                    1,
+                    vec![(0, Value::Null(NullId(2)), Value::str("20k"), iv(1, 4))],
+                )],
+                images: vec![],
+            },
         ];
         for resp in &resps {
             assert_eq!(&decode::<Response>(&encode(resp)).unwrap(), resp);
@@ -529,29 +679,30 @@ mod tests {
                 },
             }
         };
+        let rand_sync = |r: &mut dyn FnMut() -> u64| -> Vec<RelationSync> {
+            (0..r() % 3)
+                .map(|_| RelationSync {
+                    ops: (0..r() % 4)
+                        .map(|_| {
+                            if r().is_multiple_of(2) {
+                                SyncOp::Keep {
+                                    skip: r() % 10,
+                                    take: r() % 50,
+                                }
+                            } else {
+                                SyncOp::Insert((0..r() % 3).map(|_| rand_fact(r)).collect())
+                            }
+                        })
+                        .collect(),
+                    split: r() % 40,
+                })
+                .collect()
+        };
         for case in 0..200u64 {
-            let msg = match case % 5 {
+            let msg = match case % 7 {
                 0 => Message::Hello(sample_config()),
                 1 => {
-                    let sync = (0..rng() % 3)
-                        .map(|_| RelationSync {
-                            ops: (0..rng() % 4)
-                                .map(|_| {
-                                    if rng() % 2 == 0 {
-                                        SyncOp::Keep {
-                                            skip: rng() % 10,
-                                            take: rng() % 50,
-                                        }
-                                    } else {
-                                        SyncOp::Insert(
-                                            (0..rng() % 3).map(|_| rand_fact(&mut rng)).collect(),
-                                        )
-                                    }
-                                })
-                                .collect(),
-                            split: rng() % 40,
-                        })
-                        .collect();
+                    let sync = rand_sync(&mut rng);
                     Message::ApplyDelta {
                         store: if rng() % 2 == 0 {
                             StoreKind::Source
@@ -565,7 +716,21 @@ mod tests {
                 3 => Message::Snapshot {
                     store: StoreKind::Target,
                 },
-                _ => Message::Ping,
+                4 => Message::Ping,
+                5 => Message::TgdRoundFused {
+                    sync: rand_sync(&mut rng),
+                    fresh: (0..rng() % 3)
+                        .map(|_| (0..rng() % 8).map(|_| rng() % 2 == 0).collect())
+                        .collect(),
+                    discover: rng() % 2 == 0,
+                },
+                _ => Message::EgdRoundFused {
+                    sync: rand_sync(&mut rng),
+                    fresh: (0..rng() % 3)
+                        .map(|_| (0..rng() % 8).map(|_| rng() % 2 == 0).collect())
+                        .collect(),
+                    discover: rng() % 2 == 0,
+                },
             };
             let bytes = encode(&msg);
             assert_eq!(decode::<Message>(&bytes).unwrap(), msg, "case {case}");

@@ -19,7 +19,11 @@
 //! reconstructed list split at the shipped pre/delta boundary. The
 //! rebuild is local CPU; only genuinely new facts cross the wire.
 
-use super::protocol::{FactLists, Message, Response, ServerConfig, StoreKind, SyncOp, WireHom};
+use super::protocol::{
+    FactLists, ImagePair, Message, PartitionHoms, PartitionMerges, RelationSync, Response,
+    ServerConfig, StoreKind, SyncOp, WireHom,
+};
+use crate::chase::partitioned::{sweep_images, sweep_specs, unpack_ref};
 use std::io;
 use std::net::TcpStream;
 use std::sync::mpsc::{Receiver, Sender};
@@ -75,166 +79,44 @@ impl ServerState {
                 Ok(Response::Ready)
             }
             Message::ApplyDelta { store, sync } => {
-                let (schema, tp) = {
-                    let cfg = self.cfg()?;
-                    let schema = match store {
-                        StoreKind::Source => Arc::clone(&cfg.src_schema),
-                        StoreKind::Target => Arc::clone(&cfg.tgt_schema),
-                    };
-                    (schema, cfg.tp.clone())
-                };
-                let nrels = schema.len();
-                if sync.len() != nrels {
-                    return Err(format!(
-                        "ApplyDelta relation count mismatch: got {}, schema has {nrels}",
-                        sync.len()
-                    ));
-                }
-                let image = &mut self.image[store.idx()];
-                let splits = &mut self.splits[store.idx()];
-                for (r, rs) in sync.into_iter().enumerate() {
-                    let old = &image[r];
-                    // Size hint only — fold saturating and clamp so corrupt
-                    // run lengths reach the checked validation below
-                    // instead of a capacity-overflow panic here.
-                    let kept: usize = rs
-                        .ops
-                        .iter()
-                        .fold(0usize, |acc, op| {
-                            acc.saturating_add(match op {
-                                SyncOp::Keep { take, .. } => *take as usize,
-                                SyncOp::Insert(facts) => facts.len(),
-                            })
-                        })
-                        .min(old.len().saturating_add(1 << 16));
-                    let mut new_list: Vec<_> = Vec::with_capacity(kept);
-                    let mut at = 0usize;
-                    for op in rs.ops {
-                        match op {
-                            SyncOp::Keep { skip, take } => {
-                                // `skip`/`take` come off the wire; checked
-                                // arithmetic turns a corrupt-but-decodable
-                                // frame into the protocol error below, not
-                                // an overflow panic.
-                                let end = usize::try_from(skip)
-                                    .ok()
-                                    .and_then(|skip| at.checked_add(skip))
-                                    .and_then(|start| {
-                                        at = start;
-                                        start.checked_add(usize::try_from(take).ok()?)
-                                    })
-                                    .filter(|&end| end <= old.len())
-                                    .ok_or_else(|| {
-                                        format!(
-                                            "ApplyDelta keep run (skip {skip}, take {take}) at \
-                                             {at} beyond retained image of {} facts \
-                                             (relation {r}) — coordinator and server diverged",
-                                            old.len()
-                                        )
-                                    })?;
-                                new_list.extend_from_slice(&old[at..end]);
-                                at = end;
-                            }
-                            SyncOp::Insert(facts) => new_list.extend(facts),
-                        }
-                    }
-                    let split = rs.split as usize;
-                    if split > new_list.len() {
-                        return Err(format!(
-                            "ApplyDelta split {split} beyond reconstructed list of {} \
-                             facts (relation {r})",
-                            new_list.len()
-                        ));
-                    }
-                    image[r] = new_list;
-                    splits[r] = split;
-                }
-                let (image, splits) = (&self.image[store.idx()], &self.splits[store.idx()]);
-                let built = ShardedFactStore::build_with_delta(schema, tp, 1, false, |rel| {
-                    let r = rel.0 as usize;
-                    image[r].split_at(splits[r])
-                });
-                self.stores[store.idx()] = Some(built);
+                self.apply_sync(store, sync)?;
                 Ok(Response::Applied)
             }
-            Message::RunTgdRound => {
-                let cfg = self.cfg()?;
-                let store = self.stores[StoreKind::Source.idx()]
-                    .as_ref()
-                    .ok_or("RunTgdRound before ApplyDelta")?;
-                let mut out: Vec<(u64, Vec<Vec<WireHom>>)> = Vec::new();
-                for &p in &cfg.owned {
-                    let view = store.part(p);
-                    if !view.has_delta() {
-                        continue; // nothing new can match here
-                    }
-                    let mut per_tgd: Vec<Vec<WireHom>> = Vec::new();
-                    for body in &cfg.tgd_bodies {
-                        let mut homs: Vec<WireHom> = Vec::new();
-                        view.find_matches(
-                            body,
-                            TemporalMode::Shared,
-                            &[],
-                            None,
-                            cfg.sopts,
-                            PartScope::OwnerDelta,
-                            &mut |m| {
-                                homs.push((
-                                    m.bindings()
-                                        .into_iter()
-                                        .map(|(v, val)| (v.name().to_string(), val))
-                                        .collect(),
-                                    m.shared_interval().expect("temporal store binds t"),
-                                ));
-                                true
-                            },
-                        )
-                        .map_err(|e| e.to_string())?;
-                        per_tgd.push(homs);
-                    }
-                    if per_tgd.iter().any(|h| !h.is_empty()) {
-                        out.push((p as u64, per_tgd));
-                    }
-                }
-                Ok(Response::Homs(out))
+            Message::RunTgdRound => Ok(Response::Homs(self.tgd_homs()?)),
+            Message::RunLocalEgdRound => Ok(Response::Merges(self.egd_merges()?)),
+            Message::TgdRoundFused {
+                sync,
+                fresh,
+                discover,
+            } => {
+                // The fused v2 round: sync, (optionally) discover, and
+                // enumerate — one barrier on the coordinator.
+                self.apply_sync(StoreKind::Source, sync)?;
+                let images = if discover {
+                    self.discover_pairs(StoreKind::Source, &fresh)?
+                } else {
+                    Vec::new()
+                };
+                Ok(Response::TgdFused {
+                    homs: self.tgd_homs()?,
+                    images,
+                })
             }
-            Message::RunLocalEgdRound => {
-                let cfg = self.cfg()?;
-                let store = self.stores[StoreKind::Target.idx()]
-                    .as_ref()
-                    .ok_or("RunLocalEgdRound before ApplyDelta")?;
-                let mut out: Vec<(u64, Vec<super::protocol::MergeOp>)> = Vec::new();
-                for &p in &cfg.owned {
-                    let view = store.part(p);
-                    if !view.has_delta() {
-                        continue;
-                    }
-                    let mut ops: Vec<super::protocol::MergeOp> = Vec::new();
-                    for (ei, (body, lhs, rhs)) in cfg.egds.iter().enumerate() {
-                        view.find_matches(
-                            body,
-                            TemporalMode::Shared,
-                            &[],
-                            None,
-                            cfg.sopts,
-                            PartScope::OwnerDelta,
-                            &mut |m| {
-                                let iv = m.shared_interval().expect("temporal store binds t");
-                                let a = m.value(*lhs).expect("egd lhs in body");
-                                let b = m.value(*rhs).expect("egd rhs in body");
-                                if a != b {
-                                    ops.push((ei as u32, a, b, iv));
-                                }
-                                true
-                            },
-                        )
-                        .map_err(|e| e.to_string())?;
-                    }
-                    if !ops.is_empty() {
-                        out.push((p as u64, ops));
-                    }
-                }
-                Ok(Response::Merges(out))
+            Message::EgdRoundFused {
+                sync,
+                fresh,
+                discover,
+            } => {
+                self.apply_sync(StoreKind::Target, sync)?;
+                let images = if discover {
+                    self.discover_pairs(StoreKind::Target, &fresh)?
+                } else {
+                    Vec::new()
+                };
+                Ok(Response::EgdFused {
+                    merges: self.egd_merges()?,
+                    images,
+                })
             }
             Message::Snapshot { store } => {
                 let cfg = self.cfg()?;
@@ -261,6 +143,247 @@ impl ServerState {
                 Ok(Response::Facts { owned, replicas })
             }
         }
+    }
+
+    /// Replays a sync program against the retained image of `store` and
+    /// rebuilds its local match store — the body of `ApplyDelta` and the
+    /// sync half of every fused round. A program that reproduces the
+    /// retained image verbatim (one full keep run, same split) skips the
+    /// store rebuild: fused fixpoint iterations re-sync every relation,
+    /// and most relations don't change between cuts.
+    fn apply_sync(&mut self, store: StoreKind, sync: Vec<RelationSync>) -> Result<(), String> {
+        let (schema, tp) = {
+            let cfg = self.cfg()?;
+            let schema = match store {
+                StoreKind::Source => Arc::clone(&cfg.src_schema),
+                StoreKind::Target => Arc::clone(&cfg.tgt_schema),
+            };
+            (schema, cfg.tp.clone())
+        };
+        let nrels = schema.len();
+        if sync.len() != nrels {
+            return Err(format!(
+                "ApplyDelta relation count mismatch: got {}, schema has {nrels}",
+                sync.len()
+            ));
+        }
+        let image = &mut self.image[store.idx()];
+        let splits = &mut self.splits[store.idx()];
+        let unchanged = self.stores[store.idx()].is_some()
+            && sync.iter().enumerate().all(|(r, rs)| {
+                rs.split as usize == splits[r]
+                    && match rs.ops.as_slice() {
+                        [] => image[r].is_empty(),
+                        [SyncOp::Keep { skip: 0, take }] => *take as usize == image[r].len(),
+                        _ => false,
+                    }
+            });
+        if unchanged {
+            return Ok(());
+        }
+        for (r, rs) in sync.into_iter().enumerate() {
+            let old = &image[r];
+            // Size hint only — fold saturating and clamp so corrupt
+            // run lengths reach the checked validation below
+            // instead of a capacity-overflow panic here.
+            let kept: usize = rs
+                .ops
+                .iter()
+                .fold(0usize, |acc, op| {
+                    acc.saturating_add(match op {
+                        SyncOp::Keep { take, .. } => *take as usize,
+                        SyncOp::Insert(facts) => facts.len(),
+                    })
+                })
+                .min(old.len().saturating_add(1 << 16));
+            let mut new_list: Vec<_> = Vec::with_capacity(kept);
+            let mut at = 0usize;
+            for op in rs.ops {
+                match op {
+                    SyncOp::Keep { skip, take } => {
+                        // `skip`/`take` come off the wire; checked
+                        // arithmetic turns a corrupt-but-decodable
+                        // frame into the protocol error below, not
+                        // an overflow panic.
+                        let end = usize::try_from(skip)
+                            .ok()
+                            .and_then(|skip| at.checked_add(skip))
+                            .and_then(|start| {
+                                at = start;
+                                start.checked_add(usize::try_from(take).ok()?)
+                            })
+                            .filter(|&end| end <= old.len())
+                            .ok_or_else(|| {
+                                format!(
+                                    "ApplyDelta keep run (skip {skip}, take {take}) at \
+                                     {at} beyond retained image of {} facts \
+                                     (relation {r}) — coordinator and server diverged",
+                                    old.len()
+                                )
+                            })?;
+                        new_list.extend_from_slice(&old[at..end]);
+                        at = end;
+                    }
+                    SyncOp::Insert(facts) => new_list.extend(facts),
+                }
+            }
+            let split = rs.split as usize;
+            if split > new_list.len() {
+                return Err(format!(
+                    "ApplyDelta split {split} beyond reconstructed list of {} \
+                     facts (relation {r})",
+                    new_list.len()
+                ));
+            }
+            image[r] = new_list;
+            splits[r] = split;
+        }
+        let (image, splits) = (&self.image[store.idx()], &self.splits[store.idx()]);
+        let built = ShardedFactStore::build_with_delta(schema, tp, 1, false, |rel| {
+            let r = rel.0 as usize;
+            image[r].split_at(splits[r])
+        });
+        self.stores[store.idx()] = Some(built);
+        Ok(())
+    }
+
+    /// Enumerates the delta-touching tgd body matches of the owned
+    /// partitions.
+    fn tgd_homs(&self) -> Result<Vec<PartitionHoms>, String> {
+        let cfg = self.cfg()?;
+        let store = self.stores[StoreKind::Source.idx()]
+            .as_ref()
+            .ok_or("RunTgdRound before ApplyDelta")?;
+        let mut out: Vec<PartitionHoms> = Vec::new();
+        for &p in &cfg.owned {
+            let view = store.part(p);
+            if !view.has_delta() {
+                continue; // nothing new can match here
+            }
+            let mut per_tgd: Vec<Vec<WireHom>> = Vec::new();
+            for body in &cfg.tgd_bodies {
+                let mut homs: Vec<WireHom> = Vec::new();
+                view.find_matches(
+                    body,
+                    TemporalMode::Shared,
+                    &[],
+                    None,
+                    cfg.sopts,
+                    PartScope::OwnerDelta,
+                    &mut |m| {
+                        homs.push((
+                            m.bindings()
+                                .into_iter()
+                                .map(|(v, val)| (v.name().to_string(), val))
+                                .collect(),
+                            m.shared_interval().expect("temporal store binds t"),
+                        ));
+                        true
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                per_tgd.push(homs);
+            }
+            if per_tgd.iter().any(|h| !h.is_empty()) {
+                out.push((p as u64, per_tgd));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Enumerates the delta-touching egd body matches of the owned
+    /// partitions.
+    fn egd_merges(&self) -> Result<Vec<PartitionMerges>, String> {
+        let cfg = self.cfg()?;
+        let store = self.stores[StoreKind::Target.idx()]
+            .as_ref()
+            .ok_or("RunLocalEgdRound before ApplyDelta")?;
+        let mut out: Vec<PartitionMerges> = Vec::new();
+        for &p in &cfg.owned {
+            let view = store.part(p);
+            if !view.has_delta() {
+                continue;
+            }
+            let mut ops: Vec<super::protocol::MergeOp> = Vec::new();
+            for (ei, (body, lhs, rhs)) in cfg.egds.iter().enumerate() {
+                view.find_matches(
+                    body,
+                    TemporalMode::Shared,
+                    &[],
+                    None,
+                    cfg.sopts,
+                    PartScope::OwnerDelta,
+                    &mut |m| {
+                        let iv = m.shared_interval().expect("temporal store binds t");
+                        let a = m.value(*lhs).expect("egd lhs in body");
+                        let b = m.value(*rhs).expect("egd rhs in body");
+                        if a != b {
+                            ops.push((ei as u32, a, b, iv));
+                        }
+                        true
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            if !ops.is_empty() {
+                out.push((p as u64, ops));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Server-side Algorithm-1 discovery: the two-atom overlap sweep over
+    /// this server's retained lists, semi-naive-restricted by the shipped
+    /// fresh flags. Any overlapping pair's intersection lands in some
+    /// partition both facts were shipped to (replicas included), so the
+    /// union of every server's local pairs is exactly the global pair set
+    /// — the coordinator dedups multi-visible pairs after translating the
+    /// local gids.
+    fn discover_pairs(
+        &self,
+        store: StoreKind,
+        fresh: &[Vec<bool>],
+    ) -> Result<Vec<ImagePair>, String> {
+        let cfg = self.cfg()?;
+        let (schema, bodies): (_, Vec<&[tdx_logic::Atom]>) = match store {
+            StoreKind::Source => (
+                &cfg.src_schema,
+                cfg.tgd_bodies.iter().map(|b| b.as_slice()).collect(),
+            ),
+            StoreKind::Target => (
+                &cfg.tgt_schema,
+                cfg.egds.iter().map(|(b, _, _)| b.as_slice()).collect(),
+            ),
+        };
+        let specs = sweep_specs(schema, &bodies)
+            .ok_or("discovery requested for bodies the sweep cannot compile")?;
+        let image = &self.image[store.idx()];
+        let splits = &self.splits[store.idx()];
+        if fresh.len() != image.len()
+            || fresh
+                .iter()
+                .zip(image.iter().zip(splits.iter()))
+                .any(|(f, (list, &s))| f.len() != list.len() - s)
+        {
+            return Err("fresh flags do not match the delta blocks".into());
+        }
+        let pre: FactLists = image
+            .iter()
+            .zip(splits.iter())
+            .map(|(list, &s)| list[..s].to_vec())
+            .collect();
+        let delta: FactLists = image
+            .iter()
+            .zip(splits.iter())
+            .map(|(list, &s)| list[s..].to_vec())
+            .collect();
+        Ok(sweep_images(&pre, &delta, Some(fresh), &specs, 1)
+            .into_iter()
+            .map(|(ka, kb)| {
+                let ((ra, ga), (rb, gb)) = (unpack_ref(ka), unpack_ref(kb));
+                (ra.0, ga, rb.0, gb)
+            })
+            .collect())
     }
 
     /// Test/audit access: the retained image of `store`, per relation.

@@ -58,8 +58,8 @@
 //! argument is spelled out in `docs/incremental.md`.
 
 use crate::chase::cluster::{
-    classify_check, fold_merge_ops, memo_probe_key, resolve_transport, Check, DistributedCluster,
-    Hom, MergeOp, StoreKind, TrafficStats,
+    classify_check, fold_merge_ops, is_transport_error, memo_probe_key, resolve_transport, Check,
+    DistributedCluster, Hom, MergeOp, TrafficStats,
 };
 use crate::chase::concrete::{instantiate, AnnotatedUnionFind, ChaseEngine, ChaseOptions, UfKey};
 use crate::chase::partitioned::{fact_at, refragment_lists, rewrite_values, FactLists};
@@ -635,9 +635,6 @@ impl IncrementalExchange {
                 "incremental session is poisoned by a failed rollback: {msg}"
             )));
         }
-        if self.servers > 0 {
-            self.heartbeat_cluster();
-        }
         // Classify refines: pure widenings ride the incremental path.
         let mut inserts: Vec<(RelId, Row, Interval)> = Vec::new();
         let mut narrowing = false;
@@ -708,35 +705,48 @@ impl IncrementalExchange {
 
     /// Runs `f` against the partition-server cluster, (re)spawning it when
     /// absent or when the session's timeline partition has moved past the
-    /// one the cluster was built over (re-coarsening, full re-chase). The
-    /// lock spans the whole ship-and-match exchange, so session clones
-    /// sharing one cluster interleave at round granularity — and since
-    /// every round re-syncs its own fact lists first (a watermark diff
-    /// against whatever the servers actually hold), they never observe
-    /// each other's state.
-    fn with_cluster<R>(
-        &mut self,
-        f: impl FnOnce(&mut DistributedCluster) -> Result<R>,
-    ) -> Result<R> {
-        let stale = match &self.cluster {
-            None => true,
-            Some(c) => {
-                let guard = c.lock().unwrap_or_else(|e| e.into_inner());
-                guard.partition() != &self.tp
+    /// one the cluster was built over (re-coarsening, full re-chase). A
+    /// transport failure — a cluster that died while the session idled, or
+    /// one whose respawn budget ran out mid-round — is retried exactly
+    /// once against a freshly spawned cluster (a full re-ship, since every
+    /// round re-syncs its own fact lists) before failing the batch; chase
+    /// failures propagate unchanged. This replaces the per-batch heartbeat
+    /// the v1 protocol paid a full round trip for: liveness is now probed
+    /// by the round itself. The lock spans the whole ship-and-match
+    /// exchange, so session clones sharing one cluster interleave at round
+    /// granularity — and since every round re-syncs its own fact lists
+    /// first (a watermark diff against whatever the servers actually
+    /// hold), they never observe each other's state.
+    fn with_cluster<R>(&mut self, f: impl Fn(&mut DistributedCluster) -> Result<R>) -> Result<R> {
+        let mut retried = false;
+        loop {
+            let stale = match &self.cluster {
+                None => true,
+                Some(c) => {
+                    let guard = c.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.partition() != &self.tp
+                }
+            };
+            if stale {
+                self.cluster = Some(Arc::new(Mutex::new(DistributedCluster::spawn_on(
+                    &self.mapping,
+                    &self.tp,
+                    self.servers,
+                    self.sopts,
+                    resolve_transport(self.opts.transport),
+                )?)));
             }
-        };
-        if stale {
-            self.cluster = Some(Arc::new(Mutex::new(DistributedCluster::spawn_on(
-                &self.mapping,
-                &self.tp,
-                self.servers,
-                self.sopts,
-                resolve_transport(self.opts.transport),
-            )?)));
+            let cluster = self.cluster.as_ref().expect("cluster just ensured");
+            let mut guard = cluster.lock().unwrap_or_else(|e| e.into_inner());
+            match f(&mut guard) {
+                Err(e) if !retried && is_transport_error(&e) => {
+                    drop(guard);
+                    self.cluster = None;
+                    retried = true;
+                }
+                out => return out,
+            }
         }
-        let cluster = self.cluster.as_ref().expect("cluster just ensured");
-        let mut guard = cluster.lock().unwrap_or_else(|e| e.into_inner());
-        f(&mut guard)
     }
 
     /// Cumulative wire-traffic counters of the session's partition-server
@@ -750,49 +760,29 @@ impl IncrementalExchange {
             .map(|c| c.lock().unwrap_or_else(|e| e.into_inner()).traffic())
     }
 
-    /// One distributed tgd round: ship the normalized-source lists
-    /// (`ApplyDelta`) and collect the delta-touching homomorphisms per tgd
-    /// (`RunTgdRound`), in ascending partition order.
+    /// One distributed tgd round: a single fused frame per server that
+    /// ships the normalized-source sync program and collects the
+    /// delta-touching homomorphisms per tgd in the same round trip, in
+    /// ascending partition order. The session keeps normalization
+    /// coordinator-local (its batches are small — latency, not throughput,
+    /// bounds a round), so the frame carries `discover: false`.
     fn distributed_tgd_round(
         &mut self,
         pre: &FactLists,
         delta: &FactLists,
     ) -> Result<Vec<Vec<Hom>>> {
         let tgd_count = self.plans.len();
-        self.with_cluster(|c| {
-            c.apply_delta(StoreKind::Source, pre, delta)?;
-            c.run_tgd_round(tgd_count)
-        })
+        self.with_cluster(|c| Ok(c.run_tgd_round_fused(pre, delta, None, false, tgd_count)?.0))
     }
 
-    /// Heartbeats a cluster that idled between batches, dropping it on
-    /// unrecoverable failure so the next round respawns a fresh one (with
-    /// a full re-ship) instead of failing the batch.
-    fn heartbeat_cluster(&mut self) {
-        let dead = match &self.cluster {
-            None => false,
-            Some(c) => c
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .heartbeat()
-                .is_err(),
-        };
-        if dead {
-            self.cluster = None;
-        }
-    }
-
-    /// One distributed egd round: ship the target lists (`ApplyDelta`) and
-    /// collect the merge operations (`RunLocalEgdRound`).
+    /// One distributed egd round: a single fused frame per server shipping
+    /// the target sync program and collecting the merge operations.
     fn distributed_egd_round(
         &mut self,
         pre: &FactLists,
         delta: &FactLists,
     ) -> Result<Vec<MergeOp>> {
-        self.with_cluster(|c| {
-            c.apply_delta(StoreKind::Target, pre, delta)?;
-            c.run_egd_round()
-        })
+        self.with_cluster(|c| Ok(c.run_egd_round_fused(pre, delta, None, false)?.0))
     }
 
     fn validate_row(&self, rel: RelId, data: &Row) -> Result<()> {

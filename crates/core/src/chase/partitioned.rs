@@ -95,7 +95,7 @@ pub(crate) fn run_tasks<R: Send>(
 
 /// A 2-atom conjunction compiled for the sweep join: per-atom constant and
 /// intra-atom-equality filters, plus the cross-atom join columns.
-struct PairSpec {
+pub(crate) struct PairSpec {
     rels: [RelId; 2],
     consts: [Vec<(usize, Value)>; 2],
     intra: [Vec<(usize, usize)>; 2],
@@ -141,6 +141,67 @@ impl PairSpec {
             joins,
         })
     }
+}
+
+/// Compiles every multi-atom conjunction of `conjs` for the sweep join, or
+/// `None` if any needs the generic matcher (more than two atoms, or an
+/// unknown relation). Single-atom conjunctions are dropped — their images
+/// are singletons and can never cut. This is the gate for **server-side**
+/// discovery: a server can run the sweep over its local lists only when
+/// every conjunction is sweepable, because the generic fallback needs the
+/// global replicated store.
+pub(crate) fn sweep_specs(schema: &Schema, conjs: &[&[Atom]]) -> Option<Vec<PairSpec>> {
+    let mut specs = Vec::new();
+    for &atoms in conjs {
+        if atoms.len() < 2 {
+            continue;
+        }
+        if atoms.len() != 2 {
+            return None;
+        }
+        specs.push(PairSpec::compile(atoms, schema)?);
+    }
+    Some(specs)
+}
+
+/// Packs a fact reference into the discovery dedup key.
+pub(crate) fn pack_ref((rel, gid): FactRef) -> u64 {
+    ((rel.0 as u64) << 32) | gid as u64
+}
+
+/// Inverse of [`pack_ref`].
+pub(crate) fn unpack_ref(k: u64) -> FactRef {
+    (RelId((k >> 32) as u32), k as u32)
+}
+
+/// Runs the sweep join for every compiled spec (one parallel task each) and
+/// returns the discovered pair images as packed sorted key pairs, deduped
+/// per spec, in spec order. Shared by coordinator-local discovery
+/// ([`discover_images`]) and the servers' fused-round discovery — byte
+/// identity across the two paths rests on both emitting the same *set* of
+/// pairs, which this function pins.
+pub(crate) fn sweep_images(
+    pre: &FactLists,
+    delta: &FactLists,
+    fresh: Option<&[Vec<bool>]>,
+    specs: &[PairSpec],
+    threads: usize,
+) -> Vec<(u64, u64)> {
+    run_tasks(threads, specs.len(), |i| {
+        let mut pairs: tdx_storage::fxhash::FxHashSet<(u64, u64)> = Default::default();
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        sweep_lists(pre, delta, fresh, &specs[i], |a, b| {
+            let (ka, kb) = (pack_ref(a), pack_ref(b));
+            let key = if ka <= kb { (ka, kb) } else { (kb, ka) };
+            if pairs.insert(key) {
+                out.push(key);
+            }
+        });
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Sweep-based overlap join for a 2-atom conjunction over the global fact
@@ -304,8 +365,8 @@ pub(crate) fn discover_images(
     // for the ubiquitous 2-atom bodies, a heap key above — so duplicate
     // enumerations (symmetric self-joins) cost a hash probe, not an
     // allocation.
-    let pack = |(rel, gid): FactRef| ((rel.0 as u64) << 32) | gid as u64;
-    let unpack = |k: u64| (RelId((k >> 32) as u32), k as u32);
+    let pack = pack_ref;
+    let unpack = unpack_ref;
     let mut specs: Vec<PairSpec> = Vec::new();
     let mut generic: Vec<&[Atom]> = Vec::new();
     for &atoms in conjs {
@@ -320,18 +381,7 @@ pub(crate) fn discover_images(
             None => generic.push(atoms),
         }
     }
-    let swept = run_tasks(threads, specs.len(), |i| {
-        let mut pairs: tdx_storage::fxhash::FxHashSet<(u64, u64)> = Default::default();
-        let mut out: Vec<Vec<u64>> = Vec::new();
-        sweep_lists(pre, delta, fresh, &specs[i], |a, b| {
-            let (ka, kb) = (pack(a), pack(b));
-            let key = if ka <= kb { (ka, kb) } else { (kb, ka) };
-            if pairs.insert(key) {
-                out.push(vec![key.0, key.1]);
-            }
-        });
-        out
-    });
+    let swept = sweep_images(pre, delta, fresh, &specs, threads);
     let mut from_matcher: Vec<Result<Vec<Vec<u64>>>> = Vec::new();
     if !generic.is_empty() {
         let sharded = build_sharded(schema, tp, pre, delta, true);
@@ -391,7 +441,7 @@ pub(crate) fn discover_images(
     }
     let mut seen: tdx_storage::fxhash::FxHashSet<Vec<u64>> = Default::default();
     let mut out: Vec<Vec<FactRef>> = Vec::new();
-    for image in swept.into_iter().flatten().chain(
+    for image in swept.into_iter().map(|(a, b)| vec![a, b]).chain(
         from_matcher
             .into_iter()
             .collect::<Result<Vec<_>>>()?
@@ -459,7 +509,7 @@ pub(crate) fn build_sharded(
 /// fragmented at common endpoints so the `(base, interval)`-keyed egd
 /// rewrite touches all of them alike. Computed globally over the fact
 /// lists — a linear pass plus a union-find, no matching, no store.
-fn base_align_cuts(
+pub(crate) fn base_align_cuts(
     pre: &FactLists,
     delta: &FactLists,
     cuts: &mut HashMap<(RelId, u32), Vec<TimePoint>>,
@@ -514,6 +564,130 @@ fn base_align_cuts(
     }
 }
 
+/// The per-fact cut points one fixpoint iteration wants applied.
+pub(crate) type CutMap = HashMap<(RelId, u32), Vec<TimePoint>>;
+
+/// Naive normalization's cut rule: every fact is cut at every interior
+/// endpoint of the global breakpoint set.
+pub(crate) fn naive_cuts(pre: &FactLists, delta: &FactLists, cuts: &mut CutMap) {
+    let bps = Breakpoints::from_intervals(
+        pre.iter()
+            .chain(delta.iter())
+            .flat_map(|facts| facts.iter().map(|f| &f.interval)),
+    );
+    for (r, (p, d)) in pre.iter().zip(delta.iter()).enumerate() {
+        for (gid, fact) in p.iter().chain(d.iter()).enumerate() {
+            let pts: Vec<TimePoint> = bps.interior_of(&fact.interval).collect();
+            if !pts.is_empty() {
+                cuts.insert((RelId(r as u32), gid as u32), pts);
+            }
+        }
+    }
+}
+
+/// Algorithm 1's cut rule over discovered overlap images: merge the images
+/// into groups ([`merge_image_sets`]), then cut every member at the group's
+/// interior breakpoints. Order-insensitive in the image list — the group
+/// partition depends only on the image *set* and `Breakpoints` sorts — so
+/// coordinator-local and server-side discovery produce identical cuts from
+/// identical sets.
+pub(crate) fn image_cuts(
+    images: &[Vec<FactRef>],
+    pre: &FactLists,
+    delta: &FactLists,
+    cuts: &mut CutMap,
+) {
+    for group in merge_image_sets(images) {
+        let ivs: Vec<Interval> = group
+            .iter()
+            .map(|&(rel, gid)| fact_at(pre, delta, rel, gid).interval)
+            .collect();
+        let bps = Breakpoints::from_intervals(ivs.iter());
+        for (&(rel, gid), iv) in group.iter().zip(ivs.iter()) {
+            let pts: Vec<TimePoint> = bps.interior_of(iv).collect();
+            if !pts.is_empty() {
+                cuts.entry((rel, gid)).or_default().extend(pts);
+            }
+        }
+    }
+}
+
+/// Applies one iteration's cuts: cut facts dissolve into their fragments,
+/// fragments join the delta block (they are "changed" for the next round's
+/// matching) and become the next iteration's fresh set. Returns the new
+/// `(pre, delta, fresh)`.
+pub(crate) fn apply_cuts(
+    nrels: usize,
+    cuts: &CutMap,
+    mut pre: FactLists,
+    mut delta: FactLists,
+) -> (FactLists, FactLists, Vec<Vec<bool>>) {
+    // Relations without cuts move over wholesale; within a cut relation,
+    // only facts sharing a row with some cut fact can ever collide with a
+    // fragment, so the dedup set tracks exactly those — the rest of the
+    // relation is copied without hashing.
+    let row_hash = |data: &Row| -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = tdx_storage::fxhash::FxHasher::default();
+        data.hash(&mut h);
+        h.finish()
+    };
+    let mut cut_rows: Vec<Option<tdx_storage::fxhash::FxHashSet<u64>>> = vec![None; nrels];
+    for &(rel, gid) in cuts.keys() {
+        let fact = fact_at(&pre, &delta, rel, gid);
+        cut_rows[rel.0 as usize]
+            .get_or_insert_with(Default::default)
+            .insert(row_hash(&fact.data));
+    }
+    let mut npre: FactLists = vec![Vec::new(); nrels];
+    let mut ndelta: FactLists = vec![Vec::new(); nrels];
+    let mut nfresh: Vec<Vec<bool>> = vec![Vec::new(); nrels];
+    for r in 0..nrels {
+        let rel = RelId(r as u32);
+        let pre_len = pre[r].len();
+        let Some(rows) = &cut_rows[r] else {
+            npre[r] = std::mem::take(&mut pre[r]);
+            ndelta[r] = std::mem::take(&mut delta[r]);
+            nfresh[r] = vec![false; ndelta[r].len()];
+            continue;
+        };
+        let mut kept: tdx_storage::fxhash::FxHashSet<(Row, Interval)> = Default::default();
+        // Uncut facts first, so a fragment colliding with an existing
+        // fact dissolves into it.
+        for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
+            if cuts.contains_key(&(rel, gid as u32)) {
+                continue;
+            }
+            if rows.contains(&row_hash(&fact.data))
+                && !kept.insert((Arc::clone(&fact.data), fact.interval))
+            {
+                continue; // duplicate of an already-kept collision candidate
+            }
+            if gid < pre_len {
+                npre[r].push(fact.clone());
+            } else {
+                ndelta[r].push(fact.clone());
+                nfresh[r].push(false);
+            }
+        }
+        for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
+            if let Some(pts) = cuts.get(&(rel, gid as u32)) {
+                let bps = Breakpoints::from_points(pts.iter().copied());
+                for iv in fragment_interval(&fact.interval, &bps) {
+                    if kept.insert((Arc::clone(&fact.data), iv)) {
+                        ndelta[r].push(TemporalFact {
+                            data: Arc::clone(&fact.data),
+                            interval: iv,
+                        });
+                        nfresh[r].push(true);
+                    }
+                }
+            }
+        }
+    }
+    (npre, ndelta, nfresh)
+}
+
 /// Re-fragments the working fact lists to a fixpoint and then builds the
 /// round's sharded match store once. Per iteration it collects cuts from
 /// (a) egd-body candidate groups (sweep/matcher discovery, restricted to
@@ -555,21 +729,9 @@ pub(crate) fn refragment_lists(
     let nrels = schema.len();
     let mut fresh: Vec<Vec<bool>> = delta.iter().map(|d| vec![true; d.len()]).collect();
     loop {
-        let mut cuts: HashMap<(RelId, u32), Vec<TimePoint>> = HashMap::new();
+        let mut cuts = CutMap::new();
         if naive && renorm_bodies.is_some() {
-            let bps = Breakpoints::from_intervals(
-                pre.iter()
-                    .chain(delta.iter())
-                    .flat_map(|facts| facts.iter().map(|f| &f.interval)),
-            );
-            for (r, (p, d)) in pre.iter().zip(delta.iter()).enumerate() {
-                for (gid, fact) in p.iter().chain(d.iter()).enumerate() {
-                    let pts: Vec<TimePoint> = bps.interior_of(&fact.interval).collect();
-                    if !pts.is_empty() {
-                        cuts.insert((RelId(r as u32), gid as u32), pts);
-                    }
-                }
-            }
+            naive_cuts(&pre, &delta, &mut cuts);
         } else if let Some(conjs) = renorm_bodies {
             if !conjs.is_empty() {
                 let images = discover_images(
@@ -582,92 +744,14 @@ pub(crate) fn refragment_lists(
                     threads,
                     sopts,
                 )?;
-                for group in merge_image_sets(&images) {
-                    let ivs: Vec<Interval> = group
-                        .iter()
-                        .map(|&(rel, gid)| fact_at(&pre, &delta, rel, gid).interval)
-                        .collect();
-                    let bps = Breakpoints::from_intervals(ivs.iter());
-                    for (&(rel, gid), iv) in group.iter().zip(ivs.iter()) {
-                        let pts: Vec<TimePoint> = bps.interior_of(iv).collect();
-                        if !pts.is_empty() {
-                            cuts.entry((rel, gid)).or_default().extend(pts);
-                        }
-                    }
-                }
+                image_cuts(&images, &pre, &delta, &mut cuts);
             }
         }
         base_align_cuts(&pre, &delta, &mut cuts);
         if cuts.is_empty() {
             return Ok((pre, delta));
         }
-        // Apply the cuts; fragments become delta and the new fresh set.
-        // Relations without cuts move over wholesale; within a cut
-        // relation, only facts sharing a row with some cut fact can ever
-        // collide with a fragment, so the dedup set tracks exactly those —
-        // the rest of the relation is copied without hashing.
-        let row_hash = |data: &Row| -> u64 {
-            use std::hash::{Hash, Hasher};
-            let mut h = tdx_storage::fxhash::FxHasher::default();
-            data.hash(&mut h);
-            h.finish()
-        };
-        let mut cut_rows: Vec<Option<tdx_storage::fxhash::FxHashSet<u64>>> = vec![None; nrels];
-        for &(rel, gid) in cuts.keys() {
-            let fact = fact_at(&pre, &delta, rel, gid);
-            cut_rows[rel.0 as usize]
-                .get_or_insert_with(Default::default)
-                .insert(row_hash(&fact.data));
-        }
-        let mut npre: FactLists = vec![Vec::new(); nrels];
-        let mut ndelta: FactLists = vec![Vec::new(); nrels];
-        let mut nfresh: Vec<Vec<bool>> = vec![Vec::new(); nrels];
-        for r in 0..nrels {
-            let rel = RelId(r as u32);
-            let pre_len = pre[r].len();
-            let Some(rows) = &cut_rows[r] else {
-                npre[r] = std::mem::take(&mut pre[r]);
-                ndelta[r] = std::mem::take(&mut delta[r]);
-                nfresh[r] = vec![false; ndelta[r].len()];
-                continue;
-            };
-            let mut kept: tdx_storage::fxhash::FxHashSet<(Row, Interval)> = Default::default();
-            // Uncut facts first, so a fragment colliding with an existing
-            // fact dissolves into it.
-            for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
-                if cuts.contains_key(&(rel, gid as u32)) {
-                    continue;
-                }
-                if rows.contains(&row_hash(&fact.data))
-                    && !kept.insert((Arc::clone(&fact.data), fact.interval))
-                {
-                    continue; // duplicate of an already-kept collision candidate
-                }
-                if gid < pre_len {
-                    npre[r].push(fact.clone());
-                } else {
-                    ndelta[r].push(fact.clone());
-                    nfresh[r].push(false);
-                }
-            }
-            for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
-                if let Some(pts) = cuts.get(&(rel, gid as u32)) {
-                    let bps = Breakpoints::from_points(pts.iter().copied());
-                    for iv in fragment_interval(&fact.interval, &bps) {
-                        if kept.insert((Arc::clone(&fact.data), iv)) {
-                            ndelta[r].push(TemporalFact {
-                                data: Arc::clone(&fact.data),
-                                interval: iv,
-                            });
-                            nfresh[r].push(true);
-                        }
-                    }
-                }
-            }
-        }
-        pre = npre;
-        delta = ndelta;
-        fresh = nfresh;
+        (pre, delta, fresh) = apply_cuts(nrels, &cuts, pre, delta);
     }
 }
 

@@ -217,6 +217,63 @@ fn incremental_batch_traffic_is_proportional_to_the_batch() {
         .unwrap();
 }
 
+/// The fused v2 frames collapse a steady-state incremental batch to one
+/// round trip per server per round. The v1 protocol paid a per-batch
+/// heartbeat plus separate `ApplyDelta` and enumeration barriers — at
+/// minimum 5 round trips per batch (heartbeat, ship+tgd, ship+egd) — where
+/// the fused protocol pays `1 + egd_rounds`. Locks in the ≥2× round-trip
+/// reduction of the pipelined design.
+#[test]
+fn fused_rounds_halve_round_trips_for_an_incremental_batch() {
+    use tdx::workload::{employment_stream, BatchOrder, StreamConfig};
+    use tdx::{DeltaBatch, IncrementalExchange};
+    let stream = employment_stream(
+        &EmploymentConfig {
+            persons: 100,
+            horizon: 30,
+            seed: 42,
+            ..EmploymentConfig::default()
+        },
+        &StreamConfig {
+            batches: 1,
+            batch_fraction: 0.05,
+            order: BatchOrder::Uniform,
+            ..StreamConfig::default()
+        },
+    );
+    let mut session =
+        IncrementalExchange::with_options(stream.mapping.clone(), ChaseOptions::distributed(1))
+            .unwrap();
+    session
+        .apply(&DeltaBatch::from_instance(&stream.base))
+        .unwrap();
+    let base = session.cluster_traffic().unwrap();
+    session
+        .apply(&DeltaBatch::from_instance(&stream.batches[0]))
+        .unwrap();
+    let after = session.cluster_traffic().unwrap();
+    let batch_rts = after.round_trips - base.round_trips;
+    assert!(
+        batch_rts >= 2,
+        "a batch runs at least the fused tgd and one fused egd barrier, got {batch_rts}"
+    );
+    // Each fused barrier replaces a v1 ApplyDelta + enumeration pair, and
+    // the v1 protocol heartbeat-ed once per batch on top: same rounds, v1
+    // cost = 1 + 2 * batch_rts.
+    let v1_rts = 1 + 2 * batch_rts;
+    assert!(
+        2 * batch_rts <= v1_rts,
+        "fused batch cost {batch_rts} round trips; v1 would have paid {v1_rts}"
+    );
+    // And in absolute terms the steady state stays flat: one fused tgd
+    // round plus the egd fixpoint (its final empty round included) — well
+    // under the v1 floor of 5.
+    assert!(
+        batch_rts <= 3,
+        "steady-state 5% batch cost {batch_rts} round trips — the fused protocol should pay 1 + egd_rounds"
+    );
+}
+
 #[cfg(target_os = "linux")]
 fn thread_count() -> usize {
     std::fs::read_dir("/proc/self/task").unwrap().count()

@@ -301,6 +301,57 @@ fn distributed_engine_is_byte_identical_across_transports_and_server_counts() {
 }
 
 #[test]
+fn distributed_engine_survives_faults_at_every_fused_frame_offset() {
+    // The fault matrix over the v2 pipelined protocol: kill server 1 of 3
+    // at *every* frame offset it ever reaches. Past the handshake every
+    // frame is a fused round, so each offset is a death mid-fused-round;
+    // the retry path must respawn the server, replay its retained-image
+    // watermark (the pre-frame image — fused exchanges update the shipped
+    // cache only after the barrier succeeds) and re-answer the identical
+    // frame, landing byte-identical to the unfaulted run every time.
+    use std::sync::Arc;
+    use tdx::core::chase::cluster::{
+        c_chase_distributed_with, ChannelSpawner, FaultInjector, TransportSpawner,
+    };
+    let w = EmploymentWorkload::generate(&EmploymentConfig {
+        persons: 20,
+        horizon: 30,
+        salary_coverage: 0.7,
+        seed: 9,
+        ..EmploymentConfig::default()
+    });
+    let clean = c_chase_with(&w.source, &w.mapping, &ChaseOptions::distributed(3)).unwrap();
+    let mut kill_after = 0usize;
+    loop {
+        let injector = Arc::new(FaultInjector::new(Arc::new(ChannelSpawner), 1, kill_after));
+        let faulted = c_chase_distributed_with(
+            &w.source,
+            &w.mapping,
+            &ChaseOptions::distributed(3),
+            3,
+            Arc::clone(&injector) as Arc<dyn TransportSpawner>,
+        )
+        .unwrap_or_else(|e| panic!("kill_after {kill_after}: chase failed: {e:?}"));
+        assert_eq!(
+            clean.target, faulted.target,
+            "kill_after {kill_after}: retry path diverged"
+        );
+        assert_eq!(clean.stats.tgd_steps, faulted.stats.tgd_steps);
+        assert_eq!(clean.stats.egd_merges, faulted.stats.egd_merges);
+        if !injector.tripped() {
+            break; // offset is past the last frame the victim ever sees
+        }
+        kill_after += 1;
+        assert!(kill_after < 128, "fault matrix did not converge");
+    }
+    assert!(
+        kill_after >= 3,
+        "matrix stopped at offset {kill_after} — it must reach past the \
+         handshake into the fused rounds"
+    );
+}
+
+#[test]
 fn distributed_incremental_session_agrees_with_every_engine() {
     // The acceptance bar of the distributed engine: driven through
     // IncrementalExchange batches (cluster respawned across
