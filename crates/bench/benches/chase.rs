@@ -163,6 +163,26 @@ fn bench_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// What durability adds to the incremental session: the fsync'd WAL
+/// append on the commit path, and snapshot-restore/WAL-replay recovery
+/// (`tdx_bench::durability_suite`, shared with the CI gate). Acceptance
+/// bars: `recovery_replay` well under `from_scratch` (recovery must beat
+/// re-chasing), `wal_append5pct` small against `batch5pct` (the
+/// durability tax stays a fraction of the batch it protects).
+fn bench_durability(c: &mut Criterion) {
+    let mut group = c.benchmark_group(tdx_bench::durability_suite::GROUP);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for case in tdx_bench::durability_suite::cases() {
+        let run = case.run;
+        group.bench_with_input(BenchmarkId::from(case.id.as_str()), &(), |b, _| {
+            b.iter(&run)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_employment,
@@ -171,6 +191,7 @@ criterion_group!(
     bench_distributed,
     bench_scaling,
     bench_transport,
-    bench_incremental
+    bench_incremental,
+    bench_durability
 );
 criterion_main!(benches);

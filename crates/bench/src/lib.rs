@@ -179,6 +179,9 @@ pub fn gated_cases() -> Vec<(String, Box<dyn Fn() + Send + Sync>)> {
     for case in scaling_suite::cases() {
         out.push((format!("{}/{}", scaling_suite::GROUP, case.id), case.run));
     }
+    for case in durability_suite::cases() {
+        out.push((format!("{}/{}", durability_suite::GROUP, case.id), case.run));
+    }
     out
 }
 
@@ -622,6 +625,120 @@ pub mod incremental_suite {
                 run: Box::new(move || {
                     let mut s = (*session).clone();
                     s.apply(&batch).unwrap();
+                }),
+            });
+        }
+        out
+    }
+}
+
+/// The `c_chase/durability/*` suite: what durability adds to the
+/// incremental session. `wal_append5pct` is the per-batch overhead a
+/// durable apply pays over a non-durable one (the fsync'd WAL record —
+/// compare `c_chase/incremental/employment/batch5pct/100`);
+/// `durable_open` is recovery from a compacted snapshot alone;
+/// `recovery_replay` additionally replays one 5% batch from the WAL —
+/// compare both against `c_chase/incremental/employment/from_scratch/100`,
+/// the latency a recovery replaces. Shared between `benches/chase.rs` and
+/// the regression gate like [`engine_suite`].
+pub mod durability_suite {
+    pub use crate::Case;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+    use tdx_core::{ChaseOptions, DeltaBatch, DurableExchange};
+    use tdx_storage::codec::encode;
+    use tdx_storage::wal::Wal;
+    use tdx_workload::{employment_stream, BatchOrder, EmploymentConfig, StreamConfig};
+
+    /// The group prefix every case id lives under.
+    pub const GROUP: &str = "c_chase/durability";
+
+    /// A scratch directory under the target-adjacent temp root; recreated
+    /// fresh so stale state from an earlier run can't leak in.
+    fn scratch(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tdx-bench-durability-{tag}"));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).expect("bench scratch dir");
+        d
+    }
+
+    /// Per-family cases (employment/100, 5% batches — the incremental
+    /// suite's headline workload):
+    ///
+    /// * `employment/wal_append5pct/100` — one fsync'd WAL append of the
+    ///   encoded batch: the whole durability tax on the commit path;
+    /// * `employment/durable_open/100` — `DurableExchange::open` against a
+    ///   state directory holding the base in a compacted snapshot
+    ///   (recovery with nothing to replay);
+    /// * `employment/recovery_replay/100` — the same open when one 5%
+    ///   batch sits in the WAL past the snapshot (snapshot restore + one
+    ///   batch replayed).
+    pub fn cases() -> Vec<Case> {
+        let stream = employment_stream(
+            &EmploymentConfig {
+                persons: 100,
+                horizon: 30,
+                seed: 42,
+                ..EmploymentConfig::default()
+            },
+            &StreamConfig {
+                batches: 1,
+                batch_fraction: 0.05,
+                order: BatchOrder::Uniform,
+                ..StreamConfig::default()
+            },
+        );
+        let mapping = stream.mapping.clone();
+        let base = DeltaBatch::from_instance(&stream.base);
+        let batch = DeltaBatch::from_instance(&stream.batches[0]);
+
+        // Snapshot-only state dir: base committed and compacted.
+        let snap_dir = scratch("snapshot");
+        let mut s = DurableExchange::open(mapping.clone(), ChaseOptions::default(), &snap_dir)
+            .expect("open bench session")
+            .snapshot_every(1);
+        s.apply(&base).expect("seed base");
+        drop(s);
+
+        // Snapshot + one WAL record: the recovery-replay shape.
+        let replay_dir = scratch("replay");
+        let mut s = DurableExchange::open(mapping.clone(), ChaseOptions::default(), &replay_dir)
+            .expect("open bench session")
+            .snapshot_every(1);
+        s.apply(&base).expect("seed base");
+        let mut s = s.snapshot_every(usize::MAX);
+        s.apply(&batch).expect("seed batch");
+        drop(s);
+
+        // The WAL-append payload a durable apply writes for this batch.
+        let payload = Arc::new(encode(&(2u64, batch)));
+        let wal_dir = scratch("append");
+
+        let mapping = Arc::new(mapping);
+        let mut out: Vec<Case> = Vec::new();
+        {
+            let payload = Arc::clone(&payload);
+            let wal =
+                std::sync::Mutex::new(Wal::open(wal_dir.join("wal.log")).expect("open bench wal"));
+            out.push(Case {
+                id: "employment/wal_append5pct/100".to_string(),
+                run: Box::new(move || {
+                    wal.lock().unwrap().append(&payload).expect("append");
+                }),
+            });
+        }
+        for (id, dir) in [
+            ("employment/durable_open/100", snap_dir),
+            ("employment/recovery_replay/100", replay_dir),
+        ] {
+            let mapping = Arc::clone(&mapping);
+            out.push(Case {
+                id: id.to_string(),
+                run: Box::new(move || {
+                    let s =
+                        DurableExchange::open((*mapping).clone(), ChaseOptions::default(), &dir)
+                            .expect("recover");
+                    std::hint::black_box(s.committed());
                 }),
             });
         }

@@ -55,8 +55,8 @@
 //! (`tests/equivalence.rs`).
 
 use super::protocol::{
-    FactLists, Hom, ImagePair, MergeOp, Message, RelationSync, Response, ServerConfig, StoreKind,
-    SyncOp,
+    config_digest, image_digest, FactLists, Hom, ImagePair, MergeOp, Message, RelationSync,
+    Response, ServerConfig, StoreKind, SyncOp,
 };
 use super::transport::{
     resolve_transport, spawner_for, Transport, TransportKind, TransportSpawner,
@@ -559,6 +559,137 @@ impl DistributedCluster {
             }
         }
         Ok(cluster)
+    }
+
+    /// [`DistributedCluster::spawn_with`] for a *recovering* coordinator:
+    /// instead of handshaking blank servers, probe each one with the v3
+    /// `Resume` frame and **adopt** it — configuration, retained images
+    /// and all — when its watermark digests match what this coordinator
+    /// expects it to hold: the recovered settled lists (`expected`, source
+    /// then target store) routed to that server. An adopted server skips
+    /// both the `Hello` and the full image re-ship; any mismatch (blank
+    /// server, mid-batch crash leaving mid-round lists, different
+    /// configuration) falls back to the ordinary `Hello` handshake, which
+    /// resets the server. Returns the cluster and how many servers were
+    /// adopted.
+    ///
+    /// Digests cover *facts*, not pre/delta splits: a surviving server's
+    /// split still marks the last round's delta boundary while the
+    /// recovered coordinator treats everything as settled. Routing is
+    /// per-fact and order-preserving, so `routed(pre ++ delta) =
+    /// routed(pre) ++ routed(delta)` per relation — the fact lists agree
+    /// even though the boundaries do not, and the next `ApplyDelta` ships
+    /// fresh boundaries anyway.
+    pub fn resume_with(
+        mapping: &SchemaMapping,
+        tp: &TimelinePartition,
+        servers: usize,
+        sopts: SearchOptions,
+        spawner: Arc<dyn TransportSpawner>,
+        expected: [&FactLists; 2],
+    ) -> Result<(DistributedCluster, usize)> {
+        let servers = servers.max(1);
+        let mut slots = Vec::with_capacity(servers);
+        let mut cfg_digests = Vec::with_capacity(servers);
+        for s in 0..servers {
+            let cfg = ServerConfig::for_server(mapping, tp, s, servers, sopts);
+            let transport = spawner.spawn(s).map_err(|e| transport_err(s, e))?;
+            cfg_digests.push(config_digest(&cfg));
+            slots.push(ServerSlot {
+                transport,
+                hello: encode(&Message::Hello(cfg)),
+                shipped: [None, None],
+                respawns: 0,
+            });
+        }
+        let mut cluster = DistributedCluster {
+            slots,
+            tp: tp.clone(),
+            src_rels: mapping.source().len(),
+            tgt_rels: mapping.target().len(),
+            servers,
+            spawner,
+            traffic: TrafficStats::default(),
+        };
+        // What each surviving server *should* retain: the settled lists
+        // routed as all-pre (the delta boundary difference is immaterial —
+        // see above).
+        let routed = [
+            cluster.route_lists(
+                cluster.src_rels,
+                expected[0],
+                &vec![Vec::new(); cluster.src_rels],
+                None,
+            ),
+            cluster.route_lists(
+                cluster.tgt_rels,
+                expected[1],
+                &vec![Vec::new(); cluster.tgt_rels],
+                None,
+            ),
+        ];
+        // A server that dies during this probe goes through the ordinary
+        // retry path: its respawn replays `Hello` (shipped caches are still
+        // empty), the re-sent `Resume` reports unconfigured, and the
+        // fallback below re-`Hello`s — harmlessly redundant.
+        let mut resumed = 0;
+        for (s, resp) in cluster
+            .broadcast_same(&Message::Resume)?
+            .into_iter()
+            .enumerate()
+        {
+            let adopt = match resp {
+                Response::ResumeState {
+                    configured,
+                    config,
+                    images,
+                } => {
+                    configured
+                        && config == cfg_digests[s]
+                        && images[0] == image_digest(&routed[0].images[s])
+                        && images[1] == image_digest(&routed[1].images[s])
+                }
+                other => {
+                    return Err(transport_err(
+                        s,
+                        format!("unexpected Resume response {other:?}"),
+                    ))
+                }
+            };
+            if adopt {
+                resumed += 1;
+                for (k, r) in routed.iter().enumerate() {
+                    cluster.slots[s].shipped[k] = Some((r.images[s].clone(), r.splits[s].clone()));
+                }
+            } else {
+                let hello = cluster.slots[s].hello.clone();
+                match cluster.request_direct(s, &hello)? {
+                    Response::Ready => {}
+                    other => {
+                        return Err(transport_err(
+                            s,
+                            format!("unexpected Hello response {other:?}"),
+                        ))
+                    }
+                }
+            }
+        }
+        Ok((cluster, resumed))
+    }
+
+    /// Abandons the cluster the way a coordinator crash would: every
+    /// carrier is severed — closed with **no** protocol `Shutdown`, no
+    /// child reaping, no thread joins — so listen-mode servers keep their
+    /// retained images for a successor's [`Resume`](Message::Resume)
+    /// handshake. Crash-simulation support for durable sessions.
+    pub fn sever(mut self) {
+        let mut slots = std::mem::take(&mut self.slots);
+        for slot in &mut slots {
+            slot.transport.sever();
+        }
+        // `self` drops with no slots, so its Drop sends nothing; dropping
+        // the severed slots is carrier cleanup only (peers already
+        // detached).
     }
 
     /// The timeline partition the cluster was spawned over.

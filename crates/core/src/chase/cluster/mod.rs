@@ -37,10 +37,13 @@ pub mod transport;
 pub use coordinator::{
     c_chase_distributed_with, snapshot_consistent, DistributedCluster, TrafficStats,
 };
-pub use protocol::{Hom, MergeOp, Message, Response, ServerConfig, StoreKind, WireHom};
+pub use protocol::{
+    config_digest, image_digest, Hom, MergeOp, Message, Response, ServerConfig, StoreKind, WireHom,
+};
+pub use server::serve_listen;
 pub use transport::{
-    resolve_transport, spawner_for, ChannelSpawner, ChannelTransport, FaultInjector, TcpSpawner,
-    TcpTransport, Transport, TransportKind, TransportSpawner,
+    resolve_transport, spawner_for, ChannelSpawner, ChannelTransport, DurableTcpSpawner,
+    FaultInjector, TcpSpawner, TcpTransport, Transport, TransportKind, TransportSpawner,
 };
 
 pub(crate) use coordinator::{

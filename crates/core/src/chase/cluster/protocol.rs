@@ -41,6 +41,12 @@
 //!   facts.
 //! * [`Message::Ping`] — liveness heartbeat, answered by
 //!   [`Response::Pong`].
+//! * [`Message::Resume`] — the v3 reconnect handshake: a restarted
+//!   coordinator asks a surviving server for its configuration digest and
+//!   retained-image watermark digests ([`Response::ResumeState`]). On a
+//!   full match the coordinator adopts the server's images as its shipped
+//!   caches — no re-ship; any mismatch falls back to `Hello` + full
+//!   re-ship.
 //!
 //! Variables in homomorphism bindings travel by name, string constants as
 //! text — intern ids are process-local and never appear on the wire.
@@ -64,7 +70,12 @@ pub type FactLists = Vec<Vec<TemporalFact>>;
 /// v2: fused round frames ([`Message::TgdRoundFused`],
 /// [`Message::EgdRoundFused`]) and server-side Algorithm-1 discovery
 /// ([`Response::TgdFused`], [`Response::EgdFused`]).
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: the reconnect handshake ([`Message::Resume`] /
+/// [`Response::ResumeState`]) — a restarted coordinator asks a surviving
+/// server what configuration and retained images it still holds, and
+/// adopts them when the digests match instead of re-shipping everything.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Which of a server's two stores a message addresses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -249,6 +260,11 @@ pub enum Message {
         /// Run pair discovery over the synced lists.
         discover: bool,
     },
+    /// Reconnect probe (v3): report the digests of the configuration and
+    /// retained images this server still holds, without touching them.
+    /// Works on unconfigured servers (`configured: false` in the
+    /// response). Respond with [`Response::ResumeState`].
+    Resume,
 }
 
 /// One enumerated homomorphism: variable bindings (variables by name — wire
@@ -319,6 +335,45 @@ pub enum Response {
         /// Discovered pairs in server-local fact ids.
         images: Vec<ImagePair>,
     },
+    /// [`Message::Resume`] result: what this server still holds, as
+    /// digests. A reconnecting coordinator compares `config` against
+    /// [`config_digest`] of the configuration it *would* ship and
+    /// `images` against [`image_digest`] of the images it *would* route,
+    /// and only on a full match adopts the server without a re-ship.
+    ResumeState {
+        /// Whether a `Hello` configured this server (false on a fresh
+        /// spawn — the coordinator must fall back to `Hello`).
+        configured: bool,
+        /// [`config_digest`] of the server's `Hello` configuration.
+        config: u64,
+        /// [`image_digest`] of the retained image per store
+        /// (`[Source, Target]`, [`StoreKind::idx`] order).
+        images: [u64; 2],
+    },
+}
+
+/// A process-independent digest of an encoded [`Wire`] value: FxHash over
+/// the codec bytes. String constants travel as text in the codec, so two
+/// processes that hold the same value — whatever their intern tables say —
+/// digest identically.
+fn wire_digest<T: Wire>(value: &T) -> u64 {
+    use std::hash::Hasher;
+    let mut h = tdx_storage::fxhash::FxHasher::default();
+    h.write(&tdx_storage::codec::encode(value));
+    h.finish()
+}
+
+/// The digest a server reports for (and a coordinator expects of) one
+/// store's retained image: the per-relation fact lists, order-sensitive —
+/// the watermark diff is positional, so adopting an image is only sound
+/// when the fact *sequence* matches, not just the fact set.
+pub fn image_digest(image: &FactLists) -> u64 {
+    wire_digest(image)
+}
+
+/// The digest of a server configuration, for the v3 reconnect handshake.
+pub fn config_digest(cfg: &ServerConfig) -> u64 {
+    wire_digest(cfg)
 }
 
 impl Wire for StoreKind {
@@ -419,6 +474,7 @@ impl Wire for Message {
                 fresh.write(w);
                 discover.write(w);
             }
+            Message::Resume => w.u8(9),
         }
     }
     fn read(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
@@ -454,6 +510,7 @@ impl Wire for Message {
                 fresh: Wire::read(r)?,
                 discover: Wire::read(r)?,
             }),
+            9 => Ok(Message::Resume),
             tag => Err(CodecError(format!("unknown Message tag {tag}"))),
         }
     }
@@ -489,6 +546,17 @@ impl Wire for Response {
                 merges.write(w);
                 images.write(w);
             }
+            Response::ResumeState {
+                configured,
+                config,
+                images,
+            } => {
+                w.u8(9);
+                configured.write(w);
+                w.u64(*config);
+                w.u64(images[0]);
+                w.u64(images[1]);
+            }
         }
     }
     fn read(r: &mut ByteReader<'_>) -> std::result::Result<Self, CodecError> {
@@ -510,6 +578,11 @@ impl Wire for Response {
             8 => Ok(Response::EgdFused {
                 merges: Wire::read(r)?,
                 images: Wire::read(r)?,
+            }),
+            9 => Ok(Response::ResumeState {
+                configured: Wire::read(r)?,
+                config: r.u64()?,
+                images: [r.u64()?, r.u64()?],
             }),
             tag => Err(CodecError(format!("unknown Response tag {tag}"))),
         }
@@ -607,6 +680,7 @@ mod tests {
                 fresh: vec![],
                 discover: false,
             },
+            Message::Resume,
         ];
         for msg in &msgs {
             assert_eq!(&decode::<Message>(&encode(msg)).unwrap(), msg);
@@ -642,10 +716,45 @@ mod tests {
                 )],
                 images: vec![],
             },
+            Response::ResumeState {
+                configured: true,
+                config: 0xDEAD_BEEF_0123_4567,
+                images: [42, u64::MAX],
+            },
+            Response::ResumeState {
+                configured: false,
+                config: 0,
+                images: [0, 0],
+            },
         ];
         for resp in &resps {
             assert_eq!(&decode::<Response>(&encode(resp)).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn digests_are_content_and_order_sensitive() {
+        let fact = sample_fact();
+        let other = TemporalFact {
+            data: row([Value::str("Bob"), Value::str("IBM")]),
+            interval: Interval::from(2015),
+        };
+        let image: FactLists = vec![vec![fact.clone(), other.clone()], vec![]];
+        assert_eq!(image_digest(&image), image_digest(&image.clone()));
+        // The watermark diff is positional: swapping two facts must change
+        // the digest even though the set is unchanged.
+        let swapped: FactLists = vec![vec![other, fact], vec![]];
+        assert_ne!(image_digest(&image), image_digest(&swapped));
+        assert_ne!(
+            image_digest(&image),
+            image_digest(&vec![Vec::new(), Vec::new()])
+        );
+        // Config digests separate different server slots of one cluster.
+        let cfg = sample_config();
+        assert_eq!(config_digest(&cfg), config_digest(&cfg.clone()));
+        let mut other_slot = cfg.clone();
+        other_slot.owned = vec![0];
+        assert_ne!(config_digest(&cfg), config_digest(&other_slot));
     }
 
     #[test]
@@ -699,8 +808,9 @@ mod tests {
                 .collect()
         };
         for case in 0..200u64 {
-            let msg = match case % 7 {
+            let msg = match case % 8 {
                 0 => Message::Hello(sample_config()),
+                7 => Message::Resume,
                 1 => {
                     let sync = rand_sync(&mut rng);
                     Message::ApplyDelta {

@@ -4,10 +4,13 @@
 //! [`ServerState`] is carrier-agnostic — the same state machine runs behind
 //! an in-process channel pair ([`serve_channel`]) and a TCP stream
 //! ([`serve_stream`], reached from the hidden `tdx serve-partition`
-//! subcommand via [`serve_connect`]). A server starts *unconfigured* and
-//! must receive [`Message::Hello`] before any store traffic; that keeps the
-//! channel and process lifecycles identical — spawn is always
-//! "start a blank peer, then configure it over the wire".
+//! subcommand via [`serve_connect`], or from its durable `--listen` mode
+//! via [`serve_listen`], which retains the state across successive control
+//! connections so a restarted coordinator can [`Message::Resume`]). A
+//! server starts *unconfigured* and must receive [`Message::Hello`] before
+//! any store traffic; that keeps the channel and process lifecycles
+//! identical — spawn is always "start a blank peer, then configure it over
+//! the wire".
 //!
 //! # Retained images
 //!
@@ -20,12 +23,12 @@
 //! rebuild is local CPU; only genuinely new facts cross the wire.
 
 use super::protocol::{
-    FactLists, ImagePair, Message, PartitionHoms, PartitionMerges, RelationSync, Response,
-    ServerConfig, StoreKind, SyncOp, WireHom,
+    config_digest, image_digest, FactLists, ImagePair, Message, PartitionHoms, PartitionMerges,
+    RelationSync, Response, ServerConfig, StoreKind, SyncOp, WireHom,
 };
 use crate::chase::partitioned::{sweep_images, sweep_specs, unpack_ref};
 use std::io;
-use std::net::TcpStream;
+use std::net::{TcpListener, TcpStream};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use tdx_storage::codec::{decode, encode, read_frame, write_frame};
@@ -66,6 +69,25 @@ impl ServerState {
         match msg {
             Message::Ping => Ok(Response::Pong),
             Message::Shutdown => Ok(Response::Stopped),
+            Message::Resume => {
+                // Carrier-level like Ping: report what this server still
+                // holds, as digests, without touching it. A fresh spawn
+                // answers `configured: false` and the coordinator falls
+                // back to the Hello path.
+                let (configured, config, images) = match &self.cfg {
+                    Some(cfg) => (
+                        true,
+                        config_digest(cfg),
+                        [image_digest(&self.image[0]), image_digest(&self.image[1])],
+                    ),
+                    None => (false, 0, [0, 0]),
+                };
+                Ok(Response::ResumeState {
+                    configured,
+                    config,
+                    images,
+                })
+            }
             Message::Hello(cfg) => {
                 // (Re)configure; any retained image belongs to the old
                 // configuration.
@@ -393,23 +415,51 @@ impl ServerState {
     }
 }
 
-/// The carrier-agnostic server loop: frames in, frames out, until
-/// `Shutdown`, a closed carrier (`recv` returns `None` / `send` returns
-/// `false` — the coordinator is gone), or a protocol violation (`Err`).
-pub(crate) fn serve_loop(
+/// Why one carrier loop ended: a protocol `Shutdown` (the server should
+/// exit) versus a dead carrier (`recv` returned `None` / `send` returned
+/// `false` — the coordinator is gone). Rendezvous servers treat both as
+/// exit; a listen-mode server survives a disconnect, retains its images,
+/// and waits for a reconnecting coordinator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum LoopEnd {
+    /// A protocol `Shutdown` was acknowledged.
+    Shutdown,
+    /// The carrier closed without a `Shutdown` (coordinator death or a
+    /// failed send).
+    Disconnected,
+}
+
+/// The carrier-agnostic server loop over an existing (possibly already
+/// configured) state: frames in, frames out, until `Shutdown`, a closed
+/// carrier, or a protocol violation (`Err`).
+pub(crate) fn serve_state_loop(
+    state: &mut ServerState,
     mut recv: impl FnMut() -> Option<Vec<u8>>,
     mut send: impl FnMut(&[u8]) -> bool,
-) -> Result<(), String> {
-    let mut state = ServerState::new();
+) -> Result<LoopEnd, String> {
     while let Some(bytes) = recv() {
         let msg = decode::<Message>(&bytes).map_err(|e| e.to_string())?;
         let stop = matches!(msg, Message::Shutdown);
         let resp = state.handle(msg)?;
-        if !send(&encode(&resp)) || stop {
-            return Ok(());
+        let sent = send(&encode(&resp));
+        if stop {
+            return Ok(LoopEnd::Shutdown);
+        }
+        if !sent {
+            return Ok(LoopEnd::Disconnected);
         }
     }
-    Ok(())
+    Ok(LoopEnd::Disconnected)
+}
+
+/// [`serve_state_loop`] over a fresh state, for rendezvous carriers whose
+/// state dies with the connection. Exits on disconnect — a `--connect`
+/// child whose coordinator was killed must not linger as an orphan.
+pub(crate) fn serve_loop(
+    recv: impl FnMut() -> Option<Vec<u8>>,
+    send: impl FnMut(&[u8]) -> bool,
+) -> Result<(), String> {
+    serve_state_loop(&mut ServerState::new(), recv, send).map(|_| ())
 }
 
 /// Serves one in-process channel pair (the body of a
@@ -438,9 +488,92 @@ pub fn serve_stream(stream: TcpStream) -> io::Result<()> {
 /// The `tdx serve-partition --connect ADDR` entry point: dial the
 /// coordinator's rendezvous listener and serve the connection until it
 /// shuts us down. The process holds no state beyond the connection — its
-/// whole configuration arrives as the `Hello` handshake.
+/// whole configuration arrives as the `Hello` handshake. The connection
+/// EOF-ing without a `Shutdown` (the coordinator process was killed) also
+/// exits the process: a rendezvous child has no way to be found again, so
+/// lingering would only leak it.
 pub fn serve_connect(addr: &str) -> io::Result<()> {
     serve_stream(TcpStream::connect(addr)?)
+}
+
+/// The `tdx serve-partition --listen ADDR` entry point — the durable-
+/// session variant. Binds `addr` (port 0 picks a free port), optionally
+/// publishes the actual bound address to `addr_file` (written atomically:
+/// temp file + rename), then accepts control connections **one at a time,
+/// retaining the server state across them**: a coordinator crash EOFs the
+/// connection, the images survive, and a restarted coordinator reconnects
+/// and `Resume`s. The process exits on a protocol `Shutdown`, on a
+/// protocol violation, or — when `idle_exit` is set — after that long
+/// without a connected coordinator, so leaked servers self-reap in CI.
+pub fn serve_listen(
+    addr: &str,
+    addr_file: Option<&std::path::Path>,
+    idle_exit: Option<std::time::Duration>,
+) -> io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    if let Some(path) = addr_file {
+        publish_addr(&listener, path)?;
+    }
+    serve_listener(listener, idle_exit)
+}
+
+/// Atomically publishes a listener's actual bound address to `path` (temp
+/// file + rename), so a spawner polling the file never reads a partial
+/// write.
+pub(crate) fn publish_addr(listener: &TcpListener, path: &std::path::Path) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, listener.local_addr()?.to_string())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// The accept loop of [`serve_listen`] over an already-bound listener —
+/// also the body of the in-process durable fallback thread (no `tdx`
+/// binary found), which pre-binds to learn the address.
+pub(crate) fn serve_listener(
+    listener: TcpListener,
+    idle_exit: Option<std::time::Duration>,
+) -> io::Result<()> {
+    if idle_exit.is_some() {
+        listener.set_nonblocking(true)?;
+    }
+    let mut state = ServerState::new();
+    loop {
+        let stream = match idle_exit {
+            None => listener.accept()?.0,
+            Some(limit) => {
+                let deadline = std::time::Instant::now() + limit;
+                loop {
+                    match listener.accept() {
+                        Ok((s, _)) => break s,
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            if std::time::Instant::now() >= deadline {
+                                return Ok(());
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        };
+        // The accepted stream may inherit the listener's nonblocking mode.
+        stream.set_nonblocking(false)?;
+        stream.set_nodelay(true)?;
+        let mut reader = io::BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let end = serve_state_loop(
+            &mut state,
+            || read_frame(&mut reader).ok(),
+            |b| write_frame(&mut writer, b).is_ok(),
+        )
+        .map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("partition server: {e}"))
+        })?;
+        match end {
+            LoopEnd::Shutdown => return Ok(()),
+            LoopEnd::Disconnected => continue,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -553,6 +686,45 @@ mod tests {
                 }],
             })
             .is_err());
+    }
+
+    #[test]
+    fn resume_reports_configuration_and_image_digests() {
+        let mut s = ServerState::new();
+        // Unconfigured: carrier-level, answers without erroring.
+        assert_eq!(
+            s.handle(Message::Resume),
+            Ok(Response::ResumeState {
+                configured: false,
+                config: 0,
+                images: [0, 0],
+            })
+        );
+        let cfg = config();
+        s.handle(Message::Hello(cfg.clone())).unwrap();
+        let empty_src: FactLists = vec![Vec::new(); cfg.src_schema.len()];
+        let empty_tgt: FactLists = vec![Vec::new(); cfg.tgt_schema.len()];
+        assert_eq!(
+            s.handle(Message::Resume),
+            Ok(Response::ResumeState {
+                configured: true,
+                config: config_digest(&cfg),
+                images: [image_digest(&empty_src), image_digest(&empty_tgt)],
+            })
+        );
+        // After a ship, the source digest tracks the retained image.
+        let a = fact("Ada", "IBM", Interval::new(1, 5));
+        s.handle(ship(vec![SyncOp::Insert(vec![a.clone()])], 1))
+            .unwrap();
+        let shipped: FactLists = vec![vec![a], Vec::new()];
+        assert_eq!(
+            s.handle(Message::Resume),
+            Ok(Response::ResumeState {
+                configured: true,
+                config: config_digest(&cfg),
+                images: [image_digest(&shipped), image_digest(&empty_tgt)],
+            })
+        );
     }
 
     #[test]

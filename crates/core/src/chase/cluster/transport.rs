@@ -17,6 +17,11 @@
 //!   same sockets, same frames, no child process — and says so via
 //!   [`TcpPeer`].
 //!
+//! Durable sessions use a third spawner, [`DurableTcpSpawner`]: servers
+//! run in *listen* mode, publish their addresses into the session's state
+//! directory, and survive a coordinator crash — a restarted coordinator
+//! reconnects instead of respawning and re-shipping.
+//!
 //! The backend is picked per chase through
 //! [`ChaseOptions::transport`](crate::chase::concrete::ChaseOptions), the
 //! `--transport` CLI flag, or the `TDX_CHASE_TRANSPORT` environment
@@ -25,7 +30,7 @@
 //! carry frames, they never interpret them.
 
 use super::protocol::{Message, Response};
-use super::server::{serve_channel, serve_stream};
+use super::server::{publish_addr, serve_channel, serve_listener, serve_stream};
 use std::io::{self, BufReader};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -98,6 +103,15 @@ pub trait Transport: Send {
     fn recv(&mut self) -> io::Result<Vec<u8>>;
     /// Tears the carrier down (best effort, idempotent).
     fn shutdown(&mut self);
+    /// Abandons the carrier the way a crash would: closes it *without* a
+    /// protocol `Shutdown`, without reaping child processes, without
+    /// joining threads. The peer observes a bare EOF — exactly what it
+    /// would see if the coordinator process were killed. Crash-simulation
+    /// support for durable sessions; backends without a survivable peer
+    /// just tear down.
+    fn sever(&mut self) {
+        self.shutdown();
+    }
 }
 
 /// Spawns transports — and respawns them when the coordinator's retry path
@@ -181,6 +195,14 @@ impl Transport for ChannelTransport {
             let _ = join.join();
         }
     }
+
+    fn sever(&mut self) {
+        // An in-process server cannot outlive its coordinator, so a
+        // "crash" just drops the sender (the thread sees the closed
+        // channel and exits) and detaches the join handle.
+        self.tx = None;
+        self.join = None;
+    }
 }
 
 impl Drop for ChannelTransport {
@@ -198,6 +220,11 @@ enum TcpPeer {
     Child(Child),
     /// The in-process fallback thread (no `tdx` binary found).
     Thread(Option<JoinHandle<()>>),
+    /// A peer this transport does not own: a listen-mode server another
+    /// (possibly dead) coordinator spawned and we reconnected to, or a
+    /// peer deliberately abandoned by [`Transport::sever`]. It manages
+    /// its own lifetime — protocol `Shutdown` or `--idle-exit`.
+    Detached,
 }
 
 /// Out-of-process backend: length-prefixed codec frames over a loopback
@@ -377,13 +404,205 @@ impl Transport for TcpTransport {
                     let _ = join.join();
                 }
             }
+            TcpPeer::Detached => {}
         }
+    }
+
+    fn sever(&mut self) {
+        // Close the socket (the peer sees EOF, as on a coordinator kill)
+        // but leave the peer alive: a listen-mode server keeps its state
+        // for the Resume handshake of the next coordinator.
+        let _ = self.writer.shutdown(Shutdown::Both);
+        // Dropping a `Child` handle does not kill the process.
+        self.peer = TcpPeer::Detached;
     }
 }
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable TCP backend (reconnect-capable)
+
+/// Reconnect-capable TCP spawner for durable exchange sessions.
+///
+/// Where [`TcpSpawner`] rendezvouses with a `--connect` child whose life is
+/// tied to this coordinator, `DurableTcpSpawner` runs servers in *listen*
+/// mode and records where they listen: server `s` publishes its bound
+/// address to `server-{s}.addr` inside `state_dir`. A spawn first tries to
+/// **reconnect** to that address — if a server from a previous (crashed)
+/// coordinator still listens there and answers a protocol probe, the
+/// existing process is adopted with all its retained state, ready for the
+/// coordinator's `Resume` handshake. Only when nothing (or something
+/// unresponsive) is there does it launch a fresh `tdx serve-partition
+/// --listen` child — with `--idle-exit` so an abandoned server eventually
+/// reaps itself. With no `tdx` binary available it degrades to an
+/// in-process *detached* listener thread, which equally survives transport
+/// teardown and so still exercises the reconnect path.
+pub struct DurableTcpSpawner {
+    state_dir: PathBuf,
+    idle_exit: Duration,
+}
+
+impl DurableTcpSpawner {
+    /// A spawner persisting server addresses under `state_dir` (created if
+    /// missing), with the default 5-minute idle self-exit for servers.
+    pub fn new(state_dir: impl Into<PathBuf>) -> DurableTcpSpawner {
+        DurableTcpSpawner {
+            state_dir: state_dir.into(),
+            idle_exit: Duration::from_secs(300),
+        }
+    }
+
+    /// Overrides how long an idle (coordinator-less) server lingers before
+    /// exiting on its own.
+    pub fn idle_exit(mut self, limit: Duration) -> DurableTcpSpawner {
+        self.idle_exit = limit;
+        self
+    }
+
+    /// Path of the file server `server` publishes its listen address to.
+    pub fn addr_file(&self, server: usize) -> PathBuf {
+        self.state_dir.join(format!("server-{server}.addr"))
+    }
+
+    /// Attempts to adopt a surviving server at its published address.
+    fn try_reconnect(&self, server: usize) -> Option<TcpTransport> {
+        let addr: std::net::SocketAddr = std::fs::read_to_string(self.addr_file(server))
+            .ok()?
+            .trim()
+            .parse()
+            .ok()?;
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+        probe_stream(stream)
+    }
+
+    fn spawn_fresh(&self, server: usize) -> io::Result<TcpTransport> {
+        std::fs::create_dir_all(&self.state_dir)?;
+        let addr_path = self.addr_file(server);
+        let _ = std::fs::remove_file(&addr_path);
+        if let Some(bin) = resolve_serve_bin() {
+            let child = Command::new(bin)
+                .arg("serve-partition")
+                .arg("--listen")
+                .arg("127.0.0.1:0")
+                .arg("--addr-file")
+                .arg(&addr_path)
+                .arg("--idle-exit")
+                .arg(self.idle_exit.as_secs().max(1).to_string())
+                .stdin(Stdio::null())
+                .spawn();
+            if let Ok(mut child) = child {
+                match wait_addr_file(&addr_path, Duration::from_secs(10), &mut child) {
+                    Ok(addr) => {
+                        let probed = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+                            .ok()
+                            .and_then(probe_stream);
+                        if let Some(mut transport) = probed {
+                            // Own the child: a clean teardown (protocol
+                            // Shutdown, then carrier shutdown) reaps it; a
+                            // sever leaves it alive for the successor.
+                            transport.peer = TcpPeer::Child(child);
+                            return Ok(transport);
+                        }
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                    Err(_) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+            }
+        }
+        // In-process fallback: a *detached* listener thread with the same
+        // persistent state and idle exit, so reconnects work identically.
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        publish_addr(&listener, &addr_path)?;
+        let addr = listener.local_addr()?;
+        let idle = self.idle_exit;
+        std::thread::Builder::new()
+            .name(format!("tdx-part-server-{server}-listen"))
+            .spawn(move || {
+                let _ = serve_listener(listener, Some(idle));
+            })?;
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+        probe_stream(stream).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "in-process listen server failed the protocol probe",
+            )
+        })
+    }
+}
+
+impl TransportSpawner for DurableTcpSpawner {
+    fn spawn(&self, server: usize) -> io::Result<Box<dyn Transport>> {
+        if let Some(t) = self.try_reconnect(server) {
+            return Ok(Box::new(t));
+        }
+        Ok(Box::new(self.spawn_fresh(server)?))
+    }
+
+    fn kind(&self) -> TransportKind {
+        TransportKind::Tcp
+    }
+}
+
+/// One `Ping` round-trip under a read timeout: proves the peer is alive
+/// and speaks this build's protocol, without letting a wedged or stale
+/// process hang the spawn. Returns the transport (peer detached — the
+/// caller decides ownership) with the timeout cleared.
+fn probe_stream(stream: TcpStream) -> Option<TcpTransport> {
+    stream.set_nodelay(true).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    let mut transport = TcpTransport {
+        reader: BufReader::new(stream.try_clone().ok()?),
+        writer: stream,
+        peer: TcpPeer::Detached,
+    };
+    let pong = transport
+        .send(&tdx_storage::codec::encode(&Message::Ping))
+        .and_then(|()| transport.recv())
+        .ok()
+        .and_then(|b| tdx_storage::codec::decode::<Response>(&b).ok());
+    if pong != Some(Response::Pong) {
+        return None;
+    }
+    transport.writer.set_read_timeout(None).ok()?;
+    Some(transport)
+}
+
+/// Polls for a listen-mode server's published address, watching the child
+/// so a startup crash fails fast instead of waiting out the deadline.
+fn wait_addr_file(
+    path: &std::path::Path,
+    deadline: Duration,
+    child: &mut Child,
+) -> io::Result<std::net::SocketAddr> {
+    let t0 = Instant::now();
+    loop {
+        if let Ok(s) = std::fs::read_to_string(path) {
+            if let Ok(addr) = s.trim().parse() {
+                return Ok(addr);
+            }
+        }
+        if matches!(child.try_wait(), Ok(Some(_)) | Err(_)) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "partition server process exited before publishing its address",
+            ));
+        }
+        if t0.elapsed() > deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "partition server never published its address",
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(2));
     }
 }
 
@@ -454,6 +673,10 @@ impl Transport for FaultTransport {
 
     fn shutdown(&mut self) {
         self.inner.shutdown();
+    }
+
+    fn sever(&mut self) {
+        self.inner.sever();
     }
 }
 
@@ -535,6 +758,41 @@ mod tests {
             resolve_transport(Some(TransportKind::Tcp)),
             TransportKind::Tcp
         );
+    }
+
+    #[test]
+    fn severed_channel_transport_detaches_without_hanging() {
+        let mut t = ChannelSpawner.spawn(0).unwrap();
+        assert_eq!(ping(&mut t), Response::Pong);
+        t.sever();
+        assert!(t.send(b"x").is_err());
+        // Idempotent with the normal teardown that follows on drop.
+        t.shutdown();
+    }
+
+    #[test]
+    fn durable_tcp_spawner_reconnects_to_a_surviving_server() {
+        let dir = std::env::temp_dir().join(format!("tdx-durable-spawn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spawner = DurableTcpSpawner::new(&dir).idle_exit(Duration::from_secs(30));
+        let mut t = spawner.spawn(0).unwrap();
+        assert_eq!(ping(&mut t), Response::Pong);
+        let addr = std::fs::read_to_string(spawner.addr_file(0)).unwrap();
+
+        // Crash the coordinator side: the carrier dies, the server lives.
+        t.sever();
+        drop(t);
+
+        // A successor adopts the same server — the published address is
+        // untouched (a fresh spawn would have rewritten it with a new
+        // port) and the peer still answers.
+        let mut t2 = spawner.spawn(0).unwrap();
+        assert_eq!(std::fs::read_to_string(spawner.addr_file(0)).unwrap(), addr);
+        assert_eq!(ping(&mut t2), Response::Pong);
+        t2.send(&encode(&Message::Shutdown)).unwrap();
+        let _ = t2.recv();
+        t2.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

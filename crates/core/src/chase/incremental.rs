@@ -58,8 +58,8 @@
 //! argument is spelled out in `docs/incremental.md`.
 
 use crate::chase::cluster::{
-    classify_check, fold_merge_ops, is_transport_error, memo_probe_key, resolve_transport, Check,
-    DistributedCluster, Hom, MergeOp, TrafficStats,
+    classify_check, fold_merge_ops, is_transport_error, memo_probe_key, resolve_transport,
+    spawner_for, Check, DistributedCluster, Hom, MergeOp, TrafficStats, TransportSpawner,
 };
 use crate::chase::concrete::{instantiate, AnnotatedUnionFind, ChaseEngine, ChaseOptions, UfKey};
 use crate::chase::partitioned::{fact_at, refragment_lists, rewrite_values, FactLists};
@@ -67,9 +67,11 @@ use crate::error::{Result, TdxError};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Term, Var};
+use tdx_storage::codec::encode;
 use tdx_storage::fxhash::{FxHashMap, FxHashSet};
 use tdx_storage::{
-    NullGen, Row, SearchOptions, TemporalFact, TemporalInstance, TemporalMode, Value,
+    ByteReader, ByteWriter, CodecError, NullGen, Row, SearchOptions, TemporalFact,
+    TemporalInstance, TemporalMode, Value, Wire,
 };
 use tdx_temporal::{Breakpoints, Interval, TimePoint, TimelinePartition};
 
@@ -133,6 +135,23 @@ impl DeltaBatch {
     /// Whether the batch queues no changes.
     pub fn is_empty(&self) -> bool {
         self.inserts.is_empty() && self.refines.is_empty()
+    }
+}
+
+/// `DeltaBatch` rides the durable session's write-ahead log: insertions
+/// and refinements serialize in queue order, so a replayed batch is
+/// applied exactly as the original was.
+impl Wire for DeltaBatch {
+    fn write(&self, w: &mut ByteWriter) {
+        self.inserts.write(w);
+        self.refines.write(w);
+    }
+
+    fn read(r: &mut ByteReader<'_>) -> std::result::Result<DeltaBatch, CodecError> {
+        Ok(DeltaBatch {
+            inserts: Wire::read(r)?,
+            refines: Wire::read(r)?,
+        })
     }
 }
 
@@ -477,6 +496,9 @@ pub struct IncrementalExchange {
     /// between clones — every round re-ships its fact lists first, so
     /// clones cannot observe each other's state).
     cluster: Option<Arc<Mutex<DistributedCluster>>>,
+    /// Spawner every cluster (re)spawn goes through when set — the durable
+    /// session's hook for reconnect-capable listen-mode servers.
+    spawner_override: Option<Arc<dyn TransportSpawner>>,
     nulls: NullGen,
     stats: SessionStats,
     poisoned: Option<String>,
@@ -574,6 +596,7 @@ impl IncrementalExchange {
             probe_needed,
             servers,
             cluster: None,
+            spawner_override: None,
             nulls: NullGen::new(),
             stats: SessionStats::default(),
             poisoned: None,
@@ -590,6 +613,156 @@ impl IncrementalExchange {
         let mut s = self.stats.clone();
         s.nulls_created = self.nulls.peek();
         s
+    }
+
+    /// Durable-state format version; [`restore_state`](Self::restore_state)
+    /// rejects any other.
+    pub(crate) const STATE_VERSION: u32 = 1;
+
+    /// Fingerprint over everything a replayed state depends on: both
+    /// schemas and every dependency. A state recorded under a different
+    /// mapping must not silently restore.
+    pub(crate) fn config_fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = tdx_storage::fxhash::FxHasher::default();
+        h.write(&encode(self.src_schema.as_ref()));
+        h.write(&encode(self.tgt_schema.as_ref()));
+        for tgd in self.mapping.st_tgds() {
+            h.write(&encode(&tgd.body));
+            h.write(&encode(&tgd.head));
+        }
+        for egd in self.mapping.egds() {
+            h.write(&encode(&egd.body));
+            h.write(&encode(&egd.lhs));
+            h.write(&encode(&egd.rhs));
+        }
+        h.finish()
+    }
+
+    /// Serializes the session's full chase state — accumulated source,
+    /// timeline partition, normalized source, materialized target, memo
+    /// tables, null counter and session counters — in **canonical** form:
+    /// hash-set state is emitted sorted, so two sessions holding equal
+    /// state encode byte-identically regardless of how they got there
+    /// (the recovery property tests compare these bytes directly). The
+    /// derived indexes — source dedup set, endpoint set, compiled match
+    /// plans — are rebuilt by [`restore_state`](Self::restore_state).
+    pub(crate) fn encode_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u32(Self::STATE_VERSION);
+        w.u64(self.config_fingerprint());
+        self.source.write(&mut w);
+        w.u64(self.endpoints_at_cut as u64);
+        self.tp.write(&mut w);
+        self.nsrc.write(&mut w);
+        self.tgt.write(&mut w);
+        w.u64(self.memos.len() as u64);
+        for memo in &self.memos {
+            let mut entries: Vec<&(Vec<Value>, Interval)> = memo.iter().collect();
+            entries.sort_by_cached_key(|e| encode(*e));
+            w.u64(entries.len() as u64);
+            for entry in entries {
+                entry.write(&mut w);
+            }
+        }
+        w.u64(self.nulls.peek());
+        w.u64(self.stats.batches as u64);
+        w.u64(self.stats.tgd_steps as u64);
+        w.u64(self.stats.egd_merges as u64);
+        w.u64(self.stats.full_rechases as u64);
+        w.into_bytes()
+    }
+
+    /// Restores a snapshot produced by [`encode_state`](Self::encode_state)
+    /// into this session, which must have been constructed over the same
+    /// mapping (the fingerprint is checked). Nothing is committed until
+    /// the whole snapshot parses and its shape matches, so a corrupt
+    /// snapshot errors cleanly and leaves the session untouched. Any
+    /// running cluster is discarded — recovery re-attaches separately.
+    pub(crate) fn restore_state(&mut self, bytes: &[u8]) -> Result<()> {
+        let bad = |e: CodecError| TdxError::Invalid(format!("durable state: {e}"));
+        let mut r = ByteReader::new(bytes);
+        let version = r.u32().map_err(bad)?;
+        if version != Self::STATE_VERSION {
+            return Err(TdxError::Invalid(format!(
+                "durable state: unsupported state version {version} (this build speaks {})",
+                Self::STATE_VERSION
+            )));
+        }
+        if r.u64().map_err(bad)? != self.config_fingerprint() {
+            return Err(TdxError::Invalid(
+                "durable state: snapshot was recorded under a different schema mapping".into(),
+            ));
+        }
+        let source: FactLists = Wire::read(&mut r).map_err(bad)?;
+        let endpoints_at_cut = r.u64().map_err(bad)? as usize;
+        let tp: TimelinePartition = Wire::read(&mut r).map_err(bad)?;
+        let nsrc: FactLists = Wire::read(&mut r).map_err(bad)?;
+        let tgt: FactLists = Wire::read(&mut r).map_err(bad)?;
+        let nmemos = r.u64().map_err(bad)? as usize;
+        if nmemos != self.memos.len() {
+            return Err(TdxError::Invalid(
+                "durable state: memo table count mismatch".into(),
+            ));
+        }
+        let mut memos: Vec<FxHashSet<(Vec<Value>, Interval)>> = Vec::with_capacity(nmemos);
+        for _ in 0..nmemos {
+            let len = r.u64().map_err(bad)? as usize;
+            let mut set: FxHashSet<(Vec<Value>, Interval)> = Default::default();
+            for _ in 0..len {
+                set.insert(Wire::read(&mut r).map_err(bad)?);
+            }
+            memos.push(set);
+        }
+        let nulls_next = r.u64().map_err(bad)?;
+        let stats = SessionStats {
+            batches: r.u64().map_err(bad)? as usize,
+            tgd_steps: r.u64().map_err(bad)? as usize,
+            egd_merges: r.u64().map_err(bad)? as usize,
+            full_rechases: r.u64().map_err(bad)? as usize,
+            nulls_created: 0,
+        };
+        if !r.is_exhausted() {
+            return Err(TdxError::Invalid(
+                "durable state: trailing bytes after snapshot".into(),
+            ));
+        }
+        if source.len() != self.src_schema.len()
+            || nsrc.len() != self.src_schema.len()
+            || tgt.len() != self.tgt_schema.len()
+        {
+            return Err(TdxError::Invalid(
+                "durable state: relation count mismatch".into(),
+            ));
+        }
+        // Commit, rebuilding the derived indexes from the restored lists.
+        self.source_set = source
+            .iter()
+            .enumerate()
+            .flat_map(|(rel, facts)| {
+                facts
+                    .iter()
+                    .map(move |f| (rel as u32, Arc::clone(&f.data), f.interval))
+            })
+            .collect();
+        self.endpoints.clear();
+        for fact in source.iter().flatten() {
+            self.endpoints.insert(fact.interval.start());
+            if let tdx_temporal::Endpoint::Fin(e) = fact.interval.end() {
+                self.endpoints.insert(e);
+            }
+        }
+        self.source = source;
+        self.endpoints_at_cut = endpoints_at_cut;
+        self.tp = tp;
+        self.nsrc = nsrc;
+        self.tgt = tgt;
+        self.memos = memos;
+        self.nulls = NullGen::starting_at(nulls_next);
+        self.stats = stats;
+        self.cluster = None;
+        self.poisoned = None;
+        Ok(())
     }
 
     /// Number of facts in the materialized target.
@@ -728,12 +901,22 @@ impl IncrementalExchange {
                 }
             };
             if stale {
-                self.cluster = Some(Arc::new(Mutex::new(DistributedCluster::spawn_on(
+                // Drop the old cluster *before* spawning its replacement:
+                // with reconnect-capable (listen-mode) servers, a server
+                // still serving the old connection would never accept the
+                // new spawner's probe — the drop's protocol Shutdown (or
+                // carrier EOF) frees it first.
+                self.cluster = None;
+                let spawner = match &self.spawner_override {
+                    Some(sp) => Arc::clone(sp),
+                    None => spawner_for(resolve_transport(self.opts.transport)),
+                };
+                self.cluster = Some(Arc::new(Mutex::new(DistributedCluster::spawn_with(
                     &self.mapping,
                     &self.tp,
                     self.servers,
                     self.sopts,
-                    resolve_transport(self.opts.transport),
+                    spawner,
                 )?)));
             }
             let cluster = self.cluster.as_ref().expect("cluster just ensured");
@@ -745,6 +928,53 @@ impl IncrementalExchange {
                     retried = true;
                 }
                 out => return out,
+            }
+        }
+    }
+
+    /// Partition-server count (`0` = local evaluation).
+    pub(crate) fn server_count(&self) -> usize {
+        self.servers
+    }
+
+    /// The transport backend the session's cluster (if any) runs on.
+    pub(crate) fn transport_kind(&self) -> crate::chase::cluster::TransportKind {
+        resolve_transport(self.opts.transport)
+    }
+
+    /// Re-attaches to surviving partition servers (see
+    /// [`DistributedCluster::resume_with`]): a server whose `Resume`
+    /// watermark digests match the recovered settled lists is adopted with
+    /// its retained images intact; a blank or mismatched one gets the
+    /// ordinary `Hello` handshake and a full re-ship on its first round.
+    /// `spawner` also becomes the session's override for later respawns.
+    /// Returns how many servers were adopted; no-op for local sessions.
+    pub(crate) fn resume_cluster(&mut self, spawner: Arc<dyn TransportSpawner>) -> Result<usize> {
+        if self.servers == 0 {
+            return Ok(0);
+        }
+        self.spawner_override = Some(Arc::clone(&spawner));
+        self.cluster = None;
+        let (cluster, resumed) = DistributedCluster::resume_with(
+            &self.mapping,
+            &self.tp,
+            self.servers,
+            self.sopts,
+            spawner,
+            [&self.nsrc, &self.tgt],
+        )?;
+        self.cluster = Some(Arc::new(Mutex::new(cluster)));
+        Ok(resumed)
+    }
+
+    /// Abandons the cluster as a coordinator crash would: carriers
+    /// severed, no protocol shutdown, listen-mode servers keep their
+    /// retained state. A cluster shared with session clones cannot be
+    /// severed and is released normally instead.
+    pub(crate) fn sever_cluster(&mut self) {
+        if let Some(cluster) = self.cluster.take() {
+            if let Ok(m) = Arc::try_unwrap(cluster) {
+                m.into_inner().unwrap_or_else(|e| e.into_inner()).sever();
             }
         }
     }
@@ -1240,7 +1470,7 @@ fn lists_to_instance(schema: &Arc<Schema>, lists: &FactLists) -> TemporalInstanc
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::chase::concrete::c_chase_with;
     use crate::hom::hom_equivalent;
@@ -1252,7 +1482,7 @@ mod tests {
         Interval::new(s, e)
     }
 
-    fn paper_mapping() -> SchemaMapping {
+    pub(crate) fn paper_mapping() -> SchemaMapping {
         SchemaMapping::new(
             parse_schema("E(name, company). S(name, salary).").unwrap(),
             parse_schema("Emp(name, company, salary).").unwrap(),
@@ -1271,7 +1501,24 @@ mod tests {
         .unwrap()
     }
 
-    fn batch(mapping: &SchemaMapping, facts: &[(&str, &[&str], Interval)]) -> DeltaBatch {
+    /// Same schemas as [`paper_mapping`], different dependencies — for the
+    /// durable-session fingerprint test.
+    pub(crate) fn other_mapping() -> SchemaMapping {
+        SchemaMapping::new(
+            parse_schema("E(name, company). S(name, salary).").unwrap(),
+            parse_schema("Emp(name, company, salary).").unwrap(),
+            vec![parse_tgd("E(n,c) -> exists s . Emp(n,c,s)")
+                .unwrap()
+                .named("st1")],
+            vec![],
+        )
+        .unwrap()
+    }
+
+    pub(crate) fn batch(
+        mapping: &SchemaMapping,
+        facts: &[(&str, &[&str], Interval)],
+    ) -> DeltaBatch {
         let mut b = DeltaBatch::new();
         for (rel, vals, interval) in facts {
             let rid = mapping

@@ -11,6 +11,7 @@
 pub mod abstract_chase;
 pub mod cluster;
 pub mod concrete;
+pub mod durable;
 pub mod incremental;
 pub(crate) mod partitioned;
 pub mod snapshot;
@@ -21,6 +22,7 @@ pub use cluster::{
     TransportKind, TransportSpawner,
 };
 pub use concrete::{c_chase, CChaseResult, ChaseOptions, ChaseStats};
+pub use durable::DurableExchange;
 pub use incremental::{BatchStats, DeltaBatch, IncrementalExchange, SessionStats};
 pub use snapshot::snapshot_chase;
 

@@ -95,6 +95,23 @@ impl DataExchange {
         )
     }
 
+    /// Opens a *durable* incremental session persisting into `state_dir`:
+    /// committed batches are write-ahead logged, state is periodically
+    /// compacted into an atomic snapshot, and opening the same directory
+    /// again recovers the session exactly — reconnecting to surviving
+    /// partition servers on the TCP transport (see
+    /// [`DurableExchange`](crate::chase::durable::DurableExchange)).
+    pub fn durable(
+        &self,
+        state_dir: impl Into<std::path::PathBuf>,
+    ) -> Result<crate::chase::durable::DurableExchange> {
+        crate::chase::durable::DurableExchange::open(
+            self.mapping.clone(),
+            self.options.clone(),
+            state_dir,
+        )
+    }
+
     /// Chases the abstract view of a concrete source (Section 3); mostly
     /// useful for validation and the experiments.
     pub fn exchange_abstract(&self, source: &TemporalInstance) -> Result<AbstractInstance> {

@@ -127,6 +127,7 @@ pub use chase::cluster::{
 pub use chase::concrete::{
     c_chase, c_chase_with, CChaseResult, ChaseEngine, ChaseOptions, ChaseStats,
 };
+pub use chase::durable::DurableExchange;
 pub use chase::incremental::{BatchStats, DeltaBatch, IncrementalExchange, SessionStats};
 pub use chase::snapshot::{snapshot_chase, snapshot_chase_with};
 pub use chase::{server_count, worker_threads};

@@ -19,6 +19,9 @@
 //!   chase's wire protocol: values, rows, intervals and facts serialize to
 //!   transport-neutral frames (string constants travel as text, never as
 //!   process-local intern ids);
+//! * [`wal`] — a CRC-guarded write-ahead log and atomic snapshot store for
+//!   durable incremental-exchange sessions (torn tails drop cleanly on
+//!   replay; corrupt snapshots fail loudly);
 //! * [`matcher`] — a backtracking conjunctive matcher with the three
 //!   temporal modes the paper needs: ignore time, one shared interval
 //!   variable `t` (the `φ⁺(x̄, t)` forms of Definition 16), or one interval
@@ -36,6 +39,7 @@ pub mod matcher;
 pub mod sharded;
 pub mod temporal_instance;
 pub mod value;
+pub mod wal;
 
 pub use codec::{ByteReader, ByteWriter, CodecError, Wire};
 pub use fact_store::{FactStore, Generation};

@@ -1,0 +1,291 @@
+//! CI crash-recovery gate for durable exchange sessions.
+//!
+//! Drives `DurableExchange` through two exhaustive kill loops and fails
+//! loudly (exit 1) if recovery ever diverges from the session that never
+//! crashed:
+//!
+//! 1. **Kill at every commit point** — replay an employment delta stream,
+//!    crash the coordinator after each committed batch (severed carriers,
+//!    no shutdown protocol — the `kill -9` shape), recover from the state
+//!    directory, and require the recovered canonical state to be
+//!    byte-identical to the uncrashed reference, both right after
+//!    recovery and after resuming the rest of the stream.
+//! 2. **Kill at every frame offset** — truncate the WAL at *every byte
+//!    offset* (a crash mid-append tears the tail at an arbitrary point)
+//!    and require recovery to land exactly on the complete-record prefix.
+//!
+//! The engine and transport come from the environment the CI matrix
+//! already uses: `TDX_CHASE_TRANSPORT=channel|tcp` runs the loops under
+//! `ChaseOptions::distributed(2)` on that transport (plus `TDX_SERVE_BIN`
+//! for real child servers); unset runs the default in-process engine.
+//!
+//! On failure the offending state directory is copied under `--out DIR`
+//! (default `target/durability-failure`) so CI can upload it as an
+//! artifact.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tdx::core::{DurableExchange, TransportKind};
+use tdx::workload::{employment_stream, BatchOrder, EmploymentConfig, StreamConfig};
+use tdx::{ChaseOptions, DeltaBatch, SchemaMapping};
+
+fn work_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "tdx-durability-harness-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create work dir");
+    d
+}
+
+fn copy_dir(from: &Path, to: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(to)?;
+    for entry in std::fs::read_dir(from)? {
+        let entry = entry?;
+        let dst = to.join(entry.file_name());
+        if entry.file_type()?.is_dir() {
+            copy_dir(&entry.path(), &dst)?;
+        } else {
+            std::fs::copy(entry.path(), &dst)?;
+        }
+    }
+    Ok(())
+}
+
+/// The workload: an employment delta stream as inputs in commit order.
+fn inputs() -> (SchemaMapping, Vec<DeltaBatch>) {
+    let stream = employment_stream(
+        &EmploymentConfig {
+            persons: 10,
+            horizon: 16,
+            seed: 42,
+            salary_coverage: 0.8,
+            ..EmploymentConfig::default()
+        },
+        &StreamConfig {
+            batches: 4,
+            batch_fraction: 0.1,
+            order: BatchOrder::Uniform,
+            seed: 42,
+        },
+    );
+    let mut batches = vec![DeltaBatch::from_instance(&stream.base)];
+    batches.extend(stream.batches.iter().map(DeltaBatch::from_instance));
+    (stream.mapping, batches)
+}
+
+fn chase_options() -> ChaseOptions {
+    match std::env::var("TDX_CHASE_TRANSPORT").ok().as_deref() {
+        Some(t) => {
+            let kind =
+                TransportKind::parse(t).unwrap_or_else(|| panic!("bad TDX_CHASE_TRANSPORT {t}"));
+            let mut opts = ChaseOptions::distributed(2);
+            opts.transport = Some(kind);
+            opts
+        }
+        None => ChaseOptions::default(),
+    }
+}
+
+/// Canonical state after each committed prefix of `batches`.
+fn prefix_states(
+    mapping: &SchemaMapping,
+    opts: &ChaseOptions,
+    batches: &[DeltaBatch],
+) -> Vec<Vec<u8>> {
+    let dir = work_dir("reference");
+    let mut s =
+        DurableExchange::open(mapping.clone(), opts.clone(), &dir).expect("open reference session");
+    let mut states = vec![s.state_bytes()];
+    for b in batches {
+        s.apply(b).expect("reference apply");
+        states.push(s.state_bytes());
+    }
+    drop(s);
+    let _ = std::fs::remove_dir_all(&dir);
+    states
+}
+
+struct Failure {
+    message: String,
+    state_dir: PathBuf,
+}
+
+/// Loop 1: crash after every commit point, recover, resume, compare.
+fn kill_at_every_commit_point(
+    mapping: &SchemaMapping,
+    opts: &ChaseOptions,
+    batches: &[DeltaBatch],
+    reference: &[Vec<u8>],
+) -> Result<usize, Failure> {
+    let mut checked = 0;
+    for crash_after in 1..=batches.len() {
+        let dir = work_dir("killpoint");
+        let mut s = DurableExchange::open(mapping.clone(), opts.clone(), &dir)
+            .expect("open")
+            .snapshot_every(2);
+        for b in &batches[..crash_after] {
+            s.apply(b).expect("apply");
+        }
+        s.simulate_crash();
+
+        let mut recovered = match DurableExchange::open(mapping.clone(), opts.clone(), &dir) {
+            Ok(r) => r,
+            Err(e) => {
+                return Err(Failure {
+                    message: format!("crash after batch {crash_after}: recovery failed: {e}"),
+                    state_dir: dir,
+                })
+            }
+        };
+        if recovered.state_bytes() != reference[crash_after] {
+            return Err(Failure {
+                message: format!(
+                    "crash after batch {crash_after}: recovered state diverged \
+                     from the uncrashed session"
+                ),
+                state_dir: dir,
+            });
+        }
+        for (i, b) in batches[crash_after..].iter().enumerate() {
+            if let Err(e) = recovered.apply(b) {
+                return Err(Failure {
+                    message: format!(
+                        "crash after batch {crash_after}: resumed apply of batch {} \
+                         failed: {e}",
+                        crash_after + i + 1
+                    ),
+                    state_dir: dir,
+                });
+            }
+        }
+        if recovered.state_bytes() != reference[batches.len()] {
+            return Err(Failure {
+                message: format!(
+                    "crash after batch {crash_after}: resumed stream diverged at the end"
+                ),
+                state_dir: dir,
+            });
+        }
+        drop(recovered);
+        let _ = std::fs::remove_dir_all(&dir);
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Loop 2: truncate the WAL at every byte offset; recovery must land on
+/// the complete-record prefix, byte-identically.
+fn kill_at_every_frame_offset(
+    mapping: &SchemaMapping,
+    opts: &ChaseOptions,
+    batches: &[DeltaBatch],
+    reference: &[Vec<u8>],
+) -> Result<usize, Failure> {
+    // Record the full WAL: cadence ∞ keeps every record in the log.
+    let full = work_dir("fullwal");
+    let mut s = DurableExchange::open(mapping.clone(), opts.clone(), &full)
+        .expect("open")
+        .snapshot_every(usize::MAX);
+    for b in batches {
+        s.apply(b).expect("apply");
+    }
+    drop(s);
+    let wal = std::fs::read(full.join("wal.log")).expect("read wal");
+    let _ = std::fs::remove_dir_all(&full);
+
+    // Frame layout: `u32 len | u32 crc | payload`; the offsets at which
+    // each record becomes complete.
+    let mut ends = Vec::new();
+    let mut pos = 0usize;
+    while pos + 8 <= wal.len() {
+        let len = u32::from_le_bytes(wal[pos..pos + 4].try_into().unwrap()) as usize;
+        if pos + 8 + len > wal.len() {
+            break;
+        }
+        pos += 8 + len;
+        ends.push(pos);
+    }
+    assert_eq!(ends.len(), batches.len(), "unexpected WAL shape");
+
+    let dir = work_dir("torn");
+    for cut in 0..=wal.len() {
+        std::fs::write(dir.join("wal.log"), &wal[..cut]).expect("write truncated wal");
+        let expect = ends.iter().filter(|&&e| e <= cut).count();
+        let recovered = match DurableExchange::open(mapping.clone(), opts.clone(), &dir) {
+            Ok(r) => r,
+            Err(e) => {
+                return Err(Failure {
+                    message: format!("WAL cut at byte {cut}: torn tail must recover, got {e}"),
+                    state_dir: dir,
+                })
+            }
+        };
+        if recovered.committed() != expect as u64 {
+            return Err(Failure {
+                message: format!(
+                    "WAL cut at byte {cut}: recovered {} batches, expected {expect}",
+                    recovered.committed()
+                ),
+                state_dir: dir,
+            });
+        }
+        if recovered.state_bytes() != reference[expect] {
+            return Err(Failure {
+                message: format!(
+                    "WAL cut at byte {cut}: state diverged from the {expect}-batch prefix"
+                ),
+                state_dir: dir,
+            });
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(wal.len() + 1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/durability-failure"));
+
+    let opts = chase_options();
+    let transport = std::env::var("TDX_CHASE_TRANSPORT").unwrap_or_else(|_| "default".into());
+    println!("durability harness: transport = {transport}");
+
+    let (mapping, batches) = inputs();
+    let reference = prefix_states(&mapping, &opts, &batches);
+    println!("reference stream: {} inputs", batches.len());
+
+    let loops: [(&str, Result<usize, Failure>); 2] = [
+        (
+            "kill at every commit point",
+            kill_at_every_commit_point(&mapping, &opts, &batches, &reference),
+        ),
+        (
+            "kill at every frame offset",
+            kill_at_every_frame_offset(&mapping, &opts, &batches, &reference),
+        ),
+    ];
+    for (name, result) in loops {
+        match result {
+            Ok(n) => println!("PASS {name}: {n} kill points recovered byte-identical"),
+            Err(f) => {
+                eprintln!("FAIL {name}: {}", f.message);
+                match copy_dir(&f.state_dir, &out) {
+                    Ok(()) => eprintln!("offending state directory copied to {}", out.display()),
+                    Err(e) => eprintln!("could not copy state directory: {e}"),
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -86,7 +86,9 @@ fn usage() -> ExitCode {
          check      verify a candidate solution            --solution FILE (nulls as _x)\n\
          incremental  replay a delta stream through a stateful session\n\
          \x20          --data BASE --batch FILE [--batch FILE ...]\n\
-         \x20          --verify  cross-check each batch against a from-scratch chase"
+         \x20          --verify  cross-check each batch against a from-scratch chase\n\
+         \x20          --state-dir DIR  durable session: WAL + snapshots in DIR;\n\
+         \x20                           rerunning recovers and skips committed batches"
     );
     ExitCode::from(2)
 }
@@ -108,12 +110,38 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let args = Args::parse(&argv[1..]);
     if cmd == "serve-partition" {
         // Hidden subcommand: host one partition server of a distributed
-        // chase whose coordinator runs elsewhere. Dials the coordinator's
-        // rendezvous address and serves codec frames until shut down; the
-        // whole configuration arrives over the wire as the Hello
-        // handshake, so there are no other flags.
+        // chase whose coordinator runs elsewhere. Two modes:
+        //
+        // * `--connect HOST:PORT` — dial the coordinator's rendezvous
+        //   address and serve until the connection ends (the server's life
+        //   is tied to that coordinator).
+        // * `--listen HOST:PORT` — bind and *accept* coordinator
+        //   connections, keeping state across them: a durable session's
+        //   recovered coordinator reconnects here and resumes. The bound
+        //   address (bind to port 0 for an ephemeral one) is published to
+        //   `--addr-file`; `--idle-exit SECS` makes an abandoned server
+        //   exit on its own.
+        //
+        // The chase configuration arrives over the wire as the Hello
+        // handshake in both modes.
+        if let Some(addr) = args.get("listen") {
+            let addr_file = args.get("addr-file").map(std::path::Path::new);
+            let idle_exit = match args.get("idle-exit") {
+                Some(s) => Some(std::time::Duration::from_secs(
+                    s.parse()
+                        .map_err(|_| format!("bad idle-exit seconds {s}"))?,
+                )),
+                None => None,
+            };
+            tdx::core::chase::cluster::server::serve_listen(addr, addr_file, idle_exit)?;
+            return Ok(ExitCode::SUCCESS);
+        }
         let Some(addr) = args.get("connect") else {
-            eprintln!("usage: tdx serve-partition --connect HOST:PORT");
+            eprintln!(
+                "usage: tdx serve-partition --connect HOST:PORT\n\
+                 \x20      tdx serve-partition --listen HOST:PORT \
+                 [--addr-file PATH] [--idle-exit SECS]"
+            );
             return Ok(ExitCode::from(2));
         };
         tdx::core::chase::cluster::server::serve_connect(addr)?;
@@ -256,7 +284,46 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 );
                 return Ok(ExitCode::from(2));
             }
-            let mut session = engine.incremental()?;
+            // With --state-dir the session is durable: every committed
+            // batch is write-ahead logged under the directory, and a rerun
+            // of the same command recovers the session and *skips* the
+            // inputs it already committed — kill the process mid-replay,
+            // run it again, and it continues where it died.
+            enum Session {
+                Plain(tdx::core::IncrementalExchange),
+                Durable(tdx::core::DurableExchange),
+            }
+            impl Session {
+                fn apply(&mut self, b: &DeltaBatch) -> tdx::core::Result<tdx::core::BatchStats> {
+                    match self {
+                        Session::Plain(s) => s.apply(b),
+                        Session::Durable(s) => s.apply(b),
+                    }
+                }
+                fn inner(&self) -> &tdx::core::IncrementalExchange {
+                    match self {
+                        Session::Plain(s) => s,
+                        Session::Durable(s) => s.session(),
+                    }
+                }
+            }
+            let (mut session, skip) = match args.get("state-dir") {
+                Some(dir) => {
+                    let d = engine.durable(dir)?;
+                    let done = d.committed() as usize;
+                    if done > 0 || d.resumed_servers() > 0 {
+                        eprintln!(
+                            "# recovered: {} batches already committed \
+                             ({} replayed from log, {} servers resumed)",
+                            done,
+                            d.replayed(),
+                            d.resumed_servers(),
+                        );
+                    }
+                    (Session::Durable(d), done)
+                }
+                None => (Session::Plain(engine.incremental()?), 0),
+            };
             let mut replay = |label: &str,
                               inst: &tdx::TemporalInstance|
              -> Result<(), Box<dyn std::error::Error>> {
@@ -287,8 +354,11 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                     stats.target_facts,
                 );
                 if args.has("verify") {
-                    let scratch = engine.exchange(&session.source())?;
-                    if hom_equivalent(&semantics(&scratch.target), &semantics(&session.target())) {
+                    let scratch = engine.exchange(&session.inner().source())?;
+                    if hom_equivalent(
+                        &semantics(&scratch.target),
+                        &semantics(&session.inner().target()),
+                    ) {
                         eprintln!("# {label}: verified hom-equivalent to a from-scratch chase");
                     } else {
                         return Err(format!(
@@ -299,13 +369,20 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
                 }
                 Ok(())
             };
-            replay("base", &source)?;
+            if skip == 0 {
+                replay("base", &source)?;
+            }
             for (i, path) in args.get_all("batch").iter().enumerate() {
+                // Input i+1 in commit order (base is input 0): already
+                // durable from a previous run ⇒ nothing to redo.
+                if i + 1 < skip {
+                    continue;
+                }
                 let batch = engine.load_source(&std::fs::read_to_string(path)?)?;
                 replay(&format!("batch {}", i + 1), &batch)?;
             }
-            print_instance(&session.target());
-            let totals = session.stats();
+            print_instance(&session.inner().target());
+            let totals = session.inner().stats();
             eprintln!(
                 "# session: {} batches, {} tgd steps, {} egd merges, {} nulls, {} full re-chases",
                 totals.batches,
