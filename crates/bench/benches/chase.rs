@@ -183,6 +183,27 @@ fn bench_durability(c: &mut Criterion) {
     group.finish();
 }
 
+/// What fail-slow tolerance costs (`tdx_bench::robustness_suite`, shared
+/// with the CI gate): `deadline_overhead` is the 3-server chase with the
+/// per-frame deadline explicitly armed — acceptance bar: within 5% of
+/// `c_chase/distributed/employment/3s/100`, the same chase — and
+/// `degraded_batch` is that chase with server 1 dead on arrival: bounded
+/// backoff respawns, quarantine, and coordinator-local execution of the
+/// dead slot's blocks.
+fn bench_robustness(c: &mut Criterion) {
+    let mut group = c.benchmark_group(tdx_bench::robustness_suite::GROUP);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for case in tdx_bench::robustness_suite::cases() {
+        let run = case.run;
+        group.bench_with_input(BenchmarkId::from(case.id.as_str()), &(), |b, _| {
+            b.iter(&run)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_employment,
@@ -192,6 +213,7 @@ criterion_group!(
     bench_scaling,
     bench_transport,
     bench_incremental,
-    bench_durability
+    bench_durability,
+    bench_robustness
 );
 criterion_main!(benches);

@@ -182,6 +182,9 @@ pub fn gated_cases() -> Vec<(String, Box<dyn Fn() + Send + Sync>)> {
     for case in durability_suite::cases() {
         out.push((format!("{}/{}", durability_suite::GROUP, case.id), case.run));
     }
+    for case in robustness_suite::cases() {
+        out.push((format!("{}/{}", robustness_suite::GROUP, case.id), case.run));
+    }
     out
 }
 
@@ -739,6 +742,107 @@ pub mod durability_suite {
                         DurableExchange::open((*mapping).clone(), ChaseOptions::default(), &dir)
                             .expect("recover");
                     std::hint::black_box(s.committed());
+                }),
+            });
+        }
+        out
+    }
+}
+
+/// The `c_chase/robustness/*` suite: what fail-slow tolerance costs.
+///
+/// * `employment/deadline_overhead/100` — the standard 3-server
+///   distributed chase with a per-frame deadline explicitly armed: the
+///   healthy-path price of bounding every transport wait. Compare against
+///   `c_chase/distributed/employment/3s/100` (the same chase; deadlines
+///   there resolve through the environment) — the gap is the deadline
+///   plumbing itself and must stay within noise (<5%).
+/// * `employment/degraded_batch/100` — the same chase when server 1 is
+///   dead on arrival and stays dead: bounded respawns with backoff, then
+///   quarantine and coordinator-local execution of the dead slot's
+///   blocks. The price of graceful degradation, dominated by the backoff
+///   sleeps and the local block evaluation.
+pub mod robustness_suite {
+    pub use crate::Case;
+    use std::io;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tdx_core::chase::cluster::{
+        c_chase_distributed_with, ChannelSpawner, Transport, TransportKind, TransportSpawner,
+    };
+    use tdx_core::{c_chase_with, ChaseOptions};
+    use tdx_workload::{EmploymentConfig, EmploymentWorkload};
+
+    /// The group prefix every case id lives under.
+    pub const GROUP: &str = "c_chase/robustness";
+
+    /// A transport that errors on every frame — the incurable slot that
+    /// drives the chase into quarantine and local degradation.
+    struct StillbornTransport;
+    impl Transport for StillbornTransport {
+        fn send(&mut self, _frame: &[u8]) -> io::Result<()> {
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "partition server dead on arrival",
+            ))
+        }
+        fn recv(&mut self) -> io::Result<Vec<u8>> {
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "partition server dead on arrival",
+            ))
+        }
+        fn shutdown(&mut self) {}
+    }
+
+    /// Healthy channels everywhere except server 1, which never works.
+    struct OneDeadSlot;
+    impl TransportSpawner for OneDeadSlot {
+        fn spawn(&self, server: usize) -> io::Result<Box<dyn Transport>> {
+            if server == 1 {
+                Ok(Box::new(StillbornTransport))
+            } else {
+                ChannelSpawner.spawn(server)
+            }
+        }
+        fn kind(&self) -> TransportKind {
+            ChannelSpawner.kind()
+        }
+    }
+
+    /// Per-family cases: `employment/{deadline_overhead,degraded_batch}/100`.
+    pub fn cases() -> Vec<Case> {
+        let w = Arc::new(EmploymentWorkload::generate(&EmploymentConfig {
+            persons: 100,
+            horizon: 30,
+            seed: 42,
+            ..EmploymentConfig::default()
+        }));
+        let mut out = Vec::new();
+        {
+            let w = Arc::clone(&w);
+            let opts = ChaseOptions::distributed(3).with_frame_deadline(Duration::from_secs(10));
+            out.push(Case {
+                id: "employment/deadline_overhead/100".to_string(),
+                run: Box::new(move || {
+                    c_chase_with(&w.source, &w.mapping, &opts).unwrap();
+                }),
+            });
+        }
+        {
+            let w = Arc::clone(&w);
+            let opts = ChaseOptions::distributed(3);
+            out.push(Case {
+                id: "employment/degraded_batch/100".to_string(),
+                run: Box::new(move || {
+                    c_chase_distributed_with(
+                        &w.source,
+                        &w.mapping,
+                        &opts,
+                        3,
+                        Arc::new(OneDeadSlot) as Arc<dyn TransportSpawner>,
+                    )
+                    .unwrap();
                 }),
             });
         }

@@ -20,22 +20,29 @@
 //!   [`ChannelTransport`] (in-process actors) and [`TcpTransport`] (real
 //!   child processes over loopback TCP) backends, plus the
 //!   [`FaultInjector`] test harness.
+//! * [`chaos`] — the seeded fail-slow fault harness: [`ChaosSpawner`] /
+//!   `ChaosTransport` replay a [`FaultPlan`] of delays, hangs, drops,
+//!   corruption, duplicates and partial writes against any inner
+//!   transport.
 //! * [`coordinator`] — the global chase state: the coordinator kernel
 //!   (restricted checks + union-find folds shared with the partitioned
 //!   engine and the incremental session), [`DistributedCluster`] with
-//!   heartbeat/retry and delta-only shipping, and the batch engine loop.
+//!   heartbeat/retry, backoff + quarantine ([`ServerHealth`]) and
+//!   delta-only shipping, and the batch engine loop.
 //!
-//! See `docs/distributed.md` for the protocol and equivalence argument and
+//! See `docs/distributed.md` for the protocol and equivalence argument,
 //! `docs/transport.md` for the transport layer and the watermark
-//! invariant.
+//! invariant, and `docs/robustness.md` for the failure model.
 
+pub mod chaos;
 pub mod coordinator;
 pub mod protocol;
 pub mod server;
 pub mod transport;
 
+pub use chaos::{ChaosSpawner, FaultKind, FaultPlan, FaultSpec};
 pub use coordinator::{
-    c_chase_distributed_with, snapshot_consistent, DistributedCluster, TrafficStats,
+    c_chase_distributed_with, snapshot_consistent, DistributedCluster, ServerHealth, TrafficStats,
 };
 pub use protocol::{
     config_digest, image_digest, Hom, MergeOp, Message, Response, ServerConfig, StoreKind, WireHom,

@@ -101,6 +101,18 @@ pub trait Transport: Send {
     fn send(&mut self, frame: &[u8]) -> io::Result<()>;
     /// Receives the server's next frame.
     fn recv(&mut self) -> io::Result<Vec<u8>>;
+    /// Bounds how long a single `send`/`recv` may block: past the
+    /// deadline the call returns a `TimedOut`-kind error, which the
+    /// coordinator classifies as a transport fault exactly like a dead
+    /// carrier — this is how a *hung* (fail-slow) server enters the same
+    /// respawn/quarantine path as a crashed one (see
+    /// `docs/robustness.md`). `None` removes the bound. The default
+    /// implementation ignores the request (infallible in-process test
+    /// doubles have nothing to bound); real backends override it.
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> io::Result<()> {
+        let _ = deadline;
+        Ok(())
+    }
     /// Tears the carrier down (best effort, idempotent).
     fn shutdown(&mut self);
     /// Abandons the carrier the way a crash would: closes it *without* a
@@ -149,6 +161,9 @@ pub struct ChannelTransport {
     tx: Option<Sender<Vec<u8>>>,
     rx: Receiver<Vec<u8>>,
     join: Option<JoinHandle<()>>,
+    /// Per-frame deadline on `recv` (sends on an unbounded `mpsc` never
+    /// block, so only the receive side needs bounding).
+    deadline: Option<Duration>,
 }
 
 /// Spawner of [`ChannelTransport`] endpoints.
@@ -165,6 +180,7 @@ impl TransportSpawner for ChannelSpawner {
             tx: Some(req_tx),
             rx: resp_rx,
             join: Some(join),
+            deadline: None,
         }))
     }
 
@@ -183,7 +199,24 @@ impl Transport for ChannelTransport {
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
-        self.rx.recv().map_err(|_| gone("closed its channel"))
+        match self.deadline {
+            None => self.rx.recv().map_err(|_| gone("closed its channel")),
+            Some(d) => match self.rx.recv_timeout(d) {
+                Ok(frame) => Ok(frame),
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "partition server exceeded the frame deadline",
+                )),
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    Err(gone("closed its channel"))
+                }
+            },
+        }
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> io::Result<()> {
+        self.deadline = deadline;
+        Ok(())
     }
 
     fn shutdown(&mut self) {
@@ -263,6 +296,17 @@ fn resolve_serve_bin() -> Option<PathBuf> {
     cand.is_file().then_some(cand)
 }
 
+/// How long spawn-time waits (the rendezvous accept, addr-file polls) may
+/// block: the same `TDX_CHASE_DEADLINE_MS` knob that bounds per-frame
+/// traffic, except that *disabling* deadlines falls back to the fixed
+/// default rather than waiting forever — a spawn wait must always be
+/// finite, or a server that never comes up wedges the coordinator before
+/// the first frame is even sent.
+fn spawn_wait_deadline() -> Duration {
+    crate::chase::frame_deadline(None)
+        .unwrap_or(Duration::from_millis(crate::chase::DEFAULT_DEADLINE_MS))
+}
+
 /// Accepts the server's rendezvous connection, polling so a hung peer
 /// cannot wedge the coordinator. `child`: a child process to watch — if it
 /// exits before connecting (wrong binary, crashed at startup), give up
@@ -319,7 +363,7 @@ impl TransportSpawner for TcpSpawner {
                 .stdin(Stdio::null())
                 .spawn();
             if let Ok(mut child) = child {
-                match accept_with_deadline(&listener, Duration::from_secs(10), Some(&mut child)) {
+                match accept_with_deadline(&listener, spawn_wait_deadline(), Some(&mut child)) {
                     Ok(stream) => {
                         let mut transport = TcpTransport {
                             reader: BufReader::new(stream.try_clone()?),
@@ -356,7 +400,7 @@ impl TransportSpawner for TcpSpawner {
                     let _ = serve_stream(stream);
                 }
             })?;
-        let stream = accept_with_deadline(&listener, Duration::from_secs(10), None)?;
+        let stream = accept_with_deadline(&listener, spawn_wait_deadline(), None)?;
         Ok(Box::new(TcpTransport {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
@@ -376,6 +420,16 @@ impl Transport for TcpTransport {
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
         read_frame(&mut self.reader)
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> io::Result<()> {
+        // SO_RCVTIMEO/SO_SNDTIMEO are socket-level, so setting them
+        // through the writer clone covers the buffered reader too. A
+        // timed-out read can leave a partial frame in the buffer — the
+        // stream is unusable afterwards, which is fine: the retry path
+        // replaces the whole carrier.
+        self.writer.set_read_timeout(deadline)?;
+        self.writer.set_write_timeout(deadline)
     }
 
     fn shutdown(&mut self) {
@@ -496,7 +550,7 @@ impl DurableTcpSpawner {
                 .stdin(Stdio::null())
                 .spawn();
             if let Ok(mut child) = child {
-                match wait_addr_file(&addr_path, Duration::from_secs(10), &mut child) {
+                match wait_addr_file(&addr_path, spawn_wait_deadline(), &mut child) {
                     Ok(addr) => {
                         let probed = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
                             .ok()
@@ -572,7 +626,13 @@ fn probe_stream(stream: TcpStream) -> Option<TcpTransport> {
     if pong != Some(Response::Pong) {
         return None;
     }
-    transport.writer.set_read_timeout(None).ok()?;
+    // The probe proved the peer *live*; failing to clear the probe timeout
+    // must not now report it dead. A transient `setsockopt` failure gets
+    // one retry — only a socket that persistently refuses (i.e. is
+    // genuinely broken) makes the probe fail.
+    if transport.writer.set_read_timeout(None).is_err() {
+        transport.writer.set_read_timeout(None).ok()?;
+    }
     Some(transport)
 }
 
@@ -669,6 +729,10 @@ impl Transport for FaultTransport {
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
         self.inner.recv()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> io::Result<()> {
+        self.inner.set_deadline(deadline)
     }
 
     fn shutdown(&mut self) {
@@ -793,6 +857,39 @@ mod tests {
         let _ = t2.recv();
         t2.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn channel_deadline_turns_a_silent_server_into_a_timeout() {
+        let mut t = ChannelSpawner.spawn(0).unwrap();
+        t.set_deadline(Some(Duration::from_millis(20))).unwrap();
+        // No request in flight: the server stays silent, and the deadline
+        // turns the would-be-forever recv into a typed timeout.
+        let err = t.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // The channel carrier survives a timeout; traffic still flows.
+        assert_eq!(ping(&mut t), Response::Pong);
+        t.set_deadline(None).unwrap();
+        t.send(&encode(&Message::Shutdown)).unwrap();
+        let _ = t.recv();
+        t.shutdown();
+    }
+
+    #[test]
+    fn tcp_deadline_turns_a_silent_server_into_a_timeout() {
+        let mut t = TcpSpawner.spawn(0).unwrap();
+        t.set_deadline(Some(Duration::from_millis(50))).unwrap();
+        let err = t.recv().unwrap_err();
+        // SO_RCVTIMEO surfaces as TimedOut or WouldBlock depending on the
+        // platform; both are transport faults to the coordinator.
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            "{err}"
+        );
+        t.shutdown();
     }
 
     #[test]

@@ -95,6 +95,15 @@ pub struct ChaseOptions {
     /// by the shared-memory engines. See
     /// [`resolve_transport`](crate::chase::cluster::resolve_transport).
     pub transport: Option<crate::chase::cluster::TransportKind>,
+    /// Per-frame transport deadline for [`ChaseEngine::Distributed`]: the
+    /// bound on how long one coordinator-side `send`/`recv` may block
+    /// before the server is treated as faulty (respawn, then quarantine
+    /// into coordinator-local execution — see `docs/robustness.md`).
+    /// `None` resolves from `TDX_CHASE_DEADLINE_MS` (default 10s);
+    /// `Some(Duration::ZERO)` disables deadlines entirely. Ignored by the
+    /// shared-memory engines. See
+    /// [`frame_deadline`](crate::chase::frame_deadline).
+    pub frame_deadline: Option<std::time::Duration>,
 }
 
 impl Default for ChaseOptions {
@@ -106,6 +115,7 @@ impl Default for ChaseOptions {
             record_trace: false,
             engine: ChaseEngine::default(),
             transport: None,
+            frame_deadline: None,
         }
     }
 }
@@ -152,6 +162,14 @@ impl ChaseOptions {
     /// distributed engine (`--transport` on the CLI).
     pub fn on_transport(mut self, transport: crate::chase::cluster::TransportKind) -> ChaseOptions {
         self.transport = Some(transport);
+        self
+    }
+
+    /// These options with an explicit per-frame transport deadline for
+    /// the distributed engine (`--deadline-ms` on the CLI;
+    /// `Duration::ZERO` disables deadlines).
+    pub fn with_frame_deadline(mut self, deadline: std::time::Duration) -> ChaseOptions {
+        self.frame_deadline = Some(deadline);
         self
     }
 

@@ -911,13 +911,16 @@ impl IncrementalExchange {
                     Some(sp) => Arc::clone(sp),
                     None => spawner_for(resolve_transport(self.opts.transport)),
                 };
-                self.cluster = Some(Arc::new(Mutex::new(DistributedCluster::spawn_with(
-                    &self.mapping,
-                    &self.tp,
-                    self.servers,
-                    self.sopts,
-                    spawner,
-                )?)));
+                self.cluster = Some(Arc::new(Mutex::new(
+                    DistributedCluster::spawn_with_deadline(
+                        &self.mapping,
+                        &self.tp,
+                        self.servers,
+                        self.sopts,
+                        spawner,
+                        self.opts.frame_deadline,
+                    )?,
+                )));
             }
             let cluster = self.cluster.as_ref().expect("cluster just ensured");
             let mut guard = cluster.lock().unwrap_or_else(|e| e.into_inner());
@@ -961,6 +964,7 @@ impl IncrementalExchange {
             self.servers,
             self.sopts,
             spawner,
+            self.opts.frame_deadline,
             [&self.nsrc, &self.tgt],
         )?;
         self.cluster = Some(Arc::new(Mutex::new(cluster)));

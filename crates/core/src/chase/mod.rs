@@ -18,8 +18,9 @@ pub mod snapshot;
 
 pub use abstract_chase::{abstract_chase, abstract_chase_parallel, abstract_chase_parallel_opts};
 pub use cluster::{
-    snapshot_consistent, DistributedCluster, Message, Response, StoreKind, TrafficStats, Transport,
-    TransportKind, TransportSpawner,
+    snapshot_consistent, ChaosSpawner, DistributedCluster, FaultKind, FaultPlan, FaultSpec,
+    Message, Response, ServerHealth, StoreKind, TrafficStats, Transport, TransportKind,
+    TransportSpawner,
 };
 pub use concrete::{c_chase, CChaseResult, ChaseOptions, ChaseStats};
 pub use durable::DurableExchange;
@@ -91,6 +92,61 @@ pub fn worker_threads(requested: usize) -> usize {
         .min(8)
 }
 
+/// The per-frame deadline applied when neither [`ChaseOptions`] nor the
+/// `TDX_CHASE_DEADLINE_MS` environment variable says otherwise: generous
+/// enough that no healthy chase round on any CI box ever trips it, small
+/// enough that a wedged server surfaces as a fault instead of hanging the
+/// coordinator forever.
+pub(crate) const DEFAULT_DEADLINE_MS: u64 = 10_000;
+
+/// Resolves the coordinator's per-frame transport deadline — the bound on
+/// how long any single `send`/`recv` to a partition server may block
+/// before it is classified as a transport fault (and enters the same
+/// respawn/quarantine path as a dead server; see `docs/robustness.md`).
+///
+/// An explicit request from [`ChaseOptions::frame_deadline`] wins:
+/// `Some(d)` is the deadline, except `Some(Duration::ZERO)` which
+/// *disables* deadlines entirely (recv may block forever — the pre-PR 8
+/// behavior). `None` falls back to `TDX_CHASE_DEADLINE_MS`, where `0`
+/// likewise disables and a non-numeric value is reported once to stderr
+/// (like [`worker_threads`]) before falling back to the
+/// [`DEFAULT_DEADLINE_MS`] default. Note the zero semantics differ from
+/// the thread/server knobs: a count of `0` means "auto-detect", but a
+/// deadline of `0` can only sensibly mean "no deadline".
+pub fn frame_deadline(requested: Option<std::time::Duration>) -> Option<std::time::Duration> {
+    if let Some(d) = requested {
+        return (!d.is_zero()).then_some(d);
+    }
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    resolve_deadline_ms(
+        std::env::var("TDX_CHASE_DEADLINE_MS").ok().as_deref(),
+        &WARNED,
+    )
+    .map(std::time::Duration::from_millis)
+}
+
+/// The pure resolution behind [`frame_deadline`]'s environment fallback,
+/// injected-value style like [`resolve_knob`] so tests never touch the
+/// real environment.
+fn resolve_deadline_ms(value: Option<&str>, warned: &'static std::sync::Once) -> Option<u64> {
+    let Some(v) = value else {
+        return Some(DEFAULT_DEADLINE_MS);
+    };
+    match parse_env_knob(v) {
+        Ok(Some(n)) => Some(n as u64),
+        Ok(None) => None, // explicit 0: deadlines disabled
+        Err(()) => {
+            warned.call_once(|| {
+                eprintln!(
+                    "tdx: warning: ignoring non-numeric TDX_CHASE_DEADLINE_MS={v:?}; \
+                     falling back to the {DEFAULT_DEADLINE_MS} ms default"
+                );
+            });
+            Some(DEFAULT_DEADLINE_MS)
+        }
+    }
+}
+
 /// Resolves a partition-server request for
 /// [`ChaseEngine::Distributed`](concrete::ChaseEngine): an explicit
 /// `requested > 0` wins; `0` falls back to the `TDX_CHASE_SERVERS`
@@ -126,6 +182,44 @@ mod tests {
     fn explicit_request_wins_over_everything() {
         assert_eq!(worker_threads(3), 3);
         assert_eq!(server_count(5), 5);
+    }
+
+    #[test]
+    fn deadline_resolution_distinguishes_disabled_from_default() {
+        static WARNED: std::sync::Once = std::sync::Once::new();
+        // Unset: the default applies.
+        assert_eq!(
+            resolve_deadline_ms(None, &WARNED),
+            Some(DEFAULT_DEADLINE_MS)
+        );
+        // Explicit 0 disables deadlines (unlike the count knobs, where 0
+        // means auto-detect).
+        assert_eq!(resolve_deadline_ms(Some("0"), &WARNED), None);
+        // A positive value is taken verbatim, in milliseconds.
+        assert_eq!(resolve_deadline_ms(Some("250"), &WARNED), Some(250));
+        assert!(!WARNED.is_completed(), "no warning on valid inputs");
+        // Garbage warns once and falls back to the default, never to
+        // "disabled" — a typo must not silently remove the hang guard.
+        for garbage in ["ten", "-5", "1.5s", ""] {
+            assert_eq!(
+                resolve_deadline_ms(Some(garbage), &WARNED),
+                Some(DEFAULT_DEADLINE_MS),
+                "garbage {garbage:?}"
+            );
+        }
+        assert!(WARNED.is_completed());
+    }
+
+    #[test]
+    fn explicit_frame_deadline_wins_over_the_environment() {
+        use std::time::Duration;
+        // `Some(d)` is honored without consulting the environment…
+        assert_eq!(
+            frame_deadline(Some(Duration::from_millis(7))),
+            Some(Duration::from_millis(7))
+        );
+        // …and `Some(ZERO)` explicitly disables deadlines.
+        assert_eq!(frame_deadline(Some(Duration::ZERO)), None);
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! CI fail-slow gate for the distributed chase: the chaos soak.
+//!
+//! Sweeps seeded [`FaultPlan`]s — delays, hangs, drops, corruption,
+//! duplicated frames and partial writes at pseudo-random frame offsets —
+//! against a distributed c-chase and requires every run to end in one of
+//! exactly two ways:
+//!
+//! 1. **byte-identical completion**: the retry/quarantine path absorbed
+//!    the faults and the target equals the unfaulted reference, or
+//! 2. **a clean typed error**: the chase failed loudly with an
+//!    `Err(..)` (e.g. a desynchronized carrier past its respawn budget).
+//!
+//! What is *never* acceptable is a wedge: every run executes under a
+//! watchdog, and a run that neither completes nor errors within the
+//! watchdog window fails the gate — that is precisely the fail-slow hang
+//! the per-frame deadline exists to prevent.
+//!
+//! The transport comes from the CI matrix's `TDX_CHASE_TRANSPORT`
+//! (`channel|tcp`, plus `TDX_SERVE_BIN` for real child servers); unset
+//! runs in-process channels. On failure the offending plan is written
+//! under `--out DIR` (default `target/chaos-failure`) so CI can upload it
+//! as an artifact; the seed in the report replays it exactly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+use tdx::core::chase::cluster::{
+    c_chase_distributed_with, resolve_transport, spawner_for, ChaosSpawner, FaultKind, FaultPlan,
+    TransportSpawner,
+};
+use tdx::workload::{EmploymentConfig, EmploymentWorkload};
+use tdx::{c_chase_with, CChaseResult, ChaseOptions, SchemaMapping, TemporalInstance};
+
+const SERVERS: usize = 3;
+/// Past the last frame offset any carrier reaches in this workload, so
+/// generated offsets cover the whole protocol run.
+const MAX_FRAME: usize = 24;
+/// Small enough to keep hang faults cheap, large enough that no healthy
+/// round on a loaded CI box trips it.
+const FRAME_DEADLINE: Duration = Duration::from_millis(500);
+/// A run that produces neither a result nor an error in this window is a
+/// wedge — the failure class this gate exists to catch.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn workload() -> EmploymentWorkload {
+    EmploymentWorkload::generate(&EmploymentConfig {
+        persons: 20,
+        horizon: 30,
+        salary_coverage: 0.7,
+        seed: 9,
+        ..EmploymentConfig::default()
+    })
+}
+
+fn chase_options() -> ChaseOptions {
+    let mut opts = ChaseOptions::distributed(SERVERS).with_frame_deadline(FRAME_DEADLINE);
+    if let Some(t) = std::env::var("TDX_CHASE_TRANSPORT").ok().as_deref() {
+        let kind = tdx::core::TransportKind::parse(t)
+            .unwrap_or_else(|| panic!("bad TDX_CHASE_TRANSPORT {t}"));
+        opts.transport = Some(kind);
+    }
+    opts
+}
+
+enum Outcome {
+    /// Completed; payload is the target instance for the identity check.
+    Done(Box<CChaseResult>),
+    /// Failed loudly with a typed error — acceptable under chaos.
+    Errored(String),
+    /// Neither within the watchdog window: the coordinator wedged.
+    Wedged,
+}
+
+/// Runs one chaotic chase under the watchdog. The chase runs on a helper
+/// thread; if the watchdog fires the thread is abandoned (it is wedged by
+/// definition) and the process must exit rather than join it.
+fn run_under_watchdog(
+    source: &TemporalInstance,
+    mapping: &SchemaMapping,
+    opts: &ChaseOptions,
+    plan: &FaultPlan,
+) -> Outcome {
+    let (tx, rx) = mpsc::channel();
+    let source = source.clone();
+    let mapping = mapping.clone();
+    let opts = opts.clone();
+    let spawner = Arc::new(ChaosSpawner::new(
+        spawner_for(resolve_transport(opts.transport)),
+        plan,
+    ));
+    std::thread::spawn(move || {
+        let out = c_chase_distributed_with(
+            &source,
+            &mapping,
+            &opts,
+            SERVERS,
+            spawner as Arc<dyn TransportSpawner>,
+        );
+        let _ = tx.send(out);
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(Ok(result)) => Outcome::Done(Box::new(result)),
+        Ok(Err(e)) => Outcome::Errored(e.to_string()),
+        Err(_) => Outcome::Wedged,
+    }
+}
+
+/// The sweep schedule: seeded multi-fault plans, then a directed
+/// single-fault sweep of every kind across the early frame offsets (the
+/// handshake and first fused rounds, where recovery has the most state to
+/// replay).
+fn plans() -> Vec<FaultPlan> {
+    let mut plans: Vec<FaultPlan> = (1..=10)
+        .map(|seed| FaultPlan::generate(seed, SERVERS, MAX_FRAME, 5))
+        .collect();
+    for kind in [
+        FaultKind::Delay(40),
+        FaultKind::Hang,
+        FaultKind::Drop,
+        FaultKind::Corrupt,
+        FaultKind::Duplicate,
+        FaultKind::PartialWrite,
+    ] {
+        for offset in 0..6 {
+            plans.push(FaultPlan::single(1, offset, kind));
+        }
+    }
+    plans
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/chaos-failure"));
+
+    let opts = chase_options();
+    let transport = std::env::var("TDX_CHASE_TRANSPORT").unwrap_or_else(|_| "channel".into());
+    println!("chaos harness: transport = {transport}, {SERVERS} servers");
+
+    let w = workload();
+    let clean = match c_chase_with(&w.source, &w.mapping, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL reference chase (no faults) errored: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let plans = plans();
+    let (mut completed, mut errored) = (0usize, 0usize);
+    for (i, plan) in plans.iter().enumerate() {
+        match run_under_watchdog(&w.source, &w.mapping, &opts, plan) {
+            Outcome::Done(result) => {
+                if result.target != clean.target {
+                    let report = format!(
+                        "chaotic run diverged from the unfaulted reference\n{}",
+                        plan.describe()
+                    );
+                    eprintln!("FAIL plan {}/{}: {report}", i + 1, plans.len());
+                    dump(&out, &report);
+                    return ExitCode::FAILURE;
+                }
+                completed += 1;
+            }
+            Outcome::Errored(e) => {
+                // A typed error is a legitimate chaos outcome; record it
+                // so the log shows which plans exhausted recovery.
+                println!("  plan {}/{} errored cleanly: {e}", i + 1, plans.len());
+                errored += 1;
+            }
+            Outcome::Wedged => {
+                let report = format!(
+                    "coordinator wedged: no result and no error within {WATCHDOG:?}\n{}",
+                    plan.describe()
+                );
+                eprintln!("FAIL plan {}/{}: {report}", i + 1, plans.len());
+                dump(&out, &report);
+                // The chase thread is hung; exiting the process is the
+                // only way out.
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "PASS {} plans: {completed} byte-identical completions, {errored} clean errors, 0 wedges",
+        plans.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Writes the failure report (with its replayable seed) where CI uploads
+/// artifacts from.
+fn dump(out: &PathBuf, report: &str) {
+    if std::fs::create_dir_all(out).is_ok() {
+        let path = out.join("fault-plan.txt");
+        match std::fs::write(&path, report) {
+            Ok(()) => eprintln!("offending plan written to {}", path.display()),
+            Err(e) => eprintln!("could not write plan: {e}"),
+        }
+    }
+}

@@ -80,6 +80,8 @@ fn usage() -> ExitCode {
          \x20                       (0 or absent: TDX_CHASE_SERVERS, then 2)\n\
          \x20          --transport channel|tcp  partition-server transport\n\
          \x20                       (absent: TDX_CHASE_TRANSPORT, then channel)\n\
+         \x20          --deadline-ms N  per-frame transport deadline, 0 = none\n\
+         \x20                       (absent: TDX_CHASE_DEADLINE_MS, then 10000)\n\
          normalize  print the normalized source            --naive  endpoint-oblivious\n\
          query      certain answers                        --query 'Q(n) :- Emp(n,c,s)'\n\
          snapshots  print the abstract view                --from T --to T [--target]\n\
@@ -205,6 +207,19 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
             return Err("--transport requires --engine distributed".into());
         }
         options.transport = Some(kind);
+    }
+    // Per-frame transport deadline for the distributed engine: --deadline-ms
+    // wins, then TDX_CHASE_DEADLINE_MS, then the 10 s default (see
+    // tdx_core::chase::frame_deadline). `0` disables deadlines entirely —
+    // note this differs from --servers, where 0 means auto-detect.
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("bad deadline milliseconds {ms}"))?;
+        if !matches!(options.engine, tdx::core::ChaseEngine::Distributed { .. }) {
+            return Err("--deadline-ms requires --engine distributed".into());
+        }
+        options.frame_deadline = Some(std::time::Duration::from_millis(ms));
     }
     options.coalesce_result = args.has("coalesce");
     options.record_trace = args.has("trace");

@@ -472,3 +472,161 @@ fn semi_naive_deltas_change_nothing_across_chase_options() {
         }
     }
 }
+
+#[test]
+fn chaos_faults_at_every_frame_offset_land_byte_identical_under_a_watchdog() {
+    // The fail-slow matrix: inject each recoverable chaos fault into
+    // server 1 of 3 at *every* frame offset its carrier ever reaches. With
+    // a per-frame deadline armed, every fault — a delay straddling the
+    // deadline, an outright hang, a silently dropped frame, an undecodable
+    // response, a write torn mid-frame — must surface as a transport fault,
+    // ride the respawn path and land byte-identical to the unfaulted run.
+    // Each run executes under a watchdog: a chase that neither completes
+    // nor errors is a wedged coordinator, the regression this test pins.
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+    use tdx::core::chase::cluster::{
+        c_chase_distributed_with, ChannelSpawner, ChaosSpawner, FaultKind, FaultPlan,
+        TransportSpawner,
+    };
+    let w = EmploymentWorkload::generate(&EmploymentConfig {
+        persons: 20,
+        horizon: 30,
+        salary_coverage: 0.7,
+        seed: 9,
+        ..EmploymentConfig::default()
+    });
+    let opts = ChaseOptions::distributed(3).with_frame_deadline(Duration::from_millis(250));
+    let clean = c_chase_with(&w.source, &w.mapping, &opts).unwrap();
+    for kind in [
+        FaultKind::Delay(40),
+        FaultKind::Hang,
+        FaultKind::Drop,
+        FaultKind::Corrupt,
+        FaultKind::PartialWrite,
+    ] {
+        let mut offset = 0usize;
+        loop {
+            let spawner = Arc::new(ChaosSpawner::new(
+                Arc::new(ChannelSpawner),
+                &FaultPlan::single(1, offset, kind),
+            ));
+            let (tx, rx) = mpsc::channel();
+            {
+                let (source, mapping, opts) = (w.source.clone(), w.mapping.clone(), opts.clone());
+                let spawner = Arc::clone(&spawner);
+                std::thread::spawn(move || {
+                    let out = c_chase_distributed_with(
+                        &source,
+                        &mapping,
+                        &opts,
+                        3,
+                        spawner as Arc<dyn TransportSpawner>,
+                    );
+                    let _ = tx.send(out);
+                });
+            }
+            let faulted = rx
+                .recv_timeout(Duration::from_secs(60))
+                .unwrap_or_else(|_| panic!("{kind:?} at offset {offset}: coordinator wedged"))
+                .unwrap_or_else(|e| panic!("{kind:?} at offset {offset}: chase failed: {e:?}"));
+            assert_eq!(
+                clean.target, faulted.target,
+                "{kind:?} at offset {offset}: recovery diverged"
+            );
+            if spawner.fired() == 0 {
+                break; // offset is past the last frame the victim ever sends
+            }
+            offset += 1;
+            assert!(offset < 128, "{kind:?}: fault matrix did not converge");
+        }
+        assert!(
+            offset >= 3,
+            "{kind:?}: matrix stopped at offset {offset} — it must reach past \
+             the handshake into the fused rounds"
+        );
+    }
+}
+
+#[test]
+fn incurably_dead_server_degrades_to_local_execution_byte_identically() {
+    // Graceful degradation: a server whose transport dies on every frame
+    // (and every respawn) exhausts its respawn budget and is quarantined —
+    // its blocks run coordinator-local through the shared kernel. The
+    // chase must still complete, byte-identical to a healthy cluster, and
+    // the spawner's call count must show the bounded retry attempts that
+    // preceded the quarantine.
+    use std::io;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use tdx::core::chase::cluster::{
+        c_chase_distributed_with, ChannelSpawner, Transport, TransportKind, TransportSpawner,
+    };
+
+    struct StillbornTransport;
+    impl Transport for StillbornTransport {
+        fn send(&mut self, _frame: &[u8]) -> io::Result<()> {
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "partition server dead on arrival",
+            ))
+        }
+        fn recv(&mut self) -> io::Result<Vec<u8>> {
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "partition server dead on arrival",
+            ))
+        }
+        fn shutdown(&mut self) {}
+    }
+
+    /// Healthy channels everywhere except server 1, which never works.
+    struct OneDeadSlot {
+        inner: ChannelSpawner,
+        dead_spawns: AtomicUsize,
+    }
+    impl TransportSpawner for OneDeadSlot {
+        fn spawn(&self, server: usize) -> io::Result<Box<dyn Transport>> {
+            if server == 1 {
+                self.dead_spawns.fetch_add(1, Ordering::SeqCst);
+                Ok(Box::new(StillbornTransport))
+            } else {
+                self.inner.spawn(server)
+            }
+        }
+        fn kind(&self) -> TransportKind {
+            self.inner.kind()
+        }
+    }
+
+    let w = EmploymentWorkload::generate(&EmploymentConfig {
+        persons: 20,
+        horizon: 30,
+        salary_coverage: 0.7,
+        seed: 9,
+        ..EmploymentConfig::default()
+    });
+    let opts = ChaseOptions::distributed(3);
+    let clean = c_chase_with(&w.source, &w.mapping, &opts).unwrap();
+    let spawner = Arc::new(OneDeadSlot {
+        inner: ChannelSpawner,
+        dead_spawns: AtomicUsize::new(0),
+    });
+    let degraded = c_chase_distributed_with(
+        &w.source,
+        &w.mapping,
+        &opts,
+        3,
+        Arc::clone(&spawner) as Arc<dyn TransportSpawner>,
+    )
+    .expect("a quarantined slot must degrade locally, not fail the chase");
+    assert_eq!(
+        clean.target, degraded.target,
+        "degraded execution diverged from the healthy cluster"
+    );
+    let spawns = spawner.dead_spawns.load(Ordering::SeqCst);
+    assert!(
+        spawns > 1,
+        "quarantine must come after bounded retries, got {spawns} spawn(s)"
+    );
+}
