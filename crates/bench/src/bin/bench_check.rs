@@ -139,12 +139,14 @@ struct Fresh {
 /// statistics. The gate rules on the median — robust against a single
 /// noisy sample on a loaded CI runner.
 fn measure(id: &str, run: &dyn Fn()) -> Fresh {
+    // tdx-lint: allow(wall-clock): benchmark harness; wall time is the measurement itself
     let t0 = Instant::now();
     run(); // warmup doubles as the iteration-count calibration
     let once = t0.elapsed().max(Duration::from_nanos(1));
     let iters = (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
     let mut samples: Vec<f64> = (0..9)
         .map(|_| {
+            // tdx-lint: allow(wall-clock): per-sample benchmark timer
             let t0 = Instant::now();
             for _ in 0..iters {
                 run();

@@ -175,7 +175,9 @@ impl ChaosSpawner {
 
     /// How many faults are still armed.
     pub fn remaining(&self) -> usize {
-        self.faults.lock().unwrap().len()
+        // A poisoned lock only means another carrier panicked mid-take;
+        // the fault list itself is always consistent (single remove).
+        self.faults.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 }
 
@@ -229,7 +231,9 @@ impl ChaosTransport {
     /// Consumes the first unfired fault armed for this carrier's current
     /// frame offset, if any.
     fn take_fault(&self) -> Option<FaultKind> {
-        let mut faults = self.faults.lock().unwrap();
+        // See `remaining`: recover the list from a poisoned lock rather
+        // than panicking the carrier that came to take a fault.
+        let mut faults = self.faults.lock().unwrap_or_else(|e| e.into_inner());
         let i = faults
             .iter()
             .position(|f| f.server == self.server && f.after_frames == self.sent)?;

@@ -176,19 +176,41 @@ pub(crate) fn register_memo<'a>(
 }
 
 /// The memo probe key of one enumerated homomorphism: the determined head
-/// values at `cols`, in column order.
-pub(crate) fn memo_probe_key(cols: &[usize], atom: &Atom, h: &[(Var, Value)]) -> Vec<Value> {
+/// values at `cols`, in column order. Homomorphisms arrive off the wire
+/// from partition servers, so a missing binding is a malformed response —
+/// a typed error through the transport-fault lane, never a panic.
+pub(crate) fn memo_probe_key(
+    cols: &[usize],
+    atom: &Atom,
+    h: &[(Var, Value)],
+) -> Result<Vec<Value>> {
     cols.iter()
         .map(|&c| match &atom.terms[c] {
-            Term::Const(cst) => Value::Const(*cst),
-            Term::Var(v) => {
-                h.iter()
-                    .find(|(w, _)| w == v)
-                    .expect("universal head var bound")
-                    .1
-            }
+            Term::Const(cst) => Ok(Value::Const(*cst)),
+            Term::Var(v) => h
+                .iter()
+                .find(|(w, _)| w == v)
+                .map(|(_, val)| *val)
+                .ok_or_else(|| {
+                    TdxError::Invalid(format!(
+                        "enumerated homomorphism leaves universal head variable {v:?} unbound"
+                    ))
+                }),
         })
         .collect()
+}
+
+/// Resolves a validated tgd head atom's target relation. Mapping
+/// validation guarantees the lookup succeeds; if it ever does not (a
+/// coordinator bug or a mapping mutated mid-chase), the chase fails with
+/// a typed error rather than panicking mid-fold.
+fn target_rel(mapping: &SchemaMapping, atom: &Atom) -> Result<RelId> {
+    mapping.target().rel_id(atom.relation).ok_or_else(|| {
+        TdxError::Invalid(format!(
+            "tgd head relation {:?} is missing from the target schema",
+            atom.relation
+        ))
+    })
 }
 
 /// Folds enumerated egd merge operations into a round's union-find. A
@@ -273,11 +295,7 @@ impl<'a> TgdFolder<'a> {
                 Check::Direct => {
                     let mut fired = false;
                     for atom in &tgd.head {
-                        let rel = self
-                            .mapping
-                            .target()
-                            .rel_id(atom.relation)
-                            .expect("validated head atom");
+                        let rel = target_rel(self.mapping, atom)?;
                         let row: Row = instantiate(atom, &h).into();
                         if target.insert(rel, Arc::clone(&row), iv) {
                             register_memo(
@@ -296,7 +314,7 @@ impl<'a> TgdFolder<'a> {
                     continue;
                 }
                 Check::Memo { rel: _, cols } => {
-                    let key = memo_probe_key(cols, &tgd.head[0], &h);
+                    let key = memo_probe_key(cols, &tgd.head[0], &h)?;
                     if self.memos[ti].contains(&(key, iv)) {
                         continue;
                     }
@@ -318,11 +336,7 @@ impl<'a> TgdFolder<'a> {
                 env.push((*v, Value::Null(self.nulls.fresh())));
             }
             for atom in &tgd.head {
-                let rel = self
-                    .mapping
-                    .target()
-                    .rel_id(atom.relation)
-                    .expect("validated head atom");
+                let rel = target_rel(self.mapping, atom)?;
                 let row: Row = instantiate(atom, &env).into();
                 if target.insert(rel, Arc::clone(&row), iv) {
                     register_memo(
@@ -843,8 +857,11 @@ impl DistributedCluster {
                     cluster.slots[s].shipped[k] = Some((r.images[s].clone(), r.splits[s].clone()));
                 }
             } else {
+                // The reset rides the full retry path: a server that dies
+                // on its fallback `Hello` is respawned and re-reset, not
+                // surfaced as a failed recovery.
                 let hello = cluster.slots[s].hello.clone();
-                match cluster.request_direct(s, &hello)? {
+                match cluster.request_retried(s, &hello)? {
                     Response::Ready => {}
                     other => {
                         return Err(transport_err(
@@ -926,6 +943,24 @@ impl DistributedCluster {
         self.send_counted(s, frame)
             .map_err(|e| transport_err(s, e))?;
         self.recv_decoded(s).map_err(|e| transport_err(s, e))
+    }
+
+    /// [`request_direct`](Self::request_direct) with the broadcast retry
+    /// path behind it: a failed exchange respawns the slot and re-sends
+    /// the same frame until it answers, or until quarantine makes the
+    /// error terminal.
+    fn request_retried(&mut self, s: usize, frame: &[u8]) -> Result<Response> {
+        match self.request_direct(s, frame) {
+            Ok(resp) => Ok(resp),
+            Err(_) => loop {
+                self.respawn(s)?;
+                match self.request_direct(s, frame) {
+                    Ok(resp) => break Ok(resp),
+                    Err(e) if self.slots[s].health == ServerHealth::Quarantined => break Err(e),
+                    Err(_) => continue,
+                }
+            },
+        }
     }
 
     /// The retry path: back off, tear the dead server down, spawn a
@@ -1083,10 +1118,15 @@ impl DistributedCluster {
                 }
             };
         }
-        Ok(out
-            .into_iter()
-            .map(|r| r.expect("every server answered or failed the chase"))
-            .collect())
+        // Every slot either answered above or looped through the retry
+        // path until it did; an empty slot here is a coordinator bug, and
+        // it surfaces as a typed error, not a panic mid-broadcast.
+        out.into_iter()
+            .enumerate()
+            .map(|(s, r)| {
+                r.ok_or_else(|| transport_err(s, "server answered no frame after recovery"))
+            })
+            .collect()
     }
 
     /// Broadcasts one identical frame to every server.
@@ -1508,8 +1548,8 @@ pub fn snapshot_consistent(
     store: StoreKind,
     lists: &FactLists,
 ) -> Result<bool> {
-    use std::collections::HashMap;
-    let mut expected: HashMap<(usize, Row, Interval), isize> = HashMap::new();
+    let mut expected: tdx_storage::fxhash::FxHashMap<(usize, Row, Interval), isize> =
+        Default::default();
     for (r, facts) in lists.iter().enumerate() {
         for f in facts {
             *expected
@@ -1628,7 +1668,7 @@ pub fn c_chase_distributed_with(
                     discover,
                     tgds.len(),
                 )?;
-                let mut cuts = CutMap::new();
+                let mut cuts = CutMap::default();
                 image_cuts(&images, &src_pre, &src_delta, &mut cuts);
                 base_align_cuts(&src_pre, &src_delta, &mut cuts);
                 if cuts.is_empty() {
@@ -1725,7 +1765,7 @@ pub fn c_chase_distributed_with(
                     Some(&fresh),
                     discover_round && !specs.is_empty(),
                 )?;
-                let mut cuts = CutMap::new();
+                let mut cuts = CutMap::default();
                 if discover_round {
                     image_cuts(&images, &pre, &delta, &mut cuts);
                 }

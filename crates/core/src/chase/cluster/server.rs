@@ -541,11 +541,13 @@ pub(crate) fn serve_listener(
         let stream = match idle_exit {
             None => listener.accept()?.0,
             Some(limit) => {
+                // tdx-lint: allow(wall-clock): idle-exit accept timeout; bounds how long a server lingers, never what it computes
                 let deadline = std::time::Instant::now() + limit;
                 loop {
                     match listener.accept() {
                         Ok((s, _)) => break s,
                         Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            // tdx-lint: allow(wall-clock): polls the idle-exit deadline above
                             if std::time::Instant::now() >= deadline {
                                 return Ok(());
                             }

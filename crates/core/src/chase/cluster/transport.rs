@@ -317,6 +317,7 @@ fn accept_with_deadline(
     mut child: Option<&mut Child>,
 ) -> io::Result<TcpStream> {
     listener.set_nonblocking(true)?;
+    // tdx-lint: allow(wall-clock): accept-timeout clock for spawning child servers; a timeout is an error path, not a result
     let t0 = Instant::now();
     loop {
         match listener.accept() {
@@ -439,6 +440,7 @@ impl Transport for TcpTransport {
         let _ = self.writer.shutdown(Shutdown::Both);
         match &mut self.peer {
             TcpPeer::Child(child) => {
+                // tdx-lint: allow(wall-clock): bounded grace period before killing a child on drop; cleanup only
                 let t0 = Instant::now();
                 loop {
                     match child.try_wait() {
@@ -643,6 +645,7 @@ fn wait_addr_file(
     deadline: Duration,
     child: &mut Child,
 ) -> io::Result<std::net::SocketAddr> {
+    // tdx-lint: allow(wall-clock): addr-file wait timeout while a child server boots; a timeout is an error path
     let t0 = Instant::now();
     loop {
         if let Ok(s) = std::fs::read_to_string(path) {

@@ -19,9 +19,9 @@
 
 use crate::error::{Result, TdxError};
 use crate::normalize::{naive_normalize, normalize_with};
-use std::collections::HashMap;
 use std::sync::Arc;
 use tdx_logic::{Atom, SchemaMapping, Term, Var};
+use tdx_storage::fxhash::FxHashMap;
 use tdx_storage::{
     Generation, NullGen, NullId, SearchOptions, TemporalInstance, TemporalMode, Value,
 };
@@ -241,7 +241,7 @@ pub(crate) fn instantiate(atom: &Atom, env: &[(Var, Value)]) -> Vec<Value> {
 /// another in `[5,7)` both resolve to `18k`, but the two nulls are never
 /// directly identified with each other).
 pub(crate) struct AnnotatedUnionFind {
-    parent: HashMap<UfKey, UfKey>,
+    parent: FxHashMap<UfKey, UfKey>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -253,7 +253,7 @@ pub(crate) enum UfKey {
 impl AnnotatedUnionFind {
     pub(crate) fn new() -> AnnotatedUnionFind {
         AnnotatedUnionFind {
-            parent: HashMap::new(),
+            parent: FxHashMap::default(),
         }
     }
 
@@ -319,13 +319,12 @@ impl AnnotatedUnionFind {
 /// endpoints restores the invariant; fragmentation itself is always
 /// `⟦·⟧`-preserving.
 fn align_shared_nulls(target: &TemporalInstance) -> TemporalInstance {
-    use std::collections::HashMap;
     let facts: Vec<(tdx_logic::RelId, &tdx_storage::TemporalFact)> = target.iter_all().collect();
     let n = facts.len();
     // Union-find over fact indices, connected through shared null bases.
     let mut parent: Vec<usize> = (0..n).collect();
     use crate::normalize::uf_find as find;
-    let mut owner: HashMap<NullId, usize> = HashMap::new();
+    let mut owner: FxHashMap<NullId, usize> = FxHashMap::default();
     let mut has_null = vec![false; n];
     for (i, (_, fact)) in facts.iter().enumerate() {
         for v in fact.data.iter() {
@@ -347,13 +346,13 @@ fn align_shared_nulls(target: &TemporalInstance) -> TemporalInstance {
     }
     // Component breakpoints from member intervals (singleton components
     // need no cuts — a fact is always aligned with itself).
-    let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut members: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
     for (i, hn) in has_null.iter().enumerate() {
         if *hn {
             members.entry(find(&mut parent, i)).or_default().push(i);
         }
     }
-    let mut bps: HashMap<usize, tdx_temporal::Breakpoints> = HashMap::new();
+    let mut bps: FxHashMap<usize, tdx_temporal::Breakpoints> = FxHashMap::default();
     for (root, ms) in &members {
         if ms.len() > 1 {
             bps.insert(

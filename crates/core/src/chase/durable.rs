@@ -99,11 +99,10 @@ impl DurableExchange {
         let mut snapshot_seq = 0u64;
         let snap_path = state_dir.join("snapshot.bin");
         if let Some(payload) = read_snapshot(&snap_path).map_err(|e| durable_err("snapshot", e))? {
-            if payload.len() < 8 {
+            let Some((head, state)) = payload.split_first_chunk::<8>() else {
                 return Err(durable_err("snapshot", "payload shorter than its header"));
-            }
-            let (head, state) = payload.split_at(8);
-            snapshot_seq = u64::from_le_bytes(head.try_into().expect("8 bytes"));
+            };
+            snapshot_seq = u64::from_le_bytes(*head);
             inner.restore_state(state)?;
             seq = snapshot_seq;
         }

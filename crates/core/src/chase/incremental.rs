@@ -1195,7 +1195,7 @@ impl IncrementalExchange {
                         continue;
                     }
                     Check::Memo { rel: _, cols } => {
-                        let key = memo_probe_key(cols, &plan.head[0].1, &h);
+                        let key = memo_probe_key(cols, &plan.head[0].1, &h)?;
                         if self.memos[ti].contains(&(key, iv)) {
                             continue;
                         }

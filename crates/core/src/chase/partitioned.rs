@@ -35,9 +35,9 @@ use crate::error::Result;
 use crate::normalize::{
     merge_image_sets, naive_normalize, normalize_with_groups, uf_find, FactRef,
 };
-use std::collections::HashMap;
 use std::sync::Arc;
 use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Var};
+use tdx_storage::fxhash::{FxHashMap, FxHashSet};
 use tdx_storage::{
     PartScope, Row, SearchOptions, ShardedFactStore, TemporalFact, TemporalInstance, TemporalMode,
     Value,
@@ -188,7 +188,7 @@ pub(crate) fn sweep_images(
     threads: usize,
 ) -> Vec<(u64, u64)> {
     run_tasks(threads, specs.len(), |i| {
-        let mut pairs: tdx_storage::fxhash::FxHashSet<(u64, u64)> = Default::default();
+        let mut pairs: FxHashSet<(u64, u64)> = Default::default();
         let mut out: Vec<(u64, u64)> = Vec::new();
         sweep_lists(pre, delta, fresh, &specs[i], |a, b| {
             let (ka, kb) = (pack_ref(a), pack_ref(b));
@@ -250,8 +250,7 @@ fn sweep_lists(
     // scan over settled facts then costs one cheap hash each instead of
     // bucket insertions.
     let restricted = fresh.is_some();
-    let mut fresh_keys: [tdx_storage::fxhash::FxHashSet<u64>; 2] =
-        [Default::default(), Default::default()];
+    let mut fresh_keys: [FxHashSet<u64>; 2] = [Default::default(), Default::default()];
     if let Some(flags) = fresh {
         for (ai, keys) in fresh_keys.iter_mut().enumerate() {
             let r = spec.rels[ai].0 as usize;
@@ -265,8 +264,7 @@ fn sweep_lists(
             return; // nothing fresh joins this conjunction
         }
     }
-    let mut buckets: tdx_storage::fxhash::FxHashMap<u64, [Vec<Entry>; 2]> =
-        tdx_storage::fxhash::FxHashMap::default();
+    let mut buckets: FxHashMap<u64, [Vec<Entry>; 2]> = FxHashMap::default();
     for ai in 0..2 {
         let r = spec.rels[ai].0 as usize;
         let pre_len = pre[r].len();
@@ -411,7 +409,7 @@ pub(crate) fn discover_images(
         from_matcher = run_tasks(threads, ntasks, |t| -> Result<Vec<Vec<u64>>> {
             let view = sharded.part(dirty[t / generic.len()]);
             let atoms = generic[t % generic.len()];
-            let mut seen: tdx_storage::fxhash::FxHashSet<Vec<u64>> = Default::default();
+            let mut seen: FxHashSet<Vec<u64>> = Default::default();
             let mut out = Vec::new();
             let mut key: Vec<u64> = Vec::with_capacity(atoms.len());
             view.find_matches(
@@ -439,7 +437,7 @@ pub(crate) fn discover_images(
             Ok(out)
         });
     }
-    let mut seen: tdx_storage::fxhash::FxHashSet<Vec<u64>> = Default::default();
+    let mut seen: FxHashSet<Vec<u64>> = Default::default();
     let mut out: Vec<Vec<FactRef>> = Vec::new();
     for image in swept.into_iter().map(|(a, b)| vec![a, b]).chain(
         from_matcher
@@ -512,12 +510,12 @@ pub(crate) fn build_sharded(
 pub(crate) fn base_align_cuts(
     pre: &FactLists,
     delta: &FactLists,
-    cuts: &mut HashMap<(RelId, u32), Vec<TimePoint>>,
+    cuts: &mut FxHashMap<(RelId, u32), Vec<TimePoint>>,
 ) {
     // Facts containing nulls, union-found through shared bases.
     let mut facts: Vec<(RelId, u32, Interval)> = Vec::new();
     let mut parent: Vec<usize> = Vec::new();
-    let mut owner: tdx_storage::fxhash::FxHashMap<tdx_storage::NullId, usize> = Default::default();
+    let mut owner: FxHashMap<tdx_storage::NullId, usize> = Default::default();
     for (r, (p, d)) in pre.iter().zip(delta.iter()).enumerate() {
         let rel = RelId(r as u32);
         for (gid, fact) in p.iter().chain(d.iter()).enumerate() {
@@ -544,7 +542,7 @@ pub(crate) fn base_align_cuts(
             }
         }
     }
-    let mut members: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut members: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
     for i in 0..facts.len() {
         let root = uf_find(&mut parent, i);
         members.entry(root).or_default().push(i);
@@ -565,7 +563,7 @@ pub(crate) fn base_align_cuts(
 }
 
 /// The per-fact cut points one fixpoint iteration wants applied.
-pub(crate) type CutMap = HashMap<(RelId, u32), Vec<TimePoint>>;
+pub(crate) type CutMap = FxHashMap<(RelId, u32), Vec<TimePoint>>;
 
 /// Naive normalization's cut rule: every fact is cut at every interior
 /// endpoint of the global breakpoint set.
@@ -632,7 +630,7 @@ pub(crate) fn apply_cuts(
         data.hash(&mut h);
         h.finish()
     };
-    let mut cut_rows: Vec<Option<tdx_storage::fxhash::FxHashSet<u64>>> = vec![None; nrels];
+    let mut cut_rows: Vec<Option<FxHashSet<u64>>> = vec![None; nrels];
     for &(rel, gid) in cuts.keys() {
         let fact = fact_at(&pre, &delta, rel, gid);
         cut_rows[rel.0 as usize]
@@ -651,7 +649,7 @@ pub(crate) fn apply_cuts(
             nfresh[r] = vec![false; ndelta[r].len()];
             continue;
         };
-        let mut kept: tdx_storage::fxhash::FxHashSet<(Row, Interval)> = Default::default();
+        let mut kept: FxHashSet<(Row, Interval)> = Default::default();
         // Uncut facts first, so a fragment colliding with an existing
         // fact dissolves into it.
         for (gid, fact) in pre[r].iter().chain(delta[r].iter()).enumerate() {
@@ -729,7 +727,7 @@ pub(crate) fn refragment_lists(
     let nrels = schema.len();
     let mut fresh: Vec<Vec<bool>> = delta.iter().map(|d| vec![true; d.len()]).collect();
     loop {
-        let mut cuts = CutMap::new();
+        let mut cuts = CutMap::default();
         if naive && renorm_bodies.is_some() {
             naive_cuts(&pre, &delta, &mut cuts);
         } else if let Some(conjs) = renorm_bodies {
@@ -768,8 +766,7 @@ pub(crate) fn rewrite_values(
     let mut npre: FactLists = vec![Vec::new(); nrels];
     let mut ndelta: FactLists = vec![Vec::new(); nrels];
     for r in 0..nrels {
-        let mut kept: tdx_storage::fxhash::FxHashSet<(tdx_storage::Row, Interval)> =
-            Default::default();
+        let mut kept: FxHashSet<(tdx_storage::Row, Interval)> = Default::default();
         for fact in pre[r].iter().chain(delta[r].iter()) {
             // Only null-bearing facts can change under the union-find —
             // everything else keeps its row without re-resolving.

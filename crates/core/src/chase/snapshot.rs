@@ -6,8 +6,8 @@
 //! steps that equate labeled nulls or fail on two distinct constants.
 
 use crate::error::{Result, TdxError};
-use std::collections::HashMap;
 use tdx_logic::{Atom, Egd, SchemaMapping, Term, Tgd, Var};
+use tdx_storage::fxhash::FxHashMap;
 use tdx_storage::{Instance, NullGen, SearchOptions, Value};
 
 /// Instantiates a head atom under a (complete) variable assignment.
@@ -80,13 +80,13 @@ pub fn st_tgd_phase_with(
 /// Union-find over values in which constants always win representative
 /// election; merging two distinct constants is a chase failure.
 pub(crate) struct ValueUnionFind {
-    parent: HashMap<Value, Value>,
+    parent: FxHashMap<Value, Value>,
 }
 
 impl ValueUnionFind {
     pub(crate) fn new() -> ValueUnionFind {
         ValueUnionFind {
-            parent: HashMap::new(),
+            parent: FxHashMap::default(),
         }
     }
 

@@ -157,8 +157,8 @@ fn load_instance(
     use crate::error::TdxError;
     let facts = tdx_logic::parse_facts(text).map_err(|e| TdxError::Invalid(e.to_string()))?;
     let mut out = TemporalInstance::new(Arc::new(schema.clone()));
-    let mut null_names: std::collections::HashMap<tdx_logic::Symbol, tdx_storage::NullId> =
-        std::collections::HashMap::new();
+    let mut null_names: tdx_storage::fxhash::FxHashMap<tdx_logic::Symbol, tdx_storage::NullId> =
+        Default::default();
     let mut next_null = 0u64;
     for f in facts {
         let rel = schema.rel_id(f.relation).ok_or_else(|| {

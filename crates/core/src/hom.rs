@@ -13,8 +13,8 @@
 //!   onto rigid nulls pointwise (`J₂ → J₁`).
 
 use crate::abstract_view::{ASnapshot, AValue, AbstractInstance};
-use std::collections::HashMap;
 use tdx_logic::RelId;
+use tdx_storage::fxhash::FxHashMap;
 use tdx_storage::{Instance, NullId, Row, Value};
 
 // ---------------------------------------------------------------------
@@ -24,11 +24,11 @@ use tdx_storage::{Instance, NullId, Row, Value};
 /// Searches for a homomorphism `from → to` between snapshots: a mapping of
 /// labeled nulls to values that is the identity on constants and sends every
 /// fact of `from` to a fact of `to`. Returns the null mapping if one exists.
-pub fn snapshot_hom(from: &Instance, to: &Instance) -> Option<HashMap<NullId, Value>> {
+pub fn snapshot_hom(from: &Instance, to: &Instance) -> Option<FxHashMap<NullId, Value>> {
     let mut facts: Vec<(RelId, &Row)> = from.iter_all().collect();
     // Most-constrained first: facts with fewer nulls prune faster.
     facts.sort_by_key(|(_, row)| row.iter().filter(|v| v.is_null()).count());
-    let mut assign: HashMap<NullId, Value> = HashMap::new();
+    let mut assign: FxHashMap<NullId, Value> = FxHashMap::default();
     if search_snapshot(&facts, 0, to, &mut assign) {
         Some(assign)
     } else {
@@ -45,7 +45,7 @@ fn search_snapshot(
     facts: &[(RelId, &Row)],
     depth: usize,
     to: &Instance,
-    assign: &mut HashMap<NullId, Value>,
+    assign: &mut FxHashMap<NullId, Value>,
 ) -> bool {
     let Some((rel, row)) = facts.get(depth) else {
         return true;
@@ -127,14 +127,14 @@ fn tgt_val(v: &AValue) -> TgtVal {
 pub fn abstract_hom(from: &AbstractInstance, to: &AbstractInstance) -> bool {
     let zipped = from.zip_refined(to);
     // Occurrence analysis for rigid source nulls.
-    let mut rigid_occurrences: HashMap<NullId, Vec<usize>> = HashMap::new();
+    let mut rigid_occurrences: FxHashMap<NullId, Vec<usize>> = FxHashMap::default();
     for (ei, (_, s_from, _)) in zipped.iter().enumerate() {
         let (_, rigids) = s_from.null_bases();
         for b in rigids {
             rigid_occurrences.entry(b).or_default().push(ei);
         }
     }
-    let rigid_single_point: HashMap<NullId, bool> = rigid_occurrences
+    let rigid_single_point: FxHashMap<NullId, bool> = rigid_occurrences
         .iter()
         .map(|(b, eps)| {
             let single = eps.len() == 1 && zipped[eps[0]].0.len() == Some(1);
@@ -153,7 +153,7 @@ pub fn abstract_hom(from: &AbstractInstance, to: &AbstractInstance) -> bool {
         }
     }
     let targets: Vec<&ASnapshot> = zipped.iter().map(|(_, _, s_to)| *s_to).collect();
-    let mut assign: HashMap<SrcKey, TgtVal> = HashMap::new();
+    let mut assign: FxHashMap<SrcKey, TgtVal> = FxHashMap::default();
     search_abstract(&work, 0, &targets, &rigid_single_point, &mut assign)
 }
 
@@ -161,8 +161,8 @@ fn search_abstract(
     work: &[(usize, RelId, &std::sync::Arc<[AValue]>)],
     depth: usize,
     targets: &[&ASnapshot],
-    rigid_single_point: &HashMap<NullId, bool>,
-    assign: &mut HashMap<SrcKey, TgtVal>,
+    rigid_single_point: &FxHashMap<NullId, bool>,
+    assign: &mut FxHashMap<SrcKey, TgtVal>,
 ) -> bool {
     let Some((ei, rel, row)) = work.get(depth) else {
         return true;

@@ -16,9 +16,10 @@
 //!   its own endpoints only (Figures 5, 7→8).
 
 use crate::error::Result;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use tdx_logic::{Atom, RelId};
+use tdx_storage::fxhash::{FxHashMap, FxHashSet};
 use tdx_storage::{SearchOptions, TemporalInstance, TemporalMode};
 use tdx_temporal::{fragment_interval, Breakpoints, Interval};
 
@@ -63,7 +64,7 @@ pub fn candidate_groups_with(
     // during the search. Images are deduplicated as sorted vectors — cheaper
     // to hash than tree sets on this hot path.
     let mut sets: Vec<Vec<FactRef>> = Vec::new();
-    let mut seen: std::collections::HashSet<Vec<FactRef>> = std::collections::HashSet::new();
+    let mut seen: FxHashSet<Vec<FactRef>> = FxHashSet::default();
     for atoms in conjunctions {
         ic.find_matches_with(
             atoms,
@@ -103,7 +104,7 @@ pub(crate) fn uf_find(parent: &mut Vec<usize>, i: usize) -> usize {
 /// and merge them here.
 pub fn merge_image_sets(sets: &[Vec<FactRef>]) -> Vec<BTreeSet<FactRef>> {
     let mut parent: Vec<usize> = (0..sets.len()).collect();
-    let mut owner: HashMap<FactRef, usize> = HashMap::new();
+    let mut owner: FxHashMap<FactRef, usize> = FxHashMap::default();
     for (i, set) in sets.iter().enumerate() {
         for &f in set {
             match owner.get(&f) {
@@ -119,7 +120,7 @@ pub fn merge_image_sets(sets: &[Vec<FactRef>]) -> Vec<BTreeSet<FactRef>> {
             }
         }
     }
-    let mut merged: HashMap<usize, BTreeSet<FactRef>> = HashMap::new();
+    let mut merged: FxHashMap<usize, BTreeSet<FactRef>> = FxHashMap::default();
     for (i, set) in sets.iter().enumerate() {
         let r = uf_find(&mut parent, i);
         merged.entry(r).or_default().extend(set.iter().copied());
@@ -159,7 +160,7 @@ pub fn normalize_with_groups(
     groups: &[BTreeSet<FactRef>],
 ) -> Result<TemporalInstance> {
     // Per-fact breakpoints: TP_Δ of the group the fact belongs to.
-    let mut fact_group: HashMap<FactRef, usize> = HashMap::new();
+    let mut fact_group: FxHashMap<FactRef, usize> = FxHashMap::default();
     let mut group_bps: Vec<Breakpoints> = Vec::with_capacity(groups.len());
     for (gi, group) in groups.iter().enumerate() {
         let ivs: Vec<Interval> = group

@@ -86,8 +86,8 @@ pub fn concretize(ia: &AbstractInstance) -> crate::error::Result<tdx_storage::Te
     }
     // Rigid nulls spanning multiple single-point epochs would also be lost;
     // detect them across epochs.
-    let mut seen_rigid: std::collections::HashMap<tdx_storage::NullId, Interval> =
-        std::collections::HashMap::new();
+    let mut seen_rigid: tdx_storage::fxhash::FxHashMap<tdx_storage::NullId, Interval> =
+        Default::default();
     for epoch in ia.epochs() {
         let (_, rigids) = epoch.snapshot.null_bases();
         for b in rigids {

@@ -1,0 +1,86 @@
+//! The `tdx-lint` CLI.
+//!
+//! ```text
+//! tdx-lint --workspace [--root DIR]   # scan src/ + crates/*/src + protocol check
+//! tdx-lint [--fault-path] FILE...     # scan explicit files (fixtures, editors)
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error. Findings print
+//! as `path:line: [rule] message` — clickable in most terminals and
+//! greppable in CI logs.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut fault_path = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--fault-path" => fault_path = true,
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: tdx-lint --workspace [--root DIR] | tdx-lint [--fault-path] FILE..."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(&format!("unknown flag {other}")),
+            file => files.push(file.to_owned()),
+        }
+    }
+    if !workspace && files.is_empty() {
+        return usage("pass --workspace or at least one file");
+    }
+
+    let findings = if workspace {
+        match tdx_lint::scan_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("tdx-lint: cannot scan {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut findings = Vec::new();
+        for file in &files {
+            let src = match std::fs::read_to_string(file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tdx-lint: cannot read {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            // `--fault-path` arms the panic/index rules regardless of the
+            // file name, so fixtures and one-off audits can use them.
+            let armed = fault_path || tdx_lint::is_fault_path(file);
+            findings.extend(tdx_lint::scan_source_with(file, &src, armed));
+        }
+        findings
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("tdx-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("tdx-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tdx-lint: {msg}");
+    eprintln!("usage: tdx-lint --workspace [--root DIR] | tdx-lint [--fault-path] FILE...");
+    ExitCode::from(2)
+}

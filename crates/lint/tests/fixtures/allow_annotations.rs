@@ -1,0 +1,20 @@
+//! Fixture: allow annotations — each suppresses exactly one finding.
+
+use std::time::Instant;
+
+fn timed() {
+    // tdx-lint: allow(wall-clock): fixture exercising line-above suppression
+    let t0 = Instant::now(); // suppressed by the line above
+    let t1 = Instant::now(); // tdx-lint: allow(wall-clock): same-line suppression
+    let t2 = Instant::now(); // line 9: NOT suppressed — each allow spends itself once
+    let _ = (t0, t1, t2);
+}
+
+// tdx-lint: allow(rng): this allow matches nothing and must be reported unused
+fn quiet() {}
+
+fn malformed() {
+    // tdx-lint: allow(wall-clock) missing the reason separator entirely
+    let t3 = Instant::now(); // line 18: wall-clock (malformed allow suppresses nothing)
+    let _ = t3;
+}

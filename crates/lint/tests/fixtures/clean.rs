@@ -1,0 +1,16 @@
+//! Fixture: deterministic, panic-free code — zero findings, even when
+//! scanned as a fault path.
+
+use std::collections::BTreeMap;
+
+fn tally(pairs: &[(u32, u32)]) -> BTreeMap<u32, u32> {
+    let mut out = BTreeMap::new();
+    for &(k, v) in pairs {
+        *out.entry(k).or_insert(0) += v;
+    }
+    out
+}
+
+fn first_chunk(bytes: &[u8]) -> Option<[u8; 4]> {
+    bytes.split_first_chunk::<4>().map(|(head, _)| *head)
+}

@@ -1,0 +1,12 @@
+//! Fixture: default-hasher imports whose iteration order can leak.
+
+use std::collections::HashMap; // line 3: hash-order
+use std::collections::HashSet; // line 4: hash-order
+
+fn build() -> usize {
+    // Usage lines are not import lines: the rule fires at import
+    // granularity only, so these two do not double-report.
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}

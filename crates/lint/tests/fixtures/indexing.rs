@@ -1,0 +1,13 @@
+//! Fixture: arithmetic slice indexing — findings only on fault paths.
+
+fn split(buf: &[u8], pos: usize, len: usize) -> (&[u8], &[u8]) {
+    let head = &buf[pos..pos + 4]; // line 4: index (range with arithmetic)
+    let body = &buf[pos + 4..pos + 4 + len]; // line 5: index
+    (head, body)
+}
+
+fn safe(buf: &[u8]) -> Option<&u8> {
+    // Full-slice borrows and checked access carry no finding.
+    let all = &buf[..];
+    all.first()
+}

@@ -1,0 +1,13 @@
+//! Fixture: panic sites — findings only when scanned as a fault path.
+
+fn decode(bytes: &[u8]) -> u32 {
+    let head: [u8; 4] = bytes[..4].try_into().unwrap(); // line 4: panic (and index)
+    if bytes.len() > 64 {
+        panic!("frame too long"); // line 6: panic
+    }
+    u32::from_le_bytes(head)
+}
+
+fn lookup(xs: &[u32], i: usize) -> u32 {
+    xs.get(i).copied().expect("caller checked bounds") // line 12: panic
+}

@@ -1,0 +1,11 @@
+//! Fixture: unseeded randomness, one finding per source.
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng(); // line 4: rng
+    let seed = rand::random::<u64>(); // line 5: rng
+    // "thread_rng" inside this comment must not fire; neither must the
+    // string literal below.
+    let label = "call thread_rng elsewhere";
+    let _ = label;
+    seed
+}

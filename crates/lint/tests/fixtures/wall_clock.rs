@@ -1,0 +1,18 @@
+//! Fixture: wall-clock reads in production code, one per flavor.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH}; // line 3: UNIX_EPOCH is itself a wall-clock token
+
+fn stamp() -> u64 {
+    let t0 = Instant::now(); // line 6: wall-clock
+    let now = SystemTime::now(); // line 7: wall-clock
+    let epoch = now.duration_since(UNIX_EPOCH).unwrap_or_default(); // line 8: wall-clock
+    t0.elapsed().as_secs() + epoch.as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::time::Instant::now(); // exempt: inside #[cfg(test)]
+    }
+}

@@ -1,0 +1,228 @@
+//! The lint's own acceptance suite: each fixture seeds one rule's
+//! violations and the scanner must report exactly those findings — same
+//! rule, same file, same line — while the clean fixture and the real
+//! workspace stay at zero.
+
+use tdx_lint::{check_protocol, scan_source, scan_source_with, ProtocolSources, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!(
+        "{}/tests/fixtures/{name}",
+        env!("CARGO_MANIFEST_DIR").replace('\\', "/")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {path}: {e}"))
+}
+
+/// `(rule, line)` pairs of a scan, sorted for order-free comparison.
+fn spans(findings: &[tdx_lint::Finding]) -> Vec<(Rule, usize)> {
+    let mut out: Vec<(Rule, usize)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    out.sort_by_key(|&(r, l)| (r.id(), l));
+    out
+}
+
+#[test]
+fn wall_clock_fixture_reports_each_read_outside_tests() {
+    let src = fixture("wall_clock.rs");
+    let findings = scan_source("fixtures/wall_clock.rs", &src);
+    assert_eq!(
+        spans(&findings),
+        vec![
+            (Rule::WallClock, 3),
+            (Rule::WallClock, 6),
+            (Rule::WallClock, 7),
+            (Rule::WallClock, 8),
+        ],
+        "{findings:#?}"
+    );
+    for f in &findings {
+        assert_eq!(f.path, "fixtures/wall_clock.rs");
+    }
+}
+
+#[test]
+fn rng_fixture_reports_each_unseeded_source_and_ignores_masked_text() {
+    let src = fixture("rng.rs");
+    let findings = scan_source("fixtures/rng.rs", &src);
+    assert_eq!(
+        spans(&findings),
+        vec![(Rule::Rng, 4), (Rule::Rng, 5)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn hash_order_fixture_fires_at_import_granularity_only() {
+    let src = fixture("hash_order.rs");
+    let findings = scan_source("fixtures/hash_order.rs", &src);
+    assert_eq!(
+        spans(&findings),
+        vec![(Rule::HashOrder, 3), (Rule::HashOrder, 4)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn panic_fixture_fires_only_when_scanned_as_a_fault_path() {
+    let src = fixture("panic_path.rs");
+    let on_fault_path = scan_source_with("fixtures/panic_path.rs", &src, true);
+    assert_eq!(
+        spans(&on_fault_path),
+        vec![
+            (Rule::Index, 4),
+            (Rule::Panic, 4),
+            (Rule::Panic, 6),
+            (Rule::Panic, 12),
+        ],
+        "{on_fault_path:#?}"
+    );
+    let off_fault_path = scan_source_with("fixtures/panic_path.rs", &src, false);
+    assert!(
+        off_fault_path.is_empty(),
+        "panic/index must not arm off the fault paths: {off_fault_path:#?}"
+    );
+}
+
+#[test]
+fn index_fixture_flags_arithmetic_ranges_and_spares_checked_access() {
+    let src = fixture("indexing.rs");
+    let findings = scan_source_with("fixtures/indexing.rs", &src, true);
+    assert_eq!(
+        spans(&findings),
+        vec![(Rule::Index, 4), (Rule::Index, 5)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn each_allow_annotation_suppresses_exactly_one_finding() {
+    let src = fixture("allow_annotations.rs");
+    let findings = scan_source("fixtures/allow_annotations.rs", &src);
+    // Lines 7 and 8 are suppressed (line-above and same-line allows);
+    // line 9 still fires because each allow spends itself once. The
+    // unused allow on line 13 and the malformed one on line 17 are
+    // annotation findings; the site under the malformed allow still
+    // fires.
+    assert_eq!(
+        spans(&findings),
+        vec![
+            (Rule::Annotation, 13),
+            (Rule::Annotation, 17),
+            (Rule::WallClock, 9),
+            (Rule::WallClock, 18),
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean_even_as_a_fault_path() {
+    let src = fixture("clean.rs");
+    let findings = scan_source_with("fixtures/clean.rs", &src, true);
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn protocol_check_demands_every_arm_and_matrix_entry() {
+    // A two-variant toy protocol: `Ping` is fully covered; `Probe` is
+    // missing its decode arm, its server handler and its matrix entry.
+    let protocol = "\
+pub enum Message {
+    Ping,
+    Probe,
+}
+pub enum Response {
+    Pong,
+}
+impl Wire for Message {
+    fn encode(&self) {
+        match self {
+            Message::Ping => {}
+            Message::Probe => {}
+        }
+    }
+    fn decode() {
+        // Message::Ping only — Probe is unreachable off the wire.
+        let _ = Message::Ping;
+    }
+}
+impl Wire for Response {
+    fn encode(&self) {
+        match self {
+            Response::Pong => {}
+        }
+    }
+    fn decode() {
+        let _ = Response::Pong;
+    }
+}
+";
+    let server = "\
+fn handle(m: Message) -> Response {
+    match m {
+        Message::Ping => Response::Pong,
+        _ => unreachable!(),
+    }
+}
+";
+    let matrix = "\
+const MATRIX: &[&str] = &[\"Message::Ping\", \"Response::Pong\"];
+";
+    let findings = check_protocol(&ProtocolSources {
+        protocol_path: "protocol.rs",
+        protocol,
+        server_path: "server.rs",
+        server,
+        matrix_path: "matrix.rs",
+        matrix,
+    });
+    assert!(
+        findings.iter().all(|f| f.rule == Rule::Protocol),
+        "{findings:#?}"
+    );
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert_eq!(
+        findings.len(),
+        3,
+        "Probe must be missing decode, handler and matrix: {messages:#?}"
+    );
+    assert!(messages.iter().all(|m| m.contains("Message::Probe")));
+    assert!(messages.iter().any(|m| m.contains("decode")));
+    assert!(messages.iter().any(|m| m.contains("server.rs")));
+    assert!(messages.iter().any(|m| m.contains("matrix")));
+}
+
+#[test]
+fn the_workspace_itself_scans_clean() {
+    // The tree this crate ships in must hold the bar the lint sets: the
+    // same invocation CI runs returns zero findings.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let findings = tdx_lint::scan_workspace(&root).expect("workspace scan");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_findings_and_zero_on_clean() {
+    let fixtures = format!(
+        "{}/tests/fixtures",
+        env!("CARGO_MANIFEST_DIR").replace('\\', "/")
+    );
+    let bin = env!("CARGO_BIN_EXE_tdx-lint");
+    let dirty = std::process::Command::new(bin)
+        .arg(format!("{fixtures}/wall_clock.rs"))
+        .output()
+        .expect("run tdx-lint");
+    assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
+    let clean = std::process::Command::new(bin)
+        .arg(format!("{fixtures}/clean.rs"))
+        .output()
+        .expect("run tdx-lint");
+    assert_eq!(clean.status.code(), Some(0), "{clean:?}");
+    let fault = std::process::Command::new(bin)
+        .arg("--fault-path")
+        .arg(format!("{fixtures}/panic_path.rs"))
+        .output()
+        .expect("run tdx-lint");
+    assert_eq!(fault.status.code(), Some(1), "{fault:?}");
+}

@@ -9,6 +9,7 @@
 use crate::atom::{conjunction_vars, Atom};
 use crate::schema::Schema;
 use crate::term::{Term, Var};
+// tdx-lint: allow(hash-order): membership-only variable sets; never iterated
 use std::collections::HashSet;
 use std::fmt;
 

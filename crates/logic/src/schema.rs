@@ -1,6 +1,7 @@
 //! Relational schemas.
 
 use crate::symbol::Symbol;
+// tdx-lint: allow(hash-order): name-to-RelId lookup; never iterated
 use std::collections::HashMap;
 use std::fmt;
 

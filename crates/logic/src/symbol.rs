@@ -5,6 +5,7 @@
 //! comparisons into `u32` comparisons. Interned strings are leaked — the set
 //! of distinct names in a data exchange run is small and bounded.
 
+// tdx-lint: allow(hash-order): interner lookup table; ids are handed out in insertion order and the map is never iterated
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};

@@ -29,6 +29,7 @@ use crate::atom::{conjunction_vars, Atom};
 use crate::dependency::Tgd;
 use crate::schema::Schema;
 use crate::term::Var;
+// tdx-lint: allow(hash-order): membership-only variable set; never iterated
 use std::collections::HashSet;
 use std::fmt;
 

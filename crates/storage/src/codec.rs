@@ -121,30 +121,40 @@ impl<'a> ByteReader<'a> {
         Ok(out)
     }
 
+    /// [`take`](Self::take) as a fixed-size array — the checked split
+    /// makes the size part of the type, so the integer readers below need
+    /// no fallible conversion at all.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        let rest = self.buf.get(self.pos..).unwrap_or(&[]);
+        let Some((chunk, _)) = rest.split_first_chunk::<N>() else {
+            return Err(CodecError(format!(
+                "truncated input: need {N} bytes at offset {}, have {}",
+                self.pos,
+                rest.len()
+            )));
+        };
+        self.pos += N;
+        Ok(*chunk)
+    }
+
     /// Reads one raw byte.
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        Ok(self.take_array::<1>()?[0])
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a little-endian `i64`.
     pub fn i64(&mut self) -> Result<i64, CodecError> {
-        Ok(i64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(i64::from_le_bytes(self.take_array()?))
     }
 
     /// Reads a length-prefixed UTF-8 string.

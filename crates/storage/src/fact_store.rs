@@ -112,6 +112,10 @@ impl FactStore {
             return false;
         }
         rd.set.insert(key);
+        #[expect(
+            clippy::expect_used,
+            reason = "a 2^32nd fact is a capacity invariant, not a recoverable fault"
+        )]
         let id = u32::try_from(rd.facts.len()).expect("fact id overflow");
         for (col, index) in rd.cols.iter_mut().enumerate() {
             index.entry(data[col]).or_default().push(id);

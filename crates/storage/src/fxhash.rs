@@ -11,9 +11,11 @@
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// `HashMap` with the Fx hasher.
+// tdx-lint: allow(hash-order): this alias pins the fixed-seed hasher the rule steers everyone toward
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
 /// `HashSet` with the Fx hasher.
+// tdx-lint: allow(hash-order): same fixed-seed hasher as the map alias above
 pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -40,11 +42,11 @@ impl Hasher for FxHasher {
 
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for c in &mut chunks {
-            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        let mut rest = bytes;
+        while let Some((chunk, tail)) = rest.split_first_chunk::<8>() {
+            self.add(u64::from_le_bytes(*chunk));
+            rest = tail;
         }
-        let rest = chunks.remainder();
         if !rest.is_empty() {
             let mut buf = [0u8; 8];
             buf[..rest.len()].copy_from_slice(rest);

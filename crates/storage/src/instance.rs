@@ -78,6 +78,10 @@ impl Instance {
             return false;
         }
         data.set.insert(Arc::clone(&row));
+        #[expect(
+            clippy::expect_used,
+            reason = "a 2^32nd row is a capacity invariant, not a recoverable fault"
+        )]
         let id = u32::try_from(data.rows.len()).expect("row id overflow");
         for (col, index) in data.cols.iter_mut().enumerate() {
             index.entry(row[col]).or_default().push(id);

@@ -767,6 +767,10 @@ impl TemporalInstance {
         let mut found = false;
         let mut stopped = false;
         for pivot in 0..atoms.len() {
+            #[expect(
+                clippy::expect_used,
+                reason = "every atom relation was resolved before the pivot loop"
+            )]
             let rel = schema.rel_id(atoms[pivot].relation).expect("checked above");
             if marks[pivot] >= store.len(rel) as u32 {
                 continue; // empty delta for this pivot

@@ -688,6 +688,10 @@ impl<'a> PartView<'a> {
             if bounds_for(pivot, pivot, std::cmp::Ordering::Equal).is_none() {
                 continue; // nothing to pivot on
             }
+            #[expect(
+                clippy::expect_used,
+                reason = "bounds_for only returns None for the Equal ordering, screened above"
+            )]
             let bounds: Vec<(u32, u32)> = (0..atoms.len())
                 .map(|j| bounds_for(pivot, j, j.cmp(&pivot)).expect("only Equal may skip"))
                 .collect();

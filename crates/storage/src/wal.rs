@@ -170,26 +170,31 @@ pub fn replay(path: &Path) -> io::Result<Replay> {
 /// length past the buffer or [`MAX_FRAME_LEN`], checksum mismatch — ends
 /// the scan.
 pub fn parse_records(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    // Every byte here may be torn or corrupt, so the scan is written
+    // entirely in checked splits — no slice arithmetic that could panic
+    // on a malformed header.
     let mut records = Vec::new();
     let mut pos = 0usize;
-    while bytes.len() - pos >= RECORD_HEADER {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+    while let Some(rest) = bytes.get(pos..) {
+        let Some((len4, after_len)) = rest.split_first_chunk::<4>() else {
+            break;
+        };
+        let Some((crc4, body)) = after_len.split_first_chunk::<4>() else {
+            break;
+        };
+        let len = u32::from_le_bytes(*len4) as usize;
+        let crc = u32::from_le_bytes(*crc4);
         if len > MAX_FRAME_LEN {
             break;
         }
-        let Some(end) = pos
-            .checked_add(RECORD_HEADER + len)
-            .filter(|&e| e <= bytes.len())
-        else {
+        let Some(payload) = body.get(..len) else {
             break;
         };
-        let payload = &bytes[pos + RECORD_HEADER..end];
         if crc32(payload) != crc {
             break;
         }
         records.push(payload.to_vec());
-        pos = end;
+        pos += RECORD_HEADER + len;
     }
     (records, pos)
 }
@@ -244,16 +249,22 @@ pub fn read_snapshot(path: &Path) -> io::Result<Option<Vec<u8>>> {
             format!("corrupt snapshot: {what}"),
         )
     };
-    if bytes.len() < SNAPSHOT_MAGIC.len() + RECORD_HEADER {
+    // Checked splits only: a truncated snapshot is corrupt input to
+    // report, never a slice panic (see `parse_records`).
+    let Some((magic, rest)) = bytes.split_at_checked(SNAPSHOT_MAGIC.len()) else {
         return Err(corrupt("file shorter than its header"));
-    }
-    let (magic, rest) = bytes.split_at(SNAPSHOT_MAGIC.len());
+    };
     if magic != SNAPSHOT_MAGIC {
         return Err(corrupt("bad magic (not a snapshot, or an unknown version)"));
     }
-    let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
-    let payload = &rest[RECORD_HEADER..];
+    let Some((len4, rest)) = rest.split_first_chunk::<4>() else {
+        return Err(corrupt("file shorter than its header"));
+    };
+    let Some((crc4, payload)) = rest.split_first_chunk::<4>() else {
+        return Err(corrupt("file shorter than its header"));
+    };
+    let len = u32::from_le_bytes(*len4) as usize;
+    let crc = u32::from_le_bytes(*crc4);
     if len > MAX_FRAME_LEN || payload.len() != len {
         return Err(corrupt("length prefix does not match file size"));
     }

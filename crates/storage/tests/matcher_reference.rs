@@ -2,6 +2,10 @@
 //! brute-force reference implementation on random instances and patterns,
 //! in every temporal mode.
 
+// Test harness helpers run outside #[test] fns, so the tests exemption
+// in clippy.toml does not reach them; asserting via panic is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::sync::Arc;

@@ -5,6 +5,10 @@
 //! holding the same facts — the contract that lets the matcher run over
 //! either store unchanged.
 
+// Test harness helpers run outside #[test] fns, so the tests exemption
+// in clippy.toml does not reach them; asserting via panic is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use proptest::prelude::*;
 use std::sync::Arc;
 use tdx_logic::{RelId, RelationSchema, Schema};

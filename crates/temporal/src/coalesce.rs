@@ -8,6 +8,7 @@
 
 use crate::interval::Interval;
 use crate::set::IntervalSet;
+// tdx-lint: allow(hash-order): buckets drain in first-appearance order via the side `order` vec, or feed order-free checks
 use std::collections::HashMap;
 use std::hash::Hash;
 
