@@ -204,6 +204,25 @@ fn bench_robustness(c: &mut Criterion) {
     group.finish();
 }
 
+/// The compiled read path vs the naïve evaluator on the chased
+/// employment/100 target (`tdx_bench::query_suite`, shared with the CI
+/// gate). Acceptance bar: `warm_repeat` ≥ 5× faster than `naive_full` on
+/// the same run — repeat reads must be as cheap as the write path's
+/// per-batch work, not re-pay normalization per query.
+fn bench_query_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group(tdx_bench::query_suite::GROUP);
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    for case in tdx_bench::query_suite::cases() {
+        let run = case.run;
+        group.bench_with_input(BenchmarkId::from(case.id.as_str()), &(), |b, _| {
+            b.iter(&run)
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_employment,
@@ -214,6 +233,7 @@ criterion_group!(
     bench_transport,
     bench_incremental,
     bench_durability,
-    bench_robustness
+    bench_robustness,
+    bench_query_paths
 );
 criterion_main!(benches);

@@ -7,9 +7,11 @@
 //! ```
 //!
 //! Runs the gated benchmark suites in fast mode — the engine ablation
-//! (`c_chase/engine/*`) and the incremental-session family
-//! (`c_chase/incremental/*`), the same cases `cargo bench --bench chase`
-//! records via [`tdx_bench::gated_cases`] — writes the fresh measurements
+//! (`c_chase/engine/*`), the incremental-session family
+//! (`c_chase/incremental/*`), and the other gated families up through the
+//! compiled-query read path (`c_chase/query/*`), the same cases
+//! `cargo bench --bench chase` records via [`tdx_bench::gated_cases`] —
+//! writes the fresh measurements
 //! as JSON (uploaded as a workflow artifact), and compares them against the
 //! committed `BENCH_chase.json` baselines.
 //!
@@ -364,7 +366,35 @@ fn main() {
         );
     }
 
-    if !failed.is_empty() || !scaling_failed.is_empty() {
+    // Query-speedup smoke gate (same-run, like the scaling gate): the
+    // compiled read path's warm repeat must beat the naïve evaluator by at
+    // least 5× on the same fresh run — the whole point of plan + fragment
+    // caching is that repeat reads stop re-paying normalization per query.
+    // Machine speed cancels out, so the gate holds on any runner.
+    const QUERY_SPEEDUP_GATE: f64 = 5.0;
+    let mut query_failed: Vec<String> = Vec::new();
+    {
+        let median = |case: &str| {
+            let id = format!("{}/employment/{case}/100", tdx_bench::query_suite::GROUP);
+            fresh.iter().find(|r| r.id == id).map(|r| r.median_ns)
+        };
+        if let (Some(naive), Some(warm)) = (median("naive_full"), median("warm_repeat")) {
+            let speedup = naive / warm;
+            let verdict = if speedup < QUERY_SPEEDUP_GATE {
+                query_failed.push(format!(
+                    "{}/employment/warm_repeat/100 runs only {speedup:.2}x faster than the \
+                     same-run naive_full row (query gate {QUERY_SPEEDUP_GATE:.1}x)",
+                    tdx_bench::query_suite::GROUP
+                ));
+                "TOO SLOW"
+            } else {
+                "ok"
+            };
+            println!("  query   warm_repeat vs naive_full {speedup:10.2}x  [{verdict}]");
+        }
+    }
+
+    if !failed.is_empty() || !scaling_failed.is_empty() || !query_failed.is_empty() {
         for (id, relative) in &failed {
             eprintln!(
                 "bench_check: FAILED — {id} regressed to {relative:.3}x of its baseline median \
@@ -372,7 +402,7 @@ fn main() {
                  gate {threshold:.2}x)"
             );
         }
-        for msg in &scaling_failed {
+        for msg in scaling_failed.iter().chain(&query_failed) {
             eprintln!("bench_check: FAILED — {msg}");
         }
         std::process::exit(1);

@@ -186,6 +186,9 @@ pub fn gated_cases() -> Vec<(String, Box<dyn Fn() + Send + Sync>)> {
     for case in robustness_suite::cases() {
         out.push((format!("{}/{}", robustness_suite::GROUP, case.id), case.run));
     }
+    for case in query_suite::cases() {
+        out.push((format!("{}/{}", query_suite::GROUP, case.id), case.run));
+    }
     out
 }
 
@@ -844,6 +847,147 @@ pub mod robustness_suite {
                         Arc::new(OneDeadSlot) as Arc<dyn TransportSpawner>,
                     )
                     .unwrap();
+                }),
+            });
+        }
+        out
+    }
+}
+
+/// The `c_chase/query/*` suite: the compiled read path against the naïve
+/// normalize-then-shared-`t` evaluator, on the chased employment/100
+/// target. One iteration always evaluates the same three-query set
+/// (projection, self-join, union), so the rows divide cleanly:
+///
+/// * `employment/naive_full/100` — the naïve oracle, re-normalizing the
+///   instance on every call: the pre-compilation read latency;
+/// * `employment/cold_compile/100` — plan + compile + execute against a
+///   fresh snapshot, no caches: the first-query latency;
+/// * `employment/warm_repeat/100` — a pre-warmed [`QueryService`]
+///   (plans and fragments cached, nothing dirty): the steady-state
+///   repeat-read latency. `bench_check` gates
+///   `naive_full / warm_repeat ≥ 5×` on the same fresh run;
+/// * `employment/post_batch_repeat/100` — each iteration publishes an
+///   already-chased 5% batch result (fingerprint-diff invalidation) and
+///   re-evaluates: repeat-read latency when only the dirty partitions'
+///   fragments recompute.
+pub mod query_suite {
+    pub use crate::Case;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use tdx_core::{
+        compiled_eval, naive_eval_concrete, DeltaBatch, DirtySet, IncrementalExchange, QueryService,
+    };
+    use tdx_logic::{parse_query, parse_union_query, UnionQuery};
+    use tdx_storage::StoreSnapshot;
+    use tdx_temporal::{Breakpoints, TimelinePartition};
+    use tdx_workload::{employment_stream, BatchOrder, EmploymentConfig, StreamConfig};
+
+    /// The group prefix every case id lives under.
+    pub const GROUP: &str = "c_chase/query";
+
+    /// The measured query set: a projection, a same-company self-join, and
+    /// a two-disjunct union — the three plan shapes the compiler handles.
+    fn queries() -> Vec<UnionQuery> {
+        vec![
+            parse_query("Q(n, s) :- Emp(n, c, s)")
+                .expect("valid query")
+                .into(),
+            parse_query("Q(a, b) :- Emp(a, c, s1) & Emp(b, c, s2)")
+                .expect("valid query")
+                .into(),
+            parse_union_query("Q(n) :- Emp(n, c0, s); Q(n) :- Emp(n, c1, s)").expect("valid query"),
+        ]
+    }
+
+    /// See the module docs for the case list.
+    pub fn cases() -> Vec<Case> {
+        let stream = employment_stream(
+            &EmploymentConfig {
+                persons: 100,
+                horizon: 30,
+                seed: 42,
+                ..EmploymentConfig::default()
+            },
+            &StreamConfig {
+                batches: 1,
+                batch_fraction: 0.05,
+                order: BatchOrder::TailLocal,
+                ..StreamConfig::default()
+            },
+        );
+        let mut session =
+            IncrementalExchange::new(stream.mapping.clone()).expect("valid scenario mapping");
+        session
+            .apply(&DeltaBatch::from_instance(&stream.base))
+            .expect("consistent base instance");
+        let base_target = session.target();
+        let mut after = session.clone();
+        after
+            .apply(&DeltaBatch::from_instance(&stream.batches[0]))
+            .expect("consistent batch");
+        let batch_target = after.target();
+        let tp = TimelinePartition::new(&Breakpoints::from_points([8, 15, 23]));
+        let queries = Arc::new(queries());
+
+        let mut out: Vec<Case> = Vec::new();
+        {
+            let (target, queries) = (base_target.clone(), Arc::clone(&queries));
+            out.push(Case {
+                id: "employment/naive_full/100".to_string(),
+                run: Box::new(move || {
+                    for q in queries.iter() {
+                        std::hint::black_box(naive_eval_concrete(&target, q).unwrap());
+                    }
+                }),
+            });
+        }
+        {
+            let snap = StoreSnapshot::latest(Arc::new(base_target.clone()));
+            let queries = Arc::clone(&queries);
+            out.push(Case {
+                id: "employment/cold_compile/100".to_string(),
+                run: Box::new(move || {
+                    for q in queries.iter() {
+                        std::hint::black_box(compiled_eval(&snap, q).unwrap());
+                    }
+                }),
+            });
+        }
+        {
+            let svc = QueryService::new(base_target.clone(), tp.clone());
+            let queries = Arc::clone(&queries);
+            for q in queries.iter() {
+                svc.eval(q).expect("warmup eval"); // caches plans + fragments
+            }
+            out.push(Case {
+                id: "employment/warm_repeat/100".to_string(),
+                run: Box::new(move || {
+                    for q in queries.iter() {
+                        std::hint::black_box(svc.eval(q).unwrap());
+                    }
+                }),
+            });
+        }
+        {
+            let svc = QueryService::new(base_target.clone(), tp.clone());
+            let queries = Arc::clone(&queries);
+            for q in queries.iter() {
+                svc.eval(q).expect("warmup eval");
+            }
+            let flip = AtomicBool::new(true);
+            out.push(Case {
+                id: "employment/post_batch_repeat/100".to_string(),
+                run: Box::new(move || {
+                    let next = if flip.fetch_xor(true, Ordering::Relaxed) {
+                        &batch_target
+                    } else {
+                        &base_target
+                    };
+                    svc.publish(next.clone(), &tp, DirtySet::Diff);
+                    for q in queries.iter() {
+                        std::hint::black_box(svc.eval(q).unwrap());
+                    }
                 }),
             });
         }

@@ -64,6 +64,7 @@ use crate::chase::cluster::{
 use crate::chase::concrete::{instantiate, AnnotatedUnionFind, ChaseEngine, ChaseOptions, UfKey};
 use crate::chase::partitioned::{fact_at, refragment_lists, rewrite_values, FactLists};
 use crate::error::{Result, TdxError};
+use crate::query::cache::{DirtySet, QueryService};
 use std::collections::BTreeSet;
 use std::sync::{Arc, Mutex};
 use tdx_logic::{Atom, RelId, Schema, SchemaMapping, Term, Var};
@@ -174,6 +175,10 @@ pub struct BatchStats {
     pub egd_merges: usize,
     /// Timeline partitions the batch touched (dirtied).
     pub dirty_partitions: usize,
+    /// The touched partition indices themselves (sorted; in terms of the
+    /// post-batch partition) — the query service's fragment-invalidation
+    /// input.
+    pub dirty_parts: Vec<usize>,
     /// Timeline partitions in total.
     pub partitions: usize,
     /// Whether the timeline partition was re-coarsened for this batch.
@@ -502,6 +507,13 @@ pub struct IncrementalExchange {
     nulls: NullGen,
     stats: SessionStats,
     poisoned: Option<String>,
+    /// The attached MVCC query front-end, if any: every committed batch
+    /// (and every rebuild) publishes the new target version plus its dirty
+    /// partitions here, so concurrent readers see watermark-consistent
+    /// answers and the fragment cache invalidates precisely. Shared by
+    /// session clones; not part of the durable state (reattach after
+    /// recovery).
+    query_service: Option<Arc<QueryService>>,
 }
 
 const PARTS_HINT: usize = 16;
@@ -600,6 +612,7 @@ impl IncrementalExchange {
             nulls: NullGen::new(),
             stats: SessionStats::default(),
             poisoned: None,
+            query_service: None,
         })
     }
 
@@ -796,6 +809,38 @@ impl IncrementalExchange {
         self.poisoned.is_some()
     }
 
+    /// Attaches (and returns) an MVCC query service seeded with the
+    /// current materialized target. From now on every committed batch
+    /// publishes the new target version with its dirty partitions, so
+    /// readers holding the service evaluate concurrently with — and never
+    /// block — `apply` calls. Idempotent: an already attached service is
+    /// returned as-is.
+    pub fn enable_query_service(&mut self) -> Arc<QueryService> {
+        if let Some(svc) = &self.query_service {
+            return Arc::clone(svc);
+        }
+        let svc = Arc::new(QueryService::new(self.target(), self.tp.clone()));
+        self.query_service = Some(Arc::clone(&svc));
+        svc
+    }
+
+    /// The attached query service, if any.
+    pub fn query_service(&self) -> Option<Arc<QueryService>> {
+        self.query_service.as_ref().map(Arc::clone)
+    }
+
+    /// Publishes the current target to the attached service (no-op when
+    /// none is attached, or when a failed rollback poisoned the session —
+    /// readers then keep the last consistent version).
+    fn publish_target(&self, dirty: DirtySet<'_>) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        if let Some(svc) = &self.query_service {
+            svc.publish(self.target(), &self.tp, dirty);
+        }
+    }
+
     /// Applies one batch and brings the target back to a chase fixpoint.
     ///
     /// On chase failure the accumulated source admits no solution with the
@@ -857,6 +902,12 @@ impl IncrementalExchange {
         match self.absorb(fresh, batch_facts) {
             Ok(stats) => {
                 self.stats.batches += 1;
+                // Fingerprint-diff publish: `stats.dirty_parts` tracks where
+                // chase *work* happened, but a batch can also change answers
+                // in partitions a spanning fact merely overlaps, and egd
+                // rewrites can touch settled facts outside the delta. The
+                // service's per-partition diff catches all of it exactly.
+                self.publish_target(DirtySet::Diff);
                 Ok(stats)
             }
             Err(e) => {
@@ -871,6 +922,8 @@ impl IncrementalExchange {
                 if let Err(inner) = self.rebuild_from_source() {
                     self.poisoned = Some(format!("{inner}"));
                 }
+                // The rebuild re-derived everything (fresh nulls included).
+                self.publish_target(DirtySet::All);
                 Err(e)
             }
         }
@@ -1348,6 +1401,7 @@ impl IncrementalExchange {
         }
 
         stats.dirty_partitions = dirty_parts.len();
+        stats.dirty_parts = dirty_parts.into_iter().collect();
         stats.target_facts = self.target_len();
         self.stats.tgd_steps += stats.tgd_steps;
         self.stats.egd_merges += stats.egd_merges;
@@ -1386,6 +1440,7 @@ impl IncrementalExchange {
                 stats.full_rechase = true;
                 stats.batch_facts = batch.len();
                 self.stats.batches += 1;
+                self.publish_target(DirtySet::All);
                 Ok(stats)
             }
             Err(e) => {
@@ -1396,6 +1451,9 @@ impl IncrementalExchange {
                 if let Err(inner) = self.rebuild_from_source() {
                     self.poisoned = Some(format!("{inner}"));
                 }
+                // The rollback rebuilt the pre-batch state with fresh
+                // derived facts; stale fragments must not survive it.
+                self.publish_target(DirtySet::All);
                 Err(e)
             }
         }

@@ -140,12 +140,17 @@ pub use normalize::{
     candidate_groups, candidate_groups_with, has_empty_intersection_property, naive_normalize,
     normalize, normalize_with, FactRef,
 };
+pub use query::cache::{CacheStats, DirtySet, QueryService, QuerySnapshot, TargetVersion};
 pub use query::certain::{
     certain_answers_abstract, certain_answers_concrete, naive_eval_abstract, theorem21_holds,
     EpochAnswers,
 };
-pub use query::concrete::{naive_eval_concrete, naive_eval_concrete_with, TemporalAnswers};
+pub use query::compiled::{compiled_eval, CompiledQuery};
+pub use query::concrete::{
+    naive_eval_concrete, naive_eval_concrete_with, NaiveEvaluator, TemporalAnswers,
+};
 pub use query::naive::{eval_cq_raw, naive_eval_snapshot};
+pub use query::plan::{plan_union, query_fingerprint, UnionPlan};
 pub use semantics::{concretize, semantics};
 pub use verify::{
     alignment_holds, is_solution_abstract, is_solution_concrete, is_universal_among, satisfies_egd,

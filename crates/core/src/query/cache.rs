@@ -1,0 +1,478 @@
+//! The query service: MVCC published versions plus plan and
+//! result-fragment caches.
+//!
+//! A [`QueryService`] sits beside an incremental-exchange writer. After
+//! every committed batch the writer **publishes** the new target instance
+//! together with the set of dirty timeline partitions; readers take a
+//! [`QuerySnapshot`] (an `Arc` clone of the current published version) and
+//! evaluate against it. Published versions are immutable, so readers never
+//! block the writer and a reader mid-evaluation keeps a consistent view
+//! while newer versions land.
+//!
+//! Two caches ride on the version stream, both keyed by the query's
+//! fingerprint:
+//!
+//! * **plans** — compiled once per (query, epoch); join orders only depend
+//!   on statistics, so a plan stays valid until the partition geometry
+//!   changes;
+//! * **result fragments** — the answer clipped to one timeline-partition
+//!   range, stamped with the version it was computed at. A fragment is
+//!   valid for a snapshot `S` iff `frag.version ≤ S.version` and
+//!   `frag.version ≥ S.last_dirty[p]` — i.e. partition `p` has not been
+//!   dirtied since the fragment was computed. Evaluation reuses valid
+//!   fragments, recomputes the rest against the snapshot, and merges
+//!   (interval sets coalesce across partition boundaries, so the union is
+//!   byte-identical to a full evaluation).
+//!
+//! Repartitioning (or a full re-chase, which dirties everything and may
+//! recoarsen) bumps the **epoch**, which invalidates all plans and
+//! fragments wholesale — the partition ranges the fragments were clipped
+//! to no longer exist.
+//!
+//! Fragments are computed *outside* the service lock: the lock is held
+//! only to snapshot state, fetch cached entries, and install results
+//! (guarded by version/epoch checks so stale writers never clobber newer
+//! entries). This module is on tdx-lint's fault-path list: a panicking
+//! reader would poison the shared lock, so nothing here panics and lock
+//! poisoning is absorbed.
+
+use crate::error::Result;
+use crate::query::compiled::CompiledQuery;
+use crate::query::plan::{self, UnionPlan};
+use crate::query::TemporalAnswers;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, MutexGuard};
+use tdx_logic::UnionQuery;
+use tdx_storage::fxhash::{FxHashMap, FxHasher};
+use tdx_storage::{StoreSnapshot, TemporalInstance};
+use tdx_temporal::TimelinePartition;
+
+/// One immutable published version of the query target.
+pub struct TargetVersion {
+    snapshot: StoreSnapshot,
+    version: u64,
+    epoch: u64,
+    partition: TimelinePartition,
+    /// Per partition: the version that last dirtied it.
+    last_dirty: Vec<u64>,
+    /// Per partition: a commutative content fingerprint of the facts
+    /// overlapping its range (the [`DirtySet::Diff`] comparison input).
+    fingerprints: Vec<u64>,
+}
+
+impl TargetVersion {
+    /// The watermark snapshot of this version's instance.
+    pub fn snapshot(&self) -> &StoreSnapshot {
+        &self.snapshot
+    }
+
+    /// The published instance.
+    pub fn instance(&self) -> &TemporalInstance {
+        self.snapshot.instance()
+    }
+
+    /// Monotone publish counter.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The timeline partition fragments are clipped to.
+    pub fn partition(&self) -> &TimelinePartition {
+        &self.partition
+    }
+}
+
+/// A reader's handle on one published version. Cloning is an `Arc` clone;
+/// the version stays alive (and consistent) for as long as any handle
+/// does, no matter how many newer versions the writer publishes.
+#[derive(Clone)]
+pub struct QuerySnapshot {
+    v: Arc<TargetVersion>,
+}
+
+impl QuerySnapshot {
+    /// The pinned version.
+    pub fn version(&self) -> &TargetVersion {
+        &self.v
+    }
+}
+
+/// Which timeline partitions a publish dirtied.
+#[derive(Clone, Copy, Debug)]
+pub enum DirtySet<'a> {
+    /// Everything changed (full re-chase, rollback, recovery).
+    All,
+    /// Only these partition indices changed. The caller vouches for
+    /// completeness: a fact change in an unlisted partition's range would
+    /// leave stale fragments behind.
+    Parts(&'a [usize]),
+    /// Let the service find the changes itself by diffing per-partition
+    /// content fingerprints against the previous version. Exact w.r.t.
+    /// fragment validity — a fragment over range `B_p` depends precisely
+    /// on the facts overlapping `B_p` — and robust against writers whose
+    /// own dirty tracking is coarser than fact identity (interval-spanning
+    /// facts, value rewrites of settled facts). This is what the
+    /// incremental-exchange hook uses.
+    Diff,
+}
+
+/// Per-partition content fingerprints: each fact's hash is folded (by
+/// wrapping addition, so fact order is irrelevant) into every partition
+/// whose range its interval overlaps — exactly the partitions whose
+/// clipped fragments the fact can influence.
+fn partition_fingerprints(inst: &TemporalInstance, partition: &TimelinePartition) -> Vec<u64> {
+    let mut fps = vec![0u64; partition.len()];
+    for (rel, fact) in inst.iter_all() {
+        let mut h = FxHasher::default();
+        (rel.0, &fact.data, fact.interval).hash(&mut h);
+        let fh = h.finish();
+        let (lo, hi) = partition.parts_overlapping(&fact.interval);
+        for p in lo..=hi.min(fps.len().saturating_sub(1)) {
+            fps[p] = fps[p].wrapping_add(fh);
+        }
+    }
+    fps
+}
+
+/// Cache effectiveness counters (all monotone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Versions published.
+    pub publishes: u64,
+    /// Queries evaluated through the service.
+    pub evals: u64,
+    /// Plan-cache misses (a compile happened).
+    pub plans_compiled: u64,
+    /// Result fragments served from cache.
+    pub fragments_reused: u64,
+    /// Result fragments recomputed.
+    pub fragments_recomputed: u64,
+}
+
+struct PlanEntry {
+    epoch: u64,
+    plan: Arc<UnionPlan>,
+}
+
+#[derive(Clone)]
+struct FragPart {
+    /// Version whose snapshot the fragment was computed against.
+    version: u64,
+    answers: Arc<TemporalAnswers>,
+}
+
+struct FragEntry {
+    epoch: u64,
+    parts: Vec<Option<FragPart>>,
+}
+
+struct ServiceState {
+    current: Arc<TargetVersion>,
+    plans: FxHashMap<u64, PlanEntry>,
+    frags: FxHashMap<u64, FragEntry>,
+    stats: CacheStats,
+}
+
+/// Concurrent query front-end over a stream of published target versions.
+pub struct QueryService {
+    state: Mutex<ServiceState>,
+}
+
+impl QueryService {
+    /// A service whose first published version is `initial`, partitioned
+    /// by `partition` (every partition starts dirty at version 0).
+    pub fn new(initial: TemporalInstance, partition: TimelinePartition) -> QueryService {
+        let last_dirty = vec![0; partition.len()];
+        let fingerprints = partition_fingerprints(&initial, &partition);
+        let current = Arc::new(TargetVersion {
+            snapshot: StoreSnapshot::latest(Arc::new(initial)),
+            version: 0,
+            epoch: 0,
+            partition,
+            last_dirty,
+            fingerprints,
+        });
+        QueryService {
+            state: Mutex::new(ServiceState {
+                current,
+                plans: FxHashMap::default(),
+                frags: FxHashMap::default(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ServiceState> {
+        // A poisoned lock means a reader panicked; the state is still
+        // structurally sound (worst case: a stale cache entry, guarded by
+        // version checks), so absorb the poison instead of propagating it.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Publishes a new target version. `dirty` names the partitions the
+    /// batch touched (in `partition`'s terms), or [`DirtySet::Diff`] to
+    /// have the service derive them by fingerprint comparison. A partition
+    /// change bumps the epoch and invalidates all cached plans and
+    /// fragments.
+    pub fn publish(
+        &self,
+        instance: TemporalInstance,
+        partition: &TimelinePartition,
+        dirty: DirtySet<'_>,
+    ) {
+        let fingerprints = partition_fingerprints(&instance, partition);
+        let mut st = self.lock();
+        let prev = Arc::clone(&st.current);
+        let version = prev.version + 1;
+        let same_geometry = *partition == prev.partition;
+        let epoch = if same_geometry {
+            prev.epoch
+        } else {
+            prev.epoch + 1
+        };
+        let mut last_dirty = if same_geometry {
+            prev.last_dirty.clone()
+        } else {
+            vec![version; partition.len()]
+        };
+        match dirty {
+            DirtySet::All => last_dirty.fill(version),
+            DirtySet::Parts(ps) => {
+                for &p in ps {
+                    if let Some(d) = last_dirty.get_mut(p) {
+                        *d = version;
+                    }
+                }
+            }
+            DirtySet::Diff => {
+                // Geometry changes are already covered by the epoch bump;
+                // with stable geometry a fragment over range p can only go
+                // stale if the facts overlapping p changed, which is
+                // exactly what the fingerprint tracks.
+                for (p, d) in last_dirty.iter_mut().enumerate() {
+                    if !same_geometry || fingerprints.get(p) != prev.fingerprints.get(p) {
+                        *d = version;
+                    }
+                }
+            }
+        }
+        st.current = Arc::new(TargetVersion {
+            snapshot: StoreSnapshot::latest(Arc::new(instance)),
+            version,
+            epoch,
+            partition: partition.clone(),
+            last_dirty,
+            fingerprints,
+        });
+        st.stats.publishes += 1;
+    }
+
+    /// The current published version (a cheap, immutable handle).
+    pub fn snapshot(&self) -> QuerySnapshot {
+        QuerySnapshot {
+            v: Arc::clone(&self.lock().current),
+        }
+    }
+
+    /// Evaluates `q` against the current version through the caches.
+    pub fn eval(&self, q: &UnionQuery) -> Result<TemporalAnswers> {
+        let snap = self.snapshot();
+        self.eval_at(&snap, q)
+    }
+
+    /// Evaluates `q` against a pinned snapshot through the caches.
+    /// Fragment computation happens outside the service lock, so
+    /// concurrent readers (and the publishing writer) never wait on each
+    /// other's evaluation work.
+    pub fn eval_at(&self, snap: &QuerySnapshot, q: &UnionQuery) -> Result<TemporalAnswers> {
+        let v = Arc::clone(&snap.v);
+        let fp = plan::query_fingerprint(q);
+
+        // Plan: reuse per (fingerprint, epoch), else compile outside the
+        // lock and install.
+        let cached_plan = {
+            let st = self.lock();
+            st.plans
+                .get(&fp)
+                .filter(|e| e.epoch == v.epoch)
+                .map(|e| Arc::clone(&e.plan))
+        };
+        let plan = match cached_plan {
+            Some(p) => p,
+            None => {
+                let p = Arc::new(plan::plan_union(&v.snapshot, q)?);
+                let mut st = self.lock();
+                st.stats.plans_compiled += 1;
+                st.plans.insert(
+                    fp,
+                    PlanEntry {
+                        epoch: v.epoch,
+                        plan: Arc::clone(&p),
+                    },
+                );
+                p
+            }
+        };
+        let cq = CompiledQuery::from_plan(plan);
+
+        // Fragments: fetch the cached per-partition entries under the
+        // lock, then compute the invalid ones lock-free.
+        let ranges = v.partition.ranges();
+        let nparts = ranges.len();
+        let cached: Vec<Option<FragPart>> = {
+            let st = self.lock();
+            match st.frags.get(&fp) {
+                Some(e) if e.epoch == v.epoch && e.parts.len() == nparts => e.parts.clone(),
+                _ => vec![None; nparts],
+            }
+        };
+        let mut result = TemporalAnswers::new();
+        let mut computed: Vec<(usize, FragPart)> = Vec::new();
+        let mut reused = 0u64;
+        for (p, range) in ranges.iter().enumerate() {
+            let valid = cached.get(p).and_then(|c| c.as_ref()).filter(|f| {
+                f.version <= v.version
+                    && f.version >= v.last_dirty.get(p).copied().unwrap_or(u64::MAX)
+            });
+            let answers = match valid {
+                Some(f) => {
+                    reused += 1;
+                    Arc::clone(&f.answers)
+                }
+                None => {
+                    let a = Arc::new(cq.eval_clipped(&v.snapshot, *range));
+                    computed.push((
+                        p,
+                        FragPart {
+                            version: v.version,
+                            answers: Arc::clone(&a),
+                        },
+                    ));
+                    a
+                }
+            };
+            result.merge_from(&answers);
+        }
+
+        // Install the recomputed fragments, never clobbering newer ones.
+        let mut st = self.lock();
+        st.stats.evals += 1;
+        st.stats.fragments_reused += reused;
+        st.stats.fragments_recomputed += computed.len() as u64;
+        let entry = st.frags.entry(fp).or_insert_with(|| FragEntry {
+            epoch: v.epoch,
+            parts: vec![None; nparts],
+        });
+        if entry.epoch < v.epoch || entry.parts.len() != nparts {
+            entry.epoch = v.epoch;
+            entry.parts = vec![None; nparts];
+        }
+        if entry.epoch == v.epoch {
+            for (p, frag) in computed {
+                if let Some(slot) = entry.parts.get_mut(p) {
+                    let newer = slot.as_ref().is_none_or(|old| old.version < frag.version);
+                    if newer {
+                        *slot = Some(frag);
+                    }
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Cache effectiveness counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::concrete::naive_eval_concrete;
+    use tdx_logic::{parse_query, RelationSchema, Schema};
+    use tdx_temporal::{Breakpoints, Interval};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::new(vec![RelationSchema::new(
+                "Emp",
+                &["name", "company", "salary"],
+            )])
+            .unwrap(),
+        )
+    }
+
+    fn seed() -> TemporalInstance {
+        let mut i = TemporalInstance::new(schema());
+        i.insert_strs("Emp", &["Ada", "IBM", "18k"], Interval::new(0, 10));
+        i.insert_strs("Emp", &["Bob", "IBM", "13k"], Interval::new(20, 30));
+        i
+    }
+
+    fn q() -> UnionQuery {
+        parse_query("Q(n) :- Emp(n, IBM, s)").unwrap().into()
+    }
+
+    fn two_parts() -> TimelinePartition {
+        TimelinePartition::new(&Breakpoints::from_points([15]))
+    }
+
+    #[test]
+    fn warm_eval_reuses_every_fragment() {
+        let svc = QueryService::new(seed(), two_parts());
+        let first = svc.eval(&q()).unwrap();
+        let second = svc.eval(&q()).unwrap();
+        assert_eq!(first, second);
+        let stats = svc.stats();
+        assert_eq!(stats.plans_compiled, 1);
+        assert_eq!(stats.fragments_recomputed, 2);
+        assert_eq!(stats.fragments_reused, 2);
+        assert_eq!(first, naive_eval_concrete(&seed(), &q()).unwrap());
+    }
+
+    #[test]
+    fn dirty_partition_invalidates_only_its_fragment() {
+        let parts = two_parts();
+        let svc = QueryService::new(seed(), parts.clone());
+        svc.eval(&q()).unwrap();
+        // A batch touching only the second partition's range.
+        let mut next = seed();
+        next.insert_strs("Emp", &["Cyd", "IBM", "99k"], Interval::new(20, 25));
+        svc.publish(next.clone(), &parts, DirtySet::Parts(&[1]));
+        let after = svc.eval(&q()).unwrap();
+        assert_eq!(after, naive_eval_concrete(&next, &q()).unwrap());
+        let stats = svc.stats();
+        // Second eval recomputed exactly the dirty fragment.
+        assert_eq!(stats.fragments_recomputed, 3);
+        assert_eq!(stats.fragments_reused, 1);
+        assert_eq!(stats.plans_compiled, 1, "same epoch: plan reused");
+    }
+
+    #[test]
+    fn repartition_bumps_the_epoch_and_drops_all_caches() {
+        let svc = QueryService::new(seed(), two_parts());
+        svc.eval(&q()).unwrap();
+        let finer = TimelinePartition::new(&Breakpoints::from_points([10, 20]));
+        svc.publish(seed(), &finer, DirtySet::Parts(&[0]));
+        let after = svc.eval(&q()).unwrap();
+        assert_eq!(after, naive_eval_concrete(&seed(), &q()).unwrap());
+        let stats = svc.stats();
+        assert_eq!(stats.plans_compiled, 2, "epoch bump recompiles");
+        assert_eq!(stats.fragments_recomputed, 2 + 3);
+    }
+
+    #[test]
+    fn pinned_snapshot_answers_do_not_move_under_a_publish() {
+        let parts = two_parts();
+        let svc = QueryService::new(seed(), parts.clone());
+        let pinned = svc.snapshot();
+        let before = svc.eval_at(&pinned, &q()).unwrap();
+        let mut next = seed();
+        next.insert_strs("Emp", &["Cyd", "IBM", "99k"], Interval::new(0, 5));
+        svc.publish(next, &parts, DirtySet::All);
+        let replay = svc.eval_at(&pinned, &q()).unwrap();
+        assert_eq!(before, replay, "pinned snapshot is immutable");
+        assert_ne!(svc.eval(&q()).unwrap(), before);
+    }
+}

@@ -16,9 +16,11 @@
 
 use crate::error::Result;
 use crate::normalize::normalize_with;
+use crate::query::plan::body_fingerprint;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
-use tdx_logic::{Constant, Term, UnionQuery};
+use tdx_logic::{ConjunctiveQuery, Constant, RelId, Term, UnionQuery};
+use tdx_storage::fxhash::FxHashMap;
 use tdx_storage::{SearchOptions, TemporalInstance, TemporalMode};
 use tdx_temporal::{
     partition::epochs_over_timeline, Breakpoints, Interval, IntervalSet, TimePoint,
@@ -40,6 +42,18 @@ impl TemporalAnswers {
     /// Adds one answer tuple over one interval.
     pub fn add(&mut self, tuple: Vec<Constant>, iv: Interval) {
         self.rows.entry(tuple).or_default().insert(iv);
+    }
+
+    /// Merges every answer of `other` into `self` (interval sets union and
+    /// re-coalesce — the fragment cache reassembles partition-clipped
+    /// answers this way).
+    pub fn merge_from(&mut self, other: &TemporalAnswers) {
+        for (tuple, set) in &other.rows {
+            let entry = self.rows.entry(tuple.clone()).or_default();
+            for iv in set.intervals() {
+                entry.insert(*iv);
+            }
+        }
     }
 
     /// The distinct answer tuples with their coalesced validity sets.
@@ -143,32 +157,136 @@ pub fn naive_eval_concrete_with(
     for disjunct in q.disjuncts() {
         // Step 1: normalize w.r.t. this disjunct's body.
         let normalized = normalize_with(jc, &[disjunct.body.as_slice()], options)?;
-        // Steps 2–4: evaluate with shared t; nulls are naïve constants; drop
-        // tuples that still contain one.
-        normalized.find_matches_with(
-            &disjunct.body,
-            TemporalMode::Shared,
-            &[],
-            None,
-            options,
-            |m| {
-                let iv = m.shared_interval().expect("temporal store binds t");
-                let tuple: Option<Vec<Constant>> = disjunct
-                    .head
-                    .iter()
-                    .map(|t| match t {
-                        Term::Const(c) => Some(*c),
-                        Term::Var(v) => m.value(*v).expect("safe head var").as_const(),
-                    })
-                    .collect();
-                if let Some(tuple) = tuple {
-                    out.add(tuple, iv);
-                }
-                true
-            },
-        )?;
+        eval_disjunct(&normalized, disjunct, options, &mut out)?;
     }
     Ok(out)
+}
+
+/// Steps 2–4 of the naïve route: evaluate one disjunct with shared `t` on
+/// an already-normalized instance; nulls are naïve constants; drop tuples
+/// that still contain one.
+fn eval_disjunct(
+    normalized: &TemporalInstance,
+    disjunct: &ConjunctiveQuery,
+    options: SearchOptions,
+    out: &mut TemporalAnswers,
+) -> Result<()> {
+    normalized.find_matches_with(
+        &disjunct.body,
+        TemporalMode::Shared,
+        &[],
+        None,
+        options,
+        |m| {
+            let iv = m.shared_interval().expect("temporal store binds t");
+            let tuple: Option<Vec<Constant>> = disjunct
+                .head
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Some(*c),
+                    Term::Var(v) => m.value(*v).expect("safe head var").as_const(),
+                })
+                .collect();
+            if let Some(tuple) = tuple {
+                out.add(tuple, iv);
+            }
+            true
+        },
+    )?;
+    Ok(())
+}
+
+struct NormMemo {
+    /// Per-relation fact counts when the normalization was computed. The
+    /// store is append-only, so the length vector is a sound staleness
+    /// watermark: equal lengths ⇒ identical contents.
+    lens: Vec<usize>,
+    normalized: TemporalInstance,
+}
+
+/// A re-usable naïve evaluator that owns its instance and **memoizes the
+/// per-disjunct normalization** across calls: repeated queries with the
+/// same body shape skip step 1 entirely until the instance grows. This is
+/// the cheap fix for the per-call re-normalization of
+/// [`naive_eval_concrete`] when the compiled route is bypassed.
+pub struct NaiveEvaluator {
+    jc: TemporalInstance,
+    options: SearchOptions,
+    memo: FxHashMap<u64, NormMemo>,
+    hits: u64,
+    misses: u64,
+}
+
+impl NaiveEvaluator {
+    /// An evaluator over `jc` with default matcher options.
+    pub fn new(jc: TemporalInstance) -> NaiveEvaluator {
+        NaiveEvaluator::with_options(jc, SearchOptions::default())
+    }
+
+    /// An evaluator with explicit matcher options (normalization and
+    /// evaluation both follow the engine choice).
+    pub fn with_options(jc: TemporalInstance, options: SearchOptions) -> NaiveEvaluator {
+        NaiveEvaluator {
+            jc,
+            options,
+            memo: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The owned instance.
+    pub fn instance(&self) -> &TemporalInstance {
+        &self.jc
+    }
+
+    /// Mutable access to the instance. Appends are detected by the
+    /// length-vector watermark and re-normalize lazily on the next call.
+    pub fn instance_mut(&mut self) -> &mut TemporalInstance {
+        &mut self.jc
+    }
+
+    /// Normalizations served from the memo so far.
+    pub fn memo_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Normalizations actually computed so far.
+    pub fn memo_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Computes `q⁺(J_c)↓` exactly like [`naive_eval_concrete_with`], but
+    /// with the per-disjunct normalization memoized.
+    pub fn eval(&mut self, q: &UnionQuery) -> Result<TemporalAnswers> {
+        let lens: Vec<usize> = (0..self.jc.schema().len())
+            .map(|r| self.jc.len(RelId(r as u32)))
+            .collect();
+        let mut out = TemporalAnswers::new();
+        for disjunct in q.disjuncts() {
+            let key = body_fingerprint(&disjunct.body);
+            let fresh = self.memo.get(&key).is_some_and(|m| m.lens == lens);
+            if fresh {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+                let normalized =
+                    normalize_with(&self.jc, &[disjunct.body.as_slice()], self.options)?;
+                self.memo.insert(
+                    key,
+                    NormMemo {
+                        lens: lens.clone(),
+                        normalized,
+                    },
+                );
+            }
+            let Some(m) = self.memo.get(&key) else {
+                continue;
+            };
+            eval_disjunct(&m.normalized, disjunct, self.options, &mut out)?;
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +424,43 @@ mod tests {
         );
         assert!(t.contains("Ada"), "{t}");
         assert!(t.contains("{[2013, ∞)}"), "{t}");
+    }
+
+    #[test]
+    fn memoized_evaluator_matches_and_skips_renormalization() {
+        let q1: UnionQuery = parse_query("Q(m) :- Emp(Ada, c, s) & Emp(m, c, s2)")
+            .unwrap()
+            .into();
+        let q2: UnionQuery = parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into();
+        let mut ev = NaiveEvaluator::new(figure9());
+        // First calls normalize, repeats hit the memo, all answers match
+        // the one-shot evaluator.
+        for q in [&q1, &q2, &q1, &q2, &q1] {
+            assert_eq!(
+                ev.eval(q).unwrap(),
+                naive_eval_concrete(&figure9(), q).unwrap()
+            );
+        }
+        assert_eq!(ev.memo_misses(), 2);
+        assert_eq!(ev.memo_hits(), 3);
+    }
+
+    #[test]
+    fn memo_invalidates_when_the_instance_grows() {
+        let q: UnionQuery = parse_query("Q(m) :- Emp(Ada, c, s) & Emp(m, c, s2)")
+            .unwrap()
+            .into();
+        let mut ev = NaiveEvaluator::new(figure9());
+        ev.eval(&q).unwrap();
+        ev.instance_mut()
+            .insert_strs("Emp", &["Cyd", "Google", "99k"], iv(2015, 2020));
+        let ans = ev.eval(&q).unwrap();
+        assert_eq!(ev.memo_misses(), 2, "append forced a re-normalization");
+        let cyd = ans
+            .rows()
+            .find(|(t, _)| t[0] == Constant::str("Cyd"))
+            .expect("Cyd overlaps Ada at Google");
+        assert_eq!(cyd.1.intervals(), &[iv(2015, 2020)]);
     }
 
     #[test]

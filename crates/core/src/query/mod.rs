@@ -8,12 +8,25 @@
 //!   variable, drop null rows), producing [`concrete::TemporalAnswers`];
 //! * [`certain`] — certain answers via universal solutions (Corollary 22)
 //!   and the Theorem 21 cross-check between the concrete and abstract
-//!   routes.
+//!   routes;
+//! * [`plan`] / [`compiled`] — the compiled read path: queries compile
+//!   once into index-probing join plans and execute against generation-
+//!   watermark snapshots, skipping normalization entirely (the naïve
+//!   evaluators above stay as the equivalence oracle);
+//! * [`cache`] — the MVCC query service: published target versions, plan
+//!   cache, and per-partition result-fragment cache with dirty-partition
+//!   invalidation.
 
+pub mod cache;
 pub mod certain;
+pub mod compiled;
 pub mod concrete;
 pub mod naive;
+pub mod plan;
 
+pub use cache::{CacheStats, DirtySet, QueryService, QuerySnapshot, TargetVersion};
 pub use certain::{certain_answers_abstract, certain_answers_concrete, theorem21_holds};
-pub use concrete::{naive_eval_concrete, TemporalAnswers};
+pub use compiled::{compiled_eval, CompiledQuery};
+pub use concrete::{naive_eval_concrete, NaiveEvaluator, TemporalAnswers};
 pub use naive::{eval_cq_raw, naive_eval_snapshot};
+pub use plan::{plan_union, query_fingerprint, UnionPlan};

@@ -1,0 +1,401 @@
+//! Query plans for compiled temporal evaluation.
+//!
+//! A [`UnionPlan`] is the compiled form of a union of conjunctive temporal
+//! queries: per disjunct, a join order over the body atoms chosen from
+//! per-relation cardinality and bound-column selectivity (read off the
+//! snapshot's eager indexes at compile time), a static access path per
+//! atom (column probe, bound-variable probe, or interval-driven scan), and
+//! precomputed per-column operations (constant check, variable check,
+//! bind). The executor ([`super::compiled`]) interprets the plan with the
+//! shared-interval intersection pushed into the join loop.
+//!
+//! Everything here is deterministic: costs are integers read from the
+//! snapshot, ties break on the original atom order, and no wall-clock or
+//! unseeded randomness feeds the costing. Fingerprints are FNV-1a over the
+//! query's rendered text — stable within a process, which is all the plan
+//! and fragment caches need.
+
+use crate::error::{Result, TdxError};
+use tdx_logic::{Atom, ConjunctiveQuery, Constant, RelId, UnionQuery, Var};
+use tdx_storage::{StoreSnapshot, Value};
+
+/// FNV-1a over a string — the stable in-process hash used for query and
+/// body fingerprints.
+pub fn fingerprint_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The fingerprint of a whole union query (cache key for plans and result
+/// fragments).
+pub fn query_fingerprint(q: &UnionQuery) -> u64 {
+    fingerprint_str(&q.to_string())
+}
+
+/// The fingerprint of one conjunction body (cache key for memoized
+/// query-body normalization).
+pub fn body_fingerprint(atoms: &[Atom]) -> u64 {
+    let rendered: Vec<String> = atoms.iter().map(|a| a.to_string()).collect();
+    fingerprint_str(&rendered.join(" & "))
+}
+
+/// One head position of a compiled disjunct.
+#[derive(Clone, Debug)]
+pub enum HeadOut {
+    /// A constant from the query head.
+    Const(Constant),
+    /// The value bound to variable slot `0` at emission time.
+    Var(usize),
+}
+
+/// One per-column operation of an atom step, executed left to right.
+#[derive(Clone, Debug)]
+pub enum ColOp {
+    /// The column must equal this constant.
+    ConstEq(Value),
+    /// The column must equal the value already bound to the slot.
+    VarEq(usize),
+    /// First occurrence of the variable: bind the slot to the column value.
+    Bind(usize),
+}
+
+/// The access path chosen for one atom step.
+#[derive(Clone, Debug)]
+pub enum Access {
+    /// Probe the per-column value index with a query constant.
+    ConstCol {
+        /// Which column to probe.
+        col: usize,
+        /// The constant to probe for.
+        value: Value,
+    },
+    /// Probe the per-column value index with the value bound to a slot by
+    /// an earlier atom.
+    BoundCol {
+        /// Which column to probe.
+        col: usize,
+        /// The slot whose runtime value keys the probe.
+        slot: usize,
+    },
+    /// No bound column: candidates come from the interval index (overlap
+    /// probe against the accumulated shared interval), degrading to a
+    /// watermark-bounded scan when the interval is still unconstrained.
+    IntervalDriven,
+}
+
+/// One atom of a compiled disjunct, in execution order.
+#[derive(Clone, Debug)]
+pub struct AtomStep {
+    /// The relation the atom ranges over.
+    pub rel: RelId,
+    /// Candidate enumeration strategy.
+    pub access: Access,
+    /// Per-column checks/bindings (index = column).
+    pub ops: Vec<ColOp>,
+    /// Estimated candidate count at compile time (explain output).
+    pub est: usize,
+    /// Index of this atom in the query text (explain output).
+    pub source_index: usize,
+}
+
+/// The compiled form of one conjunctive disjunct.
+#[derive(Clone, Debug)]
+pub struct DisjunctPlan {
+    /// Atoms in chosen join order.
+    pub atoms: Vec<AtomStep>,
+    /// Head emission recipe.
+    pub head: Vec<HeadOut>,
+    /// Number of variable slots.
+    pub var_count: usize,
+}
+
+/// The compiled form of a union of conjunctive queries.
+#[derive(Clone, Debug)]
+pub struct UnionPlan {
+    /// One plan per disjunct, in query order.
+    pub disjuncts: Vec<DisjunctPlan>,
+    /// Output arity.
+    pub arity: usize,
+    /// Fingerprint of the source query (cache key).
+    pub fingerprint: u64,
+}
+
+impl UnionPlan {
+    /// A human-readable rendering of the chosen join orders and access
+    /// paths (the `tdx query --explain` output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for (d, plan) in self.disjuncts.iter().enumerate() {
+            out.push_str(&format!("disjunct {d}:\n"));
+            for step in &plan.atoms {
+                let access = match &step.access {
+                    Access::ConstCol { col, value } => {
+                        format!("probe col {col} = {value}")
+                    }
+                    Access::BoundCol { col, slot } => {
+                        format!("probe col {col} = slot {slot}")
+                    }
+                    Access::IntervalDriven => "interval scan".to_owned(),
+                };
+                out.push_str(&format!(
+                    "  atom {} rel {} via {access} (est {})\n",
+                    step.source_index, step.rel.0, step.est
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Compiles a union query against a snapshot's statistics.
+pub fn plan_union(snap: &StoreSnapshot, q: &UnionQuery) -> Result<UnionPlan> {
+    let mut disjuncts = Vec::with_capacity(q.disjuncts().len());
+    for cq in q.disjuncts() {
+        disjuncts.push(plan_disjunct(snap, cq)?);
+    }
+    Ok(UnionPlan {
+        disjuncts,
+        arity: q.arity(),
+        fingerprint: query_fingerprint(q),
+    })
+}
+
+/// Variable slots in order of first occurrence across the body (original
+/// atom order, so slot numbering is independent of the chosen join order).
+fn slot_table(cq: &ConjunctiveQuery) -> Vec<Var> {
+    let mut slots: Vec<Var> = Vec::new();
+    for atom in &cq.body {
+        for v in atom.vars() {
+            if !slots.contains(&v) {
+                slots.push(v);
+            }
+        }
+    }
+    slots
+}
+
+fn slot_of(slots: &[Var], v: Var) -> Option<usize> {
+    slots.iter().position(|s| *s == v)
+}
+
+/// Cost estimate for placing `atom` next, given which slots earlier atoms
+/// bound: the cheapest constant-column posting (or the relation size), then
+/// discounted for each additional bound column the step can check.
+fn est_cost(snap: &StoreSnapshot, rel: RelId, atom: &Atom, slots: &[Var], bound: &[bool]) -> usize {
+    let mut base: Option<usize> = None;
+    let mut bound_cols = 0usize;
+    for (col, term) in atom.terms.iter().enumerate() {
+        match term.as_const() {
+            Some(c) => {
+                let n = snap.col_count(rel, col, &Value::Const(c));
+                base = Some(base.map_or(n, |b| b.min(n)));
+            }
+            None => {
+                if let Some(slot) = term.as_var().and_then(|v| slot_of(slots, v)) {
+                    if bound.get(slot).copied().unwrap_or(false) {
+                        bound_cols += 1;
+                    }
+                }
+            }
+        }
+    }
+    let base = base.unwrap_or_else(|| snap.rel_len(rel));
+    base / (1 + 4 * bound_cols)
+}
+
+fn plan_disjunct(snap: &StoreSnapshot, cq: &ConjunctiveQuery) -> Result<DisjunctPlan> {
+    let schema = snap.schema();
+    let slots = slot_table(cq);
+    // Resolve relations up front.
+    let mut rels = Vec::with_capacity(cq.body.len());
+    for atom in &cq.body {
+        let rel = schema.rel_id(atom.relation).ok_or_else(|| {
+            TdxError::Invalid(format!(
+                "query atom over unknown relation {}",
+                atom.relation
+            ))
+        })?;
+        if schema.relation(rel).arity() != atom.arity() {
+            return Err(TdxError::Invalid(format!(
+                "query atom {} has arity {}, relation has {}",
+                atom,
+                atom.arity(),
+                schema.relation(rel).arity()
+            )));
+        }
+        rels.push(rel);
+    }
+
+    // Greedy join order: repeatedly take the cheapest remaining atom.
+    let mut remaining: Vec<usize> = (0..cq.body.len()).collect();
+    let mut bound = vec![false; slots.len()];
+    let mut atoms = Vec::with_capacity(cq.body.len());
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, usize)> = None; // (cost, position)
+        for (pos, &ai) in remaining.iter().enumerate() {
+            let cost = est_cost(snap, rels[ai], &cq.body[ai], &slots, &bound);
+            if best.is_none_or(|(c, _)| cost < c) {
+                best = Some((cost, pos));
+            }
+        }
+        let Some((est, pos)) = best else { break };
+        let ai = remaining.remove(pos);
+        let atom = &cq.body[ai];
+        let rel = rels[ai];
+
+        // Access path, judged against the *pre-atom* binding state.
+        let mut access: Option<Access> = None;
+        let mut best_const = usize::MAX;
+        for (col, term) in atom.terms.iter().enumerate() {
+            if let Some(c) = term.as_const() {
+                let v = Value::Const(c);
+                let n = snap.col_count(rel, col, &v);
+                if n < best_const {
+                    best_const = n;
+                    access = Some(Access::ConstCol { col, value: v });
+                }
+            }
+        }
+        if access.is_none() {
+            for (col, term) in atom.terms.iter().enumerate() {
+                if let Some(slot) = term.as_var().and_then(|v| slot_of(&slots, v)) {
+                    if bound.get(slot).copied().unwrap_or(false) {
+                        access = Some(Access::BoundCol { col, slot });
+                        break;
+                    }
+                }
+            }
+        }
+        let access = access.unwrap_or(Access::IntervalDriven);
+
+        // Per-column ops, updating the binding state as we go so repeated
+        // variables inside one atom become equality checks.
+        let mut ops = Vec::with_capacity(atom.terms.len());
+        for term in &atom.terms {
+            match term.as_const() {
+                Some(c) => ops.push(ColOp::ConstEq(Value::Const(c))),
+                None => {
+                    let Some(slot) = term.as_var().and_then(|v| slot_of(&slots, v)) else {
+                        return Err(TdxError::Invalid(format!(
+                            "unresolvable term in query atom {atom}"
+                        )));
+                    };
+                    if bound[slot] {
+                        ops.push(ColOp::VarEq(slot));
+                    } else {
+                        bound[slot] = true;
+                        ops.push(ColOp::Bind(slot));
+                    }
+                }
+            }
+        }
+        atoms.push(AtomStep {
+            rel,
+            access,
+            ops,
+            est,
+            source_index: ai,
+        });
+    }
+
+    // Head recipe: constants pass through, variables read their slot.
+    let mut head = Vec::with_capacity(cq.head.len());
+    for term in &cq.head {
+        match term.as_const() {
+            Some(c) => head.push(HeadOut::Const(c)),
+            None => {
+                let slot = term
+                    .as_var()
+                    .and_then(|v| slot_of(&slots, v))
+                    .filter(|s| bound.get(*s).copied().unwrap_or(false))
+                    .ok_or_else(|| {
+                        TdxError::Invalid(format!("unsafe head variable in query {cq}"))
+                    })?;
+                head.push(HeadOut::Var(slot));
+            }
+        }
+    }
+
+    Ok(DisjunctPlan {
+        atoms,
+        head,
+        var_count: slots.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdx_logic::{parse_query, RelationSchema, Schema};
+    use tdx_storage::TemporalInstance;
+    use tdx_temporal::Interval;
+
+    fn snap() -> StoreSnapshot {
+        let mut i = TemporalInstance::new(Arc::new(
+            Schema::new(vec![
+                RelationSchema::new("Big", &["a", "b"]),
+                RelationSchema::new("Small", &["a"]),
+            ])
+            .unwrap(),
+        ));
+        for k in 0..50 {
+            i.insert_strs("Big", &[&format!("X{k}"), "Acme"], Interval::new(0, 10));
+        }
+        i.insert_strs("Small", &["X1"], Interval::new(0, 10));
+        StoreSnapshot::latest(Arc::new(i))
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinct() {
+        let q1: UnionQuery = parse_query("Q(a) :- Small(a)").unwrap().into();
+        let q2: UnionQuery = parse_query("Q(a) :- Big(a, b)").unwrap().into();
+        assert_eq!(query_fingerprint(&q1), query_fingerprint(&q1));
+        assert_ne!(query_fingerprint(&q1), query_fingerprint(&q2));
+    }
+
+    #[test]
+    fn join_order_starts_from_the_small_relation() {
+        let q: UnionQuery = parse_query("Q(a, b) :- Big(a, b) & Small(a)")
+            .unwrap()
+            .into();
+        let plan = plan_union(&snap(), &q).unwrap();
+        let d = &plan.disjuncts[0];
+        assert_eq!(d.atoms[0].source_index, 1, "{}", plan.explain());
+        // The big atom then probes on the bound variable.
+        assert!(
+            matches!(d.atoms[1].access, Access::BoundCol { col: 0, .. }),
+            "{}",
+            plan.explain()
+        );
+    }
+
+    #[test]
+    fn constant_columns_become_index_probes() {
+        let q: UnionQuery = parse_query("Q(a) :- Big(a, Acme)").unwrap().into();
+        let plan = plan_union(&snap(), &q).unwrap();
+        assert!(matches!(
+            plan.disjuncts[0].atoms[0].access,
+            Access::ConstCol { col: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let q: UnionQuery = parse_query("Q(a) :- Nope(a)").unwrap().into();
+        assert!(plan_union(&snap(), &q).is_err());
+    }
+
+    #[test]
+    fn repeated_variable_in_one_atom_checks_equality() {
+        let q: UnionQuery = parse_query("Q(a) :- Big(a, a)").unwrap().into();
+        let plan = plan_union(&snap(), &q).unwrap();
+        let ops = &plan.disjuncts[0].atoms[0].ops;
+        assert!(matches!(ops[0], ColOp::Bind(0)));
+        assert!(matches!(ops[1], ColOp::VarEq(0)));
+    }
+}

@@ -470,6 +470,12 @@ const FAULT_PATH_SUFFIXES: &[&str] = &[
     "chase/cluster/chaos.rs",
     "storage/src/wal.rs",
     "chase/durable.rs",
+    // The concurrent read path: a panicking reader poisons the shared
+    // query-service lock for every other reader and the writer.
+    "query/plan.rs",
+    "query/compiled.rs",
+    "query/cache.rs",
+    "storage/src/snapshot.rs",
 ];
 
 /// Whether `path` is one of the panic-free fault-path files.

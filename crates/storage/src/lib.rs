@@ -37,6 +37,7 @@ pub mod fxhash;
 pub mod instance;
 pub mod matcher;
 pub mod sharded;
+pub mod snapshot;
 pub mod temporal_instance;
 pub mod value;
 pub mod wal;
@@ -46,5 +47,6 @@ pub use fact_store::{FactStore, Generation};
 pub use instance::Instance;
 pub use matcher::{Match, MatchError, SearchOptions, TemporalMode};
 pub use sharded::{PartScope, PartView, ShardedFactStore};
+pub use snapshot::StoreSnapshot;
 pub use temporal_instance::{TemporalFact, TemporalInstance};
 pub use value::{row, NullGen, NullId, Row, Value};

@@ -721,6 +721,44 @@ impl TemporalInstance {
         )
     }
 
+    /// [`TemporalInstance::find_matches_with`] restricted to a fact-id
+    /// window per atom: atom `i` only matches facts of its relation with
+    /// id in `bounds[i].0 .. bounds[i].1`. Because fact ids are stable and
+    /// monotone, a per-relation generation watermark turns into exactly
+    /// such a window — this is the matcher-level entry point behind
+    /// [`StoreSnapshot`](crate::snapshot::StoreSnapshot), letting readers
+    /// evaluate against a sealed generation while later appends stay
+    /// invisible.
+    #[allow(clippy::too_many_arguments)]
+    pub fn find_matches_bounded(
+        &self,
+        atoms: &[Atom],
+        mode: TemporalMode,
+        prebound: &[(Var, Value)],
+        pre_interval: Option<Interval>,
+        options: SearchOptions,
+        bounds: &[(u32, u32)],
+        mut on_match: impl FnMut(&Match<'_>) -> bool,
+    ) -> Result<bool, MatchError> {
+        if bounds.len() != atoms.len() {
+            return Err(MatchError(format!(
+                "find_matches_bounded: {} bounds for {} atoms",
+                bounds.len(),
+                atoms.len()
+            )));
+        }
+        run_search(
+            self,
+            atoms,
+            mode,
+            prebound,
+            pre_interval,
+            options,
+            Some(bounds),
+            &mut on_match,
+        )
+    }
+
     /// Semi-naive enumeration: homomorphisms whose image contains **at least
     /// one fact added since `since`** (see
     /// [`FactStore::mark`](crate::fact_store::FactStore::mark)).

@@ -1,0 +1,318 @@
+//! Compiled-query equivalence: the compiled read path must be
+//! byte-identical to the naïve normalize-then-shared-`t` oracle on every
+//! workload and query shape — including randomly generated conjunctive
+//! queries — and the MVCC query service must keep that equivalence while
+//! its fragment cache is exercised by dirty batches and while readers run
+//! concurrently with commits.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tdx::core::{
+    compiled_eval, naive_eval_concrete, theorem21_holds, CompiledQuery, DirtySet, NaiveEvaluator,
+    QueryService,
+};
+use tdx::logic::{Atom, ConjunctiveQuery, Constant, RelId, Term};
+use tdx::storage::StoreSnapshot;
+use tdx::workload::{
+    employment_stream, BatchOrder, EmploymentConfig, EmploymentWorkload, StreamConfig,
+};
+use tdx::{parse_query, parse_union_query, DeltaBatch, IncrementalExchange, UnionQuery};
+
+fn queries() -> Vec<UnionQuery> {
+    vec![
+        parse_query("Q(n, s) :- Emp(n, c, s)").unwrap().into(),
+        parse_query("Q(n, c) :- Emp(n, c, s)").unwrap().into(),
+        parse_query("Q(n) :- Emp(n, c, s)").unwrap().into(),
+        parse_query("Q(a, b) :- Emp(a, c, s1) & Emp(b, c, s2)")
+            .unwrap()
+            .into(),
+        parse_union_query("Q(n) :- Emp(n, c0, s); Q(n) :- Emp(n, c1, s)").unwrap(),
+    ]
+}
+
+fn chased(seed: u64, persons: usize) -> tdx::TemporalInstance {
+    let w = EmploymentWorkload::generate(&EmploymentConfig {
+        persons,
+        horizon: 16,
+        seed,
+        ..EmploymentConfig::default()
+    });
+    tdx::c_chase(&w.source, &w.mapping).unwrap().target
+}
+
+/// A deterministic random conjunctive query over the target `Emp`
+/// relation: 1–3 atoms, terms drawn from a small variable pool or from
+/// constants that actually occur in `jc` (so constant probes are
+/// exercised against real postings), head = the distinct body variables.
+fn random_cq(jc: &tdx::TemporalInstance, seed: u64) -> Option<ConjunctiveQuery> {
+    // Constants present in the instance, per column.
+    let rel = RelId(0);
+    let mut consts: Vec<Vec<Constant>> = vec![Vec::new(); 3];
+    for fact in jc.facts(rel) {
+        for (col, v) in fact.data.iter().enumerate() {
+            if let Some(c) = v.as_const() {
+                if !consts[col].contains(&c) {
+                    consts[col].push(c);
+                }
+            }
+        }
+    }
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = |bound: usize| -> usize {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        ((state >> 33) as usize) % bound.max(1)
+    };
+    let vars = ["v0", "v1", "v2", "v3"];
+    let natoms = 1 + next(3);
+    let mut body = Vec::new();
+    for _ in 0..natoms {
+        let mut terms = Vec::new();
+        for col in 0..3 {
+            // Mostly variables (joins), sometimes a real constant.
+            if next(4) == 0 && !consts[col].is_empty() {
+                let c = consts[col][next(consts[col].len())];
+                terms.push(Term::constant(c));
+            } else {
+                terms.push(Term::var(vars[next(vars.len())]));
+            }
+        }
+        body.push(Atom::new("Emp", terms));
+    }
+    let mut head = Vec::new();
+    for atom in &body {
+        for v in atom.vars() {
+            if !head.iter().any(|t: &Term| t.as_var() == Some(v)) {
+                head.push(Term::Var(v));
+            }
+        }
+    }
+    if head.is_empty() {
+        return None; // all-constant body: not a useful test query
+    }
+    head.truncate(3);
+    ConjunctiveQuery::new(head, body).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The compiled path equals the naïve oracle on random workloads for
+    /// the standard query set, and the compiled answers satisfy the
+    /// Theorem 21 cross-check (equal answers ⇒ equal abstract readings).
+    #[test]
+    fn compiled_matches_naive_on_random_workloads(seed in 0u64..1000, persons in 3usize..8) {
+        let jc = chased(seed, persons);
+        let snap = StoreSnapshot::latest(Arc::new(jc.clone()));
+        for q in queries() {
+            let naive = naive_eval_concrete(&jc, &q).unwrap();
+            let compiled = compiled_eval(&snap, &q).unwrap();
+            prop_assert_eq!(&compiled, &naive, "query {}", q);
+            prop_assert!(theorem21_holds(&jc, &q).unwrap());
+        }
+    }
+
+    /// Same equivalence on randomly generated conjunctive queries —
+    /// arbitrary join shapes, repeated variables, and constant probes.
+    #[test]
+    fn compiled_matches_naive_on_random_cqs(seed in 0u64..2000) {
+        let jc = chased(seed % 50, 5);
+        let Some(cq) = random_cq(&jc, seed) else { return Ok(()) };
+        let q: UnionQuery = cq.into();
+        let naive = naive_eval_concrete(&jc, &q).unwrap();
+        let snap = StoreSnapshot::latest(Arc::new(jc));
+        let compiled = compiled_eval(&snap, &q).unwrap();
+        prop_assert_eq!(&compiled, &naive, "query {}", q);
+    }
+
+    /// The memoized naïve evaluator is answer-identical to the one-shot
+    /// evaluator across repeated calls and instance growth.
+    #[test]
+    fn memoized_evaluator_matches_oracle(seed in 0u64..500) {
+        let jc = chased(seed, 5);
+        let mut ev = NaiveEvaluator::new(jc.clone());
+        for q in queries() {
+            // Twice per query: the second call exercises the memo path.
+            prop_assert_eq!(ev.eval(&q).unwrap(), naive_eval_concrete(&jc, &q).unwrap());
+            prop_assert_eq!(ev.eval(&q).unwrap(), naive_eval_concrete(&jc, &q).unwrap());
+        }
+        prop_assert!(ev.memo_hits() >= queries().len() as u64);
+    }
+}
+
+/// After every committed batch the attached query service must return
+/// exactly the oracle's answers — in particular a *cache hit after a dirty
+/// batch* must not serve stale fragments.
+#[test]
+fn query_service_stays_correct_across_dirty_batches() {
+    let stream = employment_stream(
+        &EmploymentConfig {
+            persons: 20,
+            horizon: 24,
+            seed: 7,
+            ..EmploymentConfig::default()
+        },
+        &StreamConfig {
+            batches: 6,
+            order: BatchOrder::TailLocal,
+            ..StreamConfig::default()
+        },
+    );
+    let mut session = IncrementalExchange::new(stream.mapping.clone()).unwrap();
+    let svc = session.enable_query_service();
+    let qs = queries();
+    let mut parts: Vec<&tdx::TemporalInstance> = vec![&stream.base];
+    parts.extend(stream.batches.iter());
+    for (i, part) in parts.into_iter().enumerate() {
+        session.apply(&DeltaBatch::from_instance(part)).unwrap();
+        let oracle_target = session.target();
+        for q in &qs {
+            let served = svc.eval(q).unwrap();
+            let oracle = naive_eval_concrete(&oracle_target, q).unwrap();
+            assert_eq!(served, oracle, "batch {i}: query {q}");
+            // A repeat against the unchanged version is a pure cache hit
+            // and must still be identical.
+            let before = svc.stats();
+            let warm = svc.eval(q).unwrap();
+            let after = svc.stats();
+            assert_eq!(warm, oracle, "batch {i}: warm repeat diverged for {q}");
+            assert_eq!(
+                before.fragments_recomputed, after.fragments_recomputed,
+                "batch {i}: warm repeat recomputed fragments for {q}"
+            );
+            assert!(after.fragments_reused > before.fragments_reused);
+        }
+    }
+    let stats = svc.stats();
+    assert!(
+        stats.fragments_reused > stats.fragments_recomputed,
+        "steady-state repeats should mostly hit the cache: {stats:?}"
+    );
+}
+
+/// Direct publishes with an explicitly wrong-looking dirty set still serve
+/// correct answers, because `DirtySet::All` and epoch bumps cover every
+/// state-changing path; here we check the precise-invalidation path: only
+/// dirty fragments are recomputed, and the merged answer matches a fresh
+/// full evaluation.
+#[test]
+fn fragment_reuse_is_precise_and_correct() {
+    let jc = chased(3, 10);
+    let svc = QueryService::new(jc.clone(), tdx::temporal::TimelinePartition::whole());
+    let q = &queries()[0];
+    let a0 = svc.eval(q).unwrap();
+    assert_eq!(a0, naive_eval_concrete(&jc, q).unwrap());
+    // Publish the same instance, nothing dirty: fragments survive.
+    svc.publish(
+        jc.clone(),
+        &tdx::temporal::TimelinePartition::whole(),
+        DirtySet::Parts(&[]),
+    );
+    let before = svc.stats();
+    let a1 = svc.eval(q).unwrap();
+    assert_eq!(a0, a1);
+    assert_eq!(
+        svc.stats().fragments_recomputed,
+        before.fragments_recomputed
+    );
+    // Publish with everything dirty: fragments recompute, answers equal.
+    let mut grown = jc.clone();
+    grown.insert_strs("Emp", &["Zed", "Initech", "1k"], tdx::Interval::new(0, 9));
+    svc.publish(
+        grown.clone(),
+        &tdx::temporal::TimelinePartition::whole(),
+        DirtySet::All,
+    );
+    let a2 = svc.eval(q).unwrap();
+    assert_eq!(a2, naive_eval_concrete(&grown, q).unwrap());
+    assert_ne!(a1, a2);
+}
+
+/// Concurrent-reader smoke test (runs across the CI thread/server/transport
+/// matrix): reader threads continuously take snapshots and evaluate while
+/// the writer commits batches. Every reader observation must be internally
+/// consistent — two evaluations against one pinned snapshot are identical,
+/// i.e. watermark-consistent — and the final state must match the oracle.
+#[test]
+fn concurrent_readers_while_batches_commit() {
+    let stream = employment_stream(
+        &EmploymentConfig {
+            persons: 15,
+            horizon: 20,
+            seed: 11,
+            ..EmploymentConfig::default()
+        },
+        &StreamConfig {
+            batches: 5,
+            order: BatchOrder::Uniform,
+            ..StreamConfig::default()
+        },
+    );
+    let mut session = IncrementalExchange::new(stream.mapping.clone()).unwrap();
+    let svc = session.enable_query_service();
+    session
+        .apply(&DeltaBatch::from_instance(&stream.base))
+        .unwrap();
+    let done = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for r in 0..3usize {
+            let svc = Arc::clone(&svc);
+            let done = &done;
+            readers.push(scope.spawn(move || {
+                let q = &queries()[r % queries().len()];
+                let mut observations = 0u64;
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    let snap = svc.snapshot();
+                    let a = svc.eval_at(&snap, q).unwrap();
+                    let b = svc.eval_at(&snap, q).unwrap();
+                    assert_eq!(a, b, "reader {r}: snapshot answers moved under us");
+                    // The pinned snapshot's instance is the ground truth
+                    // for this version: the cached route must agree with
+                    // a cache-free compiled evaluation of it.
+                    let direct = compiled_eval(snap.version().snapshot(), q).unwrap();
+                    assert_eq!(a, direct, "reader {r}: cached route diverged");
+                    observations += 1;
+                }
+                observations
+            }));
+        }
+        for part in &stream.batches {
+            session.apply(&DeltaBatch::from_instance(part)).unwrap();
+        }
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "readers never got to observe anything");
+    });
+    let target = session.target();
+    for q in &queries() {
+        assert_eq!(
+            svc.eval(q).unwrap(),
+            naive_eval_concrete(&target, q).unwrap(),
+            "final state diverged for {q}"
+        );
+    }
+}
+
+/// A generation-pinned storage snapshot keeps answering from its
+/// watermark while the same store keeps growing underneath it.
+#[test]
+fn generation_pinned_snapshot_is_stable() {
+    let mut jc = chased(1, 6);
+    let generation = jc.mark_generation();
+    let q = &queries()[2];
+    let frozen_oracle = naive_eval_concrete(&jc, q).unwrap();
+    jc.insert_strs("Emp", &["Zed", "Initech", "1k"], tdx::Interval::new(0, 30));
+    let arc = Arc::new(jc);
+    let pinned = StoreSnapshot::at_generation(Arc::clone(&arc), generation);
+    let latest = StoreSnapshot::latest(Arc::clone(&arc));
+    assert_eq!(compiled_eval(&pinned, q).unwrap(), frozen_oracle);
+    assert_eq!(
+        compiled_eval(&latest, q).unwrap(),
+        naive_eval_concrete(&arc, q).unwrap()
+    );
+    // One compiled plan serves both snapshots.
+    let cq = CompiledQuery::compile(&latest, q).unwrap();
+    assert_eq!(cq.eval(&pinned), frozen_oracle);
+}
